@@ -1,0 +1,83 @@
+// Ablation: seed-tuned property-graph generators vs classic random-graph
+// baselines.
+//
+// The paper's §II surveys Erdős-Rényi, Barabási-Albert and Chung-Lu; its
+// contribution is tuning generation to a *specific seed's* distributions.
+// This bench quantifies that gap: at equal synthetic size, PGPBA/PGSK must
+// beat untuned baselines on degree veracity against the seed.
+#include <iostream>
+
+#include "bench_support/report.hpp"
+#include "common.hpp"
+#include "gen/baselines.hpp"
+#include "gen/pgpba.hpp"
+#include "gen/pgsk.hpp"
+#include "graph/algorithms.hpp"
+#include "veracity/veracity.hpp"
+
+int main() {
+  using namespace csb;
+  print_experiment_header(
+      "Ablation — seed-tuned generators vs classic baselines",
+      "PGPBA/PGSK inherit the seed's degree distribution; ER (no skew), "
+      "classic BA (fixed m), and Chung-Lu (right skew, no seed attributes) "
+      "do not.");
+
+  const SeedBundle seed = bench::default_seed(bench::scaled(15'000));
+  const auto seed_degrees = normalized_degree_distribution(seed.graph);
+  ClusterSim cluster(ClusterConfig{.nodes = 8, .cores_per_node = 4});
+  const std::uint64_t target = 16 * seed.graph.num_edges();
+
+  ReportTable table("degree veracity at ~equal size",
+                    {"generator", "vertices", "edges", "degree_veracity"});
+  const auto add = [&](const std::string& name, const PropertyGraph& graph) {
+    table.add_row({name, cell_u64(graph.num_vertices()),
+                   cell_u64(graph.num_edges()),
+                   cell_sci(veracity_score(
+                       seed_degrees,
+                       normalized_degree_distribution(graph)))});
+  };
+
+  PgpbaOptions pgpba_options;
+  pgpba_options.desired_edges = target;
+  pgpba_options.fraction = 1.0;
+  pgpba_options.mode = PgpbaAttachMode::kDegreeSampling;
+  pgpba_options.with_properties = false;
+  const GenResult pgpba =
+      pgpba_generate(seed.graph, seed.profile, cluster, pgpba_options);
+  add("pgpba (degree-sampling)", pgpba.graph);
+
+  PgskOptions pgsk_options;
+  pgsk_options.desired_edges = target;
+  pgsk_options.with_properties = false;
+  pgsk_options.fit.gradient_iterations = 15;
+  pgsk_options.fit.swaps_per_iteration = 400;
+  pgsk_options.fit.burn_in_swaps = 1500;
+  const GenResult pgsk =
+      pgsk_generate(seed.graph, seed.profile, cluster, pgsk_options);
+  add("pgsk", pgsk.graph);
+
+  // Baselines sized like the PGPBA output.
+  const std::uint64_t n = pgpba.graph.num_vertices();
+  const std::uint64_t m = pgpba.graph.num_edges();
+  add("erdos-renyi G(n,m)", erdos_renyi_gnm(n, m, 7));
+  add("classic BA (m=2)",
+      classic_barabasi_albert(n, 2, 7));
+  {
+    // Chung-Lu gets the seed's degree sequence tiled to size — the
+    // strongest baseline (right shape, no attribute model, no growth).
+    const auto seed_deg = total_degrees(seed.graph);
+    std::vector<double> weights(n);
+    for (std::uint64_t v = 0; v < n; ++v) {
+      weights[v] = static_cast<double>(seed_deg[v % seed_deg.size()]) + 0.01;
+    }
+    add("chung-lu (tiled seed degrees)", chung_lu(weights, m, 7));
+  }
+  table.print();
+  std::cout << "\n(lower = closer to the seed. Chung-Lu fed the seed's own "
+               "degree sequence matches the degree shape by construction — "
+               "but neither it nor ER/BA grows from the seed or carries "
+               "the NetFlow attribute model, which is the property-graph "
+               "generators' contribution.)\n";
+  return 0;
+}

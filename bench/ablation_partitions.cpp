@@ -1,0 +1,49 @@
+// Ablation: partition count vs throughput (the paper's Spark tuning note:
+// "in most cases, using a number of partitions equal to 2x or 4x the
+// number of executor cores leads to the best performance").
+//
+// Too few partitions starve cores; too many drown the run in per-task
+// overhead. The sweet spot sits at a small multiple of the core count.
+#include <iostream>
+
+#include "bench_support/report.hpp"
+#include "common.hpp"
+#include "gen/pgpba.hpp"
+
+int main() {
+  using namespace csb;
+  print_experiment_header(
+      "Ablation — partitions per core (paper §V-B tuning note)",
+      "2x-4x the executor cores is the throughput sweet spot.");
+
+  const SeedBundle seed = bench::default_seed(bench::scaled(15'000));
+  const ClusterConfig config{.nodes = 4,
+                             .cores_per_node = 8,
+                             .smooth_task_durations = true};
+  const std::size_t cores = config.total_cores();
+  const std::uint64_t target = 64 * seed.graph.num_edges();
+
+  ReportTable table("PGPBA throughput vs partition multiple",
+                    {"partitions", "multiple_of_cores", "sim_s",
+                     "edges_per_s"});
+  for (const std::size_t multiple : {1, 2, 4, 8, 32, 128}) {
+    double best = 1e18;
+    std::uint64_t edges = 0;
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      ClusterSim cluster(config);
+      PgpbaOptions options;
+      options.desired_edges = target;
+      options.fraction = 1.0;
+      options.partitions = cores * multiple;
+      const GenResult result =
+          pgpba_generate(seed.graph, seed.profile, cluster, options);
+      best = std::min(best, result.metrics.simulated_seconds);
+      edges = result.graph.num_edges();
+    }
+    table.add_row({cell_u64(cores * multiple), cell_u64(multiple),
+                   cell_fixed(best, 4),
+                   cell_u64(static_cast<std::uint64_t>(edges / best))});
+  }
+  table.print();
+  return 0;
+}

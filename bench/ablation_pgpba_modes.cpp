@@ -1,0 +1,57 @@
+// Ablation: PGPBA attachment modes.
+//
+// kSparkParity implements the paper's GraphX description (one new edge per
+// sampled edge, destination preserved) and reproduces the measured growth
+// rate; kDegreeSampling implements the full Fig. 2 pseudocode (in/out fans
+// drawn from the seed's degree distributions). This bench quantifies the
+// trade: degree sampling renders the seed's degree shape far more
+// faithfully, spark parity is cheaper per iteration and gives fine-grained
+// size control.
+#include <iostream>
+
+#include "bench_support/report.hpp"
+#include "common.hpp"
+#include "gen/pgpba.hpp"
+#include "veracity/veracity.hpp"
+
+int main() {
+  using namespace csb;
+  print_experiment_header(
+      "Ablation — PGPBA attachment modes",
+      "degree-sampling (full Fig. 2) vs spark-parity (GraphX description): "
+      "shape fidelity vs growth control.");
+
+  const SeedBundle seed = bench::default_seed(bench::scaled(15'000));
+  const auto seed_degrees = normalized_degree_distribution(seed.graph);
+  ClusterSim cluster(ClusterConfig{.nodes = 8, .cores_per_node = 4});
+
+  ReportTable table("attachment-mode comparison",
+                    {"mode", "target_x", "edges", "iterations",
+                     "degree_veracity", "sim_s"});
+  for (const std::uint64_t factor : {8, 64}) {
+    for (const PgpbaAttachMode mode :
+         {PgpbaAttachMode::kSparkParity, PgpbaAttachMode::kDegreeSampling}) {
+      PgpbaOptions options;
+      options.desired_edges = factor * seed.graph.num_edges();
+      options.fraction = 1.0;
+      options.mode = mode;
+      options.with_properties = false;
+      const GenResult result =
+          pgpba_generate(seed.graph, seed.profile, cluster, options);
+      const double score = veracity_score(
+          seed_degrees, normalized_degree_distribution(result.graph));
+      table.add_row({mode == PgpbaAttachMode::kSparkParity
+                         ? "spark-parity"
+                         : "degree-sampling",
+                     cell_u64(factor), cell_u64(result.graph.num_edges()),
+                     cell_u64(result.iterations), cell_sci(score),
+                     cell_fixed(result.metrics.simulated_seconds, 4)});
+    }
+  }
+  table.print();
+  std::cout << "\n(degree-sampling reaches the seed's shape in far fewer "
+               "iterations; spark-parity tracks the requested size more "
+               "closely because it adds exactly one edge per sampled "
+               "edge)\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig. 12: strong-scaling speedup, 10 -> 60 compute nodes at fixed output
+// size.
+//
+// Paper shape: PGPBA is near the ideal linear speedup; PGSK scales
+// linearly too but sits further from ideal — its distinct() shuffle/merge
+// and the driver-side KronFit are the serial components.
+//
+// Node model: 2 virtual cores per node (scaled down from the paper's 12)
+// so each task carries enough real work for stable timing on the host
+// running this bench; the node-count axis is the paper's 10..60. Each
+// configuration runs twice and keeps the faster simulated time.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_support/report.hpp"
+#include "common.hpp"
+#include "gen/pgpba.hpp"
+#include "gen/pgsk.hpp"
+
+int main() {
+  using namespace csb;
+  print_experiment_header(
+      "Fig. 12 — strong-scaling speedup (fixed size, 10..60 nodes)",
+      "PGPBA near-ideal; PGSK linear but below ideal (dedup shuffle + "
+      "driver-side KronFit).");
+
+  const SeedBundle seed = bench::default_seed(bench::scaled(20'000));
+  const std::uint64_t pgpba_target = 512 * seed.graph.num_edges();
+  const std::uint64_t pgsk_target = 256 * seed.graph.num_edges();
+  constexpr std::size_t kCoresPerNode = 2;
+  constexpr std::size_t kPartitions = 2 * 60 * kCoresPerNode;
+  constexpr int kRepeats = 3;
+
+  const auto run_pgpba = [&](std::size_t nodes) {
+    double best = 1e18;
+    for (int r = 0; r < kRepeats; ++r) {
+      ClusterSim cluster(
+          ClusterConfig{.nodes = nodes,
+                        .cores_per_node = kCoresPerNode,
+                        .smooth_task_durations = true});
+      PgpbaOptions options;
+      options.desired_edges = pgpba_target;
+      options.fraction = 1.0;
+      options.partitions = kPartitions;
+      const GenResult result =
+          pgpba_generate(seed.graph, seed.profile, cluster, options);
+      best = std::min(best, result.metrics.simulated_seconds);
+    }
+    return best;
+  };
+  const auto run_pgsk = [&](std::size_t nodes) {
+    double best = 1e18;
+    for (int r = 0; r < kRepeats; ++r) {
+      ClusterSim cluster(
+          ClusterConfig{.nodes = nodes,
+                        .cores_per_node = kCoresPerNode,
+                        .smooth_task_durations = true});
+      PgskOptions options;
+      options.desired_edges = pgsk_target;
+      options.partitions = kPartitions;
+      options.fit.gradient_iterations = 10;
+      options.fit.swaps_per_iteration = 300;
+      options.fit.burn_in_swaps = 1000;
+      const GenResult result =
+          pgsk_generate(seed.graph, seed.profile, cluster, options);
+      best = std::min(best, result.metrics.simulated_seconds);
+    }
+    return best;
+  };
+
+  double pgpba_base = 0.0;
+  double pgsk_base = 0.0;
+  ReportTable table("speedup vs 10 nodes",
+                    {"nodes", "pgpba_s", "pgpba_speedup", "pgsk_s",
+                     "pgsk_speedup", "ideal"});
+  for (const std::size_t nodes : {10, 20, 30, 40, 50, 60}) {
+    const double pgpba_s = run_pgpba(nodes);
+    const double pgsk_s = run_pgsk(nodes);
+    if (nodes == 10) {
+      pgpba_base = pgpba_s;
+      pgsk_base = pgsk_s;
+    }
+    table.add_row({cell_u64(nodes), cell_fixed(pgpba_s, 3),
+                   cell_fixed(pgpba_base / pgpba_s, 2),
+                   cell_fixed(pgsk_s, 3), cell_fixed(pgsk_base / pgsk_s, 2),
+                   cell_fixed(static_cast<double>(nodes) / 10.0, 1)});
+  }
+  table.print();
+  std::cout << "\n(speedups relative to 10 nodes; ideal = nodes/10)\n";
+  return 0;
+}

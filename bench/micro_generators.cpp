@@ -1,0 +1,167 @@
+// Micro benchmarks (google-benchmark) for the per-edge costs behind the
+// paper's O(|E| x |properties|) complexity claims: alias sampling, the
+// property tuple draw, the preferential-attachment stage, the Kronecker
+// recursive descent, distinct() dedup, and a PageRank iteration.
+#include <benchmark/benchmark.h>
+
+#include "gen/kronecker.hpp"
+#include "gen/pgpba.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/betweenness.hpp"
+#include "graph/pagerank.hpp"
+#include "mr/dataset.hpp"
+#include "seed/seed.hpp"
+#include "stats/alias_table.hpp"
+#include "trace/traffic_model.hpp"
+
+namespace csb {
+namespace {
+
+const SeedBundle& shared_seed() {
+  static const SeedBundle seed = [] {
+    TrafficModelConfig config;
+    config.benign_sessions = 10'000;
+    return build_seed_from_netflow(
+        sessions_to_netflow(TrafficModel(config).generate_benign()));
+  }();
+  return seed;
+}
+
+void BM_AliasSample(benchmark::State& state) {
+  std::vector<double> weights(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  for (double& w : weights) w = rng.uniform_double() + 0.01;
+  const AliasTable table(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasSample)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_PropertyTupleSample(benchmark::State& state) {
+  const SeedBundle& seed = shared_seed();
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seed.profile.sample_properties(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PropertyTupleSample);
+
+void BM_KroneckerDescent(benchmark::State& state) {
+  // One recursive descent = one synthetic edge placement at order k.
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  Initiator initiator;
+  const double sum = initiator.sum();
+  const double p00 = initiator.theta[0][0] / sum;
+  const double p01 = initiator.theta[0][1] / sum;
+  const double p10 = initiator.theta[1][0] / sum;
+  Rng rng(3);
+  for (auto _ : state) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (std::uint32_t level = 0; level < k; ++level) {
+      const double x = rng.uniform_double();
+      std::uint64_t i = 1;
+      std::uint64_t j = 1;
+      if (x < p00) {
+        i = 0;
+        j = 0;
+      } else if (x < p00 + p01) {
+        i = 0;
+      } else if (x < p00 + p01 + p10) {
+        j = 0;
+      }
+      u = (u << 1) | i;
+      v = (v << 1) | j;
+    }
+    benchmark::DoNotOptimize(u + v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KroneckerDescent)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_PgpbaIteration(benchmark::State& state) {
+  const SeedBundle& seed = shared_seed();
+  ClusterSim cluster(ClusterConfig{.nodes = 1, .cores_per_node = 2});
+  for (auto _ : state) {
+    PgpbaOptions options;
+    options.desired_edges = seed.graph.num_edges() + 1;  // one iteration
+    options.fraction = 1.0;
+    options.with_properties = false;
+    const GenResult result =
+        pgpba_generate(seed.graph, seed.profile, cluster, options);
+    benchmark::DoNotOptimize(result.graph.num_edges());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(
+                                result.graph.num_edges() -
+                                seed.graph.num_edges()));
+  }
+}
+BENCHMARK(BM_PgpbaIteration)->Unit(benchmark::kMillisecond);
+
+void BM_DistinctDedup(benchmark::State& state) {
+  ClusterSim cluster(ClusterConfig{.nodes = 1, .cores_per_node = 2});
+  Rng rng(4);
+  std::vector<Edge> edges(100'000);
+  for (auto& e : edges) {
+    e = Edge{rng.uniform(1 << 12), rng.uniform(1 << 12)};
+  }
+  const auto ds = Dataset<Edge>::from_vector(cluster, edges, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.distinct(edge_key).count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_DistinctDedup)->Unit(benchmark::kMillisecond);
+
+void BM_SccLabeling(benchmark::State& state) {
+  const SeedBundle& seed = shared_seed();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strongly_connected_components(seed.graph));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(seed.graph.num_edges()));
+}
+BENCHMARK(BM_SccLabeling)->Unit(benchmark::kMillisecond);
+
+void BM_CoreDecomposition(benchmark::State& state) {
+  const SeedBundle& seed = shared_seed();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core_numbers(seed.graph));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(seed.graph.num_edges()));
+}
+BENCHMARK(BM_CoreDecomposition)->Unit(benchmark::kMillisecond);
+
+void BM_SampledBetweenness(benchmark::State& state) {
+  const SeedBundle& seed = shared_seed();
+  ThreadPool pool(2);
+  BetweennessOptions options;
+  options.sample_sources = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        betweenness_centrality(seed.graph, pool, options));
+  }
+}
+BENCHMARK(BM_SampledBetweenness)->Unit(benchmark::kMillisecond);
+
+void BM_PageRankIteration(benchmark::State& state) {
+  const SeedBundle& seed = shared_seed();
+  ThreadPool pool(2);
+  for (auto _ : state) {
+    PageRankOptions options;
+    options.max_iterations = 1;
+    options.tolerance = 0.0;
+    benchmark::DoNotOptimize(pagerank(seed.graph, pool, options).scores);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(seed.graph.num_edges()));
+}
+BENCHMARK(BM_PageRankIteration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace csb

@@ -1,0 +1,73 @@
+// The benchmark's workload axis (paper §I): run the cyber-security query
+// mix — node, edge, path and sub-graph queries — against synthetic datasets
+// produced by PGPBA and PGSK, and report throughput per query class. This
+// is the consumer side of the generated data: an IDS benchmark executes
+// exactly this kind of stream against the platform under test.
+#include <iostream>
+
+#include "bench_support/report.hpp"
+#include "common.hpp"
+#include "gen/pgpba.hpp"
+#include "gen/pgsk.hpp"
+#include "util/stopwatch.hpp"
+#include "workload/query_engine.hpp"
+#include "workload/workload_runner.hpp"
+
+int main() {
+  using namespace csb;
+  print_experiment_header(
+      "Workload — cyber-security query mix over synthetic datasets",
+      "node/edge/path/sub-graph queries (paper Section I's workload "
+      "catalogue) against PGPBA- and PGSK-generated property graphs.");
+
+  const SeedBundle seed = bench::default_seed(bench::scaled(15'000));
+  ClusterSim cluster(ClusterConfig{.nodes = 8, .cores_per_node = 4});
+  const std::uint64_t target = 16 * seed.graph.num_edges();
+
+  PgpbaOptions pgpba_options;
+  pgpba_options.desired_edges = target;
+  pgpba_options.fraction = 1.0;
+  const GenResult pgpba =
+      pgpba_generate(seed.graph, seed.profile, cluster, pgpba_options);
+
+  PgskOptions pgsk_options;
+  pgsk_options.desired_edges = target;
+  pgsk_options.fit.gradient_iterations = 10;
+  pgsk_options.fit.swaps_per_iteration = 300;
+  pgsk_options.fit.burn_in_swaps = 1000;
+  const GenResult pgsk =
+      pgsk_generate(seed.graph, seed.profile, cluster, pgsk_options);
+
+  ReportTable table("mixed-stream throughput",
+                    {"dataset", "vertices", "edges", "queries",
+                     "queries_per_s"});
+  const auto run = [&](const std::string& name, const PropertyGraph& graph) {
+    Stopwatch build;
+    const GraphQueryEngine engine(graph);
+    const double build_s = build.seconds();
+    WorkloadOptions options;
+    options.queries = bench::scaled(2'000);
+    options.threads = 2;
+    const WorkloadResult result = run_workload(engine, options);
+    table.add_row({name, cell_u64(graph.num_vertices()),
+                   cell_u64(graph.num_edges()),
+                   cell_u64(result.total_queries),
+                   cell_u64(static_cast<std::uint64_t>(
+                       result.queries_per_second()))});
+    std::cout << name << ": engine build " << build_s << " s, checksum "
+              << result.checksum << "\n";
+    return result;
+  };
+  const WorkloadResult seed_result = run("seed", seed.graph);
+  run("pgpba", pgpba.graph);
+  run("pgsk", pgsk.graph);
+  table.print();
+
+  ReportTable mix("query mix (seed run)", {"class", "count"});
+  for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+    mix.add_row({std::string(to_string(static_cast<QueryClass>(c))),
+                 cell_u64(seed_result.per_class[c])});
+  }
+  mix.print();
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "bench_support/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace csb {
+
+ReportTable::ReportTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  CSB_CHECK_MSG(!columns_.empty(), "table needs columns");
+}
+
+void ReportTable::add_row(std::vector<std::string> cells) {
+  CSB_CHECK_MSG(cells.size() == columns_.size(),
+                "row width does not match the header");
+  rows_.push_back(std::move(cells));
+}
+
+void ReportTable::print() const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  std::cout << "== " << title_ << " ==\n";
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::cout << cells[c]
+                << std::string(width[c] - cells[c].size() + 2, ' ');
+    }
+    std::cout << '\n';
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+std::string cell_u64(std::uint64_t value) { return with_commas(value); }
+
+std::string cell_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string cell_sci(double value, int digits) { return sci(value, digits); }
+
+void print_experiment_header(const std::string& figure,
+                             const std::string& paper_claim) {
+  std::cout << "\n### " << figure << "\n"
+            << "paper: " << paper_claim << "\n\n";
+  std::cout.flush();
+}
+
+}  // namespace csb

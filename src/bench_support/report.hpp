@@ -1,0 +1,43 @@
+// Console table/series rendering for the benchmark harness: every bench
+// binary prints the rows/series of the paper figure it regenerates through
+// these helpers, so outputs are uniform and grep-friendly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csb {
+
+/// Fixed-width table with a title banner, e.g.
+///   == Fig. 9: Edges Generation Time ==
+///   edges        pgpba_s   pgsk_s
+///   4,000,000    1.23      2.34
+class ReportTable {
+ public:
+  ReportTable(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Cell formatting helpers.
+std::string cell_u64(std::uint64_t value);
+std::string cell_fixed(double value, int decimals = 3);
+std::string cell_sci(double value, int digits = 3);
+
+/// Prints an "experiment banner" describing the paper artifact being
+/// regenerated and the expected qualitative shape.
+void print_experiment_header(const std::string& figure,
+                             const std::string& paper_claim);
+
+}  // namespace csb

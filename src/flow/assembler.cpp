@@ -1,0 +1,235 @@
+#include "flow/assembler.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace csb {
+
+namespace {
+
+Protocol protocol_from_number(std::uint8_t number) {
+  switch (number) {
+    case 1: return Protocol::kIcmp;
+    case 6: return Protocol::kTcp;
+    case 17: return Protocol::kUdp;
+    default:
+      throw CsbError("unsupported protocol number " + std::to_string(number));
+  }
+}
+
+}  // namespace
+
+std::size_t FlowAssembler::KeyHash::operator()(const Key& k) const noexcept {
+  std::uint64_t h = hash_pair(
+      (static_cast<std::uint64_t>(k.ip_a) << 16) | k.port_a,
+      (static_cast<std::uint64_t>(k.ip_b) << 16) | k.port_b);
+  return static_cast<std::size_t>(hash_combine(h, k.protocol));
+}
+
+FlowAssembler::FlowAssembler(FlowAssemblerOptions options)
+    : options_(options) {
+  CSB_CHECK_MSG(options_.idle_timeout_us > 0, "idle timeout must be positive");
+}
+
+FlowAssembler::Key FlowAssembler::canonical_key(
+    const DecodedPacket& packet) noexcept {
+  // Direction-independent key: order endpoints by (ip, port).
+  const auto a = std::make_pair(packet.src_ip, packet.src_port);
+  const auto b = std::make_pair(packet.dst_ip, packet.dst_port);
+  Key key{};
+  key.protocol = packet.protocol;
+  if (a <= b) {
+    key.ip_a = packet.src_ip;
+    key.port_a = packet.src_port;
+    key.ip_b = packet.dst_ip;
+    key.port_b = packet.dst_port;
+  } else {
+    key.ip_a = packet.dst_ip;
+    key.port_a = packet.dst_port;
+    key.ip_b = packet.src_ip;
+    key.port_b = packet.src_port;
+  }
+  return key;
+}
+
+std::size_t FlowAssembler::add(const DecodedPacket& packet) {
+  // Periodic expiry sweep: amortized by running at most once per second of
+  // capture time.
+  std::size_t expired = 0;
+  if (packet.timestamp_us >= last_expiry_check_us_ + 1'000'000) {
+    const std::size_t before = done_.size();
+    expire_older_than(packet.timestamp_us);
+    last_expiry_check_us_ = packet.timestamp_us;
+    expired = done_.size() - before;
+  }
+
+  const Key key = canonical_key(packet);
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    Flow flow;
+    flow.record.src_ip = packet.src_ip;
+    flow.record.dst_ip = packet.dst_ip;
+    flow.record.protocol = protocol_from_number(packet.protocol);
+    flow.record.src_port = packet.src_port;
+    flow.record.dst_port = packet.dst_port;
+    flow.record.first_us = packet.timestamp_us;
+    flow.record.last_us = packet.timestamp_us;
+    it = table_.emplace(key, std::move(flow)).first;
+  }
+
+  Flow& flow = it->second;
+  NetflowRecord& rec = flow.record;
+
+  // Active timeout: cut the flow and start a fresh one.
+  if (packet.timestamp_us - rec.first_us > options_.active_timeout_us) {
+    Flow fresh;
+    fresh.record.src_ip = packet.src_ip;
+    fresh.record.dst_ip = packet.dst_ip;
+    fresh.record.protocol = protocol_from_number(packet.protocol);
+    fresh.record.src_port = packet.src_port;
+    fresh.record.dst_port = packet.dst_port;
+    fresh.record.first_us = packet.timestamp_us;
+    fresh.record.last_us = packet.timestamp_us;
+    finalize(std::move(flow));
+    it->second = std::move(fresh);
+    return add(packet) + expired + 1;
+  }
+
+  const bool from_originator =
+      packet.src_ip == rec.src_ip && packet.src_port == rec.src_port;
+  rec.last_us = std::max(rec.last_us, packet.timestamp_us);
+  if (from_originator) {
+    rec.out_bytes += packet.wire_bytes;
+    rec.out_pkts += 1;
+  } else {
+    rec.in_bytes += packet.wire_bytes;
+    rec.in_pkts += 1;
+  }
+
+  if (packet.protocol == 6) {
+    if (packet.tcp_flags & kTcpSyn) ++rec.syn_count;
+    if (packet.tcp_flags & kTcpAck) ++rec.ack_count;
+    if (from_originator) {
+      if ((packet.tcp_flags & kTcpSyn) && !(packet.tcp_flags & kTcpAck)) {
+        flow.syn_from_orig = true;
+      }
+      if (packet.tcp_flags & kTcpFin) flow.fin_from_orig = true;
+      if (packet.tcp_flags & kTcpRst) flow.rst_from_orig = true;
+    } else {
+      if ((packet.tcp_flags & kTcpSyn) && (packet.tcp_flags & kTcpAck)) {
+        flow.synack_from_resp = true;
+      }
+      if (packet.tcp_flags & kTcpFin) flow.fin_from_resp = true;
+      if (packet.tcp_flags & kTcpRst) flow.rst_from_resp = true;
+    }
+  }
+  return expired;
+}
+
+void FlowAssembler::expire_older_than(std::uint64_t now_us) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (now_us - it->second.record.last_us > options_.idle_timeout_us) {
+      finalize(std::move(it->second));
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+ConnState FlowAssembler::classify_tcp(const Flow& flow) noexcept {
+  const bool established = flow.syn_from_orig && flow.synack_from_resp;
+  if (flow.syn_from_orig && flow.rst_from_resp && !established) {
+    return ConnState::kRej;
+  }
+  if (established) {
+    if (flow.fin_from_orig && flow.fin_from_resp) return ConnState::kSF;
+    if (flow.rst_from_orig) return ConnState::kRsto;
+    if (flow.rst_from_resp) return ConnState::kRstr;
+    return ConnState::kS1;
+  }
+  if (flow.syn_from_orig) return ConnState::kS0;
+  return ConnState::kOth;  // mid-stream: no handshake observed
+}
+
+void FlowAssembler::finalize(Flow flow) {
+  if (flow.record.protocol == Protocol::kTcp) {
+    flow.record.state = classify_tcp(flow);
+  } else {
+    flow.record.state = ConnState::kNone;
+  }
+  done_.push_back(std::move(flow.record));
+}
+
+std::vector<NetflowRecord> FlowAssembler::finish() {
+  for (auto& [key, flow] : table_) finalize(std::move(flow));
+  table_.clear();
+  std::sort(done_.begin(), done_.end(),
+            [](const NetflowRecord& a, const NetflowRecord& b) {
+              return a.first_us < b.first_us;
+            });
+  std::vector<NetflowRecord> out = std::move(done_);
+  done_.clear();
+  last_expiry_check_us_ = 0;
+  return out;
+}
+
+std::vector<NetflowRecord> assemble_flows(
+    const std::vector<DecodedPacket>& packets, FlowAssemblerOptions options) {
+  FlowAssembler assembler(options);
+  for (const auto& packet : packets) assembler.add(packet);
+  return assembler.finish();
+}
+
+std::uint64_t FlowAssembler::shard_hash(const DecodedPacket& packet) noexcept {
+  const Key key = canonical_key(packet);
+  return KeyHash{}(key);
+}
+
+std::vector<NetflowRecord> assemble_flows_parallel(
+    const std::vector<DecodedPacket>& packets, ThreadPool& pool,
+    std::size_t shards, FlowAssemblerOptions options) {
+  if (shards == 0) shards = pool.size();
+  shards = std::max<std::size_t>(1, shards);
+  if (shards == 1 || packets.size() < 1024) {
+    return assemble_flows(packets, options);
+  }
+
+  // Route each packet to its flow's shard; per-shard order preserves the
+  // global timestamp order, which the assembler requires.
+  std::vector<std::vector<DecodedPacket>> buckets(shards);
+  for (auto& bucket : buckets) {
+    bucket.reserve(packets.size() / shards + 16);
+  }
+  for (const auto& packet : packets) {
+    buckets[FlowAssembler::shard_hash(packet) % shards].push_back(packet);
+  }
+
+  std::vector<std::vector<NetflowRecord>> per_shard(shards);
+  std::vector<std::future<void>> pending;
+  pending.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    pending.push_back(pool.submit([&buckets, &per_shard, options, s] {
+      per_shard[s] = assemble_flows(buckets[s], options);
+    }));
+  }
+  for (auto& f : pending) f.get();
+
+  std::vector<NetflowRecord> merged;
+  std::size_t total = 0;
+  for (const auto& records : per_shard) total += records.size();
+  merged.reserve(total);
+  for (auto& records : per_shard) {
+    merged.insert(merged.end(), std::make_move_iterator(records.begin()),
+                  std::make_move_iterator(records.end()));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const NetflowRecord& a, const NetflowRecord& b) {
+              return a.first_us < b.first_us;
+            });
+  return merged;
+}
+
+}  // namespace csb

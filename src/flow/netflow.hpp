@@ -1,0 +1,57 @@
+// NetFlow record — one unidirectional-pair flow summary (paper §III maps
+// these onto property-graph edges; RFC 3954 is the wire ancestor).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/properties.hpp"
+
+namespace csb {
+
+struct NetflowRecord {
+  std::uint32_t src_ip = 0;  ///< flow originator (first packet's source)
+  std::uint32_t dst_ip = 0;
+  Protocol protocol = Protocol::kTcp;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint64_t first_us = 0;  ///< timestamp of the first packet
+  std::uint64_t last_us = 0;   ///< timestamp of the last packet
+  std::uint64_t out_bytes = 0;  ///< originator -> responder wire bytes
+  std::uint64_t in_bytes = 0;   ///< responder -> originator wire bytes
+  std::uint32_t out_pkts = 0;
+  std::uint32_t in_pkts = 0;
+  std::uint32_t syn_count = 0;  ///< SYN flags seen (both directions)
+  std::uint32_t ack_count = 0;  ///< ACK flags seen (both directions)
+  ConnState state = ConnState::kNone;
+
+  [[nodiscard]] std::uint32_t duration_ms() const noexcept {
+    return static_cast<std::uint32_t>((last_us - first_us) / 1000);
+  }
+
+  /// The §III property tuple of this flow.
+  [[nodiscard]] EdgeProperties to_edge_properties() const noexcept {
+    return EdgeProperties{
+        .protocol = protocol,
+        .src_port = src_port,
+        .dst_port = dst_port,
+        .duration_ms = duration_ms(),
+        .out_bytes = out_bytes,
+        .in_bytes = in_bytes,
+        .out_pkts = out_pkts,
+        .in_pkts = in_pkts,
+        .state = state,
+    };
+  }
+
+  friend bool operator==(const NetflowRecord&,
+                         const NetflowRecord&) = default;
+};
+
+/// Dotted-quad rendering of a host-order IPv4 address.
+std::string ip_to_string(std::uint32_t ip);
+
+/// Parses dotted-quad; throws CsbError on malformed input.
+std::uint32_t ip_from_string(const std::string& text);
+
+}  // namespace csb

@@ -1,0 +1,129 @@
+#include "flow/netflow_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace csb {
+
+std::string ip_to_string(std::uint32_t ip) {
+  std::ostringstream os;
+  os << ((ip >> 24) & 0xff) << '.' << ((ip >> 16) & 0xff) << '.'
+     << ((ip >> 8) & 0xff) << '.' << (ip & 0xff);
+  return os.str();
+}
+
+std::uint32_t ip_from_string(const std::string& text) {
+  std::uint32_t parts[4];
+  std::size_t at = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::size_t consumed = 0;
+    CSB_CHECK_MSG(at < text.size(), "malformed IPv4 address: " << text);
+    unsigned long value = 0;
+    try {
+      value = std::stoul(text.substr(at), &consumed, 10);
+    } catch (const std::exception&) {
+      throw CsbError("malformed IPv4 address: " + text);
+    }
+    CSB_CHECK_MSG(value <= 255, "malformed IPv4 address: " << text);
+    parts[i] = static_cast<std::uint32_t>(value);
+    at += consumed;
+    if (i < 3) {
+      CSB_CHECK_MSG(at < text.size() && text[at] == '.',
+                    "malformed IPv4 address: " << text);
+      ++at;
+    }
+  }
+  CSB_CHECK_MSG(at == text.size(), "malformed IPv4 address: " << text);
+  return (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3];
+}
+
+namespace {
+
+Protocol protocol_from_name(const std::string& s) {
+  if (s == "TCP") return Protocol::kTcp;
+  if (s == "UDP") return Protocol::kUdp;
+  if (s == "ICMP") return Protocol::kIcmp;
+  throw CsbError("unknown protocol: " + s);
+}
+
+ConnState state_from_name(const std::string& s) {
+  if (s == "-") return ConnState::kNone;
+  if (s == "S0") return ConnState::kS0;
+  if (s == "S1") return ConnState::kS1;
+  if (s == "SF") return ConnState::kSF;
+  if (s == "REJ") return ConnState::kRej;
+  if (s == "RSTO") return ConnState::kRsto;
+  if (s == "RSTR") return ConnState::kRstr;
+  if (s == "OTH") return ConnState::kOth;
+  throw CsbError("unknown conn state: " + s);
+}
+
+}  // namespace
+
+void save_netflow_csv(const std::vector<NetflowRecord>& records,
+                      std::ostream& out) {
+  out << "src_ip,dst_ip,protocol,src_port,dst_port,first_us,last_us,"
+         "out_bytes,in_bytes,out_pkts,in_pkts,syn_count,ack_count,state\n";
+  for (const auto& r : records) {
+    out << ip_to_string(r.src_ip) << ',' << ip_to_string(r.dst_ip) << ','
+        << to_string(r.protocol) << ',' << r.src_port << ',' << r.dst_port
+        << ',' << r.first_us << ',' << r.last_us << ',' << r.out_bytes << ','
+        << r.in_bytes << ',' << r.out_pkts << ',' << r.in_pkts << ','
+        << r.syn_count << ',' << r.ack_count << ',' << to_string(r.state)
+        << '\n';
+  }
+  CSB_CHECK_MSG(out.good(), "failed writing netflow CSV");
+}
+
+std::vector<NetflowRecord> load_netflow_csv(std::istream& in) {
+  std::string line;
+  CSB_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                "empty netflow CSV");
+  CSB_CHECK_MSG(line.rfind("src_ip,", 0) == 0, "missing netflow CSV header");
+  std::vector<NetflowRecord> records;
+  std::vector<std::string> fields;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    fields.clear();
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    CSB_CHECK_MSG(fields.size() == 14, "bad netflow CSV row: " << line);
+    NetflowRecord r;
+    r.src_ip = ip_from_string(fields[0]);
+    r.dst_ip = ip_from_string(fields[1]);
+    r.protocol = protocol_from_name(fields[2]);
+    r.src_port = static_cast<std::uint16_t>(std::stoul(fields[3]));
+    r.dst_port = static_cast<std::uint16_t>(std::stoul(fields[4]));
+    r.first_us = std::stoull(fields[5]);
+    r.last_us = std::stoull(fields[6]);
+    r.out_bytes = std::stoull(fields[7]);
+    r.in_bytes = std::stoull(fields[8]);
+    r.out_pkts = static_cast<std::uint32_t>(std::stoul(fields[9]));
+    r.in_pkts = static_cast<std::uint32_t>(std::stoul(fields[10]));
+    r.syn_count = static_cast<std::uint32_t>(std::stoul(fields[11]));
+    r.ack_count = static_cast<std::uint32_t>(std::stoul(fields[12]));
+    r.state = state_from_name(fields[13]);
+    records.push_back(r);
+  }
+  return records;
+}
+
+void save_netflow_csv_file(const std::vector<NetflowRecord>& records,
+                           const std::string& path) {
+  std::ofstream out(path);
+  CSB_CHECK_MSG(out.is_open(), "cannot open for writing: " << path);
+  save_netflow_csv(records, out);
+}
+
+std::vector<NetflowRecord> load_netflow_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  CSB_CHECK_MSG(in.is_open(), "cannot open for reading: " << path);
+  return load_netflow_csv(in);
+}
+
+}  // namespace csb

@@ -1,0 +1,155 @@
+#include "gen/baselines.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "stats/alias_table.hpp"
+#include "util/error.hpp"
+
+namespace csb {
+
+PropertyGraph classic_barabasi_albert(std::uint64_t vertices, std::uint32_t m,
+                                      std::uint64_t seed) {
+  CSB_CHECK_MSG(m >= 1, "BA needs m >= 1 edges per vertex");
+  CSB_CHECK_MSG(vertices > m, "BA needs more vertices than m");
+  Rng rng(seed);
+  PropertyGraph graph(vertices);
+
+  // Repeated-endpoint list: vertex v appears once per incident edge, so a
+  // uniform draw is degree-proportional (the same trick PGPBA lifts to the
+  // distributed edge list).
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * m * vertices);
+
+  // Seed clique over the first m+1 vertices (ring, to keep it sparse).
+  const std::uint64_t m0 = m + 1;
+  for (std::uint64_t v = 0; v < m0; ++v) {
+    const VertexId next = (v + 1) % m0;
+    graph.add_edge(v, next);
+    endpoints.push_back(v);
+    endpoints.push_back(next);
+  }
+
+  for (std::uint64_t v = m0; v < vertices; ++v) {
+    for (std::uint32_t j = 0; j < m; ++j) {
+      const VertexId target = endpoints[rng.uniform(endpoints.size())];
+      graph.add_edge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return graph;
+}
+
+PropertyGraph erdos_renyi_gnm(std::uint64_t vertices, std::uint64_t edges,
+                              std::uint64_t seed) {
+  CSB_CHECK_MSG(vertices >= 1, "ER needs vertices");
+  Rng rng(seed);
+  PropertyGraph graph(vertices);
+  graph.reserve_edges(edges);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    graph.add_edge(rng.uniform(vertices), rng.uniform(vertices));
+  }
+  return graph;
+}
+
+PropertyGraph chung_lu(std::span<const double> weights, std::uint64_t edges,
+                       std::uint64_t seed) {
+  CSB_CHECK_MSG(!weights.empty(), "Chung-Lu needs a weight sequence");
+  Rng rng(seed);
+  const AliasTable table(weights);
+  PropertyGraph graph(weights.size());
+  graph.reserve_edges(edges);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    graph.add_edge(table.sample(rng), table.sample(rng));
+  }
+  return graph;
+}
+
+PropertyGraph stochastic_block_model(std::span<const std::uint64_t> block_sizes,
+                                     std::span<const double> mixing,
+                                     std::uint64_t edges, std::uint64_t seed) {
+  const std::size_t blocks = block_sizes.size();
+  CSB_CHECK_MSG(blocks > 0, "SBM needs at least one block");
+  CSB_CHECK_MSG(mixing.size() == blocks * blocks,
+                "mixing matrix must be blocks x blocks (row-major)");
+
+  // Block-pair sampling weights are mixing[i][j] scaled by the number of
+  // endpoint pairs, so mixing is a per-pair probability up to a constant.
+  std::vector<std::uint64_t> block_start(blocks + 1, 0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    CSB_CHECK_MSG(block_sizes[b] > 0, "SBM blocks must be non-empty");
+    block_start[b + 1] = block_start[b] + block_sizes[b];
+  }
+  std::vector<double> pair_weights(blocks * blocks);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    for (std::size_t j = 0; j < blocks; ++j) {
+      CSB_CHECK_MSG(mixing[i * blocks + j] >= 0.0,
+                    "mixing probabilities must be nonnegative");
+      pair_weights[i * blocks + j] =
+          mixing[i * blocks + j] * static_cast<double>(block_sizes[i]) *
+          static_cast<double>(block_sizes[j]);
+    }
+  }
+  const AliasTable pair_table(pair_weights);
+
+  Rng rng(seed);
+  PropertyGraph graph(block_start.back());
+  graph.reserve_edges(edges);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    const std::size_t cell = pair_table.sample(rng);
+    const std::size_t bi = cell / blocks;
+    const std::size_t bj = cell % blocks;
+    graph.add_edge(block_start[bi] + rng.uniform(block_sizes[bi]),
+                   block_start[bj] + rng.uniform(block_sizes[bj]));
+  }
+  return graph;
+}
+
+PropertyGraph rmat(std::uint32_t scale, std::uint64_t edges,
+                   const RmatParams& params, std::uint64_t seed) {
+  CSB_CHECK_MSG(scale >= 1 && scale < 63, "R-MAT scale out of range");
+  const double total = params.a + params.b + params.c + params.d;
+  CSB_CHECK_MSG(std::abs(total - 1.0) < 1e-9,
+                "R-MAT probabilities must sum to 1");
+  CSB_CHECK_MSG(params.noise >= 0.0 && params.noise < 1.0,
+                "R-MAT noise must be in [0, 1)");
+
+  Rng rng(seed);
+  PropertyGraph graph(1ULL << scale);
+  graph.reserve_edges(edges);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (std::uint32_t level = 0; level < scale; ++level) {
+      // Per-level noise de-correlates the quadrant probabilities, the
+      // standard trick against R-MAT's staircase artifacts.
+      const auto jitter = [&](double p) {
+        return p * (1.0 - params.noise + 2.0 * params.noise *
+                                             rng.uniform_double());
+      };
+      const double a = jitter(params.a);
+      const double b = jitter(params.b);
+      const double c = jitter(params.c);
+      const double d = jitter(params.d);
+      const double x = rng.uniform_double() * (a + b + c + d);
+      std::uint64_t i = 1;
+      std::uint64_t j = 1;
+      if (x < a) {
+        i = 0;
+        j = 0;
+      } else if (x < a + b) {
+        i = 0;
+      } else if (x < a + b + c) {
+        j = 0;
+      }
+      u = (u << 1) | i;
+      v = (v << 1) | j;
+    }
+    graph.add_edge(u, v);
+  }
+  return graph;
+}
+
+}  // namespace csb

@@ -1,0 +1,54 @@
+// Baseline random-graph generators from the paper's §II background, used by
+// the ablation benches and as structural references in tests: classic
+// sequential Barabási-Albert, Erdős-Rényi G(n, m), and Chung-Lu.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/property_graph.hpp"
+#include "util/random.hpp"
+
+namespace csb {
+
+/// Classic BA preferential attachment (Barabási & Albert 1999): starts from
+/// a small seed clique and attaches each new vertex with `m` edges whose
+/// endpoints are chosen degree-proportionally (repeated-endpoint list trick,
+/// O(|E|)). Directed edges point new -> old.
+PropertyGraph classic_barabasi_albert(std::uint64_t vertices, std::uint32_t m,
+                                      std::uint64_t seed);
+
+/// Erdős-Rényi G(n, m): exactly `edges` directed edges drawn uniformly
+/// (with replacement over pairs, multi-edges possible — matching the
+/// property-graph multiset semantics).
+PropertyGraph erdos_renyi_gnm(std::uint64_t vertices, std::uint64_t edges,
+                              std::uint64_t seed);
+
+/// Chung-Lu: edge (u, v) appears with probability w_u w_v / sum(w); here
+/// realized by weight-proportional endpoint sampling of `edges` edges,
+/// which preserves the expected degree sequence `weights`.
+PropertyGraph chung_lu(std::span<const double> weights, std::uint64_t edges,
+                       std::uint64_t seed);
+
+/// Stochastic block model (Holland et al. 1983, §II's community-structure
+/// reference): vertices are partitioned into blocks by `block_sizes`;
+/// `edges` directed edges are drawn with block-pair probabilities
+/// proportional to `mixing[i][j]` (row-major, size blocks x blocks) and
+/// uniform endpoints within the chosen blocks.
+PropertyGraph stochastic_block_model(std::span<const std::uint64_t> block_sizes,
+                                     std::span<const double> mixing,
+                                     std::uint64_t edges, std::uint64_t seed);
+
+/// R-MAT (Chakrabarti et al. 2004, §II's recursive-matrix reference): the
+/// recursive quadrant descent with probabilities (a, b, c, d) summing to 1
+/// and per-level noise, producing 2^scale vertices. Multi-edges are kept
+/// (matching the property-graph multiset semantics); this is the Graph500
+/// ancestor of the stochastic Kronecker generator.
+struct RmatParams {
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;  // Graph500 defaults
+  double noise = 0.1;  ///< per-level multiplicative jitter on (a,b,c,d)
+};
+PropertyGraph rmat(std::uint32_t scale, std::uint64_t edges,
+                   const RmatParams& params, std::uint64_t seed);
+
+}  // namespace csb

@@ -1,0 +1,35 @@
+// Common types of the synthetic-data generators.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/property_graph.hpp"
+#include "mr/cluster.hpp"
+
+namespace csb {
+
+/// A bare structural edge as it travels through the Map-Reduce datasets.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Identity key for Dataset::distinct — exact for |V| < 2^32 (all our
+/// configurations), which is what makes distinct() a true set operation.
+inline std::uint64_t edge_key(const Edge& e) noexcept {
+  return (e.src << 32) | (e.dst & 0xffffffffULL);
+}
+
+/// Outcome of one generator run: the synthetic property-graph plus the
+/// virtual-cluster cost breakdown the performance benches consume.
+struct GenResult {
+  PropertyGraph graph;
+  JobMetrics metrics;             ///< whole job (structure + properties)
+  double structure_seconds = 0.0;  ///< simulated time of the structure phase
+  double property_seconds = 0.0;   ///< simulated time of the property phase
+  std::uint64_t iterations = 0;    ///< growth iterations executed
+};
+
+}  // namespace csb

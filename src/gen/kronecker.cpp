@@ -1,0 +1,104 @@
+#include "gen/kronecker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace csb {
+
+Dataset<Edge> stochastic_kronecker_edges(
+    ClusterSim& cluster, const StochasticKroneckerOptions& options) {
+  CSB_CHECK_MSG(options.k >= 1 && options.k < 63, "kronecker order out of range");
+  const std::size_t partitions =
+      options.partitions != 0 ? options.partitions
+                              : std::max<std::size_t>(
+                                    1, cluster.config().total_cores() * 2);
+  const std::uint64_t target =
+      options.edges_to_place != 0
+          ? options.edges_to_place
+          : static_cast<std::uint64_t>(
+                std::llround(options.initiator.expected_edges(options.k)));
+  CSB_CHECK_MSG(target > 0, "nothing to generate (zero expected edges)");
+  // A k-level descent can only produce 4^k distinct cells; demanding close
+  // to that many distinct edges would loop forever.
+  if (options.k < 31) {
+    CSB_CHECK_MSG(target <= (1ULL << (2 * options.k)),
+                  "edges_to_place exceeds the 4^k distinct-edge capacity");
+  }
+
+  // Cell probabilities of one descent level.
+  const double sum = options.initiator.sum();
+  const double p00 = options.initiator.theta[0][0] / sum;
+  const double p01 = options.initiator.theta[0][1] / sum;
+  const double p10 = options.initiator.theta[1][0] / sum;
+
+  const auto descend = [&](Rng& rng) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (std::uint32_t level = 0; level < options.k; ++level) {
+      const double x = rng.uniform_double();
+      std::uint64_t i;
+      std::uint64_t j;
+      if (x < p00) {
+        i = 0; j = 0;
+      } else if (x < p00 + p01) {
+        i = 0; j = 1;
+      } else if (x < p00 + p01 + p10) {
+        i = 1; j = 0;
+      } else {
+        i = 1; j = 1;
+      }
+      u = (u << 1) | i;
+      v = (v << 1) | j;
+    }
+    return Edge{u, v};
+  };
+
+  Dataset<Edge> edges(cluster, std::vector<std::vector<Edge>>(partitions));
+  std::uint64_t have = 0;
+  for (std::uint32_t round = 0; round < options.max_rounds; ++round) {
+    const std::uint64_t missing = target - have;
+    const auto to_generate = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(missing) * options.oversample));
+    const std::uint64_t per_part =
+        (to_generate + partitions - 1) / partitions;
+
+    Dataset<Edge> fresh = Dataset<Edge>::generate(
+        cluster, partitions, [&](std::size_t p) {
+          Rng rng = Rng(options.seed ^ (round * 0x51ed2701ULL)).fork(p);
+          std::vector<Edge> out;
+          out.reserve(per_part);
+          for (std::uint64_t i = 0; i < per_part; ++i) {
+            out.push_back(descend(rng));
+          }
+          return out;
+        });
+
+    edges = edges.concat(fresh).distinct(edge_key);
+    have = edges.count();
+    if (have >= target) return edges;
+  }
+  throw CsbError(
+      "stochastic Kronecker did not reach the target edge count; the "
+      "initiator is too concentrated for the requested size");
+}
+
+PropertyGraph deterministic_kronecker(
+    const std::array<std::array<bool, 2>, 2>& initiator, std::uint32_t k) {
+  CSB_CHECK_MSG(k >= 1 && k <= 12, "deterministic kronecker is O(4^k); k <= 12");
+  const std::uint64_t n = 1ULL << k;
+  PropertyGraph graph(n);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    for (std::uint64_t v = 0; v < n; ++v) {
+      bool present = true;
+      for (std::uint32_t level = 0; level < k && present; ++level) {
+        present = initiator[(u >> level) & 1][(v >> level) & 1];
+      }
+      if (present) graph.add_edge(u, v);
+    }
+  }
+  return graph;
+}
+
+}  // namespace csb

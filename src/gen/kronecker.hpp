@@ -1,0 +1,43 @@
+// Stochastic (and deterministic) Kronecker graph generation.
+//
+// The stochastic generator is the Map-Reduce recursive descent of paper
+// Fig. 3 line 7: every edge independently walks k levels of the 2x2
+// initiator, choosing cell (i,j) with probability theta_ij / sum(theta) and
+// appending the bits to the (row, column) labels. Workers may produce
+// duplicate edges, so the result is deduplicated with Dataset::distinct()
+// and generation loops until the distinct count reaches the expected edge
+// count — exactly the paper's described implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "gen/generator.hpp"
+#include "gen/kronfit.hpp"
+#include "mr/dataset.hpp"
+
+namespace csb {
+
+struct StochasticKroneckerOptions {
+  Initiator initiator;
+  std::uint32_t k = 1;               ///< Kronecker order; 2^k vertices
+  std::uint64_t edges_to_place = 0;  ///< 0 = round(expected_edges(k))
+  /// 0 = auto (2x the virtual cores).
+  std::size_t partitions = 0;
+  std::uint64_t seed = 1;
+  /// Per-round oversampling to compensate for duplicate collisions.
+  double oversample = 1.1;
+  std::uint32_t max_rounds = 64;
+};
+
+/// Generates >= edges_to_place distinct edges on the virtual cluster.
+Dataset<Edge> stochastic_kronecker_edges(
+    ClusterSim& cluster, const StochasticKroneckerOptions& options);
+
+/// Deterministic Kronecker baseline: the k-fold Kronecker power of a 0/1
+/// initiator, materialized by testing all |V|^2 pairs (the O(|V|^2)
+/// algorithm the paper contrasts against). Only sensible for small k.
+PropertyGraph deterministic_kronecker(
+    const std::array<std::array<bool, 2>, 2>& initiator, std::uint32_t k);
+
+}  // namespace csb

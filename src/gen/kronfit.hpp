@@ -1,0 +1,67 @@
+// KronFit — maximum-likelihood estimation of a 2x2 stochastic Kronecker
+// initiator from a simple directed graph (Leskovec et al., JMLR 2010; the
+// paper invokes it as Fig. 3 line 6).
+//
+// The likelihood of a graph G under initiator theta and node relabeling
+// sigma is
+//
+//   ll(theta, sigma) =     sum_{(u,v) in E}  log P[u,v]
+//                      + sum_{(u,v) not in E} log(1 - P[u,v]),
+//
+// with P[u,v] = prod_l theta[bit_l(sigma(u))][bit_l(sigma(v))]. The
+// intractable no-edge sum is handled with the standard Taylor device:
+// sum_all log(1-P) ~ -(sum theta)^k - 1/2 (sum theta^2)^k, corrected back
+// (+P + P^2/2) for the pairs that are edges. The relabeling is integrated
+// out by Metropolis sampling over node-swap moves; theta follows projected
+// stochastic gradient ascent.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "graph/property_graph.hpp"
+#include "util/random.hpp"
+
+namespace csb {
+
+/// A 2x2 stochastic initiator matrix; entries in (0, 1).
+struct Initiator {
+  // theta[i][j] = probability weight of cell (i, j).
+  std::array<std::array<double, 2>, 2> theta{{{0.9, 0.5}, {0.5, 0.1}}};
+
+  [[nodiscard]] double sum() const noexcept {
+    return theta[0][0] + theta[0][1] + theta[1][0] + theta[1][1];
+  }
+  [[nodiscard]] double sum_sq() const noexcept {
+    return theta[0][0] * theta[0][0] + theta[0][1] * theta[0][1] +
+           theta[1][0] * theta[1][0] + theta[1][1] * theta[1][1];
+  }
+  /// Expected edges of a k-fold Kronecker power realization.
+  [[nodiscard]] double expected_edges(std::uint32_t k) const;
+};
+
+struct KronFitOptions {
+  std::uint32_t gradient_iterations = 50;
+  /// Metropolis node-swap proposals between gradient steps.
+  std::uint32_t swaps_per_iteration = 2000;
+  /// Warm-up swaps before the first gradient step.
+  std::uint32_t burn_in_swaps = 10000;
+  double learning_rate = 0.05;  ///< scaled by 1/|E| internally
+  double min_theta = 0.02;      ///< projection bounds keep theta in (0,1)
+  double max_theta = 0.98;
+  std::uint64_t seed = 7;
+  Initiator init{};
+};
+
+struct KronFitResult {
+  Initiator initiator;
+  std::uint32_t k = 0;          ///< Kronecker order used (ceil log2 |V|)
+  double log_likelihood = 0.0;  ///< approximate ll at the optimum
+};
+
+/// Fits the initiator to a *simple* directed graph (use simplify() first —
+/// PGSK's Fig. 3 lines 1-5 do exactly that).
+KronFitResult kronfit(const PropertyGraph& graph,
+                      const KronFitOptions& options = {});
+
+}  // namespace csb

@@ -1,0 +1,57 @@
+#include "gen/materialize.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace csb {
+
+PropertyGraph materialize_graph(const Dataset<Edge>& edges,
+                                std::uint64_t vertices, bool with_properties,
+                                ClusterSim& cluster) {
+  const std::uint64_t m = edges.count();
+  std::vector<VertexId> src(m);
+  std::vector<VertexId> dst(m);
+
+  // Per-partition output offsets (driver-side prefix sum, O(partitions)).
+  std::vector<std::uint64_t> offset(edges.num_partitions() + 1, 0);
+  for (std::size_t p = 0; p < edges.num_partitions(); ++p) {
+    offset[p + 1] = offset[p] + edges.partition(p).size();
+  }
+
+  // Fill tasks also validate endpoints (per-partition max), keeping the
+  // O(|E|) scan off the driver.
+  std::vector<VertexId> max_endpoint(edges.num_partitions(), 0);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(edges.num_partitions());
+  for (std::size_t p = 0; p < edges.num_partitions(); ++p) {
+    if (edges.partition(p).empty()) continue;
+    tasks.push_back([&edges, &src, &dst, &offset, &max_endpoint, p] {
+      std::uint64_t at = offset[p];
+      VertexId max_seen = 0;
+      for (const Edge& e : edges.partition(p)) {
+        src[at] = e.src;
+        dst[at] = e.dst;
+        max_seen = std::max({max_seen, e.src, e.dst});
+        ++at;
+      }
+      max_endpoint[p] = max_seen;
+    });
+  }
+  cluster.run_stage("materialize", std::move(tasks));
+
+  PropertyGraph graph;
+  cluster.run_serial("materialize:finalize", [&] {
+    for (const VertexId max_seen : max_endpoint) {
+      CSB_CHECK_MSG(max_seen < vertices || m == 0,
+                    "edge endpoints must be existing vertices");
+    }
+    graph = PropertyGraph::from_columns_unchecked(vertices, std::move(src),
+                                                  std::move(dst));
+    // Rows are filled by the subsequent assign_properties stage.
+    if (with_properties) graph.ensure_properties_for_overwrite();
+  });
+  return graph;
+}
+
+}  // namespace csb

@@ -1,0 +1,19 @@
+// Distributed materialization of an edge Dataset into a PropertyGraph —
+// the analogue of GraphX building a Graph from an edge RDD. The endpoint
+// columns are filled by one parallel task per partition; only the final
+// column hand-off is driver-side.
+#pragma once
+
+#include "gen/generator.hpp"
+#include "mr/dataset.hpp"
+
+namespace csb {
+
+/// Collects `edges` into a graph with `vertices` vertices. When
+/// `with_properties` is set, default property columns are attached (the
+/// assign_properties stage overwrites them).
+PropertyGraph materialize_graph(const Dataset<Edge>& edges,
+                                std::uint64_t vertices, bool with_properties,
+                                ClusterSim& cluster);
+
+}  // namespace csb

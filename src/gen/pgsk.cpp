@@ -1,0 +1,130 @@
+#include "gen/pgsk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/kronecker.hpp"
+#include "gen/materialize.hpp"
+#include "gen/properties.hpp"
+#include "graph/algorithms.hpp"
+#include "mr/dataset.hpp"
+#include "util/error.hpp"
+
+namespace csb {
+
+PgskPlan plan_pgsk(double initiator_sum, double mean_out_degree,
+                   std::uint64_t desired_edges) {
+  CSB_CHECK_MSG(initiator_sum > 1.0,
+                "initiator sum must exceed 1 for a growing Kronecker power");
+  CSB_CHECK_MSG(desired_edges > 0, "desired_edges must be positive");
+  const double duplication = std::max(1.0, mean_out_degree);
+  const double kron_target =
+      std::max(1.0, static_cast<double>(desired_edges) / duplication);
+  PgskPlan plan;
+  plan.k = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             std::ceil(std::log(kron_target) / std::log(initiator_sum))));
+  plan.kron_edges = static_cast<std::uint64_t>(std::llround(
+      std::pow(initiator_sum, static_cast<double>(plan.k))));
+  return plan;
+}
+
+GenResult pgsk_generate(const PropertyGraph& seed_graph,
+                        const SeedProfile& profile, ClusterSim& cluster,
+                        const PgskOptions& options) {
+  CSB_CHECK_MSG(seed_graph.num_edges() > 0, "PGSK needs a non-empty seed");
+  CSB_CHECK_MSG(options.desired_edges > 0, "desired_edges must be positive");
+  cluster.reset_metrics();
+
+  GenResult result;
+
+  // Lines 1-5: multiset -> set collapse (driver-side O(|E|) hash pass).
+  PropertyGraph simple;
+  cluster.run_serial("collapse",
+                     [&] { simple = simplify(seed_graph); });
+
+  // Line 6: KronFit (driver-side optimization).
+  KronFitResult fit;
+  cluster.run_serial("kronfit", [&] { fit = kronfit(simple, options.fit); });
+
+  // Sizing: order k so that (expected Kronecker edges) x (mean out-degree
+  // duplication) reaches the desired size.
+  const double mean_dup = std::max(1.0, profile.out_degree().mean());
+  PgskPlan plan;
+  if (options.force_k != 0) {
+    plan.k = options.force_k;
+    plan.kron_edges = static_cast<std::uint64_t>(std::llround(
+        fit.initiator.expected_edges(plan.k)));
+  } else {
+    plan = plan_pgsk(fit.initiator.sum(), mean_dup, options.desired_edges);
+  }
+
+  Initiator initiator = fit.initiator;
+  if (options.rescale_to_target) {
+    // Scale entries so (sum theta)^k == kron_target while preserving the
+    // fitted ratios; keeps entries below 1.
+    const double kron_target = std::max(
+        1.0, static_cast<double>(options.desired_edges) / mean_dup);
+    const double wanted_sum =
+        std::pow(kron_target, 1.0 / static_cast<double>(plan.k));
+    const double scale = wanted_sum / initiator.sum();
+    double max_entry = 0.0;
+    for (auto& row : initiator.theta) {
+      for (double& t : row) {
+        t *= scale;
+        max_entry = std::max(max_entry, t);
+      }
+    }
+    if (max_entry > 0.98) {
+      // Saturated entries cannot exceed 1; cap and accept the size error.
+      for (auto& row : initiator.theta) {
+        for (double& t : row) t = std::min(t, 0.98);
+      }
+    }
+    plan.kron_edges = static_cast<std::uint64_t>(
+        std::llround(initiator.expected_edges(plan.k)));
+  }
+
+  // Line 7: parallel recursive-descent expansion with dedup.
+  StochasticKroneckerOptions kron;
+  kron.initiator = initiator;
+  kron.k = plan.k;
+  kron.edges_to_place = std::max<std::uint64_t>(1, plan.kron_edges);
+  kron.partitions = options.partitions;
+  kron.seed = options.seed;
+  Dataset<Edge> kron_edges = stochastic_kronecker_edges(cluster, kron);
+
+  // Lines 8-12: duplicate each edge by a draw from the out-degree
+  // distribution (restores multigraph flow multiplicity).
+  const std::uint64_t dup_seed = options.seed ^ 0xd0b1e5ULL;
+  Dataset<Edge> edges = kron_edges.flat_map([&profile, dup_seed](
+                                                const Edge& e) {
+    // Rng per element derived from the edge identity: deterministic and
+    // thread-safe regardless of partition scheduling.
+    Rng rng(dup_seed ^ edge_key(e));
+    auto copies =
+        static_cast<std::uint64_t>(profile.out_degree().sample(rng));
+    copies = std::max<std::uint64_t>(1, copies);
+    return std::vector<Edge>(copies, e);
+  });
+
+  result.iterations = plan.k;
+
+  // Distributed graph materialization (GraphX Graph construction).
+  const std::uint64_t n = 1ULL << plan.k;
+  result.graph =
+      materialize_graph(edges, n, options.with_properties, cluster);
+  result.structure_seconds = cluster.metrics().simulated_seconds;
+
+  // Lines 13-18: property sampling.
+  if (options.with_properties) {
+    const double before = cluster.metrics().simulated_seconds;
+    assign_properties(result.graph, profile, cluster,
+                      options.seed ^ 0xbeefULL);
+    result.property_seconds = cluster.metrics().simulated_seconds - before;
+  }
+  result.metrics = cluster.metrics();
+  return result;
+}
+
+}  // namespace csb

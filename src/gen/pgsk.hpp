@@ -1,0 +1,53 @@
+// PGSK — Property-Graph Stochastic Kronecker (paper §III-B, Fig. 3).
+//
+// Pipeline:
+//   1. collapse the seed property-multigraph to a simple graph (lines 1-5);
+//   2. fit the 2x2 initiator with KronFit (line 6);
+//   3. expand by parallel recursive-descent Kronecker generation with
+//      distinct() de-duplication (line 7) — the order k is the smallest one
+//      whose expected output reaches the desired size;
+//   4. re-multiply every distinct edge by a draw from the seed's out-degree
+//      distribution, restoring the multigraph character (lines 8-12);
+//   5. sample NetFlow properties for every edge (lines 13-18).
+//
+// Because a fitted 2x2 initiator can be expanded to any order, PGSK can
+// produce graphs *smaller* than the seed (the paper starts its veracity
+// sweep at 100 edges) — unlike PGPBA, which only grows.
+#pragma once
+
+#include "gen/generator.hpp"
+#include "gen/kronfit.hpp"
+#include "seed/seed.hpp"
+
+namespace csb {
+
+struct PgskOptions {
+  std::uint64_t desired_edges = 0;
+  /// 0 = auto from desired_edges; otherwise forces the Kronecker order.
+  std::uint32_t force_k = 0;
+  /// 0 = auto (2x the virtual cores).
+  std::size_t partitions = 0;
+  std::uint64_t seed = 1;
+  bool with_properties = true;
+  KronFitOptions fit{};
+  /// Rescale the fitted initiator so its expected edge count at the chosen
+  /// order matches the target exactly (keeps entry ratios). On by default;
+  /// benches switch it off to study the raw fit.
+  bool rescale_to_target = true;
+};
+
+GenResult pgsk_generate(const PropertyGraph& seed_graph,
+                        const SeedProfile& profile, ClusterSim& cluster,
+                        const PgskOptions& options);
+
+/// Step 3-4 sizing rule exposed for tests: the order k and pre-duplication
+/// edge target chosen for a desired size, given the duplication factor
+/// (mean of the seed out-degree distribution, clamped >= 1).
+struct PgskPlan {
+  std::uint32_t k = 1;
+  std::uint64_t kron_edges = 0;  ///< edges to place before duplication
+};
+PgskPlan plan_pgsk(double initiator_sum, double mean_out_degree,
+                   std::uint64_t desired_edges);
+
+}  // namespace csb

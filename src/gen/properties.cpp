@@ -1,0 +1,37 @@
+#include "gen/properties.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace csb {
+
+StageMetrics assign_properties(PropertyGraph& graph,
+                               const SeedProfile& profile, ClusterSim& cluster,
+                               std::uint64_t seed) {
+  // Every row is overwritten below, so skip the default fill.
+  graph.ensure_properties_for_overwrite();
+  const std::uint64_t m = graph.num_edges();
+  if (m == 0) return StageMetrics{.name = "properties"};
+
+  const std::size_t partitions =
+      std::max<std::size_t>(1, cluster.config().total_cores() * 2);
+  const std::uint64_t per_part = (m + partitions - 1) / partitions;
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(partitions);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    const std::uint64_t begin = std::min<std::uint64_t>(p * per_part, m);
+    const std::uint64_t end = std::min<std::uint64_t>(begin + per_part, m);
+    if (begin == end) continue;
+    tasks.push_back([&graph, &profile, seed, p, begin, end] {
+      Rng rng = Rng(seed).fork(p);
+      for (std::uint64_t e = begin; e < end; ++e) {
+        graph.set_edge_properties(e, profile.sample_properties(rng));
+      }
+    });
+  }
+  return cluster.run_stage("properties", std::move(tasks));
+}
+
+}  // namespace csb

@@ -1,0 +1,24 @@
+// The shared property-assignment stage (paper Fig. 2 lines 15-20 and Fig. 3
+// lines 13-18): every synthetic edge receives a NetFlow attribute tuple
+// sampled from the seed profile's distributions, in O(|E| x |properties|).
+//
+// The paper measures this stage's overhead at ~50% of PGPBA's generation
+// time and ~30% of PGSK's (Fig. 10); the benches therefore time it
+// separately via the returned stage metrics.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/property_graph.hpp"
+#include "mr/cluster.hpp"
+#include "seed/seed.hpp"
+
+namespace csb {
+
+/// Fills (or overwrites) all property columns of `graph` by sampling the
+/// profile, parallelized over edge ranges on the cluster. Deterministic for
+/// a fixed (seed, partition count).
+StageMetrics assign_properties(PropertyGraph& graph, const SeedProfile& profile,
+                               ClusterSim& cluster, std::uint64_t seed);
+
+}  // namespace csb

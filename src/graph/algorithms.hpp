@@ -1,0 +1,63 @@
+// Structural graph algorithms used by the seed analysis, the veracity
+// evaluation, and the extension metrics (clustering, components, triangles —
+// properties the paper names as future candidates for generation tuning).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/property_graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace csb {
+
+/// Per-vertex out-degrees (multi-edges counted individually).
+std::vector<std::uint64_t> out_degrees(const PropertyGraph& graph);
+
+/// Per-vertex in-degrees.
+std::vector<std::uint64_t> in_degrees(const PropertyGraph& graph);
+
+/// Per-vertex total degree (in + out).
+std::vector<std::uint64_t> total_degrees(const PropertyGraph& graph);
+
+/// Weakly connected component label per vertex (labels are the smallest
+/// vertex id in the component). Union-find with path halving, O(E α(V)).
+std::vector<VertexId> weakly_connected_components(const PropertyGraph& graph);
+
+/// Number of distinct weakly connected components.
+std::uint64_t count_components(const PropertyGraph& graph);
+
+/// Copies the structure with parallel edges collapsed and self-loops kept;
+/// properties dropped. This is PGSK's multiset -> set reduction (Fig. 3,
+/// lines 1-5), implemented with a hash set in O(|E|).
+PropertyGraph simplify(const PropertyGraph& graph);
+
+/// Number of triangles in the undirected simplification, node-iterator
+/// algorithm with sorted-adjacency merge: O(sum deg^1.5) in practice.
+std::uint64_t triangle_count(const PropertyGraph& graph);
+
+/// Global clustering coefficient = 3 * triangles / open-or-closed wedges,
+/// computed on the undirected simplification.
+double global_clustering_coefficient(const PropertyGraph& graph);
+
+/// Strongly connected component label per vertex (labels are the smallest
+/// vertex id in the component). Iterative Tarjan, O(|V| + |E|).
+std::vector<VertexId> strongly_connected_components(
+    const PropertyGraph& graph);
+
+/// Number of distinct strongly connected components.
+std::uint64_t count_strong_components(const PropertyGraph& graph);
+
+/// K-core number per vertex of the undirected simplification: the largest
+/// k such that the vertex survives iterated removal of all vertices with
+/// degree < k (Batagelj-Zaversnik peeling, O(|E|)).
+std::vector<std::uint32_t> core_numbers(const PropertyGraph& graph);
+
+/// Pearson degree assortativity over directed edges (correlation of source
+/// out-degree and destination in-degree); NaN-free: returns 0 for
+/// degenerate graphs. Scale-free attack/trace graphs are typically
+/// disassortative (hubs talk to leaves).
+double degree_assortativity(const PropertyGraph& graph);
+
+}  // namespace csb

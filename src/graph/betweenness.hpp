@@ -1,0 +1,35 @@
+// Betweenness centrality — one of the structural properties the paper names
+// as a future extension for generation tuning ("additional generation
+// methods that can take into account more properties, such as the
+// betweenness centrality").
+//
+// Exact computation is Brandes' algorithm: one BFS + dependency
+// accumulation per source, O(|V| |E|) total on unweighted digraphs. For
+// larger graphs the sampled estimator runs Brandes from a random subset of
+// sources and scales the sums by |V| / samples (Brandes & Pich 2007).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/property_graph.hpp"
+#include "util/random.hpp"
+#include "util/thread_pool.hpp"
+
+namespace csb {
+
+struct BetweennessOptions {
+  /// 0 = exact (every vertex a source); otherwise the number of sampled
+  /// sources for the unbiased estimator.
+  std::uint64_t sample_sources = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Per-vertex betweenness centrality of the directed multigraph (parallel
+/// edges between a pair contribute a single adjacency). Endpoints are not
+/// counted on their own paths (standard convention).
+std::vector<double> betweenness_centrality(const PropertyGraph& graph,
+                                           ThreadPool& pool,
+                                           const BetweennessOptions& options = {});
+
+}  // namespace csb

@@ -1,0 +1,26 @@
+#include "graph/csr.hpp"
+
+#include <numeric>
+
+namespace csb {
+
+CsrView::CsrView(const PropertyGraph& graph, CsrDirection direction) {
+  const std::uint64_t n = graph.num_vertices();
+  const std::span<const VertexId> key = direction == CsrDirection::kOut
+                                            ? graph.sources()
+                                            : graph.destinations();
+  const std::span<const VertexId> val = direction == CsrDirection::kOut
+                                            ? graph.destinations()
+                                            : graph.sources();
+  offsets_.assign(n + 1, 0);
+  for (const VertexId v : key) ++offsets_[v + 1];
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+
+  neighbors_.resize(key.size());
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t e = 0; e < key.size(); ++e) {
+    neighbors_[cursor[key[e]]++] = val[e];
+  }
+}
+
+}  // namespace csb

@@ -1,0 +1,52 @@
+// Compressed-sparse-row adjacency view over a PropertyGraph edge list.
+//
+// Built once per analysis pass (PageRank, components, clustering); the
+// counting-sort construction is O(|V| + |E|) and the result is immutable,
+// so concurrent readers need no synchronization.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/property_graph.hpp"
+
+namespace csb {
+
+enum class CsrDirection {
+  kOut,  ///< neighbors(v) = heads of edges leaving v
+  kIn,   ///< neighbors(v) = tails of edges entering v
+};
+
+class CsrView {
+ public:
+  CsrView(const PropertyGraph& graph, CsrDirection direction);
+
+  [[nodiscard]] std::uint64_t num_vertices() const noexcept {
+    return offsets_.size() - 1;
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return neighbors_.size();
+  }
+
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    CSB_ASSERT(v + 1 < offsets_.size());
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::uint64_t degree(VertexId v) const {
+    CSB_ASSERT(v + 1 < offsets_.size());
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  [[nodiscard]] std::span<const std::uint64_t> offsets() const noexcept {
+    return offsets_;
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;  ///< size |V| + 1
+  std::vector<VertexId> neighbors_;     ///< size |E|
+};
+
+}  // namespace csb

@@ -1,0 +1,404 @@
+#include "graph/graph_io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <iterator>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace csb {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'S', 'B', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  CSB_CHECK_MSG(in.good(), "truncated binary graph stream");
+  return value;
+}
+
+template <typename T>
+void write_column(std::ostream& out, std::span<const T> column) {
+  out.write(reinterpret_cast<const char*>(column.data()),
+            static_cast<std::streamsize>(column.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_column(std::istream& in, std::uint64_t count) {
+  std::vector<T> column(count);
+  in.read(reinterpret_cast<char*>(column.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  CSB_CHECK_MSG(in.good() || (in.eof() && in.gcount() ==
+                                              static_cast<std::streamsize>(
+                                                  count * sizeof(T))),
+                "truncated binary graph stream");
+  return column;
+}
+
+Protocol protocol_from_string(const std::string& s) {
+  if (s == "TCP") return Protocol::kTcp;
+  if (s == "UDP") return Protocol::kUdp;
+  if (s == "ICMP") return Protocol::kIcmp;
+  throw CsbError("unknown protocol in CSV: " + s);
+}
+
+ConnState state_from_string(const std::string& s) {
+  if (s == "-") return ConnState::kNone;
+  if (s == "S0") return ConnState::kS0;
+  if (s == "S1") return ConnState::kS1;
+  if (s == "SF") return ConnState::kSF;
+  if (s == "REJ") return ConnState::kRej;
+  if (s == "RSTO") return ConnState::kRsto;
+  if (s == "RSTR") return ConnState::kRstr;
+  if (s == "OTH") return ConnState::kOth;
+  throw CsbError("unknown conn state in CSV: " + s);
+}
+
+}  // namespace
+
+void save_binary(const PropertyGraph& graph, std::ostream& out) {
+  out.write(kMagic, sizeof kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, graph.num_vertices());
+  write_pod(out, graph.num_edges());
+  const std::uint8_t has_props = graph.has_properties() ? 1 : 0;
+  write_pod(out, has_props);
+  write_column(out, graph.sources());
+  write_column(out, graph.destinations());
+  if (has_props) {
+    write_column(out, graph.protocols());
+    write_column(out, graph.src_ports());
+    write_column(out, graph.dst_ports());
+    write_column(out, graph.durations_ms());
+    write_column(out, graph.out_bytes());
+    write_column(out, graph.in_bytes());
+    write_column(out, graph.out_pkts());
+    write_column(out, graph.in_pkts());
+    write_column(out, graph.states());
+  }
+  CSB_CHECK_MSG(out.good(), "failed writing binary graph stream");
+}
+
+PropertyGraph load_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  CSB_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                "not a csb binary graph (bad magic)");
+  const auto version = read_pod<std::uint32_t>(in);
+  CSB_CHECK_MSG(version == kVersion, "unsupported binary graph version");
+  const auto vertices = read_pod<std::uint64_t>(in);
+  const auto edges = read_pod<std::uint64_t>(in);
+  const auto has_props = read_pod<std::uint8_t>(in);
+  // Plausibility caps keep a corrupted header from driving a huge
+  // allocation before the truncation check can fire.
+  CSB_CHECK_MSG(vertices <= (1ULL << 44) && edges <= (1ULL << 40),
+                "implausible graph size in binary stream");
+
+  const auto src = read_column<VertexId>(in, edges);
+  const auto dst = read_column<VertexId>(in, edges);
+
+  PropertyGraph graph(vertices);
+  graph.reserve_edges(edges);
+  if (!has_props) {
+    for (std::uint64_t e = 0; e < edges; ++e) graph.add_edge(src[e], dst[e]);
+    return graph;
+  }
+  const auto protocol = read_column<Protocol>(in, edges);
+  const auto src_port = read_column<std::uint16_t>(in, edges);
+  const auto dst_port = read_column<std::uint16_t>(in, edges);
+  const auto duration = read_column<std::uint32_t>(in, edges);
+  const auto out_bytes = read_column<std::uint64_t>(in, edges);
+  const auto in_bytes = read_column<std::uint64_t>(in, edges);
+  const auto out_pkts = read_column<std::uint32_t>(in, edges);
+  const auto in_pkts = read_column<std::uint32_t>(in, edges);
+  const auto state = read_column<ConnState>(in, edges);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    graph.add_edge(src[e], dst[e],
+                   EdgeProperties{
+                       .protocol = protocol[e],
+                       .src_port = src_port[e],
+                       .dst_port = dst_port[e],
+                       .duration_ms = duration[e],
+                       .out_bytes = out_bytes[e],
+                       .in_bytes = in_bytes[e],
+                       .out_pkts = out_pkts[e],
+                       .in_pkts = in_pkts[e],
+                       .state = state[e],
+                   });
+  }
+  return graph;
+}
+
+void save_binary_file(const PropertyGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  CSB_CHECK_MSG(out.is_open(), "cannot open for writing: " << path);
+  save_binary(graph, out);
+}
+
+PropertyGraph load_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CSB_CHECK_MSG(in.is_open(), "cannot open for reading: " << path);
+  return load_binary(in);
+}
+
+void save_csv(const PropertyGraph& graph, std::ostream& out) {
+  out << "src,dst,protocol,src_port,dst_port,duration_ms,out_bytes,in_bytes,"
+         "out_pkts,in_pkts,state\n";
+  const bool props = graph.has_properties();
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    out << graph.edge_src(e) << ',' << graph.edge_dst(e);
+    if (props) {
+      const EdgeProperties p = graph.edge_properties(e);
+      out << ',' << to_string(p.protocol) << ',' << p.src_port << ','
+          << p.dst_port << ',' << p.duration_ms << ',' << p.out_bytes << ','
+          << p.in_bytes << ',' << p.out_pkts << ',' << p.in_pkts << ','
+          << to_string(p.state);
+    } else {
+      out << ",,,,,,,,,";
+    }
+    out << '\n';
+  }
+  CSB_CHECK_MSG(out.good(), "failed writing CSV graph stream");
+}
+
+PropertyGraph load_csv(std::istream& in) {
+  std::string line;
+  CSB_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                "empty CSV graph stream");
+  CSB_CHECK_MSG(line.rfind("src,dst", 0) == 0, "missing CSV header");
+
+  PropertyGraph graph;
+  VertexId max_vertex = 0;
+  std::vector<std::string> fields;
+  bool saw_edge = false;
+  // Two passes are avoided by buffering rows; typical CSV graphs are small
+  // (the binary format is the scale path).
+  struct Row {
+    VertexId src, dst;
+    bool has_props;
+    EdgeProperties props;
+  };
+  std::vector<Row> rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    fields.clear();
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    // A trailing empty field (props-less rows) is dropped by getline; pad.
+    while (fields.size() < 11) fields.emplace_back();
+    CSB_CHECK_MSG(fields.size() == 11, "bad CSV row: " << line);
+    Row row{};
+    row.src = std::stoull(fields[0]);
+    row.dst = std::stoull(fields[1]);
+    row.has_props = !fields[2].empty();
+    if (row.has_props) {
+      row.props.protocol = protocol_from_string(fields[2]);
+      row.props.src_port = static_cast<std::uint16_t>(std::stoul(fields[3]));
+      row.props.dst_port = static_cast<std::uint16_t>(std::stoul(fields[4]));
+      row.props.duration_ms = static_cast<std::uint32_t>(std::stoul(fields[5]));
+      row.props.out_bytes = std::stoull(fields[6]);
+      row.props.in_bytes = std::stoull(fields[7]);
+      row.props.out_pkts = static_cast<std::uint32_t>(std::stoul(fields[8]));
+      row.props.in_pkts = static_cast<std::uint32_t>(std::stoul(fields[9]));
+      row.props.state = state_from_string(fields[10]);
+    }
+    max_vertex = std::max({max_vertex, row.src, row.dst});
+    rows.push_back(row);
+    saw_edge = true;
+  }
+  if (saw_edge) graph.add_vertices(max_vertex + 1);
+  for (const Row& row : rows) {
+    CSB_CHECK_MSG(row.has_props == rows.front().has_props,
+                  "CSV mixes property and structure-only rows");
+    if (row.has_props) {
+      graph.add_edge(row.src, row.dst, row.props);
+    } else {
+      graph.add_edge(row.src, row.dst);
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+/// Value of `attr="..."` inside an XML tag body, or empty if absent.
+std::string xml_attribute(const std::string& tag, const std::string& attr) {
+  const std::string needle = attr + "=\"";
+  const auto at = tag.find(needle);
+  if (at == std::string::npos) return {};
+  const auto begin = at + needle.size();
+  const auto end = tag.find('"', begin);
+  if (end == std::string::npos) return {};
+  return tag.substr(begin, end - begin);
+}
+
+/// Vertex index of a "n<k>" GraphML node id.
+VertexId graphml_vertex(const std::string& id) {
+  CSB_CHECK_MSG(!id.empty() && id.front() == 'n',
+                "unsupported GraphML node id: " << id);
+  try {
+    return std::stoull(id.substr(1));
+  } catch (const std::exception&) {
+    throw CsbError("unsupported GraphML node id: " + id);
+  }
+}
+
+}  // namespace
+
+PropertyGraph load_graphml(std::istream& in) {
+  // Read the whole document and walk <...> elements; text between a
+  // <data ...> tag and its closing tag is the attribute value.
+  std::string xml((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  CSB_CHECK_MSG(xml.find("<graphml") != std::string::npos,
+                "not a GraphML document");
+
+  struct EdgeRow {
+    VertexId src;
+    VertexId dst;
+    bool has_props = false;
+    EdgeProperties props;
+  };
+  std::vector<EdgeRow> edges;
+  VertexId max_vertex = 0;
+  bool saw_vertex = false;
+
+  std::size_t at = 0;
+  EdgeRow* open_edge = nullptr;
+  while ((at = xml.find('<', at)) != std::string::npos) {
+    const auto end = xml.find('>', at);
+    CSB_CHECK_MSG(end != std::string::npos, "unterminated GraphML tag");
+    const std::string tag = xml.substr(at + 1, end - at - 1);
+
+    if (tag.rfind("node", 0) == 0) {
+      max_vertex = std::max(max_vertex, graphml_vertex(xml_attribute(tag, "id")));
+      saw_vertex = true;
+    } else if (tag.rfind("edge", 0) == 0) {
+      EdgeRow row{};
+      row.src = graphml_vertex(xml_attribute(tag, "source"));
+      row.dst = graphml_vertex(xml_attribute(tag, "target"));
+      edges.push_back(row);
+      // Self-closing edges carry no data elements.
+      open_edge = tag.back() == '/' ? nullptr : &edges.back();
+    } else if (tag == "/edge") {
+      open_edge = nullptr;
+    } else if (tag.rfind("data", 0) == 0 && open_edge != nullptr) {
+      const std::string key = xml_attribute(tag, "key");
+      const auto value_end = xml.find('<', end + 1);
+      CSB_CHECK_MSG(value_end != std::string::npos,
+                    "unterminated GraphML data element");
+      const std::string value = xml.substr(end + 1, value_end - end - 1);
+      open_edge->has_props = true;
+      EdgeProperties& p = open_edge->props;
+      try {
+        if (key == "protocol") {
+          p.protocol = protocol_from_string(value);
+        } else if (key == "src_port") {
+          p.src_port = static_cast<std::uint16_t>(std::stoul(value));
+        } else if (key == "dst_port") {
+          p.dst_port = static_cast<std::uint16_t>(std::stoul(value));
+        } else if (key == "duration_ms") {
+          p.duration_ms = static_cast<std::uint32_t>(std::stoul(value));
+        } else if (key == "out_bytes") {
+          p.out_bytes = std::stoull(value);
+        } else if (key == "in_bytes") {
+          p.in_bytes = std::stoull(value);
+        } else if (key == "out_pkts") {
+          p.out_pkts = static_cast<std::uint32_t>(std::stoul(value));
+        } else if (key == "in_pkts") {
+          p.in_pkts = static_cast<std::uint32_t>(std::stoul(value));
+        } else if (key == "state") {
+          p.state = state_from_string(value);
+        }  // unknown keys are ignored (foreign exports)
+      } catch (const CsbError&) {
+        throw;
+      } catch (const std::exception&) {
+        throw CsbError("malformed GraphML data value for key " + key);
+      }
+    }
+    at = end + 1;
+  }
+
+  VertexId vertices = saw_vertex ? max_vertex + 1 : 0;
+  for (const EdgeRow& row : edges) {
+    vertices = std::max({vertices, row.src + 1, row.dst + 1});
+  }
+  PropertyGraph graph(vertices);
+  graph.reserve_edges(edges.size());
+  const bool any_props =
+      std::any_of(edges.begin(), edges.end(),
+                  [](const EdgeRow& row) { return row.has_props; });
+  for (const EdgeRow& row : edges) {
+    if (any_props) {
+      graph.add_edge(row.src, row.dst, row.props);
+    } else {
+      graph.add_edge(row.src, row.dst);
+    }
+  }
+  return graph;
+}
+
+void save_graphml(const PropertyGraph& graph, std::ostream& out) {
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n"
+      << "  <key id=\"protocol\" for=\"edge\" attr.name=\"protocol\" "
+         "attr.type=\"string\"/>\n"
+      << "  <key id=\"src_port\" for=\"edge\" attr.name=\"src_port\" "
+         "attr.type=\"int\"/>\n"
+      << "  <key id=\"dst_port\" for=\"edge\" attr.name=\"dst_port\" "
+         "attr.type=\"int\"/>\n"
+      << "  <key id=\"duration_ms\" for=\"edge\" attr.name=\"duration_ms\" "
+         "attr.type=\"long\"/>\n"
+      << "  <key id=\"out_bytes\" for=\"edge\" attr.name=\"out_bytes\" "
+         "attr.type=\"long\"/>\n"
+      << "  <key id=\"in_bytes\" for=\"edge\" attr.name=\"in_bytes\" "
+         "attr.type=\"long\"/>\n"
+      << "  <key id=\"out_pkts\" for=\"edge\" attr.name=\"out_pkts\" "
+         "attr.type=\"long\"/>\n"
+      << "  <key id=\"in_pkts\" for=\"edge\" attr.name=\"in_pkts\" "
+         "attr.type=\"long\"/>\n"
+      << "  <key id=\"state\" for=\"edge\" attr.name=\"state\" "
+         "attr.type=\"string\"/>\n"
+      << "  <graph id=\"G\" edgedefault=\"directed\">\n";
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    out << "    <node id=\"n" << v << "\"/>\n";
+  }
+  const bool props = graph.has_properties();
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    out << "    <edge source=\"n" << graph.edge_src(e) << "\" target=\"n"
+        << graph.edge_dst(e) << "\">";
+    if (props) {
+      const EdgeProperties p = graph.edge_properties(e);
+      out << "\n      <data key=\"protocol\">" << to_string(p.protocol)
+          << "</data>\n      <data key=\"src_port\">" << p.src_port
+          << "</data>\n      <data key=\"dst_port\">" << p.dst_port
+          << "</data>\n      <data key=\"duration_ms\">" << p.duration_ms
+          << "</data>\n      <data key=\"out_bytes\">" << p.out_bytes
+          << "</data>\n      <data key=\"in_bytes\">" << p.in_bytes
+          << "</data>\n      <data key=\"out_pkts\">" << p.out_pkts
+          << "</data>\n      <data key=\"in_pkts\">" << p.in_pkts
+          << "</data>\n      <data key=\"state\">" << to_string(p.state)
+          << "</data>\n    ";
+    }
+    out << "</edge>\n";
+  }
+  out << "  </graph>\n</graphml>\n";
+  CSB_CHECK_MSG(out.good(), "failed writing GraphML stream");
+}
+
+}  // namespace csb

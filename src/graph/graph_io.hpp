@@ -1,0 +1,36 @@
+// Property-graph persistence.
+//
+// Three formats:
+//   * binary  — compact column dump, round-trips everything; used to cache
+//               seeds between benchmark runs.
+//   * CSV     — "src,dst,protocol,src_port,dst_port,duration_ms,out_bytes,
+//               in_bytes,out_pkts,in_pkts,state" rows, human-greppable.
+//   * GraphML — export-only, loadable by Neo4j/Gephi/NetworkX; this is the
+//               hand-off format for using generated datasets as an external
+//               IDS benchmark input (the paper's motivating use case).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/property_graph.hpp"
+
+namespace csb {
+
+void save_binary(const PropertyGraph& graph, std::ostream& out);
+PropertyGraph load_binary(std::istream& in);
+void save_binary_file(const PropertyGraph& graph, const std::string& path);
+PropertyGraph load_binary_file(const std::string& path);
+
+void save_csv(const PropertyGraph& graph, std::ostream& out);
+PropertyGraph load_csv(std::istream& in);
+
+void save_graphml(const PropertyGraph& graph, std::ostream& out);
+
+/// Parses GraphML produced by save_graphml (and similarly-shaped exports:
+/// one <node> per vertex with ids "n<k>", <edge source target> with
+/// optional <data key=...> attribute elements). Not a general XML parser —
+/// element-per-concept, attribute order free, whitespace insensitive.
+PropertyGraph load_graphml(std::istream& in);
+
+}  // namespace csb

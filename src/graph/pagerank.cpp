@@ -1,0 +1,163 @@
+#include "graph/pagerank.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
+#include "util/parallel.hpp"
+
+namespace csb {
+
+PageRankResult pagerank(const PropertyGraph& graph, ThreadPool& pool,
+                        const PageRankOptions& options) {
+  const std::uint64_t n = graph.num_vertices();
+  PageRankResult result;
+  if (n == 0) return result;
+
+  const CsrView in_csr(graph, CsrDirection::kIn);
+  const auto out_deg = out_degrees(graph);
+
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, inv_n);
+  std::vector<double> next(n, 0.0);
+  // contribution[v] = rank[v] / out_degree[v], precomputed per iteration so
+  // the pull loop is a pure gather.
+  std::vector<double> contribution(n, 0.0);
+
+  constexpr std::size_t kGrain = 4096;
+  for (std::uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Dangling vertices donate their mass to everyone.
+    std::atomic<double> dangling{0.0};
+    parallel_for_chunks(pool, 0, n, kGrain, [&](const ChunkRange& c) {
+      double local_dangling = 0.0;
+      for (std::size_t v = c.begin; v < c.end; ++v) {
+        if (out_deg[v] == 0) {
+          local_dangling += rank[v];
+          contribution[v] = 0.0;
+        } else {
+          contribution[v] = rank[v] / static_cast<double>(out_deg[v]);
+        }
+      }
+      dangling.fetch_add(local_dangling, std::memory_order_relaxed);
+    });
+
+    const double base =
+        (1.0 - options.damping) * inv_n +
+        options.damping * dangling.load(std::memory_order_relaxed) * inv_n;
+
+    std::atomic<double> delta{0.0};
+    parallel_for_chunks(pool, 0, n, kGrain, [&](const ChunkRange& c) {
+      double local_delta = 0.0;
+      for (std::size_t v = c.begin; v < c.end; ++v) {
+        double sum = 0.0;
+        for (const VertexId u : in_csr.neighbors(v)) sum += contribution[u];
+        const double updated = base + options.damping * sum;
+        local_delta += std::abs(updated - rank[v]);
+        next[v] = updated;
+      }
+      delta.fetch_add(local_delta, std::memory_order_relaxed);
+    });
+
+    rank.swap(next);
+    result.iterations = iter + 1;
+    result.final_delta = delta.load(std::memory_order_relaxed);
+    if (result.final_delta < options.tolerance) break;
+  }
+
+  result.scores = std::move(rank);
+  return result;
+}
+
+PageRankResult pagerank_weighted(const PropertyGraph& graph, ThreadPool& pool,
+                                 std::span<const double> edge_weights,
+                                 const PageRankOptions& options) {
+  const std::uint64_t n = graph.num_vertices();
+  const std::uint64_t m = graph.num_edges();
+  CSB_CHECK_MSG(edge_weights.size() == m,
+                "need one weight per edge, aligned with edge order");
+  PageRankResult result;
+  if (n == 0) return result;
+
+  // Weighted in-adjacency in CSR form: for each vertex, the (source,
+  // weight-share) pairs of its incoming edges, where weight-share is the
+  // edge weight normalized by the source's total outgoing weight.
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  const auto src = graph.sources();
+  const auto dst = graph.destinations();
+  std::vector<double> out_weight(n, 0.0);
+  for (std::size_t e = 0; e < m; ++e) {
+    CSB_CHECK_MSG(edge_weights[e] >= 0.0, "edge weights must be nonnegative");
+    ++offsets[dst[e] + 1];
+    out_weight[src[e]] += edge_weights[e];
+  }
+  for (std::uint64_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<VertexId> in_src(m);
+  std::vector<double> in_share(m);
+  {
+    std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t e = 0; e < m; ++e) {
+      const std::uint64_t at = cursor[dst[e]]++;
+      in_src[at] = src[e];
+      in_share[at] =
+          out_weight[src[e]] > 0.0 ? edge_weights[e] / out_weight[src[e]] : 0.0;
+    }
+  }
+
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, inv_n);
+  std::vector<double> next(n, 0.0);
+  constexpr std::size_t kGrain = 4096;
+
+  for (std::uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::atomic<double> dangling{0.0};
+    parallel_for_chunks(pool, 0, n, kGrain, [&](const ChunkRange& c) {
+      double local = 0.0;
+      for (std::size_t v = c.begin; v < c.end; ++v) {
+        if (out_weight[v] == 0.0) local += rank[v];
+      }
+      dangling.fetch_add(local, std::memory_order_relaxed);
+    });
+    const double base =
+        (1.0 - options.damping) * inv_n +
+        options.damping * dangling.load(std::memory_order_relaxed) * inv_n;
+
+    std::atomic<double> delta{0.0};
+    parallel_for_chunks(pool, 0, n, kGrain, [&](const ChunkRange& c) {
+      double local_delta = 0.0;
+      for (std::size_t v = c.begin; v < c.end; ++v) {
+        double sum = 0.0;
+        for (std::uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+          sum += rank[in_src[i]] * in_share[i];
+        }
+        const double updated = base + options.damping * sum;
+        local_delta += std::abs(updated - rank[v]);
+        next[v] = updated;
+      }
+      delta.fetch_add(local_delta, std::memory_order_relaxed);
+    });
+
+    rank.swap(next);
+    result.iterations = iter + 1;
+    result.final_delta = delta.load(std::memory_order_relaxed);
+    if (result.final_delta < options.tolerance) break;
+  }
+  result.scores = std::move(rank);
+  return result;
+}
+
+PageRankResult pagerank_by_traffic(const PropertyGraph& graph,
+                                   ThreadPool& pool,
+                                   const PageRankOptions& options) {
+  CSB_CHECK_MSG(graph.has_properties(),
+                "pagerank_by_traffic requires NetFlow properties");
+  const auto out_bytes = graph.out_bytes();
+  const auto in_bytes = graph.in_bytes();
+  std::vector<double> weights(graph.num_edges());
+  for (std::size_t e = 0; e < weights.size(); ++e) {
+    weights[e] = static_cast<double>(out_bytes[e] + in_bytes[e]) + 1.0;
+  }
+  return pagerank_weighted(graph, pool, weights, options);
+}
+
+}  // namespace csb

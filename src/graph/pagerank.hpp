@@ -1,0 +1,51 @@
+// Parallel PageRank over the CSR in-adjacency (pull style).
+//
+// PageRank distributions are half of the paper's veracity metric (§V-A,
+// Fig. 7). The pull formulation writes each vertex's new score exactly once
+// per iteration, so the per-vertex loop parallelizes without atomics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/property_graph.hpp"
+#include "util/thread_pool.hpp"
+
+namespace csb {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  std::uint32_t max_iterations = 30;
+  /// Stop once the L1 change between iterations drops below this value.
+  double tolerance = 1e-9;
+};
+
+struct PageRankResult {
+  std::vector<double> scores;  ///< per-vertex, sums to 1
+  std::uint32_t iterations = 0;
+  double final_delta = 0.0;  ///< L1 change of the last iteration
+};
+
+/// Computes PageRank; dangling-vertex mass is redistributed uniformly so the
+/// scores always sum to 1.
+PageRankResult pagerank(const PropertyGraph& graph, ThreadPool& pool,
+                        const PageRankOptions& options = {});
+
+/// Edge-weighted PageRank: a vertex splits its rank across out-edges
+/// proportionally to `edge_weights` (one nonnegative weight per edge,
+/// aligned with the graph's edge order) instead of uniformly. For NetFlow
+/// graphs, weighting by transferred bytes ranks hosts by traffic influence
+/// rather than flow count — the IDS-relevant centrality. Zero-total-weight
+/// vertices are treated as dangling.
+PageRankResult pagerank_weighted(const PropertyGraph& graph, ThreadPool& pool,
+                                 std::span<const double> edge_weights,
+                                 const PageRankOptions& options = {});
+
+/// Convenience: pagerank_weighted with weight = out_bytes + in_bytes + 1
+/// per flow (the +1 keeps zero-byte probe flows from vanishing).
+PageRankResult pagerank_by_traffic(const PropertyGraph& graph,
+                                   ThreadPool& pool,
+                                   const PageRankOptions& options = {});
+
+}  // namespace csb

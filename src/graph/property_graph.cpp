@@ -1,0 +1,175 @@
+#include "graph/property_graph.hpp"
+
+#include <algorithm>
+
+namespace csb {
+
+PropertyGraph PropertyGraph::from_columns(std::uint64_t vertices,
+                                          std::vector<VertexId> src,
+                                          std::vector<VertexId> dst) {
+  CSB_CHECK_MSG(src.size() == dst.size(),
+                "endpoint columns must have equal length");
+  if (!src.empty()) {
+    const VertexId max_src = *std::max_element(src.begin(), src.end());
+    const VertexId max_dst = *std::max_element(dst.begin(), dst.end());
+    CSB_CHECK_MSG(max_src < vertices && max_dst < vertices,
+                  "edge endpoints must be existing vertices");
+  }
+  return from_columns_unchecked(vertices, std::move(src), std::move(dst));
+}
+
+PropertyGraph PropertyGraph::from_columns_unchecked(std::uint64_t vertices,
+                                                    std::vector<VertexId> src,
+                                                    std::vector<VertexId> dst) {
+  CSB_CHECK_MSG(src.size() == dst.size(),
+                "endpoint columns must have equal length");
+  PropertyGraph graph(vertices);
+  graph.src_ = std::move(src);
+  graph.dst_ = std::move(dst);
+  return graph;
+}
+
+EdgeId PropertyGraph::add_edge(VertexId src, VertexId dst) {
+  CSB_CHECK_MSG(src < num_vertices_ && dst < num_vertices_,
+                "edge endpoints must be existing vertices");
+  CSB_CHECK_MSG(!has_properties(),
+                "structure-only add_edge on a graph with property columns; "
+                "use the property overload");
+  src_.push_back(src);
+  dst_.push_back(dst);
+  return src_.size() - 1;
+}
+
+EdgeId PropertyGraph::add_edge(VertexId src, VertexId dst,
+                               const EdgeProperties& props) {
+  CSB_CHECK_MSG(src < num_vertices_ && dst < num_vertices_,
+                "edge endpoints must be existing vertices");
+  CSB_CHECK_MSG(has_properties() || src_.empty(),
+                "property add_edge on a graph with structure-only edges; "
+                "call ensure_properties() first");
+  src_.push_back(src);
+  dst_.push_back(dst);
+  protocol_.push_back(props.protocol);
+  src_port_.push_back(props.src_port);
+  dst_port_.push_back(props.dst_port);
+  duration_ms_.push_back(props.duration_ms);
+  out_bytes_.push_back(props.out_bytes);
+  in_bytes_.push_back(props.in_bytes);
+  out_pkts_.push_back(props.out_pkts);
+  in_pkts_.push_back(props.in_pkts);
+  state_.push_back(props.state);
+  return src_.size() - 1;
+}
+
+void PropertyGraph::reserve_edges(std::uint64_t capacity) {
+  src_.reserve(capacity);
+  dst_.reserve(capacity);
+  if (has_properties()) {
+    protocol_.reserve(capacity);
+    src_port_.reserve(capacity);
+    dst_port_.reserve(capacity);
+    duration_ms_.reserve(capacity);
+    out_bytes_.reserve(capacity);
+    in_bytes_.reserve(capacity);
+    out_pkts_.reserve(capacity);
+    in_pkts_.reserve(capacity);
+    state_.reserve(capacity);
+  }
+}
+
+EdgeProperties PropertyGraph::edge_properties(EdgeId e) const {
+  CSB_CHECK_MSG(has_properties(), "graph has no property columns");
+  check(e);
+  return EdgeProperties{
+      .protocol = protocol_[e],
+      .src_port = src_port_[e],
+      .dst_port = dst_port_[e],
+      .duration_ms = duration_ms_[e],
+      .out_bytes = out_bytes_[e],
+      .in_bytes = in_bytes_[e],
+      .out_pkts = out_pkts_[e],
+      .in_pkts = in_pkts_[e],
+      .state = state_[e],
+  };
+}
+
+void PropertyGraph::set_edge_properties(EdgeId e, const EdgeProperties& props) {
+  CSB_CHECK_MSG(has_properties(), "graph has no property columns");
+  check(e);
+  protocol_[e] = props.protocol;
+  src_port_[e] = props.src_port;
+  dst_port_[e] = props.dst_port;
+  duration_ms_[e] = props.duration_ms;
+  out_bytes_[e] = props.out_bytes;
+  in_bytes_[e] = props.in_bytes;
+  out_pkts_[e] = props.out_pkts;
+  in_pkts_[e] = props.in_pkts;
+  state_[e] = props.state;
+}
+
+void PropertyGraph::ensure_properties() {
+  if (has_properties() && protocol_.size() == src_.size()) return;
+  const std::size_t n = src_.size();
+  protocol_.assign(n, Protocol::kTcp);
+  src_port_.assign(n, 0);
+  dst_port_.assign(n, 0);
+  duration_ms_.assign(n, 0);
+  out_bytes_.assign(n, 0);
+  in_bytes_.assign(n, 0);
+  out_pkts_.assign(n, 0);
+  in_pkts_.assign(n, 0);
+  state_.assign(n, ConnState::kNone);
+}
+
+void PropertyGraph::ensure_properties_for_overwrite() {
+  if (has_properties() && protocol_.size() == src_.size()) return;
+  const std::size_t n = src_.size();
+  // resize() default-initializes under the column allocator, so no column
+  // content is written here.
+  protocol_.resize(n);
+  src_port_.resize(n);
+  dst_port_.resize(n);
+  duration_ms_.resize(n);
+  out_bytes_.resize(n);
+  in_bytes_.resize(n);
+  out_pkts_.resize(n);
+  in_pkts_.resize(n);
+  state_.resize(n);
+}
+
+void PropertyGraph::drop_properties() noexcept {
+  protocol_.clear();
+  protocol_.shrink_to_fit();
+  src_port_.clear();
+  src_port_.shrink_to_fit();
+  dst_port_.clear();
+  dst_port_.shrink_to_fit();
+  duration_ms_.clear();
+  duration_ms_.shrink_to_fit();
+  out_bytes_.clear();
+  out_bytes_.shrink_to_fit();
+  in_bytes_.clear();
+  in_bytes_.shrink_to_fit();
+  out_pkts_.clear();
+  out_pkts_.shrink_to_fit();
+  in_pkts_.clear();
+  in_pkts_.shrink_to_fit();
+  state_.clear();
+  state_.shrink_to_fit();
+}
+
+std::uint64_t PropertyGraph::bytes_per_edge(bool with_properties) noexcept {
+  std::uint64_t bytes = 2 * sizeof(VertexId);
+  if (with_properties) {
+    bytes += sizeof(Protocol) + 2 * sizeof(std::uint16_t) +
+             sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t) +
+             2 * sizeof(std::uint32_t) + sizeof(ConnState);
+  }
+  return bytes;
+}
+
+std::uint64_t PropertyGraph::memory_bytes() const noexcept {
+  return num_edges() * bytes_per_edge(has_properties());
+}
+
+}  // namespace csb

@@ -1,0 +1,104 @@
+#include "ids/calibrate.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/distance.hpp"
+#include "util/error.hpp"
+
+namespace csb {
+
+namespace {
+
+double pattern_quantile(const PatternMap& patterns,
+                        double (*extract)(const TrafficPattern&), double q) {
+  std::vector<double> values;
+  values.reserve(patterns.size());
+  for (const auto& [ip, pattern] : patterns) values.push_back(extract(pattern));
+  std::sort(values.begin(), values.end());
+  return sorted_quantile(values, q);
+}
+
+}  // namespace
+
+DetectionThresholds calibrate_thresholds(
+    const std::vector<NetflowRecord>& benign_records,
+    const CalibrationOptions& options) {
+  CSB_CHECK_MSG(!benign_records.empty(),
+                "calibration requires benign traffic");
+  CSB_CHECK_MSG(options.quantile > 0.0 && options.quantile <= 1.0 &&
+                    options.margin >= 1.0,
+                "invalid calibration options");
+  const PatternMap dst = destination_based_patterns(benign_records);
+  const PatternMap src = source_based_patterns(benign_records);
+
+  DetectionThresholds t;  // low thresholds keep their defaults
+  const double q = options.quantile;
+  const double m = options.margin;
+
+  t.nf_t = m * std::max(pattern_quantile(
+                            dst,
+                            [](const TrafficPattern& p) {
+                              return static_cast<double>(p.n_flows);
+                            },
+                            q),
+                        pattern_quantile(
+                            src,
+                            [](const TrafficPattern& p) {
+                              return static_cast<double>(p.n_flows);
+                            },
+                            q));
+  t.sip_t = m * pattern_quantile(
+                    dst,
+                    [](const TrafficPattern& p) {
+                      return static_cast<double>(p.n_distinct_peers);
+                    },
+                    q);
+  t.dip_t = m * pattern_quantile(
+                    src,
+                    [](const TrafficPattern& p) {
+                      return static_cast<double>(p.n_distinct_peers);
+                    },
+                    q);
+  t.dp_ht = m * std::max(pattern_quantile(
+                             dst,
+                             [](const TrafficPattern& p) {
+                               return static_cast<double>(
+                                   p.n_distinct_dst_ports);
+                             },
+                             q),
+                         pattern_quantile(
+                             src,
+                             [](const TrafficPattern& p) {
+                               return static_cast<double>(
+                                   p.n_distinct_dst_ports);
+                             },
+                             q));
+  t.fs_ht = m * std::max(pattern_quantile(
+                             dst,
+                             [](const TrafficPattern& p) {
+                               return static_cast<double>(p.sum_flow_size);
+                             },
+                             q),
+                         pattern_quantile(
+                             src,
+                             [](const TrafficPattern& p) {
+                               return static_cast<double>(p.sum_flow_size);
+                             },
+                             q));
+  t.np_ht = m * std::max(pattern_quantile(
+                             dst,
+                             [](const TrafficPattern& p) {
+                               return static_cast<double>(p.sum_packets);
+                             },
+                             q),
+                         pattern_quantile(
+                             src,
+                             [](const TrafficPattern& p) {
+                               return static_cast<double>(p.sum_packets);
+                             },
+                             q));
+  return t;
+}
+
+}  // namespace csb

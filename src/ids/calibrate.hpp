@@ -1,0 +1,30 @@
+// Threshold calibration (paper §IV closing remarks: "training must be used
+// to set the threshold values based on the parameters of each target
+// network"; the paper suggests neural networks or PSO — we provide the
+// simple, reproducible alternative of benign-traffic quantiles with a
+// safety margin).
+#pragma once
+
+#include <vector>
+
+#include "ids/detector.hpp"
+
+namespace csb {
+
+struct CalibrationOptions {
+  /// Benign quantile used for the "maximum normal" thresholds.
+  double quantile = 0.995;
+  /// Multiplicative head-room above the benign quantile.
+  double margin = 2.0;
+};
+
+/// Learns DetectionThresholds from attack-free traffic. The low thresholds
+/// (fs_lt, np_lt, dp_lt) stay at their Table-I-style defaults — they
+/// describe the attacks, not the network — while the "maximum normal"
+/// values (nf_t, dip_t, sip_t, dp_ht, fs_ht, np_ht) come from benign
+/// quantiles.
+DetectionThresholds calibrate_thresholds(
+    const std::vector<NetflowRecord>& benign_records,
+    const CalibrationOptions& options = {});
+
+}  // namespace csb

@@ -1,0 +1,99 @@
+#include "ids/detector.hpp"
+
+#include <algorithm>
+
+namespace csb {
+
+AnomalyDetector::AnomalyDetector(DetectionThresholds thresholds)
+    : thresholds_(thresholds) {}
+
+std::vector<Alarm> AnomalyDetector::classify_destination(
+    const TrafficPattern& p) const {
+  const DetectionThresholds& t = thresholds_;
+  std::vector<Alarm> alarms;
+
+  // Branch 1 (Fig. 4): many small flows converging on one destination.
+  const bool many_small_flows = static_cast<double>(p.n_flows) > t.nf_t &&
+                                p.avg_flow_size() < t.fs_lt &&
+                                p.avg_packets() < t.np_lt;
+  if (many_small_flows) {
+    if (static_cast<double>(p.n_distinct_peers) <= t.sip_t &&
+        static_cast<double>(p.n_distinct_dst_ports) > t.dp_ht) {
+      // Few sources probing many ports of this host.
+      alarms.push_back(Alarm{p.detection_ip, AttackClass::kHostScan, true,
+                             p.dominant_protocol()});
+    } else if (p.ack_syn_ratio() < t.sa_t &&
+               static_cast<double>(p.n_distinct_dst_ports) < t.dp_lt) {
+      // Handshakes never complete, single service port: SYN flood; with
+      // many distinct sources it is distributed.
+      const bool distributed =
+          static_cast<double>(p.n_distinct_peers) > t.sip_t;
+      alarms.push_back(Alarm{p.detection_ip,
+                             distributed ? AttackClass::kDdos
+                                         : AttackClass::kSynFlood,
+                             true, Protocol::kTcp});
+    }
+  }
+
+  // Volumetric branch: bandwidth + packet totals beyond any normal host.
+  if (static_cast<double>(p.sum_flow_size) > t.fs_ht &&
+      static_cast<double>(p.sum_packets) > t.np_ht) {
+    alarms.push_back(Alarm{p.detection_ip, AttackClass::kFlooding, true,
+                           p.dominant_protocol()});
+  }
+  return alarms;
+}
+
+std::vector<Alarm> AnomalyDetector::classify_source(
+    const TrafficPattern& p) const {
+  const DetectionThresholds& t = thresholds_;
+  std::vector<Alarm> alarms;
+
+  const bool many_small_flows = static_cast<double>(p.n_flows) > t.nf_t &&
+                                p.avg_flow_size() < t.fs_lt &&
+                                p.avg_packets() < t.np_lt;
+  if (many_small_flows) {
+    if (static_cast<double>(p.n_distinct_peers) > t.dip_t &&
+        static_cast<double>(p.n_distinct_dst_ports) < t.dp_lt) {
+      // One source sweeping one port across many hosts.
+      alarms.push_back(Alarm{p.detection_ip, AttackClass::kNetworkScan, false,
+                             p.dominant_protocol()});
+    } else if (static_cast<double>(p.n_distinct_peers) <= t.dip_t &&
+               static_cast<double>(p.n_distinct_dst_ports) > t.dp_ht) {
+      // One source probing many ports of few hosts.
+      alarms.push_back(Alarm{p.detection_ip, AttackClass::kHostScan, false,
+                             p.dominant_protocol()});
+    }
+  }
+
+  if (static_cast<double>(p.sum_flow_size) > t.fs_ht &&
+      static_cast<double>(p.sum_packets) > t.np_ht) {
+    alarms.push_back(Alarm{p.detection_ip, AttackClass::kFlooding, false,
+                           p.dominant_protocol()});
+  }
+  return alarms;
+}
+
+std::vector<Alarm> AnomalyDetector::detect(
+    const std::vector<NetflowRecord>& records) const {
+  std::vector<Alarm> alarms;
+  for (const auto& [ip, pattern] : destination_based_patterns(records)) {
+    const auto found = classify_destination(pattern);
+    alarms.insert(alarms.end(), found.begin(), found.end());
+  }
+  for (const auto& [ip, pattern] : source_based_patterns(records)) {
+    const auto found = classify_source(pattern);
+    alarms.insert(alarms.end(), found.begin(), found.end());
+  }
+  // Deterministic order for callers and tests.
+  std::sort(alarms.begin(), alarms.end(), [](const Alarm& a, const Alarm& b) {
+    if (a.detection_ip != b.detection_ip) {
+      return a.detection_ip < b.detection_ip;
+    }
+    if (a.type != b.type) return a.type < b.type;
+    return a.destination_based && !b.destination_based;
+  });
+  return alarms;
+}
+
+}  // namespace csb

@@ -1,0 +1,92 @@
+// The NetFlow-based anomaly detection approach of paper §IV (Fig. 4 flow
+// chart, Table I parameters).
+//
+// Detection logic, per aggregated traffic pattern:
+//   * many small flows at one destination, few source IPs, many destination
+//     ports                                        -> host scanning;
+//   * many small flows at one destination, low ACK/SYN ratio, few
+//     destination ports                            -> TCP SYN flood (with
+//     many distinct sources: distributed — DDoS);
+//   * one source fanning out to many destination IPs on few ports
+//                                                  -> network scanning;
+//   * very large bandwidth + packet totals at/from one IP with small
+//     per-flow deviation                           -> ICMP/UDP/TCP flooding.
+//
+// As the paper notes, thresholds are network-specific; see calibrate.hpp
+// for quantile-based training on benign traffic.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "ids/traffic_pattern.hpp"
+
+namespace csb {
+
+/// Table I threshold values. Names follow the paper (e.g. dip_t = the
+/// maximum normal number of distinct destination IPs with the same source).
+struct DetectionThresholds {
+  double dip_t = 64;      ///< max normal N(D_IP) per source
+  double sip_t = 64;      ///< max normal N(S_IP) per destination
+  double dp_lt = 4;       ///< few destination ports ("small N(D_port)")
+  double dp_ht = 64;      ///< many destination ports
+  double nf_t = 128;      ///< max normal N(flow) per detection IP
+  double fs_lt = 300;     ///< small average flow size (bytes)
+  double fs_ht = 5.0e7;   ///< abnormal total traffic volume (bytes)
+  double np_lt = 6;       ///< small average packets per flow
+  double np_ht = 2.0e4;   ///< abnormal total packet count
+  double sa_t = 0.25;     ///< minimum normal N(ACK)/N(SYN) ratio
+};
+
+enum class AttackClass : std::uint8_t {
+  kHostScan,
+  kNetworkScan,
+  kSynFlood,
+  kDdos,
+  kFlooding,  ///< generic ICMP/UDP/TCP volumetric flood
+};
+
+[[nodiscard]] constexpr std::string_view to_string(AttackClass c) noexcept {
+  switch (c) {
+    case AttackClass::kHostScan: return "host-scan";
+    case AttackClass::kNetworkScan: return "network-scan";
+    case AttackClass::kSynFlood: return "syn-flood";
+    case AttackClass::kDdos: return "ddos";
+    case AttackClass::kFlooding: return "flooding";
+  }
+  return "?";
+}
+
+struct Alarm {
+  std::uint32_t detection_ip = 0;  ///< victim (dst-based) or attacker (src-based)
+  AttackClass type = AttackClass::kFlooding;
+  bool destination_based = true;
+  Protocol protocol = Protocol::kTcp;  ///< dominant protocol of the pattern
+
+  friend bool operator==(const Alarm&, const Alarm&) = default;
+};
+
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(DetectionThresholds thresholds = {});
+
+  /// Runs the full Fig. 4 pipeline over a flow batch.
+  [[nodiscard]] std::vector<Alarm> detect(
+      const std::vector<NetflowRecord>& records) const;
+
+  /// Individual pattern classifiers, exposed for tests.
+  [[nodiscard]] std::vector<Alarm> classify_destination(
+      const TrafficPattern& pattern) const;
+  [[nodiscard]] std::vector<Alarm> classify_source(
+      const TrafficPattern& pattern) const;
+
+  [[nodiscard]] const DetectionThresholds& thresholds() const noexcept {
+    return thresholds_;
+  }
+
+ private:
+  DetectionThresholds thresholds_;
+};
+
+}  // namespace csb

@@ -1,0 +1,153 @@
+#include "ids/pso.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace csb {
+
+PsoResult pso_minimize(
+    const std::function<double(std::span<const double>)>& objective,
+    std::span<const double> lower, std::span<const double> upper,
+    const PsoOptions& options) {
+  const std::size_t dims = lower.size();
+  CSB_CHECK_MSG(dims > 0 && upper.size() == dims,
+                "PSO bounds must be non-empty and equal length");
+  for (std::size_t d = 0; d < dims; ++d) {
+    CSB_CHECK_MSG(lower[d] <= upper[d], "PSO lower bound exceeds upper");
+  }
+  CSB_CHECK_MSG(options.particles > 0 && options.iterations > 0,
+                "PSO needs particles and iterations");
+
+  Rng rng(options.seed);
+  const auto width = [&](std::size_t d) { return upper[d] - lower[d]; };
+
+  struct Particle {
+    std::vector<double> position;
+    std::vector<double> velocity;
+    std::vector<double> best_position;
+    double best_value;
+  };
+  std::vector<Particle> swarm(options.particles);
+
+  PsoResult result;
+  result.value = std::numeric_limits<double>::infinity();
+
+  for (auto& p : swarm) {
+    p.position.resize(dims);
+    p.velocity.resize(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      p.position[d] = lower[d] + rng.uniform_double() * width(d);
+      p.velocity[d] = (rng.uniform_double() - 0.5) * width(d) * 0.2;
+    }
+    p.best_position = p.position;
+    p.best_value = objective(p.position);
+    ++result.evaluations;
+    if (p.best_value < result.value) {
+      result.value = p.best_value;
+      result.position = p.best_position;
+    }
+  }
+
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    for (auto& p : swarm) {
+      for (std::size_t d = 0; d < dims; ++d) {
+        const double r1 = rng.uniform_double();
+        const double r2 = rng.uniform_double();
+        p.velocity[d] =
+            options.inertia * p.velocity[d] +
+            options.cognitive * r1 * (p.best_position[d] - p.position[d]) +
+            options.social * r2 * (result.position[d] - p.position[d]);
+        // Velocity clamp keeps particles from tunneling across the box.
+        const double vmax = width(d) * 0.5;
+        p.velocity[d] = std::clamp(p.velocity[d], -vmax, vmax);
+        p.position[d] =
+            std::clamp(p.position[d] + p.velocity[d], lower[d], upper[d]);
+      }
+      const double value = objective(p.position);
+      ++result.evaluations;
+      if (value < p.best_value) {
+        p.best_value = value;
+        p.best_position = p.position;
+      }
+      if (value < result.value) {
+        result.value = value;
+        result.position = p.position;
+      }
+    }
+  }
+  return result;
+}
+
+double detection_loss(const std::vector<Alarm>& alarms,
+                      const DetectionGroundTruth& truth) {
+  double loss = 0.0;
+  for (const ExpectedDetection& expected : truth.expected) {
+    const bool detected = std::any_of(
+        alarms.begin(), alarms.end(), [&](const Alarm& alarm) {
+          return alarm.detection_ip == expected.ip &&
+                 std::count(expected.accepted.begin(), expected.accepted.end(),
+                            alarm.type) > 0;
+        });
+    if (!detected) loss += 10.0;
+  }
+  for (const Alarm& alarm : alarms) {
+    if (!truth.participants.contains(alarm.detection_ip)) loss += 1.0;
+  }
+  return loss;
+}
+
+DetectionThresholds train_thresholds_pso(
+    const std::vector<NetflowRecord>& records,
+    const DetectionGroundTruth& truth, const PsoOptions& options) {
+  CSB_CHECK_MSG(!records.empty(), "training requires flows");
+  CSB_CHECK_MSG(!truth.expected.empty(),
+                "training requires ground-truth attacks");
+
+  // Aggregation is threshold-independent: do it once.
+  const PatternMap dst = destination_based_patterns(records);
+  const PatternMap src = source_based_patterns(records);
+
+  // Parameter vector (log10 space): dip, sip, dp_lt, dp_ht, nf, fs_lt,
+  // fs_ht, np_lt, np_ht, sa.
+  const auto decode = [](std::span<const double> x) {
+    DetectionThresholds t;
+    t.dip_t = std::pow(10.0, x[0]);
+    t.sip_t = std::pow(10.0, x[1]);
+    t.dp_lt = std::pow(10.0, x[2]);
+    t.dp_ht = std::pow(10.0, x[3]);
+    t.nf_t = std::pow(10.0, x[4]);
+    t.fs_lt = std::pow(10.0, x[5]);
+    t.fs_ht = std::pow(10.0, x[6]);
+    t.np_lt = std::pow(10.0, x[7]);
+    t.np_ht = std::pow(10.0, x[8]);
+    t.sa_t = std::pow(10.0, x[9]);
+    return t;
+  };
+
+  const std::vector<double> lower = {0.3, 0.3, 0.0, 1.0, 1.0,
+                                     1.7, 5.0, 0.0, 3.0, -2.0};
+  const std::vector<double> upper = {4.0, 4.0, 1.3, 4.5, 5.5,
+                                     3.3, 10.0, 1.5, 7.5, 0.5};
+
+  const auto objective = [&](std::span<const double> x) {
+    const AnomalyDetector detector(decode(x));
+    std::vector<Alarm> alarms;
+    for (const auto& [ip, pattern] : dst) {
+      const auto found = detector.classify_destination(pattern);
+      alarms.insert(alarms.end(), found.begin(), found.end());
+    }
+    for (const auto& [ip, pattern] : src) {
+      const auto found = detector.classify_source(pattern);
+      alarms.insert(alarms.end(), found.begin(), found.end());
+    }
+    return detection_loss(alarms, truth);
+  };
+
+  const PsoResult result = pso_minimize(objective, lower, upper, options);
+  return decode(result.position);
+}
+
+}  // namespace csb

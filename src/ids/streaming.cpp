@@ -1,0 +1,91 @@
+#include "ids/streaming.hpp"
+
+#include "util/error.hpp"
+
+namespace csb {
+
+namespace {
+
+void accumulate(TrafficPattern& pattern, std::uint32_t key,
+                const NetflowRecord& rec) {
+  pattern.detection_ip = key;
+  pattern.n_flows += 1;
+  pattern.sum_flow_size += rec.out_bytes + rec.in_bytes;
+  pattern.sum_packets += rec.out_pkts + rec.in_pkts;
+  pattern.syn_count += rec.syn_count;
+  pattern.ack_count += rec.ack_count;
+  switch (rec.protocol) {
+    case Protocol::kTcp: ++pattern.tcp_flows; break;
+    case Protocol::kUdp: ++pattern.udp_flows; break;
+    case Protocol::kIcmp: ++pattern.icmp_flows; break;
+  }
+}
+
+}  // namespace
+
+StreamingDetector::StreamingDetector(DetectionThresholds thresholds,
+                                     StreamingOptions options)
+    : detector_(thresholds), options_(options) {
+  CSB_CHECK_MSG(options_.window_us > 0, "window width must be positive");
+}
+
+void StreamingDetector::add_to_window(const NetflowRecord& record) {
+  accumulate(window_.dst_patterns[record.dst_ip], record.dst_ip, record);
+  accumulate(window_.src_patterns[record.src_ip], record.src_ip, record);
+  window_.dst_peers[record.dst_ip].insert(record.src_ip);
+  window_.src_peers[record.src_ip].insert(record.dst_ip);
+  window_.dst_ports[record.dst_ip].insert(record.dst_port);
+  window_.src_ports[record.src_ip].insert(record.dst_port);
+}
+
+std::vector<StreamingAlarm> StreamingDetector::close_window() {
+  std::vector<StreamingAlarm> alarms;
+  if (!window_.open) return alarms;
+
+  // Finalize the distinct counts, then classify each pattern.
+  for (auto& [ip, pattern] : window_.dst_patterns) {
+    pattern.n_distinct_peers = window_.dst_peers[ip].size();
+    pattern.n_distinct_dst_ports = window_.dst_ports[ip].size();
+    for (const Alarm& alarm : detector_.classify_destination(pattern)) {
+      alarms.push_back(StreamingAlarm{alarm, window_.start_us});
+    }
+  }
+  for (auto& [ip, pattern] : window_.src_patterns) {
+    pattern.n_distinct_peers = window_.src_peers[ip].size();
+    pattern.n_distinct_dst_ports = window_.src_ports[ip].size();
+    for (const Alarm& alarm : detector_.classify_source(pattern)) {
+      alarms.push_back(StreamingAlarm{alarm, window_.start_us});
+    }
+  }
+  window_ = WindowState{};
+  ++windows_closed_;
+  return alarms;
+}
+
+std::vector<StreamingAlarm> StreamingDetector::ingest(
+    const NetflowRecord& record) {
+  CSB_CHECK_MSG(record.first_us >= last_ingest_us_,
+                "streaming ingest requires non-decreasing timestamps");
+  last_ingest_us_ = record.first_us;
+  ++flows_ingested_;
+
+  std::vector<StreamingAlarm> alarms;
+  if (window_.open &&
+      record.first_us >= window_.start_us + options_.window_us) {
+    alarms = close_window();
+  }
+  if (!window_.open) {
+    // Tumbling windows aligned to the window width.
+    window_.start_us =
+        record.first_us - record.first_us % options_.window_us;
+    window_.open = true;
+  }
+  add_to_window(record);
+  return alarms;
+}
+
+std::vector<StreamingAlarm> StreamingDetector::finish() {
+  return close_window();
+}
+
+}  // namespace csb

@@ -1,0 +1,78 @@
+// Online (streaming) anomaly detection — the paper's stated future work
+// ("we plan to extend the platform to fully support off-line intrusion
+// detection, followed by on-line intrusion detection with streaming
+// data").
+//
+// Flows are ingested one at a time in timestamp order. Traffic patterns
+// are maintained incrementally per sliding window; when a window closes,
+// its patterns run through the same Fig. 4 classifier as the batch
+// detector and new alarms are emitted exactly once per (ip, type, view)
+// per window. Distinct peer/port counts are tracked exactly with per-key
+// hash sets — windows bound their size.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ids/detector.hpp"
+
+namespace csb {
+
+struct StreamingOptions {
+  /// Width of the tumbling analysis window.
+  std::uint64_t window_us = 60'000'000;
+};
+
+/// An alarm plus the window that raised it.
+struct StreamingAlarm {
+  Alarm alarm;
+  std::uint64_t window_start_us = 0;
+
+  friend bool operator==(const StreamingAlarm&,
+                         const StreamingAlarm&) = default;
+};
+
+class StreamingDetector {
+ public:
+  StreamingDetector(DetectionThresholds thresholds, StreamingOptions options);
+
+  /// Ingests one flow (records must arrive in non-decreasing first_us
+  /// order). Returns the alarms raised by any window this record closed.
+  std::vector<StreamingAlarm> ingest(const NetflowRecord& record);
+
+  /// Flushes the currently open window and returns its alarms.
+  std::vector<StreamingAlarm> finish();
+
+  [[nodiscard]] std::uint64_t windows_closed() const noexcept {
+    return windows_closed_;
+  }
+  [[nodiscard]] std::uint64_t flows_ingested() const noexcept {
+    return flows_ingested_;
+  }
+
+ private:
+  struct WindowState {
+    std::unordered_map<std::uint32_t, TrafficPattern> dst_patterns;
+    std::unordered_map<std::uint32_t, TrafficPattern> src_patterns;
+    std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>>
+        dst_peers, src_peers;
+    std::unordered_map<std::uint32_t, std::unordered_set<std::uint16_t>>
+        dst_ports, src_ports;
+    std::uint64_t start_us = 0;
+    bool open = false;
+  };
+
+  void add_to_window(const NetflowRecord& record);
+  std::vector<StreamingAlarm> close_window();
+
+  AnomalyDetector detector_;
+  StreamingOptions options_;
+  WindowState window_;
+  std::uint64_t windows_closed_ = 0;
+  std::uint64_t flows_ingested_ = 0;
+  std::uint64_t last_ingest_us_ = 0;
+};
+
+}  // namespace csb

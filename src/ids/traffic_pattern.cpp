@@ -1,0 +1,50 @@
+#include "ids/traffic_pattern.hpp"
+
+#include <unordered_set>
+
+namespace csb {
+
+namespace {
+
+PatternMap aggregate(const std::vector<NetflowRecord>& records,
+                     bool by_destination) {
+  PatternMap patterns;
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> peers;
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint16_t>> ports;
+  for (const NetflowRecord& rec : records) {
+    const std::uint32_t key = by_destination ? rec.dst_ip : rec.src_ip;
+    const std::uint32_t peer = by_destination ? rec.src_ip : rec.dst_ip;
+    TrafficPattern& pattern = patterns[key];
+    pattern.detection_ip = key;
+    pattern.n_flows += 1;
+    pattern.sum_flow_size += rec.out_bytes + rec.in_bytes;
+    pattern.sum_packets += rec.out_pkts + rec.in_pkts;
+    pattern.syn_count += rec.syn_count;
+    pattern.ack_count += rec.ack_count;
+    switch (rec.protocol) {
+      case Protocol::kTcp: ++pattern.tcp_flows; break;
+      case Protocol::kUdp: ++pattern.udp_flows; break;
+      case Protocol::kIcmp: ++pattern.icmp_flows; break;
+    }
+    peers[key].insert(peer);
+    ports[key].insert(rec.dst_port);
+  }
+  for (auto& [key, pattern] : patterns) {
+    pattern.n_distinct_peers = peers[key].size();
+    pattern.n_distinct_dst_ports = ports[key].size();
+  }
+  return patterns;
+}
+
+}  // namespace
+
+PatternMap destination_based_patterns(
+    const std::vector<NetflowRecord>& records) {
+  return aggregate(records, /*by_destination=*/true);
+}
+
+PatternMap source_based_patterns(const std::vector<NetflowRecord>& records) {
+  return aggregate(records, /*by_destination=*/false);
+}
+
+}  // namespace csb

@@ -1,0 +1,65 @@
+// Traffic-pattern aggregation (paper §IV, Fig. 4 left side).
+//
+// The detector works on two aggregated views of the flow data: the
+// *destination-based* pattern (all flows sharing a destination IP — the
+// victim's view) and the *source-based* pattern (all flows sharing a source
+// IP — the attacker's view). Each pattern carries the Table I parameters:
+// N(D_IP)/N(S_IP), N(D_port), N(flow), Sum/Avg(flowSize), Sum/Avg(nPacket),
+// N(SYN), N(ACK).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/netflow.hpp"
+
+namespace csb {
+
+struct TrafficPattern {
+  std::uint32_t detection_ip = 0;
+  std::uint64_t n_flows = 0;            ///< N(flow)
+  std::uint64_t n_distinct_peers = 0;   ///< N(S_IP) (dst-based) / N(D_IP) (src-based)
+  std::uint64_t n_distinct_dst_ports = 0;  ///< N(D_port)
+  std::uint64_t sum_flow_size = 0;      ///< Sum(flowSize), bytes
+  std::uint64_t sum_packets = 0;        ///< Sum(nPacket)
+  std::uint64_t syn_count = 0;          ///< N(SYN)
+  std::uint64_t ack_count = 0;          ///< N(ACK)
+  std::uint64_t tcp_flows = 0;
+  std::uint64_t udp_flows = 0;
+  std::uint64_t icmp_flows = 0;
+
+  [[nodiscard]] double avg_flow_size() const noexcept {
+    return n_flows ? static_cast<double>(sum_flow_size) /
+                         static_cast<double>(n_flows)
+                   : 0.0;
+  }
+  [[nodiscard]] double avg_packets() const noexcept {
+    return n_flows ? static_cast<double>(sum_packets) /
+                         static_cast<double>(n_flows)
+                   : 0.0;
+  }
+  /// N(ACK)/N(SYN); large when handshakes complete, ~0 under SYN flood.
+  [[nodiscard]] double ack_syn_ratio() const noexcept {
+    return syn_count ? static_cast<double>(ack_count) /
+                           static_cast<double>(syn_count)
+                     : 1e9;
+  }
+  [[nodiscard]] Protocol dominant_protocol() const noexcept {
+    if (udp_flows >= tcp_flows && udp_flows >= icmp_flows) {
+      return Protocol::kUdp;
+    }
+    return icmp_flows >= tcp_flows ? Protocol::kIcmp : Protocol::kTcp;
+  }
+};
+
+using PatternMap = std::unordered_map<std::uint32_t, TrafficPattern>;
+
+/// Aggregates flows by destination IP (peers = distinct source IPs).
+PatternMap destination_based_patterns(
+    const std::vector<NetflowRecord>& records);
+
+/// Aggregates flows by source IP (peers = distinct destination IPs).
+PatternMap source_based_patterns(const std::vector<NetflowRecord>& records);
+
+}  // namespace csb

@@ -1,0 +1,106 @@
+#include "mr/cluster.hpp"
+
+#include <algorithm>
+#include <future>
+#include <queue>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace csb {
+
+double list_schedule_makespan(const std::vector<double>& durations,
+                              std::size_t slots) {
+  CSB_CHECK_MSG(slots > 0, "list scheduling needs at least one slot");
+  if (durations.empty()) return 0.0;
+  // Min-heap of core busy times; each task lands on the least-loaded core.
+  std::priority_queue<double, std::vector<double>, std::greater<>> cores;
+  for (std::size_t i = 0; i < slots; ++i) cores.push(0.0);
+  for (const double d : durations) {
+    const double busy = cores.top();
+    cores.pop();
+    cores.push(busy + d);
+  }
+  double makespan = 0.0;
+  while (!cores.empty()) {
+    makespan = std::max(makespan, cores.top());
+    cores.pop();
+  }
+  return makespan;
+}
+
+ClusterSim::ClusterSim(const ClusterConfig& config)
+    : config_(config),
+      owned_pool_(std::make_unique<ThreadPool>(
+          std::min<std::size_t>(config.total_cores(),
+                                std::max(1u, std::thread::hardware_concurrency())))),
+      pool_(owned_pool_.get()) {
+  CSB_CHECK_MSG(config.nodes > 0 && config.cores_per_node > 0,
+                "cluster needs at least one node and one core");
+}
+
+ClusterSim::ClusterSim(const ClusterConfig& config, ThreadPool& pool)
+    : config_(config), pool_(&pool) {
+  CSB_CHECK_MSG(config.nodes > 0 && config.cores_per_node > 0,
+                "cluster needs at least one node and one core");
+}
+
+StageMetrics ClusterSim::run_stage(const std::string& name,
+                                   std::vector<std::function<void()>> tasks) {
+  StageMetrics stage;
+  stage.name = name;
+  stage.tasks = tasks.size();
+  if (tasks.empty()) return stage;
+
+  Stopwatch wall;
+  std::vector<double> durations(tasks.size(), 0.0);
+  std::vector<std::future<void>> pending;
+  pending.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    pending.push_back(pool_->submit([&durations, i, task = std::move(tasks[i])] {
+      Stopwatch timer;
+      task();
+      durations[i] = timer.seconds();
+    }));
+  }
+  // Collect all results before propagating the first exception, so no task
+  // is left running with dangling references.
+  std::exception_ptr first_error;
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (const double d : durations) stage.task_seconds += d;
+  if (config_.smooth_task_durations) {
+    const double mean =
+        stage.task_seconds / static_cast<double>(durations.size());
+    std::fill(durations.begin(), durations.end(), mean);
+  }
+  stage.makespan_seconds =
+      list_schedule_makespan(durations, config_.total_cores());
+
+  metrics_.simulated_seconds += stage.makespan_seconds;
+  metrics_.task_seconds += stage.task_seconds;
+  metrics_.wall_seconds += wall.seconds();
+  metrics_.stages += 1;
+  metrics_.tasks += stage.tasks;
+  return stage;
+}
+
+void ClusterSim::run_serial(const std::string& name,
+                            const std::function<void()>& work) {
+  (void)name;
+  Stopwatch timer;
+  work();
+  const double elapsed = timer.seconds();
+  metrics_.simulated_seconds += elapsed;
+  metrics_.serial_seconds += elapsed;
+  metrics_.wall_seconds += elapsed;
+}
+
+}  // namespace csb

@@ -1,0 +1,232 @@
+#include "pcap/packet.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace csb {
+
+namespace {
+
+void put16(std::vector<std::uint8_t>& buf, std::size_t at, std::uint16_t v) {
+  buf[at] = static_cast<std::uint8_t>(v >> 8);
+  buf[at + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void put32(std::vector<std::uint8_t>& buf, std::size_t at, std::uint32_t v) {
+  buf[at] = static_cast<std::uint8_t>(v >> 24);
+  buf[at + 1] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  buf[at + 2] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  buf[at + 3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+std::uint16_t get16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t get32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+/// Ethernet header with locally-administered MACs derived from the IPs, so
+/// frames look sane in Wireshark.
+void write_ethernet(std::vector<std::uint8_t>& frame, std::uint32_t src_ip,
+                    std::uint32_t dst_ip) {
+  frame[0] = 0x02;
+  put32(frame, 1, dst_ip);
+  frame[5] = 0x01;
+  frame[6] = 0x02;
+  put32(frame, 7, src_ip);
+  frame[11] = 0x02;
+  put16(frame, 12, kEthertypeIpv4);
+}
+
+void write_ipv4(std::vector<std::uint8_t>& frame, const FrameSpec& spec,
+                std::uint8_t protocol, std::uint16_t l4_len) {
+  const std::size_t ip = kEthernetHeaderLen;
+  frame[ip] = 0x45;  // version 4, IHL 5
+  frame[ip + 1] = 0;
+  put16(frame, ip + 2,
+        static_cast<std::uint16_t>(kIpv4MinHeaderLen + l4_len));
+  put16(frame, ip + 4, 0);      // identification
+  put16(frame, ip + 6, 0x4000);  // don't-fragment
+  frame[ip + 8] = spec.ttl;
+  frame[ip + 9] = protocol;
+  put16(frame, ip + 10, 0);  // checksum placeholder
+  put32(frame, ip + 12, spec.src_ip);
+  put32(frame, ip + 16, spec.dst_ip);
+  const std::uint16_t checksum =
+      internet_checksum(frame.data() + ip, kIpv4MinHeaderLen);
+  put16(frame, ip + 10, checksum);
+}
+
+/// Transport checksum including the IPv4 pseudo-header.
+std::uint16_t transport_checksum(const std::vector<std::uint8_t>& frame,
+                                 std::uint8_t protocol, std::uint16_t l4_len) {
+  std::vector<std::uint8_t> pseudo(12 + l4_len);
+  const std::size_t ip = kEthernetHeaderLen;
+  std::memcpy(pseudo.data(), frame.data() + ip + 12, 8);  // src + dst
+  pseudo[8] = 0;
+  pseudo[9] = protocol;
+  pseudo[10] = static_cast<std::uint8_t>(l4_len >> 8);
+  pseudo[11] = static_cast<std::uint8_t>(l4_len & 0xff);
+  std::memcpy(pseudo.data() + 12, frame.data() + ip + kIpv4MinHeaderLen,
+              l4_len);
+  return internet_checksum(pseudo.data(), pseudo.size());
+}
+
+void fill_payload(std::vector<std::uint8_t>& frame, std::size_t at,
+                  std::uint16_t len) {
+  for (std::uint16_t i = 0; i < len; ++i) {
+    frame[at + i] = static_cast<std::uint8_t>(0x20 + (i % 64));
+  }
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < len; i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < len) sum += static_cast<std::uint32_t>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::vector<std::uint8_t> build_tcp_frame(const FrameSpec& spec,
+                                          std::uint8_t flags,
+                                          std::uint32_t seq,
+                                          std::uint32_t ack) {
+  constexpr std::size_t kTcpHeaderLen = 20;
+  const std::uint16_t l4_len =
+      static_cast<std::uint16_t>(kTcpHeaderLen + spec.payload_len);
+  std::vector<std::uint8_t> frame(kEthernetHeaderLen + kIpv4MinHeaderLen +
+                                  l4_len);
+  write_ethernet(frame, spec.src_ip, spec.dst_ip);
+  write_ipv4(frame, spec, 6, l4_len);
+  const std::size_t tcp = kEthernetHeaderLen + kIpv4MinHeaderLen;
+  put16(frame, tcp, spec.src_port);
+  put16(frame, tcp + 2, spec.dst_port);
+  put32(frame, tcp + 4, seq);
+  put32(frame, tcp + 8, ack);
+  frame[tcp + 12] = 0x50;  // data offset 5 words
+  frame[tcp + 13] = flags;
+  put16(frame, tcp + 14, 65535);  // window
+  put16(frame, tcp + 16, 0);      // checksum placeholder
+  put16(frame, tcp + 18, 0);      // urgent
+  fill_payload(frame, tcp + kTcpHeaderLen, spec.payload_len);
+  put16(frame, tcp + 16, transport_checksum(frame, 6, l4_len));
+  return frame;
+}
+
+std::vector<std::uint8_t> build_udp_frame(const FrameSpec& spec) {
+  constexpr std::size_t kUdpHeaderLen = 8;
+  const std::uint16_t l4_len =
+      static_cast<std::uint16_t>(kUdpHeaderLen + spec.payload_len);
+  std::vector<std::uint8_t> frame(kEthernetHeaderLen + kIpv4MinHeaderLen +
+                                  l4_len);
+  write_ethernet(frame, spec.src_ip, spec.dst_ip);
+  write_ipv4(frame, spec, 17, l4_len);
+  const std::size_t udp = kEthernetHeaderLen + kIpv4MinHeaderLen;
+  put16(frame, udp, spec.src_port);
+  put16(frame, udp + 2, spec.dst_port);
+  put16(frame, udp + 4, l4_len);
+  put16(frame, udp + 6, 0);
+  fill_payload(frame, udp + kUdpHeaderLen, spec.payload_len);
+  std::uint16_t checksum = transport_checksum(frame, 17, l4_len);
+  if (checksum == 0) checksum = 0xffff;  // RFC 768: 0 means "no checksum"
+  put16(frame, udp + 6, checksum);
+  return frame;
+}
+
+std::vector<std::uint8_t> build_icmp_frame(const FrameSpec& spec,
+                                           bool request) {
+  constexpr std::size_t kIcmpHeaderLen = 8;
+  const std::uint16_t l4_len =
+      static_cast<std::uint16_t>(kIcmpHeaderLen + spec.payload_len);
+  std::vector<std::uint8_t> frame(kEthernetHeaderLen + kIpv4MinHeaderLen +
+                                  l4_len);
+  write_ethernet(frame, spec.src_ip, spec.dst_ip);
+  write_ipv4(frame, spec, 1, l4_len);
+  const std::size_t icmp = kEthernetHeaderLen + kIpv4MinHeaderLen;
+  frame[icmp] = request ? 8 : 0;  // echo request / reply
+  frame[icmp + 1] = 0;
+  put16(frame, icmp + 2, 0);  // checksum placeholder
+  put16(frame, icmp + 4, 1);  // identifier
+  put16(frame, icmp + 6, 1);  // sequence
+  fill_payload(frame, icmp + kIcmpHeaderLen, spec.payload_len);
+  put16(frame, icmp + 2,
+        internet_checksum(frame.data() + icmp, l4_len));
+  return frame;
+}
+
+std::optional<DecodedPacket> decode_frame(const std::uint8_t* data,
+                                          std::size_t captured_len,
+                                          std::uint32_t orig_len,
+                                          std::uint64_t timestamp_us) {
+  if (captured_len < kEthernetHeaderLen + kIpv4MinHeaderLen)
+    return std::nullopt;
+  if (get16(data + 12) != kEthertypeIpv4) return std::nullopt;
+
+  const std::uint8_t* ip = data + kEthernetHeaderLen;
+  if ((ip[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
+  if (ihl < kIpv4MinHeaderLen ||
+      captured_len < kEthernetHeaderLen + ihl) {
+    return std::nullopt;
+  }
+
+  DecodedPacket packet;
+  packet.timestamp_us = timestamp_us;
+  packet.protocol = ip[9];
+  packet.src_ip = get32(ip + 12);
+  packet.dst_ip = get32(ip + 16);
+  const std::uint16_t total_len = get16(ip + 2);
+  packet.wire_bytes = orig_len != 0
+                          ? orig_len
+                          : static_cast<std::uint32_t>(kEthernetHeaderLen +
+                                                       total_len);
+
+  const std::uint8_t* l4 = ip + ihl;
+  const std::size_t l4_captured =
+      captured_len - kEthernetHeaderLen - ihl;
+  const std::uint32_t l4_total =
+      total_len >= ihl ? static_cast<std::uint32_t>(total_len - ihl) : 0;
+
+  switch (packet.protocol) {
+    case 6: {  // TCP
+      if (l4_captured < 14) return std::nullopt;
+      packet.src_port = get16(l4);
+      packet.dst_port = get16(l4 + 2);
+      packet.tcp_flags = l4[13];
+      const std::size_t data_offset = static_cast<std::size_t>(l4[12] >> 4) * 4;
+      packet.payload_bytes =
+          l4_total >= data_offset
+              ? static_cast<std::uint32_t>(l4_total - data_offset)
+              : 0;
+      break;
+    }
+    case 17: {  // UDP
+      if (l4_captured < 8) return std::nullopt;
+      packet.src_port = get16(l4);
+      packet.dst_port = get16(l4 + 2);
+      packet.payload_bytes = l4_total >= 8 ? l4_total - 8 : 0;
+      break;
+    }
+    case 1: {  // ICMP
+      if (l4_captured < 4) return std::nullopt;
+      packet.payload_bytes = l4_total >= 8 ? l4_total - 8 : 0;
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  return packet;
+}
+
+}  // namespace csb

@@ -1,0 +1,79 @@
+// Ethernet / IPv4 / TCP / UDP / ICMP packet encode and decode.
+//
+// This is the Bro-substitute's protocol layer: the flow assembler consumes
+// DecodedPacket summaries, the synthetic trace generator produces real
+// on-the-wire frames through the build_* functions (with correct IPv4 and
+// transport checksums, so the files load in external tools).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace csb {
+
+// TCP flag bits.
+inline constexpr std::uint8_t kTcpFin = 0x01;
+inline constexpr std::uint8_t kTcpSyn = 0x02;
+inline constexpr std::uint8_t kTcpRst = 0x04;
+inline constexpr std::uint8_t kTcpPsh = 0x08;
+inline constexpr std::uint8_t kTcpAck = 0x10;
+
+inline constexpr std::uint16_t kEthertypeIpv4 = 0x0800;
+inline constexpr std::size_t kEthernetHeaderLen = 14;
+inline constexpr std::size_t kIpv4MinHeaderLen = 20;
+
+/// Layer-3/4 summary of one captured frame — everything the flow assembler
+/// needs. Payload bytes themselves are not retained.
+struct DecodedPacket {
+  std::uint64_t timestamp_us = 0;
+  std::uint32_t src_ip = 0;  ///< host byte order
+  std::uint32_t dst_ip = 0;
+  std::uint8_t protocol = 0;  ///< IANA number (1/6/17)
+  std::uint16_t src_port = 0;  ///< 0 for ICMP
+  std::uint16_t dst_port = 0;
+  std::uint8_t tcp_flags = 0;
+  std::uint32_t wire_bytes = 0;     ///< packet length on the wire
+  std::uint32_t payload_bytes = 0;  ///< transport payload length
+};
+
+/// Parameters for frame construction. `payload_len` bytes of deterministic
+/// filler are generated; `wire_payload_len` (>= payload_len) inflates the
+/// IPv4 total length to model truncated captures (snaplen) without storing
+/// the full payload.
+struct FrameSpec {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t ttl = 64;
+  std::uint16_t payload_len = 0;
+};
+
+/// RFC 1071 internet checksum over `len` bytes.
+std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len);
+
+/// Builds a full Ethernet+IPv4+TCP frame.
+std::vector<std::uint8_t> build_tcp_frame(const FrameSpec& spec,
+                                          std::uint8_t flags,
+                                          std::uint32_t seq = 0,
+                                          std::uint32_t ack = 0);
+
+/// Builds a full Ethernet+IPv4+UDP frame.
+std::vector<std::uint8_t> build_udp_frame(const FrameSpec& spec);
+
+/// Builds an Ethernet+IPv4+ICMP echo frame (type 8 request / 0 reply).
+std::vector<std::uint8_t> build_icmp_frame(const FrameSpec& spec,
+                                           bool request);
+
+/// Decodes an Ethernet frame captured from a LINKTYPE_ETHERNET pcap.
+/// Returns nullopt for non-IPv4 or unsupported transport protocols.
+/// `orig_len` is the on-the-wire length from the pcap record header, which
+/// may exceed data.size() for snap-truncated captures; byte accounting uses
+/// the IPv4 total-length field when available and falls back to orig_len.
+std::optional<DecodedPacket> decode_frame(const std::uint8_t* data,
+                                          std::size_t captured_len,
+                                          std::uint32_t orig_len,
+                                          std::uint64_t timestamp_us);
+
+}  // namespace csb

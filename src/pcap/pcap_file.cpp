@@ -1,0 +1,145 @@
+#include "pcap/pcap_file.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace csb {
+
+namespace {
+
+constexpr std::uint32_t kMagicUsec = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNsec = 0xa1b23c4d;
+constexpr std::uint32_t kMagicUsecSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNsecSwapped = 0x4d3cb2a1;
+constexpr std::uint16_t kVersionMajor = 2;
+constexpr std::uint16_t kVersionMinor = 4;
+
+std::uint32_t byteswap32(std::uint32_t v) noexcept {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+         ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+std::uint16_t byteswap16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& out, std::uint32_t snaplen)
+    : out_(out), snaplen_(snaplen) {
+  CSB_CHECK_MSG(snaplen_ > 0, "pcap snaplen must be positive");
+  put(out_, kMagicUsec);
+  put(out_, kVersionMajor);
+  put(out_, kVersionMinor);
+  put(out_, std::int32_t{0});   // thiszone (GMT offset)
+  put(out_, std::uint32_t{0});  // sigfigs
+  put(out_, snaplen_);
+  put(out_, kLinktypeEthernet);
+  CSB_CHECK_MSG(out_.good(), "failed writing pcap global header");
+}
+
+void PcapWriter::write(std::uint64_t timestamp_us,
+                       const std::vector<std::uint8_t>& data) {
+  PcapPacket packet;
+  packet.timestamp_us = timestamp_us;
+  packet.orig_len = static_cast<std::uint32_t>(data.size());
+  packet.data = data;
+  write(packet);
+}
+
+void PcapWriter::write(const PcapPacket& packet) {
+  const std::uint32_t incl_len = static_cast<std::uint32_t>(
+      std::min<std::size_t>(packet.data.size(), snaplen_));
+  put(out_, static_cast<std::uint32_t>(packet.timestamp_us / 1000000));
+  put(out_, static_cast<std::uint32_t>(packet.timestamp_us % 1000000));
+  put(out_, incl_len);
+  put(out_, packet.orig_len);
+  out_.write(reinterpret_cast<const char*>(packet.data.data()), incl_len);
+  CSB_CHECK_MSG(out_.good(), "failed writing pcap record");
+  ++packets_;
+}
+
+PcapReader::PcapReader(std::istream& in) : in_(in) {
+  std::uint8_t header[24];
+  in_.read(reinterpret_cast<char*>(header), sizeof header);
+  CSB_CHECK_MSG(in_.good(), "truncated pcap global header");
+  std::uint32_t magic;
+  std::memcpy(&magic, header, sizeof magic);
+  switch (magic) {
+    case kMagicUsec: break;
+    case kMagicNsec: nanoseconds_ = true; break;
+    case kMagicUsecSwapped: swapped_ = true; break;
+    case kMagicNsecSwapped:
+      swapped_ = true;
+      nanoseconds_ = true;
+      break;
+    default:
+      throw CsbError("not a pcap file (bad magic)");
+  }
+  snaplen_ = decode32(header + 16);
+  linktype_ = decode32(header + 20);
+  const std::uint16_t major = decode16(header + 4);
+  CSB_CHECK_MSG(major == kVersionMajor, "unsupported pcap version");
+}
+
+bool PcapReader::next(PcapPacket& packet) {
+  std::uint8_t header[16];
+  in_.read(reinterpret_cast<char*>(header), sizeof header);
+  if (in_.gcount() == 0 && in_.eof()) return false;
+  CSB_CHECK_MSG(in_.gcount() == sizeof header, "truncated pcap record header");
+  const std::uint32_t ts_sec = decode32(header);
+  const std::uint32_t ts_frac = decode32(header + 4);
+  const std::uint32_t incl_len = decode32(header + 8);
+  packet.orig_len = decode32(header + 12);
+  CSB_CHECK_MSG(incl_len <= snaplen_ + 65536u, "implausible pcap record size");
+  packet.timestamp_us =
+      static_cast<std::uint64_t>(ts_sec) * 1000000 +
+      (nanoseconds_ ? ts_frac / 1000 : ts_frac);
+  packet.data.resize(incl_len);
+  in_.read(reinterpret_cast<char*>(packet.data.data()), incl_len);
+  CSB_CHECK_MSG(in_.gcount() == static_cast<std::streamsize>(incl_len),
+                "truncated pcap record payload");
+  return true;
+}
+
+std::uint32_t PcapReader::decode32(const std::uint8_t* p) const noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return swapped_ ? byteswap32(v) : v;
+}
+
+std::uint16_t PcapReader::decode16(const std::uint8_t* p) const noexcept {
+  std::uint16_t v;
+  std::memcpy(&v, p, sizeof v);
+  return swapped_ ? byteswap16(v) : v;
+}
+
+void write_pcap_file(const std::string& path,
+                     const std::vector<PcapPacket>& packets) {
+  std::ofstream out(path, std::ios::binary);
+  CSB_CHECK_MSG(out.is_open(), "cannot open for writing: " << path);
+  PcapWriter writer(out);
+  for (const auto& packet : packets) writer.write(packet);
+}
+
+std::vector<PcapPacket> read_pcap_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CSB_CHECK_MSG(in.is_open(), "cannot open for reading: " << path);
+  PcapReader reader(in);
+  std::vector<PcapPacket> packets;
+  PcapPacket packet;
+  while (reader.next(packet)) packets.push_back(packet);
+  return packets;
+}
+
+}  // namespace csb

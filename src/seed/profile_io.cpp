@@ -1,0 +1,175 @@
+// Binary serialization of SeedProfile: magic + version header, then each
+// distribution as (value, probability) pair lists — exact round trip, no
+// refitting on load.
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "seed/seed.hpp"
+#include "util/error.hpp"
+
+namespace csb {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'S', 'B', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  CSB_CHECK_MSG(in.good(), "truncated seed profile stream");
+  return value;
+}
+
+void write_empirical(std::ostream& out, const EmpiricalDistribution& dist) {
+  write_pod(out, static_cast<std::uint64_t>(dist.support_size()));
+  for (std::size_t i = 0; i < dist.support_size(); ++i) {
+    write_pod(out, dist.values()[i]);
+    write_pod(out, dist.probabilities()[i]);
+  }
+}
+
+EmpiricalDistribution read_empirical(std::istream& in) {
+  const auto n = read_pod<std::uint64_t>(in);
+  CSB_CHECK_MSG(n > 0 && n <= (1ULL << 32),
+                "implausible distribution size in seed profile stream");
+  std::vector<std::pair<double, double>> weighted;
+  weighted.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double value = read_pod<double>(in);
+    const double prob = read_pod<double>(in);
+    weighted.emplace_back(value, prob);
+  }
+  return EmpiricalDistribution::from_weighted(std::move(weighted));
+}
+
+void write_conditional(std::ostream& out,
+                       const ConditionalDistribution& dist) {
+  const auto keys = dist.bucket_keys();
+  write_pod(out, static_cast<std::uint64_t>(keys.size()));
+  for (const std::uint32_t key : keys) {
+    write_pod(out, key);
+    write_empirical(out, dist.bucket(key));
+  }
+  write_empirical(out, dist.marginal());
+}
+
+ConditionalDistribution read_conditional(std::istream& in) {
+  const auto buckets = read_pod<std::uint64_t>(in);
+  CSB_CHECK_MSG(buckets <= 64, "implausible bucket count in profile stream");
+  std::vector<std::pair<std::uint32_t, EmpiricalDistribution>> parts;
+  parts.reserve(buckets);
+  for (std::uint64_t i = 0; i < buckets; ++i) {
+    const auto key = read_pod<std::uint32_t>(in);
+    parts.emplace_back(key, read_empirical(in));
+  }
+  return ConditionalDistribution::from_parts(std::move(parts),
+                                             read_empirical(in));
+}
+
+bool empirical_equal(const EmpiricalDistribution& a,
+                     const EmpiricalDistribution& b) {
+  if (a.values() != b.values()) return false;
+  // Probabilities are renormalized on load; allow the round-off of one
+  // division (support values themselves stay bit-exact).
+  if (a.probabilities().size() != b.probabilities().size()) return false;
+  for (std::size_t i = 0; i < a.probabilities().size(); ++i) {
+    if (std::abs(a.probabilities()[i] - b.probabilities()[i]) > 1e-12) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool conditional_equal(const ConditionalDistribution& a,
+                       const ConditionalDistribution& b) {
+  if (a.bucket_keys() != b.bucket_keys()) return false;
+  for (const std::uint32_t key : a.bucket_keys()) {
+    if (!empirical_equal(a.bucket(key), b.bucket(key))) return false;
+  }
+  return empirical_equal(a.marginal(), b.marginal());
+}
+
+}  // namespace
+
+void SeedProfile::save(std::ostream& out) const {
+  out.write(kMagic, sizeof kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, seed_vertices_);
+  write_pod(out, seed_edges_);
+  write_empirical(out, in_degree_);
+  write_empirical(out, out_degree_);
+  write_empirical(out, in_bytes_);
+  write_conditional(out, protocol_);
+  write_conditional(out, src_port_);
+  write_conditional(out, dst_port_);
+  write_conditional(out, duration_ms_);
+  write_conditional(out, out_bytes_);
+  write_conditional(out, out_pkts_);
+  write_conditional(out, in_pkts_);
+  write_conditional(out, state_);
+  CSB_CHECK_MSG(out.good(), "failed writing seed profile stream");
+}
+
+SeedProfile SeedProfile::load(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  CSB_CHECK_MSG(in.good() && std::equal(magic, magic + 4, kMagic),
+                "not a csb seed profile (bad magic)");
+  const auto version = read_pod<std::uint32_t>(in);
+  CSB_CHECK_MSG(version == kVersion, "unsupported seed profile version");
+  SeedProfile profile;
+  profile.seed_vertices_ = read_pod<std::uint64_t>(in);
+  profile.seed_edges_ = read_pod<std::uint64_t>(in);
+  profile.in_degree_ = read_empirical(in);
+  profile.out_degree_ = read_empirical(in);
+  profile.in_bytes_ = read_empirical(in);
+  profile.protocol_ = read_conditional(in);
+  profile.src_port_ = read_conditional(in);
+  profile.dst_port_ = read_conditional(in);
+  profile.duration_ms_ = read_conditional(in);
+  profile.out_bytes_ = read_conditional(in);
+  profile.out_pkts_ = read_conditional(in);
+  profile.in_pkts_ = read_conditional(in);
+  profile.state_ = read_conditional(in);
+  return profile;
+}
+
+void SeedProfile::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  CSB_CHECK_MSG(out.is_open(), "cannot open for writing: " << path);
+  save(out);
+}
+
+SeedProfile SeedProfile::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CSB_CHECK_MSG(in.is_open(), "cannot open for reading: " << path);
+  return load(in);
+}
+
+bool operator==(const SeedProfile& a, const SeedProfile& b) {
+  return a.seed_vertices_ == b.seed_vertices_ &&
+         a.seed_edges_ == b.seed_edges_ &&
+         empirical_equal(a.in_degree_, b.in_degree_) &&
+         empirical_equal(a.out_degree_, b.out_degree_) &&
+         empirical_equal(a.in_bytes_, b.in_bytes_) &&
+         conditional_equal(a.protocol_, b.protocol_) &&
+         conditional_equal(a.src_port_, b.src_port_) &&
+         conditional_equal(a.dst_port_, b.dst_port_) &&
+         conditional_equal(a.duration_ms_, b.duration_ms_) &&
+         conditional_equal(a.out_bytes_, b.out_bytes_) &&
+         conditional_equal(a.out_pkts_, b.out_pkts_) &&
+         conditional_equal(a.in_pkts_, b.in_pkts_) &&
+         conditional_equal(a.state_, b.state_);
+}
+
+}  // namespace csb

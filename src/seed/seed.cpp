@@ -1,0 +1,157 @@
+#include "seed/seed.hpp"
+
+#include <unordered_map>
+
+#include "flow/assembler.hpp"
+#include "graph/algorithms.hpp"
+#include "pcap/pcap_file.hpp"
+#include "util/error.hpp"
+
+namespace csb {
+
+PropertyGraph graph_from_netflow(const std::vector<NetflowRecord>& records) {
+  PropertyGraph graph;
+  std::unordered_map<std::uint32_t, VertexId> id_of;
+  id_of.reserve(records.size());
+  const auto vertex_of = [&](std::uint32_t ip) {
+    const auto [it, inserted] = id_of.try_emplace(ip, graph.num_vertices());
+    if (inserted) graph.add_vertex();
+    return it->second;
+  };
+  graph.reserve_edges(records.size());
+  for (const NetflowRecord& rec : records) {
+    const VertexId src = vertex_of(rec.src_ip);
+    const VertexId dst = vertex_of(rec.dst_ip);
+    graph.add_edge(src, dst, rec.to_edge_properties());
+  }
+  return graph;
+}
+
+EdgeId IncrementalGraphBuilder::add(const NetflowRecord& record) {
+  const VertexId src = vertex_of(record.src_ip);
+  const VertexId dst = vertex_of(record.dst_ip);
+  return graph_.add_edge(src, dst, record.to_edge_properties());
+}
+
+VertexId IncrementalGraphBuilder::vertex_of(std::uint32_t ip) {
+  const auto [it, inserted] = vertex_by_ip_.try_emplace(ip, graph_.num_vertices());
+  if (inserted) {
+    graph_.add_vertex();
+    ip_by_vertex_.push_back(ip);
+  }
+  return it->second;
+}
+
+std::uint32_t IncrementalGraphBuilder::ip_of(VertexId vertex) const {
+  CSB_CHECK_MSG(vertex < ip_by_vertex_.size(), "unknown vertex");
+  return ip_by_vertex_[vertex];
+}
+
+PropertyGraph IncrementalGraphBuilder::take() {
+  PropertyGraph out = std::move(graph_);
+  graph_ = PropertyGraph{};
+  vertex_by_ip_.clear();
+  ip_by_vertex_.clear();
+  return out;
+}
+
+SeedProfile SeedProfile::analyze(const PropertyGraph& seed) {
+  CSB_CHECK_MSG(seed.num_edges() > 0, "seed graph has no edges");
+  CSB_CHECK_MSG(seed.has_properties(),
+                "seed graph must carry NetFlow properties");
+
+  SeedProfile profile;
+  profile.seed_vertices_ = seed.num_vertices();
+  profile.seed_edges_ = seed.num_edges();
+
+  // Structural distributions: per-vertex in/out degree of the seed.
+  const auto in_deg = in_degrees(seed);
+  const auto out_deg = out_degrees(seed);
+  std::vector<double> in_samples(in_deg.begin(), in_deg.end());
+  std::vector<double> out_samples(out_deg.begin(), out_deg.end());
+  profile.in_degree_ = EmpiricalDistribution::from_samples(in_samples);
+  profile.out_degree_ = EmpiricalDistribution::from_samples(out_samples);
+
+  // Attribute factorization: p(IN_BYTES), then p(a | IN_BYTES).
+  const std::size_t m = seed.num_edges();
+  const auto in_bytes = seed.in_bytes();
+  {
+    std::vector<double> samples(in_bytes.begin(), in_bytes.end());
+    profile.in_bytes_ = EmpiricalDistribution::from_samples(samples);
+  }
+  const auto fit_conditional = [&](auto&& value_of) {
+    std::vector<std::pair<std::uint64_t, double>> obs;
+    obs.reserve(m);
+    for (std::size_t e = 0; e < m; ++e) {
+      obs.emplace_back(in_bytes[e], value_of(e));
+    }
+    return ConditionalDistribution::fit(obs);
+  };
+  profile.protocol_ = fit_conditional([&](std::size_t e) {
+    return static_cast<double>(static_cast<std::uint8_t>(seed.protocols()[e]));
+  });
+  profile.src_port_ = fit_conditional(
+      [&](std::size_t e) { return static_cast<double>(seed.src_ports()[e]); });
+  profile.dst_port_ = fit_conditional(
+      [&](std::size_t e) { return static_cast<double>(seed.dst_ports()[e]); });
+  profile.duration_ms_ = fit_conditional([&](std::size_t e) {
+    return static_cast<double>(seed.durations_ms()[e]);
+  });
+  profile.out_bytes_ = fit_conditional(
+      [&](std::size_t e) { return static_cast<double>(seed.out_bytes()[e]); });
+  profile.out_pkts_ = fit_conditional(
+      [&](std::size_t e) { return static_cast<double>(seed.out_pkts()[e]); });
+  profile.in_pkts_ = fit_conditional(
+      [&](std::size_t e) { return static_cast<double>(seed.in_pkts()[e]); });
+  profile.state_ = fit_conditional([&](std::size_t e) {
+    return static_cast<double>(static_cast<std::uint8_t>(seed.states()[e]));
+  });
+  return profile;
+}
+
+EdgeProperties SeedProfile::sample_properties(Rng& rng) const {
+  EdgeProperties props;
+  const auto in_bytes = static_cast<std::uint64_t>(in_bytes_.sample(rng));
+  props.in_bytes = in_bytes;
+  props.protocol = static_cast<Protocol>(
+      static_cast<std::uint8_t>(protocol_.sample(in_bytes, rng)));
+  props.src_port =
+      static_cast<std::uint16_t>(src_port_.sample(in_bytes, rng));
+  props.dst_port =
+      static_cast<std::uint16_t>(dst_port_.sample(in_bytes, rng));
+  props.duration_ms =
+      static_cast<std::uint32_t>(duration_ms_.sample(in_bytes, rng));
+  props.out_bytes =
+      static_cast<std::uint64_t>(out_bytes_.sample(in_bytes, rng));
+  props.out_pkts =
+      static_cast<std::uint32_t>(out_pkts_.sample(in_bytes, rng));
+  props.in_pkts = static_cast<std::uint32_t>(in_pkts_.sample(in_bytes, rng));
+  props.state = static_cast<ConnState>(
+      static_cast<std::uint8_t>(state_.sample(in_bytes, rng)));
+  return props;
+}
+
+SeedBundle build_seed_from_packets(const std::vector<PcapPacket>& packets) {
+  std::vector<DecodedPacket> decoded;
+  decoded.reserve(packets.size());
+  for (const PcapPacket& packet : packets) {
+    if (auto summary = decode_frame(packet.data.data(), packet.data.size(),
+                                    packet.orig_len, packet.timestamp_us)) {
+      decoded.push_back(*summary);
+    }
+  }
+  return build_seed_from_netflow(assemble_flows(decoded));
+}
+
+SeedBundle build_seed_from_pcap_file(const std::string& path) {
+  return build_seed_from_packets(read_pcap_file(path));
+}
+
+SeedBundle build_seed_from_netflow(
+    const std::vector<NetflowRecord>& records) {
+  SeedBundle bundle{graph_from_netflow(records), SeedProfile{}};
+  bundle.profile = SeedProfile::analyze(bundle.graph);
+  return bundle;
+}
+
+}  // namespace csb

@@ -1,0 +1,50 @@
+#include "stats/alias_table.hpp"
+
+#include <numeric>
+#include <vector>
+
+namespace csb {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  CSB_CHECK_MSG(!weights.empty(), "AliasTable needs at least one weight");
+  const std::size_t n = weights.size();
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  CSB_CHECK_MSG(total > 0.0, "AliasTable weights must sum to a positive value");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's algorithm: scale weights to mean 1, then pair each underfull
+  // bucket with an overfull donor.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    CSB_CHECK_MSG(weights[i] >= 0.0, "AliasTable weights must be nonnegative");
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Numerical leftovers get probability 1 (self-alias).
+  for (const std::uint32_t i : small) prob_[i] = 1.0;
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+}
+
+}  // namespace csb

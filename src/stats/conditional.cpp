@@ -1,0 +1,72 @@
+#include "stats/conditional.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace csb {
+
+std::uint32_t ConditionalDistribution::bucket_of(
+    std::uint64_t condition) noexcept {
+  if (condition == 0) return 0;
+  return std::bit_width(condition);  // 1 + floor(log2(v))
+}
+
+ConditionalDistribution ConditionalDistribution::fit(
+    std::span<const std::pair<std::uint64_t, double>> observations) {
+  CSB_CHECK_MSG(!observations.empty(),
+                "ConditionalDistribution requires observations");
+  std::map<std::uint32_t, std::vector<std::pair<double, double>>> grouped;
+  std::vector<std::pair<double, double>> all;
+  all.reserve(observations.size());
+  for (const auto& [condition, value] : observations) {
+    grouped[bucket_of(condition)].emplace_back(value, 1.0);
+    all.emplace_back(value, 1.0);
+  }
+  ConditionalDistribution dist;
+  for (auto& [bucket, samples] : grouped) {
+    dist.by_bucket_.emplace(
+        bucket, EmpiricalDistribution::from_weighted(std::move(samples)));
+  }
+  dist.marginal_ = std::make_shared<EmpiricalDistribution>(
+      EmpiricalDistribution::from_weighted(std::move(all)));
+  return dist;
+}
+
+double ConditionalDistribution::sample(std::uint64_t condition,
+                                       Rng& rng) const {
+  const auto it = by_bucket_.find(bucket_of(condition));
+  if (it == by_bucket_.end()) return marginal_->sample(rng);
+  return it->second.sample(rng);
+}
+
+const EmpiricalDistribution& ConditionalDistribution::bucket(
+    std::uint32_t b) const {
+  const auto it = by_bucket_.find(b);
+  CSB_CHECK_MSG(it != by_bucket_.end(), "unknown condition bucket " << b);
+  return it->second;
+}
+
+std::vector<std::uint32_t> ConditionalDistribution::bucket_keys() const {
+  std::vector<std::uint32_t> keys;
+  keys.reserve(by_bucket_.size());
+  for (const auto& [key, dist] : by_bucket_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+ConditionalDistribution ConditionalDistribution::from_parts(
+    std::vector<std::pair<std::uint32_t, EmpiricalDistribution>> buckets,
+    EmpiricalDistribution marginal) {
+  ConditionalDistribution dist;
+  for (auto& [key, empirical] : buckets) {
+    dist.by_bucket_.emplace(key, std::move(empirical));
+  }
+  dist.marginal_ =
+      std::make_shared<EmpiricalDistribution>(std::move(marginal));
+  return dist;
+}
+
+}  // namespace csb

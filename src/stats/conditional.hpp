@@ -1,0 +1,61 @@
+// Conditional empirical distributions p(attribute | IN_BYTES bucket).
+//
+// Paper §III: the seed analysis first computes the unconditional
+// distribution of IN_BYTES, then for every other NetFlow attribute `a`
+// computes p(a | IN_BYTES). Conditioning on the raw byte count would give
+// one distribution per distinct value, so we bucket the conditioning
+// variable logarithmically (base 2), which is also how flow sizes naturally
+// cluster (mice vs elephants).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "stats/empirical.hpp"
+#include "util/random.hpp"
+
+namespace csb {
+
+class ConditionalDistribution {
+ public:
+  /// Log2 bucket of the conditioning value; 0 maps to bucket 0, and values
+  /// >= 1 map to 1 + floor(log2(v)).
+  static std::uint32_t bucket_of(std::uint64_t condition) noexcept;
+
+  /// Fits from (condition, value) observations. Also fits the marginal
+  /// p(value), used as a fallback for unseen condition buckets.
+  static ConditionalDistribution fit(
+      std::span<const std::pair<std::uint64_t, double>> observations);
+
+  /// Reassembles from previously fitted parts (deserialization path).
+  static ConditionalDistribution from_parts(
+      std::vector<std::pair<std::uint32_t, EmpiricalDistribution>> buckets,
+      EmpiricalDistribution marginal);
+
+  /// Draws from p(value | bucket_of(condition)), falling back to the
+  /// marginal when the bucket was never observed.
+  double sample(std::uint64_t condition, Rng& rng) const;
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return by_bucket_.size();
+  }
+  [[nodiscard]] bool has_bucket(std::uint32_t bucket) const {
+    return by_bucket_.contains(bucket);
+  }
+  [[nodiscard]] const EmpiricalDistribution& marginal() const {
+    return *marginal_;
+  }
+  [[nodiscard]] const EmpiricalDistribution& bucket(std::uint32_t b) const;
+
+  /// Sorted bucket keys (for serialization and inspection).
+  [[nodiscard]] std::vector<std::uint32_t> bucket_keys() const;
+
+ private:
+  std::unordered_map<std::uint32_t, EmpiricalDistribution> by_bucket_;
+  std::shared_ptr<EmpiricalDistribution> marginal_;
+};
+
+}  // namespace csb

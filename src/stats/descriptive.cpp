@@ -1,0 +1,2 @@
+// RunningStats is header-only; this translation unit anchors the library.
+#include "stats/descriptive.hpp"

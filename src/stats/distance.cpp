@@ -1,0 +1,68 @@
+#include "stats/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace csb {
+
+std::vector<double> normalize_by_sum(std::span<const double> values) {
+  CSB_CHECK_MSG(!values.empty(), "normalize_by_sum requires values");
+  const double total = std::accumulate(values.begin(), values.end(), 0.0);
+  CSB_CHECK_MSG(total > 0.0, "normalize_by_sum requires a positive total");
+  std::vector<double> out(values.begin(), values.end());
+  for (double& v : out) v /= total;
+  return out;
+}
+
+double sorted_quantile(std::span<const double> sorted, double q) {
+  CSB_CHECK_MSG(!sorted.empty(), "quantile of an empty sample");
+  CSB_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile requires q in [0, 1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double quantile_euclidean_distance(std::span<const double> a,
+                                   std::span<const double> b,
+                                   std::size_t points) {
+  CSB_CHECK_MSG(points >= 2, "need at least two quantile points");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points - 1);
+    sum += std::abs(sorted_quantile(sa, q) - sorted_quantile(sb, q));
+  }
+  return sum / static_cast<double>(points);
+}
+
+double ks_distance(std::span<const double> a, std::span<const double> b) {
+  CSB_CHECK_MSG(!a.empty() && !b.empty(), "ks_distance requires samples");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double ks = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    ks = std::max(ks, std::abs(static_cast<double>(ia) / na -
+                               static_cast<double>(ib) / nb));
+  }
+  return ks;
+}
+
+}  // namespace csb

@@ -1,0 +1,35 @@
+// Distribution distances for the veracity evaluation (paper §V-A).
+//
+// The paper defines the veracity score of a synthetic dataset as "the
+// average Euclidean distance of their normalized degree and PageRank
+// distributions", where normalization divides each value by the sum over
+// all vertices. Two graphs of different sizes therefore have incomparable
+// supports; we compare them on a common quantile grid of the normalized
+// values, which is size-independent and reproduces the paper's trend
+// (scores shrink as the synthetic graph grows).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace csb {
+
+/// Divides every element by the sum of all elements. Requires a positive sum.
+std::vector<double> normalize_by_sum(std::span<const double> values);
+
+/// q-quantile (0 <= q <= 1) of a *sorted ascending* vector, with linear
+/// interpolation between order statistics.
+double sorted_quantile(std::span<const double> sorted, double q);
+
+/// Mean Euclidean (absolute, 1-D) distance between the quantile functions of
+/// two samples, evaluated on `points` evenly spaced quantiles. Inputs need
+/// not be sorted or equally sized.
+double quantile_euclidean_distance(std::span<const double> a,
+                                   std::span<const double> b,
+                                   std::size_t points = 101);
+
+/// Two-sample Kolmogorov–Smirnov statistic (max CDF gap).
+double ks_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace csb

@@ -1,0 +1,78 @@
+#include "stats/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace csb {
+
+EmpiricalDistribution EmpiricalDistribution::from_samples(
+    std::span<const double> samples) {
+  std::vector<std::pair<double, double>> weighted;
+  weighted.reserve(samples.size());
+  for (const double s : samples) weighted.emplace_back(s, 1.0);
+  return from_weighted(std::move(weighted));
+}
+
+EmpiricalDistribution EmpiricalDistribution::from_weighted(
+    std::vector<std::pair<double, double>> weighted) {
+  CSB_CHECK_MSG(!weighted.empty(),
+                "EmpiricalDistribution requires at least one sample");
+  std::map<double, double> mass;
+  for (const auto& [value, weight] : weighted) {
+    CSB_CHECK_MSG(weight >= 0.0, "sample weights must be nonnegative");
+    CSB_CHECK_MSG(std::isfinite(value), "sample values must be finite");
+    mass[value] += weight;
+  }
+  EmpiricalDistribution dist;
+  dist.values_.reserve(mass.size());
+  dist.probs_.reserve(mass.size());
+  double total = 0.0;
+  for (const auto& [value, weight] : mass) total += weight;
+  CSB_CHECK_MSG(total > 0.0, "total sample weight must be positive");
+  for (const auto& [value, weight] : mass) {
+    if (weight == 0.0) continue;
+    dist.values_.push_back(value);
+    dist.probs_.push_back(weight / total);
+  }
+  dist.finalize();
+  return dist;
+}
+
+void EmpiricalDistribution::finalize() {
+  cdf_.resize(probs_.size());
+  double acc = 0.0;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    acc += probs_[i];
+    cdf_[i] = acc;
+    mean += probs_[i] * values_[i];
+  }
+  cdf_.back() = 1.0;  // absorb rounding
+  mean_ = mean;
+  double var = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    const double d = values_[i] - mean_;
+    var += probs_[i] * d * d;
+  }
+  variance_ = var;
+  alias_ = std::make_shared<const AliasTable>(
+      std::span<const double>(probs_.data(), probs_.size()));
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  CSB_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile requires q in [0, 1]");
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), q);
+  const std::size_t idx =
+      it == cdf_.end() ? cdf_.size() - 1
+                       : static_cast<std::size_t>(it - cdf_.begin());
+  return values_[idx];
+}
+
+double EmpiricalDistribution::pmf(double value) const {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), value);
+  if (it == values_.end() || *it != value) return 0.0;
+  return probs_[static_cast<std::size_t>(it - values_.begin())];
+}
+
+}  // namespace csb

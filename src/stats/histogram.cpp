@@ -1,0 +1,60 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace csb {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  CSB_CHECK_MSG(hi > lo, "Histogram range must be non-empty");
+  CSB_CHECK_MSG(bins > 0, "Histogram needs at least one bin");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0.0);
+}
+
+void Histogram::add(double value, double weight) {
+  auto bin = static_cast<std::ptrdiff_t>((value - lo_) / width_);
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  CSB_CHECK(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+
+double Histogram::count(std::size_t bin) const {
+  CSB_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  return total_ > 0.0 ? count(bin) / total_ : 0.0;
+}
+
+void Log2Histogram::add(std::uint64_t value, double weight) {
+  total_ += weight;
+  if (value == 0) {
+    zero_ += weight;
+    return;
+  }
+  const std::size_t bin = std::bit_width(value) - 1;  // floor(log2(value))
+  if (bin >= counts_.size()) counts_.resize(bin + 1, 0.0);
+  counts_[bin] += weight;
+}
+
+double Log2Histogram::count(std::size_t bin) const {
+  CSB_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Log2Histogram::bin_center(std::size_t bin) {
+  return std::exp2(static_cast<double>(bin) + 0.5);
+}
+
+}  // namespace csb

@@ -1,0 +1,57 @@
+// Histograms used for distribution analysis and for the log-binned degree
+// plots of the evaluation (paper Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace csb {
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so no mass is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  [[nodiscard]] double count(std::size_t bin) const;
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Bin mass / total mass; 0 when the histogram is empty.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+/// Logarithmic (base-2) histogram over positive integers: bin b holds values
+/// in [2^b, 2^(b+1)). Value 0 gets a dedicated underflow bin. This is the
+/// binning used to render degree distributions on log-log axes.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double count(std::size_t bin) const;
+  [[nodiscard]] double total() const noexcept { return total_; }
+  [[nodiscard]] double zero_count() const noexcept { return zero_; }
+
+  /// Geometric center of bin b, i.e. sqrt(2^b * 2^(b+1)).
+  [[nodiscard]] static double bin_center(std::size_t bin);
+
+ private:
+  double zero_ = 0.0;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+}  // namespace csb

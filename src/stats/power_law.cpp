@@ -1,0 +1,108 @@
+#include "stats/power_law.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace csb {
+
+double fit_power_law_alpha(std::span<const double> samples, double xmin) {
+  CSB_CHECK_MSG(xmin >= 1.0, "power-law xmin must be >= 1");
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (const double x : samples) {
+    if (x < xmin) continue;
+    log_sum += std::log(x / (xmin - 0.5));
+    ++n;
+  }
+  CSB_CHECK_MSG(n > 0, "no samples at or above xmin");
+  CSB_CHECK_MSG(log_sum > 0.0, "degenerate tail: all samples equal xmin?");
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+double power_law_ks(std::span<const double> samples, double alpha,
+                    double xmin) {
+  std::vector<double> tail;
+  for (const double x : samples) {
+    if (x >= xmin) tail.push_back(x);
+  }
+  if (tail.empty()) return 1.0;
+  std::sort(tail.begin(), tail.end());
+  const auto n = static_cast<double>(tail.size());
+  double ks = 0.0;
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    // Model CDF (continuous approximation): F(x) = 1 - (x / xmin)^(1-alpha).
+    const double model = 1.0 - std::pow(tail[i] / xmin, 1.0 - alpha);
+    const double emp_hi = static_cast<double>(i + 1) / n;
+    const double emp_lo = static_cast<double>(i) / n;
+    ks = std::max({ks, std::abs(emp_hi - model), std::abs(emp_lo - model)});
+  }
+  return ks;
+}
+
+PowerLawFit fit_power_law(std::span<const double> samples,
+                          std::size_t max_candidates) {
+  CSB_CHECK_MSG(!samples.empty(), "fit_power_law requires samples");
+  std::set<double> unique;
+  for (const double x : samples) {
+    if (x >= 1.0) unique.insert(x);
+  }
+  CSB_CHECK_MSG(!unique.empty(), "fit_power_law requires samples >= 1");
+
+  // Thin the candidate set to keep the scan O(max_candidates * n).
+  std::vector<double> candidates(unique.begin(), unique.end());
+  if (candidates.size() > max_candidates) {
+    std::vector<double> thinned;
+    thinned.reserve(max_candidates);
+    const double step = static_cast<double>(candidates.size()) /
+                        static_cast<double>(max_candidates);
+    for (std::size_t i = 0; i < max_candidates; ++i) {
+      thinned.push_back(candidates[static_cast<std::size_t>(i * step)]);
+    }
+    candidates = std::move(thinned);
+  }
+  // The tail above the largest value is a single point — drop it.
+  const double max_value = *unique.rbegin();
+  while (candidates.size() > 1 && candidates.back() >= max_value) {
+    candidates.pop_back();
+  }
+
+  PowerLawFit best;
+  for (const double xmin : candidates) {
+    std::size_t tail_n = 0;
+    for (const double x : samples) {
+      if (x >= xmin) ++tail_n;
+    }
+    if (tail_n < 10) continue;  // need a minimal tail for a stable MLE
+    double alpha;
+    try {
+      alpha = fit_power_law_alpha(samples, xmin);
+    } catch (const CsbError&) {
+      continue;  // degenerate tail (all equal values)
+    }
+    const double ks = power_law_ks(samples, alpha, xmin);
+    if (ks < best.ks) {
+      best.alpha = alpha;
+      best.xmin = xmin;
+      best.ks = ks;
+      best.tail_n = tail_n;
+    }
+  }
+  CSB_CHECK_MSG(best.tail_n > 0, "fit_power_law found no viable xmin");
+  return best;
+}
+
+std::uint64_t sample_power_law(Rng& rng, double alpha, double xmin) {
+  CSB_CHECK_MSG(alpha > 1.0, "power-law sampling requires alpha > 1");
+  CSB_CHECK_MSG(xmin >= 1.0, "power-law xmin must be >= 1");
+  const double u = rng.uniform_double();
+  const double x =
+      (xmin - 0.5) * std::pow(1.0 - u, -1.0 / (alpha - 1.0)) + 0.5;
+  // Guard against the unbounded tail overflowing the integer conversion.
+  const double capped = std::min(x, 9.0e18);
+  return static_cast<std::uint64_t>(capped);
+}
+
+}  // namespace csb

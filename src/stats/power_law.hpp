@@ -1,0 +1,42 @@
+// Discrete power-law fitting and sampling (Clauset–Shalizi–Newman style).
+//
+// The BA family produces degree sequences with P(k) ∝ k^-alpha; the seed
+// analysis fits alpha so tests and benches can verify that both the seed
+// model and the synthetic graphs are scale-free, which is the structural
+// property the paper's generators are designed to preserve.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace csb {
+
+struct PowerLawFit {
+  double alpha = 0.0;   ///< fitted exponent (> 1 for a proper power law)
+  double xmin = 1.0;    ///< lower cutoff of the power-law regime
+  double ks = 1.0;      ///< Kolmogorov–Smirnov distance of the fit
+  std::size_t tail_n = 0;  ///< number of samples with x >= xmin
+};
+
+/// MLE for the exponent with fixed xmin, using the discrete approximation
+/// alpha = 1 + n / sum(ln(x_i / (xmin - 0.5))).
+double fit_power_law_alpha(std::span<const double> samples, double xmin);
+
+/// KS distance between the empirical tail CDF (x >= xmin) and the fitted
+/// continuous-approximation power-law CDF.
+double power_law_ks(std::span<const double> samples, double alpha,
+                    double xmin);
+
+/// Full fit: scans candidate xmin values (up to `max_candidates` unique
+/// sample values) and keeps the (alpha, xmin) minimizing the KS distance.
+PowerLawFit fit_power_law(std::span<const double> samples,
+                          std::size_t max_candidates = 50);
+
+/// Draws from a discrete power law with exponent alpha >= xmin, via the
+/// continuous-approximation inverse-CDF of Clauset et al., Appendix D.
+std::uint64_t sample_power_law(Rng& rng, double alpha, double xmin = 1.0);
+
+}  // namespace csb

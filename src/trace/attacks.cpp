@@ -1,0 +1,231 @@
+#include "trace/attacks.hpp"
+
+#include "util/error.hpp"
+
+namespace csb {
+
+namespace {
+
+std::uint64_t spread(std::uint64_t start_us, std::uint64_t duration_s,
+                     std::uint64_t i, std::uint64_t n) {
+  if (n <= 1) return start_us;
+  return start_us + duration_s * 1'000'000 * i / (n - 1);
+}
+
+}  // namespace
+
+std::vector<SessionSpec> inject_syn_flood(const SynFloodConfig& cfg,
+                                          Rng& rng) {
+  CSB_CHECK_MSG(cfg.flows > 0 && cfg.spoofed_sources > 0,
+                "syn flood needs flows and sources");
+  std::vector<SessionSpec> sessions;
+  sessions.reserve(cfg.flows);
+  for (std::uint32_t i = 0; i < cfg.flows; ++i) {
+    SessionSpec spec;
+    spec.client_ip =
+        cfg.spoof_base_ip + static_cast<std::uint32_t>(
+                                rng.uniform(cfg.spoofed_sources));
+    spec.server_ip = cfg.victim_ip;
+    spec.protocol = Protocol::kTcp;
+    spec.client_port = static_cast<std::uint16_t>(1024 + rng.uniform(64000));
+    spec.server_port = cfg.victim_port;
+    spec.start_us = spread(cfg.start_us, cfg.duration_s, i, cfg.flows);
+    spec.duration_ms = static_cast<std::uint32_t>(rng.uniform(3000));
+    spec.out_pkts = 1 + static_cast<std::uint32_t>(rng.uniform(3));  // retries
+    spec.state = ConnState::kS0;
+    spec.label = TrafficLabel::kSynFlood;
+    normalize_session(spec);
+    sessions.push_back(spec);
+  }
+  return sessions;
+}
+
+std::vector<SessionSpec> inject_host_scan(const HostScanConfig& cfg,
+                                          Rng& rng) {
+  CSB_CHECK_MSG(cfg.port_count > 0, "host scan needs ports");
+  std::vector<SessionSpec> sessions;
+  sessions.reserve(cfg.port_count);
+  for (std::uint16_t p = 0; p < cfg.port_count; ++p) {
+    SessionSpec spec;
+    spec.client_ip = cfg.scanner_ip;
+    spec.server_ip = cfg.target_ip;
+    spec.protocol = Protocol::kTcp;
+    spec.client_port = static_cast<std::uint16_t>(40000 + rng.uniform(20000));
+    spec.server_port = static_cast<std::uint16_t>(cfg.first_port + p);
+    spec.start_us = spread(cfg.start_us, cfg.duration_s, p, cfg.port_count);
+    spec.duration_ms = static_cast<std::uint32_t>(rng.uniform(100));
+    spec.out_pkts = 1;
+    // Closed ports answer RST (REJ); a small fraction are open and the
+    // scanner walks away after the handshake (S1 with a single data probe).
+    if (rng.bernoulli(cfg.open_port_fraction)) {
+      spec.state = ConnState::kS1;
+      spec.in_pkts = 1;
+    } else {
+      spec.state = ConnState::kRej;
+      spec.in_pkts = 1;
+    }
+    spec.label = TrafficLabel::kHostScan;
+    normalize_session(spec);
+    sessions.push_back(spec);
+  }
+  return sessions;
+}
+
+std::vector<SessionSpec> inject_network_scan(const NetworkScanConfig& cfg,
+                                             Rng& rng) {
+  CSB_CHECK_MSG(cfg.host_count > 0, "network scan needs hosts");
+  std::vector<SessionSpec> sessions;
+  sessions.reserve(cfg.host_count);
+  for (std::uint32_t h = 0; h < cfg.host_count; ++h) {
+    SessionSpec spec;
+    spec.client_ip = cfg.scanner_ip;
+    spec.server_ip = cfg.subnet_base + h;
+    spec.protocol = Protocol::kTcp;
+    spec.client_port = static_cast<std::uint16_t>(40000 + rng.uniform(20000));
+    spec.server_port = cfg.port;
+    spec.start_us = spread(cfg.start_us, cfg.duration_s, h, cfg.host_count);
+    spec.duration_ms = static_cast<std::uint32_t>(rng.uniform(200));
+    spec.out_pkts = 1;
+    // Most probed addresses are dark (S0); some answer with RST.
+    spec.state = rng.bernoulli(0.3) ? ConnState::kRej : ConnState::kS0;
+    if (spec.state == ConnState::kRej) spec.in_pkts = 1;
+    spec.label = TrafficLabel::kNetworkScan;
+    normalize_session(spec);
+    sessions.push_back(spec);
+  }
+  return sessions;
+}
+
+std::vector<SessionSpec> inject_udp_flood(const UdpFloodConfig& cfg,
+                                          Rng& rng) {
+  CSB_CHECK_MSG(cfg.flows > 0, "udp flood needs flows");
+  std::vector<SessionSpec> sessions;
+  sessions.reserve(cfg.flows);
+  for (std::uint32_t i = 0; i < cfg.flows; ++i) {
+    SessionSpec spec;
+    spec.client_ip = cfg.attacker_ip;
+    spec.server_ip = cfg.victim_ip;
+    spec.protocol = Protocol::kUdp;
+    spec.client_port = static_cast<std::uint16_t>(1024 + rng.uniform(64000));
+    spec.server_port = cfg.victim_port;
+    spec.start_us = spread(cfg.start_us, cfg.duration_s, i, cfg.flows);
+    spec.duration_ms =
+        static_cast<std::uint32_t>(1000 + rng.uniform(30000));
+    spec.out_pkts = cfg.pkts_per_flow / 2 +
+                    static_cast<std::uint32_t>(rng.uniform(cfg.pkts_per_flow));
+    spec.out_bytes =
+        static_cast<std::uint64_t>(spec.out_pkts) * (kUdpFrameOverhead + 1000);
+    spec.in_pkts = 0;
+    spec.label = TrafficLabel::kUdpFlood;
+    normalize_session(spec);
+    sessions.push_back(spec);
+  }
+  return sessions;
+}
+
+std::vector<SessionSpec> inject_icmp_flood(const IcmpFloodConfig& cfg,
+                                           Rng& rng) {
+  CSB_CHECK_MSG(cfg.flows > 0, "icmp flood needs flows");
+  std::vector<SessionSpec> sessions;
+  sessions.reserve(cfg.flows);
+  for (std::uint32_t i = 0; i < cfg.flows; ++i) {
+    SessionSpec spec;
+    spec.client_ip = cfg.attacker_ip;
+    spec.server_ip = cfg.victim_ip;
+    spec.protocol = Protocol::kIcmp;
+    spec.start_us = spread(cfg.start_us, cfg.duration_s, i, cfg.flows);
+    spec.duration_ms =
+        static_cast<std::uint32_t>(1000 + rng.uniform(20000));
+    spec.out_pkts = cfg.pkts_per_flow / 2 +
+                    static_cast<std::uint32_t>(rng.uniform(cfg.pkts_per_flow));
+    spec.out_bytes =
+        static_cast<std::uint64_t>(spec.out_pkts) * (kIcmpFrameOverhead + 1400);
+    spec.in_pkts = 0;
+    spec.label = TrafficLabel::kIcmpFlood;
+    normalize_session(spec);
+    sessions.push_back(spec);
+  }
+  return sessions;
+}
+
+std::vector<SessionSpec> inject_ddos(const DdosConfig& cfg, Rng& rng) {
+  CSB_CHECK_MSG(cfg.bot_count > 0 && cfg.flows_per_bot > 0,
+                "ddos needs bots and flows");
+  std::vector<SessionSpec> sessions;
+  sessions.reserve(static_cast<std::size_t>(cfg.bot_count) *
+                   cfg.flows_per_bot);
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(cfg.bot_count) * cfg.flows_per_bot;
+  std::uint64_t i = 0;
+  for (std::uint32_t bot = 0; bot < cfg.bot_count; ++bot) {
+    for (std::uint32_t f = 0; f < cfg.flows_per_bot; ++f, ++i) {
+      SessionSpec spec;
+      spec.client_ip = cfg.bot_base_ip + bot;
+      spec.server_ip = cfg.victim_ip;
+      spec.client_port =
+          static_cast<std::uint16_t>(1024 + rng.uniform(64000));
+      spec.server_port = cfg.victim_port;
+      spec.start_us = spread(cfg.start_us, cfg.duration_s,
+                             rng.uniform(total), total);
+      spec.duration_ms = static_cast<std::uint32_t>(rng.uniform(5000));
+      // Bots mix SYN floods with short-lived junk connections.
+      if (rng.bernoulli(0.7)) {
+        spec.protocol = Protocol::kTcp;
+        spec.out_pkts = 1 + static_cast<std::uint32_t>(rng.uniform(3));
+        spec.state = ConnState::kS0;
+      } else {
+        spec.protocol = Protocol::kUdp;
+        spec.out_pkts = 20 + static_cast<std::uint32_t>(rng.uniform(80));
+        spec.out_bytes = static_cast<std::uint64_t>(spec.out_pkts) *
+                         (kUdpFrameOverhead + 512);
+      }
+      spec.label = TrafficLabel::kDdos;
+      normalize_session(spec);
+      sessions.push_back(spec);
+    }
+  }
+  return sessions;
+}
+
+std::vector<SessionSpec> inject_reflection(const ReflectionConfig& cfg,
+                                           Rng& rng) {
+  CSB_CHECK_MSG(cfg.reflectors > 0 && cfg.flows_per_reflector > 0,
+                "reflection needs reflectors and flows");
+  CSB_CHECK_MSG(cfg.protocol == Protocol::kIcmp ||
+                    cfg.protocol == Protocol::kUdp,
+                "reflection is Smurf (ICMP) or Fraggle (UDP)");
+  std::vector<SessionSpec> sessions;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(cfg.reflectors) * cfg.flows_per_reflector;
+  sessions.reserve(total);
+  std::uint64_t i = 0;
+  for (std::uint32_t r = 0; r < cfg.reflectors; ++r) {
+    for (std::uint32_t f = 0; f < cfg.flows_per_reflector; ++f, ++i) {
+      SessionSpec spec;
+      // Reflected traffic: the reflector originates toward the victim.
+      spec.client_ip = cfg.reflector_base_ip + r;
+      spec.server_ip = cfg.victim_ip;
+      spec.protocol = cfg.protocol;
+      if (cfg.protocol == Protocol::kUdp) {
+        spec.client_port = cfg.udp_port;  // echo service replies
+        spec.server_port =
+            static_cast<std::uint16_t>(1024 + rng.uniform(64000));
+      }
+      spec.start_us = spread(cfg.start_us, cfg.duration_s, i, total);
+      spec.duration_ms = static_cast<std::uint32_t>(rng.uniform(2000));
+      spec.out_pkts = 20 + static_cast<std::uint32_t>(rng.uniform(60));
+      const std::uint32_t overhead = cfg.protocol == Protocol::kUdp
+                                         ? kUdpFrameOverhead
+                                         : kIcmpFrameOverhead;
+      spec.out_bytes =
+          static_cast<std::uint64_t>(spec.out_pkts) * (overhead + 1024);
+      spec.in_pkts = 0;  // the victim never answers the amplified stream
+      spec.label = TrafficLabel::kReflection;
+      normalize_session(spec);
+      sessions.push_back(spec);
+    }
+  }
+  return sessions;
+}
+
+}  // namespace csb

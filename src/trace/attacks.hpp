@@ -1,0 +1,110 @@
+// Attack traffic injectors for the §IV detection scenarios.
+//
+// Each injector returns SessionSpecs labeled with ground truth, shaped to
+// match the traffic signatures the paper's detector keys on:
+//   * TCP SYN flood — many tiny S0 flows from spoofed sources to one
+//     (victim, port); high flow count, small per-flow size/packets,
+//     N(ACK)/N(SYN) near zero, few destination ports.
+//   * Host scan — one source probing many ports of one host; small packets,
+//     REJ/S0 outcomes, high N(D_port).
+//   * Network scan — one source probing one port across many hosts; high
+//     N(D_IP) from the same source.
+//   * UDP flood — bulk datagram streams at a victim; large bandwidth and
+//     packet totals.
+//   * ICMP flood — echo-request storm at a victim.
+//   * DDoS — a SYN/UDP flood issued from many distributed sources.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/session.hpp"
+#include "util/random.hpp"
+
+namespace csb {
+
+struct SynFloodConfig {
+  std::uint32_t victim_ip = 0;
+  std::uint16_t victim_port = 80;
+  std::uint32_t flows = 2000;
+  std::uint32_t spoofed_sources = 1500;  ///< distinct spoofed source IPs
+  std::uint32_t spoof_base_ip = 0xc0a80000;  ///< 192.168.0.0
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_s = 60;
+};
+
+struct HostScanConfig {
+  std::uint32_t scanner_ip = 0;
+  std::uint32_t target_ip = 0;
+  std::uint16_t first_port = 1;
+  std::uint16_t port_count = 1024;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_s = 30;
+  double open_port_fraction = 0.02;  ///< probes answered SYN-ACK, not RST
+};
+
+struct NetworkScanConfig {
+  std::uint32_t scanner_ip = 0;
+  std::uint32_t subnet_base = 0;  ///< first target IP
+  std::uint32_t host_count = 512;
+  std::uint16_t port = 445;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_s = 60;
+};
+
+struct UdpFloodConfig {
+  std::uint32_t attacker_ip = 0;
+  std::uint32_t victim_ip = 0;
+  std::uint16_t victim_port = 53;
+  std::uint32_t flows = 200;
+  std::uint32_t pkts_per_flow = 400;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_s = 60;
+};
+
+struct IcmpFloodConfig {
+  std::uint32_t attacker_ip = 0;
+  std::uint32_t victim_ip = 0;
+  std::uint32_t flows = 150;
+  std::uint32_t pkts_per_flow = 500;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_s = 60;
+};
+
+struct DdosConfig {
+  std::uint32_t victim_ip = 0;
+  std::uint16_t victim_port = 443;
+  std::uint32_t bot_count = 400;
+  std::uint32_t flows_per_bot = 8;
+  std::uint32_t bot_base_ip = 0xac100000;  ///< 172.16.0.0
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_s = 120;
+};
+
+/// Smurf/Fraggle reflection (paper §IV-d names both): the attacker pings a
+/// broadcast domain with the victim's spoofed source address, so every
+/// reflector "replies" to the victim — the victim sees inbound ICMP (Smurf)
+/// or UDP echo (Fraggle) from many hosts it never contacted.
+struct ReflectionConfig {
+  std::uint32_t victim_ip = 0;
+  std::uint32_t reflector_base_ip = 0x0a400000;  ///< amplifying subnet
+  std::uint32_t reflectors = 500;
+  std::uint32_t flows_per_reflector = 6;
+  Protocol protocol = Protocol::kIcmp;  ///< kIcmp = Smurf, kUdp = Fraggle
+  std::uint16_t udp_port = 7;          ///< echo service (Fraggle only)
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_s = 60;
+};
+
+std::vector<SessionSpec> inject_syn_flood(const SynFloodConfig& cfg, Rng& rng);
+std::vector<SessionSpec> inject_host_scan(const HostScanConfig& cfg, Rng& rng);
+std::vector<SessionSpec> inject_network_scan(const NetworkScanConfig& cfg,
+                                             Rng& rng);
+std::vector<SessionSpec> inject_udp_flood(const UdpFloodConfig& cfg, Rng& rng);
+std::vector<SessionSpec> inject_icmp_flood(const IcmpFloodConfig& cfg,
+                                           Rng& rng);
+std::vector<SessionSpec> inject_ddos(const DdosConfig& cfg, Rng& rng);
+std::vector<SessionSpec> inject_reflection(const ReflectionConfig& cfg,
+                                           Rng& rng);
+
+}  // namespace csb

@@ -1,0 +1,290 @@
+#include "trace/session.hpp"
+
+#include <algorithm>
+
+#include "pcap/packet.hpp"
+#include "util/error.hpp"
+
+namespace csb {
+
+namespace {
+
+/// One scripted packet of a session (direction + TCP flags + payload).
+struct Step {
+  bool from_client = true;
+  std::uint8_t flags = 0;
+  std::uint16_t payload = 0;
+};
+
+struct Shape {
+  std::uint32_t min_out;
+  std::uint32_t min_in;
+  std::uint32_t out_ctrl;  ///< zero-payload control packets from the client
+  std::uint32_t in_ctrl;   ///< zero-payload control packets from the server
+  bool in_allowed;
+  bool payload_allowed;
+};
+
+Shape shape_of(const SessionSpec& spec) {
+  if (spec.protocol != Protocol::kTcp) {
+    return Shape{1, 0, 0, 0, true, true};
+  }
+  switch (spec.state) {
+    case ConnState::kSF: return Shape{3, 2, 3, 2, true, true};
+    case ConnState::kS1: return Shape{2, 1, 2, 1, true, true};
+    case ConnState::kS0: return Shape{1, 0, 0, 0, false, false};
+    case ConnState::kRej: return Shape{1, 1, 0, 0, true, false};
+    case ConnState::kRsto: return Shape{3, 1, 3, 1, true, true};
+    case ConnState::kRstr: return Shape{2, 2, 2, 2, true, true};
+    case ConnState::kOth: return Shape{1, 0, 0, 0, true, true};
+    case ConnState::kNone: break;
+  }
+  throw CsbError("TCP session must have a TCP connection state");
+}
+
+std::uint32_t frame_overhead(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kTcp: return kTcpFrameOverhead;
+    case Protocol::kUdp: return kUdpFrameOverhead;
+    case Protocol::kIcmp: return kIcmpFrameOverhead;
+  }
+  return kTcpFrameOverhead;
+}
+
+/// Splits `budget` payload bytes over `slots` packets, each <= kMaxPayload.
+std::vector<std::uint16_t> split_payload(std::uint64_t budget,
+                                         std::uint32_t slots) {
+  std::vector<std::uint16_t> out(slots, 0);
+  for (std::uint32_t i = 0; i < slots && budget > 0; ++i) {
+    const std::uint64_t take = std::min<std::uint64_t>(budget, kMaxPayload);
+    out[i] = static_cast<std::uint16_t>(take);
+    budget -= take;
+  }
+  CSB_CHECK_MSG(budget == 0, "payload budget exceeds packet capacity");
+  return out;
+}
+
+void normalize_direction(std::uint32_t& pkts, std::uint64_t& bytes,
+                         std::uint32_t min_pkts, std::uint32_t ctrl,
+                         bool payload_allowed, std::uint32_t overhead) {
+  pkts = std::max(pkts, min_pkts);
+  if (!payload_allowed) {
+    bytes = static_cast<std::uint64_t>(pkts) * overhead;
+    return;
+  }
+  const std::uint64_t floor_bytes = static_cast<std::uint64_t>(pkts) * overhead;
+  std::uint64_t payload = bytes > floor_bytes ? bytes - floor_bytes : 0;
+  std::uint32_t slots = pkts - std::min(pkts, ctrl);
+  const std::uint64_t capacity =
+      static_cast<std::uint64_t>(slots) * kMaxPayload;
+  if (payload > capacity) {
+    // Grow the packet count until the payload fits.
+    const auto needed = static_cast<std::uint32_t>(
+        (payload + kMaxPayload - 1) / kMaxPayload);
+    pkts = ctrl + needed;
+  }
+  bytes = static_cast<std::uint64_t>(pkts) * overhead + payload;
+}
+
+std::vector<Step> build_script(const SessionSpec& spec) {
+  const Shape shape = shape_of(spec);
+  const std::uint32_t overhead = frame_overhead(spec.protocol);
+  CSB_CHECK_MSG(
+      spec.out_pkts >= std::max(shape.min_out, shape.out_ctrl) &&
+          spec.in_pkts >= shape.min_in &&
+          (spec.in_pkts == 0 || spec.in_pkts >= shape.in_ctrl) &&
+          (shape.in_allowed || spec.in_pkts == 0) &&
+          spec.out_bytes >=
+              static_cast<std::uint64_t>(spec.out_pkts) * overhead &&
+          spec.in_bytes >=
+              static_cast<std::uint64_t>(spec.in_pkts) * overhead,
+      "session not normalized; call normalize_session first");
+  const std::uint32_t data_out = spec.out_pkts - shape.out_ctrl;
+  const std::uint32_t data_in =
+      shape.in_allowed ? spec.in_pkts - shape.in_ctrl : 0;
+  const std::uint64_t payload_out =
+      spec.out_bytes -
+      static_cast<std::uint64_t>(spec.out_pkts) * overhead;
+  const std::uint64_t payload_in =
+      spec.in_bytes - static_cast<std::uint64_t>(spec.in_pkts) * overhead;
+  const auto out_payloads = split_payload(payload_out, data_out);
+  const auto in_payloads = split_payload(payload_in, data_in);
+
+  std::vector<Step> script;
+  script.reserve(spec.out_pkts + spec.in_pkts);
+  const auto data_interleave = [&](std::uint8_t flags_c, std::uint8_t flags_s) {
+    for (std::uint32_t k = 0; k < std::max(data_out, data_in); ++k) {
+      if (k < data_out) script.push_back({true, flags_c, out_payloads[k]});
+      if (k < data_in) script.push_back({false, flags_s, in_payloads[k]});
+    }
+  };
+
+  if (spec.protocol != Protocol::kTcp) {
+    data_interleave(0, 0);
+    return script;
+  }
+
+  constexpr std::uint8_t kData = kTcpAck | kTcpPsh;
+  switch (spec.state) {
+    case ConnState::kSF:
+      script.push_back({true, kTcpSyn, 0});
+      script.push_back({false, static_cast<std::uint8_t>(kTcpSyn | kTcpAck), 0});
+      script.push_back({true, kTcpAck, 0});
+      data_interleave(kData, kData);
+      script.push_back({true, static_cast<std::uint8_t>(kTcpFin | kTcpAck), 0});
+      script.push_back({false, static_cast<std::uint8_t>(kTcpFin | kTcpAck), 0});
+      break;
+    case ConnState::kS1:
+      script.push_back({true, kTcpSyn, 0});
+      script.push_back({false, static_cast<std::uint8_t>(kTcpSyn | kTcpAck), 0});
+      script.push_back({true, kTcpAck, 0});
+      data_interleave(kData, kData);
+      break;
+    case ConnState::kS0:
+      for (std::uint32_t i = 0; i < spec.out_pkts; ++i) {
+        script.push_back({true, kTcpSyn, 0});
+      }
+      break;
+    case ConnState::kRej:
+      for (std::uint32_t i = 0; i < std::max(spec.out_pkts, spec.in_pkts);
+           ++i) {
+        if (i < spec.out_pkts) script.push_back({true, kTcpSyn, 0});
+        if (i < spec.in_pkts) {
+          script.push_back(
+              {false, static_cast<std::uint8_t>(kTcpRst | kTcpAck), 0});
+        }
+      }
+      break;
+    case ConnState::kRsto:
+      script.push_back({true, kTcpSyn, 0});
+      script.push_back({false, static_cast<std::uint8_t>(kTcpSyn | kTcpAck), 0});
+      script.push_back({true, kTcpAck, 0});
+      data_interleave(kData, kData);
+      script.push_back({true, static_cast<std::uint8_t>(kTcpRst | kTcpAck), 0});
+      break;
+    case ConnState::kRstr:
+      script.push_back({true, kTcpSyn, 0});
+      script.push_back({false, static_cast<std::uint8_t>(kTcpSyn | kTcpAck), 0});
+      script.push_back({true, kTcpAck, 0});
+      data_interleave(kData, kData);
+      script.push_back({false, static_cast<std::uint8_t>(kTcpRst | kTcpAck), 0});
+      break;
+    case ConnState::kOth:
+      data_interleave(kData, kData);
+      break;
+    case ConnState::kNone:
+      throw CsbError("TCP session must have a TCP connection state");
+  }
+  return script;
+}
+
+}  // namespace
+
+void normalize_session(SessionSpec& spec) {
+  if (spec.protocol != Protocol::kTcp) {
+    spec.state = ConnState::kNone;
+  } else {
+    CSB_CHECK_MSG(spec.state != ConnState::kNone,
+                  "TCP session needs a connection state");
+  }
+  const Shape shape = shape_of(spec);
+  const std::uint32_t overhead = frame_overhead(spec.protocol);
+  normalize_direction(spec.out_pkts, spec.out_bytes, shape.min_out,
+                      shape.out_ctrl, shape.payload_allowed, overhead);
+  if (!shape.in_allowed) {
+    spec.in_pkts = 0;
+    spec.in_bytes = 0;
+  } else if (spec.in_pkts > 0 || shape.min_in > 0) {
+    normalize_direction(spec.in_pkts, spec.in_bytes, shape.min_in,
+                        shape.in_ctrl, shape.payload_allowed, overhead);
+  } else {
+    spec.in_bytes = 0;
+  }
+  if (spec.out_pkts + spec.in_pkts <= 1) spec.duration_ms = 0;
+}
+
+NetflowRecord to_netflow(const SessionSpec& spec) {
+  const auto script = build_script(spec);
+  NetflowRecord rec;
+  rec.src_ip = spec.client_ip;
+  rec.dst_ip = spec.server_ip;
+  rec.protocol = spec.protocol;
+  rec.src_port = spec.client_port;
+  rec.dst_port = spec.server_port;
+  rec.first_us = spec.start_us;
+  rec.last_us = spec.start_us + static_cast<std::uint64_t>(spec.duration_ms) * 1000;
+  const std::uint32_t overhead = frame_overhead(spec.protocol);
+  for (const Step& step : script) {
+    const std::uint32_t wire = overhead + step.payload;
+    if (step.from_client) {
+      rec.out_bytes += wire;
+      rec.out_pkts += 1;
+    } else {
+      rec.in_bytes += wire;
+      rec.in_pkts += 1;
+    }
+    if (step.flags & kTcpSyn) ++rec.syn_count;
+    if (step.flags & kTcpAck) ++rec.ack_count;
+  }
+  rec.state = spec.protocol == Protocol::kTcp ? spec.state : ConnState::kNone;
+  CSB_CHECK_MSG(rec.out_pkts == spec.out_pkts && rec.in_pkts == spec.in_pkts,
+                "session not normalized (packet counts diverge); call "
+                "normalize_session first");
+  CSB_CHECK_MSG(rec.out_bytes == spec.out_bytes &&
+                    rec.in_bytes == spec.in_bytes,
+                "session not normalized (byte counts diverge); call "
+                "normalize_session first");
+  return rec;
+}
+
+std::vector<PcapPacket> to_packets(const SessionSpec& spec) {
+  const auto script = build_script(spec);
+  std::vector<PcapPacket> packets;
+  packets.reserve(script.size());
+  const std::uint64_t duration_us =
+      static_cast<std::uint64_t>(spec.duration_ms) * 1000;
+  const std::size_t n = script.size();
+  std::uint32_t seq_client = 1000;
+  std::uint32_t seq_server = 2000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Step& step = script[i];
+    FrameSpec frame;
+    if (step.from_client) {
+      frame.src_ip = spec.client_ip;
+      frame.dst_ip = spec.server_ip;
+      frame.src_port = spec.client_port;
+      frame.dst_port = spec.server_port;
+    } else {
+      frame.src_ip = spec.server_ip;
+      frame.dst_ip = spec.client_ip;
+      frame.src_port = spec.server_port;
+      frame.dst_port = spec.client_port;
+    }
+    frame.payload_len = step.payload;
+
+    PcapPacket packet;
+    packet.timestamp_us =
+        n <= 1 ? spec.start_us
+               : spec.start_us + duration_us * i / (n - 1);
+    switch (spec.protocol) {
+      case Protocol::kTcp: {
+        std::uint32_t& seq = step.from_client ? seq_client : seq_server;
+        const std::uint32_t ack = step.from_client ? seq_server : seq_client;
+        packet.data = build_tcp_frame(frame, step.flags, seq, ack);
+        seq += step.payload + ((step.flags & (kTcpSyn | kTcpFin)) ? 1 : 0);
+        break;
+      }
+      case Protocol::kUdp:
+        packet.data = build_udp_frame(frame);
+        break;
+      case Protocol::kIcmp:
+        packet.data = build_icmp_frame(frame, step.from_client);
+        break;
+    }
+    packet.orig_len = static_cast<std::uint32_t>(packet.data.size());
+    packets.push_back(std::move(packet));
+  }
+  return packets;
+}
+
+}  // namespace csb

@@ -1,0 +1,87 @@
+// SessionSpec: the traffic model's unit of work — one intended flow between
+// two hosts, with its byte/packet/duration budget and intended TCP outcome.
+//
+// A spec can be lowered two ways:
+//   * to_netflow()  — directly to the NetFlow record the flow assembler
+//                     would produce (fast path for large seeds);
+//   * to_packets()  — to actual Ethernet frames (PCAP path), constructed so
+//                     that running them through FlowAssembler reproduces the
+//                     spec's byte/packet counts and connection state. This
+//                     is what makes the end-to-end Fig. 1 pipeline testable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/netflow.hpp"
+#include "pcap/pcap_file.hpp"
+#include "util/random.hpp"
+
+namespace csb {
+
+/// Ground-truth label carried by synthetic sessions (for IDS evaluation).
+enum class TrafficLabel : std::uint8_t {
+  kBenign = 0,
+  kSynFlood,
+  kHostScan,
+  kNetworkScan,
+  kUdpFlood,
+  kIcmpFlood,
+  kDdos,
+  kReflection,  ///< Smurf / Fraggle amplification
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TrafficLabel l) noexcept {
+  switch (l) {
+    case TrafficLabel::kBenign: return "benign";
+    case TrafficLabel::kSynFlood: return "syn-flood";
+    case TrafficLabel::kHostScan: return "host-scan";
+    case TrafficLabel::kNetworkScan: return "network-scan";
+    case TrafficLabel::kUdpFlood: return "udp-flood";
+    case TrafficLabel::kIcmpFlood: return "icmp-flood";
+    case TrafficLabel::kDdos: return "ddos";
+    case TrafficLabel::kReflection: return "reflection";
+  }
+  return "?";
+}
+
+struct SessionSpec {
+  std::uint32_t client_ip = 0;
+  std::uint32_t server_ip = 0;
+  Protocol protocol = Protocol::kTcp;
+  std::uint16_t client_port = 0;
+  std::uint16_t server_port = 0;
+  std::uint64_t start_us = 0;
+  std::uint32_t duration_ms = 0;
+  std::uint64_t out_bytes = 0;  ///< client -> server wire bytes
+  std::uint64_t in_bytes = 0;   ///< server -> client wire bytes
+  std::uint32_t out_pkts = 0;
+  std::uint32_t in_pkts = 0;
+  ConnState state = ConnState::kSF;  ///< intended outcome (TCP only)
+  TrafficLabel label = TrafficLabel::kBenign;
+};
+
+/// Per-packet wire overhead of our frames: Ethernet(14) + IPv4(20) + TCP(20).
+inline constexpr std::uint32_t kTcpFrameOverhead = 54;
+/// Ethernet(14) + IPv4(20) + UDP(8).
+inline constexpr std::uint32_t kUdpFrameOverhead = 42;
+/// Ethernet(14) + IPv4(20) + ICMP(8).
+inline constexpr std::uint32_t kIcmpFrameOverhead = 42;
+/// Maximum transport payload per frame (standard 1500 MTU).
+inline constexpr std::uint32_t kMaxPayload = 1460;
+
+/// Rewrites the spec's byte/packet budgets so they are mutually consistent
+/// with the frame overheads and the intended state (e.g. an S0 flow cannot
+/// have responder packets). to_packets() requires a normalized spec.
+void normalize_session(SessionSpec& spec);
+
+/// Lowers a (normalized) spec to the NetFlow record that assembling its
+/// packets produces.
+NetflowRecord to_netflow(const SessionSpec& spec);
+
+/// Expands a (normalized) spec to on-the-wire frames, timestamps spread
+/// over [start_us, start_us + duration]. The frames interleave realistically
+/// (handshake, data, termination) and re-assemble to the spec exactly.
+std::vector<PcapPacket> to_packets(const SessionSpec& spec);
+
+}  // namespace csb

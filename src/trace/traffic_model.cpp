@@ -1,0 +1,204 @@
+#include "trace/traffic_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/alias_table.hpp"
+#include "util/error.hpp"
+
+namespace csb {
+
+namespace {
+
+/// One entry of the service catalogue: protocol, well-known port, relative
+/// traffic share, and a log-normal byte/duration profile.
+struct ServiceProfile {
+  Protocol protocol;
+  std::uint16_t port;
+  double weight;
+  double out_mu, out_sigma;  ///< ln(client->server payload bytes)
+  double in_mu, in_sigma;    ///< ln(server->client payload bytes)
+  double dur_mu, dur_sigma;  ///< ln(duration in ms)
+};
+
+// Shares loosely follow enterprise traffic mixes: web dominates, DNS is
+// chatty but tiny, bulk transfer is rare but heavy.
+constexpr ServiceProfile kServices[] = {
+    {Protocol::kTcp, 80, 0.28, 6.0, 1.2, 9.0, 1.8, 6.5, 1.2},    // HTTP
+    {Protocol::kTcp, 443, 0.24, 6.2, 1.2, 9.2, 1.8, 6.6, 1.2},   // HTTPS
+    {Protocol::kUdp, 53, 0.17, 4.2, 0.5, 5.0, 0.8, 2.5, 0.8},    // DNS
+    {Protocol::kTcp, 22, 0.05, 7.5, 1.5, 8.0, 1.5, 8.5, 1.5},    // SSH
+    {Protocol::kTcp, 25, 0.05, 7.8, 1.4, 5.5, 1.0, 5.5, 1.0},    // SMTP
+    {Protocol::kTcp, 445, 0.06, 8.5, 1.8, 9.5, 2.0, 7.0, 1.5},   // SMB
+    {Protocol::kTcp, 3306, 0.04, 6.5, 1.0, 8.0, 1.6, 5.0, 1.2},  // MySQL
+    {Protocol::kTcp, 8080, 0.04, 6.0, 1.2, 8.8, 1.8, 6.4, 1.2},  // HTTP-alt
+    {Protocol::kUdp, 123, 0.03, 4.1, 0.3, 4.1, 0.3, 2.0, 0.5},   // NTP
+    {Protocol::kTcp, 21, 0.02, 5.5, 1.0, 9.8, 2.2, 8.0, 1.5},    // FTP
+    {Protocol::kIcmp, 0, 0.02, 4.5, 0.4, 4.5, 0.4, 3.0, 0.8},    // ping
+};
+
+double sample_lognormal(Rng& rng, double mu, double sigma) {
+  // Box-Muller from two uniforms.
+  const double u1 = std::max(rng.uniform_double(), 1e-12);
+  const double u2 = rng.uniform_double();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return std::exp(mu + sigma * z);
+}
+
+/// The non-SF tail of real TCP traffic: a few % of flows fail or linger.
+ConnState sample_tcp_state(Rng& rng) {
+  const double u = rng.uniform_double();
+  if (u < 0.86) return ConnState::kSF;
+  if (u < 0.92) return ConnState::kS1;
+  if (u < 0.95) return ConnState::kS0;
+  if (u < 0.97) return ConnState::kRej;
+  if (u < 0.98) return ConnState::kRsto;
+  if (u < 0.99) return ConnState::kRstr;
+  return ConnState::kOth;
+}
+
+}  // namespace
+
+TrafficModel::TrafficModel(TrafficModelConfig config)
+    : config_(std::move(config)) {
+  CSB_CHECK_MSG(config_.client_hosts > 0 && config_.server_hosts > 0,
+                "traffic model needs clients and servers");
+  CSB_CHECK_MSG(config_.server_zipf_exponent > 0, "zipf exponent must be > 0");
+  CSB_CHECK_MSG(
+      config_.diurnal_amplitude >= 0.0 && config_.diurnal_amplitude <= 1.0,
+      "diurnal amplitude must be in [0, 1]");
+}
+
+std::uint32_t TrafficModel::client_ip(std::uint32_t index) const {
+  CSB_CHECK_MSG(index < config_.client_hosts, "client index out of range");
+  return config_.subnet_base + 256 + index;
+}
+
+std::uint32_t TrafficModel::server_ip(std::uint32_t index) const {
+  CSB_CHECK_MSG(index < config_.server_hosts, "server index out of range");
+  return config_.subnet_base + 16 + index;
+}
+
+std::vector<SessionSpec> TrafficModel::generate_benign() const {
+  Rng rng(config_.seed);
+
+  // Each service owns a contiguous pool of servers (a real network does not
+  // run every service on every host); within a pool, popularity is Zipf.
+  const std::size_t service_count = std::size(kServices);
+  const std::uint32_t pool_size = std::max<std::uint32_t>(
+      1, config_.server_hosts / static_cast<std::uint32_t>(service_count));
+  std::vector<double> pool_weights(pool_size);
+  for (std::uint32_t i = 0; i < pool_size; ++i) {
+    pool_weights[i] =
+        std::pow(static_cast<double>(i + 1), -config_.server_zipf_exponent);
+  }
+  const AliasTable pool_table(pool_weights);
+  const auto server_for_service = [&](std::size_t service_index, Rng& r) {
+    const std::uint32_t base = static_cast<std::uint32_t>(
+        (service_index * pool_size) % config_.server_hosts);
+    return (base + static_cast<std::uint32_t>(pool_table.sample(r))) %
+           config_.server_hosts;
+  };
+
+  // Client activity: Pareto weights (heavy tail -> a few very chatty hosts).
+  std::vector<double> client_weights(config_.client_hosts);
+  for (std::uint32_t i = 0; i < config_.client_hosts; ++i) {
+    const double u = std::max(rng.uniform_double(), 1e-12);
+    client_weights[i] = std::pow(u, -1.0 / config_.client_pareto_alpha);
+  }
+  const AliasTable client_table(client_weights);
+
+  std::vector<double> service_weights;
+  service_weights.reserve(std::size(kServices));
+  for (const auto& service : kServices) {
+    service_weights.push_back(service.weight);
+  }
+  const AliasTable service_table(service_weights);
+
+  const std::uint64_t window_us = config_.capture_window_s * 1'000'000;
+  // Diurnal start times by rejection sampling against the sinusoidal
+  // intensity; amplitude 0 short-circuits to the uniform draw.
+  const double period_us =
+      static_cast<double>(config_.diurnal_period_s) * 1e6;
+  const auto draw_start = [&](Rng& r) {
+    if (config_.diurnal_amplitude <= 0.0) return r.uniform(window_us);
+    for (;;) {
+      const std::uint64_t t = r.uniform(window_us);
+      const double intensity =
+          1.0 + config_.diurnal_amplitude *
+                    std::sin(2.0 * M_PI * static_cast<double>(t) / period_us);
+      if (r.uniform_double() * (1.0 + config_.diurnal_amplitude) <= intensity) {
+        return t;
+      }
+    }
+  };
+  std::vector<SessionSpec> sessions;
+  sessions.reserve(config_.benign_sessions);
+  for (std::uint64_t s = 0; s < config_.benign_sessions; ++s) {
+    const std::size_t service_index = service_table.sample(rng);
+    const ServiceProfile& service = kServices[service_index];
+    SessionSpec spec;
+    spec.client_ip = client_ip(
+        static_cast<std::uint32_t>(client_table.sample(rng)));
+    spec.server_ip = server_ip(server_for_service(service_index, rng));
+    spec.protocol = service.protocol;
+    spec.server_port = service.port;
+    spec.client_port =
+        static_cast<std::uint16_t>(49152 + rng.uniform(16384));
+    spec.start_us = config_.start_time_us + draw_start(rng);
+    spec.duration_ms = static_cast<std::uint32_t>(std::min(
+        sample_lognormal(rng, service.dur_mu, service.dur_sigma), 1.8e6));
+    spec.out_bytes = static_cast<std::uint64_t>(
+        std::min(sample_lognormal(rng, service.out_mu, service.out_sigma),
+                 5.0e7));
+    spec.in_bytes = static_cast<std::uint64_t>(
+        std::min(sample_lognormal(rng, service.in_mu, service.in_sigma),
+                 5.0e7));
+    // Packet counts follow from bytes at ~1 KiB effective payload per
+    // packet; normalize_session reconciles exactly.
+    spec.out_pkts = static_cast<std::uint32_t>(spec.out_bytes / 1024 + 2);
+    spec.in_pkts = static_cast<std::uint32_t>(spec.in_bytes / 1024 + 2);
+    spec.state = service.protocol == Protocol::kTcp ? sample_tcp_state(rng)
+                                                    : ConnState::kNone;
+    spec.label = TrafficLabel::kBenign;
+    normalize_session(spec);
+    sessions.push_back(spec);
+  }
+  std::sort(sessions.begin(), sessions.end(),
+            [](const SessionSpec& a, const SessionSpec& b) {
+              return a.start_us < b.start_us;
+            });
+  return sessions;
+}
+
+std::vector<NetflowRecord> sessions_to_netflow(
+    std::vector<SessionSpec> sessions) {
+  std::sort(sessions.begin(), sessions.end(),
+            [](const SessionSpec& a, const SessionSpec& b) {
+              return a.start_us < b.start_us;
+            });
+  std::vector<NetflowRecord> records;
+  records.reserve(sessions.size());
+  for (const SessionSpec& spec : sessions) {
+    records.push_back(to_netflow(spec));
+  }
+  return records;
+}
+
+std::vector<PcapPacket> sessions_to_packets(
+    const std::vector<SessionSpec>& sessions) {
+  std::vector<PcapPacket> packets;
+  for (const SessionSpec& spec : sessions) {
+    auto expanded = to_packets(spec);
+    packets.insert(packets.end(), std::make_move_iterator(expanded.begin()),
+                   std::make_move_iterator(expanded.end()));
+  }
+  std::sort(packets.begin(), packets.end(),
+            [](const PcapPacket& a, const PcapPacket& b) {
+              return a.timestamp_us < b.timestamp_us;
+            });
+  return packets;
+}
+
+}  // namespace csb

@@ -1,0 +1,66 @@
+// Synthetic enterprise traffic model — the stand-in for the Swedish
+// Department of Defense SMIA 2011 capture the paper uses as seed data (see
+// DESIGN.md substitutions).
+//
+// Structure: a population of client hosts with heavy-tailed activity levels
+// talks to a catalogue of services hosted on server hosts with Zipf
+// popularity. Per-service byte/duration profiles are log-normal-ish
+// mixtures, producing the multimodal attribute distributions and the
+// scale-free-leaning host connectivity the veracity pipeline needs to
+// exercise. Attack traffic is injected on top by src/trace/attacks.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/session.hpp"
+#include "util/random.hpp"
+
+namespace csb {
+
+struct TrafficModelConfig {
+  std::uint32_t subnet_base = 0x0a000000;  ///< 10.0.0.0, hosts allocated above
+  std::uint32_t client_hosts = 400;
+  std::uint32_t server_hosts = 60;
+  std::uint64_t benign_sessions = 20'000;
+  double server_zipf_exponent = 1.1;   ///< service popularity skew
+  double client_pareto_alpha = 1.5;    ///< client activity heavy tail
+  /// Diurnal intensity: session start times follow
+  /// lambda(t) ∝ 1 + amplitude * sin(2*pi*t / period) instead of a uniform
+  /// spread. 0 (default) = uniform; 1 = full day/night swing. Enable for
+  /// captures longer than a few hours.
+  double diurnal_amplitude = 0.0;
+  std::uint64_t diurnal_period_s = 86'400;
+  std::uint64_t capture_window_s = 3600;
+  std::uint64_t start_time_us = 1'318'200'000'000'000;  // 2011-10-10, as the paper's trace
+  std::uint64_t seed = 42;
+};
+
+class TrafficModel {
+ public:
+  explicit TrafficModel(TrafficModelConfig config);
+
+  /// Generates the benign session population, sorted by start time.
+  [[nodiscard]] std::vector<SessionSpec> generate_benign() const;
+
+  /// IP of client i / server i under this config's address plan.
+  [[nodiscard]] std::uint32_t client_ip(std::uint32_t index) const;
+  [[nodiscard]] std::uint32_t server_ip(std::uint32_t index) const;
+
+  [[nodiscard]] const TrafficModelConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  TrafficModelConfig config_;
+};
+
+/// Lowers a session list to NetFlow records (fast path), start-time ordered.
+std::vector<NetflowRecord> sessions_to_netflow(
+    std::vector<SessionSpec> sessions);
+
+/// Lowers a session list to a packet capture, globally timestamp ordered.
+std::vector<PcapPacket> sessions_to_packets(
+    const std::vector<SessionSpec>& sessions);
+
+}  // namespace csb

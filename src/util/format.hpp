@@ -1,0 +1,21 @@
+// Human-readable formatting helpers for harness and log output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace csb {
+
+/// 1234567 -> "1,234,567".
+std::string with_commas(std::uint64_t value);
+
+/// 1536 -> "1.50 KiB"; 0 -> "0 B".
+std::string human_bytes(std::uint64_t bytes);
+
+/// 0.0123 -> "12.3 ms"; 90.5 -> "1m 30.5s".
+std::string human_seconds(double seconds);
+
+/// Compact scientific formatting with `digits` significant digits.
+std::string sci(double value, int digits = 3);
+
+}  // namespace csb

@@ -1,0 +1,44 @@
+// Allocation helpers.
+//
+// DefaultInitAllocator makes std::vector<T>::resize default-initialize
+// elements instead of value-initializing them — for trivial T that means
+// *no* O(n) memset. The property generators allocate multi-hundred-MB
+// columns whose every row is immediately overwritten by the sampling
+// stage; value-initialization would be a serial full-column write for
+// nothing.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace csb {
+
+template <typename T, typename A = std::allocator<T>>
+class DefaultInitAllocator : public A {
+  using traits = std::allocator_traits<A>;
+
+ public:
+  template <typename U>
+  struct rebind {
+    using other =
+        DefaultInitAllocator<U, typename traits::template rebind_alloc<U>>;
+  };
+
+  using A::A;
+
+  /// Default-initialize (indeterminate value for trivial T) instead of
+  /// value-initialize.
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    traits::construct(static_cast<A&>(*this), ptr,
+                      std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace csb

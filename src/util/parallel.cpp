@@ -1,0 +1,52 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <future>
+
+namespace csb {
+
+std::vector<ChunkRange> make_chunks(std::size_t begin, std::size_t end,
+                                    std::size_t workers, std::size_t grain) {
+  std::vector<ChunkRange> chunks;
+  if (begin >= end) return chunks;
+  const std::size_t n = end - begin;
+  grain = std::max<std::size_t>(1, grain);
+  workers = std::max<std::size_t>(1, workers);
+  // Aim for ~4 chunks per worker for load balance, floor at `grain`.
+  const std::size_t target = std::max(grain, n / (workers * 4) + 1);
+  std::size_t at = begin;
+  std::size_t index = 0;
+  while (at < end) {
+    const std::size_t stop = std::min(end, at + target);
+    chunks.push_back({at, stop, index++});
+    at = stop;
+  }
+  return chunks;
+}
+
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         std::size_t grain,
+                         const std::function<void(const ChunkRange&)>& body) {
+  const auto chunks = make_chunks(begin, end, pool.size(), grain);
+  if (chunks.empty()) return;
+  if (chunks.size() == 1) {
+    body(chunks.front());
+    return;
+  }
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks.size());
+  for (const auto& chunk : chunks) {
+    pending.push_back(pool.submit([&body, chunk] { body(chunk); }));
+  }
+  for (auto& f : pending) f.get();
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(pool, begin, end, grain, [&body](const ChunkRange& c) {
+    for (std::size_t i = c.begin; i < c.end; ++i) body(i);
+  });
+}
+
+}  // namespace csb

@@ -1,0 +1,39 @@
+// Data-parallel helpers layered on ThreadPool.
+//
+// parallel_for splits [begin, end) into chunks of at least `grain` indices
+// and runs them on the pool; the calling thread blocks until every chunk
+// finishes. Exceptions from any chunk propagate to the caller (first one
+// wins). Chunk boundaries are deterministic for a given (range, workers,
+// grain), which keeps per-chunk RNG forking reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace csb {
+
+struct ChunkRange {
+  std::size_t begin;
+  std::size_t end;
+  std::size_t chunk_index;
+};
+
+/// Computes the deterministic chunk decomposition parallel_for uses.
+std::vector<ChunkRange> make_chunks(std::size_t begin, std::size_t end,
+                                    std::size_t workers, std::size_t grain);
+
+/// Runs body(chunk) for every chunk on `pool`; blocks until completion.
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         std::size_t grain,
+                         const std::function<void(const ChunkRange&)>& body);
+
+/// Element-wise convenience wrapper: body(index) for index in [begin, end).
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace csb

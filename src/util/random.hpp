@@ -1,0 +1,112 @@
+// Deterministic, fork-able pseudo-random number generation.
+//
+// All stochastic components in csb (generators, traffic models, samplers)
+// draw from Xoshiro256** seeded through SplitMix64, the combination
+// recommended by the xoshiro authors. The generator satisfies
+// std::uniform_random_bit_generator, so it composes with <random>
+// distributions, but the hot paths (uniform integers and doubles) are
+// provided directly with branch-light implementations.
+//
+// Parallel use: Rng::fork(stream_id) derives an independent stream for each
+// worker, so a (seed, stream) pair fully determines the sequence regardless
+// of thread scheduling. Never share one Rng between threads.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace csb {
+
+/// SplitMix64 step: used to expand a single 64-bit seed into generator state.
+inline constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** 1.0 — fast, high-quality, 256-bit state, jump-free forking
+/// via re-seeding with a derived key.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t uniform(std::uint64_t bound) noexcept {
+    CSB_ASSERT(bound > 0);
+    // 128-bit multiply-shift; the rejection loop runs ~once on average.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) noexcept {
+    CSB_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform(span));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform_double() < p; }
+
+  /// Derive an independent stream; (seed, stream_id) identifies it uniquely.
+  Rng fork(std::uint64_t stream_id) const noexcept {
+    std::uint64_t key = state_[0] ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+    Rng child(0);
+    std::uint64_t sm = key;
+    for (auto& word : child.state_) word = splitmix64(sm);
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace csb

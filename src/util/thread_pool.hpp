@@ -1,0 +1,69 @@
+// Fixed-size worker pool used as the execution backend of the Map-Reduce
+// engine (src/mr) and of parallel graph algorithms.
+//
+// Tasks are type-erased std::function<void()> closures pushed to a single
+// mutex-protected queue; for the coarse-grained tasks csb schedules
+// (partition-sized units of work) queue contention is negligible. Results
+// and exceptions travel through std::future.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace csb {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1). The pool never resizes.
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Schedule a callable; the returned future delivers its result or
+  /// rethrows its exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      CSB_CHECK_MSG(!stopping_, "submit() on a stopped ThreadPool");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool sized to the hardware concurrency; lazily constructed.
+/// Prefer passing an explicit pool; this exists for convenience call sites
+/// (tests, examples) that do not care about placement.
+ThreadPool& global_pool();
+
+}  // namespace csb

@@ -1,0 +1,99 @@
+#include "veracity/attributes.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "stats/distance.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace csb {
+
+namespace {
+
+/// Extracts attribute `a` of edge `e` as a double.
+double attribute_value(const PropertyGraph& graph, NetflowAttribute a,
+                       EdgeId e) {
+  switch (a) {
+    case NetflowAttribute::kProtocol:
+      return static_cast<double>(
+          static_cast<std::uint8_t>(graph.protocols()[e]));
+    case NetflowAttribute::kSrcPort:
+      return static_cast<double>(graph.src_ports()[e]);
+    case NetflowAttribute::kDstPort:
+      return static_cast<double>(graph.dst_ports()[e]);
+    case NetflowAttribute::kDurationMs:
+      return static_cast<double>(graph.durations_ms()[e]);
+    case NetflowAttribute::kOutBytes:
+      return static_cast<double>(graph.out_bytes()[e]);
+    case NetflowAttribute::kInBytes:
+      return static_cast<double>(graph.in_bytes()[e]);
+    case NetflowAttribute::kOutPkts:
+      return static_cast<double>(graph.out_pkts()[e]);
+    case NetflowAttribute::kInPkts:
+      return static_cast<double>(graph.in_pkts()[e]);
+    case NetflowAttribute::kState:
+      return static_cast<double>(
+          static_cast<std::uint8_t>(graph.states()[e]));
+  }
+  return 0.0;
+}
+
+std::vector<double> sample_column(const PropertyGraph& graph,
+                                  NetflowAttribute a,
+                                  std::uint64_t max_samples, Rng& rng) {
+  const std::uint64_t m = graph.num_edges();
+  std::vector<double> values;
+  if (max_samples == 0 || m <= max_samples) {
+    values.reserve(m);
+    for (EdgeId e = 0; e < m; ++e) {
+      values.push_back(attribute_value(graph, a, e));
+    }
+  } else {
+    values.reserve(max_samples);
+    for (std::uint64_t i = 0; i < max_samples; ++i) {
+      values.push_back(attribute_value(graph, a, rng.uniform(m)));
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+AttributeVeracityReport evaluate_attribute_veracity(
+    const PropertyGraph& seed, const PropertyGraph& synthetic,
+    std::uint64_t max_samples) {
+  CSB_CHECK_MSG(seed.has_properties() && synthetic.has_properties(),
+                "attribute veracity requires NetFlow properties on both "
+                "graphs");
+  CSB_CHECK_MSG(seed.num_edges() > 0 && synthetic.num_edges() > 0,
+                "attribute veracity requires non-empty graphs");
+  AttributeVeracityReport report;
+  Rng rng(0xa11c0ddULL);
+  for (std::size_t i = 0; i < kNetflowAttributeCount; ++i) {
+    const auto attribute = static_cast<NetflowAttribute>(i);
+    const auto seed_values =
+        sample_column(seed, attribute, max_samples, rng);
+    const auto synth_values =
+        sample_column(synthetic, attribute, max_samples, rng);
+
+    AttributeScore score;
+    score.attribute = attribute;
+    score.ks_distance = ks_distance(seed_values, synth_values);
+
+    // Support coverage: fraction of synthetic values present in the seed.
+    std::unordered_set<double> seed_support(seed_values.begin(),
+                                            seed_values.end());
+    std::uint64_t inside = 0;
+    for (const double v : synth_values) {
+      if (seed_support.contains(v)) ++inside;
+    }
+    score.support_coverage =
+        static_cast<double>(inside) / static_cast<double>(synth_values.size());
+    report.scores[i] = score;
+  }
+  return report;
+}
+
+}  // namespace csb

@@ -1,0 +1,75 @@
+// Mixed-query workload execution — the "velocity" axis of the benchmark
+// (paper §I: velocity "measures the maximum rate at which the data can be
+// analyzed"). A WorkloadMix assigns weights to the query classes; the
+// runner issues a randomized stream against a GraphQueryEngine across a
+// thread pool and reports per-class and aggregate throughput.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/random.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/query_engine.hpp"
+
+namespace csb {
+
+enum class QueryClass : std::uint8_t {
+  kTopKDegree = 0,
+  kHostSummary,
+  kFlowScan,
+  kShortestPath,
+  kTwoHop,
+  kEgonet,
+  kScanningFans,
+};
+inline constexpr std::size_t kQueryClassCount = 7;
+
+[[nodiscard]] constexpr std::string_view to_string(QueryClass c) noexcept {
+  switch (c) {
+    case QueryClass::kTopKDegree: return "top-k-degree";
+    case QueryClass::kHostSummary: return "host-summary";
+    case QueryClass::kFlowScan: return "flow-scan";
+    case QueryClass::kShortestPath: return "shortest-path";
+    case QueryClass::kTwoHop: return "two-hop";
+    case QueryClass::kEgonet: return "egonet";
+    case QueryClass::kScanningFans: return "scanning-fans";
+  }
+  return "?";
+}
+
+struct WorkloadMix {
+  /// Relative weights by QueryClass index. The default mix leans on the
+  /// cheap point lookups an IDS dashboard issues constantly, with
+  /// periodic heavier sweeps.
+  std::array<double, kQueryClassCount> weights{8, 30, 10, 20, 20, 10, 2};
+};
+
+struct WorkloadResult {
+  std::uint64_t total_queries = 0;
+  double wall_seconds = 0.0;
+  std::array<std::uint64_t, kQueryClassCount> per_class{};
+  /// Checksum over query results — defeats dead-code elimination and makes
+  /// runs comparable.
+  std::uint64_t checksum = 0;
+
+  [[nodiscard]] double queries_per_second() const noexcept {
+    return wall_seconds > 0 ? static_cast<double>(total_queries) / wall_seconds
+                            : 0.0;
+  }
+};
+
+struct WorkloadOptions {
+  std::uint64_t queries = 10'000;
+  WorkloadMix mix{};
+  std::size_t threads = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Runs the mixed stream; query parameters (hosts, ports, filters) are
+/// drawn deterministically from the seed.
+WorkloadResult run_workload(const GraphQueryEngine& engine,
+                            const WorkloadOptions& options);
+
+}  // namespace csb

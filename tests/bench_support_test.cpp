@@ -1,0 +1,63 @@
+// Unit tests for src/bench_support: table rendering and cell formatting —
+// the harness output every experiment's results flow through.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench_support/report.hpp"
+#include "util/error.hpp"
+
+namespace csb {
+namespace {
+
+// Captures stdout around a callable.
+template <typename F>
+std::string capture_stdout(F&& fn) {
+  ::testing::internal::CaptureStdout();
+  fn();
+  return ::testing::internal::GetCapturedStdout();
+}
+
+TEST(ReportTableTest, RendersAlignedColumns) {
+  ReportTable table("demo", {"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"a-much-longer-name", "23456"});
+  const std::string out = capture_stdout([&] { table.print(); });
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Column alignment: every line starts the "value" column at the same
+  // offset, i.e. the header's "value" and first row's "1" line up.
+  const auto header_pos = out.find("value");
+  const auto row_line = out.find("alpha");
+  ASSERT_NE(header_pos, std::string::npos);
+  ASSERT_NE(row_line, std::string::npos);
+  const auto header_line_start = out.rfind('\n', header_pos) + 1;
+  const auto row_value_pos = out.find('1', row_line);
+  const auto row_line_start = out.rfind('\n', row_value_pos) + 1;
+  EXPECT_EQ(header_pos - header_line_start, row_value_pos - row_line_start);
+}
+
+TEST(ReportTableTest, RejectsMismatchedRows) {
+  ReportTable table("t", {"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), CsbError);
+  EXPECT_THROW(ReportTable("t", {}), CsbError);
+  EXPECT_EQ(table.rows(), 0u);
+}
+
+TEST(ReportCellsTest, Formatting) {
+  EXPECT_EQ(cell_u64(1234567), "1,234,567");
+  EXPECT_EQ(cell_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(cell_fixed(2.0, 0), "2");
+  EXPECT_EQ(cell_sci(12345.0, 3), "1.23e+04");
+}
+
+TEST(ExperimentHeaderTest, PrintsFigureAndClaim) {
+  const std::string out = capture_stdout(
+      [] { print_experiment_header("Fig. X", "things go up"); });
+  EXPECT_NE(out.find("### Fig. X"), std::string::npos);
+  EXPECT_NE(out.find("paper: things go up"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csb

@@ -1,0 +1,298 @@
+// Unit tests for src/flow: the flow assembler's TCP state machine, timeout
+// handling, byte/packet attribution, and NetFlow CSV IO. Sessions from
+// src/trace are used as packet sources, which also pins down the
+// session -> packets -> flow contract end to end.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "flow/assembler.hpp"
+#include "flow/netflow_io.hpp"
+#include "pcap/packet.hpp"
+#include "trace/session.hpp"
+#include "trace/traffic_model.hpp"
+#include "util/error.hpp"
+
+namespace csb {
+namespace {
+
+std::vector<DecodedPacket> decode_all(const std::vector<PcapPacket>& packets) {
+  std::vector<DecodedPacket> decoded;
+  for (const auto& packet : packets) {
+    auto summary = decode_frame(packet.data.data(), packet.data.size(),
+                                packet.orig_len, packet.timestamp_us);
+    if (summary) decoded.push_back(*summary);
+  }
+  return decoded;
+}
+
+SessionSpec base_session(Protocol protocol, ConnState state) {
+  SessionSpec spec;
+  spec.client_ip = 0x0a000001;
+  spec.server_ip = 0x0a000002;
+  spec.protocol = protocol;
+  spec.client_port = 50000;
+  spec.server_port = 443;
+  spec.start_us = 1'000'000;
+  spec.duration_ms = 2000;
+  spec.out_bytes = 4000;
+  spec.in_bytes = 9000;
+  spec.out_pkts = 8;
+  spec.in_pkts = 9;
+  spec.state = state;
+  normalize_session(spec);
+  return spec;
+}
+
+// --------------------------------------------------- session -> one flow
+
+class TcpStateRoundTrip : public ::testing::TestWithParam<ConnState> {};
+
+TEST_P(TcpStateRoundTrip, AssemblerReproducesSessionExactly) {
+  const SessionSpec spec = base_session(Protocol::kTcp, GetParam());
+  const NetflowRecord expected = to_netflow(spec);
+  const auto flows = assemble_flows(decode_all(to_packets(spec)));
+  ASSERT_EQ(flows.size(), 1u);
+  const NetflowRecord& flow = flows.front();
+  EXPECT_EQ(flow.src_ip, spec.client_ip);
+  EXPECT_EQ(flow.dst_ip, spec.server_ip);
+  EXPECT_EQ(flow.src_port, spec.client_port);
+  EXPECT_EQ(flow.dst_port, spec.server_port);
+  EXPECT_EQ(flow.protocol, Protocol::kTcp);
+  EXPECT_EQ(flow.state, GetParam());
+  EXPECT_EQ(flow.out_bytes, expected.out_bytes);
+  EXPECT_EQ(flow.in_bytes, expected.in_bytes);
+  EXPECT_EQ(flow.out_pkts, expected.out_pkts);
+  EXPECT_EQ(flow.in_pkts, expected.in_pkts);
+  EXPECT_EQ(flow.duration_ms(), spec.duration_ms);
+  EXPECT_EQ(flow.syn_count, expected.syn_count);
+  EXPECT_EQ(flow.ack_count, expected.ack_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(States, TcpStateRoundTrip,
+                         ::testing::Values(ConnState::kSF, ConnState::kS1,
+                                           ConnState::kS0, ConnState::kRej,
+                                           ConnState::kRsto, ConnState::kRstr,
+                                           ConnState::kOth));
+
+class NonTcpRoundTrip : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(NonTcpRoundTrip, AssemblerReproducesSession) {
+  const SessionSpec spec = base_session(GetParam(), ConnState::kNone);
+  const NetflowRecord expected = to_netflow(spec);
+  const auto flows = assemble_flows(decode_all(to_packets(spec)));
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows.front().protocol, GetParam());
+  EXPECT_EQ(flows.front().state, ConnState::kNone);
+  EXPECT_EQ(flows.front().out_bytes, expected.out_bytes);
+  EXPECT_EQ(flows.front().in_bytes, expected.in_bytes);
+  EXPECT_EQ(flows.front().out_pkts, expected.out_pkts);
+  EXPECT_EQ(flows.front().in_pkts, expected.in_pkts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, NonTcpRoundTrip,
+                         ::testing::Values(Protocol::kUdp, Protocol::kIcmp));
+
+// ---------------------------------------------------------- assembler
+
+TEST(FlowAssemblerTest, TwoConcurrentFlowsKeptApart) {
+  SessionSpec a = base_session(Protocol::kTcp, ConnState::kSF);
+  SessionSpec b = base_session(Protocol::kTcp, ConnState::kSF);
+  b.client_port = 50001;  // different 5-tuple
+  auto packets = to_packets(a);
+  const auto more = to_packets(b);
+  packets.insert(packets.end(), more.begin(), more.end());
+  std::sort(packets.begin(), packets.end(),
+            [](const PcapPacket& x, const PcapPacket& y) {
+              return x.timestamp_us < y.timestamp_us;
+            });
+  const auto flows = assemble_flows(decode_all(packets));
+  EXPECT_EQ(flows.size(), 2u);
+}
+
+TEST(FlowAssemblerTest, IdleTimeoutSplitsFlows) {
+  SessionSpec first = base_session(Protocol::kUdp, ConnState::kNone);
+  SessionSpec second = first;
+  // Same 5-tuple, but starting 10 minutes later (idle timeout is 60 s).
+  second.start_us = first.start_us + 600'000'000;
+  auto packets = to_packets(first);
+  const auto more = to_packets(second);
+  packets.insert(packets.end(), more.begin(), more.end());
+  const auto flows = assemble_flows(decode_all(packets));
+  EXPECT_EQ(flows.size(), 2u);
+}
+
+TEST(FlowAssemblerTest, DirectionFixedByFirstPacket) {
+  const SessionSpec spec = base_session(Protocol::kTcp, ConnState::kSF);
+  const auto flows = assemble_flows(decode_all(to_packets(spec)));
+  ASSERT_EQ(flows.size(), 1u);
+  // The client sent the first packet (SYN), so it is the originator even
+  // though the server sent more bytes.
+  EXPECT_EQ(flows.front().src_ip, spec.client_ip);
+  EXPECT_GT(flows.front().in_bytes, flows.front().out_bytes);
+}
+
+TEST(FlowAssemblerTest, FinishSortsByFirstPacket) {
+  SessionSpec late = base_session(Protocol::kUdp, ConnState::kNone);
+  late.start_us = 50'000'000;
+  SessionSpec early = base_session(Protocol::kUdp, ConnState::kNone);
+  early.client_port = 50002;
+  early.start_us = 1'000'000;
+  auto packets = to_packets(late);
+  const auto more = to_packets(early);
+  packets.insert(packets.end(), more.begin(), more.end());
+  std::sort(packets.begin(), packets.end(),
+            [](const PcapPacket& x, const PcapPacket& y) {
+              return x.timestamp_us < y.timestamp_us;
+            });
+  const auto flows = assemble_flows(decode_all(packets));
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_LT(flows[0].first_us, flows[1].first_us);
+}
+
+TEST(FlowAssemblerTest, OpenAndCompletedCounters) {
+  FlowAssembler assembler;
+  const SessionSpec spec = base_session(Protocol::kTcp, ConnState::kSF);
+  for (const auto& packet : decode_all(to_packets(spec))) {
+    assembler.add(packet);
+  }
+  EXPECT_EQ(assembler.open_flows(), 1u);
+  EXPECT_EQ(assembler.completed_flows(), 0u);
+  const auto flows = assembler.finish();
+  EXPECT_EQ(flows.size(), 1u);
+  EXPECT_EQ(assembler.open_flows(), 0u);
+}
+
+TEST(FlowAssemblerTest, ActiveTimeoutCutsLongFlow) {
+  FlowAssemblerOptions options;
+  options.idle_timeout_us = 3'600'000'000;  // effectively off
+  options.active_timeout_us = 10'000'000;   // 10 s
+  // One UDP "flow" that trickles a packet every 5 s for a minute.
+  FlowAssembler assembler(options);
+  FrameSpec frame;
+  frame.src_ip = 1;
+  frame.dst_ip = 2;
+  frame.src_port = 1000;
+  frame.dst_port = 2000;
+  const auto bytes = build_udp_frame(frame);
+  for (int i = 0; i < 12; ++i) {
+    const auto packet = decode_frame(bytes.data(), bytes.size(),
+                                     static_cast<std::uint32_t>(bytes.size()),
+                                     5'000'000ull * i);
+    ASSERT_TRUE(packet.has_value());
+    assembler.add(*packet);
+  }
+  const auto flows = assembler.finish();
+  EXPECT_GT(flows.size(), 3u);
+  std::uint32_t total_pkts = 0;
+  for (const auto& flow : flows) total_pkts += flow.out_pkts + flow.in_pkts;
+  EXPECT_EQ(total_pkts, 12u);
+}
+
+// ---------------------------------------------------------- parallel shard
+
+class ParallelAssemblyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelAssemblyTest, MatchesSerialFlowSet) {
+  // A realistic mixed capture, assembled serially and with N shards, must
+  // yield the same multiset of flows.
+  TrafficModelConfig config;
+  config.benign_sessions = 1'500;
+  const auto packets =
+      sessions_to_packets(TrafficModel(config).generate_benign());
+  const auto decoded = decode_all(packets);
+
+  ThreadPool pool(4);
+  auto serial = assemble_flows(decoded);
+  auto parallel = assemble_flows_parallel(decoded, pool, GetParam());
+  ASSERT_EQ(serial.size(), parallel.size());
+  const auto full_order = [](const NetflowRecord& a, const NetflowRecord& b) {
+    return std::tie(a.first_us, a.src_ip, a.dst_ip, a.src_port, a.dst_port) <
+           std::tie(b.first_us, b.src_ip, b.dst_ip, b.src_port, b.dst_port);
+  };
+  std::sort(serial.begin(), serial.end(), full_order);
+  std::sort(parallel.begin(), parallel.end(), full_order);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "flow " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ParallelAssemblyTest,
+                         ::testing::Values(1, 2, 3, 8, 16));
+
+TEST(ParallelAssemblyTest, OutputIsTimestampOrdered) {
+  TrafficModelConfig config;
+  config.benign_sessions = 600;
+  const auto decoded = decode_all(
+      sessions_to_packets(TrafficModel(config).generate_benign()));
+  ThreadPool pool(4);
+  const auto flows = assemble_flows_parallel(decoded, pool, 8);
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    EXPECT_GE(flows[i].first_us, flows[i - 1].first_us);
+  }
+}
+
+TEST(ParallelAssemblyTest, ShardHashDirectionInvariant) {
+  const SessionSpec spec = base_session(Protocol::kTcp, ConnState::kSF);
+  const auto decoded = decode_all(to_packets(spec));
+  ASSERT_GT(decoded.size(), 3u);
+  // Packets of both directions hash to the same shard.
+  const std::uint64_t expected = FlowAssembler::shard_hash(decoded.front());
+  for (const auto& packet : decoded) {
+    EXPECT_EQ(FlowAssembler::shard_hash(packet), expected);
+  }
+}
+
+// ------------------------------------------------------------- ip strings
+
+struct IpCase {
+  std::uint32_t value;
+  const char* text;
+};
+
+class IpStringTest : public ::testing::TestWithParam<IpCase> {};
+
+TEST_P(IpStringTest, RoundTrips) {
+  EXPECT_EQ(ip_to_string(GetParam().value), GetParam().text);
+  EXPECT_EQ(ip_from_string(GetParam().text), GetParam().value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, IpStringTest,
+                         ::testing::Values(IpCase{0, "0.0.0.0"},
+                                           IpCase{0x0a000001, "10.0.0.1"},
+                                           IpCase{0xc0a80101, "192.168.1.1"},
+                                           IpCase{0xffffffff,
+                                                  "255.255.255.255"}));
+
+TEST(IpStringTest, RejectsMalformed) {
+  EXPECT_THROW(ip_from_string("1.2.3"), CsbError);
+  EXPECT_THROW(ip_from_string("1.2.3.4.5"), CsbError);
+  EXPECT_THROW(ip_from_string("256.0.0.1"), CsbError);
+  EXPECT_THROW(ip_from_string("a.b.c.d"), CsbError);
+}
+
+// ---------------------------------------------------------------- csv io
+
+TEST(NetflowIoTest, RoundTrips) {
+  const SessionSpec spec = base_session(Protocol::kTcp, ConnState::kRej);
+  std::vector<NetflowRecord> records = {to_netflow(spec)};
+  records.push_back(to_netflow(base_session(Protocol::kIcmp, ConnState::kNone)));
+  std::stringstream buffer;
+  save_netflow_csv(records, buffer);
+  const auto loaded = load_netflow_csv(buffer);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0], records[0]);
+  EXPECT_EQ(loaded[1], records[1]);
+}
+
+TEST(NetflowIoTest, RejectsBadHeaderAndRow) {
+  std::stringstream no_header("1,2,3\n");
+  EXPECT_THROW(load_netflow_csv(no_header), CsbError);
+  std::stringstream bad_row(
+      "src_ip,dst_ip,protocol,src_port,dst_port,first_us,last_us,out_bytes,"
+      "in_bytes,out_pkts,in_pkts,syn_count,ack_count,state\n1,2,3\n");
+  EXPECT_THROW(load_netflow_csv(bad_row), CsbError);
+}
+
+}  // namespace
+}  // namespace csb

@@ -1,0 +1,624 @@
+// Unit tests for src/gen: PGPBA growth and determinism, KronFit recovery,
+// stochastic/deterministic Kronecker, PGSK sizing, property assignment, and
+// the baseline generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "gen/baselines.hpp"
+#include "gen/kronecker.hpp"
+#include "gen/kronfit.hpp"
+#include "gen/materialize.hpp"
+#include "mr/dataset.hpp"
+#include "gen/pgpba.hpp"
+#include "gen/pgsk.hpp"
+#include "gen/properties.hpp"
+#include "graph/algorithms.hpp"
+#include "seed/seed.hpp"
+#include "stats/power_law.hpp"
+#include "trace/traffic_model.hpp"
+#include "util/error.hpp"
+
+namespace csb {
+namespace {
+
+SeedBundle small_seed(std::uint64_t sessions = 800) {
+  TrafficModelConfig config;
+  config.benign_sessions = sessions;
+  config.client_hosts = 120;
+  config.server_hosts = 30;
+  return build_seed_from_netflow(
+      sessions_to_netflow(TrafficModel(config).generate_benign()));
+}
+
+ClusterConfig four_cores() { return ClusterConfig{.nodes = 2, .cores_per_node = 2}; }
+
+// ------------------------------------------------------------- properties
+
+TEST(AssignPropertiesTest, FillsEveryEdgeFromSeedSupport) {
+  const SeedBundle seed = small_seed(200);
+  PropertyGraph g(10);
+  for (int i = 0; i < 200; ++i) g.add_edge(i % 10, (i * 3) % 10);
+  ClusterSim cluster(four_cores());
+  assign_properties(g, seed.profile, cluster, 42);
+  ASSERT_TRUE(g.has_properties());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const EdgeProperties p = g.edge_properties(e);
+    EXPECT_GT(seed.profile.in_bytes().pmf(static_cast<double>(p.in_bytes)),
+              0.0);
+  }
+}
+
+TEST(AssignPropertiesTest, DeterministicPerSeedValue) {
+  const SeedBundle seed = small_seed(200);
+  PropertyGraph a(5);
+  PropertyGraph b(5);
+  for (int i = 0; i < 50; ++i) {
+    a.add_edge(i % 5, (i + 1) % 5);
+    b.add_edge(i % 5, (i + 1) % 5);
+  }
+  ClusterSim cluster(four_cores());
+  assign_properties(a, seed.profile, cluster, 7);
+  assign_properties(b, seed.profile, cluster, 7);
+  EXPECT_EQ(a, b);
+  assign_properties(b, seed.profile, cluster, 8);
+  EXPECT_NE(a, b);
+}
+
+// ----------------------------------------------------------------- PGPBA
+
+TEST(PgpbaTest, ReachesDesiredSize) {
+  const SeedBundle seed = small_seed();
+  ClusterSim cluster(four_cores());
+  PgpbaOptions options;
+  options.desired_edges = 4 * seed.graph.num_edges();
+  options.fraction = 0.5;
+  const GenResult result =
+      pgpba_generate(seed.graph, seed.profile, cluster, options);
+  EXPECT_GE(result.graph.num_edges(), options.desired_edges);
+  EXPECT_GT(result.graph.num_vertices(), seed.graph.num_vertices());
+  EXPECT_GT(result.iterations, 0u);
+  EXPECT_TRUE(result.graph.has_properties());
+}
+
+TEST(PgpbaTest, SparkParityGrowthFactorMatchesFraction) {
+  const SeedBundle seed = small_seed();
+  ClusterSim cluster(four_cores());
+  PgpbaOptions options;
+  options.desired_edges = seed.graph.num_edges() + 1;  // exactly 1 iteration
+  options.fraction = 0.5;
+  options.with_properties = false;
+  const GenResult result =
+      pgpba_generate(seed.graph, seed.profile, cluster, options);
+  EXPECT_EQ(result.iterations, 1u);
+  const double growth = static_cast<double>(result.graph.num_edges()) /
+                        static_cast<double>(seed.graph.num_edges());
+  // Spark-parity: one new edge per sampled edge -> growth = 1 + fraction.
+  EXPECT_NEAR(growth, 1.5, 0.05);
+}
+
+TEST(PgpbaTest, FractionTwoDoublesPerIteration) {
+  // The paper's Kronecker-parity configuration.
+  const SeedBundle seed = small_seed();
+  ClusterSim cluster(four_cores());
+  PgpbaOptions options;
+  options.desired_edges = seed.graph.num_edges() + 1;
+  options.fraction = 2.0;
+  options.with_properties = false;
+  const GenResult result =
+      pgpba_generate(seed.graph, seed.profile, cluster, options);
+  const double growth = static_cast<double>(result.graph.num_edges()) /
+                        static_cast<double>(seed.graph.num_edges());
+  EXPECT_NEAR(growth, 3.0, 0.1);  // 1 + fraction
+}
+
+TEST(PgpbaTest, DeterministicPerSeedValue) {
+  const SeedBundle seed = small_seed(300);
+  PgpbaOptions options;
+  options.desired_edges = 2 * seed.graph.num_edges();
+  options.fraction = 0.4;
+  ClusterSim c1(four_cores());
+  ClusterSim c2(four_cores());
+  const GenResult a = pgpba_generate(seed.graph, seed.profile, c1, options);
+  const GenResult b = pgpba_generate(seed.graph, seed.profile, c2, options);
+  EXPECT_EQ(a.graph, b.graph);
+}
+
+TEST(PgpbaTest, DegreeSamplingModeGrowsFaster) {
+  const SeedBundle seed = small_seed(300);
+  PgpbaOptions spark;
+  spark.desired_edges = seed.graph.num_edges() + 1;
+  spark.fraction = 0.2;
+  spark.with_properties = false;
+  PgpbaOptions degree = spark;
+  degree.mode = PgpbaAttachMode::kDegreeSampling;
+  ClusterSim c1(four_cores());
+  ClusterSim c2(four_cores());
+  const GenResult a = pgpba_generate(seed.graph, seed.profile, c1, spark);
+  const GenResult b = pgpba_generate(seed.graph, seed.profile, c2, degree);
+  // Degree mode adds sampled in+out fans per new vertex; with a mean total
+  // degree > 2 it must beat the one-edge-per-vertex spark mode.
+  EXPECT_GT(b.graph.num_edges(), a.graph.num_edges());
+}
+
+TEST(PgpbaTest, PreferentialAttachmentSkewsDegrees) {
+  // The synthetic graph must contain vertices with far higher in-degree
+  // than the mean (scale-free behavior).
+  const SeedBundle seed = small_seed();
+  ClusterSim cluster(four_cores());
+  PgpbaOptions options;
+  options.desired_edges = 8 * seed.graph.num_edges();
+  options.fraction = 1.0;
+  options.with_properties = false;
+  const GenResult result =
+      pgpba_generate(seed.graph, seed.profile, cluster, options);
+  const auto degrees = in_degrees(result.graph);
+  const double mean =
+      static_cast<double>(result.graph.num_edges()) / degrees.size();
+  const std::uint64_t max_degree =
+      *std::max_element(degrees.begin(), degrees.end());
+  EXPECT_GT(static_cast<double>(max_degree), 20.0 * mean);
+}
+
+TEST(PgpbaTest, StructureVsPropertyTimeSplit) {
+  const SeedBundle seed = small_seed(300);
+  ClusterSim cluster(four_cores());
+  PgpbaOptions options;
+  options.desired_edges = 3 * seed.graph.num_edges();
+  const GenResult result =
+      pgpba_generate(seed.graph, seed.profile, cluster, options);
+  EXPECT_GT(result.structure_seconds, 0.0);
+  EXPECT_GT(result.property_seconds, 0.0);
+  EXPECT_GE(result.metrics.simulated_seconds,
+            result.structure_seconds + result.property_seconds);
+}
+
+TEST(PgpbaTest, RejectsBadOptions) {
+  const SeedBundle seed = small_seed(200);
+  ClusterSim cluster(four_cores());
+  PgpbaOptions options;
+  options.desired_edges = 0;
+  EXPECT_THROW(pgpba_generate(seed.graph, seed.profile, cluster, options),
+               CsbError);
+  options.desired_edges = 100;
+  options.fraction = 0.0;
+  EXPECT_THROW(pgpba_generate(seed.graph, seed.profile, cluster, options),
+               CsbError);
+}
+
+// --------------------------------------------------------------- KronFit
+
+TEST(KronFitTest, RecoversDenseCornerOnKroneckerGraph) {
+  // Generate from a known initiator, then refit: the dense corner and the
+  // overall edge budget must be recovered (loose tolerances — KronFit is a
+  // stochastic optimizer).
+  Initiator truth;
+  truth.theta = {{{0.9, 0.6}, {0.4, 0.2}}};
+  ClusterSim cluster(four_cores());
+  StochasticKroneckerOptions gen;
+  gen.initiator = truth;
+  gen.k = 9;  // 512 vertices, ~(2.1)^9 ~ 800 edges
+  gen.seed = 5;
+  const auto edges = stochastic_kronecker_edges(cluster, gen);
+  PropertyGraph graph(1ULL << gen.k);
+  for (std::size_t p = 0; p < edges.num_partitions(); ++p) {
+    for (const Edge& e : edges.partition(p)) graph.add_edge(e.src, e.dst);
+  }
+
+  KronFitOptions options;
+  options.gradient_iterations = 30;
+  options.swaps_per_iteration = 500;
+  options.burn_in_swaps = 2000;
+  const KronFitResult fit = kronfit(graph, options);
+  EXPECT_EQ(fit.k, 9u);
+  // theta00 is the densest corner by construction (canonicalized).
+  EXPECT_GT(fit.initiator.theta[0][0], fit.initiator.theta[1][1]);
+  // The fitted expected edge count should be within 2x of the truth.
+  const double expected = fit.initiator.expected_edges(fit.k);
+  const double actual = static_cast<double>(graph.num_edges());
+  EXPECT_GT(expected, actual / 2.0);
+  EXPECT_LT(expected, actual * 2.0);
+}
+
+TEST(KronFitTest, LikelihoodImprovesOverInit) {
+  const SeedBundle seed = small_seed(400);
+  const PropertyGraph simple = simplify(seed.graph);
+  KronFitOptions fast;
+  fast.gradient_iterations = 0;
+  fast.burn_in_swaps = 100;
+  const double ll_init = kronfit(simple, fast).log_likelihood;
+  KronFitOptions tuned;
+  tuned.gradient_iterations = 25;
+  tuned.swaps_per_iteration = 300;
+  tuned.burn_in_swaps = 2000;
+  const double ll_fit = kronfit(simple, tuned).log_likelihood;
+  EXPECT_GT(ll_fit, ll_init);
+}
+
+TEST(KronFitTest, ThetaStaysInBounds) {
+  const SeedBundle seed = small_seed(300);
+  const KronFitResult fit = kronfit(simplify(seed.graph));
+  for (const auto& row : fit.initiator.theta) {
+    for (const double t : row) {
+      EXPECT_GE(t, 0.02);
+      EXPECT_LE(t, 0.98);
+    }
+  }
+}
+
+TEST(KronFitTest, RejectsDegenerateInput) {
+  PropertyGraph empty(4);
+  EXPECT_THROW(kronfit(empty), CsbError);
+  PropertyGraph single(1);
+  EXPECT_THROW(kronfit(single), CsbError);
+}
+
+// -------------------------------------------------------------- Kronecker
+
+TEST(StochasticKroneckerTest, ReachesTargetDistinctEdges) {
+  ClusterSim cluster(four_cores());
+  StochasticKroneckerOptions options;
+  options.initiator.theta = {{{0.9, 0.55}, {0.45, 0.25}}};
+  options.k = 10;
+  options.edges_to_place = 1500;
+  const auto edges = stochastic_kronecker_edges(cluster, options);
+  EXPECT_GE(edges.count(), 1500u);
+  // All endpoints must fit in 2^k vertices, and edges must be distinct.
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (std::size_t p = 0; p < edges.num_partitions(); ++p) {
+    for (const Edge& e : edges.partition(p)) {
+      EXPECT_LT(e.src, 1ULL << 10);
+      EXPECT_LT(e.dst, 1ULL << 10);
+      EXPECT_TRUE(seen.emplace(e.src, e.dst).second) << "duplicate edge";
+    }
+  }
+}
+
+TEST(StochasticKroneckerTest, DefaultTargetIsExpectedEdges) {
+  ClusterSim cluster(four_cores());
+  StochasticKroneckerOptions options;
+  options.initiator.theta = {{{0.8, 0.5}, {0.5, 0.2}}};
+  options.k = 8;
+  const auto edges = stochastic_kronecker_edges(cluster, options);
+  const double expected = options.initiator.expected_edges(8);
+  EXPECT_GE(static_cast<double>(edges.count()), expected * 0.99);
+  EXPECT_LE(static_cast<double>(edges.count()), expected * 1.5);
+}
+
+TEST(StochasticKroneckerTest, RejectsImpossibleTargets) {
+  ClusterSim cluster(four_cores());
+  StochasticKroneckerOptions options;
+  options.k = 2;  // only 16 possible distinct edges
+  options.edges_to_place = 100;
+  EXPECT_THROW(stochastic_kronecker_edges(cluster, options), CsbError);
+}
+
+TEST(DeterministicKroneckerTest, AllOnesInitiatorGivesCompleteGraph) {
+  const auto graph =
+      deterministic_kronecker({{{true, true}, {true, true}}}, 2);
+  EXPECT_EQ(graph.num_vertices(), 4u);
+  EXPECT_EQ(graph.num_edges(), 16u);
+}
+
+TEST(DeterministicKroneckerTest, IdentityInitiatorGivesSelfLoops) {
+  const auto graph =
+      deterministic_kronecker({{{true, false}, {false, true}}}, 3);
+  EXPECT_EQ(graph.num_vertices(), 8u);
+  EXPECT_EQ(graph.num_edges(), 8u);  // exactly the diagonal
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    EXPECT_EQ(graph.edge_src(e), graph.edge_dst(e));
+  }
+}
+
+TEST(DeterministicKroneckerTest, EdgeCountIsInitiatorPower) {
+  // Initiator with 3 ones -> 3^k edges.
+  const auto graph =
+      deterministic_kronecker({{{true, true}, {true, false}}}, 4);
+  EXPECT_EQ(graph.num_edges(), 81u);
+}
+
+// ------------------------------------------------------------------ PGSK
+
+TEST(PgskPlanTest, SizingMath) {
+  const PgskPlan plan = plan_pgsk(2.0, 4.0, 1024);
+  // kron target = 1024/4 = 256 = 2^8 -> k = 8, edges = 2^8.
+  EXPECT_EQ(plan.k, 8u);
+  EXPECT_EQ(plan.kron_edges, 256u);
+}
+
+TEST(PgskPlanTest, DuplicationBelowOneClamped) {
+  const PgskPlan a = plan_pgsk(2.0, 0.5, 1024);
+  const PgskPlan b = plan_pgsk(2.0, 1.0, 1024);
+  EXPECT_EQ(a.k, b.k);
+}
+
+TEST(PgskTest, GeneratesApproximatelyDesiredSize) {
+  const SeedBundle seed = small_seed();
+  ClusterSim cluster(four_cores());
+  PgskOptions options;
+  options.desired_edges = 3 * seed.graph.num_edges();
+  options.fit.gradient_iterations = 10;
+  options.fit.swaps_per_iteration = 200;
+  options.fit.burn_in_swaps = 500;
+  const GenResult result =
+      pgsk_generate(seed.graph, seed.profile, cluster, options);
+  const auto edges = result.graph.num_edges();
+  // Probabilistic sizing: within a factor ~2 of the request.
+  EXPECT_GT(edges, options.desired_edges / 2);
+  EXPECT_LT(edges, options.desired_edges * 3);
+  EXPECT_TRUE(result.graph.has_properties());
+}
+
+TEST(PgskTest, CanGenerateSmallerThanSeed) {
+  // The paper's Fig. 6 PGSK curve starts at ~100 edges from a ~2M seed.
+  const SeedBundle seed = small_seed();
+  ClusterSim cluster(four_cores());
+  PgskOptions options;
+  options.desired_edges = 100;
+  options.fit.gradient_iterations = 5;
+  options.fit.swaps_per_iteration = 100;
+  options.fit.burn_in_swaps = 200;
+  const GenResult result =
+      pgsk_generate(seed.graph, seed.profile, cluster, options);
+  EXPECT_LT(result.graph.num_edges(), seed.graph.num_edges() / 2);
+}
+
+TEST(PgskTest, VertexCountIsPowerOfTwo) {
+  const SeedBundle seed = small_seed(300);
+  ClusterSim cluster(four_cores());
+  PgskOptions options;
+  options.desired_edges = 2000;
+  options.fit.gradient_iterations = 5;
+  options.fit.swaps_per_iteration = 100;
+  options.fit.burn_in_swaps = 200;
+  const GenResult result =
+      pgsk_generate(seed.graph, seed.profile, cluster, options);
+  const std::uint64_t n = result.graph.num_vertices();
+  EXPECT_EQ(n & (n - 1), 0u);
+}
+
+TEST(PgskTest, MetricsIncludeShuffleStages) {
+  const SeedBundle seed = small_seed(300);
+  ClusterSim cluster(four_cores());
+  PgskOptions options;
+  options.desired_edges = 2000;
+  options.fit.gradient_iterations = 5;
+  options.fit.swaps_per_iteration = 100;
+  options.fit.burn_in_swaps = 200;
+  const GenResult result =
+      pgsk_generate(seed.graph, seed.profile, cluster, options);
+  EXPECT_GT(result.metrics.stages, 2u);
+  EXPECT_GT(result.metrics.serial_seconds, 0.0);  // kronfit is driver-side
+}
+
+// -------------------------------------------------------------- baselines
+
+TEST(ClassicBaTest, EdgeCountAndDegreeSkew) {
+  const auto graph = classic_barabasi_albert(3000, 3, 9);
+  EXPECT_EQ(graph.num_vertices(), 3000u);
+  // m0 ring (4 edges) + 3 per added vertex.
+  EXPECT_EQ(graph.num_edges(), 4u + 3u * (3000u - 4u));
+  const auto degrees = total_degrees(graph);
+  std::vector<double> samples(degrees.begin(), degrees.end());
+  const double alpha = fit_power_law_alpha(samples, 6.0);
+  // BA theory: alpha -> 3 for total degree.
+  EXPECT_GT(alpha, 2.0);
+  EXPECT_LT(alpha, 4.0);
+}
+
+TEST(ClassicBaTest, RejectsBadArguments) {
+  EXPECT_THROW(classic_barabasi_albert(5, 0, 1), CsbError);
+  EXPECT_THROW(classic_barabasi_albert(3, 3, 1), CsbError);
+}
+
+TEST(ErdosRenyiTest, ExactEdgeCountAndNoSkew) {
+  const auto graph = erdos_renyi_gnm(1000, 5000, 4);
+  EXPECT_EQ(graph.num_edges(), 5000u);
+  const auto degrees = total_degrees(graph);
+  const std::uint64_t max_degree =
+      *std::max_element(degrees.begin(), degrees.end());
+  // Poisson(10) tail: max degree stays modest, nothing scale-free.
+  EXPECT_LT(max_degree, 40u);
+}
+
+// ------------------------------------------------------------ materialize
+
+TEST(MaterializeTest, CollectsAllPartitions) {
+  ClusterSim cluster(four_cores());
+  std::vector<std::vector<Edge>> parts = {
+      {{0, 1}, {1, 2}}, {}, {{2, 3}}, {{3, 0}, {0, 2}}};
+  const Dataset<Edge> edges(cluster, std::move(parts));
+  const PropertyGraph graph = materialize_graph(edges, 4, false, cluster);
+  EXPECT_EQ(graph.num_vertices(), 4u);
+  EXPECT_EQ(graph.num_edges(), 5u);
+  EXPECT_FALSE(graph.has_properties());
+  EXPECT_EQ(graph.edge_src(0), 0u);
+  EXPECT_EQ(graph.edge_dst(4), 2u);
+}
+
+TEST(MaterializeTest, WithPropertiesAttachesColumns) {
+  ClusterSim cluster(four_cores());
+  std::vector<std::vector<Edge>> parts = {{{0, 1}}};
+  const Dataset<Edge> edges(cluster, std::move(parts));
+  const PropertyGraph graph = materialize_graph(edges, 2, true, cluster);
+  EXPECT_TRUE(graph.has_properties());
+  EXPECT_EQ(graph.protocols().size(), 1u);
+}
+
+TEST(MaterializeTest, RejectsOutOfRangeEndpoints) {
+  ClusterSim cluster(four_cores());
+  std::vector<std::vector<Edge>> parts = {{{0, 9}}};
+  const Dataset<Edge> edges(cluster, std::move(parts));
+  EXPECT_THROW(materialize_graph(edges, 2, false, cluster), CsbError);
+}
+
+TEST(MaterializeTest, EmptyDatasetGivesEmptyGraph) {
+  ClusterSim cluster(four_cores());
+  std::vector<std::vector<Edge>> parts(3);
+  const Dataset<Edge> edges(cluster, std::move(parts));
+  const PropertyGraph graph = materialize_graph(edges, 5, false, cluster);
+  EXPECT_EQ(graph.num_vertices(), 5u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+}
+
+// --------------------------------------------------------- determinism
+
+TEST(DeterminismTest, PgskSameSeedSameGraph) {
+  const SeedBundle seed = small_seed(300);
+  PgskOptions options;
+  options.desired_edges = 1500;
+  options.fit.gradient_iterations = 5;
+  options.fit.swaps_per_iteration = 100;
+  options.fit.burn_in_swaps = 200;
+  ClusterSim c1(four_cores());
+  ClusterSim c2(four_cores());
+  const GenResult a = pgsk_generate(seed.graph, seed.profile, c1, options);
+  const GenResult b = pgsk_generate(seed.graph, seed.profile, c2, options);
+  // Structure is deterministic up to the distinct() partition ordering; the
+  // edge multiset must match exactly.
+  auto edges_of = [](const PropertyGraph& g) {
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      edges.emplace_back(g.edge_src(e), g.edge_dst(e));
+    }
+    std::sort(edges.begin(), edges.end());
+    return edges;
+  };
+  EXPECT_EQ(edges_of(a.graph), edges_of(b.graph));
+}
+
+TEST(DeterminismTest, KroneckerEdgesDeterministicPerSeed) {
+  ClusterSim c1(four_cores());
+  ClusterSim c2(four_cores());
+  StochasticKroneckerOptions options;
+  options.k = 9;
+  options.edges_to_place = 400;
+  options.partitions = 4;
+  const auto a = stochastic_kronecker_edges(c1, options).collect();
+  options.seed = options.seed;  // same seed
+  const auto b = stochastic_kronecker_edges(c2, options).collect();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  options.seed = 99;  // different seed -> different edges
+  const auto c = stochastic_kronecker_edges(c2, options).collect();
+  bool any_diff = c.size() != a.size();
+  for (std::size_t i = 0; !any_diff && i < a.size(); ++i) {
+    any_diff = !(a[i] == c[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DeterminismTest, InitiatorExpectedEdgesMath) {
+  Initiator init;
+  init.theta = {{{0.5, 0.5}, {0.5, 0.5}}};
+  EXPECT_DOUBLE_EQ(init.sum(), 2.0);
+  EXPECT_DOUBLE_EQ(init.sum_sq(), 1.0);
+  EXPECT_DOUBLE_EQ(init.expected_edges(10), 1024.0);
+}
+
+TEST(PgskTest, WithoutPropertiesLeavesStructureOnly) {
+  const SeedBundle seed = small_seed(300);
+  ClusterSim cluster(four_cores());
+  PgskOptions options;
+  options.desired_edges = 1000;
+  options.with_properties = false;
+  options.fit.gradient_iterations = 5;
+  options.fit.swaps_per_iteration = 100;
+  options.fit.burn_in_swaps = 200;
+  const GenResult result =
+      pgsk_generate(seed.graph, seed.profile, cluster, options);
+  EXPECT_FALSE(result.graph.has_properties());
+}
+
+TEST(DeterministicKroneckerTest, RejectsExcessiveOrder) {
+  EXPECT_THROW(deterministic_kronecker({{{true, true}, {true, true}}}, 13),
+               CsbError);
+  EXPECT_THROW(deterministic_kronecker({{{true, true}, {true, true}}}, 0),
+               CsbError);
+}
+
+TEST(SbmTest, CommunityStructureRespectsMixing) {
+  // Two blocks with strong diagonal mixing: most edges stay inside blocks.
+  const std::vector<std::uint64_t> sizes = {50, 50};
+  const std::vector<double> mixing = {0.9, 0.1, 0.1, 0.9};
+  const auto graph = stochastic_block_model(sizes, mixing, 20'000, 3);
+  EXPECT_EQ(graph.num_vertices(), 100u);
+  EXPECT_EQ(graph.num_edges(), 20'000u);
+  std::uint64_t intra = 0;
+  const auto src = graph.sources();
+  const auto dst = graph.destinations();
+  for (std::size_t e = 0; e < src.size(); ++e) {
+    if ((src[e] < 50) == (dst[e] < 50)) ++intra;
+  }
+  EXPECT_NEAR(static_cast<double>(intra) / 20'000.0, 0.9, 0.02);
+}
+
+TEST(SbmTest, EndpointsStayInChosenBlocks) {
+  // Off-diagonal-only mixing: every edge crosses blocks.
+  const std::vector<std::uint64_t> sizes = {10, 30};
+  const std::vector<double> mixing = {0.0, 1.0, 0.0, 0.0};
+  const auto graph = stochastic_block_model(sizes, mixing, 2'000, 4);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    EXPECT_LT(graph.edge_src(e), 10u);
+    EXPECT_GE(graph.edge_dst(e), 10u);
+  }
+}
+
+TEST(SbmTest, RejectsBadConfig) {
+  const std::vector<std::uint64_t> sizes = {10, 10};
+  EXPECT_THROW(
+      stochastic_block_model(sizes, std::vector<double>{1.0}, 10, 1),
+      CsbError);
+  EXPECT_THROW(stochastic_block_model(std::vector<std::uint64_t>{},
+                                      std::vector<double>{}, 10, 1),
+               CsbError);
+}
+
+TEST(RmatTest, ProducesSkewedDegrees) {
+  const auto graph = rmat(12, 40'000, RmatParams{}, 5);
+  EXPECT_EQ(graph.num_vertices(), 1ULL << 12);
+  EXPECT_EQ(graph.num_edges(), 40'000u);
+  const auto degrees = total_degrees(graph);
+  const std::uint64_t max_degree =
+      *std::max_element(degrees.begin(), degrees.end());
+  const double mean = 2.0 * 40'000.0 / static_cast<double>(1ULL << 12);
+  // Graph500 parameters concentrate mass at low ids: a real hub exists.
+  EXPECT_GT(static_cast<double>(max_degree), 20.0 * mean);
+  // The hub lives in the dense (low-id) corner.
+  const auto argmax = std::distance(
+      degrees.begin(), std::max_element(degrees.begin(), degrees.end()));
+  EXPECT_LT(argmax, 64);
+}
+
+TEST(RmatTest, DeterministicPerSeed) {
+  const auto a = rmat(8, 1'000, RmatParams{}, 6);
+  const auto b = rmat(8, 1'000, RmatParams{}, 6);
+  EXPECT_EQ(a, b);
+  const auto c = rmat(8, 1'000, RmatParams{}, 7);
+  EXPECT_NE(a, c);
+}
+
+TEST(RmatTest, RejectsBadParams) {
+  RmatParams bad;
+  bad.a = 0.9;  // no longer sums to 1
+  EXPECT_THROW(rmat(8, 100, bad, 1), CsbError);
+  RmatParams noisy;
+  noisy.noise = 1.5;
+  EXPECT_THROW(rmat(8, 100, noisy, 1), CsbError);
+  EXPECT_THROW(rmat(0, 100, RmatParams{}, 1), CsbError);
+}
+
+TEST(ChungLuTest, DegreesFollowWeights) {
+  std::vector<double> weights(100, 1.0);
+  weights[0] = 50.0;  // one heavy vertex
+  const auto graph = chung_lu(weights, 20000, 11);
+  const auto degrees = total_degrees(graph);
+  const double expected_share = 50.0 / (99.0 + 50.0);
+  const double observed_share =
+      static_cast<double>(degrees[0]) / (2.0 * graph.num_edges());
+  EXPECT_NEAR(observed_share, expected_share, 0.05);
+}
+
+}  // namespace
+}  // namespace csb

@@ -1,0 +1,598 @@
+// Unit tests for src/graph: PropertyGraph storage, CSR views, structural
+// algorithms, PageRank, and the three IO formats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/pagerank.hpp"
+#include "graph/property_graph.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace csb {
+namespace {
+
+EdgeProperties sample_props() {
+  return EdgeProperties{
+      .protocol = Protocol::kUdp,
+      .src_port = 5353,
+      .dst_port = 53,
+      .duration_ms = 250,
+      .out_bytes = 1200,
+      .in_bytes = 4800,
+      .out_pkts = 4,
+      .in_pkts = 6,
+      .state = ConnState::kNone,
+  };
+}
+
+PropertyGraph random_graph(std::uint64_t vertices, std::uint64_t edges,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  PropertyGraph g(vertices);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    g.add_edge(rng.uniform(vertices), rng.uniform(vertices));
+  }
+  return g;
+}
+
+// ---------------------------------------------------------- PropertyGraph
+
+TEST(PropertyGraphTest, VerticesAndEdges) {
+  PropertyGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.add_vertex(), 0u);
+  EXPECT_EQ(g.add_vertices(3), 1u);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  const EdgeId e = g.add_edge(0, 3);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge_src(e), 0u);
+  EXPECT_EQ(g.edge_dst(e), 3u);
+}
+
+TEST(PropertyGraphTest, RejectsOutOfRangeEndpoints) {
+  PropertyGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), CsbError);
+  EXPECT_THROW(g.add_edge(5, 0), CsbError);
+}
+
+TEST(PropertyGraphTest, PropertyRoundTrip) {
+  PropertyGraph g(2);
+  const EdgeProperties props = sample_props();
+  const EdgeId e = g.add_edge(0, 1, props);
+  EXPECT_TRUE(g.has_properties());
+  EXPECT_EQ(g.edge_properties(e), props);
+}
+
+TEST(PropertyGraphTest, SetEdgePropertiesOverwrites) {
+  PropertyGraph g(2);
+  g.add_edge(0, 1, EdgeProperties{});
+  EdgeProperties updated = sample_props();
+  g.set_edge_properties(0, updated);
+  EXPECT_EQ(g.edge_properties(0), updated);
+}
+
+TEST(PropertyGraphTest, MixingStructureAndPropertiesThrows) {
+  PropertyGraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1, EdgeProperties{}), CsbError);
+
+  PropertyGraph h(2);
+  h.add_edge(0, 1, EdgeProperties{});
+  EXPECT_THROW(h.add_edge(1, 0), CsbError);
+}
+
+TEST(PropertyGraphTest, EnsureAndDropProperties) {
+  PropertyGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_FALSE(g.has_properties());
+  g.ensure_properties();
+  EXPECT_TRUE(g.has_properties());
+  EXPECT_EQ(g.edge_properties(0), EdgeProperties{});
+  g.drop_properties();
+  EXPECT_FALSE(g.has_properties());
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(PropertyGraphTest, SelfLoopsAndMultiEdgesAllowed) {
+  PropertyGraph g(2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(PropertyGraphTest, MemoryBytesScalesWithEdges) {
+  PropertyGraph g(10);
+  for (int i = 0; i < 10; ++i) g.add_edge(0, 1);
+  EXPECT_EQ(g.memory_bytes(), 10 * PropertyGraph::bytes_per_edge(false));
+  g.ensure_properties();
+  EXPECT_EQ(g.memory_bytes(), 10 * PropertyGraph::bytes_per_edge(true));
+  EXPECT_GT(PropertyGraph::bytes_per_edge(true),
+            PropertyGraph::bytes_per_edge(false));
+}
+
+TEST(PropertyGraphTest, EdgeIdOutOfRangeThrows) {
+  PropertyGraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW((void)g.edge_src(1), CsbError);
+  EXPECT_THROW((void)g.edge_properties(0), CsbError);  // no columns
+}
+
+// ------------------------------------------------------------------ CSR
+
+TEST(CsrTest, OutAdjacencyOnKnownGraph) {
+  PropertyGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const CsrView csr(g, CsrDirection::kOut);
+  EXPECT_EQ(csr.num_vertices(), 4u);
+  EXPECT_EQ(csr.num_edges(), 4u);
+  EXPECT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.degree(1), 0u);
+  const auto n0 = csr.neighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(CsrTest, InAdjacencyOnKnownGraph) {
+  PropertyGraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const CsrView csr(g, CsrDirection::kIn);
+  EXPECT_EQ(csr.degree(2), 2u);
+  EXPECT_EQ(csr.degree(0), 0u);
+  const auto n2 = csr.neighbors(2);
+  EXPECT_EQ(std::vector<VertexId>(n2.begin(), n2.end()),
+            (std::vector<VertexId>{0, 1}));
+}
+
+class CsrRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsrRandomTest, DegreesMatchDegreeFunctions) {
+  const PropertyGraph g = random_graph(50, 400, GetParam());
+  const CsrView out_csr(g, CsrDirection::kOut);
+  const CsrView in_csr(g, CsrDirection::kIn);
+  const auto out_deg = out_degrees(g);
+  const auto in_deg = in_degrees(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(out_csr.degree(v), out_deg[v]);
+    EXPECT_EQ(in_csr.degree(v), in_deg[v]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------------ algorithms
+
+TEST(DegreeTest, KnownGraph) {
+  PropertyGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(out_degrees(g), (std::vector<std::uint64_t>{2, 1, 0}));
+  EXPECT_EQ(in_degrees(g), (std::vector<std::uint64_t>{0, 2, 1}));
+  EXPECT_EQ(total_degrees(g), (std::vector<std::uint64_t>{2, 3, 1}));
+}
+
+TEST(WccTest, TwoComponents) {
+  PropertyGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const auto labels = weakly_connected_components(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(count_components(g), 2u);
+}
+
+TEST(WccTest, DirectionIgnored) {
+  PropertyGraph g(3);
+  g.add_edge(2, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(count_components(g), 1u);
+}
+
+TEST(WccTest, IsolatedVerticesAreComponents) {
+  PropertyGraph g(4);
+  g.add_edge(0, 1);
+  EXPECT_EQ(count_components(g), 3u);
+}
+
+TEST(SimplifyTest, RemovesParallelEdgesKeepsLoops) {
+  PropertyGraph g(3);
+  g.add_edge(0, 1, sample_props());
+  g.add_edge(0, 1, sample_props());
+  g.add_edge(1, 0, sample_props());
+  g.add_edge(2, 2, sample_props());
+  const PropertyGraph s = simplify(g);
+  EXPECT_EQ(s.num_edges(), 3u);  // 0->1, 1->0, 2->2
+  EXPECT_EQ(s.num_vertices(), 3u);
+  EXPECT_FALSE(s.has_properties());
+}
+
+TEST(TriangleTest, SingleTriangle) {
+  PropertyGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_EQ(triangle_count(g), 1u);
+}
+
+TEST(TriangleTest, K4HasFourTriangles) {
+  PropertyGraph g(4);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) g.add_edge(u, v);
+  }
+  EXPECT_EQ(triangle_count(g), 4u);
+}
+
+TEST(TriangleTest, MultiEdgesDoNotInflateCount) {
+  PropertyGraph g(3);
+  for (int i = 0; i < 5; ++i) {
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+  }
+  EXPECT_EQ(triangle_count(g), 1u);
+}
+
+TEST(ClusteringTest, TriangleIsFullyClustered) {
+  PropertyGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 1.0);
+}
+
+TEST(ClusteringTest, StarHasZeroClustering) {
+  PropertyGraph g(5);
+  for (VertexId v = 1; v < 5; ++v) g.add_edge(0, v);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 0.0);
+}
+
+TEST(ClusteringTest, PathGraphValue) {
+  // 0-1-2: one wedge, no triangle.
+  PropertyGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 0.0);
+}
+
+// -------------------------------------------------------------- PageRank
+
+TEST(PageRankTest, UniformOnCycle) {
+  PropertyGraph g(4);
+  for (VertexId v = 0; v < 4; ++v) g.add_edge(v, (v + 1) % 4);
+  ThreadPool pool(2);
+  const auto result = pagerank(g, pool);
+  for (const double score : result.scores) EXPECT_NEAR(score, 0.25, 1e-6);
+}
+
+class PageRankSumTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PageRankSumTest, ScoresSumToOne) {
+  const PropertyGraph g = random_graph(200, 1500, GetParam());
+  ThreadPool pool(2);
+  const auto result = pagerank(g, pool);
+  double sum = 0.0;
+  for (const double s : result.scores) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageRankSumTest,
+                         ::testing::Values(10, 20, 30, 40));
+
+TEST(PageRankTest, StarCenterDominates) {
+  PropertyGraph g(6);
+  for (VertexId v = 1; v < 6; ++v) g.add_edge(v, 0);
+  ThreadPool pool(2);
+  const auto result = pagerank(g, pool);
+  for (VertexId v = 1; v < 6; ++v) {
+    EXPECT_GT(result.scores[0], 3.0 * result.scores[v]);
+  }
+}
+
+TEST(PageRankTest, HandlesAllDanglingGraph) {
+  PropertyGraph g(3);  // no edges at all
+  ThreadPool pool(1);
+  const auto result = pagerank(g, pool);
+  for (const double s : result.scores) EXPECT_NEAR(s, 1.0 / 3.0, 1e-9);
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  PropertyGraph g;
+  ThreadPool pool(1);
+  EXPECT_TRUE(pagerank(g, pool).scores.empty());
+}
+
+TEST(PageRankTest, ConvergesEarlyWithTolerance) {
+  PropertyGraph g(4);
+  for (VertexId v = 0; v < 4; ++v) g.add_edge(v, (v + 1) % 4);
+  ThreadPool pool(1);
+  PageRankOptions options;
+  options.max_iterations = 100;
+  options.tolerance = 1e-6;
+  const auto result = pagerank(g, pool, options);
+  EXPECT_LT(result.iterations, 10u);  // cycle is uniform from iteration 1
+}
+
+// ------------------------------------------------------------------- IO
+
+class BinaryIoTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(BinaryIoTest, RoundTrips) {
+  const bool with_props = GetParam();
+  Rng rng(99);
+  PropertyGraph g(20);
+  for (int i = 0; i < 50; ++i) {
+    const VertexId u = rng.uniform(20);
+    const VertexId v = rng.uniform(20);
+    if (with_props) {
+      EdgeProperties p = sample_props();
+      p.out_bytes = rng.uniform(100000);
+      p.src_port = static_cast<std::uint16_t>(rng.uniform(65536));
+      g.add_edge(u, v, p);
+    } else {
+      g.add_edge(u, v);
+    }
+  }
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  const PropertyGraph loaded = load_binary(buffer);
+  EXPECT_EQ(loaded, g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Props, BinaryIoTest, ::testing::Bool());
+
+TEST(BinaryIoTest, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "NOTAGRAPH-------------------------";
+  EXPECT_THROW(load_binary(buffer), CsbError);
+}
+
+TEST(BinaryIoTest, RejectsTruncatedStream) {
+  PropertyGraph g(5);
+  g.add_edge(0, 1);
+  std::stringstream buffer;
+  save_binary(g, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_binary(truncated), CsbError);
+}
+
+TEST(CsvIoTest, RoundTripsWithProperties) {
+  PropertyGraph g(3);
+  g.add_edge(0, 1, sample_props());
+  EdgeProperties p2 = sample_props();
+  p2.protocol = Protocol::kTcp;
+  p2.state = ConnState::kSF;
+  g.add_edge(2, 0, p2);
+  std::stringstream buffer;
+  save_csv(g, buffer);
+  const PropertyGraph loaded = load_csv(buffer);
+  EXPECT_EQ(loaded, g);
+}
+
+TEST(CsvIoTest, RoundTripsStructureOnly) {
+  PropertyGraph g(4);
+  g.add_edge(0, 3);
+  g.add_edge(3, 2);
+  std::stringstream buffer;
+  save_csv(g, buffer);
+  const PropertyGraph loaded = load_csv(buffer);
+  EXPECT_EQ(loaded.num_edges(), 2u);
+  EXPECT_EQ(loaded.edge_src(0), 0u);
+  EXPECT_EQ(loaded.edge_dst(0), 3u);
+  EXPECT_FALSE(loaded.has_properties());
+}
+
+TEST(CsvIoTest, RejectsMissingHeader) {
+  std::stringstream buffer("1,2,TCP\n");
+  EXPECT_THROW(load_csv(buffer), CsbError);
+}
+
+TEST(GraphmlTest, ContainsNodesEdgesAndAttributes) {
+  PropertyGraph g(2);
+  g.add_edge(0, 1, sample_props());
+  std::stringstream buffer;
+  save_graphml(g, buffer);
+  const std::string xml = buffer.str();
+  EXPECT_NE(xml.find("<node id=\"n0\"/>"), std::string::npos);
+  EXPECT_NE(xml.find("<node id=\"n1\"/>"), std::string::npos);
+  EXPECT_NE(xml.find("source=\"n0\" target=\"n1\""), std::string::npos);
+  EXPECT_NE(xml.find("<data key=\"protocol\">UDP</data>"), std::string::npos);
+  EXPECT_NE(xml.find("<data key=\"in_bytes\">4800</data>"), std::string::npos);
+  EXPECT_NE(xml.find("</graphml>"), std::string::npos);
+}
+
+TEST(BinaryFileTest, FileRoundTrip) {
+  PropertyGraph g(3);
+  g.add_edge(0, 1, sample_props());
+  const std::string path = ::testing::TempDir() + "/csb_graph_test.bin";
+  save_binary_file(g, path);
+  EXPECT_EQ(load_binary_file(path), g);
+}
+
+TEST(GraphmlTest, RoundTripsWithProperties) {
+  Rng rng(17);
+  PropertyGraph g(12);
+  for (int i = 0; i < 40; ++i) {
+    EdgeProperties p = sample_props();
+    p.out_bytes = rng.uniform(100000);
+    p.dst_port = static_cast<std::uint16_t>(rng.uniform(65536));
+    p.state = ConnState::kSF;
+    p.protocol = Protocol::kTcp;
+    g.add_edge(rng.uniform(12), rng.uniform(12), p);
+  }
+  std::stringstream xml;
+  save_graphml(g, xml);
+  const PropertyGraph loaded = load_graphml(xml);
+  EXPECT_EQ(loaded, g);
+}
+
+TEST(GraphmlTest, RoundTripsStructureOnly) {
+  PropertyGraph g(4);
+  g.add_edge(0, 3);
+  g.add_edge(3, 1);
+  std::stringstream xml;
+  save_graphml(g, xml);
+  const PropertyGraph loaded = load_graphml(xml);
+  EXPECT_EQ(loaded.num_vertices(), 4u);
+  EXPECT_EQ(loaded.num_edges(), 2u);
+  EXPECT_FALSE(loaded.has_properties());
+  EXPECT_EQ(loaded.edge_dst(0), 3u);
+}
+
+TEST(GraphmlTest, PreservesIsolatedVertices) {
+  PropertyGraph g(6);  // vertices 2..5 are isolated
+  g.add_edge(0, 1);
+  std::stringstream xml;
+  save_graphml(g, xml);
+  EXPECT_EQ(load_graphml(xml).num_vertices(), 6u);
+}
+
+TEST(GraphmlTest, RejectsGarbage) {
+  std::stringstream not_xml("hello world");
+  EXPECT_THROW(load_graphml(not_xml), CsbError);
+  std::stringstream bad_id(
+      "<graphml><graph><node id=\"xyz\"/></graph></graphml>");
+  EXPECT_THROW(load_graphml(bad_id), CsbError);
+}
+
+// ---------------------------------------------------------------- SCC
+
+TEST(SccTest, CycleIsOneComponent) {
+  PropertyGraph g(4);
+  for (VertexId v = 0; v < 4; ++v) g.add_edge(v, (v + 1) % 4);
+  const auto labels = strongly_connected_components(g);
+  for (const VertexId l : labels) EXPECT_EQ(l, 0u);
+  EXPECT_EQ(count_strong_components(g), 1u);
+}
+
+TEST(SccTest, DagIsAllSingletons) {
+  PropertyGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  const auto labels = strongly_connected_components(g);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(labels[v], v);
+  EXPECT_EQ(count_strong_components(g), 4u);
+}
+
+TEST(SccTest, TwoCyclesJoinedByBridge) {
+  // Cycle {0,1,2} -> bridge -> cycle {3,4}.
+  PropertyGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 3);
+  const auto labels = strongly_connected_components(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(count_strong_components(g), 2u);
+}
+
+TEST(SccTest, AgreesWithWccOnSymmetricGraphs) {
+  // When every edge has its reverse, SCC == WCC.
+  Rng rng(12);
+  PropertyGraph g(60);
+  for (int i = 0; i < 120; ++i) {
+    const VertexId u = rng.uniform(60);
+    const VertexId v = rng.uniform(60);
+    g.add_edge(u, v);
+    g.add_edge(v, u);
+  }
+  EXPECT_EQ(strongly_connected_components(g),
+            weakly_connected_components(g));
+}
+
+TEST(SccTest, DeepPathDoesNotOverflowStack) {
+  // 200k-vertex directed path: recursive Tarjan would crash.
+  constexpr std::uint64_t kN = 200'000;
+  PropertyGraph g(kN);
+  for (VertexId v = 0; v + 1 < kN; ++v) g.add_edge(v, v + 1);
+  EXPECT_EQ(count_strong_components(g), kN);
+}
+
+// --------------------------------------------------------------- k-core
+
+TEST(KCoreTest, TriangleWithTail) {
+  // Triangle {0,1,2} (core 2) with a pendant 3 (core 1) and isolated 4.
+  PropertyGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto core = core_numbers(g);
+  EXPECT_EQ(core[0], 2u);
+  EXPECT_EQ(core[1], 2u);
+  EXPECT_EQ(core[2], 2u);
+  EXPECT_EQ(core[3], 1u);
+  EXPECT_EQ(core[4], 0u);
+}
+
+TEST(KCoreTest, CompleteGraphCore) {
+  constexpr std::uint64_t kN = 6;
+  PropertyGraph g(kN);
+  for (VertexId u = 0; u < kN; ++u) {
+    for (VertexId v = u + 1; v < kN; ++v) g.add_edge(u, v);
+  }
+  for (const auto c : core_numbers(g)) EXPECT_EQ(c, kN - 1);
+}
+
+TEST(KCoreTest, CoreNeverExceedsDegree) {
+  const PropertyGraph g = random_graph(100, 600, 33);
+  const auto core = core_numbers(g);
+  const PropertyGraph simple = simplify(g);
+  const auto degree = total_degrees(simple);
+  for (VertexId v = 0; v < 100; ++v) {
+    EXPECT_LE(core[v], degree[v]);
+  }
+}
+
+// --------------------------------------------------------- assortativity
+
+TEST(AssortativityTest, HubFanoutIsDisassortative) {
+  // A high-out-degree hub feeding degree-1 leaves, plus one leaf-to-leaf
+  // edge pointing at a well-fed target: high source degree pairs with low
+  // target degree and vice versa -> negative correlation.
+  PropertyGraph g(10);
+  for (VertexId v = 1; v < 9; ++v) g.add_edge(0, v);  // hub out-degree 8
+  g.add_edge(1, 2);  // source out-degree 1, target in-degree 2
+  EXPECT_LT(degree_assortativity(g), 0.0);
+}
+
+TEST(AssortativityTest, DegenerateGraphsReturnZero) {
+  PropertyGraph g(3);
+  EXPECT_DOUBLE_EQ(degree_assortativity(g), 0.0);
+  g.add_edge(0, 1);
+  EXPECT_DOUBLE_EQ(degree_assortativity(g), 0.0);  // single edge
+  // Regular cycle: all degrees equal -> zero variance -> 0.
+  PropertyGraph cycle(4);
+  for (VertexId v = 0; v < 4; ++v) cycle.add_edge(v, (v + 1) % 4);
+  EXPECT_DOUBLE_EQ(degree_assortativity(cycle), 0.0);
+}
+
+TEST(AssortativityTest, BoundedByOne) {
+  const PropertyGraph g = random_graph(80, 500, 44);
+  const double r = degree_assortativity(g);
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+}
+
+}  // namespace
+}  // namespace csb

@@ -1,0 +1,282 @@
+// Unit tests for src/ids: traffic-pattern aggregation, the Fig. 4 detector
+// on injected attacks, benign false-positive behaviour, and calibration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ids/calibrate.hpp"
+#include "ids/detector.hpp"
+#include "trace/attacks.hpp"
+#include "trace/traffic_model.hpp"
+
+namespace csb {
+namespace {
+
+std::vector<NetflowRecord> benign_records(std::uint64_t sessions = 4000) {
+  TrafficModelConfig config;
+  config.benign_sessions = sessions;
+  return sessions_to_netflow(TrafficModel(config).generate_benign());
+}
+
+bool has_alarm(const std::vector<Alarm>& alarms, std::uint32_t ip,
+               AttackClass type) {
+  return std::any_of(alarms.begin(), alarms.end(), [&](const Alarm& a) {
+    return a.detection_ip == ip && a.type == type;
+  });
+}
+
+// ----------------------------------------------------------- aggregation
+
+TEST(TrafficPatternTest, DestinationAggregation) {
+  std::vector<NetflowRecord> records(3);
+  records[0].src_ip = 1;
+  records[0].dst_ip = 9;
+  records[0].dst_port = 80;
+  records[0].out_bytes = 100;
+  records[0].in_bytes = 50;
+  records[0].out_pkts = 2;
+  records[0].in_pkts = 1;
+  records[0].syn_count = 2;
+  records[0].ack_count = 1;
+  records[1] = records[0];
+  records[1].src_ip = 2;
+  records[1].dst_port = 443;
+  records[2] = records[0];
+  records[2].src_ip = 1;
+
+  const auto patterns = destination_based_patterns(records);
+  ASSERT_TRUE(patterns.contains(9));
+  const TrafficPattern& p = patterns.at(9);
+  EXPECT_EQ(p.n_flows, 3u);
+  EXPECT_EQ(p.n_distinct_peers, 2u);       // sources 1, 2
+  EXPECT_EQ(p.n_distinct_dst_ports, 2u);   // 80, 443
+  EXPECT_EQ(p.sum_flow_size, 3u * 150u);
+  EXPECT_EQ(p.sum_packets, 3u * 3u);
+  EXPECT_EQ(p.syn_count, 6u);
+  EXPECT_EQ(p.ack_count, 3u);
+  EXPECT_DOUBLE_EQ(p.avg_flow_size(), 150.0);
+  EXPECT_DOUBLE_EQ(p.ack_syn_ratio(), 0.5);
+}
+
+TEST(TrafficPatternTest, SourceAggregationCountsDestinations) {
+  std::vector<NetflowRecord> records(2);
+  records[0].src_ip = 7;
+  records[0].dst_ip = 1;
+  records[1].src_ip = 7;
+  records[1].dst_ip = 2;
+  const auto patterns = source_based_patterns(records);
+  EXPECT_EQ(patterns.at(7).n_distinct_peers, 2u);
+}
+
+TEST(TrafficPatternTest, ProtocolTallies) {
+  std::vector<NetflowRecord> records(3);
+  records[0].dst_ip = 5;
+  records[0].protocol = Protocol::kUdp;
+  records[1].dst_ip = 5;
+  records[1].protocol = Protocol::kUdp;
+  records[2].dst_ip = 5;
+  records[2].protocol = Protocol::kTcp;
+  const auto patterns = destination_based_patterns(records);
+  EXPECT_EQ(patterns.at(5).udp_flows, 2u);
+  EXPECT_EQ(patterns.at(5).tcp_flows, 1u);
+  EXPECT_EQ(patterns.at(5).dominant_protocol(), Protocol::kUdp);
+}
+
+// --------------------------------------------------------------- detector
+
+TEST(DetectorTest, DetectsSynFlood) {
+  auto records = benign_records();
+  SynFloodConfig attack;
+  attack.victim_ip = 0x0a0000f0;  // quiet internal host
+  attack.flows = 3000;
+  attack.start_us = records.front().first_us;
+  Rng rng(1);
+  for (const auto& s : inject_syn_flood(attack, rng)) {
+    records.push_back(to_netflow(s));
+  }
+  const AnomalyDetector detector;
+  const auto alarms = detector.detect(records);
+  EXPECT_TRUE(has_alarm(alarms, attack.victim_ip, AttackClass::kDdos) ||
+              has_alarm(alarms, attack.victim_ip, AttackClass::kSynFlood));
+}
+
+TEST(DetectorTest, SpoofedFloodClassifiedDistributed) {
+  // 1500 spoofed sources > sip_t=64 -> the flood is flagged as DDoS.
+  auto records = benign_records(500);
+  SynFloodConfig attack;
+  attack.victim_ip = 0x0a0000f1;
+  attack.flows = 3000;
+  attack.spoofed_sources = 1500;
+  Rng rng(2);
+  for (const auto& s : inject_syn_flood(attack, rng)) {
+    records.push_back(to_netflow(s));
+  }
+  const auto alarms = AnomalyDetector().detect(records);
+  EXPECT_TRUE(has_alarm(alarms, attack.victim_ip, AttackClass::kDdos));
+}
+
+TEST(DetectorTest, DetectsHostScanOnBothViews) {
+  auto records = benign_records(500);
+  HostScanConfig attack;
+  attack.scanner_ip = 0xc0a80001;
+  attack.target_ip = 0x0a0000f2;
+  attack.port_count = 2000;
+  Rng rng(3);
+  for (const auto& s : inject_host_scan(attack, rng)) {
+    records.push_back(to_netflow(s));
+  }
+  const auto alarms = AnomalyDetector().detect(records);
+  // Destination view flags the victim, source view flags the scanner.
+  EXPECT_TRUE(has_alarm(alarms, attack.target_ip, AttackClass::kHostScan));
+  EXPECT_TRUE(has_alarm(alarms, attack.scanner_ip, AttackClass::kHostScan));
+}
+
+TEST(DetectorTest, DetectsNetworkScan) {
+  auto records = benign_records(500);
+  NetworkScanConfig attack;
+  attack.scanner_ip = 0xc0a80002;
+  attack.subnet_base = 0x0a020000;
+  attack.host_count = 1000;
+  Rng rng(4);
+  for (const auto& s : inject_network_scan(attack, rng)) {
+    records.push_back(to_netflow(s));
+  }
+  const auto alarms = AnomalyDetector().detect(records);
+  EXPECT_TRUE(has_alarm(alarms, attack.scanner_ip, AttackClass::kNetworkScan));
+}
+
+TEST(DetectorTest, DetectsUdpFloodAsFlooding) {
+  auto records = benign_records(500);
+  UdpFloodConfig attack;
+  attack.attacker_ip = 0xc0a80003;
+  attack.victim_ip = 0x0a0000f3;
+  attack.flows = 400;
+  attack.pkts_per_flow = 600;
+  Rng rng(5);
+  for (const auto& s : inject_udp_flood(attack, rng)) {
+    records.push_back(to_netflow(s));
+  }
+  const auto alarms = AnomalyDetector().detect(records);
+  ASSERT_TRUE(has_alarm(alarms, attack.victim_ip, AttackClass::kFlooding));
+  // Protocol attribution: the flood is UDP.
+  for (const auto& alarm : alarms) {
+    if (alarm.detection_ip == attack.victim_ip &&
+        alarm.type == AttackClass::kFlooding) {
+      EXPECT_EQ(alarm.protocol, Protocol::kUdp);
+    }
+  }
+}
+
+TEST(DetectorTest, DetectsIcmpFlood) {
+  auto records = benign_records(500);
+  IcmpFloodConfig attack;
+  attack.attacker_ip = 0xc0a80004;
+  attack.victim_ip = 0x0a0000f4;
+  Rng rng(6);
+  for (const auto& s : inject_icmp_flood(attack, rng)) {
+    records.push_back(to_netflow(s));
+  }
+  const auto alarms = AnomalyDetector().detect(records);
+  EXPECT_TRUE(has_alarm(alarms, attack.victim_ip, AttackClass::kFlooding));
+}
+
+TEST(DetectorTest, CleanTrafficBelowThresholdsRaisesNothing) {
+  // A handful of ordinary flows stays below every default threshold.
+  std::vector<NetflowRecord> records;
+  for (int i = 0; i < 20; ++i) {
+    NetflowRecord r;
+    r.src_ip = 100 + i;
+    r.dst_ip = 200;
+    r.protocol = Protocol::kTcp;
+    r.dst_port = 443;
+    r.out_bytes = 5000;
+    r.in_bytes = 20000;
+    r.out_pkts = 20;
+    r.in_pkts = 30;
+    r.syn_count = 2;
+    r.ack_count = 40;
+    r.state = ConnState::kSF;
+    records.push_back(r);
+  }
+  EXPECT_TRUE(AnomalyDetector().detect(records).empty());
+}
+
+TEST(DetectorTest, AlarmsAreSortedDeterministically) {
+  auto records = benign_records(500);
+  Rng rng(7);
+  SynFloodConfig syn;
+  syn.victim_ip = 0x0a0000f5;
+  syn.flows = 2000;
+  for (const auto& s : inject_syn_flood(syn, rng)) {
+    records.push_back(to_netflow(s));
+  }
+  HostScanConfig scan;
+  scan.scanner_ip = 0xc0a80005;
+  scan.target_ip = 0x0a0000f6;
+  scan.port_count = 1500;
+  for (const auto& s : inject_host_scan(scan, rng)) {
+    records.push_back(to_netflow(s));
+  }
+  const auto a = AnomalyDetector().detect(records);
+  const auto b = AnomalyDetector().detect(records);
+  EXPECT_EQ(a, b);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a[i - 1].detection_ip, a[i].detection_ip);
+  }
+}
+
+// -------------------------------------------------------------- calibration
+
+TEST(CalibrationTest, ThresholdsSitAboveBenignMaxima) {
+  const auto records = benign_records();
+  const auto thresholds =
+      calibrate_thresholds(records, CalibrationOptions{.quantile = 1.0,
+                                                       .margin = 2.0});
+  for (const auto& [ip, p] : destination_based_patterns(records)) {
+    EXPECT_LE(static_cast<double>(p.n_flows), thresholds.nf_t);
+    EXPECT_LE(static_cast<double>(p.n_distinct_peers), thresholds.sip_t);
+    EXPECT_LE(static_cast<double>(p.sum_flow_size), thresholds.fs_ht);
+  }
+  for (const auto& [ip, p] : source_based_patterns(records)) {
+    EXPECT_LE(static_cast<double>(p.n_distinct_peers), thresholds.dip_t);
+  }
+}
+
+TEST(CalibrationTest, CalibratedDetectorIsQuietOnBenignTraffic) {
+  const auto records = benign_records();
+  const auto thresholds = calibrate_thresholds(
+      records, CalibrationOptions{.quantile = 1.0, .margin = 2.0});
+  const AnomalyDetector detector(thresholds);
+  EXPECT_TRUE(detector.detect(records).empty());
+}
+
+TEST(CalibrationTest, CalibratedDetectorStillCatchesAttacks) {
+  auto records = benign_records();
+  const auto thresholds = calibrate_thresholds(
+      records, CalibrationOptions{.quantile = 1.0, .margin = 2.0});
+  SynFloodConfig attack;
+  attack.victim_ip = 0x0a0000f7;
+  attack.flows = 8000;
+  Rng rng(8);
+  for (const auto& s : inject_syn_flood(attack, rng)) {
+    records.push_back(to_netflow(s));
+  }
+  const AnomalyDetector detector(thresholds);
+  const auto alarms = detector.detect(records);
+  EXPECT_TRUE(has_alarm(alarms, attack.victim_ip, AttackClass::kDdos) ||
+              has_alarm(alarms, attack.victim_ip, AttackClass::kSynFlood));
+}
+
+TEST(CalibrationTest, RejectsBadInput) {
+  EXPECT_THROW(calibrate_thresholds({}), CsbError);
+  const auto records = benign_records(100);
+  EXPECT_THROW(
+      calibrate_thresholds(records, CalibrationOptions{.quantile = 1.5}),
+      CsbError);
+  EXPECT_THROW(
+      calibrate_thresholds(records, CalibrationOptions{.margin = 0.5}),
+      CsbError);
+}
+
+}  // namespace
+}  // namespace csb

@@ -1,0 +1,273 @@
+// Unit tests for src/seed: NetFlow -> graph mapping, the Fig. 1 analysis
+// step, the p(a | IN_BYTES) factorization, and the full PCAP pipeline.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "pcap/pcap_file.hpp"
+#include "seed/seed.hpp"
+#include "trace/traffic_model.hpp"
+#include "util/error.hpp"
+
+namespace csb {
+namespace {
+
+std::vector<NetflowRecord> tiny_records() {
+  // Three hosts, four flows: A->B twice, B->C, C->A.
+  NetflowRecord ab1;
+  ab1.src_ip = 0x0a000001;
+  ab1.dst_ip = 0x0a000002;
+  ab1.protocol = Protocol::kTcp;
+  ab1.src_port = 50000;
+  ab1.dst_port = 80;
+  ab1.first_us = 0;
+  ab1.last_us = 1'000'000;
+  ab1.out_bytes = 1000;
+  ab1.in_bytes = 5000;
+  ab1.out_pkts = 10;
+  ab1.in_pkts = 12;
+  ab1.state = ConnState::kSF;
+  NetflowRecord ab2 = ab1;
+  ab2.dst_port = 443;
+  ab2.in_bytes = 800;
+  NetflowRecord bc = ab1;
+  bc.src_ip = 0x0a000002;
+  bc.dst_ip = 0x0a000003;
+  bc.in_bytes = 200000;
+  NetflowRecord ca = ab1;
+  ca.src_ip = 0x0a000003;
+  ca.dst_ip = 0x0a000001;
+  ca.protocol = Protocol::kUdp;
+  ca.state = ConnState::kNone;
+  return {ab1, ab2, bc, ca};
+}
+
+// ------------------------------------------------------- graph mapping
+
+TEST(GraphFromNetflowTest, MapsHostsToDenseIds) {
+  const auto graph = graph_from_netflow(tiny_records());
+  EXPECT_EQ(graph.num_vertices(), 3u);
+  EXPECT_EQ(graph.num_edges(), 4u);
+  EXPECT_TRUE(graph.has_properties());
+  // First appearance order: A=0, B=1, C=2.
+  EXPECT_EQ(graph.edge_src(0), 0u);
+  EXPECT_EQ(graph.edge_dst(0), 1u);
+  EXPECT_EQ(graph.edge_src(2), 1u);
+  EXPECT_EQ(graph.edge_dst(2), 2u);
+  EXPECT_EQ(graph.edge_src(3), 2u);
+  EXPECT_EQ(graph.edge_dst(3), 0u);
+}
+
+TEST(GraphFromNetflowTest, PreservesNetflowAttributes) {
+  const auto records = tiny_records();
+  const auto graph = graph_from_netflow(records);
+  const EdgeProperties p = graph.edge_properties(2);
+  EXPECT_EQ(p.in_bytes, 200000u);
+  EXPECT_EQ(p.duration_ms, 1000u);
+  EXPECT_EQ(p.state, ConnState::kSF);
+  EXPECT_EQ(graph.edge_properties(3).protocol, Protocol::kUdp);
+}
+
+TEST(GraphFromNetflowTest, EmptyInputGivesEmptyGraph) {
+  const auto graph = graph_from_netflow({});
+  EXPECT_EQ(graph.num_vertices(), 0u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+}
+
+// ------------------------------------------------------ incremental builder
+
+TEST(IncrementalBuilderTest, MatchesBatchConstruction) {
+  const auto records = tiny_records();
+  IncrementalGraphBuilder builder;
+  for (const auto& rec : records) builder.add(rec);
+  EXPECT_EQ(builder.graph(), graph_from_netflow(records));
+  EXPECT_EQ(builder.flows_ingested(), records.size());
+}
+
+TEST(IncrementalBuilderTest, IpMappingIsBidirectional) {
+  IncrementalGraphBuilder builder;
+  const auto records = tiny_records();
+  for (const auto& rec : records) builder.add(rec);
+  for (VertexId v = 0; v < builder.graph().num_vertices(); ++v) {
+    EXPECT_EQ(builder.vertex_of(builder.ip_of(v)), v);
+  }
+  EXPECT_THROW((void)builder.ip_of(999), CsbError);
+}
+
+TEST(IncrementalBuilderTest, GraphIsValidMidStream) {
+  IncrementalGraphBuilder builder;
+  const auto records = tiny_records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    builder.add(records[i]);
+    // Any prefix must be a well-formed property graph.
+    EXPECT_EQ(builder.graph().num_edges(), i + 1);
+    EXPECT_TRUE(builder.graph().has_properties());
+  }
+}
+
+TEST(IncrementalBuilderTest, TakeResetsBuilder) {
+  IncrementalGraphBuilder builder;
+  for (const auto& rec : tiny_records()) builder.add(rec);
+  const PropertyGraph taken = builder.take();
+  EXPECT_EQ(taken.num_edges(), 4u);
+  EXPECT_EQ(builder.graph().num_edges(), 0u);
+  EXPECT_EQ(builder.graph().num_vertices(), 0u);
+  // The builder is reusable: old IPs get fresh ids.
+  builder.add(tiny_records().front());
+  EXPECT_EQ(builder.graph().num_vertices(), 2u);
+}
+
+// ----------------------------------------------------------- seed profile
+
+TEST(SeedProfileTest, DegreeDistributionsMatchGraph) {
+  const auto graph = graph_from_netflow(tiny_records());
+  const auto profile = SeedProfile::analyze(graph);
+  // Out-degrees: A=2, B=1, C=1 -> support {1, 2}, P(1)=2/3.
+  EXPECT_EQ(profile.out_degree().support_size(), 2u);
+  EXPECT_NEAR(profile.out_degree().pmf(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(profile.out_degree().pmf(2), 1.0 / 3.0, 1e-12);
+  // In-degrees: A=1, B=2, C=1.
+  EXPECT_NEAR(profile.in_degree().pmf(2), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(profile.seed_vertices(), 3u);
+  EXPECT_EQ(profile.seed_edges(), 4u);
+}
+
+TEST(SeedProfileTest, InBytesMarginalMatchesSeed) {
+  const auto graph = graph_from_netflow(tiny_records());
+  const auto profile = SeedProfile::analyze(graph);
+  EXPECT_NEAR(profile.in_bytes().pmf(5000), 0.5, 1e-12);
+  EXPECT_NEAR(profile.in_bytes().pmf(800), 0.25, 1e-12);
+  EXPECT_NEAR(profile.in_bytes().pmf(200000), 0.25, 1e-12);
+}
+
+TEST(SeedProfileTest, SampledPropertiesStayInSeedSupport) {
+  const auto graph = graph_from_netflow(tiny_records());
+  const auto profile = SeedProfile::analyze(graph);
+  const std::set<std::uint64_t> seed_in_bytes = {5000, 800, 200000};
+  const std::set<std::uint16_t> seed_ports = {80, 443};
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const EdgeProperties p = profile.sample_properties(rng);
+    EXPECT_TRUE(seed_in_bytes.contains(p.in_bytes));
+    EXPECT_TRUE(seed_ports.contains(p.dst_port));
+    EXPECT_TRUE(p.protocol == Protocol::kTcp || p.protocol == Protocol::kUdp);
+    EXPECT_TRUE(p.state == ConnState::kSF || p.state == ConnState::kNone);
+    EXPECT_EQ(p.out_bytes, 1000u);
+    EXPECT_EQ(p.duration_ms, 1000u);
+  }
+}
+
+TEST(SeedProfileTest, ConditionalStructureIsRespected) {
+  // in_bytes 800 only ever co-occurs with dst_port 443 in the seed, so the
+  // conditional p(dst_port | in_bytes=800-bucket) must put all mass there.
+  const auto graph = graph_from_netflow(tiny_records());
+  const auto profile = SeedProfile::analyze(graph);
+  Rng rng(4);
+  int n800 = 0;
+  for (int i = 0; i < 2000 && n800 < 50; ++i) {
+    const EdgeProperties p = profile.sample_properties(rng);
+    if (p.in_bytes == 800) {
+      ++n800;
+      EXPECT_EQ(p.dst_port, 443u);
+      EXPECT_EQ(p.protocol, Protocol::kTcp);
+    }
+  }
+  EXPECT_GT(n800, 0);
+}
+
+TEST(SeedProfileTest, RejectsStructureOnlyOrEmptySeed) {
+  PropertyGraph structure_only(3);
+  structure_only.add_edge(0, 1);
+  EXPECT_THROW(SeedProfile::analyze(structure_only), CsbError);
+  PropertyGraph empty(3);
+  EXPECT_THROW(SeedProfile::analyze(empty), CsbError);
+}
+
+TEST(SeedProfileTest, PropertyCountMatchesSchema) {
+  EXPECT_EQ(SeedProfile::property_count(), kNetflowAttributeCount);
+  EXPECT_EQ(SeedProfile::property_count(), 9u);
+}
+
+// -------------------------------------------------------- full pipeline
+
+TEST(SeedPipelineTest, PacketsToSeedBundle) {
+  TrafficModelConfig config;
+  config.benign_sessions = 300;
+  const auto sessions = TrafficModel(config).generate_benign();
+  const auto packets = sessions_to_packets(sessions);
+  const SeedBundle bundle = build_seed_from_packets(packets);
+  // Each session is a distinct flow (up to rare 5-tuple collisions).
+  EXPECT_GE(bundle.graph.num_edges(), 290u);
+  EXPECT_LE(bundle.graph.num_edges(), 300u);
+  EXPECT_GT(bundle.graph.num_vertices(), 50u);
+  EXPECT_TRUE(bundle.graph.has_properties());
+  EXPECT_EQ(bundle.profile.seed_edges(), bundle.graph.num_edges());
+}
+
+TEST(SeedPipelineTest, NetflowShortcutMatchesPacketPath) {
+  TrafficModelConfig config;
+  config.benign_sessions = 150;
+  const auto sessions = TrafficModel(config).generate_benign();
+  const SeedBundle via_packets =
+      build_seed_from_packets(sessions_to_packets(sessions));
+  const SeedBundle via_netflow =
+      build_seed_from_netflow(sessions_to_netflow(sessions));
+  // Both paths must agree on scale; flow-level details may differ by
+  // 5-tuple collisions only.
+  EXPECT_NEAR(static_cast<double>(via_packets.graph.num_edges()),
+              static_cast<double>(via_netflow.graph.num_edges()), 5.0);
+  EXPECT_EQ(via_packets.graph.num_vertices(),
+            via_netflow.graph.num_vertices());
+}
+
+TEST(SeedProfileIoTest, RoundTripsExactly) {
+  const auto graph = graph_from_netflow(tiny_records());
+  const SeedProfile profile = SeedProfile::analyze(graph);
+  std::stringstream buffer;
+  profile.save(buffer);
+  const SeedProfile loaded = SeedProfile::load(buffer);
+  EXPECT_TRUE(loaded == profile);
+  EXPECT_EQ(loaded.seed_vertices(), profile.seed_vertices());
+  // Sampling behaves identically after the round trip.
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(profile.sample_properties(a), loaded.sample_properties(b));
+  }
+}
+
+TEST(SeedProfileIoTest, FileRoundTripAndErrors) {
+  TrafficModelConfig config;
+  config.benign_sessions = 200;
+  const SeedBundle bundle = build_seed_from_netflow(
+      sessions_to_netflow(TrafficModel(config).generate_benign()));
+  const std::string path = ::testing::TempDir() + "/csb_profile_test.bin";
+  bundle.profile.save_file(path);
+  EXPECT_TRUE(SeedProfile::load_file(path) == bundle.profile);
+
+  std::stringstream bad("not a profile at all............");
+  EXPECT_THROW(SeedProfile::load(bad), CsbError);
+
+  std::stringstream truncated;
+  bundle.profile.save(truncated);
+  std::string bytes = truncated.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream half(bytes);
+  EXPECT_THROW(SeedProfile::load(half), CsbError);
+}
+
+TEST(SeedPipelineTest, PcapFileRoundTrip) {
+  TrafficModelConfig config;
+  config.benign_sessions = 60;
+  const auto sessions = TrafficModel(config).generate_benign();
+  const auto packets = sessions_to_packets(sessions);
+  const std::string path = ::testing::TempDir() + "/csb_seed_test.pcap";
+  write_pcap_file(path, packets);
+  const SeedBundle bundle = build_seed_from_pcap_file(path);
+  EXPECT_GT(bundle.graph.num_edges(), 50u);
+}
+
+}  // namespace
+}  // namespace csb

@@ -1,0 +1,324 @@
+// Unit tests for src/util: RNG, thread pool, parallel_for, formatting,
+// hashing, error macros.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
+#include "util/random.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace csb {
+namespace {
+
+// ---------------------------------------------------------------- random
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng parent(7);
+  Rng c1 = parent.fork(0);
+  Rng c2 = parent.fork(1);
+  Rng c1_again = Rng(7).fork(0);
+  EXPECT_EQ(c1(), c1_again());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1() == c2()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkDoesNotAdvanceParent) {
+  Rng a(9);
+  Rng b(9);
+  (void)a.fork(5);
+  EXPECT_EQ(a(), b());
+}
+
+class RngUniformBoundTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformBoundTest, StaysBelowBound) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.uniform(bound), bound);
+}
+
+TEST_P(RngUniformBoundTest, HitsAllSmallValues) {
+  const std::uint64_t bound = GetParam();
+  if (bound > 64) GTEST_SKIP() << "coverage check only for small bounds";
+  Rng rng(43);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(rng.uniform(bound));
+  EXPECT_EQ(seen.size(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngUniformBoundTest,
+                         ::testing::Values(1, 2, 3, 7, 10, 64, 1000,
+                                           1ULL << 32, (1ULL << 63) + 5));
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(6);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t x = rng.uniform_range(-3, 3);
+    ASSERT_GE(x, -3);
+    ASSERT_LE(x, 3);
+    saw_lo |= x == -3;
+    saw_hi |= x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+class RngBernoulliTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngBernoulliTest, MatchesRate) {
+  const double p = GetParam();
+  Rng rng(77);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.bernoulli(p) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, p, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RngBernoulliTest,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.9, 1.0));
+
+TEST(SplitMixTest, ProducesDistinctSequence) {
+  std::uint64_t state = 0;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(splitmix64(state));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw CsbError("boom"); });
+  EXPECT_THROW(f.get(), CsbError);
+}
+
+TEST(ThreadPoolTest, RunsManyTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, SizeIsAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+// ------------------------------------------------------------- parallel
+
+class MakeChunksTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(MakeChunksTest, CoversRangeExactlyOnce) {
+  const auto [n, workers] = GetParam();
+  const auto chunks = make_chunks(0, n, workers, 1);
+  std::size_t covered = 0;
+  std::size_t expect_begin = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.begin, expect_begin);
+    EXPECT_LT(c.begin, c.end);
+    covered += c.end - c.begin;
+    expect_begin = c.end;
+  }
+  EXPECT_EQ(covered, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MakeChunksTest,
+    ::testing::Combine(::testing::Values(1, 2, 10, 1000, 12345),
+                       ::testing::Values(1, 2, 8, 64)));
+
+TEST(MakeChunksTest, EmptyRangeYieldsNoChunks) {
+  EXPECT_TRUE(make_chunks(5, 5, 4, 1).empty());
+  EXPECT_TRUE(make_chunks(7, 3, 4, 1).empty());
+}
+
+TEST(MakeChunksTest, RespectsGrain) {
+  const auto chunks = make_chunks(0, 100, 16, 50);
+  for (const auto& c : chunks) {
+    // All chunks but the last must be >= grain.
+    if (c.end != 100) {
+      EXPECT_GE(c.end - c.begin, 50u);
+    }
+  }
+}
+
+TEST(ParallelForTest, VisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(5000);
+  parallel_for(pool, 0, visits.size(), 16,
+               [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForTest, PropagatesBodyExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 100, 1,
+                            [](std::size_t i) {
+                              if (i == 50) throw CsbError("bad index");
+                            }),
+               CsbError);
+}
+
+TEST(ParallelForTest, ChunkIndicesAreSequential) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::set<std::size_t> indices;
+  parallel_for_chunks(pool, 0, 1000, 10, [&](const ChunkRange& c) {
+    std::lock_guard<std::mutex> lock(mu);
+    indices.insert(c.chunk_index);
+  });
+  ASSERT_FALSE(indices.empty());
+  EXPECT_EQ(*indices.begin(), 0u);
+  EXPECT_EQ(*indices.rbegin(), indices.size() - 1);
+}
+
+// -------------------------------------------------------------- format
+
+struct CommaCase {
+  std::uint64_t value;
+  const char* expected;
+};
+
+class WithCommasTest : public ::testing::TestWithParam<CommaCase> {};
+
+TEST_P(WithCommasTest, Formats) {
+  EXPECT_EQ(with_commas(GetParam().value), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, WithCommasTest,
+    ::testing::Values(CommaCase{0, "0"}, CommaCase{5, "5"},
+                      CommaCase{999, "999"}, CommaCase{1000, "1,000"},
+                      CommaCase{123456, "123,456"},
+                      CommaCase{1234567, "1,234,567"},
+                      CommaCase{1000000000ULL, "1,000,000,000"}));
+
+TEST(FormatTest, HumanBytes) {
+  EXPECT_EQ(human_bytes(0), "0 B");
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(human_bytes(1ULL << 20), "1.00 MiB");
+  EXPECT_EQ(human_bytes(3ULL << 30), "3.00 GiB");
+}
+
+TEST(FormatTest, HumanSeconds) {
+  EXPECT_EQ(human_seconds(0.0000005), "0.5 us");
+  EXPECT_EQ(human_seconds(0.005), "5.0 ms");
+  EXPECT_EQ(human_seconds(1.5), "1.50 s");
+  EXPECT_EQ(human_seconds(90.0), "1m 30.0s");
+}
+
+TEST(FormatTest, Sci) {
+  EXPECT_EQ(sci(12345.0, 3), "1.23e+04");
+  EXPECT_EQ(sci(0.000123, 2), "1.2e-04");
+}
+
+// ---------------------------------------------------------------- hash
+
+TEST(HashTest, Mix64IsInjectiveOnSample) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(HashTest, PairHashIsOrderSensitive) {
+  EXPECT_NE(hash_pair(1, 2), hash_pair(2, 1));
+}
+
+TEST(HashTest, PairHashHasFewCollisionsOnGrid) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t u = 0; u < 100; ++u) {
+    for (std::uint64_t v = 0; v < 100; ++v) seen.insert(hash_pair(u, v));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+// --------------------------------------------------------------- error
+
+TEST(ErrorTest, CheckThrowsWithLocation) {
+  try {
+    CSB_CHECK(1 == 2);
+    FAIL() << "expected CsbError";
+  } catch (const CsbError& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckMsgIncludesMessage) {
+  try {
+    CSB_CHECK_MSG(false, "context " << 42);
+    FAIL() << "expected CsbError";
+  } catch (const CsbError& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckPassesSilently) {
+  EXPECT_NO_THROW(CSB_CHECK(true));
+  EXPECT_NO_THROW(CSB_CHECK_MSG(1 + 1 == 2, "fine"));
+}
+
+// ------------------------------------------------------------- stopwatch
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(sw.millis(), 15.0);
+  sw.restart();
+  EXPECT_LT(sw.millis(), 15.0);
+}
+
+}  // namespace
+}  // namespace csb

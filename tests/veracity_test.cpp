@@ -1,0 +1,225 @@
+// Unit tests for src/veracity: normalization, the §V-A veracity score, and
+// the key paper trend — scores shrink as the synthetic graph grows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/pgpba.hpp"
+#include "gen/pgsk.hpp"
+#include "seed/seed.hpp"
+#include "trace/traffic_model.hpp"
+#include "util/error.hpp"
+#include "veracity/attributes.hpp"
+#include "veracity/veracity.hpp"
+
+namespace csb {
+namespace {
+
+SeedBundle make_seed() {
+  TrafficModelConfig config;
+  config.benign_sessions = 1200;
+  config.client_hosts = 150;
+  config.server_hosts = 40;
+  return build_seed_from_netflow(
+      sessions_to_netflow(TrafficModel(config).generate_benign()));
+}
+
+TEST(NormalizedDistributionTest, DegreeSumsToOne) {
+  const SeedBundle seed = make_seed();
+  const auto normalized = normalized_degree_distribution(seed.graph);
+  double sum = 0.0;
+  for (const double v : normalized) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(NormalizedDistributionTest, PagerankSumsToOne) {
+  const SeedBundle seed = make_seed();
+  ThreadPool pool(2);
+  const auto normalized = normalized_pagerank_distribution(seed.graph, pool);
+  double sum = 0.0;
+  for (const double v : normalized) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(VeracityScoreTest, IdenticalGraphScoresZero) {
+  const SeedBundle seed = make_seed();
+  ThreadPool pool(2);
+  const VeracityReport report =
+      evaluate_veracity(seed.graph, seed.graph, pool);
+  EXPECT_DOUBLE_EQ(report.degree_score, 0.0);
+  EXPECT_DOUBLE_EQ(report.pagerank_score, 0.0);
+}
+
+TEST(VeracityScoreTest, LowerForStructurallySimilarGraph) {
+  // A PGPBA clone of the seed must score far better than an Erdős-Rényi
+  // graph of the same size (which has no degree skew at all).
+  const SeedBundle seed = make_seed();
+  ThreadPool pool(2);
+  ClusterSim cluster(ClusterConfig{.nodes = 2, .cores_per_node = 2});
+  PgpbaOptions options;
+  options.desired_edges = 2 * seed.graph.num_edges();
+  options.with_properties = false;
+  // Degree-sampling mode reproduces the seed's degree shape directly
+  // (spark-parity mode adds degree-1 vertices only).
+  options.mode = PgpbaAttachMode::kDegreeSampling;
+  const GenResult pgpba =
+      pgpba_generate(seed.graph, seed.profile, cluster, options);
+
+  PropertyGraph uniform(pgpba.graph.num_vertices());
+  Rng rng(5);
+  for (std::uint64_t e = 0; e < pgpba.graph.num_edges(); ++e) {
+    uniform.add_edge(rng.uniform(uniform.num_vertices()),
+                     rng.uniform(uniform.num_vertices()));
+  }
+
+  const double score_pgpba =
+      veracity_score(normalized_degree_distribution(seed.graph),
+                     normalized_degree_distribution(pgpba.graph));
+  const double score_uniform =
+      veracity_score(normalized_degree_distribution(seed.graph),
+                     normalized_degree_distribution(uniform));
+  EXPECT_LT(score_pgpba, score_uniform);
+}
+
+TEST(VeracityTrendTest, ScoreDecreasesWithSyntheticSize) {
+  // The central Fig. 6 trend: growing the synthetic graph shrinks the
+  // veracity score (normalized values scale down with size).
+  const SeedBundle seed = make_seed();
+  ClusterSim cluster(ClusterConfig{.nodes = 2, .cores_per_node = 2});
+  double previous = 1e9;
+  for (const std::uint64_t factor : {2, 8, 32}) {
+    PgpbaOptions options;
+    options.desired_edges = factor * seed.graph.num_edges();
+    options.fraction = 1.0;
+    options.with_properties = false;
+    const GenResult result =
+        pgpba_generate(seed.graph, seed.profile, cluster, options);
+    const double score =
+        veracity_score(normalized_degree_distribution(seed.graph),
+                       normalized_degree_distribution(result.graph));
+    EXPECT_LT(score, previous) << "factor " << factor;
+    previous = score;
+  }
+}
+
+TEST(VeracityScoreTest, PgskScoresAreFinite) {
+  const SeedBundle seed = make_seed();
+  ThreadPool pool(2);
+  ClusterSim cluster(ClusterConfig{.nodes = 2, .cores_per_node = 2});
+  PgskOptions options;
+  options.desired_edges = seed.graph.num_edges();
+  options.fit.gradient_iterations = 8;
+  options.fit.swaps_per_iteration = 200;
+  options.fit.burn_in_swaps = 500;
+  const GenResult result =
+      pgsk_generate(seed.graph, seed.profile, cluster, options);
+  const VeracityReport report =
+      evaluate_veracity(seed.graph, result.graph, pool);
+  EXPECT_TRUE(std::isfinite(report.degree_score));
+  EXPECT_TRUE(std::isfinite(report.pagerank_score));
+  EXPECT_GT(report.degree_score, 0.0);
+}
+
+TEST(DegreeSeriesTest, FractionsSumToAtMostOne) {
+  const SeedBundle seed = make_seed();
+  const auto series = degree_distribution_series(seed.graph);
+  ASSERT_FALSE(series.empty());
+  double total = 0.0;
+  for (const auto& point : series) {
+    EXPECT_GT(point.normalized_degree, 0.0);
+    EXPECT_GT(point.vertex_fraction, 0.0);
+    total += point.vertex_fraction;
+  }
+  EXPECT_LE(total, 1.0 + 1e-9);
+}
+
+TEST(DegreeSeriesTest, LargerGraphShiftsDownLeft) {
+  // Fig. 5: the synthetic curves sit orders of magnitude down-left of the
+  // seed because of normalization.
+  const SeedBundle seed = make_seed();
+  ClusterSim cluster(ClusterConfig{.nodes = 2, .cores_per_node = 2});
+  PgpbaOptions options;
+  options.desired_edges = 30 * seed.graph.num_edges();
+  options.fraction = 1.0;
+  options.with_properties = false;
+  const GenResult result =
+      pgpba_generate(seed.graph, seed.profile, cluster, options);
+  const auto seed_series = degree_distribution_series(seed.graph);
+  const auto synth_series = degree_distribution_series(result.graph);
+  ASSERT_FALSE(seed_series.empty());
+  ASSERT_FALSE(synth_series.empty());
+  // Compare the location of the first (smallest-degree) points.
+  EXPECT_LT(synth_series.front().normalized_degree,
+            seed_series.front().normalized_degree);
+}
+
+TEST(DegreeSeriesTest, EmptyGraphGivesEmptySeries) {
+  PropertyGraph g(5);
+  EXPECT_TRUE(degree_distribution_series(g).empty());
+}
+
+// -------------------------------------------------------------- attributes
+
+TEST(AttributeVeracityTest, IdenticalGraphScoresZero) {
+  const SeedBundle seed = make_seed();
+  const auto report =
+      evaluate_attribute_veracity(seed.graph, seed.graph);
+  EXPECT_DOUBLE_EQ(report.max_ks(), 0.0);
+  EXPECT_DOUBLE_EQ(report.min_coverage(), 1.0);
+}
+
+TEST(AttributeVeracityTest, PgpbaKeepsAttributesFaithful) {
+  const SeedBundle seed = make_seed();
+  ClusterSim cluster(ClusterConfig{.nodes = 2, .cores_per_node = 2});
+  PgpbaOptions options;
+  options.desired_edges = 4 * seed.graph.num_edges();
+  const GenResult result =
+      pgpba_generate(seed.graph, seed.profile, cluster, options);
+  const auto report =
+      evaluate_attribute_veracity(seed.graph, result.graph);
+  // Sampled from the seed's own distributions: tight KS, full coverage.
+  EXPECT_LT(report.max_ks(), 0.05);
+  EXPECT_DOUBLE_EQ(report.min_coverage(), 1.0);
+  for (const auto& score : report.scores) {
+    EXPECT_GE(score.ks_distance, 0.0);
+    EXPECT_LE(score.ks_distance, 1.0);
+  }
+}
+
+TEST(AttributeVeracityTest, DetectsCorruptedAttribute) {
+  const SeedBundle seed = make_seed();
+  PropertyGraph corrupted = seed.graph;
+  // Re-point every flow at one port: the DEST_PORT distribution collapses.
+  for (EdgeId e = 0; e < corrupted.num_edges(); ++e) {
+    EdgeProperties p = corrupted.edge_properties(e);
+    p.dst_port = 4444;
+    corrupted.set_edge_properties(e, p);
+  }
+  const auto report = evaluate_attribute_veracity(seed.graph, corrupted);
+  const auto& dst_port_score =
+      report.scores[static_cast<std::size_t>(NetflowAttribute::kDstPort)];
+  EXPECT_GT(dst_port_score.ks_distance, 0.5);
+  EXPECT_LT(dst_port_score.support_coverage, 0.2);
+  // Untouched attributes stay clean.
+  const auto& proto_score =
+      report.scores[static_cast<std::size_t>(NetflowAttribute::kProtocol)];
+  EXPECT_DOUBLE_EQ(proto_score.ks_distance, 0.0);
+}
+
+TEST(AttributeVeracityTest, SamplingCapRespected) {
+  const SeedBundle seed = make_seed();
+  // With a tiny sampling cap the report must still be well-formed.
+  const auto report =
+      evaluate_attribute_veracity(seed.graph, seed.graph, 100);
+  EXPECT_LE(report.max_ks(), 0.3);  // sampling noise only
+}
+
+TEST(AttributeVeracityTest, RequiresProperties) {
+  const SeedBundle seed = make_seed();
+  PropertyGraph bare(3);
+  bare.add_edge(0, 1);
+  EXPECT_THROW(evaluate_attribute_veracity(seed.graph, bare), CsbError);
+}
+
+}  // namespace
+}  // namespace csb

@@ -1,0 +1,246 @@
+// Unit tests for src/workload: the node/edge/path/subgraph query catalogue
+// and the mixed workload runner.
+#include <gtest/gtest.h>
+
+#include "seed/seed.hpp"
+#include "trace/attacks.hpp"
+#include "trace/traffic_model.hpp"
+#include "util/error.hpp"
+#include "workload/query_engine.hpp"
+#include "workload/workload_runner.hpp"
+
+namespace csb {
+namespace {
+
+/// 4 hosts: 0 -> 1 (HTTP big), 0 -> 2 (DNS small), 2 -> 3, 1 -> 3, plus a
+/// self-contained second flow 0 -> 1.
+PropertyGraph tiny_graph() {
+  PropertyGraph g(4);
+  EdgeProperties http;
+  http.protocol = Protocol::kTcp;
+  http.dst_port = 80;
+  http.out_bytes = 1000;
+  http.in_bytes = 50000;
+  http.state = ConnState::kSF;
+  EdgeProperties dns;
+  dns.protocol = Protocol::kUdp;
+  dns.dst_port = 53;
+  dns.out_bytes = 80;
+  dns.in_bytes = 200;
+  g.add_edge(0, 1, http);
+  g.add_edge(0, 2, dns);
+  g.add_edge(2, 3, dns);
+  g.add_edge(1, 3, http);
+  g.add_edge(0, 1, dns);
+  return g;
+}
+
+// ------------------------------------------------------------ node queries
+
+TEST(QueryEngineTest, TopKByDegree) {
+  const PropertyGraph g = tiny_graph();
+  const GraphQueryEngine engine(g);
+  const auto top = engine.top_k_by_degree(2);
+  ASSERT_EQ(top.size(), 2u);
+  // Degrees: 0 -> 3, 1 -> 3, 2 -> 2, 3 -> 2; ties by id.
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(QueryEngineTest, TopKClampsToVertexCount) {
+  const PropertyGraph g = tiny_graph();
+  const GraphQueryEngine engine(g);
+  EXPECT_EQ(engine.top_k_by_degree(100).size(), 4u);
+}
+
+TEST(QueryEngineTest, TopKByTraffic) {
+  const PropertyGraph g = tiny_graph();
+  const GraphQueryEngine engine(g);
+  const auto top = engine.top_k_by_traffic(1);
+  ASSERT_EQ(top.size(), 1u);
+  // Hosts 0 and 1 both touch the two HTTP flows (51000 each) but host 1
+  // also receives... compute: host 0 volume = 51000+280+280 = 51560;
+  // host 1 = 51000+51000+280 = 102280 -> host 1 wins.
+  EXPECT_EQ(top[0], 1u);
+}
+
+TEST(QueryEngineTest, HostSummary) {
+  const PropertyGraph g = tiny_graph();
+  const GraphQueryEngine engine(g);
+  const HostSummary s = engine.host_summary(0);
+  EXPECT_EQ(s.flows_out, 3u);
+  EXPECT_EQ(s.flows_in, 0u);
+  EXPECT_EQ(s.bytes_sent, 1000u + 80u + 80u);
+  EXPECT_EQ(s.bytes_received, 50000u + 200u + 200u);
+  EXPECT_THROW((void)engine.host_summary(99), CsbError);
+}
+
+// ------------------------------------------------------------ edge queries
+
+TEST(QueryEngineTest, FlowFilterByProtocolAndPort) {
+  const PropertyGraph g = tiny_graph();
+  const GraphQueryEngine engine(g);
+  FlowFilter tcp;
+  tcp.protocol = Protocol::kTcp;
+  EXPECT_EQ(engine.count_flows(tcp), 2u);
+  FlowFilter dns;
+  dns.dst_port = 53;
+  EXPECT_EQ(engine.count_flows(dns), 3u);
+  FlowFilter both;
+  both.protocol = Protocol::kUdp;
+  both.dst_port = 80;
+  EXPECT_EQ(engine.count_flows(both), 0u);  // conjunction: no UDP on port 80
+}
+
+TEST(QueryEngineTest, FlowFilterByBytesAndState) {
+  const PropertyGraph g = tiny_graph();
+  const GraphQueryEngine engine(g);
+  FlowFilter big;
+  big.min_total_bytes = 10'000;
+  EXPECT_EQ(engine.count_flows(big), 2u);
+  FlowFilter small;
+  small.max_total_bytes = 500;
+  EXPECT_EQ(engine.count_flows(small), 3u);
+  FlowFilter sf;
+  sf.state = ConnState::kSF;
+  EXPECT_EQ(engine.count_flows(sf), 2u);
+}
+
+TEST(QueryEngineTest, FindFlowsRespectsLimit) {
+  const PropertyGraph g = tiny_graph();
+  const GraphQueryEngine engine(g);
+  FlowFilter all;
+  EXPECT_EQ(engine.find_flows(all).size(), 5u);
+  EXPECT_EQ(engine.find_flows(all, 2).size(), 2u);
+  EXPECT_EQ(engine.find_flows(all, 2)[0], 0u);
+}
+
+TEST(QueryEngineTest, FlowQueriesRequireProperties) {
+  PropertyGraph g(2);
+  g.add_edge(0, 1);
+  const GraphQueryEngine engine(g);
+  EXPECT_THROW((void)engine.count_flows(FlowFilter{}), CsbError);
+}
+
+// ------------------------------------------------------------ path queries
+
+TEST(QueryEngineTest, ShortestPathFollowsDirection) {
+  const PropertyGraph g = tiny_graph();
+  const GraphQueryEngine engine(g);
+  const auto path = engine.shortest_path(0, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 3u);  // 0 -> {1|2} -> 3
+  EXPECT_EQ(path->front(), 0u);
+  EXPECT_EQ(path->back(), 3u);
+  // Direction matters: no path back from 3.
+  EXPECT_FALSE(engine.shortest_path(3, 0).has_value());
+  // Trivial path.
+  EXPECT_EQ(engine.shortest_path(2, 2)->size(), 1u);
+}
+
+TEST(QueryEngineTest, KHopNeighborhood) {
+  const PropertyGraph g = tiny_graph();
+  const GraphQueryEngine engine(g);
+  EXPECT_EQ(engine.k_hop_neighborhood(0, 1),
+            (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(engine.k_hop_neighborhood(0, 2),
+            (std::vector<VertexId>{1, 2, 3}));
+  EXPECT_TRUE(engine.k_hop_neighborhood(3, 5).empty());
+}
+
+// -------------------------------------------------------- subgraph queries
+
+TEST(QueryEngineTest, EgonetExtractsInducedSubgraph) {
+  const PropertyGraph g = tiny_graph();
+  const GraphQueryEngine engine(g);
+  const PropertyGraph ego = engine.egonet(1);
+  // Members: 1 (center), plus out-neighbor 3 and in-neighbor 0.
+  EXPECT_EQ(ego.num_vertices(), 3u);
+  // Induced edges: 0->1 (x2), 1->3. The 0->2 / 2->3 edges are outside.
+  EXPECT_EQ(ego.num_edges(), 3u);
+  EXPECT_TRUE(ego.has_properties());
+}
+
+TEST(QueryEngineTest, ScanningFansFindInjectedScan) {
+  // Benign traffic + one host scan; the scanner must be the unique fan.
+  TrafficModelConfig config;
+  config.benign_sessions = 1'000;
+  const TrafficModel model(config);
+  auto sessions = model.generate_benign();
+  Rng rng(3);
+  HostScanConfig scan;
+  scan.scanner_ip = 0xc0a80001;
+  scan.target_ip = model.server_ip(10);
+  scan.port_count = 500;
+  for (const auto& s : inject_host_scan(scan, rng)) sessions.push_back(s);
+  const auto records = sessions_to_netflow(sessions);
+  const PropertyGraph graph = graph_from_netflow(records);
+  const GraphQueryEngine engine(graph);
+
+  const auto fans = engine.scanning_fans(100, 400.0);
+  ASSERT_EQ(fans.size(), 1u);
+  // Verify the fan is the scanner by matching its out-degree.
+  EXPECT_GE(engine.host_summary(fans[0]).flows_out, 500u);
+}
+
+// --------------------------------------------------------------- workload
+
+TEST(WorkloadRunnerTest, ExecutesRequestedQueryCount) {
+  const PropertyGraph g = tiny_graph();
+  const GraphQueryEngine engine(g);
+  WorkloadOptions options;
+  options.queries = 500;
+  const WorkloadResult result = run_workload(engine, options);
+  EXPECT_EQ(result.total_queries, 500u);
+  std::uint64_t classes = 0;
+  for (const auto count : result.per_class) classes += count;
+  EXPECT_EQ(classes, 500u);
+  EXPECT_GT(result.queries_per_second(), 0.0);
+}
+
+TEST(WorkloadRunnerTest, DeterministicChecksumPerSeed) {
+  const PropertyGraph g = tiny_graph();
+  const GraphQueryEngine engine(g);
+  WorkloadOptions options;
+  options.queries = 300;
+  options.seed = 9;
+  const auto a = run_workload(engine, options);
+  const auto b = run_workload(engine, options);
+  EXPECT_EQ(a.checksum, b.checksum);
+  options.seed = 10;
+  const auto c = run_workload(engine, options);
+  EXPECT_NE(a.checksum, c.checksum);
+}
+
+TEST(WorkloadRunnerTest, MixWeightsShapeTheStream) {
+  const PropertyGraph g = tiny_graph();
+  const GraphQueryEngine engine(g);
+  WorkloadOptions options;
+  options.queries = 2'000;
+  options.mix.weights = {0, 1, 0, 0, 0, 0, 0};  // host summaries only
+  const auto result = run_workload(engine, options);
+  EXPECT_EQ(result.per_class[static_cast<std::size_t>(
+                QueryClass::kHostSummary)],
+            2'000u);
+}
+
+TEST(WorkloadRunnerTest, MultiThreadedMatchesTotal) {
+  const PropertyGraph g = tiny_graph();
+  const GraphQueryEngine engine(g);
+  WorkloadOptions options;
+  options.queries = 1'000;
+  options.threads = 4;
+  const auto result = run_workload(engine, options);
+  EXPECT_EQ(result.total_queries, 1'000u);
+}
+
+TEST(WorkloadRunnerTest, RejectsEmptyInput) {
+  const PropertyGraph g = tiny_graph();
+  const GraphQueryEngine engine(g);
+  WorkloadOptions options;
+  options.queries = 0;
+  EXPECT_THROW(run_workload(engine, options), CsbError);
+}
+
+}  // namespace
+}  // namespace csb

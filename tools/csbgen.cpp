@@ -1,0 +1,521 @@
+// csbgen — command-line front end to the CSB benchmark suite.
+//
+// Subcommands (run `csbgen help` for full usage):
+//   trace     synthesize a network capture (benign traffic +/- attacks)
+//   seed      run the Fig. 1 pipeline: PCAP or NetFlow CSV -> seed graph
+//   generate  grow a synthetic property-graph with PGPBA or PGSK
+//   veracity  score a synthetic dataset against its seed
+//   detect    run the Section IV anomaly detector over NetFlow data
+//   info      print statistics of a csb graph file
+//
+// All file formats are the library's own: .pcap (libpcap), .csv (NetFlow),
+// .bin (csb binary graph), .graphml (export).
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "flow/assembler.hpp"
+#include "flow/netflow_io.hpp"
+#include "gen/pgpba.hpp"
+#include "gen/pgsk.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/betweenness.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/pagerank.hpp"
+#include "ids/calibrate.hpp"
+#include "ids/detector.hpp"
+#include "ids/streaming.hpp"
+#include "pcap/packet.hpp"
+#include "pcap/pcap_file.hpp"
+#include "seed/seed.hpp"
+#include "stats/power_law.hpp"
+#include "trace/attacks.hpp"
+#include "trace/traffic_model.hpp"
+#include "util/format.hpp"
+#include "veracity/veracity.hpp"
+#include "workload/query_engine.hpp"
+#include "workload/workload_runner.hpp"
+
+namespace {
+
+using namespace csb;
+
+/// Minimal --key=value / --flag parser; positional args kept in order.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+          options_[arg.substr(2)] = "true";
+        } else {
+          options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : std::stoull(it->second);
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options_.contains(key);
+  }
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+void print_usage() {
+  std::cout <<
+      R"(csbgen — property-graph synthetic data generators for IDS benchmarking
+(reproduction of the CLUSTER 2017 CSB suite)
+
+usage: csbgen <command> [options]
+
+commands:
+  trace --out=cap.pcap [--sessions=20000] [--clients=2000] [--servers=100]
+        [--seed=42] [--netflow=flows.csv]
+        [--syn-flood=VICTIM_IP] [--host-scan=TARGET_IP]
+        [--network-scan=SUBNET_IP] [--udp-flood=VICTIM_IP]
+        [--icmp-flood=VICTIM_IP] [--ddos=VICTIM_IP]
+      Synthesize a capture; optional attacks target the given dotted-quad
+      IPs. Writes a pcap and, with --netflow, the assembled flows as CSV.
+
+  seed --in=cap.pcap|flows.csv --out=seed.bin [--profile=seed.profile]
+      Fig. 1 pipeline: capture -> NetFlow -> property graph. The output is
+      a csb binary graph with NetFlow properties.
+
+  generate --seed=seed.bin --out=synth.bin --edges=N
+           [--profile=seed.profile] [--generator=pgpba|pgsk]
+           [--fraction=0.5] [--degree-mode]
+           [--nodes=8] [--cores=4] [--partitions=0] [--rng=1]
+           [--graphml=synth.graphml] [--csv=synth.csv]
+      Grow a synthetic property-graph from a seed.
+
+  veracity --seed=seed.bin --synthetic=synth.bin
+      Degree and PageRank veracity scores (paper Section V-A; lower is
+      more faithful).
+
+  detect --in=flows.csv [--baseline=benign.csv] [--window-s=0]
+      Run the Section IV detector. Thresholds are calibrated on
+      --baseline when given, else Table-I-style defaults are used.
+      --window-s > 0 switches to the streaming detector.
+
+  info --in=graph.bin
+      Vertex/edge counts, degree stats, components, memory footprint.
+
+  analyze --in=graph.bin [--top=10] [--betweenness-samples=256]
+      Full structural report: degree power-law fit, clustering, triangles,
+      weak/strong components, k-core, assortativity, PageRank and
+      betweenness top-k.
+
+  workload --in=graph.bin [--queries=10000] [--threads=2] [--rng=1]
+      Run the mixed cyber-security query stream (nodes/edges/paths/
+      sub-graphs) and report per-class counts and throughput.
+)";
+}
+
+std::vector<NetflowRecord> load_flows(const std::string& path) {
+  if (path.size() > 5 && path.substr(path.size() - 5) == ".pcap") {
+    const auto packets = read_pcap_file(path);
+    std::vector<DecodedPacket> decoded;
+    decoded.reserve(packets.size());
+    for (const auto& packet : packets) {
+      if (auto d = decode_frame(packet.data.data(), packet.data.size(),
+                                packet.orig_len, packet.timestamp_us)) {
+        decoded.push_back(*d);
+      }
+    }
+    return assemble_flows(decoded);
+  }
+  return load_netflow_csv_file(path);
+}
+
+int cmd_trace(const Args& args) {
+  const std::string out = args.get("out", "capture.pcap");
+  TrafficModelConfig config;
+  config.benign_sessions = args.get_u64("sessions", 20'000);
+  config.client_hosts = static_cast<std::uint32_t>(args.get_u64("clients", 2'000));
+  config.server_hosts = static_cast<std::uint32_t>(args.get_u64("servers", 100));
+  config.seed = args.get_u64("seed", 42);
+  const TrafficModel model(config);
+  auto sessions = model.generate_benign();
+
+  Rng rng(config.seed ^ 0xa77acULL);
+  const std::uint64_t t0 = config.start_time_us;
+  const auto inject = [&](const char* flag, auto make) {
+    if (!args.has(flag)) return;
+    const auto injected = make(ip_from_string(args.get(flag, "")));
+    sessions.insert(sessions.end(), injected.begin(), injected.end());
+    std::cout << "injected " << injected.size() << " " << flag
+              << " flows at " << args.get(flag, "") << "\n";
+  };
+  inject("syn-flood", [&](std::uint32_t ip) {
+    SynFloodConfig c;
+    c.victim_ip = ip;
+    c.start_us = t0;
+    return inject_syn_flood(c, rng);
+  });
+  inject("host-scan", [&](std::uint32_t ip) {
+    HostScanConfig c;
+    c.scanner_ip = 0xc6336401;
+    c.target_ip = ip;
+    c.start_us = t0;
+    return inject_host_scan(c, rng);
+  });
+  inject("network-scan", [&](std::uint32_t ip) {
+    NetworkScanConfig c;
+    c.scanner_ip = 0xc6336402;
+    c.subnet_base = ip;
+    c.start_us = t0;
+    return inject_network_scan(c, rng);
+  });
+  inject("udp-flood", [&](std::uint32_t ip) {
+    UdpFloodConfig c;
+    c.attacker_ip = 0xc6336403;
+    c.victim_ip = ip;
+    c.start_us = t0;
+    return inject_udp_flood(c, rng);
+  });
+  inject("icmp-flood", [&](std::uint32_t ip) {
+    IcmpFloodConfig c;
+    c.attacker_ip = 0xc6336404;
+    c.victim_ip = ip;
+    c.start_us = t0;
+    return inject_icmp_flood(c, rng);
+  });
+  inject("ddos", [&](std::uint32_t ip) {
+    DdosConfig c;
+    c.victim_ip = ip;
+    c.start_us = t0;
+    return inject_ddos(c, rng);
+  });
+
+  write_pcap_file(out, sessions_to_packets(sessions));
+  std::cout << "wrote " << out << " (" << sessions.size() << " sessions)\n";
+  if (args.has("netflow")) {
+    const std::string csv = args.get("netflow", "flows.csv");
+    save_netflow_csv_file(sessions_to_netflow(sessions), csv);
+    std::cout << "wrote " << csv << "\n";
+  }
+  return 0;
+}
+
+int cmd_seed(const Args& args) {
+  const std::string in = args.get("in", "");
+  const std::string out = args.get("out", "seed.bin");
+  CSB_CHECK_MSG(!in.empty(), "seed requires --in=<capture.pcap|flows.csv>");
+  const auto flows = load_flows(in);
+  const PropertyGraph graph = graph_from_netflow(flows);
+  save_binary_file(graph, out);
+  std::cout << in << ": " << flows.size() << " flows -> " << out << " ("
+            << graph.num_vertices() << " vertices, " << graph.num_edges()
+            << " edges)\n";
+  if (args.has("profile")) {
+    const std::string profile_path = args.get("profile", "seed.profile");
+    SeedProfile::analyze(graph).save_file(profile_path);
+    std::cout << "wrote " << profile_path << " (fitted distributions)\n";
+  }
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  const std::string seed_path = args.get("seed", "");
+  const std::string out = args.get("out", "synthetic.bin");
+  CSB_CHECK_MSG(!seed_path.empty(), "generate requires --seed=<seed.bin>");
+  const PropertyGraph seed_graph = load_binary_file(seed_path);
+  // A cached profile skips the Fig. 1 analysis step.
+  const SeedProfile profile =
+      args.has("profile") ? SeedProfile::load_file(args.get("profile", ""))
+                          : SeedProfile::analyze(seed_graph);
+  const std::uint64_t edges =
+      args.get_u64("edges", 10 * seed_graph.num_edges());
+
+  ClusterSim cluster(ClusterConfig{
+      .nodes = args.get_u64("nodes", 8),
+      .cores_per_node = args.get_u64("cores", 4),
+  });
+  const std::string generator = args.get("generator", "pgpba");
+  GenResult result;
+  if (generator == "pgpba") {
+    PgpbaOptions options;
+    options.desired_edges = edges;
+    options.fraction = args.get_double("fraction", 0.5);
+    options.partitions = args.get_u64("partitions", 0);
+    options.seed = args.get_u64("rng", 1);
+    if (args.has("degree-mode")) {
+      options.mode = PgpbaAttachMode::kDegreeSampling;
+    }
+    result = pgpba_generate(seed_graph, profile, cluster, options);
+  } else if (generator == "pgsk") {
+    PgskOptions options;
+    options.desired_edges = edges;
+    options.partitions = args.get_u64("partitions", 0);
+    options.seed = args.get_u64("rng", 1);
+    result = pgsk_generate(seed_graph, profile, cluster, options);
+  } else {
+    std::cerr << "unknown --generator=" << generator
+              << " (expected pgpba or pgsk)\n";
+    return 2;
+  }
+
+  save_binary_file(result.graph, out);
+  std::cout << generator << ": " << result.graph.num_edges() << " edges, "
+            << result.graph.num_vertices() << " vertices ("
+            << human_bytes(result.graph.memory_bytes()) << ", "
+            << result.iterations << " iterations, "
+            << result.metrics.simulated_seconds << " simulated s on "
+            << cluster.config().nodes << "x"
+            << cluster.config().cores_per_node << " virtual cores) -> "
+            << out << "\n";
+  if (args.has("graphml")) {
+    std::ofstream xml(args.get("graphml", ""));
+    save_graphml(result.graph, xml);
+    std::cout << "wrote " << args.get("graphml", "") << "\n";
+  }
+  if (args.has("csv")) {
+    std::ofstream csv(args.get("csv", ""));
+    save_csv(result.graph, csv);
+    std::cout << "wrote " << args.get("csv", "") << "\n";
+  }
+  return 0;
+}
+
+int cmd_veracity(const Args& args) {
+  const std::string seed_path = args.get("seed", "");
+  const std::string synth_path = args.get("synthetic", "");
+  CSB_CHECK_MSG(!seed_path.empty() && !synth_path.empty(),
+                "veracity requires --seed and --synthetic");
+  const PropertyGraph seed = load_binary_file(seed_path);
+  const PropertyGraph synth = load_binary_file(synth_path);
+  ThreadPool pool(4);
+  const VeracityReport report = evaluate_veracity(seed, synth, pool);
+  std::cout << "degree veracity score:   " << sci(report.degree_score)
+            << "\npagerank veracity score: " << sci(report.pagerank_score)
+            << "\n(lower = more faithful to the seed)\n";
+  return 0;
+}
+
+int cmd_detect(const Args& args) {
+  const std::string in = args.get("in", "");
+  CSB_CHECK_MSG(!in.empty(), "detect requires --in=<flows.csv|capture.pcap>");
+  const auto flows = load_flows(in);
+
+  DetectionThresholds thresholds;
+  if (args.has("baseline")) {
+    const auto baseline = load_flows(args.get("baseline", ""));
+    thresholds = calibrate_thresholds(
+        baseline, CalibrationOptions{.quantile = 0.995, .margin = 2.5});
+    std::cout << "calibrated on " << baseline.size() << " baseline flows\n";
+  } else {
+    std::cout << "using default Table-I-style thresholds (pass --baseline "
+                 "to calibrate)\n";
+  }
+
+  std::vector<Alarm> alarms;
+  const std::uint64_t window_s = args.get_u64("window-s", 0);
+  if (window_s > 0) {
+    StreamingDetector detector(thresholds,
+                               StreamingOptions{.window_us = window_s * 1'000'000});
+    auto sorted = flows;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const NetflowRecord& a, const NetflowRecord& b) {
+                return a.first_us < b.first_us;
+              });
+    for (const auto& record : sorted) {
+      for (const auto& raised : detector.ingest(record)) {
+        alarms.push_back(raised.alarm);
+      }
+    }
+    for (const auto& raised : detector.finish()) {
+      alarms.push_back(raised.alarm);
+    }
+    std::cout << "streaming mode: " << detector.windows_closed()
+              << " windows\n";
+  } else {
+    alarms = AnomalyDetector(thresholds).detect(flows);
+  }
+
+  std::cout << flows.size() << " flows analyzed, " << alarms.size()
+            << " alarms\n";
+  for (const Alarm& alarm : alarms) {
+    std::cout << "  [" << to_string(alarm.type) << "] "
+              << (alarm.destination_based ? "victim " : "source ")
+              << ip_to_string(alarm.detection_ip) << " ("
+              << to_string(alarm.protocol) << ")\n";
+  }
+  return 0;
+}
+
+/// Loads a graph by extension: .graphml via the GraphML importer,
+/// anything else as a csb binary graph.
+PropertyGraph load_graph(const std::string& path) {
+  if (path.size() > 8 && path.substr(path.size() - 8) == ".graphml") {
+    std::ifstream in(path);
+    CSB_CHECK_MSG(in.is_open(), "cannot open for reading: " << path);
+    return load_graphml(in);
+  }
+  return load_binary_file(path);
+}
+
+int cmd_info(const Args& args) {
+  const std::string in = args.get("in", "");
+  CSB_CHECK_MSG(!in.empty(), "info requires --in=<graph.bin|graph.graphml>");
+  const PropertyGraph graph = load_graph(in);
+  const auto degrees = total_degrees(graph);
+  std::uint64_t max_degree = 0;
+  for (const auto d : degrees) max_degree = std::max(max_degree, d);
+  std::cout << in << ":\n  vertices:    " << with_commas(graph.num_vertices())
+            << "\n  edges:       " << with_commas(graph.num_edges())
+            << "\n  properties:  " << (graph.has_properties() ? "yes" : "no")
+            << "\n  components:  " << with_commas(count_components(graph))
+            << "\n  max degree:  " << with_commas(max_degree)
+            << "\n  mean degree: "
+            << (graph.num_vertices()
+                    ? 2.0 * static_cast<double>(graph.num_edges()) /
+                          static_cast<double>(graph.num_vertices())
+                    : 0.0)
+            << "\n  memory:      " << human_bytes(graph.memory_bytes())
+            << "\n";
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const std::string in = args.get("in", "");
+  CSB_CHECK_MSG(!in.empty(), "analyze requires --in=<graph.bin|graph.graphml>");
+  const PropertyGraph graph = load_graph(in);
+  CSB_CHECK_MSG(graph.num_vertices() > 0, "graph has no vertices");
+  const std::size_t top = args.get_u64("top", 10);
+  ThreadPool pool(4);
+
+  std::cout << in << ": " << with_commas(graph.num_vertices())
+            << " vertices, " << with_commas(graph.num_edges()) << " edges\n";
+
+  // Degree structure.
+  const auto degrees = total_degrees(graph);
+  std::vector<double> degree_samples(degrees.begin(), degrees.end());
+  try {
+    const PowerLawFit fit = fit_power_law(degree_samples);
+    std::cout << "degree power law: alpha=" << fit.alpha
+              << " xmin=" << fit.xmin << " ks=" << fit.ks << " (tail "
+              << fit.tail_n << " vertices)\n";
+  } catch (const CsbError&) {
+    std::cout << "degree power law: no viable fit (degenerate degrees)\n";
+  }
+  std::cout << "assortativity: " << degree_assortativity(graph) << "\n";
+
+  // Cohesion.
+  std::cout << "weak components:   " << with_commas(count_components(graph))
+            << "\nstrong components: "
+            << with_commas(count_strong_components(graph)) << "\n";
+  std::cout << "triangles: " << with_commas(triangle_count(graph))
+            << ", clustering coefficient: "
+            << global_clustering_coefficient(graph) << "\n";
+  const auto cores = core_numbers(graph);
+  std::cout << "max k-core: "
+            << *std::max_element(cores.begin(), cores.end()) << "\n";
+
+  // Centrality top-k.
+  const auto print_topk = [&](const char* name,
+                              const std::vector<double>& scores) {
+    std::vector<VertexId> order(scores.size());
+    for (VertexId v = 0; v < order.size(); ++v) order[v] = v;
+    const std::size_t k = std::min(top, order.size());
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [&scores](VertexId a, VertexId b) {
+                        return scores[a] > scores[b];
+                      });
+    std::cout << name << " top-" << k << ":";
+    for (std::size_t i = 0; i < k; ++i) {
+      std::cout << " " << order[i] << "(" << sci(scores[order[i]], 3) << ")";
+    }
+    std::cout << "\n";
+  };
+  print_topk("pagerank", pagerank(graph, pool).scores);
+  if (graph.has_properties()) {
+    print_topk("pagerank (byte-weighted)",
+               pagerank_by_traffic(graph, pool).scores);
+  }
+  BetweennessOptions bc_options;
+  bc_options.sample_sources = args.get_u64("betweenness-samples", 256);
+  print_topk("betweenness", betweenness_centrality(graph, pool, bc_options));
+  return 0;
+}
+
+int cmd_workload(const Args& args) {
+  const std::string in = args.get("in", "");
+  CSB_CHECK_MSG(!in.empty(), "workload requires --in=<graph.bin|graph.graphml>");
+  const PropertyGraph graph = load_graph(in);
+  const GraphQueryEngine engine(graph);
+  WorkloadOptions options;
+  options.queries = args.get_u64("queries", 10'000);
+  options.threads = args.get_u64("threads", 2);
+  options.seed = args.get_u64("rng", 1);
+  const WorkloadResult result = run_workload(engine, options);
+  std::cout << in << ": " << result.total_queries << " queries in "
+            << result.wall_seconds << " s ("
+            << static_cast<std::uint64_t>(result.queries_per_second())
+            << " q/s), checksum " << result.checksum << "\n";
+  for (std::size_t c = 0; c < kQueryClassCount; ++c) {
+    std::cout << "  " << to_string(static_cast<QueryClass>(c)) << ": "
+              << result.per_class[c] << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  try {
+    if (command == "trace") return cmd_trace(args);
+    if (command == "seed") return cmd_seed(args);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "veracity") return cmd_veracity(args);
+    if (command == "detect") return cmd_detect(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "workload") return cmd_workload(args);
+    if (command == "help" || command == "--help") {
+      print_usage();
+      return 0;
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "csbgen " << command << ": " << error.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command: " << command << "\n";
+  print_usage();
+  return 2;
+}
