@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_generators.dir/ablation_generators.cpp.o"
+  "CMakeFiles/ablation_generators.dir/ablation_generators.cpp.o.d"
+  "ablation_generators"
+  "ablation_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

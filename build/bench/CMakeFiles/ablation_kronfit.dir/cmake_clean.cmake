@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kronfit.dir/ablation_kronfit.cpp.o"
+  "CMakeFiles/ablation_kronfit.dir/ablation_kronfit.cpp.o.d"
+  "ablation_kronfit"
+  "ablation_kronfit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kronfit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

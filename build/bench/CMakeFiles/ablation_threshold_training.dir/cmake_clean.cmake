@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_threshold_training.dir/ablation_threshold_training.cpp.o"
+  "CMakeFiles/ablation_threshold_training.dir/ablation_threshold_training.cpp.o.d"
+  "ablation_threshold_training"
+  "ablation_threshold_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_threshold_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/attribute_veracity.cpp" "bench/CMakeFiles/attribute_veracity.dir/attribute_veracity.cpp.o" "gcc" "bench/CMakeFiles/attribute_veracity.dir/attribute_veracity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/csb_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/veracity/CMakeFiles/csb_veracity.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/csb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_support/CMakeFiles/csb_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/seed/CMakeFiles/csb_seed.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/csb_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/csb_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/csb_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/csb_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/csb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/csb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_veracity.dir/attribute_veracity.cpp.o"
+  "CMakeFiles/attribute_veracity.dir/attribute_veracity.cpp.o.d"
+  "attribute_veracity"
+  "attribute_veracity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_veracity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

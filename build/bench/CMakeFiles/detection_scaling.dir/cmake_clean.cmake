@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_scaling.dir/detection_scaling.cpp.o"
+  "CMakeFiles/detection_scaling.dir/detection_scaling.cpp.o.d"
+  "detection_scaling"
+  "detection_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

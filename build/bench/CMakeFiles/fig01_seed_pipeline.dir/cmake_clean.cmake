@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_seed_pipeline.dir/fig01_seed_pipeline.cpp.o"
+  "CMakeFiles/fig01_seed_pipeline.dir/fig01_seed_pipeline.cpp.o.d"
+  "fig01_seed_pipeline"
+  "fig01_seed_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_seed_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_degree_veracity.dir/fig06_degree_veracity.cpp.o"
+  "CMakeFiles/fig06_degree_veracity.dir/fig06_degree_veracity.cpp.o.d"
+  "fig06_degree_veracity"
+  "fig06_degree_veracity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_degree_veracity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_pagerank_veracity.dir/fig07_pagerank_veracity.cpp.o"
+  "CMakeFiles/fig07_pagerank_veracity.dir/fig07_pagerank_veracity.cpp.o.d"
+  "fig07_pagerank_veracity"
+  "fig07_pagerank_veracity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_pagerank_veracity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_generation_time.dir/fig09_generation_time.cpp.o"
+  "CMakeFiles/fig09_generation_time.dir/fig09_generation_time.cpp.o.d"
+  "fig09_generation_time"
+  "fig09_generation_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_generation_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

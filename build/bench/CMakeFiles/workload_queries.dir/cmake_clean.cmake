@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_queries.dir/workload_queries.cpp.o"
+  "CMakeFiles/workload_queries.dir/workload_queries.cpp.o.d"
+  "workload_queries"
+  "workload_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

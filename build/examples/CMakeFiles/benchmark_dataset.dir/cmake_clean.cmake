@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_dataset.dir/benchmark_dataset.cpp.o"
+  "CMakeFiles/benchmark_dataset.dir/benchmark_dataset.cpp.o.d"
+  "benchmark_dataset"
+  "benchmark_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_to_graphml.dir/trace_to_graphml.cpp.o"
+  "CMakeFiles/trace_to_graphml.dir/trace_to_graphml.cpp.o.d"
+  "trace_to_graphml"
+  "trace_to_graphml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_to_graphml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

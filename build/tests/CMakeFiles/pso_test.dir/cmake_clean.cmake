@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_test.dir/pso_test.cpp.o"
+  "CMakeFiles/pso_test.dir/pso_test.cpp.o.d"
+  "pso_test"
+  "pso_test.pdb"
+  "pso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veracity_test.dir/veracity_test.cpp.o"
+  "CMakeFiles/veracity_test.dir/veracity_test.cpp.o.d"
+  "veracity_test"
+  "veracity_test.pdb"
+  "veracity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veracity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
