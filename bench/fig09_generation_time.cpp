@@ -11,7 +11,7 @@
 #include "gen/pgpba.hpp"
 #include "gen/pgsk.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace csb;
   print_experiment_header(
       "Fig. 9 — generation time vs size (60 virtual nodes)",
@@ -52,5 +52,9 @@ int main() {
   table.print();
   std::cout << "\n(simulated seconds on 60 virtual nodes x 12 cores; check "
                "linearity down the columns and the PGPBA < PGSK ordering)\n";
+  if (const std::string json = json_output_path(argc, argv); !json.empty()) {
+    write_json_report(json, {&table});
+    std::cout << "wrote " << json << "\n";
+  }
   return 0;
 }

@@ -1,10 +1,19 @@
 // Micro benchmarks (google-benchmark) for the per-edge costs behind the
 // paper's O(|E| x |properties|) complexity claims: alias sampling, the
 // property tuple draw, the preferential-attachment stage, the Kronecker
-// recursive descent, distinct() dedup, and a PageRank iteration.
+// recursive descent, distinct() dedup, KronFit, and a PageRank iteration.
+//
+// `--json FILE` (or `--json=FILE`) writes google-benchmark's JSON report to
+// FILE in addition to the console output, so the perf trajectory of the hot
+// kernels can be tracked across commits.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "gen/kronecker.hpp"
+#include "gen/kronfit.hpp"
 #include "gen/pgpba.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/betweenness.hpp"
@@ -101,6 +110,22 @@ void BM_PgpbaIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_PgpbaIteration)->Unit(benchmark::kMillisecond);
 
+void BM_KronFit(benchmark::State& state) {
+  // The driver-serial Amdahl term of every PGSK run (fig09/fig12 options).
+  const SeedBundle& seed = shared_seed();
+  static const PropertyGraph simple = simplify(seed.graph);
+  KronFitOptions options;
+  options.gradient_iterations = 10;
+  options.swaps_per_iteration = 300;
+  options.burn_in_swaps = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kronfit(simple, options).log_likelihood);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(simple.num_edges()));
+}
+BENCHMARK(BM_KronFit)->Unit(benchmark::kMillisecond);
+
 void BM_DistinctDedup(benchmark::State& state) {
   ClusterSim cluster(ClusterConfig{.nodes = 1, .cores_per_node = 2});
   Rng rng(4);
@@ -165,3 +190,35 @@ BENCHMARK(BM_PageRankIteration)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace csb
+
+// Custom main instead of benchmark_main: translates the repo-wide
+// `--json FILE` convention into google-benchmark's file-output flags.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.emplace_back(argc > 0 ? argv[0] : "micro_generators");
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--json="));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (!json_path.empty()) {
+    args.push_back("--benchmark_out_format=json");
+    args.push_back("--benchmark_out=" + json_path);
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (std::string& arg : args) cargv.push_back(arg.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Configures a dedicated ASan+UBSan build tree (build-asan/) and runs the
+# concurrency- and allocation-heavy test subset under the sanitizers: the
+# ClusterSim stage runner, Dataset kernels (distinct/shuffle/concat), the
+# thread pool, the flat hash set, and the list scheduler. Meant as a quick
+# local gate after touching the mr/ or util/ hot paths; pass a gtest-style
+# filter regex as $1 to widen or narrow the selection.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-ClusterSim|Dataset|ThreadPool|FlatSet|ListSchedule|Operations}"
+
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCSB_SANITIZE=ON \
+  -DCSB_BUILD_BENCHMARKS=OFF \
+  -DCSB_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j "$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+ctest --test-dir build-asan -R "$FILTER" --output-on-failure -j "$(nproc)"

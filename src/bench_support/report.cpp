@@ -2,12 +2,39 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "util/error.hpp"
 #include "util/format.hpp"
 
 namespace csb {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& value) {
+  out += '"';
+  for (const char ch : value) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
 
 ReportTable::ReportTable(std::string title, std::vector<std::string> columns)
     : title_(std::move(title)), columns_(std::move(columns)) {
@@ -39,6 +66,28 @@ void ReportTable::print() const {
   std::cout.flush();
 }
 
+std::string ReportTable::to_json() const {
+  std::string out = "{\"title\": ";
+  append_json_string(out, title_);
+  out += ", \"columns\": [";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c != 0) out += ", ";
+    append_json_string(out, columns_[c]);
+  }
+  out += "], \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r != 0) out += ", ";
+    out += '[';
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c != 0) out += ", ";
+      append_json_string(out, rows_[r][c]);
+    }
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
 std::string cell_u64(std::uint64_t value) { return with_commas(value); }
 
 std::string cell_fixed(double value, int decimals) {
@@ -54,6 +103,30 @@ void print_experiment_header(const std::string& figure,
   std::cout << "\n### " << figure << "\n"
             << "paper: " << paper_claim << "\n\n";
   std::cout.flush();
+}
+
+std::string json_output_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return {};
+}
+
+void write_json_report(const std::string& path,
+                       const std::vector<const ReportTable*>& tables) {
+  std::string out = "{\"tables\": [";
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    if (t != 0) out += ", ";
+    out += tables[t]->to_json();
+  }
+  out += "]}\n";
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  CSB_CHECK_MSG(file.is_open(), "cannot open JSON report file for writing");
+  file << out;
+  CSB_CHECK_MSG(file.good(), "failed writing JSON report file");
 }
 
 }  // namespace csb

@@ -22,6 +22,10 @@ class ReportTable {
   /// Renders to stdout.
   void print() const;
 
+  /// Machine-readable form: {"title": ..., "columns": [...], "rows": [[...]]}
+  /// with all cells as (escaped) JSON strings, exactly as printed.
+  [[nodiscard]] std::string to_json() const;
+
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
 
  private:
@@ -39,5 +43,14 @@ std::string cell_sci(double value, int digits = 3);
 /// regenerated and the expected qualitative shape.
 void print_experiment_header(const std::string& figure,
                              const std::string& paper_claim);
+
+/// Parses `--json FILE` / `--json=FILE` from argv; empty string when absent.
+/// Bench binaries pass their tables to write_json_report when set, so runs
+/// can be archived and diffed without scraping the console tables.
+std::string json_output_path(int argc, char** argv);
+
+/// Writes {"tables": [...]} to `path` (throws CsbError on I/O failure).
+void write_json_report(const std::string& path,
+                       const std::vector<const ReportTable*>& tables);
 
 }  // namespace csb

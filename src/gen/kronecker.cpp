@@ -75,7 +75,15 @@ Dataset<Edge> stochastic_kronecker_edges(
           return out;
         });
 
-    edges = edges.concat(fresh).distinct(edge_key);
+    // Move-union: the accumulated edge partitions are stolen, not copied
+    // (copying them again every round made the retry loop quadratic).
+    // Multi-round runs re-coalesce so the partition count stays bounded at
+    // 2x the configured width instead of growing by `partitions` per round;
+    // the common single-round case (concat yields exactly 2x) skips the
+    // extra stage entirely.
+    edges = Dataset<Edge>::concat_move(std::move(edges), std::move(fresh))
+                .distinct(edge_key)
+                .coalesced(2 * partitions);
     have = edges.count();
     if (have >= target) return edges;
   }

@@ -15,8 +15,41 @@ double Initiator::expected_edges(std::uint32_t k) const {
 
 namespace {
 
+/// Per-theta lookup tables that make every per-edge quantity O(1):
+/// p(u,v) = prod_ij theta_ij^c_ij and log p = sum_ij c_ij * log theta_ij,
+/// where c_ij counts the descent levels in cell (i,j) — a function of the
+/// node labels only. Rebuilt in O(k) whenever theta changes.
+struct ThetaTables {
+  double power[2][2][64];   ///< power[i][j][c] = theta[i][j]^c
+  double log_theta[2][2];
+
+  void build(const Initiator& init, std::uint32_t k) {
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        log_theta[i][j] = std::log(init.theta[i][j]);
+        power[i][j][0] = 1.0;
+        for (std::uint32_t c = 1; c <= k; ++c) {
+          power[i][j][c] = power[i][j][c - 1] * init.theta[i][j];
+        }
+      }
+    }
+  }
+};
+
+/// Descent-level counts per initiator cell for one edge: c[i][j] = number of
+/// levels l with (bit_l(label_u), bit_l(label_v)) == (i, j). Sums to k.
+struct CellCounts {
+  std::uint8_t c[2][2];
+};
+
 /// Mutable fitting state: the permutation sigma (node -> Kronecker label)
-/// and the per-edge likelihood terms.
+/// and incrementally maintained per-edge caches. The caches split the
+/// likelihood's two dependencies: CellCounts depend only on sigma (updated
+/// for the touched edges on accepted Metropolis swaps), while probabilities
+/// and likelihood terms depend on theta through ThetaTables (refreshed in
+/// O(|E|) after each gradient step). This is what makes KronFit practical:
+/// no full O(|E| k) recomputation per proposal, and no transcendental calls
+/// in the proposal loop at all.
 class FitState {
  public:
   FitState(const PropertyGraph& graph, std::uint32_t k)
@@ -49,66 +82,79 @@ class FitState {
     for (std::uint64_t label = 0; label < n_; ++label) {
       sigma_[order[label]] = label;
     }
-  }
-
-  /// log P[u,v] edge probability under the current sigma.
-  [[nodiscard]] double edge_prob(const Initiator& init, std::uint64_t u,
-                                 std::uint64_t v) const {
-    const std::uint64_t lu = sigma_[u];
-    const std::uint64_t lv = sigma_[v];
-    double p = 1.0;
-    for (std::uint32_t l = 0; l < k_; ++l) {
-      p *= init.theta[(lu >> l) & 1][(lv >> l) & 1];
+    counts_.resize(edges_.size());
+    edge_p_.resize(edges_.size());
+    edge_term_.resize(edges_.size());
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      counts_[e] = cell_counts(edges_[e].first, edges_[e].second);
     }
-    return p;
   }
 
-  /// Per-edge likelihood term: log P + P + P^2/2 (the +P +P^2/2 part undoes
-  /// the global empty-graph approximation for actual edges).
-  [[nodiscard]] double edge_term(const Initiator& init, std::uint64_t u,
-                                 std::uint64_t v) const {
-    const double p = edge_prob(init, u, v);
-    return std::log(p) + p + 0.5 * p * p;
+  /// Rebuilds the theta-dependent caches (per-edge p and likelihood term,
+  /// and their sum) from the sigma-dependent counts. O(|E|), no logs.
+  void refresh_theta(const ThetaTables& tables) {
+    term_sum_ = 0.0;
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      const double p = prob_of(tables, counts_[e]);
+      edge_p_[e] = p;
+      edge_term_[e] = term_of(tables, counts_[e], p);
+      term_sum_ += edge_term_[e];
+    }
   }
 
-  [[nodiscard]] double log_likelihood(const Initiator& init) const {
-    double ll = -init.expected_edges(k_) -
-                0.5 * std::pow(init.sum_sq(), static_cast<double>(k_));
-    for (const auto& [u, v] : edges_) ll += edge_term(init, u, v);
-    return ll;
-  }
-
-  /// One Metropolis node-swap proposal; returns true when accepted.
-  bool try_swap(const Initiator& init, Rng& rng) {
+  /// One Metropolis node-swap proposal; returns true when accepted. Only
+  /// the edges incident to the proposed pair are touched: their cached
+  /// terms give the "before" sum for free, and the "after" side recounts
+  /// just those edges' cells (popcounts and multiplies, no transcendentals).
+  bool try_swap(const ThetaTables& tables, Rng& rng) {
     const std::uint64_t a = rng.uniform(n_);
-    std::uint64_t b = rng.uniform(n_);
+    const std::uint64_t b = rng.uniform(n_);
     if (a == b) return false;
 
-    // Likelihood delta over edges incident to either node (each affected
-    // edge counted once).
+    // Affected edges: incident to either node, each counted once.
+    affected_.clear();
+    for (const std::size_t e : incident_[a]) affected_.push_back(e);
+    for (const std::size_t e : incident_[b]) {
+      const auto& [u, v] = edges_[e];
+      if (u == a || v == a) continue;  // already collected via a
+      affected_.push_back(e);
+    }
+
     double before = 0.0;
-    const auto accumulate = [&](double& acc) {
-      for (const std::size_t e : incident_[a]) {
-        acc += edge_term(init, edges_[e].first, edges_[e].second);
-      }
-      for (const std::size_t e : incident_[b]) {
-        const auto& [u, v] = edges_[e];
-        if (u == a || v == a) continue;  // already counted via a
-        acc += edge_term(init, u, v);
-      }
-    };
-    accumulate(before);
+    for (const std::size_t e : affected_) before += edge_term_[e];
+
     std::swap(sigma_[a], sigma_[b]);
+    fresh_counts_.clear();
+    fresh_p_.clear();
+    fresh_term_.clear();
     double after = 0.0;
-    accumulate(after);
+    for (const std::size_t e : affected_) {
+      const CellCounts counts = cell_counts(edges_[e].first, edges_[e].second);
+      const double p = prob_of(tables, counts);
+      const double term = term_of(tables, counts, p);
+      fresh_counts_.push_back(counts);
+      fresh_p_.push_back(p);
+      fresh_term_.push_back(term);
+      after += term;
+    }
 
     const double delta = after - before;
-    if (delta >= 0.0 || rng.uniform_double() < std::exp(delta)) return true;
+    if (delta >= 0.0 || rng.uniform_double() < std::exp(delta)) {
+      for (std::size_t i = 0; i < affected_.size(); ++i) {
+        const std::size_t e = affected_[i];
+        counts_[e] = fresh_counts_[i];
+        edge_p_[e] = fresh_p_[i];
+        edge_term_[e] = fresh_term_[i];
+      }
+      term_sum_ += delta;
+      return true;
+    }
     std::swap(sigma_[a], sigma_[b]);  // reject
     return false;
   }
 
-  /// Accumulates the likelihood gradient w.r.t. each theta entry.
+  /// Accumulates the likelihood gradient w.r.t. each theta entry. O(|E|):
+  /// the per-edge cell counts and probabilities come from the caches.
   void gradient(const Initiator& init, double grad[2][2]) const {
     const double sum = init.sum();
     const double sum_sq = init.sum_sq();
@@ -117,56 +163,131 @@ class FitState {
     const double d_empty_sq =
         -static_cast<double>(k_) *
         std::pow(sum_sq, static_cast<double>(k_ - 1));
+    double inv_theta[2][2];
     for (int i = 0; i < 2; ++i) {
       for (int j = 0; j < 2; ++j) {
         grad[i][j] = d_empty + d_empty_sq * init.theta[i][j];
+        inv_theta[i][j] = 1.0 / init.theta[i][j];
       }
     }
-    for (const auto& [u, v] : edges_) {
-      const std::uint64_t lu = sigma_[u];
-      const std::uint64_t lv = sigma_[v];
-      std::uint32_t count[2][2] = {{0, 0}, {0, 0}};
-      double p = 1.0;
-      for (std::uint32_t l = 0; l < k_; ++l) {
-        const int i = (lu >> l) & 1;
-        const int j = (lv >> l) & 1;
-        ++count[i][j];
-        p *= init.theta[i][j];
-      }
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      const CellCounts& counts = counts_[e];
+      const double p = edge_p_[e];
       const double common = 1.0 + p + p * p;
       for (int i = 0; i < 2; ++i) {
         for (int j = 0; j < 2; ++j) {
-          if (count[i][j] == 0) continue;
-          grad[i][j] += common * count[i][j] / init.theta[i][j];
+          if (counts.c[i][j] == 0) continue;
+          grad[i][j] += common * counts.c[i][j] * inv_theta[i][j];
         }
       }
     }
   }
 
+  /// Log-likelihood from the incrementally maintained term sum. O(1) given
+  /// fresh theta caches.
+  [[nodiscard]] double log_likelihood_cached(const Initiator& init) const {
+    return empty_graph_term(init) + term_sum_;
+  }
+
+  /// From-scratch recomputation (recounting every edge's cells): the
+  /// correctness oracle for the incremental caches.
+  [[nodiscard]] double log_likelihood_recomputed(
+      const Initiator& init, const ThetaTables& tables) const {
+    double ll = empty_graph_term(init);
+    for (const auto& [u, v] : edges_) {
+      const CellCounts counts = cell_counts(u, v);
+      ll += term_of(tables, counts, prob_of(tables, counts));
+    }
+    return ll;
+  }
+
   [[nodiscard]] std::size_t edge_count() const noexcept {
     return edges_.size();
   }
+  [[nodiscard]] std::uint32_t order() const noexcept { return k_; }
 
  private:
+  [[nodiscard]] CellCounts cell_counts(std::uint64_t u,
+                                       std::uint64_t v) const noexcept {
+    const std::uint64_t lu = sigma_[u];
+    const std::uint64_t lv = sigma_[v];
+    // Labels are k-bit values, so each cell count is a popcount over the
+    // label pair's bit classes; c[0][0] follows from the counts summing to k.
+    const std::uint64_t mask = n_ - 1;
+    CellCounts counts{};
+    counts.c[1][1] = static_cast<std::uint8_t>(std::popcount(lu & lv));
+    counts.c[1][0] = static_cast<std::uint8_t>(std::popcount(lu & ~lv & mask));
+    counts.c[0][1] = static_cast<std::uint8_t>(std::popcount(~lu & lv & mask));
+    counts.c[0][0] = static_cast<std::uint8_t>(
+        k_ - counts.c[1][1] - counts.c[1][0] - counts.c[0][1]);
+    return counts;
+  }
+
+  [[nodiscard]] static double prob_of(const ThetaTables& tables,
+                                      const CellCounts& counts) noexcept {
+    return tables.power[0][0][counts.c[0][0]] *
+           tables.power[0][1][counts.c[0][1]] *
+           tables.power[1][0][counts.c[1][0]] *
+           tables.power[1][1][counts.c[1][1]];
+  }
+
+  /// Per-edge likelihood term: log P + P + P^2/2 (the +P +P^2/2 part undoes
+  /// the global empty-graph approximation for actual edges). log P comes
+  /// from the cell counts algebraically — no std::log call.
+  [[nodiscard]] static double term_of(const ThetaTables& tables,
+                                      const CellCounts& counts,
+                                      double p) noexcept {
+    const double log_p = counts.c[0][0] * tables.log_theta[0][0] +
+                         counts.c[0][1] * tables.log_theta[0][1] +
+                         counts.c[1][0] * tables.log_theta[1][0] +
+                         counts.c[1][1] * tables.log_theta[1][1];
+    return log_p + p + 0.5 * p * p;
+  }
+
+  [[nodiscard]] double empty_graph_term(const Initiator& init) const {
+    return -init.expected_edges(k_) -
+           0.5 * std::pow(init.sum_sq(), static_cast<double>(k_));
+  }
+
   std::uint32_t k_;
   std::uint64_t n_;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> edges_;
   std::vector<std::vector<std::size_t>> incident_;  ///< node -> edge indices
   std::vector<std::uint64_t> sigma_;
+
+  std::vector<CellCounts> counts_;   ///< sigma-dependent, swap-maintained
+  std::vector<double> edge_p_;       ///< theta-dependent, refresh_theta
+  std::vector<double> edge_term_;    ///< log p + p + p^2/2 per edge
+  double term_sum_ = 0.0;            ///< sum of edge_term_
+
+  // Proposal scratch buffers, reused across try_swap calls.
+  std::vector<std::size_t> affected_;
+  std::vector<CellCounts> fresh_counts_;
+  std::vector<double> fresh_p_;
+  std::vector<double> fresh_term_;
 };
 
-}  // namespace
+/// Outcome of the shared fitting loop: the fitted initiator plus the final
+/// state (kept so callers can cross-check the incremental likelihood).
+struct FitRun {
+  Initiator init;
+  std::uint32_t k = 0;
+  FitState state;
+  ThetaTables tables;
+};
 
-KronFitResult kronfit(const PropertyGraph& graph,
-                      const KronFitOptions& options) {
+FitRun run_kronfit(const PropertyGraph& graph, const KronFitOptions& options) {
   CSB_CHECK_MSG(graph.num_vertices() >= 2, "kronfit needs >= 2 vertices");
   CSB_CHECK_MSG(graph.num_edges() >= 1, "kronfit needs >= 1 edge");
   const std::uint32_t k = static_cast<std::uint32_t>(
       std::bit_width(graph.num_vertices() - 1));
+  CSB_CHECK_MSG(k >= 1 && k <= 63, "kronfit order out of range");
 
-  FitState state(graph, k);
+  FitRun run{options.init, k, FitState(graph, k), ThetaTables{}};
   Rng rng(options.seed);
-  Initiator init = options.init;
+  Initiator& init = run.init;
+  FitState& state = run.state;
+  ThetaTables& tables = run.tables;
 
   // Density projection: rescale theta so the expected edge count at order k
   // matches the observed graph. Applied at init and after every gradient
@@ -185,16 +306,18 @@ KronFitResult kronfit(const PropertyGraph& graph,
     }
   };
   project_density(init);
+  tables.build(init, k);
+  state.refresh_theta(tables);
 
   for (std::uint32_t s = 0; s < options.burn_in_swaps; ++s) {
-    state.try_swap(init, rng);
+    state.try_swap(tables, rng);
   }
 
   const double lr =
       options.learning_rate / static_cast<double>(state.edge_count());
   for (std::uint32_t iter = 0; iter < options.gradient_iterations; ++iter) {
     for (std::uint32_t s = 0; s < options.swaps_per_iteration; ++s) {
-      state.try_swap(init, rng);
+      state.try_swap(tables, rng);
     }
     double grad[2][2];
     state.gradient(init, grad);
@@ -210,13 +333,32 @@ KronFitResult kronfit(const PropertyGraph& graph,
     if (init.theta[1][1] > init.theta[0][0]) {
       std::swap(init.theta[0][0], init.theta[1][1]);
     }
+    tables.build(init, k);
+    state.refresh_theta(tables);
   }
+  return run;
+}
 
+}  // namespace
+
+KronFitResult kronfit(const PropertyGraph& graph,
+                      const KronFitOptions& options) {
+  const FitRun run = run_kronfit(graph, options);
   KronFitResult result;
-  result.initiator = init;
-  result.k = k;
-  result.log_likelihood = state.log_likelihood(init);
+  result.initiator = run.init;
+  result.k = run.k;
+  result.log_likelihood = run.state.log_likelihood_cached(run.init);
   return result;
+}
+
+KronFitLikelihoodCheck kronfit_likelihood_check(const PropertyGraph& graph,
+                                                const KronFitOptions& options) {
+  const FitRun run = run_kronfit(graph, options);
+  KronFitLikelihoodCheck check;
+  check.incremental = run.state.log_likelihood_cached(run.init);
+  check.recomputed =
+      run.state.log_likelihood_recomputed(run.init, run.tables);
+  return check;
 }
 
 }  // namespace csb

@@ -64,4 +64,16 @@ struct KronFitResult {
 KronFitResult kronfit(const PropertyGraph& graph,
                       const KronFitOptions& options = {});
 
+/// Validation handle for the incremental likelihood maintenance: runs the
+/// same fitting loop as kronfit() and reports the incrementally maintained
+/// log-likelihood next to a from-scratch recomputation at the optimum. The
+/// two must agree to floating-point accumulation error (~1e-12 relative);
+/// a drifting cache (stale per-edge counts or term sum) shows up here.
+struct KronFitLikelihoodCheck {
+  double incremental = 0.0;
+  double recomputed = 0.0;
+};
+KronFitLikelihoodCheck kronfit_likelihood_check(
+    const PropertyGraph& graph, const KronFitOptions& options = {});
+
 }  // namespace csb

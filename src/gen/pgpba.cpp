@@ -1,6 +1,7 @@
 #include "gen/pgpba.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <vector>
 
@@ -66,7 +67,15 @@ GenResult pgpba_generate(const PropertyGraph& seed_graph,
       num_vertices = at;
     });
 
-    // Stage 2: attach each new vertex (Fig. 2 lines 6-13).
+    // Stage 2: attach each new vertex (Fig. 2 lines 6-13). Spark-parity
+    // emits exactly one edge per sampled edge; degree mode emits the mean
+    // total fan per vertex in expectation — reserve accordingly so the
+    // growth loop's biggest buffers are sized in one allocation.
+    const double mean_fan =
+        options.mode == PgpbaAttachMode::kSparkParity
+            ? 1.0
+            : std::max(1.0, profile.out_degree().mean() +
+                                profile.in_degree().mean());
     std::vector<std::vector<Edge>> fresh(sampled.num_partitions());
     std::vector<std::function<void()>> tasks;
     tasks.reserve(sampled.num_partitions());
@@ -75,7 +84,8 @@ GenResult pgpba_generate(const PropertyGraph& seed_graph,
         Rng rng = Rng(options.seed ^ (0xa77ac4 + iteration)).fork(p);
         const auto& part = sampled.partition(p);
         auto& out = fresh[p];
-        out.reserve(part.size());
+        out.reserve(static_cast<std::size_t>(
+            std::ceil(static_cast<double>(part.size()) * mean_fan)));
         for (std::size_t i = 0; i < part.size(); ++i) {
           const VertexId v = block_base[p] + i;
           if (options.mode == PgpbaAttachMode::kSparkParity) {

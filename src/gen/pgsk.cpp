@@ -95,18 +95,19 @@ GenResult pgsk_generate(const PropertyGraph& seed_graph,
   Dataset<Edge> kron_edges = stochastic_kronecker_edges(cluster, kron);
 
   // Lines 8-12: duplicate each edge by a draw from the out-degree
-  // distribution (restores multigraph flow multiplicity).
+  // distribution (restores multigraph flow multiplicity). Sink-based so no
+  // per-edge vector<Edge> is allocated just to be spliced and freed.
   const std::uint64_t dup_seed = options.seed ^ 0xd0b1e5ULL;
-  Dataset<Edge> edges = kron_edges.flat_map([&profile, dup_seed](
-                                                const Edge& e) {
-    // Rng per element derived from the edge identity: deterministic and
-    // thread-safe regardless of partition scheduling.
-    Rng rng(dup_seed ^ edge_key(e));
-    auto copies =
-        static_cast<std::uint64_t>(profile.out_degree().sample(rng));
-    copies = std::max<std::uint64_t>(1, copies);
-    return std::vector<Edge>(copies, e);
-  });
+  Dataset<Edge> edges = kron_edges.flat_map_into<Edge>(
+      [&profile, dup_seed](const Edge& e, const auto& emit) {
+        // Rng per element derived from the edge identity: deterministic and
+        // thread-safe regardless of partition scheduling.
+        Rng rng(dup_seed ^ edge_key(e));
+        auto copies =
+            static_cast<std::uint64_t>(profile.out_degree().sample(rng));
+        copies = std::max<std::uint64_t>(1, copies);
+        for (std::uint64_t c = 0; c < copies; ++c) emit(e);
+      });
 
   result.iterations = plan.k;
 

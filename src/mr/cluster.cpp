@@ -1,7 +1,9 @@
 #include "mr/cluster.hpp"
 
 #include <algorithm>
-#include <future>
+#include <exception>
+#include <latch>
+#include <mutex>
 #include <queue>
 #include <thread>
 
@@ -54,25 +56,28 @@ StageMetrics ClusterSim::run_stage(const std::string& name,
 
   Stopwatch wall;
   std::vector<double> durations(tasks.size(), 0.0);
-  std::vector<std::future<void>> pending;
-  pending.reserve(tasks.size());
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    pending.push_back(pool_->submit([&durations, i, task = std::move(tasks[i])] {
-      Stopwatch timer;
-      task();
-      durations[i] = timer.seconds();
-    }));
-  }
-  // Collect all results before propagating the first exception, so no task
-  // is left running with dangling references.
+  // One shared completion latch plus a single first-exception slot instead
+  // of a heap-allocated promise/future/shared-state triple per task. The
+  // latch releases only after every task ran, so no task can be left
+  // running with dangling references when the first error propagates.
+  std::latch done(static_cast<std::ptrdiff_t>(tasks.size()));
+  std::mutex error_mutex;
   std::exception_ptr first_error;
-  for (auto& f : pending) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    pool_->post([&durations, &done, &error_mutex, &first_error, i,
+                 task = std::move(tasks[i])] {
+      try {
+        Stopwatch timer;
+        task();
+        durations[i] = timer.seconds();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      done.count_down();
+    });
   }
+  done.wait();
   if (first_error) std::rethrow_exception(first_error);
 
   for (const double d : durations) stage.task_seconds += d;
@@ -94,13 +99,21 @@ StageMetrics ClusterSim::run_stage(const std::string& name,
 
 void ClusterSim::run_serial(const std::string& name,
                             const std::function<void()>& work) {
-  (void)name;
   Stopwatch timer;
   work();
   const double elapsed = timer.seconds();
   metrics_.simulated_seconds += elapsed;
   metrics_.serial_seconds += elapsed;
   metrics_.wall_seconds += elapsed;
+  auto& segments = metrics_.serial_segments;
+  const auto segment =
+      std::find_if(segments.begin(), segments.end(),
+                   [&name](const SerialSegment& s) { return s.name == name; });
+  if (segment != segments.end()) {
+    segment->seconds += elapsed;
+  } else {
+    segments.push_back({name, elapsed});
+  }
 }
 
 }  // namespace csb

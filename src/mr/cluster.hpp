@@ -48,6 +48,13 @@ struct ClusterConfig {
   }
 };
 
+/// One named driver-serial segment (aggregated across run_serial calls with
+/// the same name), e.g. PGSK's "collapse" and "kronfit" phases.
+struct SerialSegment {
+  std::string name;
+  double seconds = 0.0;
+};
+
 /// Accumulated metrics of all stages run since the last reset.
 struct JobMetrics {
   double simulated_seconds = 0.0;  ///< virtual makespan incl. serial time
@@ -56,6 +63,9 @@ struct JobMetrics {
   double wall_seconds = 0.0;       ///< real elapsed time on this machine
   std::uint64_t stages = 0;
   std::uint64_t tasks = 0;
+  /// Per-name breakdown of serial_seconds, in first-seen order — makes the
+  /// Amdahl term attributable (collapse vs. kronfit in the Fig. 12 bench).
+  std::vector<SerialSegment> serial_segments;
 };
 
 /// Metrics of a single stage.

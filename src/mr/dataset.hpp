@@ -7,14 +7,15 @@
 // inputs are left untouched (RDD semantics).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "mr/cluster.hpp"
 #include "util/error.hpp"
+#include "util/flat_set.hpp"
 #include "util/random.hpp"
 
 namespace csb {
@@ -127,6 +128,28 @@ class Dataset {
     return Dataset<U>(*cluster_, std::move(out));
   }
 
+  /// Sink-based flat_map: `fn(item, emit)` calls `emit(value)` zero or more
+  /// times per element, appending straight to the output partition. Use when
+  /// one element expands to many values — it removes the per-element
+  /// container that flat_map would allocate and move (the dominant cost of
+  /// PGSK's edge re-multiplication).
+  template <typename U, typename F>
+  Dataset<U> flat_map_into(F&& fn) const {
+    std::vector<std::vector<U>> out(partitions_.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(partitions_.size());
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+      tasks.push_back([this, &out, &fn, p] {
+        auto& sink = out[p];
+        sink.reserve(partitions_[p].size());  // >= 1 output per input typical
+        const auto emit = [&sink](U value) { sink.push_back(std::move(value)); };
+        for (const T& item : partitions_[p]) fn(item, emit);
+      });
+    }
+    cluster_->run_stage("flat_map", std::move(tasks));
+    return Dataset<U>(*cluster_, std::move(out));
+  }
+
   template <typename Pred>
   Dataset filter(Pred&& pred) const {
     std::vector<std::vector<T>> out(partitions_.size());
@@ -156,12 +179,18 @@ class Dataset {
     const auto whole = static_cast<std::uint64_t>(fraction);
     const double remainder = fraction - static_cast<double>(whole);
     for (std::size_t p = 0; p < partitions_.size(); ++p) {
-      tasks.push_back([this, &out, whole, remainder, seed, p] {
+      tasks.push_back([this, &out, fraction, whole, remainder, seed, p] {
         Rng rng = Rng(seed).fork(p);
-        for (const T& item : partitions_[p]) {
+        const auto& in = partitions_[p];
+        auto& kept = out[p];
+        // Expected output is fraction * n; pre-size so the fraction >= 1
+        // paths (PGPBA's fraction = 2 stage) never regrow the buffer.
+        kept.reserve(static_cast<std::size_t>(
+            std::ceil(fraction * static_cast<double>(in.size()))));
+        for (const T& item : in) {
           std::uint64_t copies = whole;
           if (remainder > 0.0 && rng.bernoulli(remainder)) ++copies;
-          for (std::uint64_t c = 0; c < copies; ++c) out[p].push_back(item);
+          for (std::uint64_t c = 0; c < copies; ++c) kept.push_back(item);
         }
       });
     }
@@ -171,36 +200,65 @@ class Dataset {
 
   /// De-duplication by a caller-supplied identity key (RDD.distinct()).
   /// `key_fn` must map equal elements to equal keys and distinct elements to
-  /// distinct keys (for edges: the packed (src, dst) pair). Implemented as a
-  /// hash shuffle (parallel bucketing stage) followed by a per-target merge
-  /// stage; the shuffle is the source of PGSK's sub-ideal scaling.
+  /// distinct keys (for edges: the packed (src, dst) pair), and should be
+  /// cheap — it runs up to three times per element. Implemented as a
+  /// two-pass counted shuffle (each source partition histograms its targets,
+  /// then counting-sorts into one exact-sized flat buffer) followed by a
+  /// per-target merge through an open-addressing flat set; the shuffle is
+  /// the source of PGSK's sub-ideal scaling. Requires T to be
+  /// default-constructible (the counting sort scatters into a pre-sized
+  /// buffer). The first occurrence of each key wins, in (partition, offset)
+  /// order, so output is deterministic.
   template <typename KeyFn>
   Dataset distinct(KeyFn&& key_fn) const {
     const std::size_t parts = partitions_.size();
-    // Stage 1: bucket every element by target partition = hash(key) % parts.
-    std::vector<std::vector<std::vector<T>>> buckets(
-        parts, std::vector<std::vector<T>>(parts));
-    std::vector<std::function<void()>> bucket_tasks;
-    bucket_tasks.reserve(parts);
+    // Stage 1 (counted shuffle): per source partition, pass one histograms
+    // the target partition (hash % parts) of every element, pass two
+    // counting-sorts the elements into a single flat buffer grouped by
+    // target. One allocation per source partition instead of the parts^2
+    // vector-of-vectors grid the naive shuffle materializes.
+    std::vector<std::vector<T>> shuffled(parts);
+    std::vector<std::vector<std::size_t>> bounds(parts);
+    std::vector<std::function<void()>> shuffle_tasks;
+    shuffle_tasks.reserve(parts);
     for (std::size_t p = 0; p < parts; ++p) {
-      bucket_tasks.push_back([this, &buckets, &key_fn, p, parts] {
-        for (const T& item : partitions_[p]) {
-          buckets[p][key_fn(item) % parts].push_back(item);
+      shuffle_tasks.push_back([this, &shuffled, &bounds, &key_fn, p, parts] {
+        const auto& in = partitions_[p];
+        auto& offset = bounds[p];  // offset[t]..offset[t+1] = slice of target t
+        offset.assign(parts + 1, 0);
+        for (const T& item : in) ++offset[key_fn(item) % parts + 1];
+        for (std::size_t t = 0; t < parts; ++t) offset[t + 1] += offset[t];
+        std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+        auto& flat = shuffled[p];
+        flat.resize(in.size());
+        for (const T& item : in) {
+          flat[cursor[key_fn(item) % parts]++] = item;
         }
       });
     }
-    cluster_->run_stage("distinct:shuffle", std::move(bucket_tasks));
+    cluster_->run_stage("distinct:shuffle", std::move(shuffle_tasks));
 
-    // Stage 2: per-target merge + hash-set dedup.
+    // Stage 2: per-target merge. The stage-1 histograms give the exact
+    // candidate count, so the output buffer and the dedup set are sized
+    // once, up front.
     std::vector<std::vector<T>> out(parts);
     std::vector<std::function<void()>> merge_tasks;
     merge_tasks.reserve(parts);
     for (std::size_t target = 0; target < parts; ++target) {
-      merge_tasks.push_back([&buckets, &out, &key_fn, target, parts] {
-        std::unordered_set<std::uint64_t> seen;
+      merge_tasks.push_back([&shuffled, &bounds, &out, &key_fn, target,
+                             parts] {
+        std::size_t candidates = 0;
         for (std::size_t p = 0; p < parts; ++p) {
-          for (const T& item : buckets[p][target]) {
-            if (seen.insert(key_fn(item)).second) out[target].push_back(item);
+          candidates += bounds[p][target + 1] - bounds[p][target];
+        }
+        FlatSet64 seen(candidates);
+        auto& kept = out[target];
+        kept.reserve(candidates);
+        for (std::size_t p = 0; p < parts; ++p) {
+          const std::size_t end = bounds[p][target + 1];
+          for (std::size_t i = bounds[p][target]; i < end; ++i) {
+            const T& item = shuffled[p][i];
+            if (seen.insert(key_fn(item))) kept.push_back(item);
           }
         }
       });

@@ -21,6 +21,15 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+void ThreadPool::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CSB_CHECK_MSG(!stopping_, "post() on a stopped ThreadPool");
+    queue_.push(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

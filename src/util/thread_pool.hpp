@@ -34,6 +34,12 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Fire-and-forget enqueue: no packaged_task, no future, no shared state.
+  /// The callable must not let exceptions escape (an escaping exception
+  /// would std::terminate the worker) — callers that need error delivery
+  /// catch into their own slot (see ClusterSim::run_stage) or use submit().
+  void post(std::function<void()> fn);
+
   /// Schedule a callable; the returned future delivers its result or
   /// rethrows its exception.
   template <typename F>

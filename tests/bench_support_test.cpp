@@ -2,6 +2,7 @@
 // the harness output every experiment's results flow through.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "bench_support/report.hpp"
@@ -57,6 +58,53 @@ TEST(ExperimentHeaderTest, PrintsFigureAndClaim) {
       [] { print_experiment_header("Fig. X", "things go up"); });
   EXPECT_NE(out.find("### Fig. X"), std::string::npos);
   EXPECT_NE(out.find("paper: things go up"), std::string::npos);
+}
+
+TEST(ReportJsonTest, SerializesTitleColumnsAndRows) {
+  ReportTable table("speedup vs 10 nodes", {"nodes", "pgsk_s"});
+  table.add_row({"10", "1.234"});
+  table.add_row({"20", "0.617"});
+  EXPECT_EQ(table.to_json(),
+            "{\"title\": \"speedup vs 10 nodes\", "
+            "\"columns\": [\"nodes\", \"pgsk_s\"], "
+            "\"rows\": [[\"10\", \"1.234\"], [\"20\", \"0.617\"]]}");
+}
+
+TEST(ReportJsonTest, EscapesSpecialCharacters) {
+  ReportTable table("quote \" backslash \\ newline \n", {"c"});
+  table.add_row({"\ttab"});
+  const std::string json = table.to_json();
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\n"),
+            std::string::npos);
+  EXPECT_NE(json.find("\\ttab"), std::string::npos);
+}
+
+TEST(ReportJsonTest, JsonOutputPathParsesBothForms) {
+  const char* split[] = {"bench", "--json", "out.json"};
+  EXPECT_EQ(json_output_path(3, const_cast<char**>(split)), "out.json");
+  const char* joined[] = {"bench", "--json=other.json"};
+  EXPECT_EQ(json_output_path(2, const_cast<char**>(joined)), "other.json");
+  const char* none[] = {"bench"};
+  EXPECT_EQ(json_output_path(1, const_cast<char**>(none)), "");
+  // --json with no value is ignored, not an out-of-bounds read.
+  const char* dangling[] = {"bench", "--json"};
+  EXPECT_EQ(json_output_path(2, const_cast<char**>(dangling)), "");
+}
+
+TEST(ReportJsonTest, WriteJsonReportRoundTrips) {
+  ReportTable a("first", {"x"});
+  a.add_row({"1"});
+  ReportTable b("second", {"y"});
+  const std::string path = ::testing::TempDir() + "csb_report_test.json";
+  write_json_report(path, {&a, &b});
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open());
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_EQ(content.str(),
+            "{\"tables\": [{\"title\": \"first\", \"columns\": [\"x\"], "
+            "\"rows\": [[\"1\"]]}, {\"title\": \"second\", \"columns\": "
+            "[\"y\"], \"rows\": []}]}\n");
 }
 
 }  // namespace

@@ -236,6 +236,39 @@ TEST(KronFitTest, LikelihoodImprovesOverInit) {
   EXPECT_GT(ll_fit, ll_init);
 }
 
+TEST(KronFitTest, IncrementalLikelihoodMatchesRecomputation) {
+  // The fitter maintains per-edge cell counts and the likelihood term sum
+  // incrementally across thousands of Metropolis swaps and theta refreshes.
+  // Recomputing everything from sigma at the optimum must agree to
+  // accumulation error: any stale cache entry or drifted sum shows up here.
+  const SeedBundle seed = small_seed(400);
+  const PropertyGraph simple = simplify(seed.graph);
+  KronFitOptions options;
+  options.gradient_iterations = 15;
+  options.swaps_per_iteration = 400;
+  options.burn_in_swaps = 2000;
+  const KronFitLikelihoodCheck check =
+      kronfit_likelihood_check(simple, options);
+  EXPECT_NEAR(check.incremental, check.recomputed,
+              1e-9 * std::max(1.0, std::abs(check.recomputed)));
+}
+
+TEST(KronFitTest, DeterministicPerSeed) {
+  const SeedBundle seed = small_seed(300);
+  const PropertyGraph simple = simplify(seed.graph);
+  KronFitOptions options;
+  options.gradient_iterations = 5;
+  options.swaps_per_iteration = 200;
+  options.burn_in_swaps = 500;
+  const KronFitResult a = kronfit(simple, options);
+  const KronFitResult b = kronfit(simple, options);
+  EXPECT_EQ(a.initiator.theta, b.initiator.theta);
+  EXPECT_EQ(a.log_likelihood, b.log_likelihood);
+  options.seed ^= 1;
+  const KronFitResult c = kronfit(simple, options);
+  EXPECT_NE(a.initiator.theta, c.initiator.theta);
+}
+
 TEST(KronFitTest, ThetaStaysInBounds) {
   const SeedBundle seed = small_seed(300);
   const KronFitResult fit = kronfit(simplify(seed.graph));

@@ -2,6 +2,7 @@
 // and Dataset transformations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <thread>
@@ -78,6 +79,27 @@ TEST(ClusterSimTest, SerialTimeCountsFully) {
   EXPECT_GE(cluster.metrics().serial_seconds, 0.005);
   EXPECT_DOUBLE_EQ(cluster.metrics().simulated_seconds,
                    cluster.metrics().serial_seconds);
+}
+
+TEST(ClusterSimTest, SerialSegmentsAreRecordedByName) {
+  ClusterSim cluster(ClusterConfig{.nodes = 2, .cores_per_node = 2});
+  const auto spin = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  };
+  cluster.run_serial("collapse", spin);
+  cluster.run_serial("kronfit", spin);
+  cluster.run_serial("kronfit", spin);  // repeated names aggregate
+  const auto& segments = cluster.metrics().serial_segments;
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].name, "collapse");
+  EXPECT_EQ(segments[1].name, "kronfit");
+  EXPECT_GT(segments[0].seconds, 0.0);
+  EXPECT_GT(segments[1].seconds, segments[0].seconds);  // two sleeps vs one
+  // The named breakdown sums to the serial total.
+  EXPECT_NEAR(segments[0].seconds + segments[1].seconds,
+              cluster.metrics().serial_seconds, 1e-12);
+  cluster.reset_metrics();
+  EXPECT_TRUE(cluster.metrics().serial_segments.empty());
 }
 
 TEST(ClusterSimTest, MoreVirtualCoresShrinkSimulatedTime) {
@@ -222,6 +244,96 @@ TEST(DatasetTest, DistinctOnAlreadyUniqueKeepsAll) {
               return static_cast<std::uint64_t>(x);
             }).count(),
             500u);
+}
+
+TEST(DatasetTest, DistinctMergesDuplicatesSplitAcrossPartitions) {
+  ClusterSim cluster(small_cluster());
+  // Every key appears in every partition: the counted shuffle must route all
+  // copies of a key to the same merge task, whichever partition held them.
+  std::vector<int> data;
+  for (int copy = 0; copy < 4; ++copy) {
+    for (int key = 0; key < 50; ++key) data.push_back(key);
+  }
+  const auto ds = Dataset<int>::from_vector(cluster, data, 4);
+  auto values = ds.distinct([](const int& x) {
+                    return static_cast<std::uint64_t>(x);
+                  }).collect();
+  std::sort(values.begin(), values.end());
+  std::vector<int> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(values, expected);
+}
+
+TEST(DatasetTest, DistinctIsDeterministic) {
+  ClusterSim cluster(small_cluster());
+  std::vector<int> data;
+  for (int i = 0; i < 300; ++i) data.push_back(i % 97);
+  const auto ds = Dataset<int>::from_vector(cluster, data, 5);
+  const auto key = [](const int& x) { return static_cast<std::uint64_t>(x); };
+  // First occurrence wins in (partition, offset) order; repeated runs give
+  // identical element order, not just identical sets.
+  EXPECT_EQ(ds.distinct(key).collect(), ds.distinct(key).collect());
+}
+
+TEST(DatasetTest, SampleFractionTwoEmitsExactlyTwoCopies) {
+  ClusterSim cluster(small_cluster());
+  std::vector<int> data(200);
+  std::iota(data.begin(), data.end(), 0);
+  const auto ds = Dataset<int>::from_vector(cluster, data, 4);
+  // fraction = 2.0 has no fractional part: every element is emitted exactly
+  // twice (the PGPBA Kronecker-parity configuration), no randomness at all.
+  const auto doubled = ds.sample(2.0, 123);
+  EXPECT_EQ(doubled.count(), 400u);
+  auto values = doubled.collect();
+  std::sort(values.begin(), values.end());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(values[2 * i], i);
+    EXPECT_EQ(values[2 * i + 1], i);
+  }
+}
+
+TEST(DatasetTest, ConcatMoveMatchesConcat) {
+  ClusterSim cluster(small_cluster());
+  const std::vector<int> left = {1, 2, 3, 4};
+  const std::vector<int> right = {5, 6};
+  const auto expected =
+      Dataset<int>::from_vector(cluster, left, 2)
+          .concat(Dataset<int>::from_vector(cluster, right, 2))
+          .collect();
+  auto a = Dataset<int>::from_vector(cluster, left, 2);
+  auto b = Dataset<int>::from_vector(cluster, right, 2);
+  const auto joined = Dataset<int>::concat_move(std::move(a), std::move(b));
+  EXPECT_EQ(joined.num_partitions(), 4u);
+  EXPECT_EQ(joined.collect(), expected);
+}
+
+TEST(DatasetTest, CoalescedPreservesElementsAndOrder) {
+  ClusterSim cluster(small_cluster());
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  const auto coalesced =
+      Dataset<int>::from_vector(cluster, data, 10).coalesced(3);
+  EXPECT_EQ(coalesced.num_partitions(), 3u);
+  EXPECT_EQ(coalesced.collect(), data);
+  // Already at/below the target: no-op, partition count unchanged.
+  EXPECT_EQ(Dataset<int>::from_vector(cluster, data, 2).coalesced(3)
+                .num_partitions(),
+            2u);
+}
+
+TEST(DatasetTest, FlatMapIntoMatchesFlatMap) {
+  ClusterSim cluster(small_cluster());
+  std::vector<int> data(50);
+  std::iota(data.begin(), data.end(), 0);
+  const auto ds = Dataset<int>::from_vector(cluster, data, 4);
+  const auto copies = ds.flat_map([](const int& x) {
+    return std::vector<int>(static_cast<std::size_t>(x % 3), x);
+  });
+  const auto sunk = ds.flat_map_into<int>([](const int& x, const auto& emit) {
+    for (int c = 0; c < x % 3; ++c) emit(x);
+  });
+  EXPECT_EQ(sunk.collect(), copies.collect());
+  EXPECT_EQ(sunk.num_partitions(), ds.num_partitions());
 }
 
 TEST(DatasetTest, ConcatJoinsPartitions) {

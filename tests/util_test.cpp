@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/flat_set.hpp"
 #include "util/format.hpp"
 #include "util/hash.hpp"
 #include "util/parallel.hpp"
@@ -283,6 +284,58 @@ TEST(HashTest, PairHashHasFewCollisionsOnGrid) {
     for (std::uint64_t v = 0; v < 100; ++v) seen.insert(hash_pair(u, v));
   }
   EXPECT_EQ(seen.size(), 10000u);
+}
+
+// ------------------------------------------------------------ flat set
+
+TEST(FlatSetTest, InsertReportsNewness) {
+  FlatSet64 set;
+  EXPECT_TRUE(set.insert(42));
+  EXPECT_FALSE(set.insert(42));
+  EXPECT_TRUE(set.insert(43));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FlatSetTest, ContainsTracksInserts) {
+  FlatSet64 set;
+  for (std::uint64_t i = 1; i <= 100; ++i) set.insert(i * 7919);
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    EXPECT_TRUE(set.contains(i * 7919));
+    EXPECT_FALSE(set.contains(i * 7919 + 1));
+  }
+}
+
+TEST(FlatSetTest, ZeroKeyIsStorable) {
+  // 0 is the internal empty-slot sentinel; it must still behave as a key.
+  FlatSet64 set;
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_TRUE(set.insert(0));
+  EXPECT_FALSE(set.insert(0));
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_EQ(set.size(), 1u);
+  set.clear();
+  EXPECT_FALSE(set.contains(0));
+}
+
+TEST(FlatSetTest, GrowsPastInitialCapacityWithoutLoss) {
+  FlatSet64 set;  // default capacity: growth exercises every rehash
+  constexpr std::uint64_t kKeys = 100'000;
+  Rng rng(99);
+  std::set<std::uint64_t> reference;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    const std::uint64_t key = rng.uniform(1'000'000);
+    EXPECT_EQ(set.insert(key), reference.insert(key).second);
+  }
+  EXPECT_EQ(set.size(), reference.size());
+  for (const std::uint64_t key : reference) EXPECT_TRUE(set.contains(key));
+}
+
+TEST(FlatSetTest, ReserveAvoidsRehash) {
+  FlatSet64 set(1000);
+  const std::size_t capacity = set.capacity();
+  for (std::uint64_t i = 1; i <= 1000; ++i) set.insert(i);
+  EXPECT_EQ(set.capacity(), capacity);  // no growth during expected inserts
+  EXPECT_EQ(set.size(), 1000u);
 }
 
 // --------------------------------------------------------------- error
