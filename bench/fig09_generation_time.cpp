@@ -53,8 +53,8 @@ int main(int argc, char** argv) {
   std::cout << "\n(simulated seconds on 60 virtual nodes x 12 cores; check "
                "linearity down the columns and the PGPBA < PGSK ordering)\n";
   if (const std::string json = json_output_path(argc, argv); !json.empty()) {
-    write_json_report(json, {&table});
-    std::cout << "wrote " << json << "\n";
+    write_trace_report(json, "fig09_generation_time", {&table});
+    std::cout << "wrote " << json << " (csb.trace.v1)\n";
   }
   return 0;
 }

@@ -120,8 +120,8 @@ int main(int argc, char** argv) {
   std::cout << "\n(the serial fraction bounds PGSK's achievable speedup; "
                "collapse + kronfit are the attributable drivers)\n";
   if (const std::string json = json_output_path(argc, argv); !json.empty()) {
-    write_json_report(json, {&table, &serial_table});
-    std::cout << "wrote " << json << "\n";
+    write_trace_report(json, "fig12_speedup", {&table, &serial_table});
+    std::cout << "wrote " << json << " (csb.trace.v1)\n";
   }
   return 0;
 }

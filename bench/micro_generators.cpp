@@ -3,14 +3,18 @@
 // property tuple draw, the preferential-attachment stage, the Kronecker
 // recursive descent, distinct() dedup, KronFit, and a PageRank iteration.
 //
-// `--json FILE` (or `--json=FILE`) writes google-benchmark's JSON report to
-// FILE in addition to the console output, so the perf trajectory of the hot
-// kernels can be tracked across commits.
+// `--json FILE` (or `--json=FILE`) writes one csb.trace.v1 bench record per
+// benchmark to FILE in addition to the console output (same schema as the
+// fig* benches and `csbgen generate --trace`), so the perf trajectory of the
+// hot kernels can be tracked across commits with one parser.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 #include "gen/kronecker.hpp"
 #include "gen/kronfit.hpp"
@@ -188,14 +192,53 @@ void BM_PageRankIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_PageRankIteration)->Unit(benchmark::kMillisecond);
 
+// Console reporter that also collects one csb.trace.v1 bench record per
+// measured run; the records are written after the run when --json was given.
+// (google-benchmark's own file reporter slot only fires under its
+// --benchmark_out flag, so collection happens on the display path instead.)
+class TraceCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    ConsoleReporter::ReportRuns(report);
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const auto iters = static_cast<double>(run.iterations);
+      BenchRecord record;
+      record.name = run.benchmark_name();
+      record.fields.emplace_back(
+          "iterations", JsonValue(static_cast<double>(run.iterations)));
+      record.fields.emplace_back(
+          "real_s_per_iter",
+          JsonValue(iters > 0 ? run.real_accumulated_time / iters : 0.0));
+      record.fields.emplace_back(
+          "cpu_s_per_iter",
+          JsonValue(iters > 0 ? run.cpu_accumulated_time / iters : 0.0));
+      if (const auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        record.fields.emplace_back("items_per_second",
+                                   JsonValue(it->second.value));
+      }
+      records_.push_back(std::move(record));
+    }
+  }
+
+  [[nodiscard]] const std::vector<BenchRecord>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
 }  // namespace
 }  // namespace csb
 
-// Custom main instead of benchmark_main: translates the repo-wide
-// `--json FILE` convention into google-benchmark's file-output flags.
+// Custom main instead of benchmark_main: honours the repo-wide
+// `--json FILE` convention by emitting csb.trace.v1 alongside the console
+// report.
 int main(int argc, char** argv) {
   std::vector<std::string> args;
-  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.reserve(static_cast<std::size_t>(argc));
   args.emplace_back(argc > 0 ? argv[0] : "micro_generators");
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
@@ -208,17 +251,22 @@ int main(int argc, char** argv) {
       args.push_back(arg);
     }
   }
-  if (!json_path.empty()) {
-    args.push_back("--benchmark_out_format=json");
-    args.push_back("--benchmark_out=" + json_path);
-  }
   std::vector<char*> cargv;
   cargv.reserve(args.size());
   for (std::string& arg : args) cargv.push_back(arg.data());
   int cargc = static_cast<int>(cargv.size());
   benchmark::Initialize(&cargc, cargv.data());
   if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  csb::TraceCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (!json_path.empty()) {
+    csb::TraceFileWriter writer(json_path);
+    writer.write_meta({{"tool", "micro_generators"}});
+    for (const csb::BenchRecord& record : reporter.records()) {
+      writer.write_bench(record);
+    }
+    std::cout << "wrote " << json_path << " (csb.trace.v1)\n";
+  }
   return 0;
 }

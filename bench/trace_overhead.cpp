@@ -1,0 +1,178 @@
+// Trace-overhead micro bench: the observability layer must be close to free
+// when a recorder is attached and *exactly* a pointer test when it is not
+// (src/obs/trace.hpp's null-recorder contract). This harness times two hot
+// kernels — the distinct() shuffle/merge dedup and a driver-serial KronFit
+// segment — with the ClusterSim recorder detached and attached, and reports
+// the attached overhead as a percentage.
+//
+// `--assert` exits non-zero when the attached overhead exceeds the threshold
+// (default 15%, generous for 1-core CI noise; typical overhead is <1%);
+// scripts/check_sanitize.sh runs it in this mode. `--json=FILE` writes one
+// csb.trace.v1 bench record per kernel. No google-benchmark dependency, so
+// this binary builds in every configuration including sanitized trees.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/report.hpp"
+#include "gen/baselines.hpp"
+#include "gen/generator.hpp"
+#include "gen/kronfit.hpp"
+#include "graph/algorithms.hpp"
+#include "mr/dataset.hpp"
+#include "obs/trace.hpp"
+#include "util/random.hpp"
+
+namespace csb {
+namespace {
+
+double median_ms(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  return n % 2 == 1 ? samples[n / 2]
+                    : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+template <typename Fn>
+double timed_median_ms(int reps, Fn&& body) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return median_ms(std::move(samples));
+}
+
+struct KernelResult {
+  std::string name;
+  double detached_ms = 0.0;
+  double attached_ms = 0.0;
+
+  [[nodiscard]] double overhead_pct() const {
+    return detached_ms > 0.0
+               ? 100.0 * (attached_ms - detached_ms) / detached_ms
+               : 0.0;
+  }
+};
+
+/// Times `body` once with cluster.set_trace(nullptr) and once with a fresh
+/// recorder attached; the recorder accumulates spans across all repetitions,
+/// which is the worst case for its bookkeeping.
+template <typename Fn>
+KernelResult measure(const std::string& name, ClusterSim& cluster, int reps,
+                     Fn&& body) {
+  KernelResult result;
+  result.name = name;
+  cluster.set_trace(nullptr);
+  body();  // warm-up (page-in, allocator steady state)
+  result.detached_ms = timed_median_ms(reps, body);
+  TraceRecorder recorder;
+  cluster.set_trace(&recorder);
+  result.attached_ms = timed_median_ms(reps, body);
+  cluster.set_trace(nullptr);
+  return result;
+}
+
+}  // namespace
+}  // namespace csb
+
+int main(int argc, char** argv) {
+  using namespace csb;
+
+  bool assert_threshold = false;
+  int reps = 7;
+  double threshold_pct = 15.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--assert") {
+      assert_threshold = true;
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = std::max(1, std::atoi(arg.c_str() + std::strlen("--reps=")));
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      threshold_pct = std::atof(arg.c_str() + std::strlen("--threshold="));
+    }
+  }
+
+  print_experiment_header(
+      "trace overhead — recorder attached vs detached",
+      "span tracing is a pointer test when off and near-free when on.");
+
+  ClusterSim cluster(ClusterConfig{.nodes = 1, .cores_per_node = 2});
+
+  // Kernel 1: distinct() dedup, the shuffle/merge stage pair that dominates
+  // PGSK's parallel phases (same shape as BM_DistinctDedup).
+  Rng rng(4);
+  std::vector<Edge> edges(100'000);
+  for (auto& e : edges) {
+    e = Edge{rng.uniform(1 << 12), rng.uniform(1 << 12)};
+  }
+  const auto ds = Dataset<Edge>::from_vector(cluster, edges, 8);
+  std::uint64_t sink = 0;
+  const KernelResult distinct_result =
+      measure("distinct_dedup_100k", cluster, reps,
+              [&] { sink += ds.distinct(edge_key).count(); });
+
+  // Kernel 2: KronFit inside run_serial — the driver-serial Amdahl segment
+  // of every PGSK run (fig09/fig12 fit options).
+  const PropertyGraph simple = simplify(erdos_renyi_gnm(512, 4096, 11));
+  KronFitOptions fit;
+  fit.gradient_iterations = 10;
+  fit.swaps_per_iteration = 300;
+  fit.burn_in_swaps = 1000;
+  double ll_sink = 0.0;
+  const KernelResult kronfit_result =
+      measure("kronfit_serial_segment", cluster, reps, [&] {
+        cluster.run_serial("kronfit", [&] {
+          ll_sink += kronfit(simple, fit).log_likelihood;
+        });
+      });
+
+  ReportTable table("trace overhead (median of " + std::to_string(reps) +
+                        " reps)",
+                    {"kernel", "detached_ms", "attached_ms", "overhead_pct"});
+  bool failed = false;
+  for (const KernelResult* result : {&distinct_result, &kronfit_result}) {
+    table.add_row({result->name, cell_fixed(result->detached_ms, 3),
+                   cell_fixed(result->attached_ms, 3),
+                   cell_fixed(result->overhead_pct(), 2)});
+    if (result->overhead_pct() > threshold_pct) failed = true;
+  }
+  table.print();
+  std::cout << "\n(sinks: " << sink << ", " << ll_sink
+            << "; detached = trace_ == nullptr fast path)\n";
+
+  if (const std::string json = json_output_path(argc, argv); !json.empty()) {
+    TraceFileWriter writer(json);
+    writer.write_meta({{"tool", "trace_overhead"}});
+    for (const KernelResult* result : {&distinct_result, &kronfit_result}) {
+      BenchRecord record;
+      record.name = result->name;
+      record.fields.emplace_back("detached_ms",
+                                 JsonValue(result->detached_ms));
+      record.fields.emplace_back("attached_ms",
+                                 JsonValue(result->attached_ms));
+      record.fields.emplace_back("overhead_pct",
+                                 JsonValue(result->overhead_pct()));
+      writer.write_bench(record);
+    }
+    std::cout << "wrote " << json << " (csb.trace.v1)\n";
+  }
+
+  if (assert_threshold && failed) {
+    std::cerr << "FAIL: attached-trace overhead above " << threshold_pct
+              << "%\n";
+    return 1;
+  }
+  if (assert_threshold) {
+    std::cout << "OK: attached-trace overhead within " << threshold_pct
+              << "%\n";
+  }
+  return 0;
+}

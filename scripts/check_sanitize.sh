@@ -2,21 +2,29 @@
 # Configures a dedicated ASan+UBSan build tree (build-asan/) and runs the
 # concurrency- and allocation-heavy test subset under the sanitizers: the
 # ClusterSim stage runner, Dataset kernels (distinct/shuffle/concat), the
-# thread pool, the flat hash set, and the list scheduler. Meant as a quick
-# local gate after touching the mr/ or util/ hot paths; pass a gtest-style
-# filter regex as $1 to widen or narrow the selection.
+# thread pool, the flat hash set, the list scheduler, and the observability
+# layer (trace recorder, metrics registry, NDJSON parser, generator
+# registry). Meant as a quick local gate after touching the mr/, util/ or
+# obs/ hot paths; pass a gtest-style filter regex as $1 to widen or narrow
+# the selection. Finishes with the trace-overhead micro bench under the
+# sanitizers (mutex + atomic paths of the recorder, assert mode relaxed —
+# sanitized timings are not representative).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER="${1:-ClusterSim|Dataset|ThreadPool|FlatSet|ListSchedule|Operations}"
+FILTER="${1:-ClusterSim|Dataset|ThreadPool|FlatSet|ListSchedule|Operations|Trace|Metrics|Json|MemWatch|GeneratorRegistry}"
 
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCSB_SANITIZE=ON \
-  -DCSB_BUILD_BENCHMARKS=OFF \
+  -DCSB_BUILD_BENCHMARKS=ON \
   -DCSB_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$(nproc)"
 
 export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 ctest --test-dir build-asan -R "$FILTER" --output-on-failure -j "$(nproc)"
+
+# Recorder attach/detach under sanitizers; no timing assertion (ASan skews
+# per-kernel cost), the run itself is the memory/UB gate.
+./build-asan/bench/trace_overhead --reps=2

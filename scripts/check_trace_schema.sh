@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Exercises every csb.trace.v1 producer and validates the output against the
+# schema with `csbgen report --check`:
+#   - csbgen seed --trace       (seed-pipeline phases + memory samples)
+#   - csbgen generate --trace   (spans/counters/mem for a parallel generator
+#                                and a registry baseline)
+#   - bench/trace_overhead      (the shared bench emitter; also asserts the
+#                                attached-recorder overhead stays bounded)
+# Any schema drift — a missing version tag, an unknown record type, a
+# non-monotone span stream, a dangling parent id — fails the gate.
+#
+# BUILD_DIR overrides the build tree (default: build).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${BUILD_DIR:-build}"
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target csbgen trace_overhead
+
+CSBGEN="$BUILD/tools/csbgen"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== producing traces =="
+"$CSBGEN" trace --out="$TMP/cap.pcap" --netflow="$TMP/flows.csv" \
+  --sessions=500 --clients=80 --servers=20 --seed=7
+"$CSBGEN" seed --in="$TMP/flows.csv" --out="$TMP/seed.bin" \
+  --profile="$TMP/seed.profile" --trace="$TMP/seed.ndjson"
+"$CSBGEN" generate --seed="$TMP/seed.bin" --out="$TMP/pgpba.bin" \
+  --profile="$TMP/seed.profile" --algo=pgpba --edges=40000 \
+  --nodes=4 --cores=2 --trace="$TMP/pgpba.ndjson"
+"$CSBGEN" generate --seed="$TMP/seed.bin" --out="$TMP/pgsk.bin" \
+  --profile="$TMP/seed.profile" --algo=pgsk --edges=40000 \
+  --nodes=4 --cores=2 --trace="$TMP/pgsk.ndjson"
+"$CSBGEN" generate --seed="$TMP/seed.bin" --out="$TMP/rmat.bin" \
+  --profile="$TMP/seed.profile" --algo=rmat --edges=40000 \
+  --no-properties --trace="$TMP/rmat.ndjson"
+"$BUILD/bench/trace_overhead" --assert --reps=3 --json="$TMP/bench.ndjson"
+
+echo "== validating =="
+status=0
+for trace in "$TMP"/*.ndjson; do
+  if ! "$CSBGEN" report "$trace" --check; then
+    status=1
+  fi
+done
+
+# The committed perf baseline must stay parseable too.
+if [[ -f BENCH_observability.json ]]; then
+  "$CSBGEN" report BENCH_observability.json --check || status=1
+fi
+
+if [[ "$status" -ne 0 ]]; then
+  echo "FAIL: csb.trace.v1 schema violations found" >&2
+  exit 1
+fi
+echo "OK: all traces conform to csb.trace.v1"

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
 
@@ -115,18 +115,21 @@ std::string json_output_path(int argc, char** argv) {
   return {};
 }
 
-void write_json_report(const std::string& path,
-                       const std::vector<const ReportTable*>& tables) {
-  std::string out = "{\"tables\": [";
-  for (std::size_t t = 0; t < tables.size(); ++t) {
-    if (t != 0) out += ", ";
-    out += tables[t]->to_json();
+void write_trace_report(const std::string& path, const std::string& tool,
+                        const std::vector<const ReportTable*>& tables) {
+  TraceFileWriter writer(path);
+  writer.write_meta({{"tool", tool}});
+  for (const ReportTable* table : tables) {
+    for (const auto& row : table->row_data()) {
+      BenchRecord record;
+      record.name = table->title();
+      record.fields.reserve(row.size());
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        record.fields.emplace_back(table->columns()[c], JsonValue(row[c]));
+      }
+      writer.write_bench(record);
+    }
   }
-  out += "]}\n";
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  CSB_CHECK_MSG(file.is_open(), "cannot open JSON report file for writing");
-  file << out;
-  CSB_CHECK_MSG(file.good(), "failed writing JSON report file");
 }
 
 }  // namespace csb

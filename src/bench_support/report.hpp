@@ -27,6 +27,14 @@ class ReportTable {
   [[nodiscard]] std::string to_json() const;
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& row_data()
+      const noexcept {
+    return rows_;
+  }
 
  private:
   std::string title_;
@@ -45,12 +53,16 @@ void print_experiment_header(const std::string& figure,
                              const std::string& paper_claim);
 
 /// Parses `--json FILE` / `--json=FILE` from argv; empty string when absent.
-/// Bench binaries pass their tables to write_json_report when set, so runs
+/// Bench binaries pass their tables to write_trace_report when set, so runs
 /// can be archived and diffed without scraping the console tables.
 std::string json_output_path(int argc, char** argv);
 
-/// Writes {"tables": [...]} to `path` (throws CsbError on I/O failure).
-void write_json_report(const std::string& path,
-                       const std::vector<const ReportTable*>& tables);
+/// Writes the tables to `path` as csb.trace.v1 NDJSON — the suite-wide
+/// machine-readable schema (`csbgen report FILE` renders it): one meta line
+/// naming the producing tool, then one `bench` record per table row with
+/// name = table title and fields keyed by column. Throws CsbError on I/O
+/// failure. This replaced the per-bench ad-hoc JSON shapes.
+void write_trace_report(const std::string& path, const std::string& tool,
+                        const std::vector<const ReportTable*>& tables);
 
 }  // namespace csb

@@ -1,0 +1,365 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "gen/baselines.hpp"
+#include "gen/pgpba.hpp"
+#include "gen/pgsk.hpp"
+#include "gen/properties.hpp"
+#include "graph/algorithms.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace csb {
+
+namespace {
+
+std::uint64_t parse_u64_strict(const std::string& key,
+                               const std::string& text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  CSB_CHECK_MSG(ec == std::errc{} && ptr == text.data() + text.size(),
+                "option '" << key << "': '" << text
+                           << "' is not an unsigned integer");
+  return value;
+}
+
+double parse_double_strict(const std::string& key, const std::string& text) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  CSB_CHECK_MSG(ec == std::errc{} && ptr == text.data() + text.size() &&
+                    std::isfinite(value),
+                "option '" << key << "': '" << text
+                           << "' is not a finite number");
+  return value;
+}
+
+}  // namespace
+
+std::string GenConfig::get(const std::string& key,
+                           const std::string& fallback) const {
+  const auto it = extra.find(key);
+  return it == extra.end() ? fallback : it->second;
+}
+
+std::uint64_t GenConfig::get_u64(const std::string& key,
+                                 std::uint64_t fallback) const {
+  const auto it = extra.find(key);
+  return it == extra.end() ? fallback : parse_u64_strict(key, it->second);
+}
+
+double GenConfig::get_double(const std::string& key, double fallback) const {
+  const auto it = extra.find(key);
+  return it == extra.end() ? fallback : parse_double_strict(key, it->second);
+}
+
+bool GenConfig::get_flag(const std::string& key) const {
+  const auto it = extra.find(key);
+  return it != extra.end() && it->second != "false" && it->second != "0";
+}
+
+namespace {
+
+/// Target vertex count for baselines that size themselves from the seed:
+/// keep the seed's edge/vertex density at the desired edge count.
+std::uint64_t derived_vertices(const PropertyGraph& seed,
+                               std::uint64_t desired_edges) {
+  const double ratio =
+      seed.num_edges() > 0 ? static_cast<double>(seed.num_vertices()) /
+                                 static_cast<double>(seed.num_edges())
+                           : 1.0;
+  return std::max<std::uint64_t>(
+      2, static_cast<std::uint64_t>(
+             std::llround(ratio * static_cast<double>(desired_edges))));
+}
+
+/// Runs a driver-serial baseline under the cluster (so it books as one
+/// "generate" serial segment) and optionally samples properties — the shape
+/// shared by every §II reference generator.
+GenResult run_serial_baseline(TraceRecorder* trace, ClusterSim& cluster,
+                              const SeedProfile& profile,
+                              const GenConfig& config,
+                              const std::function<PropertyGraph()>& build) {
+  cluster.reset_metrics();
+  GenResult result;
+  {
+    PhaseScope phase(trace, "generate");
+    cluster.run_serial("generate", [&] { result.graph = build(); });
+  }
+  result.structure_seconds = cluster.metrics().simulated_seconds;
+  if (config.with_properties) {
+    const double before = cluster.metrics().simulated_seconds;
+    PhaseScope phase(trace, "properties");
+    assign_properties(result.graph, profile, cluster, config.seed ^ 0xfacadeULL);
+    result.property_seconds = cluster.metrics().simulated_seconds - before;
+  }
+  result.metrics = cluster.metrics();
+  return result;
+}
+
+class PgpbaGenerator final : public Generator {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "pgpba"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "parallel Barabasi-Albert on the property graph (paper SIII-A)";
+  }
+  [[nodiscard]] std::vector<std::string> extra_options() const override {
+    return {"fraction", "degree-mode"};
+  }
+  [[nodiscard]] GenResult generate(const PropertyGraph& seed,
+                                   const SeedProfile& profile,
+                                   ClusterSim& cluster,
+                                   const GenConfig& config) const override {
+    PgpbaOptions options;
+    options.desired_edges = config.desired_edges;
+    options.fraction = config.get_double("fraction", 0.5);
+    options.partitions = config.partitions;
+    options.seed = config.seed;
+    options.with_properties = config.with_properties;
+    if (config.get_flag("degree-mode")) {
+      options.mode = PgpbaAttachMode::kDegreeSampling;
+    }
+    return pgpba_generate(seed, profile, cluster, options);
+  }
+};
+
+class PgskGenerator final : public Generator {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "pgsk"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "stochastic Kronecker with KronFit initiator (paper SIII-B)";
+  }
+  [[nodiscard]] std::vector<std::string> extra_options() const override {
+    return {"force-k", "no-rescale"};
+  }
+  [[nodiscard]] GenResult generate(const PropertyGraph& seed,
+                                   const SeedProfile& profile,
+                                   ClusterSim& cluster,
+                                   const GenConfig& config) const override {
+    PgskOptions options;
+    options.desired_edges = config.desired_edges;
+    options.force_k =
+        static_cast<std::uint32_t>(config.get_u64("force-k", 0));
+    options.partitions = config.partitions;
+    options.seed = config.seed;
+    options.with_properties = config.with_properties;
+    options.rescale_to_target = !config.get_flag("no-rescale");
+    return pgsk_generate(seed, profile, cluster, options);
+  }
+};
+
+class RmatGenerator final : public Generator {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "rmat"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "R-MAT recursive-matrix baseline (SII reference)";
+  }
+  [[nodiscard]] std::vector<std::string> extra_options() const override {
+    return {"scale", "rmat-a", "rmat-b", "rmat-c", "rmat-noise"};
+  }
+  [[nodiscard]] GenResult generate(const PropertyGraph& seed,
+                                   const SeedProfile& profile,
+                                   ClusterSim& cluster,
+                                   const GenConfig& config) const override {
+    const std::uint64_t vertices =
+        derived_vertices(seed, config.desired_edges);
+    const auto scale = static_cast<std::uint32_t>(config.get_u64(
+        "scale", std::max<std::uint64_t>(1, std::bit_width(vertices - 1))));
+    RmatParams params;
+    params.a = config.get_double("rmat-a", params.a);
+    params.b = config.get_double("rmat-b", params.b);
+    params.c = config.get_double("rmat-c", params.c);
+    params.d = std::max(0.0, 1.0 - params.a - params.b - params.c);
+    params.noise = config.get_double("rmat-noise", params.noise);
+    return run_serial_baseline(
+        cluster.trace(), cluster, profile, config, [&] {
+          return rmat(scale, config.desired_edges, params, config.seed);
+        });
+  }
+};
+
+class ClassicBaGenerator final : public Generator {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "classic-ba";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "sequential Barabasi-Albert baseline (SII reference)";
+  }
+  [[nodiscard]] std::vector<std::string> extra_options() const override {
+    return {"attach-m"};
+  }
+  [[nodiscard]] GenResult generate(const PropertyGraph& seed,
+                                   const SeedProfile& profile,
+                                   ClusterSim& cluster,
+                                   const GenConfig& config) const override {
+    // Edges per new vertex from the seed's density; vertices sized so
+    // vertices x m reaches the desired edge count.
+    const double density =
+        seed.num_vertices() > 0 ? static_cast<double>(seed.num_edges()) /
+                                      static_cast<double>(seed.num_vertices())
+                                : 1.0;
+    const auto m = static_cast<std::uint32_t>(config.get_u64(
+        "attach-m",
+        std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(std::llround(density)))));
+    const std::uint64_t vertices =
+        std::max<std::uint64_t>(m + 1, config.desired_edges / m);
+    return run_serial_baseline(
+        cluster.trace(), cluster, profile, config, [&] {
+          return classic_barabasi_albert(vertices, m, config.seed);
+        });
+  }
+};
+
+class ErdosRenyiGenerator final : public Generator {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "erdos-renyi";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "Erdos-Renyi G(n, m) baseline (SII reference)";
+  }
+  [[nodiscard]] std::vector<std::string> extra_options() const override {
+    return {"vertices"};
+  }
+  [[nodiscard]] GenResult generate(const PropertyGraph& seed,
+                                   const SeedProfile& profile,
+                                   ClusterSim& cluster,
+                                   const GenConfig& config) const override {
+    const std::uint64_t vertices = config.get_u64(
+        "vertices", derived_vertices(seed, config.desired_edges));
+    return run_serial_baseline(
+        cluster.trace(), cluster, profile, config, [&] {
+          return erdos_renyi_gnm(vertices, config.desired_edges, config.seed);
+        });
+  }
+};
+
+class ChungLuGenerator final : public Generator {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "chung-lu"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "Chung-Lu expected-degree baseline seeded by the seed's degrees";
+  }
+  [[nodiscard]] GenResult generate(const PropertyGraph& seed,
+                                   const SeedProfile& profile,
+                                   ClusterSim& cluster,
+                                   const GenConfig& config) const override {
+    const auto degrees = total_degrees(seed);
+    std::vector<double> weights(degrees.begin(), degrees.end());
+    return run_serial_baseline(
+        cluster.trace(), cluster, profile, config, [&] {
+          return chung_lu(weights, config.desired_edges, config.seed);
+        });
+  }
+};
+
+class SbmGenerator final : public Generator {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "sbm"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "stochastic block model baseline (SII community reference)";
+  }
+  [[nodiscard]] std::vector<std::string> extra_options() const override {
+    return {"blocks", "intra", "inter"};
+  }
+  [[nodiscard]] GenResult generate(const PropertyGraph& seed,
+                                   const SeedProfile& profile,
+                                   ClusterSim& cluster,
+                                   const GenConfig& config) const override {
+    const std::uint64_t blocks =
+        std::max<std::uint64_t>(1, config.get_u64("blocks", 4));
+    const double intra = config.get_double("intra", 0.8);
+    const double inter = config.get_double("inter", 0.05);
+    const std::uint64_t vertices = std::max(
+        blocks, derived_vertices(seed, config.desired_edges));
+    std::vector<std::uint64_t> sizes(blocks, vertices / blocks);
+    sizes[0] += vertices % blocks;
+    std::vector<double> mixing(blocks * blocks, inter);
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      mixing[b * blocks + b] = intra;
+    }
+    return run_serial_baseline(
+        cluster.trace(), cluster, profile, config, [&] {
+          return stochastic_block_model(sizes, mixing, config.desired_edges,
+                                        config.seed);
+        });
+  }
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<Generator>> generators;
+};
+
+/// The registry is built lazily on first access so builtin registration
+/// cannot be dead-stripped or raced by static-init order.
+Registry& registry() {
+  static Registry instance;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    instance.generators.push_back(std::make_unique<PgpbaGenerator>());
+    instance.generators.push_back(std::make_unique<PgskGenerator>());
+    instance.generators.push_back(std::make_unique<RmatGenerator>());
+    instance.generators.push_back(std::make_unique<ClassicBaGenerator>());
+    instance.generators.push_back(std::make_unique<ErdosRenyiGenerator>());
+    instance.generators.push_back(std::make_unique<ChungLuGenerator>());
+    instance.generators.push_back(std::make_unique<SbmGenerator>());
+  });
+  return instance;
+}
+
+}  // namespace
+
+void register_generator(std::unique_ptr<Generator> generator) {
+  CSB_CHECK_MSG(generator != nullptr, "cannot register a null generator");
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& existing : r.generators) {
+    if (existing->name() == generator->name()) {
+      existing = std::move(generator);
+      return;
+    }
+  }
+  r.generators.push_back(std::move(generator));
+}
+
+const Generator* find_generator(std::string_view name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& generator : r.generators) {
+    if (generator->name() == name) return generator.get();
+  }
+  return nullptr;
+}
+
+const Generator& require_generator(std::string_view name) {
+  if (const Generator* generator = find_generator(name)) return *generator;
+  std::string available;
+  for (const Generator* generator : all_generators()) {
+    if (!available.empty()) available += ", ";
+    available += generator->name();
+  }
+  throw CsbError("unknown generator '" + std::string(name) +
+                 "' (registered: " + available + ")");
+}
+
+std::vector<const Generator*> all_generators() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<const Generator*> out;
+  out.reserve(r.generators.size());
+  for (const auto& generator : r.generators) out.push_back(generator.get());
+  return out;
+}
+
+}  // namespace csb

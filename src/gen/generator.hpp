@@ -1,10 +1,18 @@
-// Common types of the synthetic-data generators.
+// Common types of the synthetic-data generators, and the name-keyed
+// Generator registry every front end dispatches through (`csbgen generate
+// --algo=NAME`, the registry tests, future bench sweeps).
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "graph/property_graph.hpp"
 #include "mr/cluster.hpp"
+#include "seed/seed.hpp"
 
 namespace csb {
 
@@ -31,5 +39,67 @@ struct GenResult {
   double property_seconds = 0.0;   ///< simulated time of the property phase
   std::uint64_t iterations = 0;    ///< growth iterations executed
 };
+
+/// Configuration shared by every registered generator, plus a string-keyed
+/// extension map for per-algorithm knobs (the keys a generator understands
+/// are published by Generator::extra_options, which is what lets the CLI
+/// reject unknown flags instead of silently ignoring them). The typed
+/// getters parse strictly: a malformed value throws CsbError naming the key
+/// and the offending text.
+struct GenConfig {
+  std::uint64_t desired_edges = 0;
+  std::size_t partitions = 0;  ///< 0 = auto (2x the virtual cores)
+  std::uint64_t seed = 1;
+  bool with_properties = true;
+  std::map<std::string, std::string> extra;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return extra.contains(key);
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  /// True when the key is present with any value except "false"/"0".
+  [[nodiscard]] bool get_flag(const std::string& key) const;
+};
+
+/// Polymorphic generator interface: one implementation per algorithm
+/// (PGPBA, PGSK, the §II baselines). Implementations must be deterministic
+/// for a fixed (seed graph, profile, config) — asserted by the registry
+/// test — and run all booked work through the supplied ClusterSim so
+/// metrics and trace spans attribute correctly.
+class Generator {
+ public:
+  virtual ~Generator() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::string_view description() const = 0;
+
+  /// GenConfig::extra keys this generator understands, in display order.
+  [[nodiscard]] virtual std::vector<std::string> extra_options() const {
+    return {};
+  }
+
+  [[nodiscard]] virtual GenResult generate(const PropertyGraph& seed,
+                                           const SeedProfile& profile,
+                                           ClusterSim& cluster,
+                                           const GenConfig& config) const = 0;
+};
+
+/// Adds a generator to the process-wide registry; replaces an existing
+/// entry with the same name. Builtins are registered on first lookup.
+void register_generator(std::unique_ptr<Generator> generator);
+
+/// Name lookup; nullptr when absent.
+[[nodiscard]] const Generator* find_generator(std::string_view name);
+
+/// Name lookup that throws CsbError listing the registered names.
+[[nodiscard]] const Generator& require_generator(std::string_view name);
+
+/// Every registered generator, in registration order.
+[[nodiscard]] std::vector<const Generator*> all_generators();
 
 }  // namespace csb

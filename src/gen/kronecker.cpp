@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace csb {
@@ -55,9 +56,11 @@ Dataset<Edge> stochastic_kronecker_edges(
     return Edge{u, v};
   };
 
+  static Counter& rounds_run = MetricsRegistry::instance().counter("kron.rounds");
   Dataset<Edge> edges(cluster, std::vector<std::vector<Edge>>(partitions));
   std::uint64_t have = 0;
   for (std::uint32_t round = 0; round < options.max_rounds; ++round) {
+    rounds_run.increment();
     const std::uint64_t missing = target - have;
     const auto to_generate = static_cast<std::uint64_t>(
         std::ceil(static_cast<double>(missing) * options.oversample));

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace csb {
@@ -309,15 +310,21 @@ FitRun run_kronfit(const PropertyGraph& graph, const KronFitOptions& options) {
   tables.build(init, k);
   state.refresh_theta(tables);
 
+  // Swap tallies are kept in locals and flushed to the registry once at the
+  // end — zero atomics inside the Metropolis loop.
+  std::uint64_t swaps_proposed = 0;
+  std::uint64_t swaps_accepted = 0;
   for (std::uint32_t s = 0; s < options.burn_in_swaps; ++s) {
-    state.try_swap(tables, rng);
+    ++swaps_proposed;
+    if (state.try_swap(tables, rng)) ++swaps_accepted;
   }
 
   const double lr =
       options.learning_rate / static_cast<double>(state.edge_count());
   for (std::uint32_t iter = 0; iter < options.gradient_iterations; ++iter) {
     for (std::uint32_t s = 0; s < options.swaps_per_iteration; ++s) {
-      state.try_swap(tables, rng);
+      ++swaps_proposed;
+      if (state.try_swap(tables, rng)) ++swaps_accepted;
     }
     double grad[2][2];
     state.gradient(init, grad);
@@ -336,6 +343,12 @@ FitRun run_kronfit(const PropertyGraph& graph, const KronFitOptions& options) {
     tables.build(init, k);
     state.refresh_theta(tables);
   }
+  static Counter& proposed =
+      MetricsRegistry::instance().counter("kronfit.swaps_proposed");
+  static Counter& accepted =
+      MetricsRegistry::instance().counter("kronfit.swaps_accepted");
+  proposed.add(swaps_proposed);
+  accepted.add(swaps_accepted);
   return run;
 }
 

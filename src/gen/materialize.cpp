@@ -4,6 +4,8 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace csb {
 
 PropertyGraph materialize_graph(const Dataset<Edge>& edges,
@@ -57,6 +59,9 @@ PropertyGraph materialize_graph(const Dataset<Edge>& edges,
     // Rows are filled by the subsequent assign_properties stage.
     if (with_properties) graph.ensure_properties_for_overwrite();
   });
+  static Counter& materialized =
+      MetricsRegistry::instance().counter("gen.edges_materialized");
+  materialized.add(m);
   return graph;
 }
 

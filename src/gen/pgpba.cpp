@@ -8,6 +8,7 @@
 #include "gen/materialize.hpp"
 #include "gen/properties.hpp"
 #include "mr/dataset.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace csb {
@@ -47,6 +48,9 @@ GenResult pgpba_generate(const PropertyGraph& seed_graph,
   std::uint64_t edge_count = edges.count();
   GenResult result;
 
+  TraceRecorder* const trace = cluster.trace();
+  const std::uint64_t grow_phase =
+      trace != nullptr ? trace->begin_phase("grow") : 0;
   while (edge_count < options.desired_edges) {
     const std::uint64_t iteration = result.iterations++;
 
@@ -122,14 +126,19 @@ GenResult pgpba_generate(const PropertyGraph& seed_graph,
                   "PGPBA made no progress (degenerate degree distributions?)");
     edge_count = new_count;
   }
+  if (trace != nullptr) trace->end_phase(grow_phase);
 
   // Distributed graph materialization (GraphX Graph construction).
-  result.graph = materialize_graph(edges, num_vertices,
-                                   options.with_properties, cluster);
+  {
+    PhaseScope phase(trace, "materialize");
+    result.graph = materialize_graph(edges, num_vertices,
+                                     options.with_properties, cluster);
+  }
   result.structure_seconds = cluster.metrics().simulated_seconds;
 
   if (options.with_properties) {
     const double before = cluster.metrics().simulated_seconds;
+    PhaseScope phase(trace, "properties");
     assign_properties(result.graph, profile, cluster,
                       options.seed ^ 0xfacadeULL);
     result.property_seconds =

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "gen/kronecker.hpp"
 #include "gen/materialize.hpp"
 #include "gen/properties.hpp"
 #include "graph/algorithms.hpp"
 #include "mr/dataset.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace csb {
@@ -37,15 +39,23 @@ GenResult pgsk_generate(const PropertyGraph& seed_graph,
   cluster.reset_metrics();
 
   GenResult result;
+  TraceRecorder* const trace = cluster.trace();
 
   // Lines 1-5: multiset -> set collapse (driver-side O(|E|) hash pass).
   PropertyGraph simple;
-  cluster.run_serial("collapse",
-                     [&] { simple = simplify(seed_graph); });
+  {
+    PhaseScope phase(trace, "collapse");
+    cluster.run_serial("collapse",
+                       [&] { simple = simplify(seed_graph); });
+  }
 
   // Line 6: KronFit (driver-side optimization).
   KronFitResult fit;
-  cluster.run_serial("kronfit", [&] { fit = kronfit(simple, options.fit); });
+  {
+    PhaseScope phase(trace, "kronfit");
+    cluster.run_serial("kronfit",
+                       [&] { fit = kronfit(simple, options.fit); });
+  }
 
   // Sizing: order k so that (expected Kronecker edges) x (mean out-degree
   // duplication) reaches the desired size.
@@ -92,34 +102,46 @@ GenResult pgsk_generate(const PropertyGraph& seed_graph,
   kron.edges_to_place = std::max<std::uint64_t>(1, plan.kron_edges);
   kron.partitions = options.partitions;
   kron.seed = options.seed;
-  Dataset<Edge> kron_edges = stochastic_kronecker_edges(cluster, kron);
+  std::optional<Dataset<Edge>> kron_edges;
+  {
+    PhaseScope phase(trace, "expand");
+    kron_edges.emplace(stochastic_kronecker_edges(cluster, kron));
+  }
 
   // Lines 8-12: duplicate each edge by a draw from the out-degree
   // distribution (restores multigraph flow multiplicity). Sink-based so no
   // per-edge vector<Edge> is allocated just to be spliced and freed.
   const std::uint64_t dup_seed = options.seed ^ 0xd0b1e5ULL;
-  Dataset<Edge> edges = kron_edges.flat_map_into<Edge>(
-      [&profile, dup_seed](const Edge& e, const auto& emit) {
-        // Rng per element derived from the edge identity: deterministic and
-        // thread-safe regardless of partition scheduling.
-        Rng rng(dup_seed ^ edge_key(e));
-        auto copies =
-            static_cast<std::uint64_t>(profile.out_degree().sample(rng));
-        copies = std::max<std::uint64_t>(1, copies);
-        for (std::uint64_t c = 0; c < copies; ++c) emit(e);
-      });
+  std::optional<Dataset<Edge>> edges;
+  {
+    PhaseScope phase(trace, "re-multiply");
+    edges.emplace(kron_edges->flat_map_into<Edge>(
+        [&profile, dup_seed](const Edge& e, const auto& emit) {
+          // Rng per element derived from the edge identity: deterministic and
+          // thread-safe regardless of partition scheduling.
+          Rng rng(dup_seed ^ edge_key(e));
+          auto copies =
+              static_cast<std::uint64_t>(profile.out_degree().sample(rng));
+          copies = std::max<std::uint64_t>(1, copies);
+          for (std::uint64_t c = 0; c < copies; ++c) emit(e);
+        }));
+  }
 
   result.iterations = plan.k;
 
   // Distributed graph materialization (GraphX Graph construction).
   const std::uint64_t n = 1ULL << plan.k;
-  result.graph =
-      materialize_graph(edges, n, options.with_properties, cluster);
+  {
+    PhaseScope phase(trace, "materialize");
+    result.graph =
+        materialize_graph(*edges, n, options.with_properties, cluster);
+  }
   result.structure_seconds = cluster.metrics().simulated_seconds;
 
   // Lines 13-18: property sampling.
   if (options.with_properties) {
     const double before = cluster.metrics().simulated_seconds;
+    PhaseScope phase(trace, "properties");
     assign_properties(result.graph, profile, cluster,
                       options.seed ^ 0xbeefULL);
     result.property_seconds = cluster.metrics().simulated_seconds - before;

@@ -4,6 +4,8 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace csb {
 
 StageMetrics assign_properties(PropertyGraph& graph,
@@ -31,6 +33,9 @@ StageMetrics assign_properties(PropertyGraph& graph,
       }
     });
   }
+  static Counter& sampled =
+      MetricsRegistry::instance().counter("gen.properties_sampled");
+  sampled.add(m);
   return cluster.run_stage("properties", std::move(tasks));
 }
 

@@ -7,9 +7,33 @@
 #include <queue>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace csb {
+
+double list_schedule_makespan(const std::vector<double>& durations,
+                              std::size_t slots,
+                              std::vector<double>& slot_busy) {
+  CSB_CHECK_MSG(slots > 0, "list scheduling needs at least one slot");
+  slot_busy.assign(slots, 0.0);
+  if (durations.empty()) return 0.0;
+  // Min-heap of (busy time, slot); each task lands on the least-loaded slot
+  // (lowest index on ties, matching the scalar version's determinism).
+  using Slot = std::pair<double, std::size_t>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> cores;
+  for (std::size_t i = 0; i < slots; ++i) cores.push({0.0, i});
+  for (const double d : durations) {
+    auto [busy, slot] = cores.top();
+    cores.pop();
+    busy += d;
+    slot_busy[slot] = busy;
+    cores.push({busy, slot});
+  }
+  double makespan = 0.0;
+  for (const double busy : slot_busy) makespan = std::max(makespan, busy);
+  return makespan;
+}
 
 double list_schedule_makespan(const std::vector<double>& durations,
                               std::size_t slots) {
@@ -54,6 +78,7 @@ StageMetrics ClusterSim::run_stage(const std::string& name,
   stage.tasks = tasks.size();
   if (tasks.empty()) return stage;
 
+  const double trace_t0 = trace_ != nullptr ? trace_->now() : 0.0;
   Stopwatch wall;
   std::vector<double> durations(tasks.size(), 0.0);
   // One shared completion latch plus a single first-exception slot instead
@@ -81,27 +106,65 @@ StageMetrics ClusterSim::run_stage(const std::string& name,
   if (first_error) std::rethrow_exception(first_error);
 
   for (const double d : durations) stage.task_seconds += d;
+  // Histogram the *measured* durations before any smoothing — the trace
+  // records what the tasks actually did, not the scheduler's view.
+  std::vector<std::uint64_t> task_hist;
+  if (trace_ != nullptr) task_hist = duration_histogram_log2us(durations);
   if (config_.smooth_task_durations) {
     const double mean =
         stage.task_seconds / static_cast<double>(durations.size());
     std::fill(durations.begin(), durations.end(), mean);
   }
-  stage.makespan_seconds =
-      list_schedule_makespan(durations, config_.total_cores());
+  if (trace_ == nullptr) {
+    stage.makespan_seconds =
+        list_schedule_makespan(durations, config_.total_cores());
+  } else {
+    std::vector<double> slot_busy;
+    stage.makespan_seconds =
+        list_schedule_makespan(durations, config_.total_cores(), slot_busy);
+    SpanRecord span;
+    span.name = name;
+    span.kind = "stage";
+    span.t0 = trace_t0;
+    span.t1 = trace_->now();
+    span.seconds = stage.makespan_seconds;
+    span.tasks = stage.tasks;
+    span.task_seconds = stage.task_seconds;
+    span.task_hist = std::move(task_hist);
+    span.node_busy.assign(config_.nodes, 0.0);
+    for (std::size_t slot = 0; slot < slot_busy.size(); ++slot) {
+      span.node_busy[slot / config_.cores_per_node] += slot_busy[slot];
+    }
+    trace_->record_span(std::move(span));
+  }
 
   metrics_.simulated_seconds += stage.makespan_seconds;
   metrics_.task_seconds += stage.task_seconds;
   metrics_.wall_seconds += wall.seconds();
   metrics_.stages += 1;
   metrics_.tasks += stage.tasks;
+  static Counter& stages_run = MetricsRegistry::instance().counter("cluster.stages");
+  static Counter& tasks_run = MetricsRegistry::instance().counter("cluster.tasks");
+  stages_run.increment();
+  tasks_run.add(stage.tasks);
   return stage;
 }
 
 void ClusterSim::run_serial(const std::string& name,
                             const std::function<void()>& work) {
+  const double trace_t0 = trace_ != nullptr ? trace_->now() : 0.0;
   Stopwatch timer;
   work();
   const double elapsed = timer.seconds();
+  if (trace_ != nullptr) {
+    SpanRecord span;
+    span.name = name;
+    span.kind = "serial";
+    span.t0 = trace_t0;
+    span.t1 = trace_->now();
+    span.seconds = elapsed;
+    trace_->record_span(std::move(span));
+  }
   metrics_.simulated_seconds += elapsed;
   metrics_.serial_seconds += elapsed;
   metrics_.wall_seconds += elapsed;

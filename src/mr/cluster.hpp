@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -101,6 +102,13 @@ class ClusterSim {
   [[nodiscard]] const JobMetrics& metrics() const noexcept { return metrics_; }
   void reset_metrics() noexcept { metrics_ = {}; }
 
+  /// Attaches (or detaches, with nullptr) a span recorder: every stage and
+  /// serial segment run afterwards is recorded as a csb.trace.v1 span with
+  /// per-task histograms and virtual-node placement. Detached costs one
+  /// pointer test per stage — see bench/trace_overhead.
+  void set_trace(TraceRecorder* recorder) noexcept { trace_ = recorder; }
+  [[nodiscard]] TraceRecorder* trace() const noexcept { return trace_; }
+
   /// Virtual node that hosts partition `p` (round-robin placement).
   [[nodiscard]] std::size_t node_of_partition(std::size_t p) const noexcept {
     return p % config_.nodes;
@@ -111,11 +119,18 @@ class ClusterSim {
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;
   JobMetrics metrics_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 /// Greedy list scheduling of task durations onto `slots` identical machines;
 /// returns the makespan. Exposed for direct testing.
 double list_schedule_makespan(const std::vector<double>& durations,
                               std::size_t slots);
+
+/// As above, but also reports each slot's total busy time (the virtual-core
+/// placement the trace layer aggregates into per-node busy seconds).
+double list_schedule_makespan(const std::vector<double>& durations,
+                              std::size_t slots,
+                              std::vector<double>& slot_busy);
 
 }  // namespace csb

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mr/cluster.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/flat_set.hpp"
 #include "util/random.hpp"
@@ -26,6 +27,13 @@ class Dataset {
   Dataset(ClusterSim& cluster, std::vector<std::vector<T>> partitions)
       : cluster_(&cluster), partitions_(std::move(partitions)) {
     CSB_CHECK_MSG(!partitions_.empty(), "Dataset needs >= 1 partition");
+    // Every transformation lands here, so this one counter tracks total
+    // payload bytes allocated across the job (Fig. 11's memory pressure
+    // proxy). O(partitions) + one relaxed atomic add — noise next to the
+    // stage that produced the data.
+    static Counter& allocated =
+        MetricsRegistry::instance().counter("dataset.allocated_bytes");
+    allocated.add(bytes());
   }
 
   /// Splits `data` into `partitions` nearly equal slices.
@@ -264,6 +272,17 @@ class Dataset {
       });
     }
     cluster_->run_stage("distinct:merge", std::move(merge_tasks));
+    // Dedup-set hits (duplicates dropped) vs. misses (survivors) — post-stage
+    // arithmetic on partition sizes, no per-element accounting.
+    std::uint64_t kept = 0;
+    for (const auto& partition : out) kept += partition.size();
+    const std::uint64_t candidates = count();
+    static Counter& hits =
+        MetricsRegistry::instance().counter("dataset.distinct_hits");
+    static Counter& misses =
+        MetricsRegistry::instance().counter("dataset.distinct_misses");
+    hits.add(candidates - kept);
+    misses.add(kept);
     return Dataset(*cluster_, std::move(out));
   }
 

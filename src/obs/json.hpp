@@ -1,0 +1,85 @@
+// Minimal JSON value model + recursive-descent parser, sized for the
+// csb.trace.v1 NDJSON schema (src/obs/trace.hpp): the trace reader, the
+// `csbgen report` subcommand and the schema tests parse one object per
+// line. Not a general-purpose JSON library — numbers are doubles, objects
+// preserve insertion order, and inputs are trusted to be small (one line).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace csb {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}
+  JsonValue(double value) : type_(Type::kNumber), number_(value) {}
+  JsonValue(std::uint64_t value)
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(std::string value)
+      : type_(Type::kString), string_(std::move(value)) {}
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Object member lookup; throws CsbError naming the key when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::vector<std::pair<std::string, JsonValue>> m);
+
+  void push_back(JsonValue value);
+  void set(std::string key, JsonValue value);
+
+  /// Compact single-line serialization. Doubles print shortest-round-trip
+  /// (std::to_chars), so write -> parse -> write is byte-stable — the
+  /// property the golden-file schema test pins down.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses exactly one JSON value (trailing whitespace allowed); throws
+/// CsbError with character position on malformed input.
+JsonValue parse_json(std::string_view text);
+
+/// Escapes and quotes `value` per JSON string rules.
+void append_json_escaped(std::string& out, std::string_view value);
+
+/// Shortest-round-trip formatting of a double (the number format every
+/// csb.trace.v1 record uses).
+std::string json_number(double value);
+
+}  // namespace csb

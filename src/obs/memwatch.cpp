@@ -1,0 +1,54 @@
+#include "obs/memwatch.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace csb {
+
+namespace {
+
+/// Parses "VmRSS:   12345 kB" lines; /proc values are kB.
+std::uint64_t parse_kb_line(const char* line) {
+  const char* p = std::strchr(line, ':');
+  if (p == nullptr) return 0;
+  ++p;
+  while (*p == ' ' || *p == '\t') ++p;
+  std::uint64_t kb = 0;
+  while (*p >= '0' && *p <= '9') {
+    kb = kb * 10 + static_cast<std::uint64_t>(*p - '0');
+    ++p;
+  }
+  return kb * 1024;
+}
+
+}  // namespace
+
+MemorySample sample_process_memory() {
+  MemorySample sample;
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return sample;
+  char line[256];
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      sample.rss_bytes = parse_kb_line(line);
+    } else if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      sample.hwm_bytes = parse_kb_line(line);
+    }
+    if (sample.rss_bytes != 0 && sample.hwm_bytes != 0) break;
+  }
+  std::fclose(status);
+  return sample;
+}
+
+MemorySample MemoryWatermark::sample() {
+  const MemorySample now = sample_process_memory();
+  if (now.rss_bytes > peak_) peak_ = now.rss_bytes;
+  static Gauge& peak_gauge =
+      MetricsRegistry::instance().gauge("mem.rss_peak_bytes");
+  peak_gauge.record_max(peak_);
+  return now;
+}
+
+}  // namespace csb

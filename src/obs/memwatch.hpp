@@ -1,0 +1,36 @@
+// Process-memory sampling for the Fig. 11 memory story: current RSS and
+// the kernel-maintained high-water mark, read from /proc/self/status on
+// Linux (zeros on other platforms — callers must treat 0 as "unknown").
+//
+// Sampling is a ~10 µs proc read, far too slow for per-element hot paths;
+// the trace layer samples only at phase boundaries and on explicit
+// record_memory() calls.
+#pragma once
+
+#include <cstdint>
+
+namespace csb {
+
+struct MemorySample {
+  std::uint64_t rss_bytes = 0;  ///< VmRSS — current resident set
+  std::uint64_t hwm_bytes = 0;  ///< VmHWM — peak resident set (watermark)
+};
+
+/// One /proc/self/status read; {0, 0} when unavailable.
+MemorySample sample_process_memory();
+
+/// Tracks the largest RSS seen across sample() calls and mirrors it into
+/// the "mem.rss_peak_bytes" gauge, so metric snapshots carry the watermark
+/// even when no trace is being recorded.
+class MemoryWatermark {
+ public:
+  /// Samples and folds into the running peak; returns the fresh sample.
+  MemorySample sample();
+
+  [[nodiscard]] std::uint64_t peak_rss_bytes() const noexcept { return peak_; }
+
+ private:
+  std::uint64_t peak_ = 0;
+};
+
+}  // namespace csb

@@ -1,0 +1,67 @@
+#include "obs/metrics.hpp"
+
+#include <deque>
+#include <mutex>
+
+namespace csb {
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() {
+  static Impl state;
+  return state;
+}
+
+const MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  return const_cast<MetricsRegistry*>(this)->impl();
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  for (Counter& c : state.counters) {
+    if (c.name() == name) return c;
+  }
+  return state.counters.emplace_back(std::string(name));
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  for (Gauge& g : state.gauges) {
+    if (g.name() == name) return g;
+  }
+  return state.gauges.emplace_back(std::string(name));
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot(bool include_zero) const {
+  const Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<MetricSample> out;
+  out.reserve(state.counters.size() + state.gauges.size());
+  for (const Counter& c : state.counters) {
+    if (include_zero || c.value() != 0) out.push_back({c.name(), c.value()});
+  }
+  for (const Gauge& g : state.gauges) {
+    if (include_zero || g.value() != 0) out.push_back({g.name(), g.value()});
+  }
+  return out;
+}
+
+void MetricsRegistry::reset_all() {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  for (Counter& c : state.counters) c.reset();
+  for (Gauge& g : state.gauges) g.reset();
+}
+
+}  // namespace csb

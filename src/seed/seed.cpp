@@ -4,6 +4,7 @@
 
 #include "flow/assembler.hpp"
 #include "graph/algorithms.hpp"
+#include "obs/trace.hpp"
 #include "pcap/pcap_file.hpp"
 #include "util/error.hpp"
 
@@ -132,15 +133,26 @@ EdgeProperties SeedProfile::sample_properties(Rng& rng) const {
 }
 
 SeedBundle build_seed_from_packets(const std::vector<PcapPacket>& packets) {
+  // No ClusterSim here — the seed pipeline is host-side preprocessing — so
+  // phases attach to the process-wide recorder slot csbgen installs.
+  TraceRecorder* const trace = TraceRecorder::current();
   std::vector<DecodedPacket> decoded;
   decoded.reserve(packets.size());
-  for (const PcapPacket& packet : packets) {
-    if (auto summary = decode_frame(packet.data.data(), packet.data.size(),
-                                    packet.orig_len, packet.timestamp_us)) {
-      decoded.push_back(*summary);
+  {
+    PhaseScope phase(trace, "seed:decode");
+    for (const PcapPacket& packet : packets) {
+      if (auto summary = decode_frame(packet.data.data(), packet.data.size(),
+                                      packet.orig_len, packet.timestamp_us)) {
+        decoded.push_back(*summary);
+      }
     }
   }
-  return build_seed_from_netflow(assemble_flows(decoded));
+  std::vector<NetflowRecord> flows;
+  {
+    PhaseScope phase(trace, "seed:assemble-flows");
+    flows = assemble_flows(decoded);
+  }
+  return build_seed_from_netflow(flows);
 }
 
 SeedBundle build_seed_from_pcap_file(const std::string& path) {
@@ -149,8 +161,16 @@ SeedBundle build_seed_from_pcap_file(const std::string& path) {
 
 SeedBundle build_seed_from_netflow(
     const std::vector<NetflowRecord>& records) {
-  SeedBundle bundle{graph_from_netflow(records), SeedProfile{}};
-  bundle.profile = SeedProfile::analyze(bundle.graph);
+  TraceRecorder* const trace = TraceRecorder::current();
+  SeedBundle bundle{PropertyGraph{}, SeedProfile{}};
+  {
+    PhaseScope phase(trace, "seed:build-graph");
+    bundle.graph = graph_from_netflow(records);
+  }
+  {
+    PhaseScope phase(trace, "seed:profile");
+    bundle.profile = SeedProfile::analyze(bundle.graph);
+  }
   return bundle;
 }
 

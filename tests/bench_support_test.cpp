@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "bench_support/report.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace csb {
@@ -91,20 +92,34 @@ TEST(ReportJsonTest, JsonOutputPathParsesBothForms) {
   EXPECT_EQ(json_output_path(2, const_cast<char**>(dangling)), "");
 }
 
-TEST(ReportJsonTest, WriteJsonReportRoundTrips) {
-  ReportTable a("first", {"x"});
-  a.add_row({"1"});
-  ReportTable b("second", {"y"});
-  const std::string path = ::testing::TempDir() + "csb_report_test.json";
-  write_json_report(path, {&a, &b});
+TEST(ReportJsonTest, WriteTraceReportRoundTrips) {
+  ReportTable a("first", {"x", "y"});
+  a.add_row({"1", "2.5"});
+  a.add_row({"3", "4.5"});
+  ReportTable b("second", {"z"});  // no rows -> no bench records
+  const std::string path = ::testing::TempDir() + "csb_report_test.ndjson";
+  write_trace_report(path, "bench_support_test", {&a, &b});
+
+  std::vector<std::string> errors;
+  const ParsedTrace trace = parse_trace_file(path, &errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  EXPECT_EQ(trace.meta_value("tool"), "bench_support_test");
+  ASSERT_EQ(trace.benches.size(), 2u);
+  EXPECT_EQ(trace.benches[0].name, "first");
+  ASSERT_EQ(trace.benches[0].fields.size(), 2u);
+  EXPECT_EQ(trace.benches[0].fields[0].first, "x");
+  EXPECT_EQ(trace.benches[0].fields[0].second.as_string(), "1");
+  EXPECT_EQ(trace.benches[0].fields[1].first, "y");
+  EXPECT_EQ(trace.benches[0].fields[1].second.as_string(), "2.5");
+  EXPECT_EQ(trace.benches[1].fields[1].second.as_string(), "4.5");
+
+  // Every line carries the schema version tag.
   std::ifstream file(path);
   ASSERT_TRUE(file.is_open());
-  std::stringstream content;
-  content << file.rdbuf();
-  EXPECT_EQ(content.str(),
-            "{\"tables\": [{\"title\": \"first\", \"columns\": [\"x\"], "
-            "\"rows\": [[\"1\"]]}, {\"title\": \"second\", \"columns\": "
-            "[\"y\"], \"rows\": []}]}\n");
+  std::string line;
+  while (std::getline(file, line)) {
+    EXPECT_NE(line.find("\"v\":\"csb.trace.v1\""), std::string::npos) << line;
+  }
 }
 
 }  // namespace

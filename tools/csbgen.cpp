@@ -1,28 +1,36 @@
 // csbgen — command-line front end to the CSB benchmark suite.
 //
 // Subcommands (run `csbgen help` for full usage):
-//   trace     synthesize a network capture (benign traffic +/- attacks)
-//   seed      run the Fig. 1 pipeline: PCAP or NetFlow CSV -> seed graph
-//   generate  grow a synthetic property-graph with PGPBA or PGSK
-//   veracity  score a synthetic dataset against its seed
-//   detect    run the Section IV anomaly detector over NetFlow data
-//   info      print statistics of a csb graph file
+//   trace      synthesize a network capture (benign traffic +/- attacks)
+//   seed       run the Fig. 1 pipeline: PCAP or NetFlow CSV -> seed graph
+//   generate   grow a synthetic property-graph with any registered algorithm
+//   generators list the registered generator algorithms
+//   report     pretty-print / validate a csb.trace.v1 NDJSON trace
+//   veracity   score a synthetic dataset against its seed
+//   detect     run the Section IV anomaly detector over NetFlow data
+//   info       print statistics of a csb graph file
 //
 // All file formats are the library's own: .pcap (libpcap), .csv (NetFlow),
 // .bin (csb binary graph), .graphml (export).
 #include <algorithm>
+#include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "flow/assembler.hpp"
 #include "flow/netflow_io.hpp"
-#include "gen/pgpba.hpp"
-#include "gen/pgsk.hpp"
+#include "gen/generator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/betweenness.hpp"
 #include "graph/graph_io.hpp"
@@ -45,7 +53,18 @@ namespace {
 
 using namespace csb;
 
-/// Minimal --key=value / --flag parser; positional args kept in order.
+/// Thrown on malformed command lines (unknown flag, bad value); main prints
+/// the message and exits 2, distinct from runtime failures (exit 1).
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// --key=value / --flag parser; positional args kept in order. Every
+/// subcommand declares its known flags via require_known, and the numeric
+/// getters parse strictly — both classes of error that the old parser let
+/// through silently (`--egdes=1000` typos, `--edges=10k` suffixes) now fail
+/// with a message naming the offending flag.
 class Args {
  public:
   Args(int argc, char** argv) {
@@ -64,6 +83,26 @@ class Args {
     }
   }
 
+  /// Rejects any flag outside `known` and any positional argument beyond
+  /// `max_positional`, naming the offender and the accepted set.
+  void require_known(const std::string& command,
+                     const std::vector<std::string>& known,
+                     std::size_t max_positional = 0) const {
+    for (const auto& [key, value] : options_) {
+      if (std::find(known.begin(), known.end(), key) == known.end()) {
+        std::string message =
+            "unknown option --" + key + " for '" + command + "' (accepted:";
+        for (const auto& k : known) message += " --" + k;
+        throw UsageError(message + ")");
+      }
+    }
+    if (positional_.size() > max_positional) {
+      throw UsageError("unexpected argument '" +
+                       positional_[max_positional] + "' for '" + command +
+                       "'");
+    }
+  }
+
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const {
     const auto it = options_.find(key);
@@ -72,12 +111,31 @@ class Args {
   [[nodiscard]] std::uint64_t get_u64(const std::string& key,
                                       std::uint64_t fallback) const {
     const auto it = options_.find(key);
-    return it == options_.end() ? fallback : std::stoull(it->second);
+    if (it == options_.end()) return fallback;
+    std::uint64_t value = 0;
+    const std::string& text = it->second;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) {
+      throw UsageError("--" + key + "=" + text +
+                       ": expected an unsigned integer");
+    }
+    return value;
   }
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const {
     const auto it = options_.find(key);
-    return it == options_.end() ? fallback : std::stod(it->second);
+    if (it == options_.end()) return fallback;
+    double value = 0.0;
+    const std::string& text = it->second;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || ptr != text.data() + text.size() ||
+        !std::isfinite(value)) {
+      throw UsageError("--" + key + "=" + text +
+                       ": expected a finite number");
+    }
+    return value;
   }
   [[nodiscard]] bool has(const std::string& key) const {
     return options_.contains(key);
@@ -112,11 +170,23 @@ commands:
       a csb binary graph with NetFlow properties.
 
   generate --seed=seed.bin --out=synth.bin --edges=N
-           [--profile=seed.profile] [--generator=pgpba|pgsk]
-           [--fraction=0.5] [--degree-mode]
+           [--profile=seed.profile] [--algo=NAME] [--no-properties]
            [--nodes=8] [--cores=4] [--partitions=0] [--rng=1]
-           [--graphml=synth.graphml] [--csv=synth.csv]
-      Grow a synthetic property-graph from a seed.
+           [--trace=run.ndjson] [--graphml=synth.graphml] [--csv=synth.csv]
+      Grow a synthetic property-graph from a seed, via any registered
+      generator (csbgen generators lists them with per-algorithm flags;
+      --generator is accepted as an alias of --algo). --trace records the
+      run as csb.trace.v1 NDJSON (spans, counters, memory watermarks) for
+      `csbgen report`.
+
+  generators
+      List the registered generator algorithms.
+
+  report FILE [--check]
+      Pretty-print a csb.trace.v1 NDJSON trace: run metadata, the phase
+      tree, per-stage totals, the serial-segment (Amdahl, Fig. 12)
+      breakdown, counters and memory watermarks. --check validates the
+      schema instead and exits non-zero on any violation.
 
   veracity --seed=seed.bin --synthetic=synth.bin
       Degree and PageRank veracity scores (paper Section V-A; lower is
@@ -158,6 +228,10 @@ std::vector<NetflowRecord> load_flows(const std::string& path) {
 }
 
 int cmd_trace(const Args& args) {
+  args.require_known("trace",
+                     {"out", "sessions", "clients", "servers", "seed",
+                      "netflow", "syn-flood", "host-scan", "network-scan",
+                      "udp-flood", "icmp-flood", "ddos"});
   const std::string out = args.get("out", "capture.pcap");
   TrafficModelConfig config;
   config.benign_sessions = args.get_u64("sessions", 20'000);
@@ -228,24 +302,69 @@ int cmd_trace(const Args& args) {
 }
 
 int cmd_seed(const Args& args) {
+  args.require_known("seed", {"in", "out", "profile", "trace"});
   const std::string in = args.get("in", "");
   const std::string out = args.get("out", "seed.bin");
   CSB_CHECK_MSG(!in.empty(), "seed requires --in=<capture.pcap|flows.csv>");
-  const auto flows = load_flows(in);
-  const PropertyGraph graph = graph_from_netflow(flows);
+
+  // --trace: the seed pipeline has no ClusterSim, so its phases attach via
+  // the process-wide recorder slot (see build_seed_from_packets).
+  std::unique_ptr<TraceRecorder> recorder;
+  if (args.has("trace")) {
+    recorder = std::make_unique<TraceRecorder>();
+    recorder->enable_memory_sampling(true);
+    recorder->set_meta("tool", "csbgen seed");
+    recorder->set_meta("input", in);
+    TraceRecorder::set_current(recorder.get());
+    recorder->record_memory("start");
+  }
+
+  std::vector<NetflowRecord> flows;
+  {
+    PhaseScope phase(recorder.get(), "seed:load");
+    flows = load_flows(in);
+  }
+  PropertyGraph graph;
+  {
+    PhaseScope phase(recorder.get(), "seed:build-graph");
+    graph = graph_from_netflow(flows);
+  }
   save_binary_file(graph, out);
   std::cout << in << ": " << flows.size() << " flows -> " << out << " ("
             << graph.num_vertices() << " vertices, " << graph.num_edges()
             << " edges)\n";
   if (args.has("profile")) {
     const std::string profile_path = args.get("profile", "seed.profile");
-    SeedProfile::analyze(graph).save_file(profile_path);
+    {
+      PhaseScope phase(recorder.get(), "seed:profile");
+      SeedProfile::analyze(graph).save_file(profile_path);
+    }
     std::cout << "wrote " << profile_path << " (fitted distributions)\n";
+  }
+  if (recorder) {
+    recorder->record_memory("end");
+    recorder->record_metrics_snapshot();
+    const std::string trace_path = args.get("trace", "");
+    recorder->write_ndjson_file(trace_path);
+    TraceRecorder::set_current(nullptr);
+    std::cout << "wrote " << trace_path << " (csb.trace.v1)\n";
   }
   return 0;
 }
 
 int cmd_generate(const Args& args) {
+  // --algo picks the registered generator (--generator kept as an alias);
+  // the known-flag set is the base flags plus whatever extras the selected
+  // algorithm publishes, so `--algo=pgsk --fraction=2` is rejected.
+  const std::string algo = args.get("algo", args.get("generator", "pgpba"));
+  const Generator& generator = require_generator(algo);
+  std::vector<std::string> known = {
+      "seed",  "out",        "edges",  "profile", "algo",
+      "generator", "nodes",  "cores",  "partitions", "rng",
+      "no-properties", "trace", "graphml", "csv"};
+  for (const auto& key : generator.extra_options()) known.push_back(key);
+  args.require_known("generate", known);
+
   const std::string seed_path = args.get("seed", "");
   const std::string out = args.get("out", "synthetic.bin");
   CSB_CHECK_MSG(!seed_path.empty(), "generate requires --seed=<seed.bin>");
@@ -254,39 +373,56 @@ int cmd_generate(const Args& args) {
   const SeedProfile profile =
       args.has("profile") ? SeedProfile::load_file(args.get("profile", ""))
                           : SeedProfile::analyze(seed_graph);
-  const std::uint64_t edges =
-      args.get_u64("edges", 10 * seed_graph.num_edges());
+
+  GenConfig config;
+  config.desired_edges = args.get_u64("edges", 10 * seed_graph.num_edges());
+  config.partitions = args.get_u64("partitions", 0);
+  config.seed = args.get_u64("rng", 1);
+  config.with_properties = !args.has("no-properties");
+  for (const auto& key : generator.extra_options()) {
+    if (args.has(key)) config.extra[key] = args.get(key, "");
+  }
 
   ClusterSim cluster(ClusterConfig{
       .nodes = args.get_u64("nodes", 8),
       .cores_per_node = args.get_u64("cores", 4),
   });
-  const std::string generator = args.get("generator", "pgpba");
-  GenResult result;
-  if (generator == "pgpba") {
-    PgpbaOptions options;
-    options.desired_edges = edges;
-    options.fraction = args.get_double("fraction", 0.5);
-    options.partitions = args.get_u64("partitions", 0);
-    options.seed = args.get_u64("rng", 1);
-    if (args.has("degree-mode")) {
-      options.mode = PgpbaAttachMode::kDegreeSampling;
-    }
-    result = pgpba_generate(seed_graph, profile, cluster, options);
-  } else if (generator == "pgsk") {
-    PgskOptions options;
-    options.desired_edges = edges;
-    options.partitions = args.get_u64("partitions", 0);
-    options.seed = args.get_u64("rng", 1);
-    result = pgsk_generate(seed_graph, profile, cluster, options);
-  } else {
-    std::cerr << "unknown --generator=" << generator
-              << " (expected pgpba or pgsk)\n";
-    return 2;
+
+  std::unique_ptr<TraceRecorder> recorder;
+  if (args.has("trace")) {
+    recorder = std::make_unique<TraceRecorder>();
+    // Fresh counters so the trace snapshot is attributable to this run.
+    MetricsRegistry::instance().reset_all();
+    recorder->enable_memory_sampling(true);
+    recorder->set_meta("tool", "csbgen generate");
+    recorder->set_meta("algo", std::string(generator.name()));
+    recorder->set_meta("seed_file", seed_path);
+    recorder->set_meta("nodes", std::to_string(cluster.config().nodes));
+    recorder->set_meta("cores",
+                       std::to_string(cluster.config().cores_per_node));
+    recorder->set_meta("edges", std::to_string(config.desired_edges));
+    recorder->set_meta("rng", std::to_string(config.seed));
+    TraceRecorder::set_current(recorder.get());
+    cluster.set_trace(recorder.get());
+    recorder->record_memory("start");
+  }
+
+  GenResult result = generator.generate(seed_graph, profile, cluster, config);
+
+  if (recorder) {
+    recorder->record_memory("end");
+    recorder->record_metrics_snapshot();
+    const std::string trace_path = args.get("trace", "");
+    recorder->write_ndjson_file(trace_path);
+    cluster.set_trace(nullptr);
+    TraceRecorder::set_current(nullptr);
+    std::cout << "wrote " << trace_path << " (csb.trace.v1, "
+              << recorder->spans().size() << " spans)\n";
   }
 
   save_binary_file(result.graph, out);
-  std::cout << generator << ": " << result.graph.num_edges() << " edges, "
+  std::cout << generator.name() << ": " << result.graph.num_edges()
+            << " edges, "
             << result.graph.num_vertices() << " vertices ("
             << human_bytes(result.graph.memory_bytes()) << ", "
             << result.iterations << " iterations, "
@@ -307,7 +443,168 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
+int cmd_generators(const Args& args) {
+  args.require_known("generators", {});
+  for (const Generator* generator : all_generators()) {
+    std::cout << "  " << std::left << std::setw(12) << generator->name()
+              << generator->description();
+    const auto extras = generator->extra_options();
+    if (!extras.empty()) {
+      std::cout << " [";
+      for (std::size_t i = 0; i < extras.size(); ++i) {
+        std::cout << (i ? " " : "") << "--" << extras[i];
+      }
+      std::cout << "]";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  args.require_known("report", {"in", "check"}, 1);
+  const std::string path = !args.positional().empty() ? args.positional()[0]
+                                                      : args.get("in", "");
+  if (path.empty()) throw UsageError("report requires a trace file argument");
+
+  if (args.has("check")) {
+    std::vector<std::string> errors;
+    const ParsedTrace trace = parse_trace_file(path, &errors);
+    for (const auto& error : errors) {
+      std::cout << path << ": " << error << "\n";
+    }
+    std::cout << path << ": " << trace.records << " records, "
+              << trace.spans.size() << " spans, " << errors.size()
+              << " schema violations\n";
+    return errors.empty() ? 0 : 1;
+  }
+
+  const ParsedTrace trace = parse_trace_file(path);
+  std::cout << path << ": " << kTraceSchemaVersion << ", " << trace.records
+            << " records\n";
+  if (!trace.meta.empty()) {
+    std::cout << "meta:";
+    for (const auto& [key, value] : trace.meta) {
+      std::cout << " " << key << "=" << value;
+    }
+    std::cout << "\n";
+  }
+
+  // Phase tree: phases nest via parent ids; each line shows the phase's
+  // wall time (t1 - t0 on the host clock).
+  std::vector<const SpanRecord*> phases;
+  for (const SpanRecord& span : trace.spans) {
+    if (span.kind == "phase") phases.push_back(&span);
+  }
+  if (!phases.empty()) {
+    std::cout << "phases:\n";
+    const std::function<void(std::uint64_t, int)> print_children =
+        [&](std::uint64_t parent, int depth) {
+          for (const SpanRecord* phase : phases) {
+            if (phase->parent != parent) continue;
+            std::cout << std::string(2 * (depth + 1), ' ') << std::left
+                      << std::setw(std::max(2, 24 - 2 * depth))
+                      << phase->name << std::setprecision(6) << std::fixed
+                      << (phase->t1 - phase->t0) << " s\n";
+            print_children(phase->id, depth + 1);
+          }
+        };
+    print_children(0, 0);
+  }
+
+  // Stage table: aggregate by name, preserving first-seen order.
+  struct StageAgg {
+    std::string name;
+    std::uint64_t spans = 0;
+    std::uint64_t tasks = 0;
+    double task_seconds = 0.0;
+    double booked_seconds = 0.0;
+  };
+  std::vector<StageAgg> stages;
+  double parallel_booked = 0.0;
+  double serial_booked = 0.0;
+  std::vector<StageAgg> serials;
+  for (const SpanRecord& span : trace.spans) {
+    auto& table = span.kind == "stage" ? stages : serials;
+    if (span.kind == "stage") {
+      parallel_booked += span.seconds;
+    } else if (span.kind == "serial") {
+      serial_booked += span.seconds;
+    } else {
+      continue;
+    }
+    const auto it =
+        std::find_if(table.begin(), table.end(),
+                     [&span](const StageAgg& a) { return a.name == span.name; });
+    StageAgg& agg = it != table.end() ? *it : table.emplace_back();
+    agg.name = span.name;
+    agg.spans += 1;
+    agg.tasks += span.tasks;
+    agg.task_seconds += span.task_seconds;
+    agg.booked_seconds += span.seconds;
+  }
+  const double simulated = parallel_booked + serial_booked;
+  if (!stages.empty()) {
+    std::cout << "stages:\n  " << std::left << std::setw(20) << "name"
+              << std::right << std::setw(8) << "spans" << std::setw(10)
+              << "tasks" << std::setw(14) << "task-s" << std::setw(14)
+              << "booked-s\n";
+    for (const StageAgg& agg : stages) {
+      std::cout << "  " << std::left << std::setw(20) << agg.name
+                << std::right << std::setw(8) << agg.spans << std::setw(10)
+                << agg.tasks << std::setw(14) << std::setprecision(6)
+                << std::fixed << agg.task_seconds << std::setw(14)
+                << agg.booked_seconds << "\n";
+    }
+  }
+  if (!serials.empty()) {
+    std::cout << "serial segments (Amdahl breakdown, Fig. 12):\n";
+    for (const StageAgg& agg : serials) {
+      std::cout << "  " << std::left << std::setw(20) << agg.name
+                << std::right << std::setw(14) << std::setprecision(6)
+                << std::fixed << agg.booked_seconds << " s  "
+                << std::setprecision(2)
+                << (simulated > 0.0 ? 100.0 * agg.booked_seconds / simulated
+                                    : 0.0)
+                << "% of simulated\n";
+    }
+  }
+  if (simulated > 0.0) {
+    std::cout << "simulated: " << std::setprecision(6) << std::fixed
+              << simulated << " s (parallel " << parallel_booked
+              << " s + serial " << serial_booked << " s)\n";
+  }
+
+  if (!trace.benches.empty()) {
+    std::cout << "bench records:\n";
+    for (const BenchRecord& bench : trace.benches) {
+      std::cout << "  " << bench.name << ":";
+      for (const auto& [key, value] : bench.fields) {
+        std::cout << " " << key << "=" << value.dump();
+      }
+      std::cout << "\n";
+    }
+  }
+  if (!trace.counters.empty()) {
+    std::cout << "counters:\n";
+    for (const CounterRecord& counter : trace.counters) {
+      std::cout << "  " << std::left << std::setw(28) << counter.name
+                << with_commas(counter.value) << "\n";
+    }
+  }
+  if (!trace.mems.empty()) {
+    std::cout << "memory:\n";
+    for (const MemRecord& mem : trace.mems) {
+      std::cout << "  " << std::left << std::setw(20) << mem.label << "rss "
+                << human_bytes(mem.rss_bytes) << ", peak "
+                << human_bytes(mem.hwm_bytes) << "\n";
+    }
+  }
+  return 0;
+}
+
 int cmd_veracity(const Args& args) {
+  args.require_known("veracity", {"seed", "synthetic"});
   const std::string seed_path = args.get("seed", "");
   const std::string synth_path = args.get("synthetic", "");
   CSB_CHECK_MSG(!seed_path.empty() && !synth_path.empty(),
@@ -323,6 +620,7 @@ int cmd_veracity(const Args& args) {
 }
 
 int cmd_detect(const Args& args) {
+  args.require_known("detect", {"in", "baseline", "window-s"});
   const std::string in = args.get("in", "");
   CSB_CHECK_MSG(!in.empty(), "detect requires --in=<flows.csv|capture.pcap>");
   const auto flows = load_flows(in);
@@ -385,6 +683,7 @@ PropertyGraph load_graph(const std::string& path) {
 }
 
 int cmd_info(const Args& args) {
+  args.require_known("info", {"in"});
   const std::string in = args.get("in", "");
   CSB_CHECK_MSG(!in.empty(), "info requires --in=<graph.bin|graph.graphml>");
   const PropertyGraph graph = load_graph(in);
@@ -407,6 +706,7 @@ int cmd_info(const Args& args) {
 }
 
 int cmd_analyze(const Args& args) {
+  args.require_known("analyze", {"in", "top", "betweenness-samples"});
   const std::string in = args.get("in", "");
   CSB_CHECK_MSG(!in.empty(), "analyze requires --in=<graph.bin|graph.graphml>");
   const PropertyGraph graph = load_graph(in);
@@ -469,6 +769,7 @@ int cmd_analyze(const Args& args) {
 }
 
 int cmd_workload(const Args& args) {
+  args.require_known("workload", {"in", "queries", "threads", "rng"});
   const std::string in = args.get("in", "");
   CSB_CHECK_MSG(!in.empty(), "workload requires --in=<graph.bin|graph.graphml>");
   const PropertyGraph graph = load_graph(in);
@@ -502,6 +803,8 @@ int main(int argc, char** argv) {
     if (command == "trace") return cmd_trace(args);
     if (command == "seed") return cmd_seed(args);
     if (command == "generate") return cmd_generate(args);
+    if (command == "generators") return cmd_generators(args);
+    if (command == "report") return cmd_report(args);
     if (command == "veracity") return cmd_veracity(args);
     if (command == "detect") return cmd_detect(args);
     if (command == "info") return cmd_info(args);
@@ -511,6 +814,10 @@ int main(int argc, char** argv) {
       print_usage();
       return 0;
     }
+  } catch (const UsageError& error) {
+    std::cerr << "csbgen " << command << ": " << error.what()
+              << "\nrun 'csbgen help' for usage\n";
+    return 2;
   } catch (const std::exception& error) {
     std::cerr << "csbgen " << command << ": " << error.what() << "\n";
     return 1;
