@@ -1,0 +1,102 @@
+// Serial-fraction gate bench: one PGSK run at a fixed 8-virtual-node
+// cluster, reporting the Amdahl decomposition that bounds fig12's speedup
+// — serial_seconds / simulated_seconds plus the per-prefix serial split
+// (collapse planning vs KronFit driver vs everything else).
+//
+// scripts/check_bench_regress.sh diffs the `--json` output against the
+// committed BENCH_observability.json baseline and fails the build when the
+// serial fraction regresses: a change that quietly moves collapse or
+// KronFit work back onto the driver shows up here long before fig12's
+// full node sweep is rerun. No google-benchmark dependency, so the gate
+// runs in every configuration including sanitized trees.
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "bench_support/report.hpp"
+#include "common.hpp"
+#include "gen/pgsk.hpp"
+#include "obs/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csb;
+  print_experiment_header(
+      "serial fraction — PGSK Amdahl decomposition at 8 virtual nodes",
+      "collapse and KronFit inner passes run as stages; only planning and "
+      "the cached Metropolis chain stay driver-serial.");
+
+  constexpr std::size_t kNodes = 8;
+  constexpr std::size_t kCoresPerNode = 2;
+  constexpr std::size_t kPartitions = 2 * kNodes * kCoresPerNode;
+  constexpr int kRepeats = 3;
+
+  const SeedBundle seed = bench::default_seed(bench::scaled(120'000));
+  const std::uint64_t pgsk_target = 8 * seed.graph.num_edges();
+
+  // Best of kRepeats, same policy as fig12: the minimum simulated time is
+  // the least host-noise-contaminated sample of the cost model.
+  double best = 1e18;
+  JobMetrics metrics;
+  for (int r = 0; r < kRepeats; ++r) {
+    ClusterSim cluster(ClusterConfig{.nodes = kNodes,
+                                     .cores_per_node = kCoresPerNode,
+                                     .smooth_task_durations = true});
+    PgskOptions options;
+    options.desired_edges = pgsk_target;
+    options.partitions = kPartitions;
+    options.fit.gradient_iterations = 60;
+    options.fit.swaps_per_iteration = 100;
+    options.fit.burn_in_swaps = 3000;
+    const GenResult result =
+        pgsk_generate(seed.graph, seed.profile, cluster, options);
+    if (result.metrics.simulated_seconds < best) {
+      best = result.metrics.simulated_seconds;
+      metrics = result.metrics;
+    }
+  }
+
+  const auto prefix_seconds = [&](const std::string& prefix) {
+    double total = 0.0;
+    for (const SerialSegment& segment : metrics.serial_segments) {
+      if (segment.name.rfind(prefix, 0) == 0) total += segment.seconds;
+    }
+    return total;
+  };
+  const double collapse_s = prefix_seconds("collapse");
+  const double kronfit_s = prefix_seconds("kronfit");
+  const double other_s = metrics.serial_seconds - collapse_s - kronfit_s;
+  const double fraction =
+      metrics.simulated_seconds > 0.0
+          ? metrics.serial_seconds / metrics.simulated_seconds
+          : 0.0;
+
+  ReportTable table("PGSK serial fraction (best of " +
+                        std::to_string(kRepeats) + " repeats)",
+                    {"nodes", "simulated_s", "serial_s", "serial_fraction",
+                     "collapse_s", "kronfit_s", "other_s"});
+  table.add_row({cell_u64(kNodes), cell_fixed(metrics.simulated_seconds, 3),
+                 cell_fixed(metrics.serial_seconds, 3),
+                 cell_fixed(fraction, 4), cell_fixed(collapse_s, 3),
+                 cell_fixed(kronfit_s, 3), cell_fixed(other_s, 3)});
+  table.print();
+  std::cout << "\n(serial_fraction = serial_s / simulated_s; bounds the "
+               "achievable fig12 speedup via Amdahl's law)\n";
+
+  if (const std::string json = json_output_path(argc, argv); !json.empty()) {
+    TraceFileWriter writer(json);
+    writer.write_meta({{"tool", "serial_fraction"}});
+    BenchRecord record;
+    record.name = "pgsk_serial_fraction_8nodes";
+    record.fields.emplace_back("simulated_seconds",
+                               JsonValue(metrics.simulated_seconds));
+    record.fields.emplace_back("serial_seconds",
+                               JsonValue(metrics.serial_seconds));
+    record.fields.emplace_back("serial_fraction", JsonValue(fraction));
+    record.fields.emplace_back("collapse_serial_s", JsonValue(collapse_s));
+    record.fields.emplace_back("kronfit_serial_s", JsonValue(kronfit_s));
+    record.fields.emplace_back("other_serial_s", JsonValue(other_s));
+    writer.write_bench(record);
+    std::cout << "wrote " << json << " (csb.trace.v1)\n";
+  }
+  return 0;
+}

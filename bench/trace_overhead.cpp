@@ -37,17 +37,11 @@ double median_ms(std::vector<double> samples) {
 }
 
 template <typename Fn>
-double timed_median_ms(int reps, Fn&& body) {
-  std::vector<double> samples;
-  samples.reserve(static_cast<std::size_t>(reps));
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    body();
-    const auto t1 = std::chrono::steady_clock::now();
-    samples.push_back(
-        std::chrono::duration<double, std::milli>(t1 - t0).count());
-  }
-  return median_ms(std::move(samples));
+double timed_once_ms(Fn&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
 struct KernelResult {
@@ -62,9 +56,13 @@ struct KernelResult {
   }
 };
 
-/// Times `body` once with cluster.set_trace(nullptr) and once with a fresh
-/// recorder attached; the recorder accumulates spans across all repetitions,
-/// which is the worst case for its bookkeeping.
+/// Times `body` with the recorder detached and attached in strict
+/// alternation and reports the median of each series. Back-to-back blocks
+/// (all detached reps, then all attached reps) let host drift — frequency
+/// scaling, page cache, a neighbor container — land entirely on one side
+/// and exceed the effect being measured; interleaving puts both sides under
+/// the same drift, so the medians stay comparable. The recorder accumulates
+/// spans across all repetitions, the worst case for its bookkeeping.
 template <typename Fn>
 KernelResult measure(const std::string& name, ClusterSim& cluster, int reps,
                      Fn&& body) {
@@ -72,11 +70,20 @@ KernelResult measure(const std::string& name, ClusterSim& cluster, int reps,
   result.name = name;
   cluster.set_trace(nullptr);
   body();  // warm-up (page-in, allocator steady state)
-  result.detached_ms = timed_median_ms(reps, body);
   TraceRecorder recorder;
-  cluster.set_trace(&recorder);
-  result.attached_ms = timed_median_ms(reps, body);
+  std::vector<double> detached;
+  std::vector<double> attached;
+  detached.reserve(static_cast<std::size_t>(reps));
+  attached.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    cluster.set_trace(nullptr);
+    detached.push_back(timed_once_ms(body));
+    cluster.set_trace(&recorder);
+    attached.push_back(timed_once_ms(body));
+  }
   cluster.set_trace(nullptr);
+  result.detached_ms = median_ms(std::move(detached));
+  result.attached_ms = median_ms(std::move(attached));
   return result;
 }
 
@@ -99,6 +106,9 @@ int main(int argc, char** argv) {
       threshold_pct = std::atof(arg.c_str() + std::strlen("--threshold="));
     }
   }
+  // Gate mode needs enough samples for the medians to shrug off a single
+  // descheduled repetition; --reps below 5 is only honored for smoke runs.
+  if (assert_threshold) reps = std::max(reps, 5);
 
   print_experiment_header(
       "trace overhead — recorder attached vs detached",

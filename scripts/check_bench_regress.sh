@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Perf-regression gate: reruns the two cheap observability benches and diffs
+# their csb.trace.v1 output against the committed BENCH_observability.json
+# baseline.
+#   - bench/serial_fraction  — PGSK's Amdahl decomposition at 8 virtual
+#     nodes. A change that moves collapse or KronFit work back onto the
+#     driver raises serial_fraction and fails here long before anyone reruns
+#     the full fig12 node sweep.
+#   - bench/trace_overhead   — the detached-recorder medians for the two hot
+#     kernels; catches gross slowdowns of the distinct()/KronFit paths
+#     themselves.
+# Thresholds are deliberately generous (shared CI hosts are noisy): the gate
+# exists to catch structural regressions — a serial fraction that doubles, a
+# kernel that gets 3x slower — not single-digit-percent drift. Refresh the
+# baseline in the same PR as any intentional perf change:
+#   ./build/bench/micro_generators --benchmark_out=... (see docs/observability.md)
+#
+# BUILD_DIR overrides the build tree (default: build).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${BUILD_DIR:-build}"
+BASELINE="BENCH_observability.json"
+[[ -f "$BASELINE" ]] || { echo "SKIP: no $BASELINE baseline committed"; exit 0; }
+
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target serial_fraction trace_overhead
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/bench/serial_fraction" --json="$TMP/serial_fraction.ndjson"
+"$BUILD/bench/trace_overhead" --reps=5 --json="$TMP/trace_overhead.ndjson"
+
+python3 - "$BASELINE" "$TMP/serial_fraction.ndjson" "$TMP/trace_overhead.ndjson" <<'EOF'
+import json
+import sys
+
+def load(path):
+    records = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("type") == "bench":
+                records[rec["name"]] = rec["fields"]
+    return records
+
+baseline = load(sys.argv[1])
+fresh = {}
+for path in sys.argv[2:]:
+    fresh.update(load(path))
+
+failures = []
+
+# Serial fraction: fail when the fresh fraction exceeds the committed one
+# beyond noise. Absolute slack covers the tiny-denominator case, the ratio
+# covers everything else.
+name = "pgsk_serial_fraction_8nodes"
+if name not in baseline:
+    print(f"SKIP serial-fraction check: no '{name}' record in baseline")
+elif name not in fresh:
+    failures.append(f"{name}: bench produced no record")
+else:
+    base = baseline[name]["serial_fraction"]
+    now = fresh[name]["serial_fraction"]
+    limit = max(base * 1.5, base + 0.05)
+    status = "OK" if now <= limit else "FAIL"
+    print(f"{status} {name}: serial_fraction {now:.4f} "
+          f"(baseline {base:.4f}, limit {limit:.4f})")
+    if now > limit:
+        failures.append(f"{name}: serial_fraction {now:.4f} > limit {limit:.4f}")
+
+# Micro kernels: detached medians (the recorder-off cost of the kernels
+# themselves). 3x covers CI-host variance; structural slowdowns are larger.
+for name in ("distinct_dedup_100k", "kronfit_serial_segment"):
+    if name not in baseline or name not in fresh:
+        print(f"SKIP {name}: missing from baseline or fresh run")
+        continue
+    base = baseline[name]["detached_ms"]
+    now = fresh[name]["detached_ms"]
+    limit = base * 3.0
+    status = "OK" if now <= limit else "FAIL"
+    print(f"{status} {name}: detached {now:.3f} ms "
+          f"(baseline {base:.3f} ms, limit {limit:.3f} ms)")
+    if now > limit:
+        failures.append(f"{name}: detached {now:.3f} ms > limit {limit:.3f} ms")
+
+if failures:
+    print("FAIL: bench regression vs committed baseline:", file=sys.stderr)
+    for failure in failures:
+        print(f"  - {failure}", file=sys.stderr)
+    sys.exit(1)
+print("OK: benches within baseline thresholds")
+EOF

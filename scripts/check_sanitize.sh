@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER="${1:-ClusterSim|Dataset|ThreadPool|FlatSet|ListSchedule|Operations|Trace|Metrics|Json|MemWatch|GeneratorRegistry}"
+FILTER="${1:-ClusterSim|Dataset|ThreadPool|FlatSet|ListSchedule|Operations|Trace|Metrics|Json|MemWatch|GeneratorRegistry|SimplifyParallel|KronFit|ParallelFor}"
 
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -28,3 +28,7 @@ ctest --test-dir build-asan -R "$FILTER" --output-on-failure -j "$(nproc)"
 # Recorder attach/detach under sanitizers; no timing assertion (ASan skews
 # per-kernel cost), the run itself is the memory/UB gate.
 ./build-asan/bench/trace_overhead --reps=2
+
+# Perf gate runs against the regular (non-sanitized) tree: serial-fraction
+# and kernel medians vs the committed BENCH_observability.json baseline.
+./scripts/check_bench_regress.sh

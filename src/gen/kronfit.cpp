@@ -1,12 +1,17 @@
 #include "gen/kronfit.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
+#include <functional>
 #include <vector>
 
+#include "mr/cluster.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace csb {
 
@@ -91,15 +96,33 @@ class FitState {
     }
   }
 
-  /// Rebuilds the theta-dependent caches (per-edge p and likelihood term,
-  /// and their sum) from the sigma-dependent counts. O(|E|), no logs.
-  void refresh_theta(const ThetaTables& tables) {
-    term_sum_ = 0.0;
-    for (std::size_t e = 0; e < edges_.size(); ++e) {
+  /// One chunk of the theta-cache rebuild: per-edge p and likelihood term
+  /// for [chunk.begin, chunk.end), plus that chunk's term partial sum. The
+  /// caller reduces partials in chunk-index order and installs the total
+  /// with set_term_sum — chunk boundaries are fixed-size, so the sum is
+  /// bit-identical no matter how many threads ran the chunks. O(chunk), no
+  /// logs.
+  void refresh_theta_chunk(const ThetaTables& tables, const ChunkRange& chunk,
+                           double* partial) {
+    double sum = 0.0;
+    for (std::size_t e = chunk.begin; e < chunk.end; ++e) {
       const double p = prob_of(tables, counts_[e]);
       edge_p_[e] = p;
       edge_term_[e] = term_of(tables, counts_[e], p);
-      term_sum_ += edge_term_[e];
+      sum += edge_term_[e];
+    }
+    *partial = sum;
+  }
+
+  void set_term_sum(double total) noexcept { term_sum_ = total; }
+
+  /// One chunk of the sigma-dependent recount: rebuilds counts_ from the
+  /// current sigma. Per-edge writes only, so any execution order gives the
+  /// same result. This is the reconciliation sweep that repairs the caches
+  /// after the sharded burn-in left cross-shard edges stale.
+  void recount_chunk(const ChunkRange& chunk) {
+    for (std::size_t e = chunk.begin; e < chunk.end; ++e) {
+      counts_[e] = cell_counts(edges_[e].first, edges_[e].second);
     }
   }
 
@@ -154,9 +177,9 @@ class FitState {
     return false;
   }
 
-  /// Accumulates the likelihood gradient w.r.t. each theta entry. O(|E|):
-  /// the per-edge cell counts and probabilities come from the caches.
-  void gradient(const Initiator& init, double grad[2][2]) const {
+  /// Empty-graph (Taylor) part of the likelihood gradient — the edge-free
+  /// base the chunk partials below are added onto.
+  void gradient_base(const Initiator& init, double grad[2][2]) const {
     const double sum = init.sum();
     const double sum_sq = init.sum_sq();
     const double d_empty =
@@ -164,22 +187,91 @@ class FitState {
     const double d_empty_sq =
         -static_cast<double>(k_) *
         std::pow(sum_sq, static_cast<double>(k_ - 1));
-    double inv_theta[2][2];
     for (int i = 0; i < 2; ++i) {
       for (int j = 0; j < 2; ++j) {
         grad[i][j] = d_empty + d_empty_sq * init.theta[i][j];
-        inv_theta[i][j] = 1.0 / init.theta[i][j];
       }
     }
-    for (std::size_t e = 0; e < edges_.size(); ++e) {
+  }
+
+  /// One chunk of the per-edge gradient accumulation (cell counts and
+  /// probabilities from the caches). Partials are combined base-first, then
+  /// in chunk-index order — bit-identical across thread counts.
+  void gradient_chunk(const Initiator& init, const ChunkRange& chunk,
+                      std::array<double, 4>& partial) const {
+    double inv_theta[2][2];
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 2; ++j) inv_theta[i][j] = 1.0 / init.theta[i][j];
+    }
+    partial = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t e = chunk.begin; e < chunk.end; ++e) {
       const CellCounts& counts = counts_[e];
       const double p = edge_p_[e];
       const double common = 1.0 + p + p * p;
       for (int i = 0; i < 2; ++i) {
         for (int j = 0; j < 2; ++j) {
           if (counts.c[i][j] == 0) continue;
-          grad[i][j] += common * counts.c[i][j] * inv_theta[i][j];
+          partial[2 * i + j] += common * counts.c[i][j] * inv_theta[i][j];
         }
+      }
+    }
+  }
+
+  /// One burn-in Metropolis chain confined to the sigma slice
+  /// [n*shard/shards, n*(shard+1)/shards): proposals swap labels of two
+  /// in-range nodes and score only edges with BOTH endpoints in range, so
+  /// concurrent shards never read each other's sigma entries — race-free
+  /// and deterministic for a fixed shard count regardless of thread count.
+  /// Cross-shard edges are deliberately ignored (the burn-in is a warm
+  /// start, not the objective); the caches they leave stale are rebuilt by
+  /// the reconciliation recount + refresh that must follow.
+  void burn_in_shard(const ThetaTables& tables, std::uint64_t seed,
+                     std::uint32_t shard, std::uint32_t shards,
+                     std::uint32_t proposals, std::uint64_t* accepted) {
+    const std::uint64_t lo = n_ * shard / shards;
+    const std::uint64_t hi = n_ * (shard + 1) / shards;
+    *accepted = 0;
+    if (hi - lo < 2) return;
+    Rng rng = Rng(seed).fork(shard + 1);
+    std::vector<std::size_t> affected;
+    const auto in_range = [lo, hi](std::uint64_t node) {
+      return node >= lo && node < hi;
+    };
+    for (std::uint32_t p = 0; p < proposals; ++p) {
+      const std::uint64_t a = lo + rng.uniform(hi - lo);
+      const std::uint64_t b = lo + rng.uniform(hi - lo);
+      if (a == b) continue;
+      affected.clear();
+      for (const std::size_t e : incident_[a]) {
+        const auto& [u, v] = edges_[e];
+        if (in_range(u) && in_range(v)) affected.push_back(e);
+      }
+      for (const std::size_t e : incident_[b]) {
+        const auto& [u, v] = edges_[e];
+        if (u == a || v == a) continue;  // already collected via a
+        if (in_range(u) && in_range(v)) affected.push_back(e);
+      }
+      // No caches during burn-in: score the affected edges directly before
+      // and after the swap (twice the arithmetic of the cached chain, but
+      // only on the intra-shard incident edges of two nodes).
+      double before = 0.0;
+      for (const std::size_t e : affected) {
+        const CellCounts counts =
+            cell_counts(edges_[e].first, edges_[e].second);
+        before += term_of(tables, counts, prob_of(tables, counts));
+      }
+      std::swap(sigma_[a], sigma_[b]);
+      double after = 0.0;
+      for (const std::size_t e : affected) {
+        const CellCounts counts =
+            cell_counts(edges_[e].first, edges_[e].second);
+        after += term_of(tables, counts, prob_of(tables, counts));
+      }
+      const double delta = after - before;
+      if (delta >= 0.0 || rng.uniform_double() < std::exp(delta)) {
+        ++*accepted;
+      } else {
+        std::swap(sigma_[a], sigma_[b]);  // reject
       }
     }
   }
@@ -277,6 +369,11 @@ struct FitRun {
   ThetaTables tables;
 };
 
+/// Fixed chunk width of the O(|E|) passes. Part of the result's identity
+/// (the ordered partial-sum reduction follows these boundaries), so it must
+/// not depend on the executing pool — only on this constant.
+constexpr std::size_t kPassChunk = 4096;
+
 FitRun run_kronfit(const PropertyGraph& graph, const KronFitOptions& options) {
   CSB_CHECK_MSG(graph.num_vertices() >= 2, "kronfit needs >= 2 vertices");
   CSB_CHECK_MSG(graph.num_edges() >= 1, "kronfit needs >= 1 edge");
@@ -289,6 +386,53 @@ FitRun run_kronfit(const PropertyGraph& graph, const KronFitOptions& options) {
   Initiator& init = run.init;
   FitState& state = run.state;
   ThetaTables& tables = run.tables;
+
+  ClusterSim* const cluster = options.cluster;
+  ThreadPool* const pool =
+      cluster != nullptr ? &cluster->pool() : options.pool;
+
+  // Books `work` as driver-serial time when a cluster is attached. The
+  // cached Metropolis chain and the O(1) theta updates are KronFit's honest
+  // Amdahl residue; the O(|E|) passes below run as stages instead.
+  const auto serial = [&](const std::function<void()>& work) {
+    if (cluster != nullptr) {
+      cluster->run_serial("kronfit:driver", work);
+    } else {
+      work();
+    }
+  };
+
+  // Runs `count` indexed bodies as a ClusterSim stage (cluster attached),
+  // on the pool, or inline. The index decomposition never depends on the
+  // vehicle, so all three paths leave bit-identical state.
+  const auto run_indexed = [&](const char* name, std::size_t count,
+                               const std::function<void(std::size_t)>& body) {
+    if (cluster != nullptr) {
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        tasks.push_back([&body, i] { body(i); });
+      }
+      cluster->run_stage(name, std::move(tasks));
+    } else {
+      parallel_for_fixed_chunks(
+          pool, 0, count, 1, [&body](const ChunkRange& c) {
+            for (std::size_t i = c.begin; i < c.end; ++i) body(i);
+          });
+    }
+  };
+
+  const auto pass_chunks = make_fixed_chunks(0, state.edge_count(), kPassChunk);
+  std::vector<double> term_partials(pass_chunks.size(), 0.0);
+  const auto refresh_theta = [&] {
+    run_indexed("kronfit:refresh", pass_chunks.size(), [&](std::size_t i) {
+      state.refresh_theta_chunk(tables, pass_chunks[i], &term_partials[i]);
+    });
+    // Chunk-index-order reduction: independent of which thread ran what.
+    double total = 0.0;
+    for (const double partial : term_partials) total += partial;
+    state.set_term_sum(total);
+  };
 
   // Density projection: rescale theta so the expected edge count at order k
   // matches the observed graph. Applied at init and after every gradient
@@ -306,42 +450,78 @@ FitRun run_kronfit(const PropertyGraph& graph, const KronFitOptions& options) {
       }
     }
   };
-  project_density(init);
-  tables.build(init, k);
-  state.refresh_theta(tables);
+  serial([&] {
+    project_density(init);
+    tables.build(init, k);
+  });
+  refresh_theta();
 
   // Swap tallies are kept in locals and flushed to the registry once at the
-  // end — zero atomics inside the Metropolis loop.
+  // end — zero atomics inside the Metropolis loops.
   std::uint64_t swaps_proposed = 0;
   std::uint64_t swaps_accepted = 0;
-  for (std::uint32_t s = 0; s < options.burn_in_swaps; ++s) {
-    ++swaps_proposed;
-    if (state.try_swap(tables, rng)) ++swaps_accepted;
+
+  // Sharded burn-in: independent per-shard chains over disjoint sigma
+  // ranges, followed by the reconciliation sweep (recount + refresh) that
+  // rebuilds the caches the shard-local scoring left stale.
+  if (options.burn_in_swaps > 0) {
+    const std::uint32_t shards =
+        std::max<std::uint32_t>(1, options.burn_in_shards);
+    std::vector<std::uint64_t> shard_accepted(shards, 0);
+    run_indexed("kronfit:burnin", shards, [&](std::size_t s) {
+      const auto shard = static_cast<std::uint32_t>(s);
+      const std::uint32_t proposals =
+          options.burn_in_swaps / shards +
+          (shard < options.burn_in_swaps % shards ? 1 : 0);
+      state.burn_in_shard(tables, options.seed, shard, shards, proposals,
+                          &shard_accepted[s]);
+    });
+    swaps_proposed += options.burn_in_swaps;
+    for (const std::uint64_t accepted : shard_accepted) {
+      swaps_accepted += accepted;
+    }
+    run_indexed("kronfit:recount", pass_chunks.size(), [&](std::size_t i) {
+      state.recount_chunk(pass_chunks[i]);
+    });
+    refresh_theta();
   }
 
   const double lr =
       options.learning_rate / static_cast<double>(state.edge_count());
+  std::vector<std::array<double, 4>> grad_partials(pass_chunks.size());
   for (std::uint32_t iter = 0; iter < options.gradient_iterations; ++iter) {
-    for (std::uint32_t s = 0; s < options.swaps_per_iteration; ++s) {
-      ++swaps_proposed;
-      if (state.try_swap(tables, rng)) ++swaps_accepted;
-    }
-    double grad[2][2];
-    state.gradient(init, grad);
-    for (int i = 0; i < 2; ++i) {
-      for (int j = 0; j < 2; ++j) {
-        init.theta[i][j] = std::clamp(init.theta[i][j] + lr * grad[i][j],
-                                      options.min_theta, options.max_theta);
+    serial([&] {
+      for (std::uint32_t s = 0; s < options.swaps_per_iteration; ++s) {
+        ++swaps_proposed;
+        if (state.try_swap(tables, rng)) ++swaps_accepted;
       }
-    }
-    project_density(init);
-    // Keep the canonical orientation (theta11 is the densest corner); the
-    // likelihood is invariant under simultaneous row/column flips.
-    if (init.theta[1][1] > init.theta[0][0]) {
-      std::swap(init.theta[0][0], init.theta[1][1]);
-    }
-    tables.build(init, k);
-    state.refresh_theta(tables);
+    });
+    run_indexed("kronfit:gradient", pass_chunks.size(), [&](std::size_t i) {
+      state.gradient_chunk(init, pass_chunks[i], grad_partials[i]);
+    });
+    serial([&] {
+      double grad[2][2];
+      state.gradient_base(init, grad);
+      for (const auto& partial : grad_partials) {
+        for (int i = 0; i < 2; ++i) {
+          for (int j = 0; j < 2; ++j) grad[i][j] += partial[2 * i + j];
+        }
+      }
+      for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+          init.theta[i][j] = std::clamp(init.theta[i][j] + lr * grad[i][j],
+                                        options.min_theta, options.max_theta);
+        }
+      }
+      project_density(init);
+      // Keep the canonical orientation (theta11 is the densest corner); the
+      // likelihood is invariant under simultaneous row/column flips.
+      if (init.theta[1][1] > init.theta[0][0]) {
+        std::swap(init.theta[0][0], init.theta[1][1]);
+      }
+      tables.build(init, k);
+    });
+    refresh_theta();
   }
   static Counter& proposed =
       MetricsRegistry::instance().counter("kronfit.swaps_proposed");

@@ -24,6 +24,9 @@
 
 namespace csb {
 
+class ThreadPool;
+class ClusterSim;
+
 /// A 2x2 stochastic initiator matrix; entries in (0, 1).
 struct Initiator {
   // theta[i][j] = probability weight of cell (i, j).
@@ -51,6 +54,25 @@ struct KronFitOptions {
   double max_theta = 0.98;
   std::uint64_t seed = 7;
   Initiator init{};
+  /// Independent Metropolis chains for the burn-in, each confined to a
+  /// disjoint sigma range (scoring only intra-range edges) so the chains
+  /// are race-free and their result is independent of thread scheduling.
+  /// Deliberately NOT derived from the executing pool's size: the shard
+  /// count is part of the result's identity, the pool is not. A serial
+  /// reconciliation sweep rebuilds the likelihood caches afterwards.
+  std::uint32_t burn_in_shards = 4;
+  /// Execution vehicle for the chunked O(|E|) passes (refresh/gradient/
+  /// recount) and the sharded burn-in. Chunk boundaries are fixed-size and
+  /// partial sums reduce in chunk-index order, so the fitted initiator is
+  /// bit-identical across pool sizes — and identical to the inline path
+  /// when `pool` is null.
+  ThreadPool* pool = nullptr;
+  /// When set, overrides `pool` with the cluster's, books every chunked
+  /// pass as a ClusterSim *stage* and the Metropolis/driver sections as
+  /// "kronfit:driver" serial segments — this is what shrinks PGSK's
+  /// driver-serial Amdahl term honestly (results still bit-identical to
+  /// the pool/inline paths).
+  ClusterSim* cluster = nullptr;
 };
 
 struct KronFitResult {

@@ -12,40 +12,41 @@ PropertyGraph materialize_graph(const Dataset<Edge>& edges,
                                 std::uint64_t vertices, bool with_properties,
                                 ClusterSim& cluster) {
   const std::uint64_t m = edges.count();
-  // The endpoint-column allocation is real driver-serial work (the zeroing
-  // write of 16 bytes/edge); book it so the makespan accounting sees it.
+  // Everything the driver does before the fill stage is booked as one
+  // serial segment: the endpoint-column allocation (the zeroing write of
+  // 16 bytes/edge is real work), the per-partition prefix-sum offsets, and
+  // the fill-task construction. Building the closures outside the segment
+  // would leave O(partitions) driver work out of the makespan.
   std::vector<VertexId> src;
   std::vector<VertexId> dst;
+  std::vector<std::uint64_t> offset;
+  std::vector<VertexId> max_endpoint(edges.num_partitions(), 0);
+  std::vector<std::function<void()>> tasks;
   cluster.run_serial("materialize:alloc", [&] {
     src.resize(m);
     dst.resize(m);
+    offset.assign(edges.num_partitions() + 1, 0);
+    for (std::size_t p = 0; p < edges.num_partitions(); ++p) {
+      offset[p + 1] = offset[p] + edges.partition(p).size();
+    }
+    // Fill tasks also validate endpoints (per-partition max), keeping the
+    // O(|E|) scan off the driver.
+    tasks.reserve(edges.num_partitions());
+    for (std::size_t p = 0; p < edges.num_partitions(); ++p) {
+      if (edges.partition(p).empty()) continue;
+      tasks.push_back([&edges, &src, &dst, &offset, &max_endpoint, p] {
+        std::uint64_t at = offset[p];
+        VertexId max_seen = 0;
+        for (const Edge& e : edges.partition(p)) {
+          src[at] = e.src;
+          dst[at] = e.dst;
+          max_seen = std::max({max_seen, e.src, e.dst});
+          ++at;
+        }
+        max_endpoint[p] = max_seen;
+      });
+    }
   });
-
-  // Per-partition output offsets (driver-side prefix sum, O(partitions)).
-  std::vector<std::uint64_t> offset(edges.num_partitions() + 1, 0);
-  for (std::size_t p = 0; p < edges.num_partitions(); ++p) {
-    offset[p + 1] = offset[p] + edges.partition(p).size();
-  }
-
-  // Fill tasks also validate endpoints (per-partition max), keeping the
-  // O(|E|) scan off the driver.
-  std::vector<VertexId> max_endpoint(edges.num_partitions(), 0);
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(edges.num_partitions());
-  for (std::size_t p = 0; p < edges.num_partitions(); ++p) {
-    if (edges.partition(p).empty()) continue;
-    tasks.push_back([&edges, &src, &dst, &offset, &max_endpoint, p] {
-      std::uint64_t at = offset[p];
-      VertexId max_seen = 0;
-      for (const Edge& e : edges.partition(p)) {
-        src[at] = e.src;
-        dst[at] = e.dst;
-        max_seen = std::max({max_seen, e.src, e.dst});
-        ++at;
-      }
-      max_endpoint[p] = max_seen;
-    });
-  }
   cluster.run_stage("materialize", std::move(tasks));
 
   PropertyGraph graph;

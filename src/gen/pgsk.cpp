@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <optional>
 
 #include "gen/kronecker.hpp"
@@ -40,21 +41,52 @@ GenResult pgsk_generate(const PropertyGraph& seed_graph,
 
   GenResult result;
   TraceRecorder* const trace = cluster.trace();
+  const std::size_t parts = options.partitions != 0
+                                ? options.partitions
+                                : 2 * cluster.config().total_cores();
 
-  // Lines 1-5: multiset -> set collapse (driver-side O(|E|) hash pass).
+  // Lines 1-5: multiset -> set collapse. Formerly one driver-serial O(|E|)
+  // hash pass; now the counted-shuffle SimplifyPlan phases run as stages
+  // (output identical to serial simplify()), leaving only the O(chunks x
+  // shards) planning steps on the driver.
   PropertyGraph simple;
   {
     PhaseScope phase(trace, "collapse");
-    cluster.run_serial("collapse",
-                       [&] { simple = simplify(seed_graph); });
+    SimplifyPlan plan(seed_graph, parts, parts);
+    const auto stage = [&cluster](const char* name, std::size_t count,
+                                  const std::function<void(std::size_t)>& body) {
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        tasks.push_back([&body, i] { body(i); });
+      }
+      cluster.run_stage(name, std::move(tasks));
+    };
+    stage("collapse:count", plan.num_chunks(),
+          [&plan](std::size_t c) { plan.count_chunk(c); });
+    cluster.run_serial("collapse:plan", [&] { plan.plan_scatter(); });
+    stage("collapse:scatter", plan.num_chunks(),
+          [&plan](std::size_t c) { plan.scatter_chunk(c); });
+    stage("collapse:dedup", plan.num_shards(),
+          [&plan](std::size_t s) { plan.dedup_shard(s); });
+    stage("collapse:tally", plan.num_chunks(),
+          [&plan](std::size_t c) { plan.tally_chunk(c); });
+    cluster.run_serial("collapse:plan", [&] { plan.plan_compact(); });
+    stage("collapse:compact", plan.num_chunks(),
+          [&plan](std::size_t c) { plan.compact_chunk(c); });
+    cluster.run_serial("collapse:plan", [&] { simple = plan.finish(); });
   }
 
-  // Line 6: KronFit (driver-side optimization).
+  // Line 6: KronFit. The cluster attachment runs the O(|E|) refresh/
+  // gradient/recount passes and the sharded burn-in as stages; only the
+  // cached Metropolis chain and theta updates remain driver-serial
+  // ("kronfit:driver" segments).
   KronFitResult fit;
   {
     PhaseScope phase(trace, "kronfit");
-    cluster.run_serial("kronfit",
-                       [&] { fit = kronfit(simple, options.fit); });
+    KronFitOptions fit_options = options.fit;
+    fit_options.cluster = &cluster;
+    fit = kronfit(simple, fit_options);
   }
 
   // Sizing: order k so that (expected Kronecker edges) x (mean out-degree

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_set>
+#include <utility>
 
+#include "util/flat_set.hpp"
 #include "util/hash.hpp"
+#include "util/parallel.hpp"
 
 namespace csb {
 
@@ -100,6 +103,142 @@ PropertyGraph simplify(const PropertyGraph& graph) {
     if (seen.insert(key).second) out.add_edge(src[e], dst[e]);
   }
   return out;
+}
+
+SimplifyPlan::SimplifyPlan(const PropertyGraph& graph, std::size_t shards,
+                           std::size_t chunks)
+    : graph_(&graph),
+      shards_(std::max<std::size_t>(1, shards)),
+      packed_keys_(graph.num_vertices() < (1ULL << 32)) {
+  const std::size_t m = graph.num_edges();
+  chunk_count_ = std::min(std::max<std::size_t>(1, chunks), std::max<std::size_t>(1, m));
+  if (m == 0) chunk_count_ = 0;
+  shards_ = std::min(shards_, std::max<std::size_t>(1, m));
+  keys_.resize(m);
+  histogram_.assign(chunk_count_ * shards_, 0);
+  keep_.assign(m, 0);
+  chunk_kept_.assign(chunk_count_ + 1, 0);
+}
+
+std::pair<std::size_t, std::size_t> SimplifyPlan::chunk_bounds(
+    std::size_t chunk) const noexcept {
+  // Boundaries depend only on (|E|, chunk count), never on thread count.
+  const std::size_t m = graph_->num_edges();
+  return {chunk * m / chunk_count_, (chunk + 1) * m / chunk_count_};
+}
+
+void SimplifyPlan::count_chunk(std::size_t chunk) {
+  const auto [begin, end] = chunk_bounds(chunk);
+  const auto src = graph_->sources();
+  const auto dst = graph_->destinations();
+  std::uint64_t* hist = histogram_.data() + chunk * shards_;
+  for (std::size_t e = begin; e < end; ++e) {
+    // Same identity as the serial pass: exact packed key below 2^32
+    // vertices, mixed hash above (see simplify()).
+    const std::uint64_t key =
+        packed_keys_ ? (src[e] << 32 | dst[e]) : hash_pair(src[e], dst[e]);
+    keys_[e] = key;
+    ++hist[mix64(key) % shards_];
+  }
+}
+
+void SimplifyPlan::plan_scatter() {
+  // Shard-major prefix sums: shard s occupies one contiguous slice, and
+  // within it chunk rows appear in ascending chunk (hence edge) order.
+  shard_begin_.assign(shards_ + 1, 0);
+  for (std::size_t c = 0; c < chunk_count_; ++c) {
+    for (std::size_t s = 0; s < shards_; ++s) {
+      shard_begin_[s + 1] += histogram_[c * shards_ + s];
+    }
+  }
+  for (std::size_t s = 0; s < shards_; ++s) {
+    shard_begin_[s + 1] += shard_begin_[s];
+  }
+  scatter_at_.assign(chunk_count_ * shards_, 0);
+  std::vector<std::uint64_t> cursor(shard_begin_.begin(),
+                                    shard_begin_.end() - 1);
+  for (std::size_t c = 0; c < chunk_count_; ++c) {
+    for (std::size_t s = 0; s < shards_; ++s) {
+      scatter_at_[c * shards_ + s] = cursor[s];
+      cursor[s] += histogram_[c * shards_ + s];
+    }
+  }
+  slot_key_.resize(graph_->num_edges());
+  slot_idx_.resize(graph_->num_edges());
+}
+
+void SimplifyPlan::scatter_chunk(std::size_t chunk) {
+  const auto [begin, end] = chunk_bounds(chunk);
+  std::uint64_t* at = scatter_at_.data() + chunk * shards_;
+  for (std::size_t e = begin; e < end; ++e) {
+    const std::uint64_t pos = at[mix64(keys_[e]) % shards_]++;
+    slot_key_[pos] = keys_[e];
+    slot_idx_[pos] = e;
+  }
+}
+
+void SimplifyPlan::dedup_shard(std::size_t shard) {
+  const std::uint64_t begin = shard_begin_[shard];
+  const std::uint64_t end = shard_begin_[shard + 1];
+  FlatSet64 seen(end - begin);
+  // Slice entries are in ascending edge order, so insert order reproduces
+  // the serial first-occurrence-wins rule; shards write disjoint keep_
+  // slots (one byte per edge — no word-level races).
+  for (std::uint64_t i = begin; i < end; ++i) {
+    if (seen.insert(slot_key_[i])) keep_[slot_idx_[i]] = 1;
+  }
+}
+
+void SimplifyPlan::tally_chunk(std::size_t chunk) {
+  const auto [begin, end] = chunk_bounds(chunk);
+  std::uint64_t kept = 0;
+  for (std::size_t e = begin; e < end; ++e) kept += keep_[e];
+  chunk_kept_[chunk + 1] = kept;
+}
+
+void SimplifyPlan::plan_compact() {
+  for (std::size_t c = 0; c < chunk_count_; ++c) {
+    chunk_kept_[c + 1] += chunk_kept_[c];
+  }
+  const std::uint64_t survivors = chunk_kept_[chunk_count_];
+  out_src_.resize(survivors);
+  out_dst_.resize(survivors);
+}
+
+void SimplifyPlan::compact_chunk(std::size_t chunk) {
+  const auto [begin, end] = chunk_bounds(chunk);
+  const auto src = graph_->sources();
+  const auto dst = graph_->destinations();
+  std::uint64_t at = chunk_kept_[chunk];
+  for (std::size_t e = begin; e < end; ++e) {
+    if (!keep_[e]) continue;
+    out_src_[at] = src[e];
+    out_dst_[at] = dst[e];
+    ++at;
+  }
+}
+
+PropertyGraph SimplifyPlan::finish() {
+  // Endpoints were valid in the input graph, so the O(|E|) re-validation
+  // of from_columns is redundant.
+  return PropertyGraph::from_columns_unchecked(
+      graph_->num_vertices(), std::move(out_src_), std::move(out_dst_));
+}
+
+PropertyGraph simplify_parallel(const PropertyGraph& graph, ThreadPool& pool) {
+  const std::size_t workers = std::max<std::size_t>(1, pool.size());
+  SimplifyPlan plan(graph, workers, workers * 4);
+  const auto run = [&pool](std::size_t n, auto&& phase) {
+    parallel_for(pool, 0, n, 1, phase);
+  };
+  run(plan.num_chunks(), [&plan](std::size_t c) { plan.count_chunk(c); });
+  plan.plan_scatter();
+  run(plan.num_chunks(), [&plan](std::size_t c) { plan.scatter_chunk(c); });
+  run(plan.num_shards(), [&plan](std::size_t s) { plan.dedup_shard(s); });
+  run(plan.num_chunks(), [&plan](std::size_t c) { plan.tally_chunk(c); });
+  plan.plan_compact();
+  run(plan.num_chunks(), [&plan](std::size_t c) { plan.compact_chunk(c); });
+  return plan.finish();
 }
 
 namespace {

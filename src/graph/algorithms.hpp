@@ -33,6 +33,75 @@ std::uint64_t count_components(const PropertyGraph& graph);
 /// lines 1-5), implemented with a hash set in O(|E|).
 PropertyGraph simplify(const PropertyGraph& graph);
 
+/// Stage-decomposed parallel collapse with output *identical* to simplify()
+/// for every shard/chunk decomposition: a counted shuffle groups edge
+/// indices by mixed key into shards, each shard keeps first occurrences (by
+/// edge index) through a FlatSet64, and compaction re-emits the survivors
+/// in original edge order — first-occurrence-wins, exactly the serial scan.
+///
+/// The phases are exposed individually so execution substrates can book
+/// every parallel pass separately (PGSK's collapse runs them as ClusterSim
+/// stages instead of one driver-serial blob); simplify_parallel() below is
+/// the plain ThreadPool driver. Chunks partition the edge array, shards
+/// partition the key space; the two driver steps (plan_scatter,
+/// plan_compact) are O(chunks x shards) prefix sums plus the output
+/// allocation.
+class SimplifyPlan {
+ public:
+  SimplifyPlan(const PropertyGraph& graph, std::size_t shards,
+               std::size_t chunks);
+
+  [[nodiscard]] std::size_t num_chunks() const noexcept {
+    return chunk_count_;
+  }
+  [[nodiscard]] std::size_t num_shards() const noexcept { return shards_; }
+
+  /// Phase 1 (parallel over chunks): per-chunk key computation and
+  /// per-shard histogram.
+  void count_chunk(std::size_t chunk);
+  /// Driver: turns the histograms into scatter offsets.
+  void plan_scatter();
+  /// Phase 2 (parallel over chunks): counting-sort (key, index) pairs into
+  /// the shard-grouped buffer; within a shard, entries stay in edge order.
+  void scatter_chunk(std::size_t chunk);
+  /// Phase 3 (parallel over shards): first-occurrence dedup per shard.
+  void dedup_shard(std::size_t shard);
+  /// Phase 4 (parallel over chunks): per-chunk survivor counts.
+  void tally_chunk(std::size_t chunk);
+  /// Driver: survivor prefix sums + exact-sized output allocation.
+  void plan_compact();
+  /// Phase 5 (parallel over chunks): gathers survivors into the output
+  /// endpoint columns, preserving original edge order.
+  void compact_chunk(std::size_t chunk);
+  /// Driver, O(1): wraps the filled columns into the simple graph.
+  [[nodiscard]] PropertyGraph finish();
+
+ private:
+  [[nodiscard]] std::pair<std::size_t, std::size_t> chunk_bounds(
+      std::size_t chunk) const noexcept;
+
+  const PropertyGraph* graph_;
+  std::size_t shards_;
+  std::size_t chunk_count_;
+  bool packed_keys_;
+
+  std::vector<std::uint64_t> keys_;        ///< per-edge dedup identity
+  std::vector<std::uint64_t> histogram_;   ///< [chunk][shard] counts
+  std::vector<std::uint64_t> scatter_at_;  ///< [chunk][shard] write cursors
+  std::vector<std::uint64_t> shard_begin_; ///< [shard+1] slice bounds
+  std::vector<std::uint64_t> slot_key_;    ///< shard-grouped keys
+  std::vector<std::uint64_t> slot_idx_;    ///< shard-grouped edge indices
+  std::vector<std::uint8_t> keep_;         ///< per-edge survivor flags
+  std::vector<std::uint64_t> chunk_kept_;  ///< [chunk+1] survivor offsets
+  std::vector<VertexId> out_src_;
+  std::vector<VertexId> out_dst_;
+};
+
+/// Parallel simplify() driver on a plain thread pool: identical output to
+/// the serial pass, with the O(|E|) shuffle/dedup/compact phases chunked
+/// across the pool's workers.
+PropertyGraph simplify_parallel(const PropertyGraph& graph, ThreadPool& pool);
+
 /// Number of triangles in the undirected simplification, node-iterator
 /// algorithm with sorted-adjacency merge: O(sum deg^1.5) in practice.
 std::uint64_t triangle_count(const PropertyGraph& graph);

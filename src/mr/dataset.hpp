@@ -17,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/flat_set.hpp"
+#include "util/hash.hpp"
 #include "util/random.hpp"
 
 namespace csb {
@@ -229,20 +230,28 @@ class Dataset {
     std::vector<std::vector<std::size_t>> bounds(parts);
     std::vector<std::function<void()>> shuffle_tasks;
     shuffle_tasks.reserve(parts);
+    // The raw key picks the target through its LOW bits only (edge keys are
+    // packed (src << 32 | dst), so `key % parts` would shard by dst alone
+    // and skew the merge tasks); run it through the 64-bit mixer first so
+    // every key bit participates in the placement.
+    const auto target_of = [&key_fn, parts](const T& item) {
+      return mix64(key_fn(item)) % parts;
+    };
     for (std::size_t p = 0; p < parts; ++p) {
-      shuffle_tasks.push_back([this, &shuffled, &bounds, &key_fn, p, parts] {
-        const auto& in = partitions_[p];
-        auto& offset = bounds[p];  // offset[t]..offset[t+1] = slice of target t
-        offset.assign(parts + 1, 0);
-        for (const T& item : in) ++offset[key_fn(item) % parts + 1];
-        for (std::size_t t = 0; t < parts; ++t) offset[t + 1] += offset[t];
-        std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
-        auto& flat = shuffled[p];
-        flat.resize(in.size());
-        for (const T& item : in) {
-          flat[cursor[key_fn(item) % parts]++] = item;
-        }
-      });
+      shuffle_tasks.push_back(
+          [this, &shuffled, &bounds, &target_of, p, parts] {
+            const auto& in = partitions_[p];
+            auto& offset = bounds[p];  // offset[t]..offset[t+1] = target t
+            offset.assign(parts + 1, 0);
+            for (const T& item : in) ++offset[target_of(item) + 1];
+            for (std::size_t t = 0; t < parts; ++t) offset[t + 1] += offset[t];
+            std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+            auto& flat = shuffled[p];
+            flat.resize(in.size());
+            for (const T& item : in) {
+              flat[cursor[target_of(item)]++] = item;
+            }
+          });
     }
     cluster_->run_stage("distinct:shuffle", std::move(shuffle_tasks));
 

@@ -24,10 +24,28 @@ std::vector<ChunkRange> make_chunks(std::size_t begin, std::size_t end,
   return chunks;
 }
 
-void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
-                         std::size_t grain,
-                         const std::function<void(const ChunkRange&)>& body) {
-  const auto chunks = make_chunks(begin, end, pool.size(), grain);
+std::vector<ChunkRange> make_fixed_chunks(std::size_t begin, std::size_t end,
+                                          std::size_t chunk_size) {
+  std::vector<ChunkRange> chunks;
+  if (begin >= end) return chunks;
+  chunk_size = std::max<std::size_t>(1, chunk_size);
+  std::size_t at = begin;
+  std::size_t index = 0;
+  while (at < end) {
+    const std::size_t stop = std::min(end, at + chunk_size);
+    chunks.push_back({at, stop, index++});
+    at = stop;
+  }
+  return chunks;
+}
+
+namespace {
+
+/// Runs every chunk on the pool and waits for ALL of them before rethrowing
+/// the first exception. Bailing out on the first failed future would unwind
+/// the caller's frame while later chunks still run against its references.
+void run_chunks_on_pool(ThreadPool& pool, const std::vector<ChunkRange>& chunks,
+                        const std::function<void(const ChunkRange&)>& body) {
   if (chunks.empty()) return;
   if (chunks.size() == 1) {
     body(chunks.front());
@@ -38,7 +56,34 @@ void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
   for (const auto& chunk : chunks) {
     pending.push_back(pool.submit([&body, chunk] { body(chunk); }));
   }
-  for (auto& f : pending) f.get();
+  std::exception_ptr first_error;
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         std::size_t grain,
+                         const std::function<void(const ChunkRange&)>& body) {
+  run_chunks_on_pool(pool, make_chunks(begin, end, pool.size(), grain), body);
+}
+
+void parallel_for_fixed_chunks(
+    ThreadPool* pool, std::size_t begin, std::size_t end,
+    std::size_t chunk_size, const std::function<void(const ChunkRange&)>& body) {
+  const auto chunks = make_fixed_chunks(begin, end, chunk_size);
+  if (pool == nullptr) {
+    for (const auto& chunk : chunks) body(chunk);
+    return;
+  }
+  run_chunks_on_pool(*pool, chunks, body);
 }
 
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,

@@ -26,6 +26,21 @@ struct ChunkRange {
 std::vector<ChunkRange> make_chunks(std::size_t begin, std::size_t end,
                                     std::size_t workers, std::size_t grain);
 
+/// Thread-count-independent decomposition: every chunk spans exactly
+/// `chunk_size` indices (the last may be short). Use where per-chunk
+/// partial results are reduced in chunk-index order, so the combined
+/// result is bit-identical no matter how many workers ran the chunks
+/// (KronFit's refresh/gradient passes rely on this).
+std::vector<ChunkRange> make_fixed_chunks(std::size_t begin, std::size_t end,
+                                          std::size_t chunk_size);
+
+/// Runs body(chunk) for every fixed-size chunk. A null `pool` executes the
+/// chunks inline, in chunk-index order, over identical boundaries — the
+/// serial and parallel paths are the same decomposition.
+void parallel_for_fixed_chunks(
+    ThreadPool* pool, std::size_t begin, std::size_t end,
+    std::size_t chunk_size, const std::function<void(const ChunkRange&)>& body);
+
 /// Runs body(chunk) for every chunk on `pool`; blocks until completion.
 void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
                          std::size_t grain,

@@ -19,6 +19,7 @@
 #include "stats/power_law.hpp"
 #include "trace/traffic_model.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace csb {
 namespace {
@@ -247,6 +248,72 @@ TEST(KronFitTest, IncrementalLikelihoodMatchesRecomputation) {
   options.gradient_iterations = 15;
   options.swaps_per_iteration = 400;
   options.burn_in_swaps = 2000;
+  const KronFitLikelihoodCheck check =
+      kronfit_likelihood_check(simple, options);
+  EXPECT_NEAR(check.incremental, check.recomputed,
+              1e-9 * std::max(1.0, std::abs(check.recomputed)));
+}
+
+TEST(KronFitTest, ChunkedPassesBitIdenticalAcrossThreadCounts) {
+  // The refresh/gradient passes chunk at a fixed 4096-edge granularity and
+  // reduce partial sums in chunk-index order, so the result is a function
+  // of the chunking alone — never of how many workers ran the chunks.
+  const SeedBundle seed = small_seed(400);
+  const PropertyGraph simple = simplify(seed.graph);
+  KronFitOptions options;
+  options.gradient_iterations = 8;
+  options.swaps_per_iteration = 200;
+  options.burn_in_swaps = 1000;
+  const KronFitResult serial = kronfit(simple, options);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    options.pool = &pool;
+    const KronFitResult threaded = kronfit(simple, options);
+    EXPECT_EQ(serial.initiator.theta, threaded.initiator.theta)
+        << threads << " threads";
+    EXPECT_EQ(serial.log_likelihood, threaded.log_likelihood)
+        << threads << " threads";
+  }
+}
+
+TEST(KronFitTest, ClusterAttachedRunMatchesStandalone) {
+  // pgsk_generate hands kronfit its ClusterSim: the passes become stages
+  // and the Metropolis chain books "kronfit:driver" serial segments, but
+  // the fitted result must be the same bits as a standalone run.
+  const SeedBundle seed = small_seed(400);
+  const PropertyGraph simple = simplify(seed.graph);
+  KronFitOptions options;
+  options.gradient_iterations = 8;
+  options.swaps_per_iteration = 200;
+  options.burn_in_swaps = 1000;
+  const KronFitResult standalone = kronfit(simple, options);
+  ClusterSim cluster(four_cores());
+  options.cluster = &cluster;
+  const KronFitResult attached = kronfit(simple, options);
+  EXPECT_EQ(standalone.initiator.theta, attached.initiator.theta);
+  EXPECT_EQ(standalone.log_likelihood, attached.log_likelihood);
+  // The decomposition books real driver-serial time and stage work.
+  double driver_s = 0.0;
+  for (const SerialSegment& segment : cluster.metrics().serial_segments) {
+    if (segment.name == "kronfit:driver") driver_s += segment.seconds;
+  }
+  EXPECT_GT(driver_s, 0.0);
+  EXPECT_GT(cluster.metrics().simulated_seconds, driver_s);
+}
+
+TEST(KronFitTest, ShardedBurnInKeepsIncrementalLikelihoodHonest) {
+  // The sharded burn-in mutates sigma through per-shard chains whose cache
+  // reconciliation (recount + refresh) must leave the incremental state
+  // exactly consistent with a from-scratch recomputation.
+  const SeedBundle seed = small_seed(400);
+  const PropertyGraph simple = simplify(seed.graph);
+  ThreadPool pool(4);
+  KronFitOptions options;
+  options.gradient_iterations = 15;
+  options.swaps_per_iteration = 400;
+  options.burn_in_swaps = 2000;
+  options.burn_in_shards = 4;
+  options.pool = &pool;
   const KronFitLikelihoodCheck check =
       kronfit_likelihood_check(simple, options);
   EXPECT_NEAR(check.incremental, check.recomputed,

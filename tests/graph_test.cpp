@@ -11,6 +11,7 @@
 #include "graph/property_graph.hpp"
 #include "util/error.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 namespace csb {
 namespace {
@@ -218,6 +219,50 @@ TEST(SimplifyTest, RemovesParallelEdgesKeepsLoops) {
   EXPECT_EQ(s.num_edges(), 3u);  // 0->1, 1->0, 2->2
   EXPECT_EQ(s.num_vertices(), 3u);
   EXPECT_FALSE(s.has_properties());
+}
+
+// simplify_parallel promises byte-identical output to serial simplify():
+// first-occurrence edge order, loops kept, parallel edges dropped —
+// regardless of how the counted shuffle chunks the edge list.
+TEST(SimplifyParallelTest, MatchesSerialOnMultigraphAtAnyPoolSize) {
+  PropertyGraph g(4);
+  g.add_edge(0, 1, sample_props());
+  g.add_edge(0, 1, sample_props());
+  g.add_edge(1, 0, sample_props());
+  g.add_edge(2, 2, sample_props());
+  g.add_edge(2, 2, sample_props());
+  g.add_edge(3, 0, sample_props());
+  const PropertyGraph serial = simplify(g);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(simplify_parallel(g, pool), serial) << threads << " threads";
+  }
+}
+
+TEST(SimplifyParallelTest, MatchesSerialOnRandomMultigraph) {
+  // Dense id range forces many duplicates across chunk boundaries, so
+  // shards see interleaved slices from every chunk.
+  const PropertyGraph g = random_graph(1 << 10, 50'000, 77);
+  const PropertyGraph serial = simplify(g);
+  ThreadPool pool(8);
+  EXPECT_EQ(simplify_parallel(g, pool), serial);
+}
+
+TEST(SimplifyParallelTest, MatchesSerialBeyond32BitVertexIds) {
+  // Vertex ids that do not fit the packed (src<<32|dst) key: both paths
+  // must switch to the same hash_pair identity.
+  const std::uint64_t big = (1ULL << 32) + 4;
+  PropertyGraph g(big);
+  Rng rng(9);
+  for (int e = 0; e < 500; ++e) {
+    const VertexId u = rng.uniform(4) + (rng.uniform(2) ? (1ULL << 32) : 0);
+    const VertexId v = rng.uniform(4) + (rng.uniform(2) ? (1ULL << 32) : 0);
+    g.add_edge(u, v);
+  }
+  const PropertyGraph serial = simplify(g);
+  EXPECT_LT(serial.num_edges(), g.num_edges());
+  ThreadPool pool(4);
+  EXPECT_EQ(simplify_parallel(g, pool), serial);
 }
 
 TEST(TriangleTest, SingleTriangle) {

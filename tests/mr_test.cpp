@@ -275,6 +275,30 @@ TEST(DatasetTest, DistinctIsDeterministic) {
   EXPECT_EQ(ds.distinct(key).collect(), ds.distinct(key).collect());
 }
 
+TEST(DatasetTest, DistinctBalancesSkewedShuffleKeys) {
+  // Packed edge keys (src<<32|dst) share their low bits whenever dst is
+  // constant, and `key % parts` alone would then route every element to one
+  // merge task — a serial stage in disguise. The shuffle target must mix
+  // the key first.
+  ClusterSim cluster(small_cluster());
+  constexpr std::uint64_t kKeys = 4096;
+  constexpr std::size_t kParts = 8;
+  std::vector<std::uint64_t> data;
+  data.reserve(kKeys);
+  for (std::uint64_t i = 0; i < kKeys; ++i) data.push_back((i << 32) | 7u);
+  const auto ds = Dataset<std::uint64_t>::from_vector(cluster, data, kParts);
+  const auto unique =
+      ds.distinct([](const std::uint64_t& x) { return x; });
+  ASSERT_EQ(unique.count(), kKeys);
+  std::size_t largest = 0;
+  for (std::size_t p = 0; p < unique.num_partitions(); ++p) {
+    largest = std::max(largest, unique.partition(p).size());
+  }
+  // Perfectly uniform would be kKeys / kParts = 512; without mixing one
+  // partition holds all 4096.
+  EXPECT_LT(largest, kKeys / 2);
+}
+
 TEST(DatasetTest, SampleFractionTwoEmitsExactlyTwoCopies) {
   ClusterSim cluster(small_cluster());
   std::vector<int> data(200);
