@@ -32,14 +32,7 @@ int main() {
   const double model_s = step.seconds();
 
   step.restart();
-  std::vector<DecodedPacket> decoded;
-  decoded.reserve(packets.size());
-  for (const auto& packet : packets) {
-    if (auto d = decode_frame(packet.data.data(), packet.data.size(),
-                              packet.orig_len, packet.timestamp_us)) {
-      decoded.push_back(*d);
-    }
-  }
+  const auto decoded = decode_packets(packets);
   const double decode_s = step.seconds();
 
   step.restart();
@@ -56,8 +49,16 @@ int main() {
   const double map_s = step.seconds();
 
   step.restart();
+  const auto graph_parallel = graph_from_netflow(flows, &pool);
+  const double map_par_s = step.seconds();
+
+  step.restart();
   const auto profile = SeedProfile::analyze(graph);
   const double analyze_s = step.seconds();
+
+  step.restart();
+  const auto profile_parallel = SeedProfile::analyze(graph, &pool);
+  const double analyze_par_s = step.seconds();
 
   ReportTable table("Seed pipeline stages",
                     {"stage", "items", "seconds", "items_per_s"});
@@ -73,7 +74,11 @@ int main() {
   row("flow assembly (Bro substitute)", flows.size(), assemble_s);
   row("flow assembly (8 shards)", flows_parallel.size(), assemble_par_s);
   row("netflow -> property graph", graph.num_edges(), map_s);
+  row("netflow -> property graph (pool)", graph_parallel.num_edges(),
+      map_par_s);
   row("structural + attribute analysis", graph.num_edges(), analyze_s);
+  row("structural + attribute analysis (pool)", graph.num_edges(),
+      analyze_par_s);
   table.print();
 
   std::cout << "\nseed: " << graph.num_vertices() << " vertices, "

@@ -1,0 +1,139 @@
+// Seed-ingestion gate bench: the Fig. 1 front end (decode -> flow assembly
+// -> property graph -> profile) timed serially and on an 8-thread pool over
+// the default `csbgen trace` workload. Every parallel stage is
+// deterministic — the bench asserts the pool run's graph and profile equal
+// the serial run's before reporting.
+//
+// scripts/check_bench_regress.sh diffs the `--json` output against the
+// committed BENCH_observability.json baseline: a change that quietly
+// serializes an ingestion stage (or slows the serial path) shows up as a
+// speedup/serial-time regression. Thresholds are relative to the baseline,
+// so the gate is meaningful on any host, including single-core CI runners
+// where the pool speedup is ~1x.
+#include <iostream>
+#include <string>
+
+#include "bench_support/report.hpp"
+#include "common.hpp"
+#include "flow/assembler.hpp"
+#include "obs/trace.hpp"
+#include "pcap/packet.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+struct StageTimes {
+  double decode_s = 0.0;
+  double assemble_s = 0.0;
+  double graph_s = 0.0;
+  double profile_s = 0.0;
+  [[nodiscard]] double total() const {
+    return decode_s + assemble_s + graph_s + profile_s;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace csb;
+  print_experiment_header(
+      "seed ingestion — serial vs 8-thread pool",
+      "chunked deterministic parallel pipeline: pcap decode, sharded flow "
+      "assembly, two-pass graph build, pool-dispatched profile fits; "
+      "outputs byte-identical at any pool size.");
+
+  constexpr std::size_t kThreads = 8;
+  constexpr int kRepeats = 3;
+
+  // The default `csbgen trace` workload.
+  TrafficModelConfig config;
+  config.benign_sessions = bench::scaled(20'000);
+  config.client_hosts = 2'000;
+  config.server_hosts = 100;
+  config.seed = 42;
+  const auto packets = sessions_to_packets(
+      TrafficModel(config).generate_benign());
+
+  ThreadPool pool(kThreads);
+  SeedBundle serial_bundle{PropertyGraph{}, SeedProfile{}};
+  SeedBundle pool_bundle{PropertyGraph{}, SeedProfile{}};
+  StageTimes serial;
+  StageTimes pooled;
+
+  const auto measure = [&](ThreadPool* p, StageTimes& best,
+                           SeedBundle& bundle) {
+    for (int r = 0; r < kRepeats; ++r) {
+      StageTimes t;
+      Stopwatch step;
+      auto decoded = decode_packets(packets, p);
+      t.decode_s = step.seconds();
+
+      step.restart();
+      auto flows = p != nullptr
+                       ? assemble_flows_parallel(decoded, *p, kThreads)
+                       : assemble_flows(decoded);
+      t.assemble_s = step.seconds();
+
+      step.restart();
+      auto graph = graph_from_netflow(flows, p);
+      t.graph_s = step.seconds();
+
+      step.restart();
+      auto profile = SeedProfile::analyze(graph, p);
+      t.profile_s = step.seconds();
+
+      if (r == 0 || t.total() < best.total()) best = t;
+      bundle = SeedBundle{std::move(graph), std::move(profile)};
+    }
+  };
+  measure(nullptr, serial, serial_bundle);
+  measure(&pool, pooled, pool_bundle);
+
+  const bool identical = serial_bundle.graph == pool_bundle.graph &&
+                         serial_bundle.profile == pool_bundle.profile;
+  if (!identical) {
+    std::cerr << "FATAL: pool output diverged from serial output\n";
+    return 1;
+  }
+
+  const auto speedup = [](double s, double p) { return p > 0 ? s / p : 0.0; };
+  ReportTable table("Seed ingestion stages (best of " +
+                        std::to_string(kRepeats) + " repeats)",
+                    {"stage", "serial_s", "pool8_s", "speedup"});
+  const auto row = [&](const std::string& stage, double s, double p) {
+    table.add_row({stage, cell_fixed(s, 3), cell_fixed(p, 3),
+                   cell_fixed(speedup(s, p), 2)});
+  };
+  row("decode", serial.decode_s, pooled.decode_s);
+  row("assemble-flows", serial.assemble_s, pooled.assemble_s);
+  row("build-graph", serial.graph_s, pooled.graph_s);
+  row("profile", serial.profile_s, pooled.profile_s);
+  row("end-to-end", serial.total(), pooled.total());
+  table.print();
+  std::cout << "\nseed: " << serial_bundle.graph.num_vertices()
+            << " vertices, " << serial_bundle.graph.num_edges()
+            << " edges; pool output identical to serial: yes\n";
+
+  if (const std::string json = json_output_path(argc, argv); !json.empty()) {
+    TraceFileWriter writer(json);
+    writer.write_meta({{"tool", "seed_ingest"}});
+    BenchRecord record;
+    record.name = "seed_ingest_e2e";
+    record.fields.emplace_back("threads",
+                               JsonValue(static_cast<double>(kThreads)));
+    record.fields.emplace_back("serial_s", JsonValue(serial.total()));
+    record.fields.emplace_back("pool_s", JsonValue(pooled.total()));
+    record.fields.emplace_back(
+        "speedup", JsonValue(speedup(serial.total(), pooled.total())));
+    record.fields.emplace_back("decode_serial_s", JsonValue(serial.decode_s));
+    record.fields.emplace_back("assemble_serial_s",
+                               JsonValue(serial.assemble_s));
+    record.fields.emplace_back("graph_serial_s", JsonValue(serial.graph_s));
+    record.fields.emplace_back("profile_serial_s",
+                               JsonValue(serial.profile_s));
+    writer.write_bench(record);
+    std::cout << "wrote " << json << " (csb.trace.v1)\n";
+  }
+  return 0;
+}

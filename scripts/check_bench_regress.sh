@@ -9,6 +9,11 @@
 #   - bench/trace_overhead   — the detached-recorder medians for the two hot
 #     kernels; catches gross slowdowns of the distinct()/KronFit paths
 #     themselves.
+#   - bench/seed_ingest      — end-to-end seed ingestion (decode -> flows ->
+#     graph -> profile) serial and on an 8-thread pool. Catches a stage that
+#     quietly falls back to serial (speedup collapses vs baseline) and gross
+#     serial-path slowdowns. Both checks are relative to the committed
+#     baseline, so the gate works on single-core hosts where speedup ~= 1.
 # Thresholds are deliberately generous (shared CI hosts are noisy): the gate
 # exists to catch structural regressions — a serial fraction that doubles, a
 # kernel that gets 3x slower — not single-digit-percent drift. Refresh the
@@ -24,15 +29,17 @@ BASELINE="BENCH_observability.json"
 [[ -f "$BASELINE" ]] || { echo "SKIP: no $BASELINE baseline committed"; exit 0; }
 
 cmake -B "$BUILD" -S . >/dev/null
-cmake --build "$BUILD" -j "$(nproc)" --target serial_fraction trace_overhead
+cmake --build "$BUILD" -j "$(nproc)" --target serial_fraction trace_overhead \
+  seed_ingest
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 "$BUILD/bench/serial_fraction" --json="$TMP/serial_fraction.ndjson"
 "$BUILD/bench/trace_overhead" --reps=5 --json="$TMP/trace_overhead.ndjson"
+"$BUILD/bench/seed_ingest" --json="$TMP/seed_ingest.ndjson"
 
-python3 - "$BASELINE" "$TMP/serial_fraction.ndjson" "$TMP/trace_overhead.ndjson" <<'EOF'
+python3 - "$BASELINE" "$TMP/serial_fraction.ndjson" "$TMP/trace_overhead.ndjson" "$TMP/seed_ingest.ndjson" <<'EOF'
 import json
 import sys
 
@@ -87,6 +94,33 @@ for name in ("distinct_dedup_100k", "kronfit_serial_segment"):
           f"(baseline {base:.3f} ms, limit {limit:.3f} ms)")
     if now > limit:
         failures.append(f"{name}: detached {now:.3f} ms > limit {limit:.3f} ms")
+
+# Seed ingestion: both checks relative to the committed baseline so the
+# gate is host-independent. Speedup halving means a pipeline stage fell
+# back to serial; serial time tripling means the serial path itself
+# regressed (same 3x slack as the micro kernels).
+name = "seed_ingest_e2e"
+if name not in baseline:
+    print(f"SKIP seed-ingest check: no '{name}' record in baseline")
+elif name not in fresh:
+    failures.append(f"{name}: bench produced no record")
+else:
+    base_speedup = baseline[name]["speedup"]
+    now_speedup = fresh[name]["speedup"]
+    floor = base_speedup * 0.5
+    status = "OK" if now_speedup >= floor else "FAIL"
+    print(f"{status} {name}: speedup {now_speedup:.2f} "
+          f"(baseline {base_speedup:.2f}, floor {floor:.2f})")
+    if now_speedup < floor:
+        failures.append(f"{name}: speedup {now_speedup:.2f} < floor {floor:.2f}")
+    base_serial = baseline[name]["serial_s"]
+    now_serial = fresh[name]["serial_s"]
+    limit = base_serial * 3.0
+    status = "OK" if now_serial <= limit else "FAIL"
+    print(f"{status} {name}: serial {now_serial:.3f} s "
+          f"(baseline {base_serial:.3f} s, limit {limit:.3f} s)")
+    if now_serial > limit:
+        failures.append(f"{name}: serial {now_serial:.3f} s > limit {limit:.3f} s")
 
 if failures:
     print("FAIL: bench regression vs committed baseline:", file=sys.stderr)

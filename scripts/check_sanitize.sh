@@ -8,7 +8,9 @@
 # obs/ hot paths; pass a gtest-style filter regex as $1 to widen or narrow
 # the selection. Finishes with the trace-overhead micro bench under the
 # sanitizers (mutex + atomic paths of the recorder, assert mode relaxed —
-# sanitized timings are not representative).
+# sanitized timings are not representative), then a ThreadSanitizer pass
+# (build-tsan/) over the seed-ingestion and flow-assembly test binaries —
+# TSan cannot coexist with ASan, so it gets its own tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +31,25 @@ ctest --test-dir build-asan -R "$FILTER" --output-on-failure -j "$(nproc)"
 # per-kernel cost), the run itself is the memory/UB gate.
 ./build-asan/bench/trace_overhead --reps=2
 
-# Perf gate runs against the regular (non-sanitized) tree: serial-fraction
-# and kernel medians vs the committed BENCH_observability.json baseline.
+# ThreadSanitizer pass over the parallel seed-ingestion pipeline: pool
+# decode, sharded flow assembly, two-pass graph build, pool-dispatched
+# profile fits, chunked stats sorts. Only the relevant test binaries are
+# built; the uppercase suite filter skips the lowercase *_NOT_BUILT
+# placeholders gtest_discover_tests registers for unbuilt targets.
+TSAN_FILTER="${2:-ThreadPool|ParallelFor|ParallelAssembly|FlowAssembler|SeedPipeline|SeedDeterminism|SeedProfile|GraphFromNetflow|Conditional|Empirical|PcapFile}"
+
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCSB_SANITIZE=THREAD \
+  -DCSB_BUILD_BENCHMARKS=OFF \
+  -DCSB_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j "$(nproc)" \
+  --target util_test stats_test pcap_test flow_test seed_test
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+ctest --test-dir build-tsan -R "$TSAN_FILTER" --output-on-failure -j "$(nproc)"
+
+# Perf gate runs against the regular (non-sanitized) tree: serial-fraction,
+# kernel medians and seed-ingestion timings vs the committed
+# BENCH_observability.json baseline.
 ./scripts/check_bench_regress.sh

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 
@@ -9,14 +10,22 @@ namespace csb {
 
 namespace {
 
-Protocol protocol_from_number(std::uint8_t number) {
+bool supported_protocol(std::uint8_t number) noexcept {
+  return number == 1 || number == 6 || number == 17;
+}
+
+Protocol protocol_from_number(std::uint8_t number) noexcept {
   switch (number) {
     case 1: return Protocol::kIcmp;
-    case 6: return Protocol::kTcp;
     case 17: return Protocol::kUdp;
-    default:
-      throw CsbError("unsupported protocol number " + std::to_string(number));
+    default: return Protocol::kTcp;  // callers check supported_protocol first
   }
+}
+
+Counter& skipped_packets_counter() {
+  static Counter& counter =
+      MetricsRegistry::instance().counter("seed.skipped_packets");
+  return counter;
 }
 
 }  // namespace
@@ -55,6 +64,22 @@ FlowAssembler::Key FlowAssembler::canonical_key(
 }
 
 std::size_t FlowAssembler::add(const DecodedPacket& packet) {
+  // The internal counter mirrors a serial pass over the full packet
+  // sequence, so it must advance for skipped packets too (the sharded path
+  // assigns global indices the same way).
+  return add(packet, next_seq_++);
+}
+
+std::size_t FlowAssembler::add(const DecodedPacket& packet,
+                               std::uint64_t seq) {
+  // One stray GRE/ESP/etc. packet must not abort a whole ingest: drop it
+  // and account for the drop instead of throwing.
+  if (!supported_protocol(packet.protocol)) {
+    ++skipped_;
+    skipped_packets_counter().add(1);
+    return 0;
+  }
+
   // Periodic expiry sweep: amortized by running at most once per second of
   // capture time.
   std::size_t expired = 0;
@@ -76,14 +101,19 @@ std::size_t FlowAssembler::add(const DecodedPacket& packet) {
     flow.record.dst_port = packet.dst_port;
     flow.record.first_us = packet.timestamp_us;
     flow.record.last_us = packet.timestamp_us;
+    flow.first_seq = seq;
     it = table_.emplace(key, std::move(flow)).first;
   }
 
   Flow& flow = it->second;
   NetflowRecord& rec = flow.record;
 
-  // Active timeout: cut the flow and start a fresh one.
-  if (packet.timestamp_us - rec.first_us > options_.active_timeout_us) {
+  // Timeout cuts: finalize the flow and start a fresh one. The idle cut is
+  // decided here, per packet, not only by the periodic sweep — the sweep's
+  // timing depends on which other flows share the assembler, so a
+  // sweep-only cut would make sharded assembly diverge from serial.
+  if (packet.timestamp_us - rec.first_us > options_.active_timeout_us ||
+      packet.timestamp_us - rec.last_us > options_.idle_timeout_us) {
     Flow fresh;
     fresh.record.src_ip = packet.src_ip;
     fresh.record.dst_ip = packet.dst_ip;
@@ -92,9 +122,10 @@ std::size_t FlowAssembler::add(const DecodedPacket& packet) {
     fresh.record.dst_port = packet.dst_port;
     fresh.record.first_us = packet.timestamp_us;
     fresh.record.last_us = packet.timestamp_us;
+    fresh.first_seq = seq;
     finalize(std::move(flow));
     it->second = std::move(fresh);
-    return add(packet) + expired + 1;
+    return add(packet, seq) + expired + 1;
   }
 
   const bool from_originator =
@@ -160,19 +191,35 @@ void FlowAssembler::finalize(Flow flow) {
   } else {
     flow.record.state = ConnState::kNone;
   }
-  done_.push_back(std::move(flow.record));
+  done_.push_back(Completed{flow.first_seq, std::move(flow.record)});
+}
+
+std::vector<FlowAssembler::Completed> FlowAssembler::finish_sequenced() {
+  for (auto& [key, flow] : table_) finalize(std::move(flow));
+  table_.clear();
+  // (first_us, first_seq) is a total order over flows — first_seq values
+  // are distinct — so the result is a deterministic sequence, not just a
+  // deterministic multiset.
+  std::sort(done_.begin(), done_.end(),
+            [](const Completed& a, const Completed& b) {
+              if (a.record.first_us != b.record.first_us) {
+                return a.record.first_us < b.record.first_us;
+              }
+              return a.first_seq < b.first_seq;
+            });
+  std::vector<Completed> out = std::move(done_);
+  done_.clear();
+  last_expiry_check_us_ = 0;
+  next_seq_ = 0;
+  skipped_ = 0;
+  return out;
 }
 
 std::vector<NetflowRecord> FlowAssembler::finish() {
-  for (auto& [key, flow] : table_) finalize(std::move(flow));
-  table_.clear();
-  std::sort(done_.begin(), done_.end(),
-            [](const NetflowRecord& a, const NetflowRecord& b) {
-              return a.first_us < b.first_us;
-            });
-  std::vector<NetflowRecord> out = std::move(done_);
-  done_.clear();
-  last_expiry_check_us_ = 0;
+  std::vector<Completed> completed = finish_sequenced();
+  std::vector<NetflowRecord> out;
+  out.reserve(completed.size());
+  for (auto& done : completed) out.push_back(std::move(done.record));
   return out;
 }
 
@@ -197,27 +244,38 @@ std::vector<NetflowRecord> assemble_flows_parallel(
     return assemble_flows(packets, options);
   }
 
-  // Route each packet to its flow's shard; per-shard order preserves the
-  // global timestamp order, which the assembler requires.
-  std::vector<std::vector<DecodedPacket>> buckets(shards);
+  // Route each packet — tagged with its global index — to its flow's
+  // shard; per-shard order preserves the global timestamp order, which the
+  // assembler requires, and the tags let the merge reproduce the serial
+  // (first_us, first_seq) sequence exactly.
+  struct Routed {
+    DecodedPacket packet;
+    std::uint64_t seq;
+  };
+  std::vector<std::vector<Routed>> buckets(shards);
   for (auto& bucket : buckets) {
     bucket.reserve(packets.size() / shards + 16);
   }
-  for (const auto& packet : packets) {
-    buckets[FlowAssembler::shard_hash(packet) % shards].push_back(packet);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    buckets[FlowAssembler::shard_hash(packets[i]) % shards].push_back(
+        Routed{packets[i], i});
   }
 
-  std::vector<std::vector<NetflowRecord>> per_shard(shards);
+  std::vector<std::vector<FlowAssembler::Completed>> per_shard(shards);
   std::vector<std::future<void>> pending;
   pending.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
     pending.push_back(pool.submit([&buckets, &per_shard, options, s] {
-      per_shard[s] = assemble_flows(buckets[s], options);
+      FlowAssembler assembler(options);
+      for (const Routed& routed : buckets[s]) {
+        assembler.add(routed.packet, routed.seq);
+      }
+      per_shard[s] = assembler.finish_sequenced();
     }));
   }
   for (auto& f : pending) f.get();
 
-  std::vector<NetflowRecord> merged;
+  std::vector<FlowAssembler::Completed> merged;
   std::size_t total = 0;
   for (const auto& records : per_shard) total += records.size();
   merged.reserve(total);
@@ -226,10 +284,17 @@ std::vector<NetflowRecord> assemble_flows_parallel(
                   std::make_move_iterator(records.end()));
   }
   std::sort(merged.begin(), merged.end(),
-            [](const NetflowRecord& a, const NetflowRecord& b) {
-              return a.first_us < b.first_us;
+            [](const FlowAssembler::Completed& a,
+               const FlowAssembler::Completed& b) {
+              if (a.record.first_us != b.record.first_us) {
+                return a.record.first_us < b.record.first_us;
+              }
+              return a.first_seq < b.first_seq;
             });
-  return merged;
+  std::vector<NetflowRecord> out;
+  out.reserve(merged.size());
+  for (auto& done : merged) out.push_back(std::move(done.record));
+  return out;
 }
 
 }  // namespace csb

@@ -26,16 +26,34 @@ struct FlowAssemblerOptions {
 
 class FlowAssembler {
  public:
+  /// A finalized record plus the global index of the packet that opened the
+  /// flow. first_seq breaks first_us ties, giving finish() a total order —
+  /// the reason sharded assembly can reproduce the serial sequence exactly.
+  struct Completed {
+    std::uint64_t first_seq = 0;
+    NetflowRecord record;
+  };
+
   explicit FlowAssembler(FlowAssemblerOptions options = {});
 
   /// Feeds one packet; packets must arrive in non-decreasing timestamp
   /// order (as in a capture file). Returns the number of flows finalized by
-  /// timeout processing triggered by this packet's timestamp.
+  /// timeout processing triggered by this packet's timestamp. Packets with
+  /// a protocol other than TCP/UDP/ICMP are skipped (not fatal) and
+  /// tallied in skipped_packets() and the seed.skipped_packets counter.
   std::size_t add(const DecodedPacket& packet);
 
-  /// Finalizes all open flows and returns every completed record,
-  /// first-packet-ordered. The assembler is reset.
+  /// Same, with the caller supplying the packet's global sequence number.
+  /// Sharded assembly feeds each shard its packets' original indices so
+  /// per-flow first_seq values match what a serial pass would assign.
+  std::size_t add(const DecodedPacket& packet, std::uint64_t seq);
+
+  /// Finalizes all open flows and returns every completed record, ordered
+  /// by (first_us, first_seq). The assembler is reset.
   std::vector<NetflowRecord> finish();
+
+  /// finish() variant keeping the sequence tags (for sharded merges).
+  std::vector<Completed> finish_sequenced();
 
   /// Direction-independent 5-tuple hash of a packet — both directions of a
   /// flow map to the same value, so it is a safe shard router.
@@ -46,6 +64,10 @@ class FlowAssembler {
   }
   [[nodiscard]] std::size_t completed_flows() const noexcept {
     return done_.size();
+  }
+  /// Packets dropped because their protocol is not TCP/UDP/ICMP.
+  [[nodiscard]] std::uint64_t skipped_packets() const noexcept {
+    return skipped_;
   }
 
  private:
@@ -61,6 +83,7 @@ class FlowAssembler {
 
   struct Flow {
     NetflowRecord record;
+    std::uint64_t first_seq = 0;
     // TCP handshake/termination tracking.
     bool syn_from_orig = false;
     bool synack_from_resp = false;
@@ -77,8 +100,10 @@ class FlowAssembler {
 
   FlowAssemblerOptions options_;
   std::unordered_map<Key, Flow, KeyHash> table_;
-  std::vector<NetflowRecord> done_;
+  std::vector<Completed> done_;
   std::uint64_t last_expiry_check_us_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t skipped_ = 0;
 };
 
 /// Convenience: run a whole packet vector through an assembler.
@@ -89,9 +114,9 @@ std::vector<NetflowRecord> assemble_flows(
 /// Sharded parallel assembly: packets are routed to `shards` independent
 /// assemblers by the hash of their canonical 5-tuple (all packets of one
 /// flow land in the same shard, so per-flow state never crosses threads),
-/// each shard runs on the pool, and the results merge in first-packet
-/// order. Produces the same flow set as the serial assemble_flows for
-/// any shard count (ordering of equal-timestamp flows may differ).
+/// each shard runs on the pool, and the results merge by
+/// (first_us, first_seq) — the same total order serial finish() uses, so
+/// the output sequence is identical to assemble_flows for any shard count.
 std::vector<NetflowRecord> assemble_flows_parallel(
     const std::vector<DecodedPacket>& packets, ThreadPool& pool,
     std::size_t shards = 0, FlowAssemblerOptions options = {});

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace csb {
 
@@ -32,6 +33,21 @@ template <typename T>
 void put(std::ostream& out, T value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof value);
 }
+
+std::uint32_t load32(const std::uint8_t* p, bool swapped) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return swapped ? byteswap32(v) : v;
+}
+
+std::uint16_t load16(const std::uint8_t* p, bool swapped) noexcept {
+  std::uint16_t v;
+  std::memcpy(&v, p, sizeof v);
+  return swapped ? byteswap16(v) : v;
+}
+
+/// Records per fixed chunk when filling packet vectors from an index.
+constexpr std::size_t kReadChunk = 2048;
 
 }  // namespace
 
@@ -132,13 +148,89 @@ void write_pcap_file(const std::string& path,
   for (const auto& packet : packets) writer.write(packet);
 }
 
-std::vector<PcapPacket> read_pcap_file(const std::string& path) {
+PcapPacket IndexedPcap::packet(std::size_t i) const {
+  const PcapRecordRef& ref = records[i];
+  PcapPacket out;
+  out.timestamp_us = ref.timestamp_us;
+  out.orig_len = ref.orig_len;
+  out.data.assign(bytes(ref), bytes(ref) + ref.captured_len);
+  return out;
+}
+
+IndexedPcap index_pcap_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   CSB_CHECK_MSG(in.is_open(), "cannot open for reading: " << path);
-  PcapReader reader(in);
-  std::vector<PcapPacket> packets;
-  PcapPacket packet;
-  while (reader.next(packet)) packets.push_back(packet);
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  CSB_CHECK_MSG(file_size >= 24, "truncated pcap global header");
+
+  IndexedPcap capture;
+  capture.data.resize(file_size);
+  in.read(reinterpret_cast<char*>(capture.data.data()),
+          static_cast<std::streamsize>(file_size));
+  CSB_CHECK_MSG(in.good(), "failed reading pcap file: " << path);
+
+  bool swapped = false;
+  bool nanoseconds = false;
+  std::uint32_t magic;
+  std::memcpy(&magic, capture.data.data(), sizeof magic);
+  switch (magic) {
+    case kMagicUsec: break;
+    case kMagicNsec: nanoseconds = true; break;
+    case kMagicUsecSwapped: swapped = true; break;
+    case kMagicNsecSwapped:
+      swapped = true;
+      nanoseconds = true;
+      break;
+    default:
+      throw CsbError("not a pcap file (bad magic)");
+  }
+  const std::uint16_t major = load16(capture.data.data() + 4, swapped);
+  CSB_CHECK_MSG(major == kVersionMajor, "unsupported pcap version");
+  capture.snaplen = load32(capture.data.data() + 16, swapped);
+  capture.linktype = load32(capture.data.data() + 20, swapped);
+
+  // One sequential walk over the record headers; payload bytes stay where
+  // they are, only (timestamp, lengths, offset) go into the index.
+  std::uint64_t at = 24;
+  while (at < file_size) {
+    CSB_CHECK_MSG(file_size - at >= 16, "truncated pcap record header");
+    const std::uint8_t* header = capture.data.data() + at;
+    const std::uint32_t ts_sec = load32(header, swapped);
+    const std::uint32_t ts_frac = load32(header + 4, swapped);
+    const std::uint32_t incl_len = load32(header + 8, swapped);
+    CSB_CHECK_MSG(incl_len <= capture.snaplen + 65536u,
+                  "implausible pcap record size");
+    CSB_CHECK_MSG(file_size - at - 16 >= incl_len,
+                  "truncated pcap record payload");
+    PcapRecordRef ref;
+    ref.timestamp_us = static_cast<std::uint64_t>(ts_sec) * 1000000 +
+                       (nanoseconds ? ts_frac / 1000 : ts_frac);
+    ref.orig_len = load32(header + 12, swapped);
+    ref.captured_len = incl_len;
+    ref.offset = at + 16;
+    capture.records.push_back(ref);
+    at += 16 + static_cast<std::uint64_t>(incl_len);
+  }
+  return capture;
+}
+
+std::vector<PcapPacket> read_pcap_file(const std::string& path,
+                                       ThreadPool* pool) {
+  const IndexedPcap capture = index_pcap_file(path);
+  std::vector<PcapPacket> packets(capture.records.size());
+  parallel_for_fixed_chunks(
+      pool, 0, capture.records.size(), kReadChunk,
+      [&](const ChunkRange& chunk) {
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          const PcapRecordRef& ref = capture.records[i];
+          packets[i].timestamp_us = ref.timestamp_us;
+          packets[i].orig_len = ref.orig_len;
+          packets[i].data.assign(capture.bytes(ref),
+                                 capture.bytes(ref) + ref.captured_len);
+        }
+      });
   return packets;
 }
 

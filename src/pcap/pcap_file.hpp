@@ -8,12 +8,15 @@
 // microsecond captures with LINKTYPE_ETHERNET.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 namespace csb {
+
+class ThreadPool;
 
 /// One captured packet: capture timestamp plus the captured bytes. orig_len
 /// may exceed data.size() when the capture was truncated by the snap length
@@ -22,6 +25,8 @@ struct PcapPacket {
   std::uint64_t timestamp_us = 0;  ///< microseconds since the epoch
   std::uint32_t orig_len = 0;      ///< length on the wire
   std::vector<std::uint8_t> data;  ///< captured bytes (<= orig_len)
+
+  friend bool operator==(const PcapPacket&, const PcapPacket&) = default;
 };
 
 inline constexpr std::uint32_t kLinktypeEthernet = 1;
@@ -68,9 +73,44 @@ class PcapReader {
   std::uint32_t linktype_ = 0;
 };
 
-/// Convenience round-trips.
+/// One record of an indexed capture: the per-record header fields plus the
+/// byte offset of the captured payload inside IndexedPcap::data.
+struct PcapRecordRef {
+  std::uint64_t timestamp_us = 0;
+  std::uint32_t orig_len = 0;
+  std::uint32_t captured_len = 0;
+  std::uint64_t offset = 0;
+};
+
+/// A capture loaded in one sequential pass: the raw file bytes plus a
+/// per-record index. Reading a record through the index touches only its
+/// own bytes, so fixed record chunks can be parsed or decoded in parallel
+/// (read_pcap_file and the seed pipeline both do).
+struct IndexedPcap {
+  std::vector<std::uint8_t> data;
+  std::vector<PcapRecordRef> records;
+  std::uint32_t snaplen = 0;
+  std::uint32_t linktype = 0;
+
+  [[nodiscard]] const std::uint8_t* bytes(const PcapRecordRef& ref)
+      const noexcept {
+    return data.data() + ref.offset;
+  }
+
+  /// Materializes record `i` as a standalone packet (copies the payload).
+  [[nodiscard]] PcapPacket packet(std::size_t i) const;
+};
+
+/// Reads the whole file and builds the record index without materializing
+/// any per-packet buffers. Throws CsbError on a bad magic or truncation.
+IndexedPcap index_pcap_file(const std::string& path);
+
+/// Convenience round-trips. read_pcap_file indexes the file, then fills the
+/// packet vector over fixed record chunks on `pool` (inline when null);
+/// output is identical for any pool size.
 void write_pcap_file(const std::string& path,
                      const std::vector<PcapPacket>& packets);
-std::vector<PcapPacket> read_pcap_file(const std::string& path);
+std::vector<PcapPacket> read_pcap_file(const std::string& path,
+                                       ThreadPool* pool = nullptr);
 
 }  // namespace csb

@@ -19,6 +19,7 @@
 
 #include "flow/netflow.hpp"
 #include "graph/property_graph.hpp"
+#include "pcap/packet.hpp"
 #include "pcap/pcap_file.hpp"
 #include "stats/conditional.hpp"
 #include "stats/empirical.hpp"
@@ -26,9 +27,26 @@
 
 namespace csb {
 
+class ThreadPool;
+
+/// Knobs for the parallel seed pipeline. Every stage is deterministic:
+/// seed.bin and the profile are byte-identical for any pool size, null
+/// pool (the historical serial code path) included.
+struct SeedOptions {
+  /// Worker pool for every pipeline stage; null runs everything inline.
+  ThreadPool* pool = nullptr;
+  /// Shard count for flow assembly; 0 uses the pool size.
+  std::size_t flow_shards = 0;
+};
+
 /// Maps NetFlow records onto a property-graph: distinct IPs become dense
-/// vertex ids (in order of first appearance), each record becomes one edge.
-PropertyGraph graph_from_netflow(const std::vector<NetflowRecord>& records);
+/// vertex ids (in order of first appearance), each record becomes one
+/// edge. With a pool the build is two-pass — parallel per-chunk unique-IP
+/// collection, a deterministic dense remap (IPs ranked by first-appearance
+/// record index, so vertex numbering is byte-identical to the serial
+/// builder), then parallel edge/property fill into pre-sized columns.
+PropertyGraph graph_from_netflow(const std::vector<NetflowRecord>& records,
+                                 ThreadPool* pool = nullptr);
 
 /// Incremental form of graph_from_netflow for streaming ingestion (paper
 /// §VI future work): flows append one edge at a time while the IP <-> vertex
@@ -65,7 +83,11 @@ class IncrementalGraphBuilder {
 class SeedProfile {
  public:
   /// Runs the analysis step of Fig. 1 on a seed graph with properties.
-  static SeedProfile analyze(const PropertyGraph& seed);
+  /// The nine conditional fits (plus the degree and IN_BYTES marginals)
+  /// dispatch as independent pool tasks; the fitted profile is
+  /// bit-identical for any pool size.
+  static SeedProfile analyze(const PropertyGraph& seed,
+                             ThreadPool* pool = nullptr);
 
   /// Structural distributions (per-vertex degrees of the seed).
   [[nodiscard]] const EmpiricalDistribution& in_degree() const {
@@ -128,13 +150,28 @@ struct SeedBundle {
   SeedProfile profile;
 };
 
-/// Full Fig. 1 pipeline from an in-memory capture.
-SeedBundle build_seed_from_packets(const std::vector<PcapPacket>& packets);
+/// Runs decode_frame over fixed packet chunks on the pool with chunk-order
+/// concatenation (books the `seed:decode` phase). Frames that fail to
+/// decode are dropped, exactly as the serial loop dropped them.
+std::vector<DecodedPacket> decode_packets(
+    const std::vector<PcapPacket>& packets, ThreadPool* pool = nullptr);
 
-/// Full Fig. 1 pipeline from a pcap file on disk.
-SeedBundle build_seed_from_pcap_file(const std::string& path);
+/// Same, decoding straight out of an indexed capture's file buffer — no
+/// per-packet PcapPacket materialization at all.
+std::vector<DecodedPacket> decode_packets(const IndexedPcap& capture,
+                                          ThreadPool* pool = nullptr);
+
+/// Full Fig. 1 pipeline from an in-memory capture.
+SeedBundle build_seed_from_packets(const std::vector<PcapPacket>& packets,
+                                   const SeedOptions& options = {});
+
+/// Full Fig. 1 pipeline from a pcap file on disk, via the block-indexed
+/// reader (`seed:index` phase) so decode parallelizes over the raw buffer.
+SeedBundle build_seed_from_pcap_file(const std::string& path,
+                                     const SeedOptions& options = {});
 
 /// Shortcut used by benches: seed straight from NetFlow records.
-SeedBundle build_seed_from_netflow(const std::vector<NetflowRecord>& records);
+SeedBundle build_seed_from_netflow(const std::vector<NetflowRecord>& records,
+                                   const SeedOptions& options = {});
 
 }  // namespace csb

@@ -1,12 +1,23 @@
 #include "stats/conditional.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
-#include <map>
+#include <future>
+#include <optional>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace csb {
+
+namespace {
+
+/// Observations per fixed chunk in the count and scatter passes.
+constexpr std::size_t kFitChunk = 1 << 14;
+
+}  // namespace
 
 std::uint32_t ConditionalDistribution::bucket_of(
     std::uint64_t condition) noexcept {
@@ -14,25 +25,107 @@ std::uint32_t ConditionalDistribution::bucket_of(
   return std::bit_width(condition);  // 1 + floor(log2(v))
 }
 
+namespace {
+
+/// Shared fit core over (cond_of(i), value_of(i)) columns. Two passes:
+/// per-chunk bucket counts give exact reservations and per-chunk write
+/// offsets (accumulated in chunk order), then the scatter pass fills each
+/// bucket in input order — the grouping the old std::map-of-vectors built,
+/// without its rehashing or vector growth. Per-bucket fits and the
+/// marginal run as pool tasks with a null inner pool; only this driver
+/// blocks on futures, so tasks never wait on the pool they run on.
+template <typename CondFn, typename ValueFn>
+ConditionalDistribution fit_impl(std::size_t n, const CondFn& cond_of,
+                                 const ValueFn& value_of, ThreadPool* pool) {
+  CSB_CHECK_MSG(n > 0, "ConditionalDistribution requires observations");
+  constexpr std::size_t kSlots = ConditionalDistribution::kBucketSlots;
+  const auto chunks = make_fixed_chunks(0, n, kFitChunk);
+  std::vector<std::array<std::uint64_t, kSlots>> counts(chunks.size());
+  parallel_for_fixed_chunks(
+      pool, 0, n, kFitChunk, [&](const ChunkRange& chunk) {
+        auto& local = counts[chunk.chunk_index];
+        local.fill(0);
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          ++local[ConditionalDistribution::bucket_of(cond_of(i))];
+        }
+      });
+
+  std::array<std::uint64_t, kSlots> running{};
+  std::vector<std::array<std::uint64_t, kSlots>> offsets(chunks.size());
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    offsets[c] = running;
+    for (std::size_t b = 0; b < kSlots; ++b) running[b] += counts[c][b];
+  }
+
+  std::array<std::vector<std::pair<double, double>>, kSlots> grouped;
+  for (std::size_t b = 0; b < kSlots; ++b) grouped[b].resize(running[b]);
+  std::vector<std::pair<double, double>> all(n);
+  parallel_for_fixed_chunks(
+      pool, 0, n, kFitChunk, [&](const ChunkRange& chunk) {
+        auto at = offsets[chunk.chunk_index];
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+          const double value = value_of(i);
+          const std::uint32_t b =
+              ConditionalDistribution::bucket_of(cond_of(i));
+          grouped[b][at[b]++] = {value, 1.0};
+          all[i] = {value, 1.0};
+        }
+      });
+
+  std::vector<std::uint32_t> keys;
+  for (std::size_t b = 0; b < kSlots; ++b) {
+    if (!grouped[b].empty()) keys.push_back(static_cast<std::uint32_t>(b));
+  }
+  std::vector<std::optional<EmpiricalDistribution>> fitted(keys.size());
+  std::optional<EmpiricalDistribution> marginal;
+  std::vector<std::future<void>> pending;
+  const auto run = [&](std::function<void()> fn) {
+    if (pool != nullptr) {
+      pending.push_back(pool->submit(std::move(fn)));
+    } else {
+      fn();
+    }
+  };
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    run([&grouped, &fitted, &keys, k] {
+      fitted[k] = EmpiricalDistribution::from_weighted(
+          std::move(grouped[keys[k]]), nullptr);
+    });
+  }
+  run([&all, &marginal] {
+    marginal = EmpiricalDistribution::from_weighted(std::move(all), nullptr);
+  });
+  for (auto& f : pending) f.get();
+
+  // Buckets ascend, matching the old std::map iteration order.
+  std::vector<std::pair<std::uint32_t, EmpiricalDistribution>> buckets;
+  buckets.reserve(keys.size());
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    buckets.emplace_back(keys[k], std::move(*fitted[k]));
+  }
+  return ConditionalDistribution::from_parts(std::move(buckets),
+                                             std::move(*marginal));
+}
+
+}  // namespace
+
 ConditionalDistribution ConditionalDistribution::fit(
-    std::span<const std::pair<std::uint64_t, double>> observations) {
-  CSB_CHECK_MSG(!observations.empty(),
-                "ConditionalDistribution requires observations");
-  std::map<std::uint32_t, std::vector<std::pair<double, double>>> grouped;
-  std::vector<std::pair<double, double>> all;
-  all.reserve(observations.size());
-  for (const auto& [condition, value] : observations) {
-    grouped[bucket_of(condition)].emplace_back(value, 1.0);
-    all.emplace_back(value, 1.0);
-  }
-  ConditionalDistribution dist;
-  for (auto& [bucket, samples] : grouped) {
-    dist.by_bucket_.emplace(
-        bucket, EmpiricalDistribution::from_weighted(std::move(samples)));
-  }
-  dist.marginal_ = std::make_shared<EmpiricalDistribution>(
-      EmpiricalDistribution::from_weighted(std::move(all)));
-  return dist;
+    std::span<const std::pair<std::uint64_t, double>> observations,
+    ThreadPool* pool) {
+  return fit_impl(
+      observations.size(),
+      [observations](std::size_t i) { return observations[i].first; },
+      [observations](std::size_t i) { return observations[i].second; },
+      pool);
+}
+
+ConditionalDistribution ConditionalDistribution::fit(
+    std::span<const std::uint64_t> conditions,
+    const std::function<double(std::size_t)>& value_of, ThreadPool* pool) {
+  return fit_impl(
+      conditions.size(),
+      [conditions](std::size_t i) { return conditions[i]; },
+      [&value_of](std::size_t i) { return value_of(i); }, pool);
 }
 
 double ConditionalDistribution::sample(std::uint64_t condition,

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -19,16 +20,34 @@
 
 namespace csb {
 
+class ThreadPool;
+
 class ConditionalDistribution {
  public:
   /// Log2 bucket of the conditioning value; 0 maps to bucket 0, and values
-  /// >= 1 map to 1 + floor(log2(v)).
+  /// >= 1 map to 1 + floor(log2(v)) — at most kBucketSlots - 1.
   static std::uint32_t bucket_of(std::uint64_t condition) noexcept;
 
+  /// bucket_of is std::bit_width, so its range is [0, 64]: a fixed array
+  /// of 65 slots replaces any need for map-based grouping.
+  static constexpr std::size_t kBucketSlots = 65;
+
   /// Fits from (condition, value) observations. Also fits the marginal
-  /// p(value), used as a fallback for unseen condition buckets.
+  /// p(value), used as a fallback for unseen condition buckets. Grouping
+  /// runs a pre-count pass into the fixed bucket slots, then scatters in
+  /// input order; with a pool the passes are chunked and the per-bucket
+  /// fits run as tasks — the result is bit-identical at any pool size.
   static ConditionalDistribution fit(
-      std::span<const std::pair<std::uint64_t, double>> observations);
+      std::span<const std::pair<std::uint64_t, double>> observations,
+      ThreadPool* pool = nullptr);
+
+  /// Same fit over column storage: condition i pairs with value_of(i).
+  /// Avoids materializing an observation array per attribute (the seed
+  /// profile fits eight conditionals against one condition column).
+  static ConditionalDistribution fit(
+      std::span<const std::uint64_t> conditions,
+      const std::function<double(std::size_t)>& value_of,
+      ThreadPool* pool = nullptr);
 
   /// Reassembles from previously fitted parts (deserialization path).
   static ConditionalDistribution from_parts(

@@ -2,29 +2,95 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+
+#include "util/parallel.hpp"
 
 namespace csb {
 
+namespace {
+
+/// Pairs per fixed sort chunk; single-chunk inputs sort inline.
+constexpr std::size_t kSortChunk = 1 << 15;
+
+/// stable_sort by value, chunk-parallel. Fixed chunks are sorted
+/// independently, then merged bottom-up over fixed segment boundaries;
+/// std::merge keeps equal left elements first, so every merge round — and
+/// therefore the result — equals one whole-input std::stable_sort no
+/// matter how many workers ran, preserving input order within equal values.
+void stable_sort_by_value(std::vector<std::pair<double, double>>& items,
+                          ThreadPool* pool) {
+  const auto by_value = [](const std::pair<double, double>& a,
+                           const std::pair<double, double>& b) {
+    return a.first < b.first;
+  };
+  const std::size_t n = items.size();
+  if (pool == nullptr || n <= kSortChunk) {
+    std::stable_sort(items.begin(), items.end(), by_value);
+    return;
+  }
+  parallel_for_fixed_chunks(pool, 0, n, kSortChunk,
+                            [&](const ChunkRange& chunk) {
+                              std::stable_sort(items.begin() + chunk.begin,
+                                               items.begin() + chunk.end,
+                                               by_value);
+                            });
+  std::vector<std::pair<double, double>> scratch(n);
+  auto* src = &items;
+  auto* dst = &scratch;
+  for (std::size_t width = kSortChunk; width < n; width *= 2) {
+    const std::size_t segments = (n + 2 * width - 1) / (2 * width);
+    parallel_for_fixed_chunks(
+        pool, 0, segments, 1, [&](const ChunkRange& chunk) {
+          const std::size_t lo = chunk.begin * 2 * width;
+          const std::size_t mid = std::min(lo + width, n);
+          const std::size_t hi = std::min(lo + 2 * width, n);
+          std::merge(src->begin() + lo, src->begin() + mid,
+                     src->begin() + mid, src->begin() + hi,
+                     dst->begin() + lo, by_value);
+        });
+    std::swap(src, dst);
+  }
+  if (src != &items) items = std::move(scratch);
+}
+
+}  // namespace
+
 EmpiricalDistribution EmpiricalDistribution::from_samples(
-    std::span<const double> samples) {
-  std::vector<std::pair<double, double>> weighted;
-  weighted.reserve(samples.size());
-  for (const double s : samples) weighted.emplace_back(s, 1.0);
-  return from_weighted(std::move(weighted));
+    std::span<const double> samples, ThreadPool* pool) {
+  std::vector<std::pair<double, double>> weighted(samples.size());
+  parallel_for_fixed_chunks(pool, 0, samples.size(), kSortChunk,
+                            [&](const ChunkRange& chunk) {
+                              for (std::size_t i = chunk.begin;
+                                   i < chunk.end; ++i) {
+                                weighted[i] = {samples[i], 1.0};
+                              }
+                            });
+  return from_weighted(std::move(weighted), pool);
 }
 
 EmpiricalDistribution EmpiricalDistribution::from_weighted(
-    std::vector<std::pair<double, double>> weighted) {
+    std::vector<std::pair<double, double>> weighted, ThreadPool* pool) {
   CSB_CHECK_MSG(!weighted.empty(),
                 "EmpiricalDistribution requires at least one sample");
-  std::map<double, double> mass;
   for (const auto& [value, weight] : weighted) {
     CSB_CHECK_MSG(weight >= 0.0, "sample weights must be nonnegative");
     CSB_CHECK_MSG(std::isfinite(value), "sample values must be finite");
-    mass[value] += weight;
   }
+  stable_sort_by_value(weighted, pool);
+  // Accumulate each run of equal values left to right: after a stable
+  // sort that is exactly the input order, matching the historical
+  // std::map<double,double> accumulation bit for bit (FP addition order
+  // included), as does the ascending-value total below.
   EmpiricalDistribution dist;
+  std::vector<std::pair<double, double>> mass;
+  for (std::size_t i = 0; i < weighted.size();) {
+    const double value = weighted[i].first;
+    double sum = 0.0;
+    for (; i < weighted.size() && weighted[i].first == value; ++i) {
+      sum += weighted[i].second;
+    }
+    mass.emplace_back(value, sum);
+  }
   dist.values_.reserve(mass.size());
   dist.probs_.reserve(mass.size());
   double total = 0.0;

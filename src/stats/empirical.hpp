@@ -18,15 +18,23 @@
 
 namespace csb {
 
+class ThreadPool;
+
 class EmpiricalDistribution {
  public:
-  /// Builds from raw samples (duplicates accumulate mass).
-  static EmpiricalDistribution from_samples(std::span<const double> samples);
+  /// Builds from raw samples (duplicates accumulate mass). With a pool the
+  /// grouping sort runs over fixed chunks merged in chunk order, so the
+  /// fitted distribution is bit-identical for any pool size (null included).
+  static EmpiricalDistribution from_samples(std::span<const double> samples,
+                                            ThreadPool* pool = nullptr);
 
   /// Builds from explicit (value, weight) pairs; weights need not be
-  /// normalized, values need not be sorted or unique.
+  /// normalized, values need not be sorted or unique. Equal values
+  /// accumulate in input order, so results are bit-identical to the
+  /// historical std::map-based accumulation at any pool size.
   static EmpiricalDistribution from_weighted(
-      std::vector<std::pair<double, double>> weighted);
+      std::vector<std::pair<double, double>> weighted,
+      ThreadPool* pool = nullptr);
 
   /// Draws a value from the empirical PMF. O(1).
   double sample(Rng& rng) const { return values_[alias_->sample(rng)]; }

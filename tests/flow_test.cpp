@@ -8,7 +8,9 @@
 
 #include "flow/assembler.hpp"
 #include "flow/netflow_io.hpp"
+#include "obs/metrics.hpp"
 #include "pcap/packet.hpp"
+#include "trace/attacks.hpp"
 #include "trace/session.hpp"
 #include "trace/traffic_model.hpp"
 #include "util/error.hpp"
@@ -163,6 +165,32 @@ TEST(FlowAssemblerTest, OpenAndCompletedCounters) {
   EXPECT_EQ(assembler.open_flows(), 0u);
 }
 
+TEST(FlowAssemblerTest, SkipsUnsupportedProtocolPackets) {
+  // Real captures carry GRE/ESP/etc. frames the flow model does not cover;
+  // they must be counted and dropped, not crash the pipeline.
+  FlowAssembler assembler;
+  const auto before =
+      MetricsRegistry::instance().counter("seed.skipped_packets").value();
+  DecodedPacket odd;
+  odd.timestamp_us = 1'000'000;
+  odd.src_ip = 0x0a000001;
+  odd.dst_ip = 0x0a000002;
+  odd.protocol = 47;  // GRE
+  odd.wire_bytes = 60;
+  EXPECT_EQ(assembler.add(odd), 0u);
+  EXPECT_EQ(assembler.open_flows(), 0u);
+  EXPECT_EQ(assembler.skipped_packets(), 1u);
+  EXPECT_EQ(
+      MetricsRegistry::instance().counter("seed.skipped_packets").value(),
+      before + 1);
+  // Supported traffic around the skipped frame is unaffected.
+  for (const auto& packet :
+       decode_all(to_packets(base_session(Protocol::kUdp, ConnState::kNone)))) {
+    assembler.add(packet);
+  }
+  EXPECT_EQ(assembler.finish().size(), 1u);
+}
+
 TEST(FlowAssemblerTest, ActiveTimeoutCutsLongFlow) {
   FlowAssemblerOptions options;
   options.idle_timeout_us = 3'600'000'000;  // effectively off
@@ -193,9 +221,11 @@ TEST(FlowAssemblerTest, ActiveTimeoutCutsLongFlow) {
 
 class ParallelAssemblyTest : public ::testing::TestWithParam<std::size_t> {};
 
-TEST_P(ParallelAssemblyTest, MatchesSerialFlowSet) {
+TEST_P(ParallelAssemblyTest, MatchesSerialFlowSequence) {
   // A realistic mixed capture, assembled serially and with N shards, must
-  // yield the same multiset of flows.
+  // yield the exact serial record sequence — not just the same multiset.
+  // Both paths order finished flows by (first packet time, first packet
+  // index), so the outputs are directly comparable element by element.
   TrafficModelConfig config;
   config.benign_sessions = 1'500;
   const auto packets =
@@ -203,15 +233,51 @@ TEST_P(ParallelAssemblyTest, MatchesSerialFlowSet) {
   const auto decoded = decode_all(packets);
 
   ThreadPool pool(4);
-  auto serial = assemble_flows(decoded);
-  auto parallel = assemble_flows_parallel(decoded, pool, GetParam());
+  const auto serial = assemble_flows(decoded);
+  const auto parallel = assemble_flows_parallel(decoded, pool, GetParam());
   ASSERT_EQ(serial.size(), parallel.size());
-  const auto full_order = [](const NetflowRecord& a, const NetflowRecord& b) {
-    return std::tie(a.first_us, a.src_ip, a.dst_ip, a.src_port, a.dst_port) <
-           std::tie(b.first_us, b.src_ip, b.dst_ip, b.src_port, b.dst_port);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "flow " << i;
+  }
+}
+
+TEST_P(ParallelAssemblyTest, MatchesSerialSequenceOnAttackTrace) {
+  // Attack traffic stresses the split logic: SYN floods open thousands of
+  // tiny flows, scans touch many 5-tuples once, and floods reuse one tuple
+  // heavily. The sharded output must still equal the serial sequence.
+  TrafficModelConfig config;
+  config.benign_sessions = 800;
+  config.client_hosts = 200;
+  config.server_hosts = 40;
+  auto sessions = TrafficModel(config).generate_benign();
+
+  Rng rng(config.seed ^ 0xa77acULL);
+  const auto add = [&](std::vector<SessionSpec> injected) {
+    sessions.insert(sessions.end(), injected.begin(), injected.end());
   };
-  std::sort(serial.begin(), serial.end(), full_order);
-  std::sort(parallel.begin(), parallel.end(), full_order);
+  SynFloodConfig syn;
+  syn.victim_ip = 0x0a00000a;
+  syn.flows = 800;
+  syn.start_us = config.start_time_us;
+  add(inject_syn_flood(syn, rng));
+  HostScanConfig scan;
+  scan.scanner_ip = 0xc6336401;
+  scan.target_ip = 0x0a00000b;
+  scan.start_us = config.start_time_us;
+  add(inject_host_scan(scan, rng));
+  UdpFloodConfig flood;
+  flood.attacker_ip = 0xc6336403;
+  flood.victim_ip = 0x0a00000c;
+  flood.flows = 100;
+  flood.pkts_per_flow = 50;
+  flood.start_us = config.start_time_us;
+  add(inject_udp_flood(flood, rng));
+
+  const auto decoded = decode_all(sessions_to_packets(sessions));
+  ThreadPool pool(4);
+  const auto serial = assemble_flows(decoded);
+  const auto parallel = assemble_flows_parallel(decoded, pool, GetParam());
+  ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i], parallel[i]) << "flow " << i;
   }

@@ -8,6 +8,7 @@
 #include "pcap/packet.hpp"
 #include "pcap/pcap_file.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace csb {
 namespace {
@@ -252,6 +253,35 @@ TEST(PcapFileTest, RejectsTruncatedRecord) {
   PcapReader reader(truncated);
   PcapPacket read_back;
   EXPECT_THROW(reader.next(read_back), CsbError);
+}
+
+TEST(PcapFileTest, IndexedReaderMatchesStreamingReader) {
+  std::vector<PcapPacket> packets;
+  for (int i = 0; i < 60; ++i) {
+    PcapPacket packet;
+    packet.timestamp_us = 1'000ull * static_cast<std::uint64_t>(i);
+    FrameSpec spec = spec_with_payload(static_cast<std::uint16_t>(20 + i));
+    spec.src_port = static_cast<std::uint16_t>(40000 + i);
+    packet.data = i % 3 == 0   ? build_tcp_frame(spec, kTcpSyn)
+                  : i % 3 == 1 ? build_udp_frame(spec)
+                               : build_icmp_frame(spec, true);
+    packet.orig_len = static_cast<std::uint32_t>(packet.data.size());
+    packets.push_back(packet);
+  }
+  const std::string path = ::testing::TempDir() + "/csb_pcap_index_test.pcap";
+  write_pcap_file(path, packets);
+
+  const IndexedPcap capture = index_pcap_file(path);
+  ASSERT_EQ(capture.records.size(), packets.size());
+  const auto serial = read_pcap_file(path);
+  ThreadPool pool(4);
+  const auto pooled = read_pcap_file(path, &pool);
+  ASSERT_EQ(serial.size(), packets.size());
+  EXPECT_EQ(serial, pooled);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(capture.packet(i), packets[i]) << "record " << i;
+    EXPECT_EQ(capture.records[i].timestamp_us, packets[i].timestamp_us);
+  }
 }
 
 TEST(PcapFileTest, FileRoundTrip) {

@@ -4,12 +4,16 @@
 
 #include <set>
 #include <sstream>
+#include <string>
 
 #include "graph/algorithms.hpp"
+#include "graph/graph_io.hpp"
+#include "obs/trace.hpp"
 #include "pcap/pcap_file.hpp"
 #include "seed/seed.hpp"
 #include "trace/traffic_model.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace csb {
 namespace {
@@ -256,6 +260,96 @@ TEST(SeedProfileIoTest, FileRoundTripAndErrors) {
   bytes.resize(bytes.size() / 2);
   std::stringstream half(bytes);
   EXPECT_THROW(SeedProfile::load(half), CsbError);
+}
+
+// ------------------------------------------------------ pool determinism
+
+std::string serialized_bundle(const SeedBundle& bundle) {
+  // Exactly what `csbgen seed` writes: the binary graph plus the profile.
+  std::stringstream out;
+  save_binary(bundle.graph, out);
+  bundle.profile.save(out);
+  return out.str();
+}
+
+TEST(SeedDeterminismTest, NetflowSeedIdenticalAcrossPoolSizes) {
+  // Enough records that the chunked graph build and profile fits actually
+  // run multi-chunk; the serialized seed must be byte-identical to the
+  // serial build at every pool size, including a single-worker pool.
+  TrafficModelConfig config;
+  config.benign_sessions = 6'000;
+  config.client_hosts = 500;
+  config.server_hosts = 80;
+  const auto records =
+      sessions_to_netflow(TrafficModel(config).generate_benign());
+  ASSERT_GT(records.size(), 2'048u);
+  const SeedBundle serial = build_seed_from_netflow(records);
+  const std::string serial_bytes = serialized_bundle(serial);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    SeedOptions options;
+    options.pool = &pool;
+    const SeedBundle pooled = build_seed_from_netflow(records, options);
+    EXPECT_EQ(pooled.graph, serial.graph) << threads << " threads";
+    EXPECT_TRUE(pooled.profile == serial.profile) << threads << " threads";
+    EXPECT_EQ(serialized_bundle(pooled), serial_bytes)
+        << threads << " threads";
+  }
+}
+
+TEST(SeedDeterminismTest, PcapSeedIdenticalAcrossPoolSizes) {
+  // End-to-end from a capture file: indexed read, chunked decode, sharded
+  // flow assembly, parallel graph build and profile — all byte-identical
+  // to the serial pipeline.
+  TrafficModelConfig config;
+  config.benign_sessions = 2'500;
+  const auto packets =
+      sessions_to_packets(TrafficModel(config).generate_benign());
+  const std::string path =
+      ::testing::TempDir() + "/csb_seed_determinism.pcap";
+  write_pcap_file(path, packets);
+  const SeedBundle serial = build_seed_from_pcap_file(path);
+  const std::string serial_bytes = serialized_bundle(serial);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    SeedOptions options;
+    options.pool = &pool;
+    const SeedBundle pooled = build_seed_from_pcap_file(path, options);
+    EXPECT_EQ(pooled.graph, serial.graph) << threads << " threads";
+    EXPECT_TRUE(pooled.profile == serial.profile) << threads << " threads";
+    EXPECT_EQ(serialized_bundle(pooled), serial_bytes)
+        << threads << " threads";
+  }
+}
+
+TEST(SeedDeterminismTest, BooksSeedSubPhases) {
+  // The parallel pipeline reports its stages through the csb.trace.v1
+  // recorder: every sub-span of the ingestion path must appear.
+  TrafficModelConfig config;
+  config.benign_sessions = 3'000;
+  const auto packets =
+      sessions_to_packets(TrafficModel(config).generate_benign());
+  const std::string path = ::testing::TempDir() + "/csb_seed_phases.pcap";
+  write_pcap_file(path, packets);
+
+  TraceRecorder recorder;
+  TraceRecorder::set_current(&recorder);
+  ThreadPool pool(2);
+  SeedOptions options;
+  options.pool = &pool;
+  const SeedBundle bundle = build_seed_from_pcap_file(path, options);
+  TraceRecorder::set_current(nullptr);
+  ASSERT_GT(bundle.graph.num_edges(), 2'048u);
+
+  std::set<std::string> names;
+  for (const auto& span : recorder.spans()) names.insert(span.name);
+  for (const char* expected :
+       {"seed:index", "seed:decode", "seed:assemble-flows",
+        "seed:build-graph", "seed:build-graph:scan",
+        "seed:build-graph:remap", "seed:build-graph:fill", "seed:profile",
+        "seed:profile:structure", "seed:profile:attributes"}) {
+    EXPECT_TRUE(names.contains(expected)) << "missing span " << expected;
+  }
 }
 
 TEST(SeedPipelineTest, PcapFileRoundTrip) {

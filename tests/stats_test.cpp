@@ -14,6 +14,7 @@
 #include "stats/histogram.hpp"
 #include "stats/power_law.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace csb {
 namespace {
@@ -242,6 +243,69 @@ TEST(ConditionalTest, RejectsEmpty) {
       ConditionalDistribution::fit(
           std::vector<std::pair<std::uint64_t, double>>{}),
       CsbError);
+}
+
+// ----------------------------------------- deterministic parallel fitting
+
+TEST(EmpiricalTest, ParallelFromSamplesMatchesSerial) {
+  // Enough samples to span several sort chunks, with heavy duplication so
+  // chunk-boundary run accumulation is exercised. Exact (bitwise) equality
+  // is the contract, not approximate.
+  Rng rng(17);
+  std::vector<double> samples(100'000);
+  for (auto& s : samples) s = std::floor(rng.uniform_double() * 500.0);
+  const auto serial = EmpiricalDistribution::from_samples(samples);
+  ThreadPool pool(4);
+  const auto parallel = EmpiricalDistribution::from_samples(samples, &pool);
+  EXPECT_EQ(serial.values(), parallel.values());
+  EXPECT_EQ(serial.probabilities(), parallel.probabilities());
+  EXPECT_EQ(serial.mean(), parallel.mean());
+  EXPECT_EQ(serial.variance(), parallel.variance());
+}
+
+TEST(ConditionalTest, ParallelFitMatchesSerial) {
+  // Spans several fit chunks and many log2 buckets; serial and pooled fits
+  // must agree exactly on every bucket and the marginal.
+  Rng rng(23);
+  std::vector<std::pair<std::uint64_t, double>> obs(120'000);
+  for (auto& [c, v] : obs) {
+    c = static_cast<std::uint64_t>(rng.uniform_double() * (1 << 20));
+    v = std::floor(rng.uniform_double() * 300.0);
+  }
+  const auto serial = ConditionalDistribution::fit(obs);
+  ThreadPool pool(4);
+  const auto parallel = ConditionalDistribution::fit(obs, &pool);
+  ASSERT_EQ(serial.bucket_keys(), parallel.bucket_keys());
+  for (const auto b : serial.bucket_keys()) {
+    EXPECT_EQ(serial.bucket(b).values(), parallel.bucket(b).values());
+    EXPECT_EQ(serial.bucket(b).probabilities(),
+              parallel.bucket(b).probabilities());
+  }
+  EXPECT_EQ(serial.marginal().values(), parallel.marginal().values());
+  EXPECT_EQ(serial.marginal().probabilities(),
+            parallel.marginal().probabilities());
+}
+
+TEST(ConditionalTest, ColumnFitMatchesPairFit) {
+  Rng rng(29);
+  std::vector<std::uint64_t> conditions(5'000);
+  std::vector<double> values(conditions.size());
+  std::vector<std::pair<std::uint64_t, double>> obs(conditions.size());
+  for (std::size_t i = 0; i < conditions.size(); ++i) {
+    conditions[i] = static_cast<std::uint64_t>(rng.uniform_double() * 4096.0);
+    values[i] = std::floor(rng.uniform_double() * 64.0);
+    obs[i] = {conditions[i], values[i]};
+  }
+  const auto from_pairs = ConditionalDistribution::fit(obs);
+  const auto from_columns = ConditionalDistribution::fit(
+      conditions, [&](std::size_t i) { return values[i]; });
+  ASSERT_EQ(from_pairs.bucket_keys(), from_columns.bucket_keys());
+  for (const auto b : from_pairs.bucket_keys()) {
+    EXPECT_EQ(from_pairs.bucket(b).values(), from_columns.bucket(b).values());
+    EXPECT_EQ(from_pairs.bucket(b).probabilities(),
+              from_columns.bucket(b).probabilities());
+  }
+  EXPECT_EQ(from_pairs.marginal().values(), from_columns.marginal().values());
 }
 
 // -------------------------------------------------------------- power law

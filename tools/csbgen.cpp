@@ -24,6 +24,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "flow/assembler.hpp"
@@ -166,8 +167,11 @@ commands:
       IPs. Writes a pcap and, with --netflow, the assembled flows as CSV.
 
   seed --in=cap.pcap|flows.csv --out=seed.bin [--profile=seed.profile]
+       [--threads=0]
       Fig. 1 pipeline: capture -> NetFlow -> property graph. The output is
-      a csb binary graph with NetFlow properties.
+      a csb binary graph with NetFlow properties. --threads sizes the
+      ingestion pool (0 = hardware concurrency, 1 = serial); the outputs
+      are byte-identical at any thread count.
 
   generate --seed=seed.bin --out=synth.bin --edges=N
            [--profile=seed.profile] [--algo=NAME] [--no-properties]
@@ -211,17 +215,18 @@ commands:
 )";
 }
 
-std::vector<NetflowRecord> load_flows(const std::string& path) {
+std::vector<NetflowRecord> load_flows(const std::string& path,
+                                      ThreadPool* pool = nullptr) {
   if (path.size() > 5 && path.substr(path.size() - 5) == ".pcap") {
-    const auto packets = read_pcap_file(path);
-    std::vector<DecodedPacket> decoded;
-    decoded.reserve(packets.size());
-    for (const auto& packet : packets) {
-      if (auto d = decode_frame(packet.data.data(), packet.data.size(),
-                                packet.orig_len, packet.timestamp_us)) {
-        decoded.push_back(*d);
-      }
+    TraceRecorder* const recorder = TraceRecorder::current();
+    IndexedPcap capture;
+    {
+      PhaseScope phase(recorder, "seed:index");
+      capture = index_pcap_file(path);
     }
+    const auto decoded = decode_packets(capture, pool);
+    PhaseScope phase(recorder, "seed:assemble-flows");
+    if (pool != nullptr) return assemble_flows_parallel(decoded, *pool);
     return assemble_flows(decoded);
   }
   return load_netflow_csv_file(path);
@@ -302,10 +307,20 @@ int cmd_trace(const Args& args) {
 }
 
 int cmd_seed(const Args& args) {
-  args.require_known("seed", {"in", "out", "profile", "trace"});
+  args.require_known("seed", {"in", "out", "profile", "trace", "threads"});
   const std::string in = args.get("in", "");
   const std::string out = args.get("out", "seed.bin");
   CSB_CHECK_MSG(!in.empty(), "seed requires --in=<capture.pcap|flows.csv>");
+
+  // --threads=0 sizes the pool to the hardware; 1 keeps the historical
+  // serial path. Outputs are byte-identical either way.
+  std::uint64_t threads = args.get_u64("threads", 0);
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  MetricsRegistry::instance().reset_all();
 
   // --trace: the seed pipeline has no ClusterSim, so its phases attach via
   // the process-wide recorder slot (see build_seed_from_packets).
@@ -322,22 +337,24 @@ int cmd_seed(const Args& args) {
   std::vector<NetflowRecord> flows;
   {
     PhaseScope phase(recorder.get(), "seed:load");
-    flows = load_flows(in);
+    flows = load_flows(in, pool.get());
   }
   PropertyGraph graph;
   {
     PhaseScope phase(recorder.get(), "seed:build-graph");
-    graph = graph_from_netflow(flows);
+    graph = graph_from_netflow(flows, pool.get());
   }
   save_binary_file(graph, out);
+  const std::uint64_t skipped =
+      MetricsRegistry::instance().counter("seed.skipped_packets").value();
   std::cout << in << ": " << flows.size() << " flows -> " << out << " ("
             << graph.num_vertices() << " vertices, " << graph.num_edges()
-            << " edges)\n";
+            << " edges, " << skipped << " packets skipped)\n";
   if (args.has("profile")) {
     const std::string profile_path = args.get("profile", "seed.profile");
     {
       PhaseScope phase(recorder.get(), "seed:profile");
-      SeedProfile::analyze(graph).save_file(profile_path);
+      SeedProfile::analyze(graph, pool.get()).save_file(profile_path);
     }
     std::cout << "wrote " << profile_path << " (fitted distributions)\n";
   }
