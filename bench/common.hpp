@@ -17,8 +17,9 @@ namespace csb::bench {
 /// Workload multiplier from the CSB_BENCH_SCALE environment variable.
 inline double scale() {
   if (const char* env = std::getenv("CSB_BENCH_SCALE")) {
-    const double value = std::atof(env);
-    if (value > 0.0) return value;
+    char* end = nullptr;
+    const double value = std::strtod(env, &end);
+    if (end != env && value > 0.0) return value;
   }
   return 1.0;
 }

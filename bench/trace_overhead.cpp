@@ -101,9 +101,12 @@ int main(int argc, char** argv) {
     if (arg == "--assert") {
       assert_threshold = true;
     } else if (arg.rfind("--reps=", 0) == 0) {
-      reps = std::max(1, std::atoi(arg.c_str() + std::strlen("--reps=")));
+      reps = std::max(
+          1, static_cast<int>(std::strtol(
+                 arg.c_str() + std::strlen("--reps="), nullptr, 10)));
     } else if (arg.rfind("--threshold=", 0) == 0) {
-      threshold_pct = std::atof(arg.c_str() + std::strlen("--threshold="));
+      threshold_pct =
+          std::strtod(arg.c_str() + std::strlen("--threshold="), nullptr);
     }
   }
   // Gate mode needs enough samples for the medians to shrug off a single

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Static-analysis gate: builds csblint and runs it over src/ tools/ bench/
+# with the full rule catalog (docs/static-analysis.md). Exits nonzero on any
+# unsuppressed finding — the same invocation ctest registers as
+# `csblint_repo`, kept as a standalone script so it can gate other scripts
+# (check_sanitize.sh) and pre-push hooks without a test run.
+#
+# When clang-tidy is installed, also runs the project .clang-tidy config
+# over src/util/ and src/obs/ (the directories kept tidy-clean); absent
+# clang-tidy is not an error — the container image does not ship it.
+#
+# BUILD_DIR overrides the build tree (default: build).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${BUILD_DIR:-build}"
+cmake -B "$BUILD" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target csblint
+
+echo "== csblint (determinism & concurrency invariants) =="
+"$BUILD/tools/csblint" --root=. src tools bench
+
+if command -v clang-tidy >/dev/null 2>&1 &&
+   [[ -f "$BUILD/compile_commands.json" ]]; then
+  echo "== clang-tidy (src/util, src/obs) =="
+  mapfile -t TIDY_FILES < <(ls src/util/*.cpp src/obs/*.cpp)
+  clang-tidy -p "$BUILD" --quiet "${TIDY_FILES[@]}"
+else
+  echo "clang-tidy not installed; skipping the tidy pass"
+fi
+
+echo "OK: lint gate clean"

@@ -1,4 +1,9 @@
 #!/usr/bin/env bash
+# Gate sequence: static analysis (scripts/check_lint.sh — csblint plus the
+# optional clang-tidy pass), then the sanitizer trees (ASan+UBSan,
+# UBSan-only over the full deterministic-module suites, TSan), then the
+# perf-regression check.
+#
 # Configures a dedicated ASan+UBSan build tree (build-asan/) and runs the
 # concurrency- and allocation-heavy test subset under the sanitizers: the
 # ClusterSim stage runner, Dataset kernels (distinct/shuffle/concat), the
@@ -13,6 +18,10 @@
 # TSan cannot coexist with ASan, so it gets its own tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Static analysis first: csblint (determinism/concurrency contract) plus the
+# optional clang-tidy pass. Cheapest gate, so it fails fastest.
+./scripts/check_lint.sh
 
 FILTER="${1:-ClusterSim|Dataset|ThreadPool|FlatSet|ListSchedule|Operations|Trace|Metrics|Json|MemWatch|GeneratorRegistry|SimplifyParallel|KronFit|ParallelFor}"
 
@@ -30,6 +39,26 @@ ctest --test-dir build-asan -R "$FILTER" --output-on-failure -j "$(nproc)"
 # Recorder attach/detach under sanitizers; no timing assertion (ASan skews
 # per-kernel cost), the run itself is the memory/UB gate.
 ./build-asan/bench/trace_overhead --reps=2
+
+# Pure-UBSan pass (build-ubsan/) over the deterministic modules' FULL test
+# suites — gen, graph, stats, util. UBSan without ASan is cheap enough to
+# run everything, and it is the gate that matters for byte-identical
+# output: shift overflow, signed wrap and misaligned loads are exactly the
+# UB classes that silently change emitted bytes between optimization
+# levels. The binaries run directly (not via ctest) so no filter can
+# accidentally drop a suite.
+cmake -B build-ubsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCSB_SANITIZE=UNDEFINED \
+  -DCSB_BUILD_BENCHMARKS=OFF \
+  -DCSB_BUILD_EXAMPLES=OFF
+cmake --build build-ubsan -j "$(nproc)" \
+  --target util_test stats_test graph_test gen_test
+
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+for suite in util_test stats_test graph_test gen_test; do
+  "./build-ubsan/tests/${suite}" --gtest_brief=1
+done
 
 # ThreadSanitizer pass over the parallel seed-ingestion pipeline: pool
 # decode, sharded flow assembly, two-pass graph build, pool-dispatched

@@ -7,7 +7,9 @@
 #   - bench/trace_overhead      (the shared bench emitter; also asserts the
 #                                attached-recorder overhead stays bounded)
 # Any schema drift — a missing version tag, an unknown record type, a
-# non-monotone span stream, a dangling parent id — fails the gate.
+# non-monotone span stream, a dangling parent id — fails the gate. Before
+# producing anything, csblint's span-naming rule statically vets every span
+# literal against the documented stage-name grammar.
 #
 # BUILD_DIR overrides the build tree (default: build).
 set -euo pipefail
@@ -15,7 +17,13 @@ cd "$(dirname "$0")/.."
 
 BUILD="${BUILD_DIR:-build}"
 cmake -B "$BUILD" -S . >/dev/null
-cmake --build "$BUILD" -j "$(nproc)" --target csbgen trace_overhead
+cmake --build "$BUILD" -j "$(nproc)" --target csbgen trace_overhead csblint
+
+# Span-name literals must match the documented stage-name grammar before we
+# bother producing traces: csblint's span-naming rule is the static half of
+# this gate (docs/static-analysis.md), `csbgen report --check` the dynamic.
+echo "== linting span names =="
+"$BUILD/tools/csblint" --root=. --rules=span-naming src tools bench
 
 CSBGEN="$BUILD/tools/csbgen"
 TMP="$(mktemp -d)"

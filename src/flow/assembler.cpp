@@ -160,6 +160,8 @@ std::size_t FlowAssembler::add(const DecodedPacket& packet,
 }
 
 void FlowAssembler::expire_older_than(std::uint64_t now_us) {
+  // csblint: unordered-iteration-ok — finish_sequenced() re-sorts done_ by
+  // the (first_us, first_seq) total order, so finalize order cannot escape
   for (auto it = table_.begin(); it != table_.end();) {
     if (now_us - it->second.record.last_us > options_.idle_timeout_us) {
       finalize(std::move(it->second));
@@ -195,6 +197,8 @@ void FlowAssembler::finalize(Flow flow) {
 }
 
 std::vector<FlowAssembler::Completed> FlowAssembler::finish_sequenced() {
+  // csblint: unordered-iteration-ok — the sort below imposes the
+  // (first_us, first_seq) total order, so finalize order cannot escape
   for (auto& [key, flow] : table_) finalize(std::move(flow));
   table_.clear();
   // (first_us, first_seq) is a total order over flows — first_seq values

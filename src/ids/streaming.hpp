@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -54,8 +55,12 @@ class StreamingDetector {
 
  private:
   struct WindowState {
-    std::unordered_map<std::uint32_t, TrafficPattern> dst_patterns;
-    std::unordered_map<std::uint32_t, TrafficPattern> src_patterns;
+    // Sorted maps: close_window() walks these to emit alarms, and callers
+    // see the emission sequence — ascending-IP order keeps it
+    // deterministic. The peer/port distinct-counters below stay hashed
+    // (insert + size only; their order never escapes).
+    std::map<std::uint32_t, TrafficPattern> dst_patterns;
+    std::map<std::uint32_t, TrafficPattern> src_patterns;
     std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>>
         dst_peers, src_peers;
     std::unordered_map<std::uint32_t, std::unordered_set<std::uint16_t>>

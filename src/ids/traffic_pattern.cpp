@@ -1,5 +1,6 @@
 #include "ids/traffic_pattern.hpp"
 
+#include <unordered_map>
 #include <unordered_set>
 
 namespace csb {
@@ -8,13 +9,15 @@ namespace {
 
 PatternMap aggregate(const std::vector<NetflowRecord>& records,
                      bool by_destination) {
-  PatternMap patterns;
+  // Hash-accumulate per key (O(1) per record), then emit into the sorted
+  // PatternMap so callers iterate in ascending-IP order.
+  std::unordered_map<std::uint32_t, TrafficPattern> acc;
   std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> peers;
   std::unordered_map<std::uint32_t, std::unordered_set<std::uint16_t>> ports;
   for (const NetflowRecord& rec : records) {
     const std::uint32_t key = by_destination ? rec.dst_ip : rec.src_ip;
     const std::uint32_t peer = by_destination ? rec.src_ip : rec.dst_ip;
-    TrafficPattern& pattern = patterns[key];
+    TrafficPattern& pattern = acc[key];
     pattern.detection_ip = key;
     pattern.n_flows += 1;
     pattern.sum_flow_size += rec.out_bytes + rec.in_bytes;
@@ -29,9 +32,12 @@ PatternMap aggregate(const std::vector<NetflowRecord>& records,
     peers[key].insert(peer);
     ports[key].insert(rec.dst_port);
   }
-  for (auto& [key, pattern] : patterns) {
+  PatternMap patterns;
+  // csblint: unordered-iteration-ok — every entry lands in the sorted map
+  for (auto& [key, pattern] : acc) {
     pattern.n_distinct_peers = peers[key].size();
     pattern.n_distinct_dst_ports = ports[key].size();
+    patterns.emplace(key, pattern);
   }
   return patterns;
 }

@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "flow/netflow.hpp"
@@ -53,7 +53,11 @@ struct TrafficPattern {
   }
 };
 
-using PatternMap = std::unordered_map<std::uint32_t, TrafficPattern>;
+/// Sorted by detection IP: every consumer that walks a PatternMap (the
+/// detector, PSO objectives, calibration quantiles) sees ascending-IP
+/// order, so alarm and loss sequences are deterministic. Aggregation still
+/// hash-accumulates internally; only the returned view is ordered.
+using PatternMap = std::map<std::uint32_t, TrafficPattern>;
 
 /// Aggregates flows by destination IP (peers = distinct source IPs).
 PatternMap destination_based_patterns(

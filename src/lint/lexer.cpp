@@ -1,0 +1,208 @@
+#include "lint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace csb::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+constexpr std::array<std::string_view, 22> kMultiPunct = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", "==", ">=",
+    "!=",  "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> tokens;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  int last_code_line = 0;  // line of the most recent non-comment token
+  bool line_start = true;  // only whitespace seen so far on this line
+
+  const auto push = [&](TokKind kind, std::size_t begin, std::size_t end,
+                        int tok_line) {
+    Token tok;
+    tok.kind = kind;
+    tok.text.assign(src.substr(begin, end - begin));
+    tok.line = tok_line;
+    tok.first_on_line = last_code_line != tok_line;
+    if (kind != TokKind::kComment) last_code_line = tok_line;
+    tokens.push_back(std::move(tok));
+  };
+
+  const auto count_newlines = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      if (src[k] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      line_start = true;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: swallow the logical line (with \-continuations
+    // and anything else on it) without emitting tokens. A // comment on the
+    // directive line is swallowed too — suppressions don't live there.
+    if (c == '#' && line_start) {
+      std::size_t j = i;
+      while (j < n) {
+        if (src[j] == '\n') {
+          // Continuation if the last non-space char before \n is a backslash.
+          std::size_t k = j;
+          while (k > i && (src[k - 1] == ' ' || src[k - 1] == '\t' ||
+                           src[k - 1] == '\r')) {
+            --k;
+          }
+          if (k > i && src[k - 1] == '\\') {
+            ++j;  // consume the newline, keep going
+            continue;
+          }
+          break;
+        }
+        ++j;
+      }
+      count_newlines(i, j);
+      i = j;
+      continue;
+    }
+    line_start = false;
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i;
+      while (j < n && src[j] != '\n') ++j;
+      push(TokKind::kComment, i, j, line);
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) ++j;
+      j = j + 1 < n ? j + 2 : n;
+      const int start_line = line;
+      count_newlines(i, j);
+      push(TokKind::kComment, i, j, start_line);
+      i = j;
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '(' && src[j] != '"' && src[j] != '\n') ++j;
+      if (j < n && src[j] == '(') {
+        std::string close(")");
+        close.append(src.substr(i + 2, j - (i + 2)));
+        close.push_back('"');
+        const std::size_t end = src.find(close, j + 1);
+        const std::size_t stop = end == std::string_view::npos
+                                     ? n
+                                     : end + close.size();
+        const int start_line = line;
+        count_newlines(i, stop);
+        push(TokKind::kString, i, stop, start_line);
+        i = stop;
+        continue;
+      }
+      // Not actually a raw string ('R' identifier followed by a plain
+      // string); fall through to identifier handling.
+    }
+
+    // String / char literal with escapes.
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != c && src[j] != '\n') {
+        j += src[j] == '\\' && j + 1 < n ? 2 : 1;
+      }
+      if (j < n && src[j] == c) ++j;
+      push(c == '"' ? TokKind::kString : TokKind::kChar, i, j, line);
+      i = j;
+      continue;
+    }
+
+    // Identifier.
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(src[j])) ++j;
+      push(TokKind::kIdent, i, j, line);
+      i = j;
+      continue;
+    }
+
+    // Number: digits plus hex/float/exponent/digit-separator characters.
+    if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(src[i + 1]))) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = src[j];
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      push(TokKind::kNumber, i, j, line);
+      i = j;
+      continue;
+    }
+
+    // Punctuation, longest operator first.
+    std::size_t len = 1;
+    for (const std::string_view op : kMultiPunct) {
+      if (src.substr(i, op.size()) == op) {
+        len = op.size();
+        break;
+      }
+    }
+    push(TokKind::kPunct, i, i + len, line);
+    i += len;
+  }
+  return tokens;
+}
+
+std::string string_literal_value(std::string_view text) {
+  if (text.size() >= 2 && text.front() == 'R') {
+    const std::size_t open = text.find('(');
+    const std::size_t close = text.rfind(')');
+    if (open != std::string_view::npos && close != std::string_view::npos &&
+        close > open) {
+      return std::string(text.substr(open + 1, close - open - 1));
+    }
+    return std::string(text);
+  }
+  if (text.size() >= 2 && text.front() == '"' && text.back() == '"') {
+    return std::string(text.substr(1, text.size() - 2));
+  }
+  return std::string(text);
+}
+
+}  // namespace csb::lint

@@ -1,0 +1,47 @@
+// Comment- and string-aware C++ lexer for csblint (src/lint).
+//
+// This is not a compiler front end: it produces a flat token stream good
+// enough to pattern-match the project's determinism and concurrency
+// invariants (docs/static-analysis.md) without a libclang dependency.
+// Preprocessor directives are consumed whole (including continuation
+// lines) and emit no tokens; comments ARE tokens, because suppression
+// comments (`// csblint: <rule>-ok`) are part of the language the tool
+// understands.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csb::lint {
+
+enum class TokKind {
+  kIdent,    ///< identifier or keyword
+  kNumber,   ///< numeric literal (integer, float, hex, with separators)
+  kString,   ///< string literal, quotes included ("..." or R"(...)")
+  kChar,     ///< character literal, quotes included
+  kPunct,    ///< operator / punctuation (multi-char operators are one token)
+  kComment,  ///< // or /* */ comment, delimiters included
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+  /// True when no non-comment token precedes this one on its line; drives
+  /// suppression placement (a standalone comment covers the next line, a
+  /// trailing comment covers its own).
+  bool first_on_line = false;
+};
+
+/// Tokenizes `source`. Never throws on malformed input: unterminated
+/// strings/comments are closed at end of file, unknown bytes become
+/// single-character punct tokens. Lossy (preprocessor lines and
+/// whitespace are dropped) but line numbers are exact.
+std::vector<Token> tokenize(std::string_view source);
+
+/// Unquotes a kString token's text ("abc" -> abc, R"(abc)" -> abc).
+/// Escape sequences are NOT interpreted; span names never contain them.
+std::string string_literal_value(std::string_view text);
+
+}  // namespace csb::lint

@@ -1,0 +1,211 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace csb::lint {
+
+namespace {
+
+/// One file's parsed suppression comments: line -> rules silenced there,
+/// plus the bad-suppression diagnostics found while parsing.
+struct Suppressions {
+  std::map<int, std::set<std::string>> by_line;
+  std::vector<Diagnostic> errors;
+};
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// Strips comment delimiters and surrounding whitespace.
+std::string comment_body(std::string_view text) {
+  if (text.rfind("//", 0) == 0) {
+    text.remove_prefix(2);
+  } else if (text.rfind("/*", 0) == 0) {
+    text.remove_prefix(2);
+    if (text.size() >= 2 && text.substr(text.size() - 2) == "*/") {
+      text.remove_suffix(2);
+    }
+  }
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return std::string(text);
+}
+
+Suppressions parse_suppressions(const SourceFile& file) {
+  Suppressions result;
+  for (std::size_t i = 0; i < file.tokens.size(); ++i) {
+    const Token& tok = file.tokens[i];
+    if (tok.kind != TokKind::kComment) continue;
+    const std::string body = comment_body(tok.text);
+    constexpr std::string_view kTag = "csblint:";
+    if (body.rfind(kTag, 0) != 0) continue;
+
+    // A trailing comment targets its own line; a standalone comment (or
+    // comment block) the next code line — one line either way.
+    int target = tok.line;
+    if (tok.first_on_line) {
+      std::size_t j = i + 1;
+      while (j < file.tokens.size() &&
+             file.tokens[j].kind == TokKind::kComment) {
+        ++j;
+      }
+      target = j < file.tokens.size() ? file.tokens[j].line : tok.line + 1;
+    }
+
+    // Words while they end in "-ok" are rule suppressions; the first word
+    // that does not ends the list (free-form justification).
+    std::istringstream words(body.substr(kTag.size()));
+    std::string word;
+    std::size_t accepted = 0;
+    while (words >> word) {
+      while (!word.empty() && (word.back() == ',' || word.back() == ';')) {
+        word.pop_back();
+      }
+      if (word.size() <= 3 ||
+          word.compare(word.size() - 3, 3, "-ok") != 0) {
+        break;
+      }
+      const std::string rule = word.substr(0, word.size() - 3);
+      if (!is_known_rule(rule)) {
+        result.errors.push_back(
+            {file.path, tok.line, "bad-suppression", Severity::kError,
+             "suppression names unknown rule '" + rule +
+                 "' — run csblint --list-rules for the catalog"});
+      } else {
+        result.by_line[target].insert(rule);
+      }
+      ++accepted;
+    }
+    if (accepted == 0) {
+      result.errors.push_back(
+          {file.path, tok.line, "bad-suppression", Severity::kError,
+           "csblint suppression comment names no '<rule>-ok' tokens"});
+    }
+  }
+  return result;
+}
+
+bool diag_less(const Diagnostic& a, const Diagnostic& b) {
+  return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+}
+
+}  // namespace
+
+Linter::Linter(LintOptions options) : options_(std::move(options)) {
+  for (const std::string& rule : options_.rules) {
+    CSB_CHECK_MSG(is_known_rule(rule), "unknown lint rule '" << rule << "'");
+  }
+}
+
+void Linter::add_file(std::string path, std::string content) {
+  SourceFile file;
+  file.path = std::move(path);
+  file.tokens = tokenize(content);
+  file.content = std::move(content);
+  files_.push_back(std::move(file));
+}
+
+LintResult Linter::run() const {
+  const SymbolIndex symbols = build_symbol_index(files_);
+  const auto selected = [&](std::string_view rule) {
+    if (options_.rules.empty()) return true;
+    return std::find(options_.rules.begin(), options_.rules.end(), rule) !=
+           options_.rules.end();
+  };
+
+  LintResult result;
+  result.files_linted = files_.size();
+  std::vector<Diagnostic> raw;
+  for (const SourceFile& file : files_) {
+    const Suppressions suppressions = parse_suppressions(file);
+    if (selected("bad-suppression")) {
+      raw.insert(raw.end(), suppressions.errors.begin(),
+                 suppressions.errors.end());
+    }
+    for (const RuleInfo& rule : rule_catalog()) {
+      if (rule.name == "bad-suppression") continue;
+      if (!selected(rule.name) || !rule_applies(rule, file.path)) continue;
+      std::set<int> seen_lines;  // one diagnostic per (rule, line)
+      run_rule(rule.name, file, symbols,
+               [&](int line, std::string message) {
+                 if (!seen_lines.insert(line).second) return;
+                 raw.push_back({file.path, line, std::string(rule.name),
+                                rule.severity, std::move(message)});
+               });
+    }
+    // Apply this file's suppressions.
+    const auto kept = std::remove_if(
+        raw.begin(), raw.end(), [&](const Diagnostic& d) {
+      if (d.file != file.path) return false;
+      const auto it = suppressions.by_line.find(d.line);
+      if (it == suppressions.by_line.end()) return false;
+      if (it->second.count(d.rule) == 0) return false;
+      ++result.suppressed_count;
+      return true;
+    });
+    raw.erase(kept, raw.end());
+  }
+  std::sort(raw.begin(), raw.end(), diag_less);
+  result.diagnostics = std::move(raw);
+  return result;
+}
+
+std::string list_rules_text() {
+  std::string out;
+  for (const RuleInfo& rule : rule_catalog()) {
+    std::string line(rule.name);
+    if (line.size() < 22) line.append(22 - line.size(), ' ');
+    line += ' ';
+    std::string sev(severity_name(rule.severity));
+    if (sev.size() < 8) sev.append(8 - sev.size(), ' ');
+    line += sev;
+    line += rule.summary;
+    if (!rule.scope.empty()) {
+      line += " [scope:";
+      for (const std::string_view dir : rule.scope) {
+        line += ' ';
+        line += dir;
+      }
+      line += ']';
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> load_compile_commands(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CSB_CHECK_MSG(in.good(), "cannot open compile commands: " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue db = parse_json(buffer.str());
+  CSB_CHECK_MSG(db.is_array(), "compile commands must be a JSON array");
+  std::set<std::string> unique;
+  for (const JsonValue& entry : db.items()) {
+    const JsonValue* file = entry.find("file");
+    if (file == nullptr || !file->is_string()) continue;
+    std::filesystem::path p(file->as_string());
+    if (p.is_relative()) {
+      if (const JsonValue* dir = entry.find("directory");
+          dir != nullptr && dir->is_string()) {
+        p = std::filesystem::path(dir->as_string()) / p;
+      }
+    }
+    unique.insert(p.lexically_normal().generic_string());
+  }
+  return {unique.begin(), unique.end()};
+}
+
+}  // namespace csb::lint

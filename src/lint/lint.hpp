@@ -1,0 +1,64 @@
+// csblint driver (src/lint): file set -> diagnostics.
+//
+// Usage (the CLI in tools/csblint.cpp is a thin wrapper):
+//
+//   csb::lint::Linter linter;
+//   linter.add_file("src/gen/pgsk.cpp", source_text);
+//   const auto result = linter.run();
+//   for (const auto& d : result.diagnostics) ...
+//
+// Suppressions: a `// csblint: <rule>-ok` comment silences that rule on
+// exactly one line — the comment's own line when it trails code, the next
+// line when the comment stands alone. Several rules may be listed
+// (`// csblint: span-naming-ok banned-functions-ok — reason`); anything
+// after the rule tokens is a free-form justification. Unknown rule names
+// are themselves diagnosed (rule `bad-suppression`).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace csb::lint {
+
+struct LintOptions {
+  /// Rules to run; empty = every rule in the catalog. Unknown names are
+  /// rejected by Linter's constructor via CsbError.
+  std::vector<std::string> rules;
+};
+
+struct LintResult {
+  /// Unsuppressed findings, sorted by (file, line, rule).
+  std::vector<Diagnostic> diagnostics;
+  /// Findings silenced by a valid suppression comment.
+  std::size_t suppressed_count = 0;
+  std::size_t files_linted = 0;
+};
+
+class Linter {
+ public:
+  explicit Linter(LintOptions options = {});
+
+  /// `path` should be root-relative with '/' separators — it drives rule
+  /// scoping (rule_applies) and appears verbatim in diagnostics.
+  void add_file(std::string path, std::string content);
+
+  [[nodiscard]] LintResult run() const;
+
+ private:
+  LintOptions options_;
+  std::vector<SourceFile> files_;
+};
+
+/// Stable rendering of the rule catalog (`csblint --list-rules`); pinned
+/// byte-for-byte by tests/lint_test.cpp.
+std::string list_rules_text();
+
+/// Reads the "file" entries of a compile_commands.json (relative entries
+/// joined with their "directory"), deduplicated and sorted. Throws
+/// CsbError on unreadable or malformed input.
+std::vector<std::string> load_compile_commands(const std::string& path);
+
+}  // namespace csb::lint

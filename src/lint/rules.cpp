@@ -1,0 +1,575 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace csb::lint {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool is_punct(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kPunct && tok.text == text;
+}
+
+bool is_ident(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kIdent && tok.text == text;
+}
+
+/// Index of the next non-comment token at or after `i`; kNpos at end.
+std::size_t next_code(const std::vector<Token>& toks, std::size_t i) {
+  while (i < toks.size() && toks[i].kind == TokKind::kComment) ++i;
+  return i < toks.size() ? i : kNpos;
+}
+
+/// Index of the previous non-comment token before `i`; kNpos at start.
+std::size_t prev_code(const std::vector<Token>& toks, std::size_t i) {
+  while (i > 0) {
+    --i;
+    if (toks[i].kind != TokKind::kComment) return i;
+  }
+  return kNpos;
+}
+
+/// Given `i` at an opening token, returns the index just past the matching
+/// close, or kNpos. Handles (), [], {}.
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t i,
+                          std::string_view open, std::string_view close) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (is_punct(toks[i], open)) ++depth;
+    if (is_punct(toks[i], close) && --depth == 0) return i + 1;
+  }
+  return kNpos;
+}
+
+/// Given `i` at a `<` token, returns the index just past the matching `>`,
+/// treating `>>` as two closes (nested template args). Bails (kNpos) on
+/// `;`/`{` — the `<` was a comparison, not a template argument list.
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (is_punct(tok, "<")) ++depth;
+    if (is_punct(tok, ">") && --depth == 0) return i + 1;
+    if (is_punct(tok, ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    }
+    if (is_punct(tok, ";") || is_punct(tok, "{")) return kNpos;
+  }
+  return kNpos;
+}
+
+// ------------------------------------------------------------- catalog
+
+const std::vector<std::string_view> kDeterministicDirs = {
+    "src/gen/", "src/seed/", "src/graph/", "src/stats/"};
+
+// Every module whose output feeds serialized artifacts, veracity metrics,
+// alarms, or trace files — iteration order escaping any of these silently
+// breaks the byte-identical-parallelism contract.
+const std::vector<std::string_view> kOrderCriticalDirs = {
+    "src/gen/",  "src/seed/",     "src/graph/", "src/stats/",
+    "src/flow/", "src/mr/",       "src/ids/",   "src/veracity/",
+    "src/workload/", "src/trace/", "src/pcap/", "src/obs/"};
+
+const std::vector<RuleInfo>& catalog() {
+  static const std::vector<RuleInfo> rules = {
+      {"bad-suppression",
+       "suppression comment naming an unknown rule (or naming none)",
+       Severity::kError,
+       {}},
+      {"banned-functions",
+       "unchecked C functions (strcpy/sprintf/atoi family); use bounded or "
+       "error-checked equivalents",
+       Severity::kError,
+       {}},
+      {"banned-nondeterminism",
+       "OS entropy or wall clocks (std::rand, random_device, system_clock, "
+       "time()) in deterministic modules; use csb::Rng / steady_clock",
+       Severity::kError,
+       kDeterministicDirs},
+      {"raw-parallel-reduce",
+       "parallel_for lambda accumulates into captured floating-point state; "
+       "use parallel_for_fixed_chunks with a chunk-order merge",
+       Severity::kError,
+       {}},
+      {"span-naming",
+       "trace span literal outside the documented stage-name grammar "
+       "(docs/observability.md)",
+       Severity::kError,
+       {}},
+      {"unordered-iteration",
+       "iteration over unordered_map/unordered_set in a determinism-critical "
+       "module; order must not reach output",
+       Severity::kError,
+       kOrderCriticalDirs},
+  };
+  return rules;
+}
+
+// -------------------------------------------------------- symbol index
+
+constexpr std::array<std::string_view, 2> kUnorderedContainers = {
+    "unordered_map", "unordered_set"};
+
+bool names_unordered(const SymbolIndex& index, const Token& tok) {
+  if (tok.kind != TokKind::kIdent) return false;
+  for (const std::string_view c : kUnorderedContainers) {
+    if (tok.text == c) return true;
+  }
+  return index.unordered_types.count(tok.text) != 0;
+}
+
+/// Collects `using A = ...unordered...;` aliases from one file.
+void collect_aliases(const SourceFile& file, SymbolIndex& index) {
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], "using")) continue;
+    const std::size_t name = next_code(toks, i + 1);
+    if (name == kNpos || toks[name].kind != TokKind::kIdent) continue;
+    const std::size_t eq = next_code(toks, name + 1);
+    if (eq == kNpos || !is_punct(toks[eq], "=")) continue;
+    for (std::size_t j = eq + 1; j < toks.size() && !is_punct(toks[j], ";");
+         ++j) {
+      if (names_unordered(index, toks[j])) {
+        index.unordered_types.insert(toks[name].text);
+        break;
+      }
+    }
+  }
+}
+
+/// Collects identifiers declared with a *leading* unordered container type
+/// (variables, members, parameters, and functions returning one). Nested
+/// occurrences (`std::vector<std::unordered_map<...>> x`) deliberately do
+/// not bind: iterating the outer container is ordered.
+void collect_vars(const SourceFile& file, SymbolIndex& index) {
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!names_unordered(index, toks[i])) continue;
+    // Leading-type check: walk back over std/::/const/typename; if that
+    // lands on `<` or `,`, this mention is a nested template argument.
+    std::size_t p = i;
+    while (true) {
+      p = prev_code(toks, p);
+      if (p == kNpos) break;
+      if (is_ident(toks[p], "std") || is_ident(toks[p], "const") ||
+          is_ident(toks[p], "typename") || is_punct(toks[p], "::")) {
+        continue;
+      }
+      break;
+    }
+    if (p != kNpos && (is_punct(toks[p], "<") || is_punct(toks[p], ","))) {
+      continue;
+    }
+    std::size_t k = next_code(toks, i + 1);
+    if (k != kNpos && is_punct(toks[k], "<")) {
+      k = skip_template_args(toks, k);
+    }
+    while (k != kNpos && k < toks.size() &&
+           (is_punct(toks[k], "&") || is_punct(toks[k], "*") ||
+            is_ident(toks[k], "const"))) {
+      k = next_code(toks, k + 1);
+    }
+    if (k == kNpos || k >= toks.size() || toks[k].kind != TokKind::kIdent) {
+      continue;
+    }
+    const std::size_t after = next_code(toks, k + 1);
+    if (after == kNpos) continue;
+    static constexpr std::array<std::string_view, 7> kDeclFollow = {
+        ";", "=", "{", "(", ",", ")", ":"};
+    for (const std::string_view f : kDeclFollow) {
+      if (is_punct(toks[after], f)) {
+        index.unordered_vars.insert(toks[k].text);
+        break;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------- unordered-iteration
+
+void run_unordered_iteration(const SourceFile& file,
+                             const SymbolIndex& symbols, const Sink& emit) {
+  const auto& toks = file.tokens;
+  const auto is_tracked = [&](const Token& tok) {
+    return tok.kind == TokKind::kIdent &&
+           (symbols.unordered_vars.count(tok.text) != 0 ||
+            names_unordered(symbols, tok));
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // Range-for whose range expression mentions an unordered container.
+    if (is_ident(toks[i], "for")) {
+      const std::size_t open = next_code(toks, i + 1);
+      if (open == kNpos || !is_punct(toks[open], "(")) continue;
+      const std::size_t close = skip_balanced(toks, open, "(", ")");
+      if (close == kNpos) continue;
+      // Find the range-for `:` at paren depth 1 (outside any nested
+      // brackets/braces); a top-level `;` means a classic for loop.
+      std::size_t colon = kNpos;
+      int paren = 0;
+      int other = 0;
+      bool classic = false;
+      for (std::size_t j = open; j < close - 1; ++j) {
+        if (is_punct(toks[j], "(")) ++paren;
+        if (is_punct(toks[j], ")")) --paren;
+        if (is_punct(toks[j], "[") || is_punct(toks[j], "{")) ++other;
+        if (is_punct(toks[j], "]") || is_punct(toks[j], "}")) --other;
+        if (paren == 1 && other == 0) {
+          if (is_punct(toks[j], ";")) {
+            classic = true;
+            break;
+          }
+          if (is_punct(toks[j], ":")) {
+            colon = j;
+            break;
+          }
+        }
+      }
+      if (classic || colon == kNpos) continue;
+      for (std::size_t j = colon + 1; j < close - 1; ++j) {
+        if (is_tracked(toks[j])) {
+          emit(toks[i].line,
+               "range-for over unordered container '" + toks[j].text +
+                   "' — iteration order is unspecified and must not reach "
+                   "output; use a sorted/dense container, or suppress with "
+                   "a justification if the order provably cannot escape");
+          break;
+        }
+      }
+      continue;
+    }
+    // Explicit iterators / algorithm calls: X.begin() and friends.
+    if (toks[i].kind == TokKind::kIdent &&
+        symbols.unordered_vars.count(toks[i].text) != 0) {
+      const std::size_t dot = next_code(toks, i + 1);
+      if (dot == kNpos ||
+          !(is_punct(toks[dot], ".") || is_punct(toks[dot], "->"))) {
+        continue;
+      }
+      const std::size_t member = next_code(toks, dot + 1);
+      if (member == kNpos) continue;
+      static constexpr std::array<std::string_view, 4> kBegin = {
+          "begin", "cbegin", "rbegin", "crbegin"};
+      for (const std::string_view b : kBegin) {
+        if (is_ident(toks[member], b)) {
+          emit(toks[i].line,
+               "iterating unordered container '" + toks[i].text + "' via " +
+                   std::string(b) +
+                   "() — order is unspecified and must not reach output");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// -------------------------------------------------- raw-parallel-reduce
+
+/// Identifiers declared as scalar float/double within [begin, end).
+std::set<std::string> float_scalar_decls(const std::vector<Token>& toks,
+                                         std::size_t begin, std::size_t end) {
+  std::set<std::string> names;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!(is_ident(toks[i], "double") || is_ident(toks[i], "float"))) {
+      continue;
+    }
+    const std::size_t name = next_code(toks, i + 1);
+    if (name == kNpos || name >= end || toks[name].kind != TokKind::kIdent) {
+      continue;
+    }
+    const std::size_t after = next_code(toks, name + 1);
+    if (after == kNpos) continue;
+    static constexpr std::array<std::string_view, 6> kDeclFollow = {
+        ";", "=", "{", "(", ",", ")"};
+    for (const std::string_view f : kDeclFollow) {
+      if (is_punct(toks[after], f)) {
+        names.insert(toks[name].text);
+        break;
+      }
+    }
+  }
+  return names;
+}
+
+void run_raw_parallel_reduce(const SourceFile& file, const Sink& emit) {
+  const auto& toks = file.tokens;
+  const std::set<std::string> floats = float_scalar_decls(toks, 0,
+                                                          toks.size());
+  if (floats.empty()) return;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!(is_ident(toks[i], "parallel_for") ||
+          is_ident(toks[i], "parallel_for_chunks"))) {
+      continue;
+    }
+    const std::size_t open = next_code(toks, i + 1);
+    if (open == kNpos || !is_punct(toks[open], "(")) continue;
+    const std::size_t call_end = skip_balanced(toks, open, "(", ")");
+    if (call_end == kNpos) continue;
+
+    // First lambda in the argument list.
+    std::size_t lb = open + 1;
+    while (lb < call_end && !is_punct(toks[lb], "[")) ++lb;
+    if (lb >= call_end) continue;
+    const std::size_t capture_end = skip_balanced(toks, lb, "[", "]");
+    if (capture_end == kNpos) continue;
+    bool by_ref = false;
+    for (std::size_t j = lb; j < capture_end; ++j) {
+      if (is_punct(toks[j], "&")) by_ref = true;
+    }
+    if (!by_ref) continue;
+
+    std::size_t body = capture_end;
+    if (body < call_end && is_punct(toks[body], "(")) {
+      body = skip_balanced(toks, body, "(", ")");
+      if (body == kNpos) continue;
+    }
+    if (body >= call_end || !is_punct(toks[body], "{")) continue;
+    const std::size_t body_end = skip_balanced(toks, body, "{", "}");
+    if (body_end == kNpos) continue;
+
+    // Partial sums local to the lambda are the blessed pattern — exclude.
+    const std::set<std::string> locals =
+        float_scalar_decls(toks, body, body_end);
+    for (std::size_t j = body + 1; j + 1 < body_end; ++j) {
+      if (toks[j].kind != TokKind::kIdent) continue;
+      const std::size_t op = next_code(toks, j + 1);
+      if (op == kNpos || op >= body_end ||
+          !(is_punct(toks[op], "+=") || is_punct(toks[op], "-="))) {
+        continue;
+      }
+      if (floats.count(toks[j].text) == 0 ||
+          locals.count(toks[j].text) != 0) {
+        continue;
+      }
+      emit(toks[j].line,
+           "lambda passed to " + toks[i].text +
+               " accumulates into captured floating-point '" + toks[j].text +
+               "' — chunk execution order changes the rounding; use "
+               "parallel_for_fixed_chunks with per-chunk partials merged in "
+               "chunk-index order");
+    }
+  }
+}
+
+// --------------------------------------------------------- span-naming
+
+const std::set<std::string, std::less<>>& families() {
+  // Mirrors the stage-name table in docs/observability.md — keep in sync.
+  static const std::set<std::string, std::less<>> set = {
+      "allocate-vertices", "attach",      "coalesce", "collapse",
+      "distinct",          "expand",      "filter",   "flat_map",
+      "generate",          "grow",        "kronfit",  "map",
+      "materialize",       "properties",  "reduce",   "re-multiply",
+      "sample",            "seed",
+  };
+  return set;
+}
+
+bool valid_segment(std::string_view seg) {
+  if (seg.empty()) return false;
+  for (const char c : seg) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void check_and_emit_span(const Token& literal, const Sink& emit) {
+  const std::string name = string_literal_value(literal.text);
+  const std::string reason = check_span_name(name);
+  if (!reason.empty()) {
+    emit(literal.line, "span name \"" + name + "\" " + reason +
+                           " — see the stage-name table in "
+                           "docs/observability.md");
+  }
+}
+
+void run_span_naming(const SourceFile& file, const Sink& emit) {
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // run_stage("x", ...) / run_serial("x", ...) / begin_phase("x").
+    if (is_ident(toks[i], "run_stage") || is_ident(toks[i], "run_serial") ||
+        is_ident(toks[i], "begin_phase")) {
+      const std::size_t open = next_code(toks, i + 1);
+      if (open == kNpos || !is_punct(toks[open], "(")) continue;
+      const std::size_t arg = next_code(toks, open + 1);
+      if (arg != kNpos && toks[arg].kind == TokKind::kString) {
+        check_and_emit_span(toks[arg], emit);
+      }
+      continue;
+    }
+    // PhaseScope name(recorder, "x") or PhaseScope(recorder, "x"): the
+    // first string literal among the constructor arguments is the name.
+    if (is_ident(toks[i], "PhaseScope")) {
+      std::size_t open = next_code(toks, i + 1);
+      if (open != kNpos && toks[open].kind == TokKind::kIdent) {
+        open = next_code(toks, open + 1);
+      }
+      if (open == kNpos || !is_punct(toks[open], "(")) continue;
+      const std::size_t close = skip_balanced(toks, open, "(", ")");
+      if (close == kNpos) continue;
+      for (std::size_t j = open + 1; j + 1 < close; ++j) {
+        if (toks[j].kind == TokKind::kString) {
+          check_and_emit_span(toks[j], emit);
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ banned-nondeterminism
+
+void run_banned_nondeterminism(const SourceFile& file, const Sink& emit) {
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    // Entropy/clock *types*: any mention is a violation.
+    if (t == "random_device" || t == "system_clock" ||
+        t == "high_resolution_clock") {
+      emit(toks[i].line,
+           "'" + t + "' is nondeterministic — deterministic modules must "
+           "draw randomness from a seeded csb::Rng (util/random.hpp) and "
+           "time from std::chrono::steady_clock");
+      continue;
+    }
+    // Call forms only, so variables named e.g. `time` stay legal.
+    if (t == "rand" || t == "srand" || t == "drand48" || t == "lrand48" ||
+        t == "mrand48" || t == "time") {
+      const std::size_t open = next_code(toks, i + 1);
+      if (open == kNpos || !is_punct(toks[open], "(")) continue;
+      // Skip member calls: x.time(...) is someone else's API.
+      const std::size_t prev = prev_code(toks, i);
+      if (prev != kNpos &&
+          (is_punct(toks[prev], ".") || is_punct(toks[prev], "->"))) {
+        continue;
+      }
+      emit(toks[i].line,
+           "call to '" + t + "' is nondeterministic — use a seeded "
+           "csb::Rng (util/random.hpp); for timestamps, thread them in as "
+           "data instead of sampling the wall clock");
+    }
+  }
+}
+
+// ---------------------------------------------------- banned-functions
+
+void run_banned_functions(const SourceFile& file, const Sink& emit) {
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    const bool unbounded = t == "strcpy" || t == "strcat" || t == "sprintf" ||
+                           t == "vsprintf" || t == "gets";
+    const bool unchecked_parse =
+        t == "atoi" || t == "atol" || t == "atoll" || t == "atof";
+    if (!unbounded && !unchecked_parse) continue;
+    const std::size_t open = next_code(toks, i + 1);
+    if (open == kNpos || !is_punct(toks[open], "(")) continue;
+    const std::size_t prev = prev_code(toks, i);
+    if (prev != kNpos &&
+        (is_punct(toks[prev], ".") || is_punct(toks[prev], "->"))) {
+      continue;
+    }
+    if (unbounded) {
+      emit(toks[i].line,
+           "'" + t + "' writes without a bound — use std::snprintf, "
+           "std::string, or std::format");
+    } else {
+      emit(toks[i].line,
+           "'" + t + "' ignores parse errors — use std::from_chars or "
+           "strtol/strtod with explicit error checking");
+    }
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- public
+
+std::string_view severity_name(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+const std::vector<RuleInfo>& rule_catalog() { return catalog(); }
+
+bool is_known_rule(std::string_view name) {
+  for (const RuleInfo& rule : catalog()) {
+    if (rule.name == name) return true;
+  }
+  return false;
+}
+
+bool rule_applies(const RuleInfo& rule, std::string_view path) {
+  if (rule.scope.empty()) return true;
+  for (const std::string_view dir : rule.scope) {
+    if (path.find(dir) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+SymbolIndex build_symbol_index(const std::vector<SourceFile>& files) {
+  SymbolIndex index;
+  // Two alias rounds resolve alias-of-alias chains across file order.
+  for (int round = 0; round < 2; ++round) {
+    for (const SourceFile& file : files) collect_aliases(file, index);
+  }
+  for (const SourceFile& file : files) collect_vars(file, index);
+  return index;
+}
+
+const std::set<std::string, std::less<>>& span_name_families() {
+  return families();
+}
+
+std::string check_span_name(std::string_view name) {
+  if (name.empty()) return "is empty";
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= name.size()) {
+    const std::size_t colon = name.find(':', start);
+    const std::string_view seg =
+        name.substr(start, colon == std::string_view::npos ? std::string_view::npos
+                                                           : colon - start);
+    if (!valid_segment(seg)) {
+      return "has a malformed segment \"" + std::string(seg) +
+             "\" (segments are [a-z0-9_-]+ joined by ':')";
+    }
+    if (first && families().count(seg) == 0) {
+      return "starts with undocumented stage family \"" + std::string(seg) +
+             "\"";
+    }
+    first = false;
+    if (colon == std::string_view::npos) break;
+    start = colon + 1;
+  }
+  return {};
+}
+
+void run_rule(std::string_view rule_name, const SourceFile& file,
+              const SymbolIndex& symbols, const Sink& emit) {
+  if (rule_name == "unordered-iteration") {
+    run_unordered_iteration(file, symbols, emit);
+  } else if (rule_name == "raw-parallel-reduce") {
+    run_raw_parallel_reduce(file, emit);
+  } else if (rule_name == "span-naming") {
+    run_span_naming(file, emit);
+  } else if (rule_name == "banned-nondeterminism") {
+    run_banned_nondeterminism(file, emit);
+  } else if (rule_name == "banned-functions") {
+    run_banned_functions(file, emit);
+  }
+  // bad-suppression: emitted by the driver, nothing to scan here.
+}
+
+}  // namespace csb::lint

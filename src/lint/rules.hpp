@@ -1,0 +1,95 @@
+// csblint rule catalog (src/lint).
+//
+// Each rule enforces one project invariant from docs/static-analysis.md:
+//
+//   banned-nondeterminism  no wall clocks / OS entropy in deterministic
+//                          modules (src/gen, src/seed, src/graph, src/stats)
+//   unordered-iteration    no iteration over unordered_map/unordered_set in
+//                          determinism-critical modules unless suppressed
+//   raw-parallel-reduce    no parallel_for lambda accumulating into captured
+//                          floating-point state (order-sensitive rounding);
+//                          use parallel_for_fixed_chunks + chunk-order merge
+//   span-naming            trace/obs span literals must match the documented
+//                          stage-name grammar (docs/observability.md)
+//   banned-functions       no strcpy/sprintf/atoi-family anywhere
+//
+// Plus one pseudo-rule the driver emits itself:
+//
+//   bad-suppression        a `// csblint: <rule>-ok` comment naming an
+//                          unknown rule (or naming none)
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace csb::lint {
+
+enum class Severity { kWarning, kError };
+
+std::string_view severity_name(Severity severity);
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+struct SourceFile {
+  std::string path;  ///< root-relative, '/'-separated (drives rule scoping)
+  std::string content;
+  std::vector<Token> tokens;
+};
+
+/// Cross-file facts gathered before rules run: which type names and which
+/// declared identifiers are bound to unordered containers. Functions
+/// declared to return an unordered container count as "vars" too — ranging
+/// over their result is just as order-unspecified.
+struct SymbolIndex {
+  std::set<std::string> unordered_types;  ///< unordered_map/set + aliases
+  std::set<std::string> unordered_vars;   ///< identifiers declared with one
+};
+
+SymbolIndex build_symbol_index(const std::vector<SourceFile>& files);
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+  Severity severity;
+  /// Directory prefixes (root-relative, trailing slash) the rule applies
+  /// to. Empty = every linted file.
+  std::vector<std::string_view> scope;
+};
+
+/// The rule catalog, sorted by name; `csblint --list-rules` prints exactly
+/// this (tests/lint_test.cpp pins the rendering).
+const std::vector<RuleInfo>& rule_catalog();
+
+bool is_known_rule(std::string_view name);
+
+/// True when `rule` should run over `path` (path is root-relative).
+bool rule_applies(const RuleInfo& rule, std::string_view path);
+
+/// Diagnostic sink: (1-based line, message).
+using Sink = std::function<void(int line, std::string message)>;
+
+/// Runs one rule over one file. No-op for the pseudo-rule bad-suppression
+/// (the driver emits those while parsing suppression comments).
+void run_rule(std::string_view rule_name, const SourceFile& file,
+              const SymbolIndex& symbols, const Sink& emit);
+
+/// The first-segment families of the span-name grammar, sorted; mirrors the
+/// stage-name table in docs/observability.md (the source of truth).
+const std::set<std::string, std::less<>>& span_name_families();
+
+/// Validates one span name against the grammar. Returns an empty string
+/// when valid, else a human-readable reason.
+std::string check_span_name(std::string_view name);
+
+}  // namespace csb::lint

@@ -83,6 +83,7 @@ PropertyGraph graph_from_netflow(const std::vector<NetflowRecord>& records,
     }
     std::vector<std::pair<std::uint64_t, std::uint32_t>> order;
     order.reserve(appearance.size());
+    // csblint: unordered-iteration-ok — sorted by slot on the next line
     for (const auto& [ip, slot] : appearance) order.emplace_back(slot, ip);
     std::sort(order.begin(), order.end());
     id_of.reserve(order.size());

@@ -145,6 +145,7 @@ const EmpiricalDistribution& ConditionalDistribution::bucket(
 std::vector<std::uint32_t> ConditionalDistribution::bucket_keys() const {
   std::vector<std::uint32_t> keys;
   keys.reserve(by_bucket_.size());
+  // csblint: unordered-iteration-ok — keys are sorted on the next line
   for (const auto& [key, dist] : by_bucket_) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
   return keys;

@@ -1,0 +1,29 @@
+// Fixture: banned-functions. Lines tagged "VIOLATION" must each produce
+// exactly one diagnostic in any directory (the rule is unscoped); the
+// suppressed parse must be silenced and counted. Never compiled.
+#include <cstdlib>
+#include <cstring>
+
+namespace fixture {
+
+void unbounded_copy(char* dst, const char* src) {
+  strcpy(dst, src);  // VIOLATION
+}
+
+void unbounded_format(char* dst, int value) {
+  sprintf(dst, "%d", value);  // VIOLATION
+}
+
+int unchecked_parse(const char* text) {
+  return atoi(text);  // VIOLATION
+}
+
+int exempt_parse(const char* text) {
+  return atoi(text);  // csblint: banned-functions-ok — fixture case
+}
+
+int member_named_atoi(Parser& parser, const char* text) {
+  return parser.atoi(text);  // member call, not the C function
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: banned-nondeterminism. Lines tagged "VIOLATION" must each
+// produce exactly one diagnostic when linted under a src/gen/ path; the
+// suppressed call must be silenced and counted. Never compiled.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int entropy() {
+  return std::rand();  // VIOLATION
+}
+
+unsigned seed_from_os() {
+  std::random_device device;  // VIOLATION
+  return device();
+}
+
+long wall_clock_stamp() {
+  return time(nullptr);  // VIOLATION
+}
+
+long exempt_stamp() {
+  return time(nullptr);  // csblint: banned-nondeterminism-ok — fixture case
+}
+
+long member_named_time(struct Clock& clock) {
+  return clock.time();  // member call: someone else's API, not flagged
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: raw-parallel-reduce. Lines tagged "VIOLATION" must each produce
+// exactly one diagnostic; the suppressed accumulation must be silenced and
+// counted; the per-chunk-partial pattern must stay clean. Never compiled.
+#include <cstddef>
+
+namespace fixture {
+
+double total = 0.0;
+
+void racy_reduce(ThreadPool* pool) {
+  parallel_for(pool, 0, 100, [&](std::size_t i) {
+    total += static_cast<double>(i);  // VIOLATION
+  });
+}
+
+void blessed_partials(ThreadPool* pool) {
+  parallel_for(pool, 0, 100, [&](std::size_t i) {
+    double local = 0.0;
+    local += static_cast<double>(i);  // lambda-local partial: fine
+    publish(local);
+  });
+}
+
+void justified_reduce(ThreadPool* pool) {
+  parallel_for(pool, 0, 100, [&](std::size_t i) {
+    // csblint: raw-parallel-reduce-ok — fixture case
+    total += static_cast<double>(i);
+  });
+}
+
+}  // namespace fixture

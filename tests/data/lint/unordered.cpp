@@ -1,0 +1,36 @@
+// Fixture: unordered-iteration. Lines tagged "VIOLATION" must each produce
+// exactly one diagnostic when linted under a src/stats/ path; the suppressed
+// loop must be silenced and counted. Never compiled.
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::unordered_map<int, int> counts;
+std::vector<int> ordered_values;
+
+void iterate_all() {
+  for (const auto& [key, value] : counts) {  // VIOLATION
+    consume(key, value);
+  }
+}
+
+void iterate_explicitly() {
+  auto it = counts.begin();  // VIOLATION
+  consume_iterator(it);
+}
+
+void iterate_then_sort() {
+  // csblint: unordered-iteration-ok — every key lands in a sorted vector
+  for (const auto& [key, value] : counts) {
+    collect(key);
+  }
+}
+
+void ordered_is_fine() {
+  for (const int value : ordered_values) {
+    consume_one(value);
+  }
+}
+
+}  // namespace fixture

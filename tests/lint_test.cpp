@@ -1,0 +1,360 @@
+// Tests for csblint (src/lint/): the determinism & concurrency static
+// analysis that enforces the repo's byte-identical-parallelism contract.
+//
+// Fixture files under tests/data/lint/ carry "// VIOLATION" markers on every
+// line a rule must flag; each fixture also contains exactly one suppressed
+// case, so the tests prove both 100% detection of the seeded violations and
+// that suppression comments silence exactly one line.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint/lint.hpp"
+#include "lint/rules.hpp"
+#include "util/error.hpp"
+
+namespace csb::lint {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string fixture(const std::string& name) {
+  return read_file(std::string(CSB_TEST_DATA_DIR) + "/lint/" + name);
+}
+
+/// 1-based line numbers carrying a "// VIOLATION" marker comment.
+std::set<int> marker_lines(const std::string& content) {
+  std::set<int> lines;
+  std::istringstream in(content);
+  std::string line;
+  int number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    if (line.find("// VIOLATION") != std::string::npos) lines.insert(number);
+  }
+  return lines;
+}
+
+LintResult lint_one(const std::string& virtual_path,
+                    const std::string& content, LintOptions options = {}) {
+  Linter linter(std::move(options));
+  linter.add_file(virtual_path, content);
+  return linter.run();
+}
+
+std::set<int> diagnostic_lines(const LintResult& result,
+                               const std::string& rule) {
+  std::set<int> lines;
+  for (const Diagnostic& d : result.diagnostics) {
+    EXPECT_EQ(d.rule, rule) << "unexpected rule at " << d.file << ":"
+                            << d.line << ": " << d.message;
+    lines.insert(d.line);
+  }
+  return lines;
+}
+
+struct FixtureCase {
+  const char* file;          // under tests/data/lint/
+  const char* virtual_path;  // scoping path handed to the linter
+  const char* rule;          // the one rule the fixture exercises
+};
+
+class LintFixtureTest : public ::testing::TestWithParam<FixtureCase> {};
+
+// Every marker line is detected, nothing else fires, and the fixture's one
+// suppressed case is counted instead of reported.
+TEST_P(LintFixtureTest, DetectsAllSeededViolations) {
+  const FixtureCase& param = GetParam();
+  const std::string content = fixture(param.file);
+  const std::set<int> expected = marker_lines(content);
+  ASSERT_FALSE(expected.empty()) << param.file << " seeds no violations";
+
+  const LintResult result = lint_one(param.virtual_path, content);
+  EXPECT_EQ(diagnostic_lines(result, param.rule), expected) << param.file;
+  EXPECT_EQ(result.suppressed_count, 1u)
+      << param.file << " must contain exactly one suppressed case";
+  EXPECT_EQ(result.files_linted, 1u);
+  for (const Diagnostic& d : result.diagnostics) {
+    EXPECT_EQ(d.file, param.virtual_path);
+    EXPECT_EQ(d.severity, Severity::kError);
+    EXPECT_FALSE(d.message.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, LintFixtureTest,
+    ::testing::Values(
+        FixtureCase{"nondet.cpp", "src/gen/nondet.cpp",
+                    "banned-nondeterminism"},
+        FixtureCase{"unordered.cpp", "src/stats/unordered.cpp",
+                    "unordered-iteration"},
+        FixtureCase{"reduce.cpp", "src/mr/reduce.cpp", "raw-parallel-reduce"},
+        FixtureCase{"spans.cpp", "src/obs/spans.cpp", "span-naming"},
+        FixtureCase{"banned_fn.cpp", "tools/banned_fn.cpp",
+                    "banned-functions"}),
+    [](const ::testing::TestParamInfo<FixtureCase>& info) {
+      std::string name = info.param.rule;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// Scoped rules stay quiet outside their directories: the nondeterminism
+// fixture is clean when it pretends to be a tool, and the unordered fixture
+// is clean outside the order-critical modules.
+TEST(LintScopeTest, ScopedRulesIgnoreOtherDirectories) {
+  const LintResult nondet =
+      lint_one("tools/nondet.cpp", fixture("nondet.cpp"));
+  EXPECT_TRUE(nondet.diagnostics.empty());
+
+  const LintResult unordered =
+      lint_one("docs/examples/unordered.cpp", fixture("unordered.cpp"));
+  EXPECT_TRUE(unordered.diagnostics.empty());
+}
+
+TEST(LintScopeTest, RuleFilterSelectsSingleRule) {
+  const std::string content =
+      "double total = 0.0;\n"
+      "void f(char* d, const char* s, ThreadPool* pool) {\n"
+      "  strcpy(d, s);\n"
+      "  parallel_for(pool, 0, 9, [&](std::size_t i) { total += 1.0; });\n"
+      "}\n";
+  const LintResult result =
+      lint_one("src/gen/mixed.cpp", content, {{"banned-functions"}});
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, "banned-functions");
+  EXPECT_EQ(result.diagnostics[0].line, 3);
+}
+
+TEST(LintScopeTest, UnknownRuleInOptionsThrows) {
+  EXPECT_THROW(Linter({{"no-such-rule"}}), CsbError);
+}
+
+// ------------------------------------------------------------ suppression
+
+// A trailing suppression silences its own line and nothing else: the
+// identical violation on the next line still fires.
+TEST(SuppressionTest, TrailingCommentSilencesExactlyOneLine) {
+  const std::string content =
+      "int parse(const char* s) {\n"
+      "  int a = atoi(s);  // csblint: banned-functions-ok — test case\n"
+      "  int b = atoi(s);\n"
+      "  return a + b;\n"
+      "}\n";
+  const LintResult result = lint_one("tools/parse.cpp", content);
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].line, 3);
+  EXPECT_EQ(result.suppressed_count, 1u);
+}
+
+// A standalone suppression comment targets the next code line only.
+TEST(SuppressionTest, StandaloneCommentSilencesNextCodeLine) {
+  const std::string content =
+      "void f(char* d, const char* s) {\n"
+      "  // csblint: banned-functions-ok — test case\n"
+      "  strcpy(d, s);\n"
+      "  strcpy(d, s);\n"
+      "}\n";
+  const LintResult result = lint_one("tools/copy.cpp", content);
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].line, 4);
+  EXPECT_EQ(result.suppressed_count, 1u);
+}
+
+// A multi-line comment block still targets the code line after the block,
+// not the second comment line.
+TEST(SuppressionTest, CommentBlockSkipsToCode) {
+  const std::string content =
+      "void f(char* d, const char* s) {\n"
+      "  // csblint: banned-functions-ok — the justification continues on\n"
+      "  // a second comment line before the code\n"
+      "  strcpy(d, s);\n"
+      "}\n";
+  const LintResult result = lint_one("tools/copy.cpp", content);
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.suppressed_count, 1u);
+}
+
+// One comment can suppress several rules on the same line.
+TEST(SuppressionTest, OneCommentSuppressesMultipleRules) {
+  const std::string content =
+      "void f(char* d, const char* s) {\n"
+      "  // csblint: banned-functions-ok banned-nondeterminism-ok — test\n"
+      "  strcpy(d, s); long t = time(nullptr);\n"
+      "}\n";
+  const LintResult result = lint_one("src/gen/multi.cpp", content);
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.suppressed_count, 2u);
+}
+
+// An unused suppression is counted as zero, not an error — but a
+// suppression naming an unknown rule is diagnosed so typos cannot silently
+// disable enforcement.
+TEST(SuppressionTest, UnknownRuleIsDiagnosed) {
+  const std::string content =
+      "void f(char* d, const char* s) {\n"
+      "  strcpy(d, s);  // csblint: no-such-rule-ok — typo\n"
+      "}\n";
+  const LintResult result = lint_one("tools/typo.cpp", content);
+  ASSERT_EQ(result.diagnostics.size(), 2u);  // bad-suppression + the strcpy
+  EXPECT_EQ(result.diagnostics[0].rule, "bad-suppression");
+  EXPECT_EQ(result.diagnostics[0].line, 2);
+  EXPECT_NE(result.diagnostics[0].message.find("no-such-rule"),
+            std::string::npos);
+  EXPECT_EQ(result.diagnostics[1].rule, "banned-functions");
+  EXPECT_EQ(result.suppressed_count, 0u);
+}
+
+TEST(SuppressionTest, TagWithoutRuleTokensIsDiagnosed) {
+  const std::string content = "// csblint: please ignore this file\n";
+  const LintResult result = lint_one("tools/empty.cpp", content);
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, "bad-suppression");
+  EXPECT_NE(result.diagnostics[0].message.find("names no"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------- rule list
+
+// --list-rules output is pinned byte-for-byte so scripts can depend on it;
+// regenerate tests/data/lint/list_rules.golden deliberately when the
+// catalog changes.
+TEST(RuleCatalogTest, ListRulesMatchesGolden) {
+  EXPECT_EQ(list_rules_text(),
+            read_file(std::string(CSB_TEST_DATA_DIR) +
+                      "/lint/list_rules.golden"));
+}
+
+TEST(RuleCatalogTest, CatalogIsSortedAndComplete) {
+  const std::vector<RuleInfo>& rules = rule_catalog();
+  ASSERT_EQ(rules.size(), 6u);
+  for (std::size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_LT(rules[i - 1].name, rules[i].name);
+  }
+  for (const char* name :
+       {"bad-suppression", "banned-functions", "banned-nondeterminism",
+        "raw-parallel-reduce", "span-naming", "unordered-iteration"}) {
+    EXPECT_TRUE(is_known_rule(name)) << name;
+  }
+  EXPECT_FALSE(is_known_rule("nope"));
+}
+
+// ------------------------------------------------------------ span names
+
+TEST(SpanNameTest, GrammarAcceptsDocumentedFamilies) {
+  EXPECT_EQ(span_name_families().size(), 18u);
+  for (const std::string& family : span_name_families()) {
+    EXPECT_TRUE(check_span_name(family).empty()) << family;
+    EXPECT_TRUE(check_span_name(family + ":sub:pass_2").empty()) << family;
+  }
+}
+
+TEST(SpanNameTest, GrammarRejectsMalformedNames) {
+  EXPECT_NE(check_span_name(""), "");
+  EXPECT_NE(check_span_name("Shuffle"), "");       // uppercase segment
+  EXPECT_NE(check_span_name("distinct:"), "");     // empty trailing segment
+  EXPECT_NE(check_span_name("distinct:No Good"), "");
+  EXPECT_NE(check_span_name("warmup:pass"), "");   // undocumented family
+}
+
+// -------------------------------------------------------- compile_commands
+
+TEST(CompileCommandsTest, LoadsNormalizedSortedUniquePaths) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/csblint_compile_commands.json";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "[\n"
+        << "  {\"directory\": \"/work/build\", \"file\": \"../src/a.cpp\","
+        << " \"command\": \"c++ -c a.cpp\"},\n"
+        << "  {\"directory\": \"/work/build\", \"file\": \"/work/src/b.cpp\","
+        << " \"command\": \"c++ -c b.cpp\"},\n"
+        << "  {\"directory\": \"/work/build\","
+        << " \"file\": \"../src/sub/../a.cpp\","
+        << " \"command\": \"c++ -c a.cpp again\"}\n"
+        << "]\n";
+  }
+  const std::vector<std::string> files = load_compile_commands(path);
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], "/work/src/a.cpp");
+  EXPECT_EQ(files[1], "/work/src/b.cpp");
+  std::remove(path.c_str());
+}
+
+TEST(CompileCommandsTest, MissingFileThrows) {
+  EXPECT_THROW(load_compile_commands("/nonexistent/ccdb.json"), CsbError);
+}
+
+// ----------------------------------------------------------- determinism
+
+// The linter's own output is deterministic: same inputs, same diagnostics,
+// sorted by (file, line, rule) regardless of add_file order.
+TEST(LintDeterminismTest, DiagnosticsSortedAndRepeatable) {
+  const std::string nondet = fixture("nondet.cpp");
+  const std::string banned = fixture("banned_fn.cpp");
+
+  const auto run_with_order = [&](bool swap) {
+    Linter linter{{}};
+    if (swap) {
+      linter.add_file("tools/banned_fn.cpp", banned);
+      linter.add_file("src/gen/nondet.cpp", nondet);
+    } else {
+      linter.add_file("src/gen/nondet.cpp", nondet);
+      linter.add_file("tools/banned_fn.cpp", banned);
+    }
+    return linter.run();
+  };
+
+  const LintResult a = run_with_order(false);
+  const LintResult b = run_with_order(true);
+  ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size());
+  for (std::size_t i = 0; i < a.diagnostics.size(); ++i) {
+    EXPECT_EQ(a.diagnostics[i].file, b.diagnostics[i].file);
+    EXPECT_EQ(a.diagnostics[i].line, b.diagnostics[i].line);
+    EXPECT_EQ(a.diagnostics[i].rule, b.diagnostics[i].rule);
+    EXPECT_EQ(a.diagnostics[i].message, b.diagnostics[i].message);
+  }
+  for (std::size_t i = 1; i < a.diagnostics.size(); ++i) {
+    const Diagnostic& prev = a.diagnostics[i - 1];
+    const Diagnostic& cur = a.diagnostics[i];
+    EXPECT_LE(std::tie(prev.file, prev.line, prev.rule),
+              std::tie(cur.file, cur.line, cur.rule));
+  }
+}
+
+// Cross-file symbol binding: a `using` alias of an unordered container
+// declared in a header flags iteration in another file.
+TEST(LintDeterminismTest, AliasResolvesAcrossFiles) {
+  Linter linter{{}};
+  linter.add_file("src/ids/table.hpp",
+                  "#include <unordered_map>\n"
+                  "using HitTable = std::unordered_map<int, long>;\n");
+  linter.add_file("src/ids/table.cpp",
+                  "#include \"table.hpp\"\n"
+                  "HitTable hits;\n"
+                  "void walk() {\n"
+                  "  for (const auto& [key, count] : hits) {\n"
+                  "    emit(key, count);\n"
+                  "  }\n"
+                  "}\n");
+  const LintResult result = linter.run();
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].file, "src/ids/table.cpp");
+  EXPECT_EQ(result.diagnostics[0].line, 4);
+  EXPECT_EQ(result.diagnostics[0].rule, "unordered-iteration");
+}
+
+}  // namespace
+}  // namespace csb::lint

@@ -1,0 +1,157 @@
+// csblint — determinism & concurrency static analysis for the csb tree.
+//
+// Enforces the repo's byte-identical-parallelism contract as typed lint
+// rules (docs/static-analysis.md): banned nondeterminism sources, unordered
+// container iteration in determinism-critical modules, raw parallel
+// floating-point reductions, span-name grammar, and banned C functions.
+//
+// Usage:
+//   csblint [--root=DIR] [--rules=a,b] [--compile-commands=FILE] [path...]
+//   csblint --list-rules
+//
+// Positional paths are files or directories (directories recurse over
+// .cpp/.cc/.cxx/.hpp/.h, sorted, so output order is stable). Exit status:
+// 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+#include "util/error.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kUsage =
+    "usage: csblint [--root=DIR] [--rules=a,b] [--compile-commands=FILE]\n"
+    "               [path...]\n"
+    "       csblint --list-rules\n";
+
+bool has_cpp_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h";
+}
+
+/// Expands files/directories into a sorted, deduplicated file list.
+std::vector<std::string> expand_paths(const std::vector<std::string>& paths) {
+  std::set<std::string> files;
+  for (const std::string& arg : paths) {
+    const fs::path p(arg);
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && has_cpp_extension(entry.path())) {
+          files.insert(entry.path().lexically_normal().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(p)) {
+      files.insert(p.lexically_normal().generic_string());
+    } else {
+      throw csb::CsbError("no such file or directory: " + arg);
+    }
+  }
+  return {files.begin(), files.end()};
+}
+
+/// Root-relative display/scoping path with '/' separators.
+std::string relativize(const std::string& file, const fs::path& root) {
+  const fs::path abs = fs::absolute(file).lexically_normal();
+  const fs::path rel = abs.lexically_relative(
+      fs::absolute(root).lexically_normal());
+  if (rel.empty() || rel.native().rfind("..", 0) == 0) {
+    return abs.generic_string();
+  }
+  return rel.generic_string();
+}
+
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream stream(value);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string root = ".";
+    std::string compile_commands;
+    csb::lint::LintOptions options;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--list-rules") {
+        std::cout << csb::lint::list_rules_text();
+        return 0;
+      }
+      if (arg == "--help" || arg == "-h") {
+        std::cout << kUsage;
+        return 0;
+      }
+      if (arg.rfind("--root=", 0) == 0) {
+        root = arg.substr(7);
+      } else if (arg.rfind("--rules=", 0) == 0) {
+        options.rules = split_csv(arg.substr(8));
+      } else if (arg.rfind("--compile-commands=", 0) == 0) {
+        compile_commands = arg.substr(19);
+      } else if (arg.rfind("--", 0) == 0) {
+        std::cerr << "csblint: unknown flag " << arg << "\n" << kUsage;
+        return 2;
+      } else {
+        paths.push_back(arg);
+      }
+    }
+
+    std::vector<std::string> files = expand_paths(paths);
+    if (!compile_commands.empty()) {
+      for (const std::string& file :
+           csb::lint::load_compile_commands(compile_commands)) {
+        files.push_back(file);
+      }
+      std::sort(files.begin(), files.end());
+      files.erase(std::unique(files.begin(), files.end()), files.end());
+    }
+    if (files.empty()) {
+      std::cerr << "csblint: no input files\n" << kUsage;
+      return 2;
+    }
+
+    csb::lint::Linter linter(options);
+    for (const std::string& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      if (!in.good()) throw csb::CsbError("cannot read " + file);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      linter.add_file(relativize(file, root), buffer.str());
+    }
+
+    const csb::lint::LintResult result = linter.run();
+    for (const csb::lint::Diagnostic& d : result.diagnostics) {
+      std::cout << d.file << ":" << d.line << ": "
+                << csb::lint::severity_name(d.severity) << ": " << d.message
+                << " [" << d.rule << "]\n";
+    }
+    if (result.diagnostics.empty()) {
+      std::cout << "csblint: clean (" << result.files_linted << " files, "
+                << result.suppressed_count << " suppressed)\n";
+      return 0;
+    }
+    std::cout << "csblint: " << result.diagnostics.size()
+              << " finding(s) in " << result.files_linted << " files ("
+              << result.suppressed_count << " suppressed)\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "csblint: " << e.what() << "\n";
+    return 2;
+  }
+}
