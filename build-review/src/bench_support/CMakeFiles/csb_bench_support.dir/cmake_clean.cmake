@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_bench_support.dir/report.cpp.o"
+  "CMakeFiles/csb_bench_support.dir/report.cpp.o.d"
+  "libcsb_bench_support.a"
+  "libcsb_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

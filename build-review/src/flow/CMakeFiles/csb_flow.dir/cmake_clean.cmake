@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_flow.dir/assembler.cpp.o"
+  "CMakeFiles/csb_flow.dir/assembler.cpp.o.d"
+  "CMakeFiles/csb_flow.dir/netflow_io.cpp.o"
+  "CMakeFiles/csb_flow.dir/netflow_io.cpp.o.d"
+  "libcsb_flow.a"
+  "libcsb_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

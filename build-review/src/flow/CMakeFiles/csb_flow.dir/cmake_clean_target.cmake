@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsb_flow.a"
+)

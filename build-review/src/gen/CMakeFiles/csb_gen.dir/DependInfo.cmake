@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/baselines.cpp" "src/gen/CMakeFiles/csb_gen.dir/baselines.cpp.o" "gcc" "src/gen/CMakeFiles/csb_gen.dir/baselines.cpp.o.d"
+  "/root/repo/src/gen/generator.cpp" "src/gen/CMakeFiles/csb_gen.dir/generator.cpp.o" "gcc" "src/gen/CMakeFiles/csb_gen.dir/generator.cpp.o.d"
+  "/root/repo/src/gen/kronecker.cpp" "src/gen/CMakeFiles/csb_gen.dir/kronecker.cpp.o" "gcc" "src/gen/CMakeFiles/csb_gen.dir/kronecker.cpp.o.d"
+  "/root/repo/src/gen/kronfit.cpp" "src/gen/CMakeFiles/csb_gen.dir/kronfit.cpp.o" "gcc" "src/gen/CMakeFiles/csb_gen.dir/kronfit.cpp.o.d"
+  "/root/repo/src/gen/materialize.cpp" "src/gen/CMakeFiles/csb_gen.dir/materialize.cpp.o" "gcc" "src/gen/CMakeFiles/csb_gen.dir/materialize.cpp.o.d"
+  "/root/repo/src/gen/pgpba.cpp" "src/gen/CMakeFiles/csb_gen.dir/pgpba.cpp.o" "gcc" "src/gen/CMakeFiles/csb_gen.dir/pgpba.cpp.o.d"
+  "/root/repo/src/gen/pgsk.cpp" "src/gen/CMakeFiles/csb_gen.dir/pgsk.cpp.o" "gcc" "src/gen/CMakeFiles/csb_gen.dir/pgsk.cpp.o.d"
+  "/root/repo/src/gen/properties.cpp" "src/gen/CMakeFiles/csb_gen.dir/properties.cpp.o" "gcc" "src/gen/CMakeFiles/csb_gen.dir/properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/seed/CMakeFiles/csb_seed.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mr/CMakeFiles/csb_mr.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/csb_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/csb_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/csb_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/flow/CMakeFiles/csb_flow.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pcap/CMakeFiles/csb_pcap.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/csb_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/csb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

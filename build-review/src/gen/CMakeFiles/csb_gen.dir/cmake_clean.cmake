@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_gen.dir/baselines.cpp.o"
+  "CMakeFiles/csb_gen.dir/baselines.cpp.o.d"
+  "CMakeFiles/csb_gen.dir/generator.cpp.o"
+  "CMakeFiles/csb_gen.dir/generator.cpp.o.d"
+  "CMakeFiles/csb_gen.dir/kronecker.cpp.o"
+  "CMakeFiles/csb_gen.dir/kronecker.cpp.o.d"
+  "CMakeFiles/csb_gen.dir/kronfit.cpp.o"
+  "CMakeFiles/csb_gen.dir/kronfit.cpp.o.d"
+  "CMakeFiles/csb_gen.dir/materialize.cpp.o"
+  "CMakeFiles/csb_gen.dir/materialize.cpp.o.d"
+  "CMakeFiles/csb_gen.dir/pgpba.cpp.o"
+  "CMakeFiles/csb_gen.dir/pgpba.cpp.o.d"
+  "CMakeFiles/csb_gen.dir/pgsk.cpp.o"
+  "CMakeFiles/csb_gen.dir/pgsk.cpp.o.d"
+  "CMakeFiles/csb_gen.dir/properties.cpp.o"
+  "CMakeFiles/csb_gen.dir/properties.cpp.o.d"
+  "libcsb_gen.a"
+  "libcsb_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cpp" "src/graph/CMakeFiles/csb_graph.dir/algorithms.cpp.o" "gcc" "src/graph/CMakeFiles/csb_graph.dir/algorithms.cpp.o.d"
+  "/root/repo/src/graph/betweenness.cpp" "src/graph/CMakeFiles/csb_graph.dir/betweenness.cpp.o" "gcc" "src/graph/CMakeFiles/csb_graph.dir/betweenness.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/csb_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/csb_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/graph/CMakeFiles/csb_graph.dir/graph_io.cpp.o" "gcc" "src/graph/CMakeFiles/csb_graph.dir/graph_io.cpp.o.d"
+  "/root/repo/src/graph/pagerank.cpp" "src/graph/CMakeFiles/csb_graph.dir/pagerank.cpp.o" "gcc" "src/graph/CMakeFiles/csb_graph.dir/pagerank.cpp.o.d"
+  "/root/repo/src/graph/property_graph.cpp" "src/graph/CMakeFiles/csb_graph.dir/property_graph.cpp.o" "gcc" "src/graph/CMakeFiles/csb_graph.dir/property_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/stats/CMakeFiles/csb_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/csb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

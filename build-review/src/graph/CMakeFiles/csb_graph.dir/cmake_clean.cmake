@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/csb_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/csb_graph.dir/betweenness.cpp.o"
+  "CMakeFiles/csb_graph.dir/betweenness.cpp.o.d"
+  "CMakeFiles/csb_graph.dir/csr.cpp.o"
+  "CMakeFiles/csb_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/csb_graph.dir/graph_io.cpp.o"
+  "CMakeFiles/csb_graph.dir/graph_io.cpp.o.d"
+  "CMakeFiles/csb_graph.dir/pagerank.cpp.o"
+  "CMakeFiles/csb_graph.dir/pagerank.cpp.o.d"
+  "CMakeFiles/csb_graph.dir/property_graph.cpp.o"
+  "CMakeFiles/csb_graph.dir/property_graph.cpp.o.d"
+  "libcsb_graph.a"
+  "libcsb_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

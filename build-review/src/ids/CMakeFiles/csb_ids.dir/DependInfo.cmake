@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ids/calibrate.cpp" "src/ids/CMakeFiles/csb_ids.dir/calibrate.cpp.o" "gcc" "src/ids/CMakeFiles/csb_ids.dir/calibrate.cpp.o.d"
+  "/root/repo/src/ids/detector.cpp" "src/ids/CMakeFiles/csb_ids.dir/detector.cpp.o" "gcc" "src/ids/CMakeFiles/csb_ids.dir/detector.cpp.o.d"
+  "/root/repo/src/ids/pso.cpp" "src/ids/CMakeFiles/csb_ids.dir/pso.cpp.o" "gcc" "src/ids/CMakeFiles/csb_ids.dir/pso.cpp.o.d"
+  "/root/repo/src/ids/streaming.cpp" "src/ids/CMakeFiles/csb_ids.dir/streaming.cpp.o" "gcc" "src/ids/CMakeFiles/csb_ids.dir/streaming.cpp.o.d"
+  "/root/repo/src/ids/traffic_pattern.cpp" "src/ids/CMakeFiles/csb_ids.dir/traffic_pattern.cpp.o" "gcc" "src/ids/CMakeFiles/csb_ids.dir/traffic_pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/flow/CMakeFiles/csb_flow.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/csb_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/csb_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/csb_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/csb_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pcap/CMakeFiles/csb_pcap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_ids.dir/calibrate.cpp.o"
+  "CMakeFiles/csb_ids.dir/calibrate.cpp.o.d"
+  "CMakeFiles/csb_ids.dir/detector.cpp.o"
+  "CMakeFiles/csb_ids.dir/detector.cpp.o.d"
+  "CMakeFiles/csb_ids.dir/pso.cpp.o"
+  "CMakeFiles/csb_ids.dir/pso.cpp.o.d"
+  "CMakeFiles/csb_ids.dir/streaming.cpp.o"
+  "CMakeFiles/csb_ids.dir/streaming.cpp.o.d"
+  "CMakeFiles/csb_ids.dir/traffic_pattern.cpp.o"
+  "CMakeFiles/csb_ids.dir/traffic_pattern.cpp.o.d"
+  "libcsb_ids.a"
+  "libcsb_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_lint.dir/lexer.cpp.o"
+  "CMakeFiles/csb_lint.dir/lexer.cpp.o.d"
+  "CMakeFiles/csb_lint.dir/lint.cpp.o"
+  "CMakeFiles/csb_lint.dir/lint.cpp.o.d"
+  "CMakeFiles/csb_lint.dir/rules.cpp.o"
+  "CMakeFiles/csb_lint.dir/rules.cpp.o.d"
+  "libcsb_lint.a"
+  "libcsb_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_mr.dir/cluster.cpp.o"
+  "CMakeFiles/csb_mr.dir/cluster.cpp.o.d"
+  "libcsb_mr.a"
+  "libcsb_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_obs.dir/json.cpp.o"
+  "CMakeFiles/csb_obs.dir/json.cpp.o.d"
+  "CMakeFiles/csb_obs.dir/memwatch.cpp.o"
+  "CMakeFiles/csb_obs.dir/memwatch.cpp.o.d"
+  "CMakeFiles/csb_obs.dir/metrics.cpp.o"
+  "CMakeFiles/csb_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/csb_obs.dir/trace.cpp.o"
+  "CMakeFiles/csb_obs.dir/trace.cpp.o.d"
+  "libcsb_obs.a"
+  "libcsb_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_pcap.dir/packet.cpp.o"
+  "CMakeFiles/csb_pcap.dir/packet.cpp.o.d"
+  "CMakeFiles/csb_pcap.dir/pcap_file.cpp.o"
+  "CMakeFiles/csb_pcap.dir/pcap_file.cpp.o.d"
+  "libcsb_pcap.a"
+  "libcsb_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

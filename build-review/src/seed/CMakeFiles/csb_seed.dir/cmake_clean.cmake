@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_seed.dir/profile_io.cpp.o"
+  "CMakeFiles/csb_seed.dir/profile_io.cpp.o.d"
+  "CMakeFiles/csb_seed.dir/seed.cpp.o"
+  "CMakeFiles/csb_seed.dir/seed.cpp.o.d"
+  "libcsb_seed.a"
+  "libcsb_seed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_seed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

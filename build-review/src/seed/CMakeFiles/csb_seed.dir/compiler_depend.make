@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for csb_seed.
+# This may be replaced when dependencies are built.

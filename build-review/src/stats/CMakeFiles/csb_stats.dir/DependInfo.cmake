@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/alias_table.cpp" "src/stats/CMakeFiles/csb_stats.dir/alias_table.cpp.o" "gcc" "src/stats/CMakeFiles/csb_stats.dir/alias_table.cpp.o.d"
+  "/root/repo/src/stats/conditional.cpp" "src/stats/CMakeFiles/csb_stats.dir/conditional.cpp.o" "gcc" "src/stats/CMakeFiles/csb_stats.dir/conditional.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/csb_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/csb_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distance.cpp" "src/stats/CMakeFiles/csb_stats.dir/distance.cpp.o" "gcc" "src/stats/CMakeFiles/csb_stats.dir/distance.cpp.o.d"
+  "/root/repo/src/stats/empirical.cpp" "src/stats/CMakeFiles/csb_stats.dir/empirical.cpp.o" "gcc" "src/stats/CMakeFiles/csb_stats.dir/empirical.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/csb_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/csb_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/power_law.cpp" "src/stats/CMakeFiles/csb_stats.dir/power_law.cpp.o" "gcc" "src/stats/CMakeFiles/csb_stats.dir/power_law.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/csb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_stats.dir/alias_table.cpp.o"
+  "CMakeFiles/csb_stats.dir/alias_table.cpp.o.d"
+  "CMakeFiles/csb_stats.dir/conditional.cpp.o"
+  "CMakeFiles/csb_stats.dir/conditional.cpp.o.d"
+  "CMakeFiles/csb_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/csb_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/csb_stats.dir/distance.cpp.o"
+  "CMakeFiles/csb_stats.dir/distance.cpp.o.d"
+  "CMakeFiles/csb_stats.dir/empirical.cpp.o"
+  "CMakeFiles/csb_stats.dir/empirical.cpp.o.d"
+  "CMakeFiles/csb_stats.dir/histogram.cpp.o"
+  "CMakeFiles/csb_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/csb_stats.dir/power_law.cpp.o"
+  "CMakeFiles/csb_stats.dir/power_law.cpp.o.d"
+  "libcsb_stats.a"
+  "libcsb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/attacks.cpp" "src/trace/CMakeFiles/csb_trace.dir/attacks.cpp.o" "gcc" "src/trace/CMakeFiles/csb_trace.dir/attacks.cpp.o.d"
+  "/root/repo/src/trace/session.cpp" "src/trace/CMakeFiles/csb_trace.dir/session.cpp.o" "gcc" "src/trace/CMakeFiles/csb_trace.dir/session.cpp.o.d"
+  "/root/repo/src/trace/traffic_model.cpp" "src/trace/CMakeFiles/csb_trace.dir/traffic_model.cpp.o" "gcc" "src/trace/CMakeFiles/csb_trace.dir/traffic_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/flow/CMakeFiles/csb_flow.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pcap/CMakeFiles/csb_pcap.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/csb_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/csb_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/csb_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/csb_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

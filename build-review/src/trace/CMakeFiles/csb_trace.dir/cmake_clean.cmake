@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_trace.dir/attacks.cpp.o"
+  "CMakeFiles/csb_trace.dir/attacks.cpp.o.d"
+  "CMakeFiles/csb_trace.dir/session.cpp.o"
+  "CMakeFiles/csb_trace.dir/session.cpp.o.d"
+  "CMakeFiles/csb_trace.dir/traffic_model.cpp.o"
+  "CMakeFiles/csb_trace.dir/traffic_model.cpp.o.d"
+  "libcsb_trace.a"
+  "libcsb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

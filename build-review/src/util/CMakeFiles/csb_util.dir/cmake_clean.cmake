@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_util.dir/format.cpp.o"
+  "CMakeFiles/csb_util.dir/format.cpp.o.d"
+  "CMakeFiles/csb_util.dir/parallel.cpp.o"
+  "CMakeFiles/csb_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/csb_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/csb_util.dir/thread_pool.cpp.o.d"
+  "libcsb_util.a"
+  "libcsb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/veracity/attributes.cpp" "src/veracity/CMakeFiles/csb_veracity.dir/attributes.cpp.o" "gcc" "src/veracity/CMakeFiles/csb_veracity.dir/attributes.cpp.o.d"
+  "/root/repo/src/veracity/veracity.cpp" "src/veracity/CMakeFiles/csb_veracity.dir/veracity.cpp.o" "gcc" "src/veracity/CMakeFiles/csb_veracity.dir/veracity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/csb_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/csb_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/csb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_veracity.dir/attributes.cpp.o"
+  "CMakeFiles/csb_veracity.dir/attributes.cpp.o.d"
+  "CMakeFiles/csb_veracity.dir/veracity.cpp.o"
+  "CMakeFiles/csb_veracity.dir/veracity.cpp.o.d"
+  "libcsb_veracity.a"
+  "libcsb_veracity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_veracity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

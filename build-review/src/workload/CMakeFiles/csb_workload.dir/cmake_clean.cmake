@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_workload.dir/query_engine.cpp.o"
+  "CMakeFiles/csb_workload.dir/query_engine.cpp.o.d"
+  "CMakeFiles/csb_workload.dir/workload_runner.cpp.o"
+  "CMakeFiles/csb_workload.dir/workload_runner.cpp.o.d"
+  "libcsb_workload.a"
+  "libcsb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csbgen.dir/csbgen.cpp.o"
+  "CMakeFiles/csbgen.dir/csbgen.cpp.o.d"
+  "csbgen"
+  "csbgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csbgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for csbgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csblint.dir/csblint.cpp.o"
+  "CMakeFiles/csblint.dir/csblint.cpp.o.d"
+  "csblint"
+  "csblint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csblint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

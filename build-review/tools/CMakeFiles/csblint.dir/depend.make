@@ -1,0 +1,2 @@
+# Empty dependencies file for csblint.
+# This may be replaced when dependencies are built.
