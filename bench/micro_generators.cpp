@@ -9,6 +9,7 @@
 // hot kernels can be tracked across commits with one parser.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -16,6 +17,7 @@
 
 #include "obs/trace.hpp"
 
+#include "gen/generator.hpp"
 #include "gen/kronecker.hpp"
 #include "gen/kronfit.hpp"
 #include "gen/pgpba.hpp"
@@ -192,6 +194,34 @@ void BM_PageRankIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_PageRankIteration)->Unit(benchmark::kMillisecond);
 
+// One end-to-end run of a registered generator at a small fixed size (2x
+// the seed, structure only, 1 virtual node). Registered dynamically below
+// for every entry of the Generator registry, so the sweep — and every
+// printed benchmark label — tracks the registry instead of a hard-coded
+// generator list; the exact-vs-fast pairs race under identical configs.
+void BM_RegistryGenerator(benchmark::State& state, const Generator* gen) {
+  const SeedBundle& seed = shared_seed();
+  ClusterSim cluster(ClusterConfig{.nodes = 1, .cores_per_node = 2});
+  GenConfig config;
+  config.desired_edges = 2 * seed.graph.num_edges();
+  config.with_properties = false;
+  const auto extras = gen->extra_options();
+  if (std::find(extras.begin(), extras.end(), "fit-iters") != extras.end()) {
+    // Micro-bench KronFit budget: the sweep measures expansion cost, not
+    // the (driver-serial, separately benched) fit.
+    config.extra = {
+        {"fit-iters", "2"}, {"fit-swaps", "50"}, {"fit-burnin", "50"}};
+  }
+  for (auto _ : state) {
+    const GenResult result =
+        gen->generate(seed.graph, seed.profile, cluster, config);
+    benchmark::DoNotOptimize(result.graph.num_edges());
+    state.SetItemsProcessed(
+        state.items_processed() +
+        static_cast<std::int64_t>(result.graph.num_edges()));
+  }
+}
+
 // Console reporter that also collects one csb.trace.v1 bench record per
 // measured run; the records are written after the run when --json was given.
 // (google-benchmark's own file reporter slot only fires under its
@@ -231,6 +261,17 @@ class TraceCollectingReporter : public benchmark::ConsoleReporter {
 };
 
 }  // namespace
+
+/// One benchmark per registry entry, labelled "generator/<name>"; called
+/// from main so registration happens before RunSpecifiedBenchmarks.
+void register_generator_benchmarks() {
+  for (const Generator* gen : all_generators()) {
+    const std::string label = "generator/" + std::string(gen->name());
+    benchmark::RegisterBenchmark(label.c_str(), BM_RegistryGenerator, gen)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
 }  // namespace csb
 
 // Custom main instead of benchmark_main: honours the repo-wide
@@ -257,6 +298,7 @@ int main(int argc, char** argv) {
   int cargc = static_cast<int>(cargv.size());
   benchmark::Initialize(&cargc, cargv.data());
   if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  csb::register_generator_benchmarks();
   csb::TraceCollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

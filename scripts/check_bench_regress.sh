@@ -14,6 +14,11 @@
 #     quietly falls back to serial (speedup collapses vs baseline) and gross
 #     serial-path slowdowns. Both checks are relative to the committed
 #     baseline, so the gate works on single-core hosts where speedup ~= 1.
+#   - bench/fast_samplers    — the exact-vs-fast generator races. The
+#     pgsk-fast core speedup has a relative floor against the baseline, and
+#     both samplers' degree/PageRank KS distances have absolute ceilings
+#     mirroring the tests/veracity_test.cpp bounds: an eroded speedup or a
+#     veracity drift fails here without rerunning the fig09 sweep.
 # Thresholds are deliberately generous (shared CI hosts are noisy): the gate
 # exists to catch structural regressions — a serial fraction that doubles, a
 # kernel that gets 3x slower — not single-digit-percent drift. Refresh the
@@ -30,7 +35,7 @@ BASELINE="BENCH_observability.json"
 
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target serial_fraction trace_overhead \
-  seed_ingest
+  seed_ingest fast_samplers
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -38,8 +43,9 @@ trap 'rm -rf "$TMP"' EXIT
 "$BUILD/bench/serial_fraction" --json="$TMP/serial_fraction.ndjson"
 "$BUILD/bench/trace_overhead" --reps=5 --json="$TMP/trace_overhead.ndjson"
 "$BUILD/bench/seed_ingest" --json="$TMP/seed_ingest.ndjson"
+"$BUILD/bench/fast_samplers" --json="$TMP/fast_samplers.ndjson"
 
-python3 - "$BASELINE" "$TMP/serial_fraction.ndjson" "$TMP/trace_overhead.ndjson" "$TMP/seed_ingest.ndjson" <<'EOF'
+python3 - "$BASELINE" "$TMP/serial_fraction.ndjson" "$TMP/trace_overhead.ndjson" "$TMP/seed_ingest.ndjson" "$TMP/fast_samplers.ndjson" <<'EOF'
 import json
 import sys
 
@@ -121,6 +127,35 @@ else:
           f"(baseline {base_serial:.3f} s, limit {limit:.3f} s)")
     if now_serial > limit:
         failures.append(f"{name}: serial {now_serial:.3f} s > limit {limit:.3f} s")
+
+# Fast samplers: the pgsk-fast core speedup gets a relative floor (half the
+# committed baseline — host noise moves the core timings, the ~5x structural
+# gap doesn't), and the KS veracity distances get absolute ceilings matching
+# the tests/veracity_test.cpp bounds (the graphs are deterministic per seed,
+# so KS is noise-free and any drift is a code change).
+name = "fast_samplers"
+if name not in baseline:
+    print(f"SKIP fast-samplers check: no '{name}' record in baseline")
+elif name not in fresh:
+    failures.append(f"{name}: bench produced no record")
+else:
+    base_speedup = baseline[name]["pgsk_speedup"]
+    now_speedup = fresh[name]["pgsk_speedup"]
+    floor = base_speedup * 0.5
+    status = "OK" if now_speedup >= floor else "FAIL"
+    print(f"{status} {name}: pgsk_speedup {now_speedup:.2f} "
+          f"(baseline {base_speedup:.2f}, floor {floor:.2f})")
+    if now_speedup < floor:
+        failures.append(
+            f"{name}: pgsk_speedup {now_speedup:.2f} < floor {floor:.2f}")
+    for field, ceiling in (("pgsk_degree_ks", 0.15), ("pgsk_pagerank_ks", 0.15),
+                           ("pgpba_degree_ks", 0.05),
+                           ("pgpba_pagerank_ks", 0.05)):
+        now_ks = fresh[name][field]
+        status = "OK" if now_ks <= ceiling else "FAIL"
+        print(f"{status} {name}: {field} {now_ks:.4f} (ceiling {ceiling})")
+        if now_ks > ceiling:
+            failures.append(f"{name}: {field} {now_ks:.4f} > ceiling {ceiling}")
 
 if failures:
     print("FAIL: bench regression vs committed baseline:", file=sys.stderr)

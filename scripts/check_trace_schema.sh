@@ -40,6 +40,15 @@ echo "== producing traces =="
 "$CSBGEN" generate --seed="$TMP/seed.bin" --out="$TMP/pgsk.bin" \
   --profile="$TMP/seed.profile" --algo=pgsk --edges=40000 \
   --nodes=4 --cores=2 --trace="$TMP/pgsk.ndjson"
+# The fast samplers emit the ball-drop / skip-ahead span families; their
+# traces must pass the same schema + stage-grammar validation as the exact
+# generators'.
+"$CSBGEN" generate --seed="$TMP/seed.bin" --out="$TMP/pgpba-fast.bin" \
+  --profile="$TMP/seed.profile" --algo=pgpba-fast --edges=40000 \
+  --nodes=4 --cores=2 --trace="$TMP/pgpba-fast.ndjson"
+"$CSBGEN" generate --seed="$TMP/seed.bin" --out="$TMP/pgsk-fast.bin" \
+  --profile="$TMP/seed.profile" --algo=pgsk-fast --edges=40000 \
+  --noise=0.1 --nodes=4 --cores=2 --trace="$TMP/pgsk-fast.ndjson"
 "$CSBGEN" generate --seed="$TMP/seed.bin" --out="$TMP/rmat.bin" \
   --profile="$TMP/seed.profile" --algo=rmat --edges=40000 \
   --no-properties --trace="$TMP/rmat.ndjson"

@@ -115,6 +115,32 @@ std::string json_output_path(int argc, char** argv) {
   return {};
 }
 
+double phase_booked_seconds(const std::vector<SpanRecord>& spans,
+                            std::string_view phase) {
+  // Span ids are 1-based recorder assignments; map them once so the parent
+  // walk is O(depth) per span.
+  std::uint64_t max_id = 0;
+  for (const SpanRecord& span : spans) max_id = std::max(max_id, span.id);
+  std::vector<const SpanRecord*> by_id(max_id + 1, nullptr);
+  for (const SpanRecord& span : spans) {
+    if (span.id <= max_id) by_id[span.id] = &span;
+  }
+  double total = 0.0;
+  for (const SpanRecord& span : spans) {
+    if (span.kind == "phase") continue;
+    for (std::uint64_t parent = span.parent; parent != 0;) {
+      const SpanRecord* ancestor = by_id[parent];
+      if (ancestor == nullptr) break;
+      if (ancestor->kind == "phase" && ancestor->name == phase) {
+        total += span.seconds;
+        break;
+      }
+      parent = ancestor->parent;
+    }
+  }
+  return total;
+}
+
 void write_trace_report(const std::string& path, const std::string& tool,
                         const std::vector<const ReportTable*>& tables) {
   TraceFileWriter writer(path);

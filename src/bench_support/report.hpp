@@ -5,9 +5,12 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace csb {
+
+struct SpanRecord;
 
 /// Fixed-width table with a title banner, e.g.
 ///   == Fig. 9: Edges Generation Time ==
@@ -56,6 +59,15 @@ void print_experiment_header(const std::string& figure,
 /// Bench binaries pass their tables to write_trace_report when set, so runs
 /// can be archived and diffed without scraping the console tables.
 std::string json_output_path(int argc, char** argv);
+
+/// Sum of booked stage/serial seconds recorded under phase spans named
+/// `phase` (walking each span's parent chain, so nested phases attribute to
+/// every enclosing name). This is how the benches split a generator's
+/// simulated time into its csb.trace.v1 phases — e.g. the expand vs
+/// materialize vs fit breakdown behind the exact-vs-fast sampler race —
+/// without re-plumbing per-phase metrics through every GenResult.
+double phase_booked_seconds(const std::vector<SpanRecord>& spans,
+                            std::string_view phase);
 
 /// Writes the tables to `path` as csb.trace.v1 NDJSON — the suite-wide
 /// machine-readable schema (`csbgen report FILE` renders it): one meta line

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "gen/baselines.hpp"
+#include "gen/fast_samplers.hpp"
 #include "gen/pgpba.hpp"
 #include "gen/pgsk.hpp"
 #include "gen/properties.hpp"
@@ -131,6 +132,19 @@ class PgpbaGenerator final : public Generator {
   }
 };
 
+/// The KronFit budget knobs shared by the exact and fast PGSK generators,
+/// so benches can race them through the registry with identical fit work.
+KronFitOptions kronfit_options_from(const GenConfig& config) {
+  KronFitOptions fit;
+  fit.gradient_iterations = static_cast<std::uint32_t>(
+      config.get_u64("fit-iters", fit.gradient_iterations));
+  fit.swaps_per_iteration = static_cast<std::uint32_t>(
+      config.get_u64("fit-swaps", fit.swaps_per_iteration));
+  fit.burn_in_swaps = static_cast<std::uint32_t>(
+      config.get_u64("fit-burnin", fit.burn_in_swaps));
+  return fit;
+}
+
 class PgskGenerator final : public Generator {
  public:
   [[nodiscard]] std::string_view name() const override { return "pgsk"; }
@@ -138,7 +152,7 @@ class PgskGenerator final : public Generator {
     return "stochastic Kronecker with KronFit initiator (paper SIII-B)";
   }
   [[nodiscard]] std::vector<std::string> extra_options() const override {
-    return {"force-k", "no-rescale"};
+    return {"force-k", "no-rescale", "fit-iters", "fit-swaps", "fit-burnin"};
   }
   [[nodiscard]] GenResult generate(const PropertyGraph& seed,
                                    const SeedProfile& profile,
@@ -152,7 +166,62 @@ class PgskGenerator final : public Generator {
     options.seed = config.seed;
     options.with_properties = config.with_properties;
     options.rescale_to_target = !config.get_flag("no-rescale");
+    options.fit = kronfit_options_from(config);
     return pgsk_generate(seed, profile, cluster, options);
+  }
+};
+
+class PgskFastGenerator final : public Generator {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "pgsk-fast"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "Chung-Lu ball-dropping approximation of PGSK (O(1) per edge)";
+  }
+  [[nodiscard]] std::vector<std::string> extra_options() const override {
+    return {"force-k", "no-rescale", "noise",
+            "fit-iters", "fit-swaps", "fit-burnin"};
+  }
+  [[nodiscard]] GenResult generate(const PropertyGraph& seed,
+                                   const SeedProfile& profile,
+                                   ClusterSim& cluster,
+                                   const GenConfig& config) const override {
+    PgskFastOptions options;
+    options.desired_edges = config.desired_edges;
+    options.force_k =
+        static_cast<std::uint32_t>(config.get_u64("force-k", 0));
+    options.partitions = config.partitions;
+    options.seed = config.seed;
+    options.with_properties = config.with_properties;
+    options.rescale_to_target = !config.get_flag("no-rescale");
+    options.noise = config.get_double("noise", 0.0);
+    options.fit = kronfit_options_from(config);
+    return pgsk_fast_generate(seed, profile, cluster, options);
+  }
+};
+
+class PgpbaFastGenerator final : public Generator {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "pgpba-fast";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "skip-ahead preferential attachment (hash-resolved endpoints)";
+  }
+  [[nodiscard]] std::vector<std::string> extra_options() const override {
+    return {"edges-per-vertex"};
+  }
+  [[nodiscard]] GenResult generate(const PropertyGraph& seed,
+                                   const SeedProfile& profile,
+                                   ClusterSim& cluster,
+                                   const GenConfig& config) const override {
+    PgpbaFastOptions options;
+    options.desired_edges = config.desired_edges;
+    options.edges_per_vertex = static_cast<std::uint32_t>(
+        config.get_u64("edges-per-vertex", 1));
+    options.partitions = config.partitions;
+    options.seed = config.seed;
+    options.with_properties = config.with_properties;
+    return pgpba_fast_generate(seed, profile, cluster, options);
   }
 };
 
@@ -309,6 +378,8 @@ Registry& registry() {
   std::call_once(once, [] {
     instance.generators.push_back(std::make_unique<PgpbaGenerator>());
     instance.generators.push_back(std::make_unique<PgskGenerator>());
+    instance.generators.push_back(std::make_unique<PgpbaFastGenerator>());
+    instance.generators.push_back(std::make_unique<PgskFastGenerator>());
     instance.generators.push_back(std::make_unique<RmatGenerator>());
     instance.generators.push_back(std::make_unique<ClassicBaGenerator>());
     instance.generators.push_back(std::make_unique<ErdosRenyiGenerator>());

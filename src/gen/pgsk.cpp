@@ -32,6 +32,118 @@ PgskPlan plan_pgsk(double initiator_sum, double mean_out_degree,
   return plan;
 }
 
+PropertyGraph pgsk_collapse(const PropertyGraph& seed_graph,
+                            ClusterSim& cluster, std::size_t partitions) {
+  // Lines 1-5: multiset -> set collapse. Formerly one driver-serial O(|E|)
+  // hash pass; now the counted-shuffle SimplifyPlan phases run as stages
+  // (output identical to serial simplify()), leaving only the O(chunks x
+  // shards) planning steps on the driver.
+  PropertyGraph simple;
+  PhaseScope phase(cluster.trace(), "collapse");
+  SimplifyPlan plan(seed_graph, partitions, partitions);
+  const auto stage = [&cluster](const char* name, std::size_t count,
+                                const std::function<void(std::size_t)>& body) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      tasks.push_back([&body, i] { body(i); });
+    }
+    cluster.run_stage(name, std::move(tasks));
+  };
+  stage("collapse:count", plan.num_chunks(),
+        [&plan](std::size_t c) { plan.count_chunk(c); });
+  cluster.run_serial("collapse:plan", [&] { plan.plan_scatter(); });
+  stage("collapse:scatter", plan.num_chunks(),
+        [&plan](std::size_t c) { plan.scatter_chunk(c); });
+  stage("collapse:dedup", plan.num_shards(),
+        [&plan](std::size_t s) { plan.dedup_shard(s); });
+  stage("collapse:tally", plan.num_chunks(),
+        [&plan](std::size_t c) { plan.tally_chunk(c); });
+  cluster.run_serial("collapse:plan", [&] { plan.plan_compact(); });
+  stage("collapse:compact", plan.num_chunks(),
+        [&plan](std::size_t c) { plan.compact_chunk(c); });
+  cluster.run_serial("collapse:plan", [&] { simple = plan.finish(); });
+  return simple;
+}
+
+PgskInitiatorPlan pgsk_fit_and_plan(const PropertyGraph& simple,
+                                    const SeedProfile& profile,
+                                    ClusterSim& cluster,
+                                    const KronFitOptions& fit,
+                                    const PgskSizing& sizing) {
+  // Line 6: KronFit. The cluster attachment runs the O(|E|) refresh/
+  // gradient/recount passes and the sharded burn-in as stages; only the
+  // cached Metropolis chain and theta updates remain driver-serial
+  // ("kronfit:driver" segments).
+  KronFitResult fitted;
+  {
+    PhaseScope phase(cluster.trace(), "kronfit");
+    KronFitOptions fit_options = fit;
+    fit_options.cluster = &cluster;
+    fitted = kronfit(simple, fit_options);
+  }
+
+  // Sizing: order k so that (expected Kronecker edges) x (mean out-degree
+  // duplication) reaches the desired size.
+  const double mean_dup = std::max(1.0, profile.out_degree().mean());
+  PgskInitiatorPlan result;
+  result.initiator = fitted.initiator;
+  if (sizing.force_k != 0) {
+    result.plan.k = sizing.force_k;
+    result.plan.kron_edges = static_cast<std::uint64_t>(
+        std::llround(fitted.initiator.expected_edges(result.plan.k)));
+  } else {
+    result.plan =
+        plan_pgsk(fitted.initiator.sum(), mean_dup, sizing.desired_edges);
+  }
+
+  if (sizing.rescale_to_target) {
+    // Scale entries so (sum theta)^k == kron_target while preserving the
+    // fitted ratios; keeps entries below 1.
+    const double kron_target = std::max(
+        1.0, static_cast<double>(sizing.desired_edges) / mean_dup);
+    const double wanted_sum =
+        std::pow(kron_target, 1.0 / static_cast<double>(result.plan.k));
+    const double scale = wanted_sum / result.initiator.sum();
+    double max_entry = 0.0;
+    for (auto& row : result.initiator.theta) {
+      for (double& t : row) {
+        t *= scale;
+        max_entry = std::max(max_entry, t);
+      }
+    }
+    if (max_entry > 0.98) {
+      // Saturated entries cannot exceed 1; cap and accept the size error.
+      for (auto& row : result.initiator.theta) {
+        for (double& t : row) t = std::min(t, 0.98);
+      }
+    }
+    result.plan.kron_edges = static_cast<std::uint64_t>(
+        std::llround(result.initiator.expected_edges(result.plan.k)));
+  }
+  return result;
+}
+
+Dataset<Edge> pgsk_re_multiply(const Dataset<Edge>& kron_edges,
+                               const SeedProfile& profile, std::uint64_t seed,
+                               TraceRecorder* trace) {
+  // Lines 8-12: duplicate each edge by a draw from the out-degree
+  // distribution (restores multigraph flow multiplicity). Sink-based so no
+  // per-edge vector<Edge> is allocated just to be spliced and freed.
+  const std::uint64_t dup_seed = seed ^ 0xd0b1e5ULL;
+  PhaseScope phase(trace, "re-multiply");
+  return kron_edges.flat_map_into<Edge>(
+      [&profile, dup_seed](const Edge& e, const auto& emit) {
+        // Rng per element derived from the edge identity: deterministic and
+        // thread-safe regardless of partition scheduling.
+        Rng rng(dup_seed ^ edge_key(e));
+        auto copies =
+            static_cast<std::uint64_t>(profile.out_degree().sample(rng));
+        copies = std::max<std::uint64_t>(1, copies);
+        for (std::uint64_t c = 0; c < copies; ++c) emit(e);
+      });
+}
+
 GenResult pgsk_generate(const PropertyGraph& seed_graph,
                         const SeedProfile& profile, ClusterSim& cluster,
                         const PgskOptions& options) {
@@ -45,93 +157,18 @@ GenResult pgsk_generate(const PropertyGraph& seed_graph,
                                 ? options.partitions
                                 : 2 * cluster.config().total_cores();
 
-  // Lines 1-5: multiset -> set collapse. Formerly one driver-serial O(|E|)
-  // hash pass; now the counted-shuffle SimplifyPlan phases run as stages
-  // (output identical to serial simplify()), leaving only the O(chunks x
-  // shards) planning steps on the driver.
-  PropertyGraph simple;
-  {
-    PhaseScope phase(trace, "collapse");
-    SimplifyPlan plan(seed_graph, parts, parts);
-    const auto stage = [&cluster](const char* name, std::size_t count,
-                                  const std::function<void(std::size_t)>& body) {
-      std::vector<std::function<void()>> tasks;
-      tasks.reserve(count);
-      for (std::size_t i = 0; i < count; ++i) {
-        tasks.push_back([&body, i] { body(i); });
-      }
-      cluster.run_stage(name, std::move(tasks));
-    };
-    stage("collapse:count", plan.num_chunks(),
-          [&plan](std::size_t c) { plan.count_chunk(c); });
-    cluster.run_serial("collapse:plan", [&] { plan.plan_scatter(); });
-    stage("collapse:scatter", plan.num_chunks(),
-          [&plan](std::size_t c) { plan.scatter_chunk(c); });
-    stage("collapse:dedup", plan.num_shards(),
-          [&plan](std::size_t s) { plan.dedup_shard(s); });
-    stage("collapse:tally", plan.num_chunks(),
-          [&plan](std::size_t c) { plan.tally_chunk(c); });
-    cluster.run_serial("collapse:plan", [&] { plan.plan_compact(); });
-    stage("collapse:compact", plan.num_chunks(),
-          [&plan](std::size_t c) { plan.compact_chunk(c); });
-    cluster.run_serial("collapse:plan", [&] { simple = plan.finish(); });
-  }
-
-  // Line 6: KronFit. The cluster attachment runs the O(|E|) refresh/
-  // gradient/recount passes and the sharded burn-in as stages; only the
-  // cached Metropolis chain and theta updates remain driver-serial
-  // ("kronfit:driver" segments).
-  KronFitResult fit;
-  {
-    PhaseScope phase(trace, "kronfit");
-    KronFitOptions fit_options = options.fit;
-    fit_options.cluster = &cluster;
-    fit = kronfit(simple, fit_options);
-  }
-
-  // Sizing: order k so that (expected Kronecker edges) x (mean out-degree
-  // duplication) reaches the desired size.
-  const double mean_dup = std::max(1.0, profile.out_degree().mean());
-  PgskPlan plan;
-  if (options.force_k != 0) {
-    plan.k = options.force_k;
-    plan.kron_edges = static_cast<std::uint64_t>(std::llround(
-        fit.initiator.expected_edges(plan.k)));
-  } else {
-    plan = plan_pgsk(fit.initiator.sum(), mean_dup, options.desired_edges);
-  }
-
-  Initiator initiator = fit.initiator;
-  if (options.rescale_to_target) {
-    // Scale entries so (sum theta)^k == kron_target while preserving the
-    // fitted ratios; keeps entries below 1.
-    const double kron_target = std::max(
-        1.0, static_cast<double>(options.desired_edges) / mean_dup);
-    const double wanted_sum =
-        std::pow(kron_target, 1.0 / static_cast<double>(plan.k));
-    const double scale = wanted_sum / initiator.sum();
-    double max_entry = 0.0;
-    for (auto& row : initiator.theta) {
-      for (double& t : row) {
-        t *= scale;
-        max_entry = std::max(max_entry, t);
-      }
-    }
-    if (max_entry > 0.98) {
-      // Saturated entries cannot exceed 1; cap and accept the size error.
-      for (auto& row : initiator.theta) {
-        for (double& t : row) t = std::min(t, 0.98);
-      }
-    }
-    plan.kron_edges = static_cast<std::uint64_t>(
-        std::llround(initiator.expected_edges(plan.k)));
-  }
+  const PropertyGraph simple = pgsk_collapse(seed_graph, cluster, parts);
+  const PgskInitiatorPlan fitted = pgsk_fit_and_plan(
+      simple, profile, cluster, options.fit,
+      PgskSizing{.desired_edges = options.desired_edges,
+                 .force_k = options.force_k,
+                 .rescale_to_target = options.rescale_to_target});
 
   // Line 7: parallel recursive-descent expansion with dedup.
   StochasticKroneckerOptions kron;
-  kron.initiator = initiator;
-  kron.k = plan.k;
-  kron.edges_to_place = std::max<std::uint64_t>(1, plan.kron_edges);
+  kron.initiator = fitted.initiator;
+  kron.k = fitted.plan.k;
+  kron.edges_to_place = std::max<std::uint64_t>(1, fitted.plan.kron_edges);
   kron.partitions = options.partitions;
   kron.seed = options.seed;
   std::optional<Dataset<Edge>> kron_edges;
@@ -140,33 +177,17 @@ GenResult pgsk_generate(const PropertyGraph& seed_graph,
     kron_edges.emplace(stochastic_kronecker_edges(cluster, kron));
   }
 
-  // Lines 8-12: duplicate each edge by a draw from the out-degree
-  // distribution (restores multigraph flow multiplicity). Sink-based so no
-  // per-edge vector<Edge> is allocated just to be spliced and freed.
-  const std::uint64_t dup_seed = options.seed ^ 0xd0b1e5ULL;
-  std::optional<Dataset<Edge>> edges;
-  {
-    PhaseScope phase(trace, "re-multiply");
-    edges.emplace(kron_edges->flat_map_into<Edge>(
-        [&profile, dup_seed](const Edge& e, const auto& emit) {
-          // Rng per element derived from the edge identity: deterministic and
-          // thread-safe regardless of partition scheduling.
-          Rng rng(dup_seed ^ edge_key(e));
-          auto copies =
-              static_cast<std::uint64_t>(profile.out_degree().sample(rng));
-          copies = std::max<std::uint64_t>(1, copies);
-          for (std::uint64_t c = 0; c < copies; ++c) emit(e);
-        }));
-  }
+  const Dataset<Edge> edges =
+      pgsk_re_multiply(*kron_edges, profile, options.seed, trace);
 
-  result.iterations = plan.k;
+  result.iterations = fitted.plan.k;
 
   // Distributed graph materialization (GraphX Graph construction).
-  const std::uint64_t n = 1ULL << plan.k;
+  const std::uint64_t n = 1ULL << fitted.plan.k;
   {
     PhaseScope phase(trace, "materialize");
     result.graph =
-        materialize_graph(*edges, n, options.with_properties, cluster);
+        materialize_graph(edges, n, options.with_properties, cluster);
   }
   result.structure_seconds = cluster.metrics().simulated_seconds;
 

@@ -17,6 +17,8 @@
 
 #include "gen/generator.hpp"
 #include "gen/kronfit.hpp"
+#include "mr/dataset.hpp"
+#include "obs/trace.hpp"
 #include "seed/seed.hpp"
 
 namespace csb {
@@ -49,5 +51,44 @@ struct PgskPlan {
 };
 PgskPlan plan_pgsk(double initiator_sum, double mean_out_degree,
                    std::uint64_t desired_edges);
+
+// The collapse / fit / size prefix of the PGSK pipeline, exposed so the
+// fast Chung-Lu sampler (gen/fast_samplers.hpp) shares it verbatim with the
+// exact generator — both must fit the same initiator from the same collapsed
+// graph for the exact-vs-fast veracity race to be apples-to-apples.
+
+/// Fig. 3 lines 1-5: multiset -> simple-graph collapse via the
+/// counted-shuffle SimplifyPlan stages under the "collapse" phase; output
+/// byte-identical to serial simplify() at any worker count.
+PropertyGraph pgsk_collapse(const PropertyGraph& seed_graph,
+                            ClusterSim& cluster, std::size_t partitions);
+
+/// Sizing inputs shared by pgsk_generate and pgsk_fast_generate.
+struct PgskSizing {
+  std::uint64_t desired_edges = 0;
+  std::uint32_t force_k = 0;       ///< 0 = auto from desired_edges
+  bool rescale_to_target = true;
+};
+
+/// Line 6 + sizing: KronFit the collapsed graph on the cluster (books the
+/// "kronfit" phase), pick the order k, and optionally rescale the fitted
+/// initiator so its expected edge count at that order hits the
+/// pre-duplication target (entry ratios preserved, entries capped at 0.98).
+struct PgskInitiatorPlan {
+  Initiator initiator;
+  PgskPlan plan;
+};
+PgskInitiatorPlan pgsk_fit_and_plan(const PropertyGraph& simple,
+                                    const SeedProfile& profile,
+                                    ClusterSim& cluster,
+                                    const KronFitOptions& fit,
+                                    const PgskSizing& sizing);
+
+/// Lines 8-12: duplicate every placed edge by a per-edge draw from the seed
+/// out-degree distribution (books the "re-multiply" phase). Deterministic:
+/// the per-edge Rng is derived from the edge identity, not the partition.
+Dataset<Edge> pgsk_re_multiply(const Dataset<Edge>& kron_edges,
+                               const SeedProfile& profile, std::uint64_t seed,
+                               TraceRecorder* trace);
 
 }  // namespace csb

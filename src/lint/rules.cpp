@@ -364,11 +364,11 @@ void run_raw_parallel_reduce(const SourceFile& file, const Sink& emit) {
 const std::set<std::string, std::less<>>& families() {
   // Mirrors the stage-name table in docs/observability.md — keep in sync.
   static const std::set<std::string, std::less<>> set = {
-      "allocate-vertices", "attach",      "coalesce", "collapse",
-      "distinct",          "expand",      "filter",   "flat_map",
-      "generate",          "grow",        "kronfit",  "map",
-      "materialize",       "properties",  "reduce",   "re-multiply",
-      "sample",            "seed",
+      "allocate-vertices", "attach",      "ball-drop", "coalesce",
+      "collapse",          "distinct",    "expand",    "filter",
+      "flat_map",          "generate",    "grow",      "kronfit",
+      "map",               "materialize", "properties", "reduce",
+      "re-multiply",       "sample",      "seed",      "skip-ahead",
   };
   return set;
 }

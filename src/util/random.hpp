@@ -109,4 +109,50 @@ class Rng {
   std::uint64_t state_[4]{};
 };
 
+/// Counter-mode stream: derives an independent Rng from (seed, counter)
+/// alone, so any worker can reconstruct element `counter`'s stream without
+/// shared state or a parent Rng to fork from. This is the primitive behind
+/// the fast samplers' skip-ahead resolution, where edge i must re-derive
+/// edge j's draws (j < i) in O(1).
+inline Rng counter_rng(std::uint64_t seed, std::uint64_t counter) noexcept {
+  std::uint64_t a = seed;
+  std::uint64_t b = counter ^ 0x1905'27bb'4e5e'c9d1ULL;
+  return Rng(splitmix64(a) ^ splitmix64(b));
+}
+
+/// Fixed-point Bernoulli threshold for bernoulli_lanes: round(p * 2^64)
+/// computed through the 53-bit mantissa so the conversion is exact and
+/// platform-independent for p in [0, 1].
+inline constexpr std::uint64_t bernoulli_threshold(double p) noexcept {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return ~0ULL;
+  return static_cast<std::uint64_t>(p * 0x1.0p53) << 11;
+}
+
+/// 64 iid Bernoulli(p) trials in one call, bit i of the result = lane i's
+/// outcome, where p = threshold / 2^64 (see bernoulli_threshold).
+///
+/// Each lane conceptually compares a uniform 64-bit value against the
+/// threshold, but the uniform bits are revealed one per round (MSB first)
+/// across all lanes at once: a lane is decided the first round its bit
+/// differs from the threshold's. The expected number of undecided lanes
+/// halves per round, so ~log2(64) + 2 draws decide all 64 lanes — the
+/// batched sampler behind the Chung-Lu ball-dropping kernel, ~10x fewer
+/// RNG draws than 64 separate bernoulli() calls.
+inline std::uint64_t bernoulli_lanes(Rng& rng,
+                                     std::uint64_t threshold) noexcept {
+  std::uint64_t ones = 0;
+  std::uint64_t undecided = ~0ULL;
+  for (int bit = 63; bit >= 0 && undecided != 0; --bit) {
+    const std::uint64_t w = rng();
+    if ((threshold >> bit) & 1) {
+      ones |= undecided & ~w;   // uniform bit 0 < threshold bit 1: success
+      undecided &= w;
+    } else {
+      undecided &= ~w;          // uniform bit 1 > threshold bit 0: failure
+    }
+  }
+  return ones;  // lanes never decided (p = 2^-64 each) resolve to failure
+}
+
 }  // namespace csb

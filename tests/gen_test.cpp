@@ -3,10 +3,13 @@
 // the baseline generators.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
 
 #include "gen/baselines.hpp"
+#include "gen/fast_samplers.hpp"
 #include "gen/kronecker.hpp"
 #include "gen/kronfit.hpp"
 #include "gen/materialize.hpp"
@@ -19,6 +22,7 @@
 #include "stats/power_law.hpp"
 #include "trace/traffic_model.hpp"
 #include "util/error.hpp"
+#include "util/random.hpp"
 #include "util/thread_pool.hpp"
 
 namespace csb {
@@ -718,6 +722,226 @@ TEST(ChungLuTest, DegreesFollowWeights) {
   const double observed_share =
       static_cast<double>(degrees[0]) / (2.0 * graph.num_edges());
   EXPECT_NEAR(observed_share, expected_share, 0.05);
+}
+
+// ---------------------------------------------------------- fast samplers
+
+TEST(BernoulliLanesTest, LaneMeanMatchesProbability) {
+  Rng rng(7);
+  const std::uint64_t threshold = bernoulli_threshold(0.3);
+  std::uint64_t ones = 0;
+  constexpr int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    ones += static_cast<std::uint64_t>(
+        std::popcount(bernoulli_lanes(rng, threshold)));
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / (64.0 * kTrials), 0.3, 0.01);
+  EXPECT_EQ(bernoulli_lanes(rng, bernoulli_threshold(0.0)), 0u);
+  EXPECT_EQ(bernoulli_lanes(rng, bernoulli_threshold(1.0)), ~0ULL);
+}
+
+TEST(ChungLuLevelsTest, CleanModelIsLevelUniform) {
+  const Initiator initiator;  // default theta
+  const ChungLuLevels levels = chung_lu_levels(initiator, 8, 0.0, 42);
+  ASSERT_EQ(levels.src_threshold.size(), 8u);
+  for (std::size_t l = 1; l < 8; ++l) {
+    EXPECT_EQ(levels.src_threshold[l], levels.src_threshold[0]);
+    EXPECT_EQ(levels.dst_threshold[l], levels.dst_threshold[0]);
+  }
+  // Default initiator row share (c+d)/sum = 0.6/2.0.
+  const double p =
+      static_cast<double>(levels.src_threshold[0] >> 11) * 0x1.0p-53;
+  EXPECT_NEAR(p, 0.3, 1e-12);
+}
+
+TEST(ChungLuLevelsTest, NoiseVariesLevelsDeterministically) {
+  const Initiator initiator;
+  const ChungLuLevels a = chung_lu_levels(initiator, 12, 0.2, 42);
+  const ChungLuLevels b = chung_lu_levels(initiator, 12, 0.2, 42);
+  EXPECT_EQ(a.src_threshold, b.src_threshold);
+  EXPECT_EQ(a.dst_threshold, b.dst_threshold);
+  // With noise the per-level probabilities must actually differ.
+  bool varies = false;
+  for (std::size_t l = 1; l < 12; ++l) {
+    varies |= a.src_threshold[l] != a.src_threshold[0];
+  }
+  EXPECT_TRUE(varies);
+  EXPECT_THROW(chung_lu_levels(initiator, 4, 0.5, 1), CsbError);
+}
+
+TEST(BallDropTest, ByteIdenticalAcrossPoolSizes) {
+  const ChungLuLevels levels = chung_lu_levels(Initiator{}, 12, 0.1, 9);
+  const auto serial = chung_lu_ball_drop(levels, 50'000, 9, 1024, nullptr);
+  ASSERT_EQ(serial.size(), 50'000u);
+  for (const std::size_t threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(chung_lu_ball_drop(levels, 50'000, 9, 1024, &pool), serial)
+        << threads << " threads";
+  }
+}
+
+TEST(PgskFastTest, GeneratesApproximatelyDesiredSize) {
+  const SeedBundle seed = small_seed(400);
+  ClusterSim cluster(four_cores());
+  PgskFastOptions options;
+  options.desired_edges = 4000;
+  options.with_properties = false;
+  options.fit.gradient_iterations = 5;
+  options.fit.swaps_per_iteration = 100;
+  options.fit.burn_in_swaps = 200;
+  const GenResult result =
+      pgsk_fast_generate(seed.graph, seed.profile, cluster, options);
+  EXPECT_GT(result.graph.num_edges(), options.desired_edges / 3);
+  EXPECT_LT(result.graph.num_edges(), options.desired_edges * 3);
+  EXPECT_TRUE(std::has_single_bit(result.graph.num_vertices()));
+}
+
+TEST(PgskFastTest, ByteIdenticalAcrossPoolSizes) {
+  const SeedBundle seed = small_seed(400);
+  PgskFastOptions options;
+  options.desired_edges = 3000;
+  options.fit.gradient_iterations = 4;
+  options.fit.swaps_per_iteration = 100;
+  options.fit.burn_in_swaps = 200;
+  ClusterSim baseline_cluster(four_cores());
+  const GenResult baseline =
+      pgsk_fast_generate(seed.graph, seed.profile, baseline_cluster, options);
+  for (const std::size_t threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    ClusterSim cluster(four_cores(), pool);
+    const GenResult result =
+        pgsk_fast_generate(seed.graph, seed.profile, cluster, options);
+    EXPECT_EQ(result.graph, baseline.graph) << threads << " threads";
+  }
+}
+
+TEST(PgskFastTest, NoisyVariantIsDeterministicAndDistinct) {
+  const SeedBundle seed = small_seed(400);
+  PgskFastOptions options;
+  options.desired_edges = 3000;
+  options.with_properties = false;
+  options.fit.gradient_iterations = 4;
+  options.fit.swaps_per_iteration = 100;
+  options.fit.burn_in_swaps = 200;
+  ClusterSim c1(four_cores());
+  const GenResult clean =
+      pgsk_fast_generate(seed.graph, seed.profile, c1, options);
+  options.noise = 0.15;
+  ClusterSim c2(four_cores());
+  ClusterSim c3(four_cores());
+  const GenResult noisy_a =
+      pgsk_fast_generate(seed.graph, seed.profile, c2, options);
+  const GenResult noisy_b =
+      pgsk_fast_generate(seed.graph, seed.profile, c3, options);
+  EXPECT_EQ(noisy_a.graph, noisy_b.graph);
+  EXPECT_NE(noisy_a.graph, clean.graph);
+}
+
+TEST(SkipAheadTest, DestinationsResolveToSeedDestinations) {
+  const std::vector<VertexId> destinations = {1, 2};
+  SkipAheadLayout layout;
+  layout.seed_destinations = destinations;
+  layout.seed_edges = 2;
+  layout.first_new_vertex = 3;
+  layout.edges_per_vertex = 1;
+  for (std::uint64_t i = 2; i < 400; ++i) {
+    const VertexId dst = skip_ahead_destination(layout, 5, i);
+    // Every chain terminates in the seed destination table — the exact
+    // PGPBA invariant that a new edge inherits an earlier edge's
+    // destination, which is by induction a seed destination.
+    EXPECT_TRUE(dst == 1 || dst == 2) << "edge " << i;
+    // And twice more: the resolution is a pure function of (seed, index).
+    EXPECT_EQ(skip_ahead_destination(layout, 5, i), dst);
+  }
+}
+
+TEST(SkipAheadTest, AttachByteIdenticalAcrossPoolSizes) {
+  const std::vector<VertexId> destinations = {1, 2, 0};
+  SkipAheadLayout layout;
+  layout.seed_destinations = destinations;
+  layout.seed_edges = 3;
+  layout.first_new_vertex = 3;
+  layout.edges_per_vertex = 2;
+  const auto serial = skip_ahead_attach(layout, 40'000, 13, 1024, nullptr);
+  ASSERT_EQ(serial.size(), 40'000u - 3u);
+  for (const std::size_t threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(skip_ahead_attach(layout, 40'000, 13, 1024, &pool), serial)
+        << threads << " threads";
+  }
+}
+
+TEST(PgpbaFastTest, ReachesExactDesiredSize) {
+  const SeedBundle seed = small_seed();
+  ClusterSim cluster(four_cores());
+  PgpbaFastOptions options;
+  options.desired_edges = 4 * seed.graph.num_edges();
+  options.with_properties = false;
+  const GenResult result =
+      pgpba_fast_generate(seed.graph, seed.profile, cluster, options);
+  EXPECT_EQ(result.graph.num_edges(), options.desired_edges);
+  EXPECT_EQ(result.graph.num_vertices(),
+            seed.graph.num_vertices() + 3 * seed.graph.num_edges());
+}
+
+TEST(PgpbaFastTest, EdgesPerVertexControlsVertexGrowth) {
+  const SeedBundle seed = small_seed();
+  ClusterSim cluster(four_cores());
+  PgpbaFastOptions options;
+  options.desired_edges = 4 * seed.graph.num_edges();
+  options.edges_per_vertex = 4;
+  options.with_properties = false;
+  const GenResult result =
+      pgpba_fast_generate(seed.graph, seed.profile, cluster, options);
+  const std::uint64_t grown = 3 * seed.graph.num_edges();
+  EXPECT_EQ(result.graph.num_vertices(),
+            seed.graph.num_vertices() + (grown + 3) / 4);
+}
+
+TEST(PgpbaFastTest, ByteIdenticalAcrossPoolSizes) {
+  const SeedBundle seed = small_seed(400);
+  PgpbaFastOptions options;
+  options.desired_edges = 3 * seed.graph.num_edges();
+  ClusterSim baseline_cluster(four_cores());
+  const GenResult baseline = pgpba_fast_generate(seed.graph, seed.profile,
+                                                 baseline_cluster, options);
+  for (const std::size_t threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    ClusterSim cluster(four_cores(), pool);
+    const GenResult result =
+        pgpba_fast_generate(seed.graph, seed.profile, cluster, options);
+    EXPECT_EQ(result.graph, baseline.graph) << threads << " threads";
+  }
+}
+
+TEST(PgpbaFastTest, PreferentialAttachmentSkewsDegrees) {
+  const SeedBundle seed = small_seed();
+  ClusterSim cluster(four_cores());
+  PgpbaFastOptions options;
+  options.desired_edges = 8 * seed.graph.num_edges();
+  options.with_properties = false;
+  const GenResult result =
+      pgpba_fast_generate(seed.graph, seed.profile, cluster, options);
+  const auto degrees = in_degrees(result.graph);
+  const double mean =
+      static_cast<double>(result.graph.num_edges()) / degrees.size();
+  const std::uint64_t max_degree =
+      *std::max_element(degrees.begin(), degrees.end());
+  EXPECT_GT(static_cast<double>(max_degree), 20.0 * mean);
+}
+
+TEST(FastSamplerRegistryTest, BothGeneratorsRegistered) {
+  const Generator* pgsk_fast = find_generator("pgsk-fast");
+  ASSERT_NE(pgsk_fast, nullptr);
+  const auto pgsk_extras = pgsk_fast->extra_options();
+  EXPECT_NE(std::find(pgsk_extras.begin(), pgsk_extras.end(), "noise"),
+            pgsk_extras.end());
+  const Generator* pgpba_fast = find_generator("pgpba-fast");
+  ASSERT_NE(pgpba_fast, nullptr);
+  const auto pgpba_extras = pgpba_fast->extra_options();
+  EXPECT_NE(std::find(pgpba_extras.begin(), pgpba_extras.end(),
+                      "edges-per-vertex"),
+            pgpba_extras.end());
 }
 
 }  // namespace
