@@ -205,8 +205,10 @@ void BM_RegistryGenerator(benchmark::State& state, const Generator* gen) {
   GenConfig config;
   config.desired_edges = 2 * seed.graph.num_edges();
   config.with_properties = false;
-  const auto extras = gen->extra_options();
-  if (std::find(extras.begin(), extras.end(), "fit-iters") != extras.end()) {
+  const auto specs = gen->options();
+  if (std::find_if(specs.begin(), specs.end(), [](const OptionSpec& s) {
+        return s.name == "fit-iters";
+      }) != specs.end()) {
     // Micro-bench KronFit budget: the sweep measures expansion cost, not
     // the (driver-serial, separately benched) fit.
     config.extra = {

@@ -1,0 +1,153 @@
+// Store-throughput gate bench: pgsk-fast streamed into the sharded
+// out-of-core store vs the in-RAM MemoryStore at the same configuration.
+//
+// Two claims are checked, one here and one by the regression gate:
+//   * bounded residency — the shard path's peak-RSS growth must stay under
+//     the CSR memory budget plus fixed slack (asserted in-process via
+//     sample_process_memory; the in-RAM graph for the same edge count is
+//     several times larger). A leak of the full edge list into RAM fails
+//     the bench itself, on every host.
+//   * throughput — edges/second of both paths goes into the `--json`
+//     record; scripts/check_bench_regress.sh pins the shard path's
+//     throughput to a relative floor against BENCH_observability.json, so
+//     an accidental serialization (or fsync-per-chunk-style regression) of
+//     the store fails the gate without rerunning any sweep.
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "bench_support/report.hpp"
+#include "common.hpp"
+#include "gen/fast_samplers.hpp"
+#include "obs/memwatch.hpp"
+#include "store/graph_store.hpp"
+#include "store/shard_store.hpp"
+#include "util/format.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+double wall_seconds(const std::function<void()>& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace csb;
+  namespace fs = std::filesystem;
+  print_experiment_header(
+      "store throughput — sharded out-of-core vs in-RAM sink",
+      "pgsk-fast streams shard-sized chunks into each GraphStore backend; "
+      "the shard path must hold peak RSS near the CSR budget while staying "
+      "within a constant factor of the in-RAM sink's throughput.");
+
+  constexpr std::uint64_t kBudgetBytes = 64ULL << 20;
+  constexpr std::uint64_t kSlackBytes = 128ULL << 20;
+  constexpr int kRepeats = 2;
+  const SeedBundle seed = bench::default_seed(bench::scaled(15'000));
+  const std::uint64_t target = bench::scaled(8'000'000);
+
+  PgskFastOptions options;
+  options.desired_edges = target;
+  options.seed = 11;
+  options.with_properties = false;
+  options.fit.gradient_iterations = 2;
+  options.fit.swaps_per_iteration = 100;
+  options.fit.burn_in_swaps = 200;
+
+  ThreadPool pool(4);
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("csb_store_throughput_" + std::to_string(::getpid()));
+  fs::remove_all(scratch);
+
+  // Shard path first, so its peak-RSS delta is measured against a clean
+  // high-water mark (VmHWM only ever rises).
+  const MemorySample before = sample_process_memory();
+  double shards_s = 1e18;
+  std::uint64_t edges = 0;
+  for (int r = 0; r < kRepeats; ++r) {
+    fs::remove_all(scratch);
+    ClusterSim cluster(
+        ClusterConfig{
+            .nodes = 8, .cores_per_node = 2, .smooth_task_durations = true},
+        pool);
+    ShardStoreOptions store_options;
+    store_options.directory = scratch.string();
+    store_options.shard_count = 8;
+    store_options.memory_budget_bytes = kBudgetBytes;
+    ShardStore store(store_options);
+    const double s = wall_seconds([&] {
+      const StoreGenResult result = pgsk_fast_generate_into(
+          seed.graph, seed.profile, cluster, options, FastSinkOptions{},
+          store);
+      edges = result.edges;
+    });
+    shards_s = std::min(shards_s, s);
+  }
+  const MemorySample after_shards = sample_process_memory();
+  const std::uint64_t shards_rss_growth =
+      after_shards.hwm_bytes - before.hwm_bytes;
+  fs::remove_all(scratch);
+
+  double memory_s = 1e18;
+  for (int r = 0; r < kRepeats; ++r) {
+    ClusterSim cluster(
+        ClusterConfig{
+            .nodes = 8, .cores_per_node = 2, .smooth_task_durations = true},
+        pool);
+    MemoryStore store;
+    const double s = wall_seconds([&] {
+      (void)pgsk_fast_generate_into(seed.graph, seed.profile, cluster,
+                                    options, FastSinkOptions{}, store);
+    });
+    memory_s = std::min(memory_s, s);
+  }
+
+  const double shards_eps = static_cast<double>(edges) / shards_s;
+  const double memory_eps = static_cast<double>(edges) / memory_s;
+
+  ReportTable table("store sink race (best of " + std::to_string(kRepeats) +
+                        " repeats, " + with_commas(edges) + " edges)",
+                    {"sink", "wall_s", "edges_per_s", "rss_growth"});
+  table.add_row({"memory", cell_fixed(memory_s, 3),
+                 cell_fixed(memory_eps / 1e6, 2) + "M", "-"});
+  table.add_row({"shards", cell_fixed(shards_s, 3),
+                 cell_fixed(shards_eps / 1e6, 2) + "M",
+                 human_bytes(shards_rss_growth)});
+  table.print();
+  std::cout << "\n(shard path: 8 shards, " << human_bytes(kBudgetBytes)
+            << " CSR budget; RSS growth = VmHWM delta over the shard "
+               "runs)\n";
+
+  if (shards_rss_growth > kBudgetBytes + kSlackBytes) {
+    std::cerr << "FAIL: shard-path peak RSS growth "
+              << human_bytes(shards_rss_growth) << " exceeds budget "
+              << human_bytes(kBudgetBytes) << " + slack "
+              << human_bytes(kSlackBytes) << "\n";
+    return 1;
+  }
+
+  if (const std::string json = json_output_path(argc, argv); !json.empty()) {
+    TraceFileWriter writer(json);
+    writer.write_meta({{"tool", "store_throughput"}});
+    BenchRecord record;
+    record.name = "store_throughput";
+    record.fields.emplace_back("edges", JsonValue(edges));
+    record.fields.emplace_back("memory_s", JsonValue(memory_s));
+    record.fields.emplace_back("shards_s", JsonValue(shards_s));
+    record.fields.emplace_back("memory_edges_per_s", JsonValue(memory_eps));
+    record.fields.emplace_back("shards_edges_per_s", JsonValue(shards_eps));
+    record.fields.emplace_back("shards_rss_growth_bytes",
+                               JsonValue(shards_rss_growth));
+    record.fields.emplace_back("budget_bytes", JsonValue(kBudgetBytes));
+    writer.write_bench(record);
+    std::cout << "wrote " << json << " (csb.trace.v1)\n";
+  }
+  return 0;
+}

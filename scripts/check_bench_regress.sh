@@ -19,6 +19,11 @@
 #     both samplers' degree/PageRank KS distances have absolute ceilings
 #     mirroring the tests/veracity_test.cpp bounds: an eroded speedup or a
 #     veracity drift fails here without rerunning the fig09 sweep.
+#   - bench/store_throughput — pgsk-fast streamed into the sharded
+#     out-of-core store vs the in-RAM MemoryStore. The bench itself asserts
+#     the shard path's peak-RSS growth stays near the CSR budget; the gate
+#     adds a relative floor on shard-path edges/second, so an accidental
+#     serialization of the store write path fails here.
 # Thresholds are deliberately generous (shared CI hosts are noisy): the gate
 # exists to catch structural regressions — a serial fraction that doubles, a
 # kernel that gets 3x slower — not single-digit-percent drift. Refresh the
@@ -35,7 +40,7 @@ BASELINE="BENCH_observability.json"
 
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target serial_fraction trace_overhead \
-  seed_ingest fast_samplers
+  seed_ingest fast_samplers store_throughput
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -44,8 +49,9 @@ trap 'rm -rf "$TMP"' EXIT
 "$BUILD/bench/trace_overhead" --reps=5 --json="$TMP/trace_overhead.ndjson"
 "$BUILD/bench/seed_ingest" --json="$TMP/seed_ingest.ndjson"
 "$BUILD/bench/fast_samplers" --json="$TMP/fast_samplers.ndjson"
+"$BUILD/bench/store_throughput" --json="$TMP/store_throughput.ndjson"
 
-python3 - "$BASELINE" "$TMP/serial_fraction.ndjson" "$TMP/trace_overhead.ndjson" "$TMP/seed_ingest.ndjson" "$TMP/fast_samplers.ndjson" <<'EOF'
+python3 - "$BASELINE" "$TMP/serial_fraction.ndjson" "$TMP/trace_overhead.ndjson" "$TMP/seed_ingest.ndjson" "$TMP/fast_samplers.ndjson" "$TMP/store_throughput.ndjson" <<'EOF'
 import json
 import sys
 
@@ -156,6 +162,26 @@ else:
         print(f"{status} {name}: {field} {now_ks:.4f} (ceiling {ceiling})")
         if now_ks > ceiling:
             failures.append(f"{name}: {field} {now_ks:.4f} > ceiling {ceiling}")
+
+# Store throughput: the shard path's edges/second gets a relative floor
+# (half the committed baseline — disk and host noise move the absolute
+# number, an accidental serialization or per-chunk fsync moves it far
+# more). Peak-RSS residency is asserted inside the bench itself.
+name = "store_throughput"
+if name not in baseline:
+    print(f"SKIP store-throughput check: no '{name}' record in baseline")
+elif name not in fresh:
+    failures.append(f"{name}: bench produced no record")
+else:
+    base_eps = baseline[name]["shards_edges_per_s"]
+    now_eps = fresh[name]["shards_edges_per_s"]
+    floor = base_eps * 0.5
+    status = "OK" if now_eps >= floor else "FAIL"
+    print(f"{status} {name}: shards {now_eps / 1e6:.2f}M edges/s "
+          f"(baseline {base_eps / 1e6:.2f}M, floor {floor / 1e6:.2f}M)")
+    if now_eps < floor:
+        failures.append(
+            f"{name}: shards_edges_per_s {now_eps:.0f} < floor {floor:.0f}")
 
 if failures:
     print("FAIL: bench regression vs committed baseline:", file=sys.stderr)

@@ -9,6 +9,7 @@
 #include "gen/materialize.hpp"
 #include "gen/properties.hpp"
 #include "mr/dataset.hpp"
+#include "store/external_sort.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/random.hpp"
@@ -345,6 +346,327 @@ GenResult pgpba_fast_generate(const PropertyGraph& seed_graph,
     result.property_seconds = cluster.metrics().simulated_seconds - before;
   }
   result.metrics = cluster.metrics();
+  return result;
+}
+
+// ------------------------------------------------------------- sink paths
+
+namespace {
+
+/// Splits an AoS edge chunk into endpoint columns and writes it at its
+/// global offset.
+void emit_edge_chunk(GraphStore& store, std::uint64_t first,
+                     std::span<const Edge> edges) {
+  std::vector<VertexId> src(edges.size());
+  std::vector<VertexId> dst(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    src[i] = edges[i].src;
+    dst[i] = edges[i].dst;
+  }
+  store.put_edges(first, src, dst);
+}
+
+/// Re-multiply copy count of one ball-dropped edge — the exact per-edge
+/// draw pgsk_re_multiply makes, so the streamed expansion is byte-identical
+/// to the classic Dataset::flat_map_into path.
+std::uint64_t re_multiply_copies(const SeedProfile& profile,
+                                 std::uint64_t dup_seed, const Edge& e) {
+  Rng rng(dup_seed ^ edge_key(e));
+  const auto copies =
+      static_cast<std::uint64_t>(profile.out_degree().sample(rng));
+  return std::max<std::uint64_t>(1, copies);
+}
+
+/// The store:props stage both sink paths share: fixed global property
+/// chunks (the same geometry assign_properties uses — 2x the virtual
+/// cores), sampled with per-chunk counter streams and written at their
+/// global offsets.
+void run_property_stage(GraphStore& store, const SeedProfile& profile,
+                        ClusterSim& cluster, std::uint64_t prop_seed,
+                        std::uint64_t total_edges) {
+  if (total_edges == 0) return;
+  const std::size_t partitions =
+      std::max<std::size_t>(1, cluster.config().total_cores() * 2);
+  const auto chunks =
+      make_fixed_chunks(0, static_cast<std::size_t>(total_edges),
+                        property_chunk_size(total_edges, partitions));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks.size());
+  for (const ChunkRange& chunk : chunks) {
+    tasks.push_back([&store, &profile, prop_seed, chunk] {
+      PropertyRowsBuffer rows;
+      sample_property_chunk(profile, prop_seed, chunk, rows);
+      store.put_properties(chunk.begin, rows.view());
+    });
+  }
+  cluster.run_stage("store:props", std::move(tasks));
+}
+
+}  // namespace
+
+StoreGenResult pgsk_fast_generate_into(const PropertyGraph& seed_graph,
+                                       const SeedProfile& profile,
+                                       ClusterSim& cluster,
+                                       const PgskFastOptions& options,
+                                       const FastSinkOptions& sink,
+                                       GraphStore& store) {
+  CSB_CHECK_MSG(seed_graph.num_edges() > 0, "PGSK needs a non-empty seed");
+  CSB_CHECK_MSG(options.desired_edges > 0, "desired_edges must be positive");
+  cluster.reset_metrics();
+
+  StoreGenResult result;
+  TraceRecorder* const trace = cluster.trace();
+  const std::size_t parts = options.partitions != 0
+                                ? options.partitions
+                                : 2 * cluster.config().total_cores();
+
+  const PropertyGraph simple = pgsk_collapse(seed_graph, cluster, parts);
+  const PgskInitiatorPlan fitted = pgsk_fit_and_plan(
+      simple, profile, cluster, options.fit,
+      PgskSizing{.desired_edges = options.desired_edges,
+                 .force_k = options.force_k,
+                 .rescale_to_target = options.rescale_to_target});
+
+  const std::uint64_t place =
+      std::max<std::uint64_t>(1, fitted.plan.kron_edges);
+  const std::uint64_t n = 1ULL << fitted.plan.k;
+  const std::uint64_t dup_seed = options.seed ^ 0xd0b1e5ULL;
+  result.iterations = fitted.plan.k;
+
+  ChungLuLevels levels;
+  cluster.run_serial("ball-drop:plan", [&] {
+    levels = chung_lu_levels(fitted.initiator, fitted.plan.k, options.noise,
+                             options.seed);
+  });
+  const std::size_t chunk_size = fast_sampler_chunk_size(place, parts);
+  const auto chunks =
+      make_fixed_chunks(0, static_cast<std::size_t>(place), chunk_size);
+
+  std::uint64_t total_edges = 0;
+  {
+    PhaseScope phase(trace, "store");
+    if (!sink.dedup) {
+      // Counting pass: re-multiplied size of each ball-drop chunk. The
+      // chunk regenerates from its counter stream both here and in the
+      // emit pass — no edge is ever resident twice.
+      std::vector<std::uint64_t> offsets(chunks.size() + 1, 0);
+      {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(chunks.size());
+        for (const ChunkRange& chunk : chunks) {
+          tasks.push_back([&levels, &profile, &offsets, dup_seed,
+                           seed = options.seed, chunk] {
+            std::vector<Edge> buf(chunk.end - chunk.begin);
+            ball_drop_chunk(levels, seed, chunk, buf.data());
+            std::uint64_t count = 0;
+            for (const Edge& e : buf) {
+              count += re_multiply_copies(profile, dup_seed, e);
+            }
+            offsets[chunk.chunk_index + 1] = count;
+          });
+        }
+        cluster.run_stage("store:count", std::move(tasks));
+      }
+      cluster.run_serial("store:begin", [&] {
+        for (std::size_t c = 0; c < chunks.size(); ++c) {
+          offsets[c + 1] += offsets[c];
+        }
+        total_edges = offsets.back();
+        store.begin(StoreHeader{.vertices = n,
+                                .edges = total_edges,
+                                .with_properties = options.with_properties,
+                                .seed = options.seed});
+      });
+      {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(chunks.size());
+        for (const ChunkRange& chunk : chunks) {
+          tasks.push_back([&levels, &profile, &offsets, &store, dup_seed,
+                           seed = options.seed, chunk] {
+            std::vector<Edge> buf(chunk.end - chunk.begin);
+            ball_drop_chunk(levels, seed, chunk, buf.data());
+            std::vector<Edge> expanded;
+            expanded.reserve(static_cast<std::size_t>(
+                offsets[chunk.chunk_index + 1] - offsets[chunk.chunk_index]));
+            for (const Edge& e : buf) {
+              const std::uint64_t copies =
+                  re_multiply_copies(profile, dup_seed, e);
+              for (std::uint64_t c = 0; c < copies; ++c) {
+                expanded.push_back(e);
+              }
+            }
+            emit_edge_chunk(store, offsets[chunk.chunk_index], expanded);
+          });
+        }
+        cluster.run_stage("store:emit", std::move(tasks));
+      }
+    } else {
+      // Opt-in distinct: ball-drop placements deduped through the
+      // external-sort distinct (the out-of-core stand-in for exact PGSK's
+      // distinct()), then re-multiplied in sorted-unique key order.
+      CSB_CHECK_MSG(fitted.plan.k <= 32,
+                    "dedup packs endpoints into 64-bit keys (k <= 32)");
+      ExternalDistinct distinct(ExternalDistinctOptions{
+          .spill_directory = sink.spill_directory,
+          .memory_budget_bytes = sink.dedup_budget_bytes});
+      {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(chunks.size());
+        for (const ChunkRange& chunk : chunks) {
+          tasks.push_back([&levels, &distinct, seed = options.seed, chunk] {
+            std::vector<Edge> buf(chunk.end - chunk.begin);
+            ball_drop_chunk(levels, seed, chunk, buf.data());
+            std::vector<std::uint64_t> keys(buf.size());
+            for (std::size_t i = 0; i < buf.size(); ++i) {
+              keys[i] = edge_key(buf[i]);
+            }
+            distinct.add(keys);
+          });
+        }
+        cluster.run_stage("store:distinct", std::move(tasks));
+      }
+      // Size pass over the sorted-unique keys, then begin + emit. The scan
+      // chunk geometry is fixed by ExternalDistinct, so offsets — and the
+      // emitted bytes — are invariant to threads, shards, and spill count.
+      std::vector<std::uint64_t> scan_offsets{0};
+      cluster.run_serial("store:begin", [&] {
+        (void)distinct.seal();
+        distinct.scan([&](std::span<const std::uint64_t> keys) {
+          std::uint64_t count = 0;
+          for (const std::uint64_t key : keys) {
+            count += re_multiply_copies(profile, dup_seed,
+                                        Edge{key >> 32, key & 0xffffffffULL});
+          }
+          scan_offsets.push_back(scan_offsets.back() + count);
+        });
+        total_edges = scan_offsets.back();
+        store.begin(StoreHeader{.vertices = n,
+                                .edges = total_edges,
+                                .with_properties = options.with_properties,
+                                .seed = options.seed});
+      });
+      cluster.run_serial("store:emit", [&] {
+        std::size_t scan_chunk = 0;
+        std::vector<Edge> expanded;
+        distinct.scan([&](std::span<const std::uint64_t> keys) {
+          expanded.clear();
+          for (const std::uint64_t key : keys) {
+            const Edge e{key >> 32, key & 0xffffffffULL};
+            const std::uint64_t copies =
+                re_multiply_copies(profile, dup_seed, e);
+            for (std::uint64_t c = 0; c < copies; ++c) expanded.push_back(e);
+          }
+          emit_edge_chunk(store, scan_offsets[scan_chunk], expanded);
+          ++scan_chunk;
+        });
+      });
+    }
+  }
+  result.structure_seconds = cluster.metrics().simulated_seconds;
+
+  if (options.with_properties) {
+    const double before = cluster.metrics().simulated_seconds;
+    PhaseScope phase(trace, "properties");
+    run_property_stage(store, profile, cluster, options.seed ^ 0xbeefULL,
+                       total_edges);
+    result.property_seconds = cluster.metrics().simulated_seconds - before;
+  }
+  {
+    PhaseScope phase(trace, "store");
+    cluster.run_serial("store:finalize", [&] { store.finish(); });
+  }
+  result.metrics = cluster.metrics();
+  result.vertices = n;
+  result.edges = total_edges;
+  return result;
+}
+
+StoreGenResult pgpba_fast_generate_into(const PropertyGraph& seed_graph,
+                                        const SeedProfile& profile,
+                                        ClusterSim& cluster,
+                                        const PgpbaFastOptions& options,
+                                        GraphStore& store) {
+  CSB_CHECK_MSG(seed_graph.num_edges() > 0, "PGPBA needs a non-empty seed");
+  CSB_CHECK_MSG(options.desired_edges > 0, "desired_edges must be positive");
+  CSB_CHECK_MSG(options.edges_per_vertex >= 1,
+                "edges_per_vertex must be at least 1");
+  cluster.reset_metrics();
+
+  StoreGenResult result;
+  TraceRecorder* const trace = cluster.trace();
+  const std::size_t parts = options.partitions != 0
+                                ? options.partitions
+                                : 2 * cluster.config().total_cores();
+
+  const std::uint64_t seed_edge_count = seed_graph.num_edges();
+  const std::uint64_t total =
+      std::max(options.desired_edges, seed_edge_count);
+  const std::uint64_t grown = total - seed_edge_count;
+  const std::uint64_t m = options.edges_per_vertex;
+  const std::uint64_t num_vertices =
+      seed_graph.num_vertices() + (grown + m - 1) / m;
+
+  {
+    PhaseScope phase(trace, "store");
+    cluster.run_serial("store:begin", [&] {
+      store.begin(StoreHeader{.vertices = num_vertices,
+                              .edges = total,
+                              .with_properties = options.with_properties,
+                              .seed = options.seed});
+    });
+
+    // Seed edges copy straight from the seed columns; grown edges resolve
+    // via skip-ahead chains — both land at their global offsets, so the
+    // stream equals the classic concatenation order exactly.
+    const auto src = seed_graph.sources();
+    const auto dst = seed_graph.destinations();
+    SkipAheadLayout layout;
+    layout.seed_destinations = dst;
+    layout.seed_edges = seed_edge_count;
+    layout.first_new_vertex = seed_graph.num_vertices();
+    layout.edges_per_vertex = options.edges_per_vertex;
+
+    const auto seed_chunks = make_fixed_chunks(
+        0, static_cast<std::size_t>(seed_edge_count),
+        fast_sampler_chunk_size(seed_edge_count, parts));
+    const auto grow_chunks = make_fixed_chunks(
+        static_cast<std::size_t>(seed_edge_count),
+        static_cast<std::size_t>(total), fast_sampler_chunk_size(grown, parts));
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(seed_chunks.size() + grow_chunks.size());
+    for (const ChunkRange& chunk : seed_chunks) {
+      tasks.push_back([&store, src, dst, chunk] {
+        store.put_edges(chunk.begin,
+                        src.subspan(chunk.begin, chunk.end - chunk.begin),
+                        dst.subspan(chunk.begin, chunk.end - chunk.begin));
+      });
+    }
+    for (const ChunkRange& chunk : grow_chunks) {
+      tasks.push_back([&layout, &store, seed = options.seed, chunk] {
+        std::vector<Edge> buf(chunk.end - chunk.begin);
+        skip_ahead_chunk(layout, seed, chunk, buf.data());
+        emit_edge_chunk(store, chunk.begin, buf);
+      });
+    }
+    cluster.run_stage("store:emit", std::move(tasks));
+  }
+  result.iterations = 1;
+  result.structure_seconds = cluster.metrics().simulated_seconds;
+
+  if (options.with_properties) {
+    const double before = cluster.metrics().simulated_seconds;
+    PhaseScope phase(trace, "properties");
+    run_property_stage(store, profile, cluster, options.seed ^ 0xfacadeULL,
+                       total);
+    result.property_seconds = cluster.metrics().simulated_seconds - before;
+  }
+  {
+    PhaseScope phase(trace, "store");
+    cluster.run_serial("store:finalize", [&] { store.finish(); });
+  }
+  result.metrics = cluster.metrics();
+  result.vertices = num_vertices;
+  result.edges = total;
   return result;
 }
 

@@ -165,4 +165,43 @@ GenResult pgpba_fast_generate(const PropertyGraph& seed_graph,
 std::size_t fast_sampler_chunk_size(std::uint64_t edges,
                                     std::size_t partitions);
 
+// ------------------------------------------------------------- sink paths
+
+/// Knobs of the sink-based (GraphStore) runs that have no classic-path
+/// equivalent.
+struct FastSinkOptions {
+  /// pgsk-fast only: drop duplicate ball-drop placements through an
+  /// external-sort distinct before re-multiply — the out-of-core stand-in
+  /// for exact PGSK's in-RAM distinct(). Changes the edge stream (sorted
+  /// unique placements), so it is opt-in.
+  bool dedup = false;
+  /// In-RAM budget of the distinct before sorted runs spill to disk.
+  std::uint64_t dedup_budget_bytes = 256ULL << 20;
+  /// Spill directory for dedup runs (required once the budget overflows).
+  std::string spill_directory;
+};
+
+/// Streams the pgsk-fast pipeline into `store` shard chunk by shard chunk:
+/// a store:count stage sizes the re-multiplied output per ball-drop chunk,
+/// then store:emit regenerates each chunk and writes it at its prefix-sum
+/// offset, store:props samples property chunks, and store:finalize seals
+/// the store. Resident memory is O(chunk), never O(|E|). For a MemoryStore
+/// (dedup off) the stored graph is byte-identical to pgsk_fast_generate's.
+StoreGenResult pgsk_fast_generate_into(const PropertyGraph& seed_graph,
+                                       const SeedProfile& profile,
+                                       ClusterSim& cluster,
+                                       const PgskFastOptions& options,
+                                       const FastSinkOptions& sink,
+                                       GraphStore& store);
+
+/// Streams the pgpba-fast pipeline into `store`: seed edges re-emitted and
+/// skip-ahead edges resolved directly at their global offsets (store:emit),
+/// properties sampled per chunk (store:props), store:finalize seals. For a
+/// MemoryStore the stored graph is byte-identical to pgpba_fast_generate's.
+StoreGenResult pgpba_fast_generate_into(const PropertyGraph& seed_graph,
+                                        const SeedProfile& profile,
+                                        ClusterSim& cluster,
+                                        const PgpbaFastOptions& options,
+                                        GraphStore& store);
+
 }  // namespace csb

@@ -67,6 +67,63 @@ bool GenConfig::get_flag(const std::string& key) const {
   return it != extra.end() && it->second != "false" && it->second != "0";
 }
 
+void check_option_value(const OptionSpec& spec, const std::string& value) {
+  switch (spec.kind) {
+    case OptionKind::kU64:
+      (void)parse_u64_strict(spec.name, value);
+      break;
+    case OptionKind::kDouble:
+      (void)parse_double_strict(spec.name, value);
+      break;
+    case OptionKind::kFlag:
+    case OptionKind::kString:
+      break;  // any text is meaningful
+  }
+}
+
+void validate_extra_options(const std::vector<OptionSpec>& options,
+                            const GenConfig& config) {
+  for (const auto& [key, value] : config.extra) {
+    const auto it =
+        std::find_if(options.begin(), options.end(),
+                     [&key](const OptionSpec& s) { return s.name == key; });
+    if (it == options.end()) {
+      std::string known;
+      for (const OptionSpec& spec : options) {
+        if (!known.empty()) known += ", ";
+        known += spec.name;
+      }
+      throw CsbError("unknown option '" + key + "'" +
+                     (known.empty() ? std::string(" (this generator takes none)")
+                                    : " (known options: " + known + ")"));
+    }
+    check_option_value(*it, value);
+  }
+}
+
+StoreGenResult Generator::generate_into(const PropertyGraph& seed,
+                                        const SeedProfile& profile,
+                                        ClusterSim& cluster,
+                                        const GenConfig& config,
+                                        GraphStore& store) const {
+  GenResult classic = generate(seed, profile, cluster, config);
+  TraceRecorder* const trace = cluster.trace();
+  {
+    PhaseScope phase(trace, "store");
+    cluster.run_serial("store:replay", [&] {
+      replay_graph_into(classic.graph, store, config.seed);
+    });
+  }
+  StoreGenResult result;
+  result.metrics = cluster.metrics();
+  result.structure_seconds = classic.structure_seconds;
+  result.property_seconds = classic.property_seconds;
+  result.vertices = classic.graph.num_vertices();
+  result.edges = classic.graph.num_edges();
+  result.iterations = classic.iterations;
+  return result;
+}
+
 namespace {
 
 /// Target vertex count for baselines that size themselves from the seed:
@@ -112,8 +169,13 @@ class PgpbaGenerator final : public Generator {
   [[nodiscard]] std::string_view description() const override {
     return "parallel Barabasi-Albert on the property graph (paper SIII-A)";
   }
-  [[nodiscard]] std::vector<std::string> extra_options() const override {
-    return {"fraction", "degree-mode"};
+  [[nodiscard]] std::vector<OptionSpec> options() const override {
+    return {
+        {"fraction", OptionKind::kDouble, "0.5",
+         "new vertices per iteration as a ratio of current edges"},
+        {"degree-mode", OptionKind::kFlag, "",
+         "attach by degree sampling instead of Spark-parity edge copy"},
+    };
   }
   [[nodiscard]] GenResult generate(const PropertyGraph& seed,
                                    const SeedProfile& profile,
@@ -134,6 +196,21 @@ class PgpbaGenerator final : public Generator {
 
 /// The KronFit budget knobs shared by the exact and fast PGSK generators,
 /// so benches can race them through the registry with identical fit work.
+std::vector<OptionSpec> kronfit_option_specs() {
+  const KronFitOptions defaults;
+  return {
+      {"fit-iters", OptionKind::kU64,
+       std::to_string(defaults.gradient_iterations),
+       "KronFit gradient iterations"},
+      {"fit-swaps", OptionKind::kU64,
+       std::to_string(defaults.swaps_per_iteration),
+       "Metropolis node-swap proposals per gradient step"},
+      {"fit-burnin", OptionKind::kU64,
+       std::to_string(defaults.burn_in_swaps),
+       "warm-up swaps before the first gradient step"},
+  };
+}
+
 KronFitOptions kronfit_options_from(const GenConfig& config) {
   KronFitOptions fit;
   fit.gradient_iterations = static_cast<std::uint32_t>(
@@ -151,8 +228,16 @@ class PgskGenerator final : public Generator {
   [[nodiscard]] std::string_view description() const override {
     return "stochastic Kronecker with KronFit initiator (paper SIII-B)";
   }
-  [[nodiscard]] std::vector<std::string> extra_options() const override {
-    return {"force-k", "no-rescale", "fit-iters", "fit-swaps", "fit-burnin"};
+  [[nodiscard]] std::vector<OptionSpec> options() const override {
+    std::vector<OptionSpec> specs{
+        {"force-k", OptionKind::kU64, "0",
+         "force the Kronecker order (0 = derive from target size)"},
+        {"no-rescale", OptionKind::kFlag, "",
+         "skip rescaling the initiator to the target edge count"},
+    };
+    const auto fit = kronfit_option_specs();
+    specs.insert(specs.end(), fit.begin(), fit.end());
+    return specs;
   }
   [[nodiscard]] GenResult generate(const PropertyGraph& seed,
                                    const SeedProfile& profile,
@@ -177,9 +262,24 @@ class PgskFastGenerator final : public Generator {
   [[nodiscard]] std::string_view description() const override {
     return "Chung-Lu ball-dropping approximation of PGSK (O(1) per edge)";
   }
-  [[nodiscard]] std::vector<std::string> extra_options() const override {
-    return {"force-k", "no-rescale", "noise",
-            "fit-iters", "fit-swaps", "fit-burnin"};
+  [[nodiscard]] std::vector<OptionSpec> options() const override {
+    std::vector<OptionSpec> specs{
+        {"force-k", OptionKind::kU64, "0",
+         "force the Kronecker order (0 = derive from target size)"},
+        {"no-rescale", OptionKind::kFlag, "",
+         "skip rescaling the initiator to the target edge count"},
+        {"noise", OptionKind::kDouble, "0",
+         "noisy-SKG per-level amplitude in [0, 0.5)"},
+        {"dedup", OptionKind::kFlag, "",
+         "drop duplicate edges via external-sort distinct (sink path only)"},
+        {"dedup-budget-mb", OptionKind::kU64, "256",
+         "in-RAM budget for the dedup distinct before spilling runs"},
+        {"dedup-spill-dir", OptionKind::kString, "",
+         "directory for spilled dedup runs (needed above the budget)"},
+    };
+    const auto fit = kronfit_option_specs();
+    specs.insert(specs.end(), fit.begin(), fit.end());
+    return specs;
   }
   [[nodiscard]] GenResult generate(const PropertyGraph& seed,
                                    const SeedProfile& profile,
@@ -197,6 +297,28 @@ class PgskFastGenerator final : public Generator {
     options.fit = kronfit_options_from(config);
     return pgsk_fast_generate(seed, profile, cluster, options);
   }
+  [[nodiscard]] StoreGenResult generate_into(const PropertyGraph& seed,
+                                             const SeedProfile& profile,
+                                             ClusterSim& cluster,
+                                             const GenConfig& config,
+                                             GraphStore& store) const override {
+    PgskFastOptions options;
+    options.desired_edges = config.desired_edges;
+    options.force_k =
+        static_cast<std::uint32_t>(config.get_u64("force-k", 0));
+    options.partitions = config.partitions;
+    options.seed = config.seed;
+    options.with_properties = config.with_properties;
+    options.rescale_to_target = !config.get_flag("no-rescale");
+    options.noise = config.get_double("noise", 0.0);
+    options.fit = kronfit_options_from(config);
+    FastSinkOptions sink;
+    sink.dedup = config.get_flag("dedup");
+    sink.dedup_budget_bytes = config.get_u64("dedup-budget-mb", 256) << 20;
+    sink.spill_directory = config.get("dedup-spill-dir", "");
+    return pgsk_fast_generate_into(seed, profile, cluster, options, sink,
+                                   store);
+  }
 };
 
 class PgpbaFastGenerator final : public Generator {
@@ -207,8 +329,11 @@ class PgpbaFastGenerator final : public Generator {
   [[nodiscard]] std::string_view description() const override {
     return "skip-ahead preferential attachment (hash-resolved endpoints)";
   }
-  [[nodiscard]] std::vector<std::string> extra_options() const override {
-    return {"edges-per-vertex"};
+  [[nodiscard]] std::vector<OptionSpec> options() const override {
+    return {
+        {"edges-per-vertex", OptionKind::kU64, "1",
+         "edges attached per grown vertex (Barabasi-Albert m)"},
+    };
   }
   [[nodiscard]] GenResult generate(const PropertyGraph& seed,
                                    const SeedProfile& profile,
@@ -223,6 +348,20 @@ class PgpbaFastGenerator final : public Generator {
     options.with_properties = config.with_properties;
     return pgpba_fast_generate(seed, profile, cluster, options);
   }
+  [[nodiscard]] StoreGenResult generate_into(const PropertyGraph& seed,
+                                             const SeedProfile& profile,
+                                             ClusterSim& cluster,
+                                             const GenConfig& config,
+                                             GraphStore& store) const override {
+    PgpbaFastOptions options;
+    options.desired_edges = config.desired_edges;
+    options.edges_per_vertex = static_cast<std::uint32_t>(
+        config.get_u64("edges-per-vertex", 1));
+    options.partitions = config.partitions;
+    options.seed = config.seed;
+    options.with_properties = config.with_properties;
+    return pgpba_fast_generate_into(seed, profile, cluster, options, store);
+  }
 };
 
 class RmatGenerator final : public Generator {
@@ -231,8 +370,20 @@ class RmatGenerator final : public Generator {
   [[nodiscard]] std::string_view description() const override {
     return "R-MAT recursive-matrix baseline (SII reference)";
   }
-  [[nodiscard]] std::vector<std::string> extra_options() const override {
-    return {"scale", "rmat-a", "rmat-b", "rmat-c", "rmat-noise"};
+  [[nodiscard]] std::vector<OptionSpec> options() const override {
+    const RmatParams defaults;
+    return {
+        {"scale", OptionKind::kU64, "",
+         "log2 of the vertex count (default derived from the seed density)"},
+        {"rmat-a", OptionKind::kDouble, std::to_string(defaults.a),
+         "recursive-matrix quadrant probability a"},
+        {"rmat-b", OptionKind::kDouble, std::to_string(defaults.b),
+         "recursive-matrix quadrant probability b"},
+        {"rmat-c", OptionKind::kDouble, std::to_string(defaults.c),
+         "recursive-matrix quadrant probability c"},
+        {"rmat-noise", OptionKind::kDouble, std::to_string(defaults.noise),
+         "per-level multiplicative jitter on (a,b,c,d)"},
+    };
   }
   [[nodiscard]] GenResult generate(const PropertyGraph& seed,
                                    const SeedProfile& profile,
@@ -263,8 +414,11 @@ class ClassicBaGenerator final : public Generator {
   [[nodiscard]] std::string_view description() const override {
     return "sequential Barabasi-Albert baseline (SII reference)";
   }
-  [[nodiscard]] std::vector<std::string> extra_options() const override {
-    return {"attach-m"};
+  [[nodiscard]] std::vector<OptionSpec> options() const override {
+    return {
+        {"attach-m", OptionKind::kU64, "",
+         "edges per new vertex (default derived from the seed density)"},
+    };
   }
   [[nodiscard]] GenResult generate(const PropertyGraph& seed,
                                    const SeedProfile& profile,
@@ -297,8 +451,11 @@ class ErdosRenyiGenerator final : public Generator {
   [[nodiscard]] std::string_view description() const override {
     return "Erdos-Renyi G(n, m) baseline (SII reference)";
   }
-  [[nodiscard]] std::vector<std::string> extra_options() const override {
-    return {"vertices"};
+  [[nodiscard]] std::vector<OptionSpec> options() const override {
+    return {
+        {"vertices", OptionKind::kU64, "",
+         "vertex count n of G(n, m) (default derived from the seed density)"},
+    };
   }
   [[nodiscard]] GenResult generate(const PropertyGraph& seed,
                                    const SeedProfile& profile,
@@ -338,8 +495,14 @@ class SbmGenerator final : public Generator {
   [[nodiscard]] std::string_view description() const override {
     return "stochastic block model baseline (SII community reference)";
   }
-  [[nodiscard]] std::vector<std::string> extra_options() const override {
-    return {"blocks", "intra", "inter"};
+  [[nodiscard]] std::vector<OptionSpec> options() const override {
+    return {
+        {"blocks", OptionKind::kU64, "4", "number of communities"},
+        {"intra", OptionKind::kDouble, "0.8",
+         "relative edge propensity within a community"},
+        {"inter", OptionKind::kDouble, "0.05",
+         "relative edge propensity across communities"},
+    };
   }
   [[nodiscard]] GenResult generate(const PropertyGraph& seed,
                                    const SeedProfile& profile,

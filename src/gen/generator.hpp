@@ -10,25 +10,13 @@
 #include <string_view>
 #include <vector>
 
+#include "graph/edge.hpp"
 #include "graph/property_graph.hpp"
 #include "mr/cluster.hpp"
 #include "seed/seed.hpp"
+#include "store/graph_store.hpp"
 
 namespace csb {
-
-/// A bare structural edge as it travels through the Map-Reduce datasets.
-struct Edge {
-  VertexId src = 0;
-  VertexId dst = 0;
-
-  friend bool operator==(const Edge&, const Edge&) = default;
-};
-
-/// Identity key for Dataset::distinct — exact for |V| < 2^32 (all our
-/// configurations), which is what makes distinct() a true set operation.
-inline std::uint64_t edge_key(const Edge& e) noexcept {
-  return (e.src << 32) | (e.dst & 0xffffffffULL);
-}
 
 /// Outcome of one generator run: the synthetic property-graph plus the
 /// virtual-cluster cost breakdown the performance benches consume.
@@ -42,10 +30,10 @@ struct GenResult {
 
 /// Configuration shared by every registered generator, plus a string-keyed
 /// extension map for per-algorithm knobs (the keys a generator understands
-/// are published by Generator::extra_options, which is what lets the CLI
-/// reject unknown flags instead of silently ignoring them). The typed
-/// getters parse strictly: a malformed value throws CsbError naming the key
-/// and the offending text.
+/// are published by Generator::options, which is what lets the CLI reject
+/// unknown flags instead of silently ignoring them). The typed getters
+/// parse strictly: a malformed value throws CsbError naming the key and
+/// the offending text.
 struct GenConfig {
   std::uint64_t desired_edges = 0;
   std::size_t partitions = 0;  ///< 0 = auto (2x the virtual cores)
@@ -66,6 +54,45 @@ struct GenConfig {
   [[nodiscard]] bool get_flag(const std::string& key) const;
 };
 
+/// Value kinds a per-algorithm option can take; the CLI validates raw text
+/// against the kind via check_option_value before any work runs.
+enum class OptionKind {
+  kU64,     ///< unsigned integer (GenConfig::get_u64)
+  kDouble,  ///< finite floating point (GenConfig::get_double)
+  kFlag,    ///< presence/boolean (GenConfig::get_flag)
+  kString,  ///< free text (GenConfig::get)
+};
+
+/// Typed descriptor of one GenConfig::extra key: what `csbgen generators`
+/// prints as per-algorithm help, and what the CLI validates values against.
+struct OptionSpec {
+  std::string name;
+  OptionKind kind = OptionKind::kString;
+  /// Display-only default ("" when derived at runtime / unset).
+  std::string default_value;
+  std::string help;  ///< one line
+};
+
+/// Validates `value` against the spec's kind with the same strict parse the
+/// GenConfig getters use; throws CsbError naming the key on mismatch.
+void check_option_value(const OptionSpec& spec, const std::string& value);
+
+/// Checks every GenConfig::extra entry against `options`: unknown keys and
+/// kind-mismatched values throw CsbError before any generation work runs.
+void validate_extra_options(const std::vector<OptionSpec>& options,
+                            const GenConfig& config);
+
+/// Stats of a sink-based run (Generator::generate_into): the graph itself
+/// went to the GraphStore, so only dimensions and cost booking remain.
+struct StoreGenResult {
+  JobMetrics metrics;
+  double structure_seconds = 0.0;
+  double property_seconds = 0.0;
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t iterations = 0;
+};
+
 /// Polymorphic generator interface: one implementation per algorithm
 /// (PGPBA, PGSK, the §II baselines). Implementations must be deterministic
 /// for a fixed (seed graph, profile, config) — asserted by the registry
@@ -78,15 +105,24 @@ class Generator {
   [[nodiscard]] virtual std::string_view name() const = 0;
   [[nodiscard]] virtual std::string_view description() const = 0;
 
-  /// GenConfig::extra keys this generator understands, in display order.
-  [[nodiscard]] virtual std::vector<std::string> extra_options() const {
-    return {};
-  }
+  /// Typed descriptors of the GenConfig::extra keys this generator
+  /// understands, in display order.
+  [[nodiscard]] virtual std::vector<OptionSpec> options() const { return {}; }
 
   [[nodiscard]] virtual GenResult generate(const PropertyGraph& seed,
                                            const SeedProfile& profile,
                                            ClusterSim& cluster,
                                            const GenConfig& config) const = 0;
+
+  /// Sink-based run: emits the graph into `store` (begin/put/finish) instead
+  /// of returning it. The base implementation runs generate() and replays
+  /// the in-RAM result chunk-by-chunk under store:replay spans; the fast
+  /// samplers override it to stream shard-sized chunks directly, keeping
+  /// resident memory bounded. For a MemoryStore the stored graph is
+  /// byte-identical to GenResult.graph.
+  [[nodiscard]] virtual StoreGenResult generate_into(
+      const PropertyGraph& seed, const SeedProfile& profile,
+      ClusterSim& cluster, const GenConfig& config, GraphStore& store) const;
 };
 
 /// Adds a generator to the process-wide registry; replaces an existing

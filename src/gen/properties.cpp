@@ -4,9 +4,36 @@
 #include <functional>
 #include <vector>
 
+#include "gen/fast_samplers.hpp"
 #include "obs/metrics.hpp"
 
 namespace csb {
+
+namespace {
+
+/// Domain separator so property streams never collide with the structural
+/// chunk streams derived from the same user seed.
+constexpr std::uint64_t kPropertyChunkSalt = 0x9e0b'5a17'0000'0003ULL;
+
+}  // namespace
+
+std::size_t property_chunk_size(std::uint64_t edges, std::size_t partitions) {
+  return fast_sampler_chunk_size(edges, partitions);
+}
+
+Rng property_chunk_rng(std::uint64_t seed, std::uint64_t chunk_index) {
+  return counter_rng(seed ^ kPropertyChunkSalt, chunk_index);
+}
+
+void sample_property_chunk(const SeedProfile& profile, std::uint64_t seed,
+                           const ChunkRange& chunk, PropertyRowsBuffer& rows) {
+  rows = PropertyRowsBuffer{};
+  rows.reserve(chunk.end - chunk.begin);
+  Rng rng = property_chunk_rng(seed, chunk.chunk_index);
+  for (std::size_t e = chunk.begin; e < chunk.end; ++e) {
+    rows.push_back(profile.sample_properties(rng));
+  }
+}
 
 StageMetrics assign_properties(PropertyGraph& graph,
                                const SeedProfile& profile, ClusterSim& cluster,
@@ -18,17 +45,15 @@ StageMetrics assign_properties(PropertyGraph& graph,
 
   const std::size_t partitions =
       std::max<std::size_t>(1, cluster.config().total_cores() * 2);
-  const std::uint64_t per_part = (m + partitions - 1) / partitions;
+  const auto chunks = make_fixed_chunks(
+      0, static_cast<std::size_t>(m), property_chunk_size(m, partitions));
 
   std::vector<std::function<void()>> tasks;
-  tasks.reserve(partitions);
-  for (std::size_t p = 0; p < partitions; ++p) {
-    const std::uint64_t begin = std::min<std::uint64_t>(p * per_part, m);
-    const std::uint64_t end = std::min<std::uint64_t>(begin + per_part, m);
-    if (begin == end) continue;
-    tasks.push_back([&graph, &profile, seed, p, begin, end] {
-      Rng rng = Rng(seed).fork(p);
-      for (std::uint64_t e = begin; e < end; ++e) {
+  tasks.reserve(chunks.size());
+  for (const ChunkRange& chunk : chunks) {
+    tasks.push_back([&graph, &profile, seed, chunk] {
+      Rng rng = property_chunk_rng(seed, chunk.chunk_index);
+      for (std::size_t e = chunk.begin; e < chunk.end; ++e) {
         graph.set_edge_properties(e, profile.sample_properties(rng));
       }
     });

@@ -12,12 +12,32 @@
 #include "graph/property_graph.hpp"
 #include "mr/cluster.hpp"
 #include "seed/seed.hpp"
+#include "store/graph_store.hpp"
+#include "util/parallel.hpp"
+#include "util/random.hpp"
 
 namespace csb {
 
+/// Chunk geometry of the property stage for a given edge count and
+/// partition count — same contract as fast_sampler_chunk_size: depends
+/// only on the arguments, never on worker or shard counts, so the sampled
+/// bytes are fixed per configuration.
+std::size_t property_chunk_size(std::uint64_t edges, std::size_t partitions);
+
+/// Counter-mode RNG of property chunk `chunk_index`: every chunk owns an
+/// independent stream, so chunks can be sampled in any order on any worker
+/// (or replayed shard-by-shard out of core) with identical results.
+Rng property_chunk_rng(std::uint64_t seed, std::uint64_t chunk_index);
+
+/// Samples property rows for the edges in `chunk` into `rows` (cleared
+/// first). Pure function of (profile, seed, chunk) — the one sampler both
+/// the in-RAM assign_properties and the streaming store:props stage use.
+void sample_property_chunk(const SeedProfile& profile, std::uint64_t seed,
+                           const ChunkRange& chunk, PropertyRowsBuffer& rows);
+
 /// Fills (or overwrites) all property columns of `graph` by sampling the
-/// profile, parallelized over edge ranges on the cluster. Deterministic for
-/// a fixed (seed, partition count).
+/// profile, parallelized over fixed chunks on the cluster. Deterministic
+/// for a fixed (seed, partition count).
 StageMetrics assign_properties(PropertyGraph& graph, const SeedProfile& profile,
                                ClusterSim& cluster, std::uint64_t seed);
 

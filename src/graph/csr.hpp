@@ -44,6 +44,12 @@ class CsrView {
     return offsets_;
   }
 
+  /// The whole concatenated neighbor array (size |E|), for passes that
+  /// consume the CSR as flat spans (pagerank_csr, the shard-store index).
+  [[nodiscard]] std::span<const VertexId> all_neighbors() const noexcept {
+    return neighbors_;
+  }
+
  private:
   std::vector<std::uint64_t> offsets_;  ///< size |V| + 1
   std::vector<VertexId> neighbors_;     ///< size |E|

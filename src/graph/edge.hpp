@@ -1,0 +1,28 @@
+// The bare structural edge shared by the generators (gen/) and the
+// graph-store sinks (store/). Lives in graph/ so both layers can use it
+// without gen <-> store dependencies.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/property_graph.hpp"
+
+namespace csb {
+
+/// A bare structural edge as it travels through the Map-Reduce datasets
+/// and the GraphStore sinks.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Identity key for Dataset::distinct and the per-edge re-multiply streams —
+/// exact for |V| < 2^32 (all our configurations), which is what makes
+/// distinct() a true set operation.
+inline std::uint64_t edge_key(const Edge& e) noexcept {
+  return (e.src << 32) | (e.dst & 0xffffffffULL);
+}
+
+}  // namespace csb

@@ -11,12 +11,21 @@ namespace csb {
 
 PageRankResult pagerank(const PropertyGraph& graph, ThreadPool& pool,
                         const PageRankOptions& options) {
-  const std::uint64_t n = graph.num_vertices();
-  PageRankResult result;
-  if (n == 0) return result;
-
   const CsrView in_csr(graph, CsrDirection::kIn);
   const auto out_deg = out_degrees(graph);
+  return pagerank_csr(in_csr.offsets(), in_csr.all_neighbors(), out_deg, pool,
+                      options);
+}
+
+PageRankResult pagerank_csr(std::span<const std::uint64_t> in_offsets,
+                            std::span<const VertexId> in_neighbors,
+                            std::span<const std::uint64_t> out_deg,
+                            ThreadPool& pool, const PageRankOptions& options) {
+  const std::uint64_t n = out_deg.size();
+  CSB_CHECK_MSG(in_offsets.size() == n + 1 || (n == 0 && in_offsets.empty()),
+                "in_offsets must have |V|+1 entries");
+  PageRankResult result;
+  if (n == 0) return result;
 
   const double inv_n = 1.0 / static_cast<double>(n);
   std::vector<double> rank(n, inv_n);
@@ -51,7 +60,9 @@ PageRankResult pagerank(const PropertyGraph& graph, ThreadPool& pool,
       double local_delta = 0.0;
       for (std::size_t v = c.begin; v < c.end; ++v) {
         double sum = 0.0;
-        for (const VertexId u : in_csr.neighbors(v)) sum += contribution[u];
+        for (std::uint64_t i = in_offsets[v]; i < in_offsets[v + 1]; ++i) {
+          sum += contribution[in_neighbors[i]];
+        }
         const double updated = base + options.damping * sum;
         local_delta += std::abs(updated - rank[v]);
         next[v] = updated;

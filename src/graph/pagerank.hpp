@@ -32,6 +32,17 @@ struct PageRankResult {
 PageRankResult pagerank(const PropertyGraph& graph, ThreadPool& pool,
                         const PageRankOptions& options = {});
 
+/// The same computation over raw CSR spans: `in_offsets` (size |V|+1) and
+/// `in_neighbors` (size |E|, each vertex's incoming-edge sources) plus
+/// per-vertex `out_degrees`. pagerank() above is a thin wrapper; the
+/// shard-store veracity path feeds an mmap'd on-disk index through this
+/// overload, so in-RAM and streamed scores share one implementation.
+PageRankResult pagerank_csr(std::span<const std::uint64_t> in_offsets,
+                            std::span<const VertexId> in_neighbors,
+                            std::span<const std::uint64_t> out_degrees,
+                            ThreadPool& pool,
+                            const PageRankOptions& options = {});
+
 /// Edge-weighted PageRank: a vertex splits its rank across out-edges
 /// proportionally to `edge_weights` (one nonnegative weight per edge,
 /// aligned with the graph's edge order) instead of uniformly. For NetFlow

@@ -369,6 +369,7 @@ const std::set<std::string, std::less<>>& families() {
       "flat_map",          "generate",    "grow",      "kronfit",
       "map",               "materialize", "properties", "reduce",
       "re-multiply",       "sample",      "seed",      "skip-ahead",
+      "store",
   };
   return set;
 }

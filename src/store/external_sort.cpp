@@ -1,0 +1,193 @@
+#include "store/external_sort.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <queue>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace csb {
+
+namespace {
+
+constexpr std::size_t kIoChunk = 1 << 16;  ///< keys per IO chunk
+
+/// Buffered sequential reader over one sorted run file.
+class RunReader {
+ public:
+  explicit RunReader(const std::string& path) : path_(path), in_(path, std::ios::binary) {
+    CSB_CHECK_MSG(in_.is_open(), "cannot open spill run: " << path);
+    refill();
+  }
+
+  [[nodiscard]] bool done() const { return at_ >= have_ && exhausted_; }
+  [[nodiscard]] std::uint64_t head() const { return buf_[at_]; }
+  void pop() {
+    ++at_;
+    if (at_ >= have_ && !exhausted_) refill();
+  }
+
+ private:
+  void refill() {
+    in_.read(reinterpret_cast<char*>(buf_.data()),
+             static_cast<std::streamsize>(buf_.size() * sizeof(std::uint64_t)));
+    const auto got = static_cast<std::size_t>(in_.gcount());
+    CSB_CHECK_MSG(got % sizeof(std::uint64_t) == 0,
+                  "truncated spill run: " << path_);
+    have_ = got / sizeof(std::uint64_t);
+    at_ = 0;
+    if (have_ < buf_.size()) exhausted_ = true;  // short read = EOF
+  }
+
+  std::string path_;
+  std::ifstream in_;
+  std::vector<std::uint64_t> buf_ = std::vector<std::uint64_t>(kIoChunk);
+  std::size_t at_ = 0;
+  std::size_t have_ = 0;
+  bool exhausted_ = false;
+};
+
+void write_all(std::ofstream& out, const std::uint64_t* data, std::size_t count,
+               const std::string& path) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(std::uint64_t)));
+  CSB_CHECK_MSG(out.good(), "failed writing spill run: " << path);
+}
+
+}  // namespace
+
+ExternalDistinct::ExternalDistinct(ExternalDistinctOptions options)
+    : options_(std::move(options)) {
+  CSB_CHECK_MSG(options_.memory_budget_bytes >= kIoChunk * sizeof(std::uint64_t),
+                "ExternalDistinct budget must cover at least one IO chunk");
+}
+
+ExternalDistinct::~ExternalDistinct() {
+  std::error_code ec;
+  for (const std::string& run : runs_) std::filesystem::remove(run, ec);
+  if (!merged_.empty()) std::filesystem::remove(merged_, ec);
+}
+
+void ExternalDistinct::add(std::span<const std::uint64_t> keys) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CSB_CHECK_MSG(!sealed_, "ExternalDistinct::add after seal");
+  buffer_.insert(buffer_.end(), keys.begin(), keys.end());
+  if (buffer_.size() * sizeof(std::uint64_t) >= options_.memory_budget_bytes) {
+    spill_locked();
+  }
+}
+
+void ExternalDistinct::spill_locked() {
+  if (buffer_.empty()) return;
+  CSB_CHECK_MSG(!options_.spill_directory.empty(),
+                "ExternalDistinct needs a spill directory once the budget "
+                "overflows");
+  std::sort(buffer_.begin(), buffer_.end());
+  buffer_.erase(std::unique(buffer_.begin(), buffer_.end()), buffer_.end());
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(options_.spill_directory, ec);
+  CSB_CHECK_MSG(!ec, "cannot create spill directory: "
+                         << options_.spill_directory);
+  char name[32];
+  std::snprintf(name, sizeof name, "run-%04zu.bin", runs_.size());
+  const std::string path = (fs::path(options_.spill_directory) / name).string();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CSB_CHECK_MSG(out.is_open(), "cannot create spill run: " << path);
+  write_all(out, buffer_.data(), buffer_.size(), path);
+  runs_.push_back(path);
+  ++spilled_;
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+}
+
+std::uint64_t ExternalDistinct::seal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CSB_CHECK_MSG(!sealed_, "ExternalDistinct::seal called twice");
+  sealed_ = true;
+  if (runs_.empty()) {
+    // Everything fit: plain in-RAM sort + unique.
+    std::sort(buffer_.begin(), buffer_.end());
+    buffer_.erase(std::unique(buffer_.begin(), buffer_.end()), buffer_.end());
+    unique_ = buffer_.size();
+    return unique_;
+  }
+  spill_locked();  // flush the tail as a final run
+
+  // K-way merge of the sorted-unique runs; duplicates collapse at the
+  // frontier. One pass, written to a single merged file.
+  namespace fs = std::filesystem;
+  merged_ = (fs::path(options_.spill_directory) / "merged.bin").string();
+  std::ofstream out(merged_, std::ios::binary | std::ios::trunc);
+  CSB_CHECK_MSG(out.is_open(), "cannot create spill run: " << merged_);
+  std::vector<std::unique_ptr<RunReader>> readers;
+  readers.reserve(runs_.size());
+  for (const std::string& run : runs_) {
+    readers.push_back(std::make_unique<RunReader>(run));
+  }
+  using HeapItem = std::pair<std::uint64_t, std::size_t>;  // (key, reader)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (std::size_t r = 0; r < readers.size(); ++r) {
+    if (!readers[r]->done()) heap.emplace(readers[r]->head(), r);
+  }
+  std::vector<std::uint64_t> chunk;
+  chunk.reserve(kIoChunk);
+  bool any = false;
+  std::uint64_t last = 0;
+  while (!heap.empty()) {
+    const auto [key, r] = heap.top();
+    heap.pop();
+    readers[r]->pop();
+    if (!readers[r]->done()) heap.emplace(readers[r]->head(), r);
+    if (any && key == last) continue;
+    any = true;
+    last = key;
+    ++unique_;
+    chunk.push_back(key);
+    if (chunk.size() == kIoChunk) {
+      write_all(out, chunk.data(), chunk.size(), merged_);
+      chunk.clear();
+    }
+  }
+  if (!chunk.empty()) write_all(out, chunk.data(), chunk.size(), merged_);
+  out.close();
+  std::error_code ec;
+  for (const std::string& run : runs_) fs::remove(run, ec);
+  runs_.clear();
+  return unique_;
+}
+
+std::uint64_t ExternalDistinct::unique_count() const {
+  CSB_CHECK_MSG(sealed_, "ExternalDistinct::unique_count before seal");
+  return unique_;
+}
+
+void ExternalDistinct::scan(
+    const std::function<void(std::span<const std::uint64_t>)>& emit) const {
+  CSB_CHECK_MSG(sealed_, "ExternalDistinct::scan before seal");
+  if (merged_.empty()) {
+    for (std::size_t at = 0; at < buffer_.size(); at += kIoChunk) {
+      const std::size_t count = std::min(kIoChunk, buffer_.size() - at);
+      emit({buffer_.data() + at, count});
+    }
+    return;
+  }
+  std::ifstream in(merged_, std::ios::binary);
+  CSB_CHECK_MSG(in.is_open(), "cannot open spill run: " << merged_);
+  std::vector<std::uint64_t> buf(kIoChunk);
+  while (in) {
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size() * sizeof(std::uint64_t)));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    CSB_CHECK_MSG(got % sizeof(std::uint64_t) == 0,
+                  "truncated spill run: " << merged_);
+    if (got == 0) break;
+    emit({buf.data(), got / sizeof(std::uint64_t)});
+  }
+}
+
+}  // namespace csb

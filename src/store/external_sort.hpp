@@ -1,0 +1,67 @@
+// ExternalDistinct — budgeted distinct-set of u64 keys.
+//
+// The exact generators' distinct phase and the fast samplers' optional
+// dedup path both reduce to "collect u64 edge keys, keep each once". Under
+// `memory_budget_bytes` this is an in-RAM sort+unique; above it, full
+// buffers are sorted and spilled as run files, and seal() k-way-merges the
+// runs (dropping duplicates at the merge frontier) into one sorted-unique
+// result streamed back by scan().
+//
+// Determinism: the final output is the ascending sorted-unique key set —
+// a pure function of the key *multiset*, never of arrival order or of
+// which thread happened to trigger a spill. That is what lets concurrent
+// add() calls keep the byte-identical-parallelism contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace csb {
+
+struct ExternalDistinctOptions {
+  /// Directory for spill runs; required only when the budget can overflow.
+  std::string spill_directory;
+  /// In-RAM buffer cap before a sorted run is spilled.
+  std::uint64_t memory_budget_bytes = 256ULL << 20;
+};
+
+class ExternalDistinct {
+ public:
+  explicit ExternalDistinct(ExternalDistinctOptions options);
+  ~ExternalDistinct();
+  ExternalDistinct(const ExternalDistinct&) = delete;
+  ExternalDistinct& operator=(const ExternalDistinct&) = delete;
+
+  /// Adds keys (duplicates welcome). Thread-safe; call before seal().
+  void add(std::span<const std::uint64_t> keys);
+
+  /// Sorts/merges everything; returns the distinct count. Call once.
+  std::uint64_t seal();
+
+  /// Streams the distinct keys in ascending order as span chunks. Valid
+  /// after seal(); repeatable.
+  void scan(const std::function<void(std::span<const std::uint64_t>)>& emit)
+      const;
+
+  [[nodiscard]] std::uint64_t unique_count() const;
+  /// Number of run files ever spilled (0 = the whole set fit in RAM).
+  [[nodiscard]] std::size_t spilled_runs() const { return spilled_; }
+
+ private:
+  void spill_locked();
+
+  ExternalDistinctOptions options_;
+  std::mutex mutex_;
+  std::vector<std::uint64_t> buffer_;
+  std::vector<std::string> runs_;   ///< sorted-unique spill files
+  std::string merged_;              ///< final merged file (when spilled)
+  bool sealed_ = false;
+  std::uint64_t unique_ = 0;
+  std::size_t spilled_ = 0;
+};
+
+}  // namespace csb

@@ -1,0 +1,145 @@
+#include "store/graph_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace csb {
+
+void PropertyRowsBuffer::reserve(std::size_t rows) {
+  protocol.reserve(rows);
+  src_port.reserve(rows);
+  dst_port.reserve(rows);
+  duration_ms.reserve(rows);
+  out_bytes.reserve(rows);
+  in_bytes.reserve(rows);
+  out_pkts.reserve(rows);
+  in_pkts.reserve(rows);
+  state.reserve(rows);
+}
+
+void PropertyRowsBuffer::push_back(const EdgeProperties& props) {
+  protocol.push_back(props.protocol);
+  src_port.push_back(props.src_port);
+  dst_port.push_back(props.dst_port);
+  duration_ms.push_back(props.duration_ms);
+  out_bytes.push_back(props.out_bytes);
+  in_bytes.push_back(props.in_bytes);
+  out_pkts.push_back(props.out_pkts);
+  in_pkts.push_back(props.in_pkts);
+  state.push_back(props.state);
+}
+
+PropertyRowsView PropertyRowsBuffer::view() const noexcept {
+  return PropertyRowsView{
+      .protocol = protocol,
+      .src_port = src_port,
+      .dst_port = dst_port,
+      .duration_ms = duration_ms,
+      .out_bytes = out_bytes,
+      .in_bytes = in_bytes,
+      .out_pkts = out_pkts,
+      .in_pkts = in_pkts,
+      .state = state,
+  };
+}
+
+namespace {
+
+template <typename T>
+void copy_at(std::vector<T>& column, std::uint64_t first,
+             std::span<const T> values) {
+  std::copy(values.begin(), values.end(), column.begin() + first);
+}
+
+}  // namespace
+
+void MemoryStore::begin(const StoreHeader& header) {
+  CSB_CHECK_MSG(!begun_, "MemoryStore::begin called twice");
+  begun_ = true;
+  header_ = header;
+  src_.resize(header.edges);
+  dst_.resize(header.edges);
+  if (header.with_properties) {
+    props_.protocol.resize(header.edges);
+    props_.src_port.resize(header.edges);
+    props_.dst_port.resize(header.edges);
+    props_.duration_ms.resize(header.edges);
+    props_.out_bytes.resize(header.edges);
+    props_.in_bytes.resize(header.edges);
+    props_.out_pkts.resize(header.edges);
+    props_.in_pkts.resize(header.edges);
+    props_.state.resize(header.edges);
+  }
+}
+
+void MemoryStore::put_edges(std::uint64_t first_edge,
+                            std::span<const VertexId> src,
+                            std::span<const VertexId> dst) {
+  CSB_CHECK_MSG(begun_ && !finished_, "put_edges outside begin/finish");
+  CSB_CHECK_MSG(src.size() == dst.size(), "endpoint spans must align");
+  CSB_CHECK_MSG(first_edge + src.size() <= header_.edges,
+                "edge chunk exceeds the announced edge count");
+  copy_at(src_, first_edge, src);
+  copy_at(dst_, first_edge, dst);
+}
+
+void MemoryStore::put_properties(std::uint64_t first_edge,
+                                 const PropertyRowsView& rows) {
+  CSB_CHECK_MSG(begun_ && !finished_, "put_properties outside begin/finish");
+  CSB_CHECK_MSG(header_.with_properties,
+                "put_properties on a structure-only store");
+  CSB_CHECK_MSG(first_edge + rows.size() <= header_.edges,
+                "property chunk exceeds the announced edge count");
+  copy_at(props_.protocol, first_edge, rows.protocol);
+  copy_at(props_.src_port, first_edge, rows.src_port);
+  copy_at(props_.dst_port, first_edge, rows.dst_port);
+  copy_at(props_.duration_ms, first_edge, rows.duration_ms);
+  copy_at(props_.out_bytes, first_edge, rows.out_bytes);
+  copy_at(props_.in_bytes, first_edge, rows.in_bytes);
+  copy_at(props_.out_pkts, first_edge, rows.out_pkts);
+  copy_at(props_.in_pkts, first_edge, rows.in_pkts);
+  copy_at(props_.state, first_edge, rows.state);
+}
+
+void MemoryStore::finish() {
+  CSB_CHECK_MSG(begun_ && !finished_, "finish outside begin / called twice");
+  finished_ = true;
+  for (std::uint64_t e = 0; e < header_.edges; ++e) {
+    CSB_CHECK_MSG(src_[e] < header_.vertices && dst_[e] < header_.vertices,
+                  "edge endpoints must be existing vertices");
+  }
+  graph_ = PropertyGraph::from_columns_unchecked(
+      header_.vertices, std::move(src_), std::move(dst_));
+  if (header_.with_properties) {
+    graph_.ensure_properties_for_overwrite();
+    for (std::uint64_t e = 0; e < header_.edges; ++e) {
+      graph_.set_edge_properties(
+          e, EdgeProperties{
+                 .protocol = props_.protocol[e],
+                 .src_port = props_.src_port[e],
+                 .dst_port = props_.dst_port[e],
+                 .duration_ms = props_.duration_ms[e],
+                 .out_bytes = props_.out_bytes[e],
+                 .in_bytes = props_.in_bytes[e],
+                 .out_pkts = props_.out_pkts[e],
+                 .in_pkts = props_.in_pkts[e],
+                 .state = props_.state[e],
+             });
+    }
+    props_ = PropertyRowsBuffer{};
+  }
+}
+
+const PropertyGraph& MemoryStore::graph() const {
+  CSB_CHECK_MSG(finished_, "MemoryStore::graph before finish");
+  return graph_;
+}
+
+PropertyGraph MemoryStore::take_graph() {
+  CSB_CHECK_MSG(finished_, "MemoryStore::take_graph before finish");
+  return std::move(graph_);
+}
+
+}  // namespace csb

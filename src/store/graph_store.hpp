@@ -1,0 +1,136 @@
+// GraphStore — the polymorphic sink the generators emit into (ROADMAP
+// item 1: "sharded binary edge format + mmap CSR").
+//
+// The generation output contract is a *stream*, not an object (Prat-Pérez
+// et al.; Yoo/Henderson): a generator announces the output dimensions once
+// via begin(), then emits edge chunks and property-row chunks addressed by
+// their global edge offset, and seals the output with finish(). Offset
+// addressing is what makes the contract parallel-safe *and* deterministic:
+// chunks may arrive from any worker in any order, but every byte's final
+// position is a pure function of the chunk geometry — never of scheduling.
+//
+// Two backends:
+//   * MemoryStore — in-RAM columns; finish() yields a PropertyGraph
+//     byte-identical to the classic GenResult.graph path.
+//   * ShardStore  — sharded on-disk binary + mmap-able CSR index
+//     (store/shard_store.hpp), bounded resident memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/edge.hpp"
+#include "graph/properties.hpp"
+#include "graph/property_graph.hpp"
+
+namespace csb {
+
+/// Output dimensions, announced once before any chunk is emitted.
+struct StoreHeader {
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  bool with_properties = false;
+  /// The generator's RNG seed, recorded for provenance (ShardStore writes
+  /// it into the manifest).
+  std::uint64_t seed = 0;
+};
+
+/// A chunk of NetFlow property rows in column form (spans over the nine
+/// NetFlow columns, all the same length). Column form keeps put_properties
+/// a straight memcpy per column on both backends.
+struct PropertyRowsView {
+  std::span<const Protocol> protocol;
+  std::span<const std::uint16_t> src_port;
+  std::span<const std::uint16_t> dst_port;
+  std::span<const std::uint32_t> duration_ms;
+  std::span<const std::uint64_t> out_bytes;
+  std::span<const std::uint64_t> in_bytes;
+  std::span<const std::uint32_t> out_pkts;
+  std::span<const std::uint32_t> in_pkts;
+  std::span<const ConnState> state;
+
+  [[nodiscard]] std::size_t size() const noexcept { return protocol.size(); }
+};
+
+/// Column-form staging buffer for one property chunk; samplers fill it row
+/// by row via push_back, then hand view() to put_properties.
+struct PropertyRowsBuffer {
+  std::vector<Protocol> protocol;
+  std::vector<std::uint16_t> src_port;
+  std::vector<std::uint16_t> dst_port;
+  std::vector<std::uint32_t> duration_ms;
+  std::vector<std::uint64_t> out_bytes;
+  std::vector<std::uint64_t> in_bytes;
+  std::vector<std::uint32_t> out_pkts;
+  std::vector<std::uint32_t> in_pkts;
+  std::vector<ConnState> state;
+
+  void reserve(std::size_t rows);
+  void push_back(const EdgeProperties& props);
+  [[nodiscard]] PropertyRowsView view() const noexcept;
+};
+
+/// The polymorphic generation sink. Call sequence: begin() once, then any
+/// number of put_edges / put_properties calls (thread-safe, any order, each
+/// chunk's offset range within [0, edges)), then finish() once. Every edge
+/// offset must be covered exactly once by put_edges (and, when
+/// with_properties, by put_properties) before finish().
+class GraphStore {
+ public:
+  virtual ~GraphStore() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  virtual void begin(const StoreHeader& header) = 0;
+
+  /// Writes endpoint columns for global edges
+  /// [first_edge, first_edge + src.size()). src and dst are equal length.
+  virtual void put_edges(std::uint64_t first_edge,
+                         std::span<const VertexId> src,
+                         std::span<const VertexId> dst) = 0;
+
+  /// Writes property rows for global edges
+  /// [first_edge, first_edge + rows.size()).
+  virtual void put_properties(std::uint64_t first_edge,
+                              const PropertyRowsView& rows) = 0;
+
+  virtual void finish() = 0;
+};
+
+/// In-memory backend: the columns land exactly where the classic
+/// materialize + assign_properties path would put them, so graph() after
+/// finish() equals GenResult.graph byte for byte.
+class MemoryStore final : public GraphStore {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "memory"; }
+  void begin(const StoreHeader& header) override;
+  void put_edges(std::uint64_t first_edge, std::span<const VertexId> src,
+                 std::span<const VertexId> dst) override;
+  void put_properties(std::uint64_t first_edge,
+                      const PropertyRowsView& rows) override;
+  void finish() override;
+
+  /// Valid after finish().
+  [[nodiscard]] const PropertyGraph& graph() const;
+  /// Moves the assembled graph out (valid once, after finish()).
+  [[nodiscard]] PropertyGraph take_graph();
+
+ private:
+  StoreHeader header_;
+  bool begun_ = false;
+  bool finished_ = false;
+  std::vector<VertexId> src_;
+  std::vector<VertexId> dst_;
+  PropertyRowsBuffer props_;
+  PropertyGraph graph_;
+};
+
+/// Chunked replay of an in-RAM graph through any store: begin / 64K-edge
+/// put_edges+put_properties chunks / finish. The fallback save path for
+/// classic generators and the `shards` GraphFormat.
+void replay_graph_into(const PropertyGraph& graph, GraphStore& store,
+                       std::uint64_t seed);
+
+}  // namespace csb

@@ -1,0 +1,765 @@
+#include "store/shard_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace csb {
+
+namespace {
+
+constexpr char kManifestFormat[] = "csb.shards.v1";
+constexpr char kManifestName[] = "manifest.json";
+constexpr char kCsrMagic[4] = {'C', 'S', 'B', 'X'};
+constexpr std::uint32_t kCsrVersion = 1;
+constexpr std::uint64_t kCsrHeaderBytes = 24;
+/// Bytes per edge in a shard edge file (src u64 + dst u64).
+constexpr std::uint64_t kEdgeBytes = 16;
+/// Bytes per edge across the nine property columns.
+constexpr std::uint64_t kPropBytes = 34;
+/// Edges per IO chunk when streaming shard files.
+constexpr std::size_t kScanChunk = 1 << 16;
+
+constexpr std::uint64_t kEdgeSumSalt = 0x5ead'd09e'0000'0001ULL;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::string hex_u64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::uint64_t parse_hex_u64(const std::string& path, const JsonValue& value) {
+  CSB_CHECK_MSG(value.is_string(),
+                path << ": manifest checksum/seed must be a hex string");
+  const std::string& text = value.as_string();
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out, 16);
+  CSB_CHECK_MSG(ec == std::errc{} && ptr == text.data() + text.size(),
+                path << ": malformed hex value '" << text << "'");
+  return out;
+}
+
+std::string shard_file_name(const char* prefix, std::uint32_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s-%04u.bin", prefix, shard);
+  return buf;
+}
+
+void pwrite_all(int fd, const void* data, std::size_t bytes,
+                std::uint64_t offset, const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::pwrite(fd, p, bytes, static_cast<off_t>(offset));
+    CSB_CHECK_MSG(n > 0, "short write to shard file: " << path);
+    p += n;
+    offset += static_cast<std::uint64_t>(n);
+    bytes -= static_cast<std::size_t>(n);
+  }
+}
+
+void pread_all(int fd, void* data, std::size_t bytes, std::uint64_t offset,
+               const std::string& path) {
+  char* p = static_cast<char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::pread(fd, p, bytes, static_cast<off_t>(offset));
+    CSB_CHECK_MSG(n > 0, "short read from shard file: " << path);
+    p += n;
+    offset += static_cast<std::uint64_t>(n);
+    bytes -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Byte offset of property column `c` (schema order) within a prop file
+/// holding `shard_edges` rows.
+std::uint64_t prop_column_offset(std::size_t c, std::uint64_t shard_edges) {
+  static constexpr std::uint64_t kWidths[9] = {1, 2, 2, 4, 8, 8, 4, 4, 1};
+  std::uint64_t off = 0;
+  for (std::size_t i = 0; i < c; ++i) off += kWidths[i] * shard_edges;
+  return off;
+}
+
+struct Fnv1a {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  void fold(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      hash ^= p[i];
+      hash *= 0x100000001b3ULL;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t edge_checksum_term(std::uint64_t index, VertexId src,
+                                 VertexId dst) {
+  return mix64(mix64(index ^ kEdgeSumSalt) + 3 * mix64(src) + 7 * mix64(dst));
+}
+
+std::uint64_t property_checksum_term(std::uint64_t index,
+                                     const EdgeProperties& row) {
+  std::uint64_t acc = index ^ 0x9602'0b57'0000'0002ULL;
+  const auto fold = [&acc](std::uint64_t value) { acc = acc * 31 + value; };
+  fold(static_cast<std::uint64_t>(row.protocol));
+  fold(row.src_port);
+  fold(row.dst_port);
+  fold(row.duration_ms);
+  fold(row.out_bytes);
+  fold(row.in_bytes);
+  fold(row.out_pkts);
+  fold(row.in_pkts);
+  fold(static_cast<std::uint64_t>(row.state));
+  return mix64(acc);
+}
+
+// ------------------------------------------------------------- ShardStore
+
+struct ShardStore::ShardFile {
+  std::string edge_path;
+  std::string prop_path;
+  int edge_fd = -1;
+  int prop_fd = -1;
+  std::uint64_t first_edge = 0;
+  std::uint64_t edges = 0;
+  std::atomic<std::uint64_t> edge_sum{0};
+  std::atomic<std::uint64_t> prop_sum{0};
+};
+
+ShardStore::ShardStore(ShardStoreOptions options)
+    : options_(std::move(options)) {
+  CSB_CHECK_MSG(!options_.directory.empty(),
+                "ShardStore needs a target directory");
+  CSB_CHECK_MSG(options_.shard_count > 0, "shard_count must be positive");
+}
+
+ShardStore::~ShardStore() { close_files(); }
+
+void ShardStore::close_files() {
+  for (auto& shard : shards_) {
+    if (shard->edge_fd >= 0) ::close(shard->edge_fd);
+    if (shard->prop_fd >= 0) ::close(shard->prop_fd);
+    shard->edge_fd = -1;
+    shard->prop_fd = -1;
+  }
+}
+
+void ShardStore::begin(const StoreHeader& header) {
+  CSB_CHECK_MSG(!begun_, "ShardStore::begin called twice");
+  begun_ = true;
+  header_ = header;
+  const std::uint32_t s_count = options_.shard_count;
+  per_shard_ = std::max<std::uint64_t>(
+      1, (header.edges + s_count - 1) / s_count);
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(options_.directory, ec);
+  CSB_CHECK_MSG(!ec, "cannot create store directory: " << options_.directory);
+
+  shards_.reserve(s_count);
+  for (std::uint32_t s = 0; s < s_count; ++s) {
+    auto shard = std::make_unique<ShardFile>();
+    shard->first_edge = std::min<std::uint64_t>(s * per_shard_, header.edges);
+    const std::uint64_t end =
+        std::min<std::uint64_t>(shard->first_edge + per_shard_, header.edges);
+    shard->edges = end - shard->first_edge;
+    shard->edge_path =
+        (fs::path(options_.directory) / shard_file_name("edges", s)).string();
+    shard->edge_fd = ::open(shard->edge_path.c_str(),
+                            O_RDWR | O_CREAT | O_TRUNC, 0644);
+    CSB_CHECK_MSG(shard->edge_fd >= 0,
+                  "cannot create shard file: " << shard->edge_path);
+    CSB_CHECK_MSG(::ftruncate(shard->edge_fd,
+                              static_cast<off_t>(shard->edges * kEdgeBytes)) == 0,
+                  "cannot size shard file: " << shard->edge_path);
+    if (header.with_properties) {
+      shard->prop_path =
+          (fs::path(options_.directory) / shard_file_name("props", s)).string();
+      shard->prop_fd = ::open(shard->prop_path.c_str(),
+                              O_RDWR | O_CREAT | O_TRUNC, 0644);
+      CSB_CHECK_MSG(shard->prop_fd >= 0,
+                    "cannot create shard file: " << shard->prop_path);
+      CSB_CHECK_MSG(
+          ::ftruncate(shard->prop_fd,
+                      static_cast<off_t>(shard->edges * kPropBytes)) == 0,
+          "cannot size shard file: " << shard->prop_path);
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void ShardStore::put_edges(std::uint64_t first_edge,
+                           std::span<const VertexId> src,
+                           std::span<const VertexId> dst) {
+  CSB_CHECK_MSG(begun_ && !finished_, "put_edges outside begin/finish");
+  CSB_CHECK_MSG(src.size() == dst.size(), "endpoint spans must align");
+  CSB_CHECK_MSG(first_edge + src.size() <= header_.edges,
+                "edge chunk exceeds the announced edge count");
+  const std::uint64_t last = first_edge + src.size();
+  for (std::uint64_t at = first_edge; at < last;) {
+    const std::size_t s = static_cast<std::size_t>(at / per_shard_);
+    ShardFile& shard = *shards_[s];
+    const std::uint64_t end =
+        std::min<std::uint64_t>(last, shard.first_edge + shard.edges);
+    const std::uint64_t count = end - at;
+    const std::uint64_t local = at - shard.first_edge;
+    const std::uint64_t in_chunk = at - first_edge;
+    pwrite_all(shard.edge_fd, src.data() + in_chunk,
+               count * sizeof(VertexId), local * sizeof(VertexId),
+               shard.edge_path);
+    pwrite_all(shard.edge_fd, dst.data() + in_chunk,
+               count * sizeof(VertexId),
+               shard.edges * sizeof(VertexId) + local * sizeof(VertexId),
+               shard.edge_path);
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      sum += edge_checksum_term(at + i, src[in_chunk + i], dst[in_chunk + i]);
+    }
+    shard.edge_sum.fetch_add(sum, std::memory_order_relaxed);
+    at = end;
+  }
+}
+
+void ShardStore::put_properties(std::uint64_t first_edge,
+                                const PropertyRowsView& rows) {
+  CSB_CHECK_MSG(begun_ && !finished_, "put_properties outside begin/finish");
+  CSB_CHECK_MSG(header_.with_properties,
+                "put_properties on a structure-only store");
+  CSB_CHECK_MSG(first_edge + rows.size() <= header_.edges,
+                "property chunk exceeds the announced edge count");
+  const std::uint64_t last = first_edge + rows.size();
+  for (std::uint64_t at = first_edge; at < last;) {
+    const std::size_t s = static_cast<std::size_t>(at / per_shard_);
+    ShardFile& shard = *shards_[s];
+    const std::uint64_t end =
+        std::min<std::uint64_t>(last, shard.first_edge + shard.edges);
+    const std::uint64_t count = end - at;
+    const std::uint64_t local = at - shard.first_edge;
+    const std::uint64_t in_chunk = at - first_edge;
+    const auto put = [&](std::size_t column, const void* data,
+                         std::uint64_t width) {
+      pwrite_all(shard.prop_fd, data, count * width,
+                 prop_column_offset(column, shard.edges) + local * width,
+                 shard.prop_path);
+    };
+    put(0, rows.protocol.data() + in_chunk, 1);
+    put(1, rows.src_port.data() + in_chunk, 2);
+    put(2, rows.dst_port.data() + in_chunk, 2);
+    put(3, rows.duration_ms.data() + in_chunk, 4);
+    put(4, rows.out_bytes.data() + in_chunk, 8);
+    put(5, rows.in_bytes.data() + in_chunk, 8);
+    put(6, rows.out_pkts.data() + in_chunk, 4);
+    put(7, rows.in_pkts.data() + in_chunk, 4);
+    put(8, rows.state.data() + in_chunk, 1);
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t r = in_chunk + i;
+      sum += property_checksum_term(
+          at + i, EdgeProperties{
+                      .protocol = rows.protocol[r],
+                      .src_port = rows.src_port[r],
+                      .dst_port = rows.dst_port[r],
+                      .duration_ms = rows.duration_ms[r],
+                      .out_bytes = rows.out_bytes[r],
+                      .in_bytes = rows.in_bytes[r],
+                      .out_pkts = rows.out_pkts[r],
+                      .in_pkts = rows.in_pkts[r],
+                      .state = rows.state[r],
+                  });
+    }
+    shard.prop_sum.fetch_add(sum, std::memory_order_relaxed);
+    at = end;
+  }
+}
+
+void ShardStore::finish() {
+  CSB_CHECK_MSG(begun_ && !finished_, "finish outside begin / called twice");
+  finished_ = true;
+  namespace fs = std::filesystem;
+
+  std::uint64_t csr_checksum = 0;
+  std::string csr_file;
+  if (options_.build_csr) {
+    const std::uint64_t n = header_.vertices;
+    const std::uint64_t m = header_.edges;
+    // Counting pass: out-degrees and in-offsets, streaming every shard's
+    // endpoint columns through a bounded chunk buffer.
+    std::vector<std::uint64_t> out_deg(n, 0);
+    std::vector<std::uint64_t> offsets(n + 1, 0);
+    std::vector<VertexId> buf(kScanChunk);
+    for (const auto& shard : shards_) {
+      for (std::uint64_t at = 0; at < shard->edges; at += kScanChunk) {
+        const std::uint64_t count =
+            std::min<std::uint64_t>(kScanChunk, shard->edges - at);
+        pread_all(shard->edge_fd, buf.data(), count * sizeof(VertexId),
+                  at * sizeof(VertexId), shard->edge_path);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          CSB_CHECK_MSG(buf[i] < n,
+                        "edge endpoints must be existing vertices");
+          ++out_deg[buf[i]];
+        }
+        pread_all(shard->edge_fd, buf.data(), count * sizeof(VertexId),
+                  shard->edges * sizeof(VertexId) + at * sizeof(VertexId),
+                  shard->edge_path);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          CSB_CHECK_MSG(buf[i] < n,
+                        "edge endpoints must be existing vertices");
+          ++offsets[buf[i] + 1];
+        }
+      }
+    }
+    for (std::uint64_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+    csr_file = "csr.bin";
+    const std::string csr_path =
+        (fs::path(options_.directory) / csr_file).string();
+    std::ofstream out(csr_path, std::ios::binary | std::ios::trunc);
+    CSB_CHECK_MSG(out.is_open(), "cannot create CSR file: " << csr_path);
+    Fnv1a fnv;
+    const auto put = [&](const void* data, std::size_t bytes) {
+      out.write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(bytes));
+      fnv.fold(data, bytes);
+    };
+    put(kCsrMagic, sizeof kCsrMagic);
+    put(&kCsrVersion, sizeof kCsrVersion);
+    put(&n, sizeof n);
+    put(&m, sizeof m);
+    put(out_deg.data(), out_deg.size() * sizeof(std::uint64_t));
+    put(offsets.data(), offsets.size() * sizeof(std::uint64_t));
+
+    // Scatter pass: vertex-range buckets whose neighbor slices fit the
+    // memory budget; each bucket streams every shard once and appends its
+    // slice sequentially. Resident: O(V) arrays + one bucket + IO chunks.
+    const std::uint64_t budget =
+        std::max<std::uint64_t>(options_.memory_budget_bytes, 1 << 20);
+    std::vector<VertexId> srcs(kScanChunk);
+    std::vector<VertexId> slice;
+    std::vector<std::uint64_t> next;
+    std::uint64_t v0 = 0;
+    while (v0 < n) {
+      std::uint64_t v1 = v0 + 1;
+      while (v1 < n &&
+             (offsets[v1 + 1] - offsets[v0]) * sizeof(VertexId) <= budget) {
+        ++v1;
+      }
+      const std::uint64_t slice_edges = offsets[v1] - offsets[v0];
+      slice.resize(slice_edges);
+      next.assign(v1 - v0, 0);
+      for (std::uint64_t v = v0; v < v1; ++v) {
+        next[v - v0] = offsets[v] - offsets[v0];
+      }
+      for (const auto& shard : shards_) {
+        for (std::uint64_t at = 0; at < shard->edges; at += kScanChunk) {
+          const std::uint64_t count =
+              std::min<std::uint64_t>(kScanChunk, shard->edges - at);
+          pread_all(shard->edge_fd, srcs.data(), count * sizeof(VertexId),
+                    at * sizeof(VertexId), shard->edge_path);
+          pread_all(shard->edge_fd, buf.data(), count * sizeof(VertexId),
+                    shard->edges * sizeof(VertexId) + at * sizeof(VertexId),
+                    shard->edge_path);
+          for (std::uint64_t i = 0; i < count; ++i) {
+            const VertexId dst = buf[i];
+            if (dst < v0 || dst >= v1) continue;
+            slice[next[dst - v0]++] = srcs[i];
+          }
+        }
+      }
+      put(slice.data(), slice.size() * sizeof(VertexId));
+      v0 = v1;
+    }
+    CSB_CHECK_MSG(out.good(), "failed writing CSR file: " << csr_path);
+    out.close();
+    csr_checksum = fnv.hash;
+  }
+
+  close_files();
+
+  // Manifest last: its presence marks the directory complete.
+  manifest_.vertices = header_.vertices;
+  manifest_.edges = header_.edges;
+  manifest_.with_properties = header_.with_properties;
+  manifest_.seed = header_.seed;
+  manifest_.shard_count = options_.shard_count;
+  manifest_.edges_per_shard = per_shard_;
+  manifest_.csr_file = csr_file;
+  manifest_.csr_checksum = csr_checksum;
+  JsonValue shards_json = JsonValue::array({});
+  for (const auto& shard : shards_) {
+    ShardInfo info;
+    info.edge_file = fs::path(shard->edge_path).filename().string();
+    info.first_edge = shard->first_edge;
+    info.edges = shard->edges;
+    info.edge_checksum = shard->edge_sum.load(std::memory_order_relaxed);
+    JsonValue row = JsonValue::object({});
+    row.set("file", JsonValue(info.edge_file));
+    row.set("first_edge", JsonValue(info.first_edge));
+    row.set("edges", JsonValue(info.edges));
+    row.set("edge_checksum", JsonValue(hex_u64(info.edge_checksum)));
+    if (header_.with_properties) {
+      info.prop_file = fs::path(shard->prop_path).filename().string();
+      info.prop_checksum = shard->prop_sum.load(std::memory_order_relaxed);
+      row.set("props", JsonValue(info.prop_file));
+      row.set("prop_checksum", JsonValue(hex_u64(info.prop_checksum)));
+    }
+    manifest_.shards.push_back(info);
+    shards_json.push_back(std::move(row));
+  }
+  JsonValue root = JsonValue::object({});
+  root.set("format", JsonValue(std::string(kManifestFormat)));
+  root.set("vertices", JsonValue(manifest_.vertices));
+  root.set("edges", JsonValue(manifest_.edges));
+  root.set("with_properties", JsonValue(manifest_.with_properties));
+  root.set("seed", JsonValue(hex_u64(manifest_.seed)));
+  root.set("shard_count",
+           JsonValue(static_cast<std::uint64_t>(manifest_.shard_count)));
+  root.set("edges_per_shard", JsonValue(manifest_.edges_per_shard));
+  root.set("shards", std::move(shards_json));
+  if (!csr_file.empty()) {
+    JsonValue csr = JsonValue::object({});
+    csr.set("file", JsonValue(csr_file));
+    csr.set("checksum", JsonValue(hex_u64(csr_checksum)));
+    root.set("csr", std::move(csr));
+  }
+  const std::string manifest_path =
+      (fs::path(options_.directory) / kManifestName).string();
+  std::ofstream manifest_out(manifest_path, std::ios::trunc);
+  CSB_CHECK_MSG(manifest_out.is_open(),
+                "cannot create manifest: " << manifest_path);
+  manifest_out << root.dump() << "\n";
+  CSB_CHECK_MSG(manifest_out.good(),
+                "failed writing manifest: " << manifest_path);
+}
+
+const ShardManifest& ShardStore::manifest() const {
+  CSB_CHECK_MSG(finished_, "ShardStore::manifest before finish");
+  return manifest_;
+}
+
+// ------------------------------------------------------- ShardStoreReader
+
+namespace {
+
+std::uint64_t expected_file_size(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  CSB_CHECK_MSG(!ec, "missing shard store file: " << path);
+  return size;
+}
+
+}  // namespace
+
+ShardStoreReader::ShardStoreReader(const std::string& directory)
+    : directory_(directory) {
+  namespace fs = std::filesystem;
+  const std::string manifest_path =
+      (fs::path(directory_) / kManifestName).string();
+  std::ifstream in(manifest_path);
+  CSB_CHECK_MSG(in.is_open(), "cannot open manifest: " << manifest_path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  JsonValue root;
+  try {
+    root = parse_json(text);
+  } catch (const CsbError& error) {
+    throw CsbError("corrupt manifest " + manifest_path + ": " + error.what());
+  }
+  CSB_CHECK_MSG(root.is_object() && root.find("format") != nullptr &&
+                    root.at("format").is_string() &&
+                    root.at("format").as_string() == kManifestFormat,
+                "corrupt manifest " << manifest_path
+                                    << ": not a csb.shards.v1 manifest");
+  try {
+    manifest_.vertices = root.at("vertices").as_u64();
+    manifest_.edges = root.at("edges").as_u64();
+    manifest_.with_properties = root.at("with_properties").as_bool();
+    manifest_.seed = parse_hex_u64(manifest_path, root.at("seed"));
+    manifest_.shard_count =
+        static_cast<std::uint32_t>(root.at("shard_count").as_u64());
+    manifest_.edges_per_shard = root.at("edges_per_shard").as_u64();
+    for (const JsonValue& row : root.at("shards").items()) {
+      ShardInfo info;
+      info.edge_file = row.at("file").as_string();
+      info.first_edge = row.at("first_edge").as_u64();
+      info.edges = row.at("edges").as_u64();
+      info.edge_checksum =
+          parse_hex_u64(manifest_path, row.at("edge_checksum"));
+      if (manifest_.with_properties) {
+        info.prop_file = row.at("props").as_string();
+        info.prop_checksum =
+            parse_hex_u64(manifest_path, row.at("prop_checksum"));
+      }
+      manifest_.shards.push_back(std::move(info));
+    }
+    if (const JsonValue* csr = root.find("csr")) {
+      manifest_.csr_file = csr->at("file").as_string();
+      manifest_.csr_checksum = parse_hex_u64(manifest_path, csr->at("checksum"));
+    }
+  } catch (const CsbError& error) {
+    throw CsbError("corrupt manifest " + manifest_path + ": " + error.what());
+  }
+  // Plausibility caps (mirrors graph_io's binary loader): a corrupt
+  // manifest must not drive a huge allocation before validation can fire.
+  CSB_CHECK_MSG(manifest_.vertices <= (1ULL << 44) &&
+                    manifest_.edges <= (1ULL << 40) &&
+                    manifest_.shard_count > 0 &&
+                    manifest_.shards.size() == manifest_.shard_count,
+                "corrupt manifest " << manifest_path
+                                    << ": implausible graph dimensions");
+  std::uint64_t covered = 0;
+  for (const ShardInfo& info : manifest_.shards) {
+    CSB_CHECK_MSG(info.first_edge == covered,
+                  "corrupt manifest " << manifest_path
+                                      << ": shards must tile the edge range");
+    covered += info.edges;
+    const std::string edge_path =
+        (fs::path(directory_) / info.edge_file).string();
+    CSB_CHECK_MSG(expected_file_size(edge_path) == info.edges * kEdgeBytes,
+                  "truncated shard file: " << edge_path);
+    if (manifest_.with_properties) {
+      const std::string prop_path =
+          (fs::path(directory_) / info.prop_file).string();
+      CSB_CHECK_MSG(expected_file_size(prop_path) == info.edges * kPropBytes,
+                    "truncated shard file: " << prop_path);
+    }
+  }
+  CSB_CHECK_MSG(covered == manifest_.edges,
+                "corrupt manifest " << manifest_path
+                                    << ": shards must tile the edge range");
+
+  if (manifest_.csr_file.empty()) return;
+  const std::string csr_path =
+      (fs::path(directory_) / manifest_.csr_file).string();
+  const std::uint64_t n = manifest_.vertices;
+  const std::uint64_t m = manifest_.edges;
+  const std::uint64_t expected =
+      kCsrHeaderBytes + (n + (n + 1) + m) * sizeof(std::uint64_t);
+  CSB_CHECK_MSG(expected_file_size(csr_path) == expected,
+                "truncated CSR file: " << csr_path);
+  const int fd = ::open(csr_path.c_str(), O_RDONLY);
+  CSB_CHECK_MSG(fd >= 0, "cannot open CSR file: " << csr_path);
+  const std::uint64_t* base = nullptr;
+  void* map = ::mmap(nullptr, expected, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map != MAP_FAILED) {
+    csr_map_ = map;
+    csr_map_bytes_ = expected;
+    base = static_cast<const std::uint64_t*>(map);
+  } else {
+    // mmap unavailable (exotic filesystem): fall back to a heap copy so
+    // the reader still works, just without the page-cache sharing.
+    csr_heap_.resize(expected / sizeof(std::uint64_t));
+    pread_all(fd, csr_heap_.data(), expected, 0, csr_path);
+    base = csr_heap_.data();
+  }
+  ::close(fd);
+  char magic[4];
+  std::uint32_t version = 0;
+  std::memcpy(magic, base, 4);
+  std::memcpy(&version, reinterpret_cast<const char*>(base) + 4, 4);
+  std::uint64_t file_n = 0;
+  std::uint64_t file_m = 0;
+  std::memcpy(&file_n, reinterpret_cast<const char*>(base) + 8, 8);
+  std::memcpy(&file_m, reinterpret_cast<const char*>(base) + 16, 8);
+  CSB_CHECK_MSG(std::memcmp(magic, kCsrMagic, 4) == 0 &&
+                    version == kCsrVersion && file_n == n && file_m == m,
+                "corrupt CSR file: " << csr_path);
+  const std::uint64_t* arrays = base + kCsrHeaderBytes / sizeof(std::uint64_t);
+  csr_.vertices_ = n;
+  csr_.edges_ = m;
+  csr_.out_degrees_ = {arrays, static_cast<std::size_t>(n)};
+  csr_.in_offsets_ = {arrays + n, static_cast<std::size_t>(n + 1)};
+  csr_.in_neighbors_ = {arrays + n + n + 1, static_cast<std::size_t>(m)};
+  csr_mapped_ = true;
+}
+
+ShardStoreReader::~ShardStoreReader() {
+  if (csr_map_ != nullptr) ::munmap(csr_map_, csr_map_bytes_);
+}
+
+const CsrIndexView& ShardStoreReader::csr() const {
+  CSB_CHECK_MSG(csr_mapped_,
+                "shard store " << directory_ << " was written without a CSR");
+  return csr_;
+}
+
+void ShardStoreReader::scan_edges(
+    const std::function<void(std::uint64_t, std::span<const VertexId>,
+                             std::span<const VertexId>)>& emit) const {
+  namespace fs = std::filesystem;
+  std::vector<VertexId> src(kScanChunk);
+  std::vector<VertexId> dst(kScanChunk);
+  for (const ShardInfo& info : manifest_.shards) {
+    const std::string path = (fs::path(directory_) / info.edge_file).string();
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    CSB_CHECK_MSG(fd >= 0, "cannot open shard file: " << path);
+    std::uint64_t sum = 0;
+    try {
+      for (std::uint64_t at = 0; at < info.edges; at += kScanChunk) {
+        const std::uint64_t count =
+            std::min<std::uint64_t>(kScanChunk, info.edges - at);
+        pread_all(fd, src.data(), count * sizeof(VertexId),
+                  at * sizeof(VertexId), path);
+        pread_all(fd, dst.data(), count * sizeof(VertexId),
+                  info.edges * sizeof(VertexId) + at * sizeof(VertexId), path);
+        const std::uint64_t first = info.first_edge + at;
+        for (std::uint64_t i = 0; i < count; ++i) {
+          sum += edge_checksum_term(first + i, src[i], dst[i]);
+        }
+        if (emit) {
+          emit(first, {src.data(), static_cast<std::size_t>(count)},
+               {dst.data(), static_cast<std::size_t>(count)});
+        }
+      }
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    ::close(fd);
+    CSB_CHECK_MSG(sum == info.edge_checksum,
+                  "checksum mismatch in shard file: " << path);
+  }
+}
+
+PropertyRowsBuffer ShardStoreReader::read_shard_properties(
+    std::size_t s) const {
+  CSB_CHECK_MSG(manifest_.with_properties,
+                "shard store " << directory_ << " has no properties");
+  CSB_CHECK_MSG(s < manifest_.shards.size(), "shard index out of range");
+  namespace fs = std::filesystem;
+  const ShardInfo& info = manifest_.shards[s];
+  const std::string path = (fs::path(directory_) / info.prop_file).string();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  CSB_CHECK_MSG(fd >= 0, "cannot open shard file: " << path);
+  PropertyRowsBuffer rows;
+  const std::uint64_t count = info.edges;
+  try {
+    const auto read_col = [&](std::size_t column, void* data,
+                              std::uint64_t width) {
+      pread_all(fd, data, count * width, prop_column_offset(column, count),
+                path);
+    };
+    rows.protocol.resize(count);
+    rows.src_port.resize(count);
+    rows.dst_port.resize(count);
+    rows.duration_ms.resize(count);
+    rows.out_bytes.resize(count);
+    rows.in_bytes.resize(count);
+    rows.out_pkts.resize(count);
+    rows.in_pkts.resize(count);
+    rows.state.resize(count);
+    read_col(0, rows.protocol.data(), 1);
+    read_col(1, rows.src_port.data(), 2);
+    read_col(2, rows.dst_port.data(), 2);
+    read_col(3, rows.duration_ms.data(), 4);
+    read_col(4, rows.out_bytes.data(), 8);
+    read_col(5, rows.in_bytes.data(), 8);
+    read_col(6, rows.out_pkts.data(), 4);
+    read_col(7, rows.in_pkts.data(), 4);
+    read_col(8, rows.state.data(), 1);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    sum += property_checksum_term(
+        info.first_edge + i, EdgeProperties{
+                                 .protocol = rows.protocol[i],
+                                 .src_port = rows.src_port[i],
+                                 .dst_port = rows.dst_port[i],
+                                 .duration_ms = rows.duration_ms[i],
+                                 .out_bytes = rows.out_bytes[i],
+                                 .in_bytes = rows.in_bytes[i],
+                                 .out_pkts = rows.out_pkts[i],
+                                 .in_pkts = rows.in_pkts[i],
+                                 .state = rows.state[i],
+                             });
+  }
+  CSB_CHECK_MSG(sum == info.prop_checksum,
+                "checksum mismatch in shard file: " << path);
+  return rows;
+}
+
+void ShardStoreReader::verify() const {
+  scan_edges(nullptr);
+  if (manifest_.with_properties) {
+    for (std::size_t s = 0; s < manifest_.shards.size(); ++s) {
+      (void)read_shard_properties(s);
+    }
+  }
+  if (!manifest_.csr_file.empty()) {
+    namespace fs = std::filesystem;
+    const std::string path =
+        (fs::path(directory_) / manifest_.csr_file).string();
+    std::ifstream in(path, std::ios::binary);
+    CSB_CHECK_MSG(in.is_open(), "cannot open CSR file: " << path);
+    Fnv1a fnv;
+    char buf[1 << 16];
+    while (in) {
+      in.read(buf, sizeof buf);
+      fnv.fold(buf, static_cast<std::size_t>(in.gcount()));
+    }
+    CSB_CHECK_MSG(fnv.hash == manifest_.csr_checksum,
+                  "checksum mismatch in CSR file: " << path);
+  }
+}
+
+PropertyGraph ShardStoreReader::to_property_graph() const {
+  std::vector<VertexId> src(manifest_.edges);
+  std::vector<VertexId> dst(manifest_.edges);
+  scan_edges([&src, &dst](std::uint64_t first, std::span<const VertexId> s,
+                          std::span<const VertexId> d) {
+    std::copy(s.begin(), s.end(), src.begin() + first);
+    std::copy(d.begin(), d.end(), dst.begin() + first);
+  });
+  PropertyGraph graph = PropertyGraph::from_columns(
+      manifest_.vertices, std::move(src), std::move(dst));
+  if (!manifest_.with_properties) return graph;
+  graph.ensure_properties_for_overwrite();
+  for (std::size_t s = 0; s < manifest_.shards.size(); ++s) {
+    const ShardInfo& info = manifest_.shards[s];
+    const PropertyRowsBuffer rows = read_shard_properties(s);
+    for (std::uint64_t i = 0; i < info.edges; ++i) {
+      graph.set_edge_properties(info.first_edge + i,
+                                EdgeProperties{
+                                    .protocol = rows.protocol[i],
+                                    .src_port = rows.src_port[i],
+                                    .dst_port = rows.dst_port[i],
+                                    .duration_ms = rows.duration_ms[i],
+                                    .out_bytes = rows.out_bytes[i],
+                                    .in_bytes = rows.in_bytes[i],
+                                    .out_pkts = rows.out_pkts[i],
+                                    .in_pkts = rows.in_pkts[i],
+                                    .state = rows.state[i],
+                                });
+    }
+  }
+  return graph;
+}
+
+}  // namespace csb

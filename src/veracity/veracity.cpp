@@ -22,6 +22,22 @@ std::vector<double> normalized_pagerank_distribution(
   return normalize_by_sum(result.scores);
 }
 
+std::vector<double> normalized_degree_distribution(const CsrIndexView& csr) {
+  const std::uint64_t n = csr.num_vertices();
+  std::vector<double> values(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    values[v] = static_cast<double>(csr.total_degree(v));
+  }
+  return normalize_by_sum(values);
+}
+
+std::vector<double> normalized_pagerank_distribution(const CsrIndexView& csr,
+                                                     ThreadPool& pool) {
+  const PageRankResult result = pagerank_csr(
+      csr.in_offsets(), csr.in_neighbors(), csr.out_degrees(), pool);
+  return normalize_by_sum(result.scores);
+}
+
 double veracity_score(const std::vector<double>& seed_normalized,
                       const std::vector<double>& synthetic_normalized,
                       std::size_t quantile_points) {
@@ -61,6 +77,18 @@ VeracityReport evaluate_veracity(const PropertyGraph& seed,
   return report;
 }
 
+VeracityReport evaluate_veracity(const PropertyGraph& seed,
+                                 const CsrIndexView& synthetic,
+                                 ThreadPool& pool) {
+  VeracityReport report;
+  report.degree_score = veracity_score(normalized_degree_distribution(seed),
+                                       normalized_degree_distribution(synthetic));
+  report.pagerank_score =
+      veracity_score(normalized_pagerank_distribution(seed, pool),
+                     normalized_pagerank_distribution(synthetic, pool));
+  return report;
+}
+
 namespace {
 
 // PageRank values rescaled so the graph's minimum score is 1. Sparse graphs
@@ -71,9 +99,7 @@ namespace {
 // > 80% of the mass) as disagreement. Dividing by the minimum pins the
 // baseline at exactly 1 in both graphs, so the statistic measures the shape
 // of the distribution above the baseline instead of a scalar offset.
-std::vector<double> baseline_relative_pagerank(const PropertyGraph& graph,
-                                               ThreadPool& pool) {
-  std::vector<double> values = normalized_pagerank_distribution(graph, pool);
+std::vector<double> rescale_to_baseline(std::vector<double> values) {
   const auto lowest = std::min_element(values.begin(), values.end());
   if (lowest == values.end() || *lowest <= 0.0) return values;
   const double baseline = *lowest;
@@ -81,11 +107,31 @@ std::vector<double> baseline_relative_pagerank(const PropertyGraph& graph,
   return values;
 }
 
+std::vector<double> baseline_relative_pagerank(const PropertyGraph& graph,
+                                               ThreadPool& pool) {
+  return rescale_to_baseline(normalized_pagerank_distribution(graph, pool));
+}
+
+std::vector<double> baseline_relative_pagerank(const CsrIndexView& csr,
+                                               ThreadPool& pool) {
+  return rescale_to_baseline(normalized_pagerank_distribution(csr, pool));
+}
+
 }  // namespace
 
 StructuralKs evaluate_structural_ks(const PropertyGraph& a,
                                     const PropertyGraph& b,
                                     ThreadPool& pool) {
+  StructuralKs ks;
+  ks.degree_ks = ks_distance(normalized_degree_distribution(a),
+                             normalized_degree_distribution(b));
+  ks.pagerank_ks = ks_distance(baseline_relative_pagerank(a, pool),
+                               baseline_relative_pagerank(b, pool));
+  return ks;
+}
+
+StructuralKs evaluate_structural_ks(const PropertyGraph& a,
+                                    const CsrIndexView& b, ThreadPool& pool) {
   StructuralKs ks;
   ks.degree_ks = ks_distance(normalized_degree_distribution(a),
                              normalized_degree_distribution(b));

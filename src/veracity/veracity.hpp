@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "graph/property_graph.hpp"
+#include "store/shard_store.hpp"
 #include "util/thread_pool.hpp"
 
 namespace csb {
@@ -35,6 +36,14 @@ std::vector<double> normalized_degree_distribution(const PropertyGraph& graph);
 /// Per-vertex PageRank scores divided by their sum.
 std::vector<double> normalized_pagerank_distribution(
     const PropertyGraph& graph, ThreadPool& pool);
+
+/// Streamed variants over a shard store's mmap'd CSR index: degrees read
+/// straight off the on-disk arrays, PageRank runs pagerank_csr over the
+/// mapped spans — the edge list never materializes in RAM. Same math as
+/// the in-RAM overloads (shared implementation), so scores agree.
+std::vector<double> normalized_degree_distribution(const CsrIndexView& csr);
+std::vector<double> normalized_pagerank_distribution(const CsrIndexView& csr,
+                                                     ThreadPool& pool);
 
 /// The veracity score: mean squared difference between the seed's and the
 /// synthetic graph's normalized-value quantile functions, with the seed
@@ -54,6 +63,12 @@ VeracityReport evaluate_veracity(const PropertyGraph& seed,
                                  const PropertyGraph& synthetic,
                                  ThreadPool& pool);
 
+/// Veracity of an out-of-core synthetic graph: the seed stays in RAM, the
+/// synthetic side streams over the shard store's CSR index.
+VeracityReport evaluate_veracity(const PropertyGraph& seed,
+                                 const CsrIndexView& synthetic,
+                                 ThreadPool& pool);
+
 /// Two-sample Kolmogorov–Smirnov distances between the normalized degree
 /// and PageRank distributions of two graphs (stats/distance.hpp ks_distance
 /// underneath). This is the matched-scale fidelity metric that validates
@@ -71,6 +86,10 @@ struct StructuralKs {
 };
 StructuralKs evaluate_structural_ks(const PropertyGraph& a,
                                     const PropertyGraph& b, ThreadPool& pool);
+
+/// Structural KS with the second graph streamed from a shard store's CSR.
+StructuralKs evaluate_structural_ks(const PropertyGraph& a,
+                                    const CsrIndexView& b, ThreadPool& pool);
 
 /// The log-binned normalized degree distribution series plotted in Fig. 5:
 /// (normalized degree bin center, fraction of vertices) points.

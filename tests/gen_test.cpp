@@ -933,15 +933,18 @@ TEST(PgpbaFastTest, PreferentialAttachmentSkewsDegrees) {
 TEST(FastSamplerRegistryTest, BothGeneratorsRegistered) {
   const Generator* pgsk_fast = find_generator("pgsk-fast");
   ASSERT_NE(pgsk_fast, nullptr);
-  const auto pgsk_extras = pgsk_fast->extra_options();
-  EXPECT_NE(std::find(pgsk_extras.begin(), pgsk_extras.end(), "noise"),
-            pgsk_extras.end());
+  const auto pgsk_specs = pgsk_fast->options();
+  const auto has_option = [](const std::vector<OptionSpec>& specs,
+                             std::string_view name) {
+    return std::find_if(specs.begin(), specs.end(), [&](const OptionSpec& s) {
+             return s.name == name;
+           }) != specs.end();
+  };
+  EXPECT_TRUE(has_option(pgsk_specs, "noise"));
+  EXPECT_TRUE(has_option(pgsk_specs, "dedup"));
   const Generator* pgpba_fast = find_generator("pgpba-fast");
   ASSERT_NE(pgpba_fast, nullptr);
-  const auto pgpba_extras = pgpba_fast->extra_options();
-  EXPECT_NE(std::find(pgpba_extras.begin(), pgpba_extras.end(),
-                      "edges-per-vertex"),
-            pgpba_extras.end());
+  EXPECT_TRUE(has_option(pgpba_fast->options(), "edges-per-vertex"));
 }
 
 }  // namespace

@@ -254,9 +254,10 @@ TEST(RuleCatalogTest, CatalogIsSortedAndComplete) {
 // ------------------------------------------------------------ span names
 
 TEST(SpanNameTest, GrammarAcceptsDocumentedFamilies) {
-  EXPECT_EQ(span_name_families().size(), 20u);
+  EXPECT_EQ(span_name_families().size(), 21u);
   EXPECT_TRUE(span_name_families().contains("ball-drop"));
   EXPECT_TRUE(span_name_families().contains("skip-ahead"));
+  EXPECT_TRUE(span_name_families().contains("store"));
   for (const std::string& family : span_name_families()) {
     EXPECT_TRUE(check_span_name(family).empty()) << family;
     EXPECT_TRUE(check_span_name(family + ":sub:pass_2").empty()) << family;

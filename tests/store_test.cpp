@@ -1,0 +1,532 @@
+// Unit tests for src/store: the GraphStore sink contract (MemoryStore ==
+// classic path), the ShardStore on-disk round trip and its determinism
+// across shard counts and pool sizes, the mmap CSR index, corrupt-store
+// error paths, ExternalDistinct, the GraphFormat registry, and the typed
+// generator option descriptors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gen/fast_samplers.hpp"
+#include "gen/generator.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
+#include "seed/seed.hpp"
+#include "store/external_sort.hpp"
+#include "store/graph_format.hpp"
+#include "store/graph_store.hpp"
+#include "store/shard_store.hpp"
+#include "trace/traffic_model.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "veracity/veracity.hpp"
+
+namespace csb {
+namespace {
+
+namespace fs = std::filesystem;
+
+SeedBundle small_seed(std::uint64_t sessions = 600) {
+  TrafficModelConfig config;
+  config.benign_sessions = sessions;
+  config.client_hosts = 120;
+  config.server_hosts = 30;
+  return build_seed_from_netflow(
+      sessions_to_netflow(TrafficModel(config).generate_benign()));
+}
+
+ClusterConfig four_cores() {
+  return ClusterConfig{.nodes = 2, .cores_per_node = 2};
+}
+
+/// Fresh scratch directory under the system temp root, removed on scope
+/// exit so repeated test runs never see stale stores.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("csb_store_test_" + tag + "_" +
+               std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+  [[nodiscard]] fs::path path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+std::string read_file_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+PgskFastOptions pgsk_options(const SeedBundle& seed) {
+  PgskFastOptions options;
+  options.desired_edges = 6 * seed.graph.num_edges();
+  options.seed = 11;
+  options.fit.gradient_iterations = 2;
+  options.fit.swaps_per_iteration = 50;
+  options.fit.burn_in_swaps = 50;
+  return options;
+}
+
+PgpbaFastOptions pgpba_options(const SeedBundle& seed) {
+  PgpbaFastOptions options;
+  options.desired_edges = 6 * seed.graph.num_edges();
+  options.seed = 11;
+  return options;
+}
+
+// ------------------------------------------------- MemoryStore == classic
+
+TEST(MemoryStoreTest, PgskFastSinkMatchesClassicByteForByte) {
+  const SeedBundle seed = small_seed();
+  const auto options = pgsk_options(seed);
+  ClusterSim c1(four_cores());
+  const GenResult classic =
+      pgsk_fast_generate(seed.graph, seed.profile, c1, options);
+
+  ClusterSim c2(four_cores());
+  MemoryStore store;
+  const StoreGenResult streamed = pgsk_fast_generate_into(
+      seed.graph, seed.profile, c2, options, FastSinkOptions{}, store);
+  EXPECT_EQ(store.graph(), classic.graph);
+  EXPECT_EQ(streamed.edges, classic.graph.num_edges());
+  EXPECT_EQ(streamed.vertices, classic.graph.num_vertices());
+}
+
+TEST(MemoryStoreTest, PgpbaFastSinkMatchesClassicByteForByte) {
+  const SeedBundle seed = small_seed();
+  const auto options = pgpba_options(seed);
+  ClusterSim c1(four_cores());
+  const GenResult classic =
+      pgpba_fast_generate(seed.graph, seed.profile, c1, options);
+
+  ClusterSim c2(four_cores());
+  MemoryStore store;
+  const StoreGenResult streamed = pgpba_fast_generate_into(
+      seed.graph, seed.profile, c2, options, store);
+  EXPECT_EQ(store.graph(), classic.graph);
+  EXPECT_EQ(streamed.edges, classic.graph.num_edges());
+}
+
+TEST(MemoryStoreTest, DefaultGenerateIntoReplaysClassicResult) {
+  // A generator without a streaming override (chung-lu) goes through the
+  // base-class store:replay path and must land the identical graph.
+  const SeedBundle seed = small_seed(300);
+  const Generator& generator = require_generator("chung-lu");
+  GenConfig config;
+  config.desired_edges = 3 * seed.graph.num_edges();
+  config.seed = 5;
+
+  ClusterSim c1(four_cores());
+  const GenResult classic =
+      generator.generate(seed.graph, seed.profile, c1, config);
+  ClusterSim c2(four_cores());
+  MemoryStore store;
+  const StoreGenResult streamed =
+      generator.generate_into(seed.graph, seed.profile, c2, config, store);
+  EXPECT_EQ(store.graph(), classic.graph);
+  EXPECT_EQ(streamed.edges, classic.graph.num_edges());
+}
+
+// ------------------------------------------------------------ ShardStore
+
+TEST(ShardStoreTest, RoundTripMatchesMemoryAcrossShardAndPoolCounts) {
+  const SeedBundle seed = small_seed();
+  const auto pg_options = pgsk_options(seed);
+
+  ClusterSim baseline_cluster(four_cores());
+  MemoryStore baseline;
+  (void)pgsk_fast_generate_into(seed.graph, seed.profile, baseline_cluster,
+                                pg_options, FastSinkOptions{}, baseline);
+
+  for (const std::uint32_t shard_count : {1u, 4u, 16u}) {
+    for (const std::size_t pool_size : {1u, 2u, 8u}) {
+      ScratchDir dir("roundtrip_s" + std::to_string(shard_count) + "_p" +
+                     std::to_string(pool_size));
+      ThreadPool pool(pool_size);
+      ClusterSim cluster(four_cores(), pool);
+      ShardStoreOptions store_options;
+      store_options.directory = dir.str();
+      store_options.shard_count = shard_count;
+      ShardStore store(store_options);
+      (void)pgsk_fast_generate_into(seed.graph, seed.profile, cluster,
+                                    pg_options, FastSinkOptions{}, store);
+
+      const ShardStoreReader reader(dir.str());
+      EXPECT_EQ(reader.manifest().shard_count, shard_count);
+      EXPECT_EQ(reader.to_property_graph(), baseline.graph())
+          << shard_count << " shards, pool " << pool_size;
+    }
+  }
+}
+
+TEST(ShardStoreTest, ShardBytesInvariantToPoolSize) {
+  const SeedBundle seed = small_seed();
+  const auto pg_options = pgpba_options(seed);
+
+  std::vector<std::string> reference_bytes;
+  for (const std::size_t pool_size : {1u, 2u, 8u}) {
+    ScratchDir dir("bytes_p" + std::to_string(pool_size));
+    ThreadPool pool(pool_size);
+    ClusterSim cluster(four_cores(), pool);
+    ShardStoreOptions store_options;
+    store_options.directory = dir.str();
+    store_options.shard_count = 4;
+    ShardStore store(store_options);
+    (void)pgpba_fast_generate_into(seed.graph, seed.profile, cluster,
+                                   pg_options, store);
+
+    std::vector<std::string> bytes;
+    for (const auto& entry : fs::directory_iterator(dir.path())) {
+      bytes.push_back(entry.path().filename().string() + ":" +
+                      read_file_bytes(entry.path()));
+    }
+    std::sort(bytes.begin(), bytes.end());
+    std::string all;
+    for (const auto& b : bytes) all += b;
+    reference_bytes.push_back(std::move(all));
+  }
+  ASSERT_EQ(reference_bytes.size(), 3u);
+  EXPECT_EQ(reference_bytes[0], reference_bytes[1]);
+  EXPECT_EQ(reference_bytes[0], reference_bytes[2]);
+}
+
+TEST(ShardStoreTest, ConcatenatedEdgeStreamInvariantToShardCount) {
+  const SeedBundle seed = small_seed(300);
+  const auto pg_options = pgpba_options(seed);
+
+  std::vector<std::vector<VertexId>> streams;
+  for (const std::uint32_t shard_count : {1u, 4u, 16u}) {
+    ScratchDir dir("concat_s" + std::to_string(shard_count));
+    ClusterSim cluster(four_cores());
+    ShardStoreOptions store_options;
+    store_options.directory = dir.str();
+    store_options.shard_count = shard_count;
+    ShardStore store(store_options);
+    (void)pgpba_fast_generate_into(seed.graph, seed.profile, cluster,
+                                   pg_options, store);
+
+    const ShardStoreReader reader(dir.str());
+    std::vector<VertexId> stream;
+    reader.scan_edges([&](std::uint64_t first, std::span<const VertexId> src,
+                          std::span<const VertexId> dst) {
+      EXPECT_EQ(first, stream.size() / 2);
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        stream.push_back(src[i]);
+        stream.push_back(dst[i]);
+      }
+    });
+    streams.push_back(std::move(stream));
+  }
+  ASSERT_EQ(streams.size(), 3u);
+  EXPECT_EQ(streams[0], streams[1]);
+  EXPECT_EQ(streams[0], streams[2]);
+}
+
+TEST(ShardStoreTest, CsrIndexMatchesInRamCsrView) {
+  const SeedBundle seed = small_seed(300);
+  const auto pg_options = pgsk_options(seed);
+
+  ClusterSim c1(four_cores());
+  MemoryStore memory;
+  (void)pgsk_fast_generate_into(seed.graph, seed.profile, c1, pg_options,
+                                FastSinkOptions{}, memory);
+
+  ScratchDir dir("csr");
+  ClusterSim c2(four_cores());
+  ShardStoreOptions store_options;
+  store_options.directory = dir.str();
+  store_options.shard_count = 4;
+  ShardStore store(store_options);
+  (void)pgsk_fast_generate_into(seed.graph, seed.profile, c2, pg_options,
+                                FastSinkOptions{}, store);
+
+  const ShardStoreReader reader(dir.str());
+  ASSERT_TRUE(reader.has_csr());
+  const CsrIndexView& csr = reader.csr();
+  const PropertyGraph& graph = memory.graph();
+  const CsrView in_csr(graph, CsrDirection::kIn);
+  const auto out_deg = out_degrees(graph);
+
+  ASSERT_EQ(csr.num_vertices(), graph.num_vertices());
+  ASSERT_EQ(csr.num_edges(), graph.num_edges());
+  EXPECT_TRUE(std::equal(csr.out_degrees().begin(), csr.out_degrees().end(),
+                         out_deg.begin(), out_deg.end()));
+  EXPECT_TRUE(std::equal(csr.in_offsets().begin(), csr.in_offsets().end(),
+                         in_csr.offsets().begin(), in_csr.offsets().end()));
+  EXPECT_TRUE(std::equal(csr.in_neighbors().begin(), csr.in_neighbors().end(),
+                         in_csr.all_neighbors().begin(),
+                         in_csr.all_neighbors().end()));
+}
+
+TEST(ShardStoreTest, StreamedVeracityEqualsInRamVeracity) {
+  const SeedBundle seed = small_seed(300);
+  const auto pg_options = pgsk_options(seed);
+
+  ClusterSim c1(four_cores());
+  MemoryStore memory;
+  (void)pgsk_fast_generate_into(seed.graph, seed.profile, c1, pg_options,
+                                FastSinkOptions{}, memory);
+
+  ScratchDir dir("veracity");
+  ClusterSim c2(four_cores());
+  ShardStoreOptions store_options;
+  store_options.directory = dir.str();
+  ShardStore store(store_options);
+  (void)pgsk_fast_generate_into(seed.graph, seed.profile, c2, pg_options,
+                                FastSinkOptions{}, store);
+
+  const ShardStoreReader reader(dir.str());
+  ThreadPool pool(4);
+  // The CSR overloads share the exact degree / PageRank implementation with
+  // the in-RAM ones, so the scores agree exactly, not approximately.
+  const VeracityReport in_ram =
+      evaluate_veracity(seed.graph, memory.graph(), pool);
+  const VeracityReport streamed =
+      evaluate_veracity(seed.graph, reader.csr(), pool);
+  EXPECT_EQ(in_ram.degree_score, streamed.degree_score);
+  EXPECT_EQ(in_ram.pagerank_score, streamed.pagerank_score);
+
+  const StructuralKs ks =
+      evaluate_structural_ks(memory.graph(), reader.csr(), pool);
+  EXPECT_EQ(ks.degree_ks, 0.0);
+  EXPECT_EQ(ks.pagerank_ks, 0.0);
+}
+
+TEST(ShardStoreTest, DedupPathDropsDuplicatesDeterministically) {
+  const SeedBundle seed = small_seed(300);
+  auto pg_options = pgsk_options(seed);
+
+  const auto run = [&](std::uint64_t budget_bytes, const std::string& tag) {
+    ScratchDir spill("spill_" + tag);
+    ClusterSim cluster(four_cores());
+    MemoryStore store;
+    FastSinkOptions sink;
+    sink.dedup = true;
+    sink.dedup_budget_bytes = budget_bytes;
+    sink.spill_directory = spill.str();
+    (void)pgsk_fast_generate_into(seed.graph, seed.profile, cluster,
+                                  pg_options, sink, store);
+    return store.take_graph();
+  };
+
+  const PropertyGraph roomy = run(256ULL << 20, "roomy");
+  const PropertyGraph tight = run(1ULL << 19, "tight");  // the minimum budget
+  EXPECT_EQ(roomy, tight);
+
+  // The dedup stream is the ascending sorted-unique placement set, each
+  // placement expanded into its re-multiply copies consecutively — so the
+  // per-edge key sequence must be non-decreasing in emission order.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(roomy.num_edges());
+  const auto srcs = roomy.sources();
+  const auto dsts = roomy.destinations();
+  for (EdgeId e = 0; e < roomy.num_edges(); ++e) {
+    keys.push_back((static_cast<std::uint64_t>(srcs[e]) << 32) | dsts[e]);
+  }
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+// ------------------------------------------------------------ error paths
+
+TEST(ShardStoreErrorTest, CorruptManifestNamesTheFile) {
+  ScratchDir dir("corrupt_manifest");
+  std::ofstream(dir.path() / "manifest.json") << "{ not json";
+  try {
+    const ShardStoreReader reader(dir.str());
+    FAIL() << "expected CsbError";
+  } catch (const CsbError& error) {
+    EXPECT_NE(std::string(error.what()).find("manifest"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ShardStoreErrorTest, TruncatedShardNamesTheFile) {
+  const SeedBundle seed = small_seed(300);
+  ScratchDir dir("truncated");
+  ClusterSim cluster(four_cores());
+  ShardStoreOptions store_options;
+  store_options.directory = dir.str();
+  store_options.shard_count = 2;
+  ShardStore store(store_options);
+  (void)pgpba_fast_generate_into(seed.graph, seed.profile, cluster,
+                                 pgpba_options(seed), store);
+
+  const fs::path victim = dir.path() / "edges-0001.bin";
+  fs::resize_file(victim, fs::file_size(victim) / 2);
+  try {
+    const ShardStoreReader reader(dir.str());
+    FAIL() << "expected CsbError";
+  } catch (const CsbError& error) {
+    EXPECT_NE(std::string(error.what()).find("edges-0001.bin"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ShardStoreErrorTest, FlippedByteFailsChecksumNamingTheFile) {
+  const SeedBundle seed = small_seed(300);
+  ScratchDir dir("flipped");
+  ClusterSim cluster(four_cores());
+  ShardStoreOptions store_options;
+  store_options.directory = dir.str();
+  store_options.shard_count = 2;
+  ShardStore store(store_options);
+  (void)pgpba_fast_generate_into(seed.graph, seed.profile, cluster,
+                                 pgpba_options(seed), store);
+
+  // Flip one byte in the middle of shard 0's edge columns: sizes still
+  // match, so only the checksum can catch it.
+  const fs::path victim = dir.path() / "edges-0000.bin";
+  {
+    std::fstream file(victim,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(static_cast<std::streamoff>(fs::file_size(victim) / 2));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(static_cast<std::streamoff>(fs::file_size(victim) / 2));
+    file.write(&byte, 1);
+  }
+  const ShardStoreReader reader(dir.str());
+  try {
+    reader.verify();
+    FAIL() << "expected CsbError";
+  } catch (const CsbError& error) {
+    EXPECT_NE(std::string(error.what()).find("edges-0000.bin"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+// ------------------------------------------------------- ExternalDistinct
+
+TEST(ExternalDistinctTest, MatchesSortUniqueAcrossBudgetsAndOrders) {
+  std::mt19937_64 rng(99);
+  std::vector<std::uint64_t> keys(300'000);
+  for (auto& key : keys) key = rng() % 50'000;  // plenty of duplicates
+
+  std::vector<std::uint64_t> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+
+  // 1 << 19 is the minimum budget (one IO chunk): 300k keys spill ~4 runs.
+  for (const std::uint64_t budget : {1ULL << 30, 1ULL << 19}) {
+    for (const bool shuffled : {false, true}) {
+      ScratchDir dir("distinct_" + std::to_string(budget) +
+                     (shuffled ? "_s" : "_o"));
+      std::vector<std::uint64_t> input = keys;
+      if (shuffled) {
+        std::mt19937_64 shuffle_rng(7);
+        std::shuffle(input.begin(), input.end(), shuffle_rng);
+      }
+      ExternalDistinctOptions options;
+      options.spill_directory = dir.str();
+      options.memory_budget_bytes = budget;
+      ExternalDistinct distinct(options);
+      // Feed in uneven chunks to exercise boundary handling.
+      for (std::size_t i = 0; i < input.size();) {
+        const std::size_t take = std::min<std::size_t>(777, input.size() - i);
+        distinct.add(std::span(input).subspan(i, take));
+        i += take;
+      }
+      EXPECT_EQ(distinct.seal(), expected.size());
+      if (budget == (1ULL << 19)) {
+        EXPECT_GT(distinct.spilled_runs(), 0u);
+      }
+
+      std::vector<std::uint64_t> got;
+      distinct.scan([&](std::span<const std::uint64_t> chunk) {
+        got.insert(got.end(), chunk.begin(), chunk.end());
+      });
+      EXPECT_EQ(got, expected);
+    }
+  }
+}
+
+// ------------------------------------------------------- format registry
+
+TEST(GraphFormatTest, RegistryFindsBuiltinsAndRejectsUnknown) {
+  EXPECT_NE(find_graph_format("binary"), nullptr);
+  EXPECT_NE(find_graph_format("csv"), nullptr);
+  EXPECT_NE(find_graph_format("graphml"), nullptr);
+  EXPECT_NE(find_graph_format("shards"), nullptr);
+  EXPECT_EQ(find_graph_format("carrier-pigeon"), nullptr);
+  EXPECT_TRUE(require_graph_format("shards").is_directory_format());
+  EXPECT_FALSE(require_graph_format("binary").is_directory_format());
+  try {
+    (void)require_graph_format("carrier-pigeon");
+    FAIL() << "expected CsbError";
+  } catch (const CsbError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("carrier-pigeon"), std::string::npos) << what;
+    EXPECT_NE(what.find("binary"), std::string::npos) << what;
+    EXPECT_NE(what.find("shards"), std::string::npos) << what;
+  }
+}
+
+TEST(GraphFormatTest, ShardsFormatRoundTripsAGraph) {
+  const SeedBundle seed = small_seed(300);
+  ScratchDir dir("format_roundtrip");
+  const std::string path = (dir.path() / "g.shards").string();
+  const GraphFormat& format = require_graph_format("shards");
+  format.save(seed.graph, path);
+  EXPECT_EQ(format.load(path), seed.graph);
+}
+
+// ------------------------------------------------------- option descriptors
+
+TEST(OptionSpecTest, CheckOptionValueValidatesByKind) {
+  const OptionSpec u64_spec{"edges", OptionKind::kU64, "", ""};
+  const OptionSpec dbl_spec{"noise", OptionKind::kDouble, "", ""};
+  const OptionSpec flag_spec{"dedup", OptionKind::kFlag, "", ""};
+  EXPECT_NO_THROW(check_option_value(u64_spec, "42"));
+  EXPECT_NO_THROW(check_option_value(dbl_spec, "0.25"));
+  EXPECT_NO_THROW(check_option_value(flag_spec, "whatever"));
+  EXPECT_THROW(check_option_value(u64_spec, "4x2"), CsbError);
+  EXPECT_THROW(check_option_value(dbl_spec, "fast"), CsbError);
+}
+
+TEST(OptionSpecTest, ValidateExtraOptionsNamesUnknownKey) {
+  const Generator& generator = require_generator("pgsk-fast");
+  GenConfig config;
+  config.extra["nois"] = "0.1";  // typo
+  try {
+    validate_extra_options(generator.options(), config);
+    FAIL() << "expected CsbError";
+  } catch (const CsbError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("nois"), std::string::npos) << what;
+    EXPECT_NE(what.find("noise"), std::string::npos) << what;
+  }
+}
+
+TEST(OptionSpecTest, EveryRegisteredGeneratorPublishesWellFormedSpecs) {
+  for (const Generator* generator : all_generators()) {
+    for (const OptionSpec& spec : generator->options()) {
+      EXPECT_FALSE(spec.name.empty()) << generator->name();
+      EXPECT_FALSE(spec.help.empty())
+          << generator->name() << " --" << spec.name;
+      if (!spec.default_value.empty()) {
+        EXPECT_NO_THROW(check_option_value(spec, spec.default_value))
+            << generator->name() << " --" << spec.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csb

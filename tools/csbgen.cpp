@@ -17,6 +17,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -43,6 +44,8 @@
 #include "pcap/pcap_file.hpp"
 #include "seed/seed.hpp"
 #include "stats/power_law.hpp"
+#include "store/graph_format.hpp"
+#include "store/shard_store.hpp"
 #include "trace/attacks.hpp"
 #include "trace/traffic_model.hpp"
 #include "util/format.hpp"
@@ -176,15 +179,20 @@ commands:
   generate --seed=seed.bin --out=synth.bin --edges=N
            [--profile=seed.profile] [--algo=NAME] [--no-properties]
            [--nodes=8] [--cores=4] [--partitions=0] [--rng=1]
+           [--out-format=binary] [--shards=8] [--store-budget-mb=256]
            [--trace=run.ndjson] [--graphml=synth.graphml] [--csv=synth.csv]
       Grow a synthetic property-graph from a seed, via any registered
       generator (csbgen generators lists them with per-algorithm flags;
-      --generator is accepted as an alias of --algo). --trace records the
-      run as csb.trace.v1 NDJSON (spans, counters, memory watermarks) for
-      `csbgen report`.
+      --generator is accepted as an alias of --algo). --out-format picks a
+      registered output format (binary, csv, graphml, shards);
+      --out-format=shards streams the graph into a sharded on-disk store
+      with bounded resident memory (--shards files, CSR build under
+      --store-budget-mb). --trace records the run as csb.trace.v1 NDJSON
+      (spans, counters, memory watermarks) for `csbgen report`.
 
   generators
-      List the registered generator algorithms.
+      List the registered generator algorithms with their typed options,
+      and the registered output formats.
 
   report FILE [--check]
       Pretty-print a csb.trace.v1 NDJSON trace: run metadata, the phase
@@ -192,17 +200,20 @@ commands:
       breakdown, counters and memory watermarks. --check validates the
       schema instead and exits non-zero on any violation.
 
-  veracity --seed=seed.bin --synthetic=synth.bin
+  veracity --seed=seed.bin --synthetic=synth.bin|shards-dir/
       Degree and PageRank veracity scores (paper Section V-A; lower is
-      more faithful).
+      more faithful). A shard-store directory is scored by streaming over
+      its mmap'd CSR index without loading the edge list.
 
   detect --in=flows.csv [--baseline=benign.csv] [--window-s=0]
       Run the Section IV detector. Thresholds are calibrated on
       --baseline when given, else Table-I-style defaults are used.
       --window-s > 0 switches to the streaming detector.
 
-  info --in=graph.bin
+  info --in=graph.bin|shards-dir/ [--verify]
       Vertex/edge counts, degree stats, components, memory footprint.
+      For a shard-store directory, stats come from the manifest and the
+      mmap'd CSR index; --verify recomputes every shard checksum.
 
   analyze --in=graph.bin [--top=10] [--betweenness-samples=256]
       Full structural report: degree power-law fit, clustering, triangles,
@@ -371,19 +382,28 @@ int cmd_seed(const Args& args) {
 
 int cmd_generate(const Args& args) {
   // --algo picks the registered generator (--generator kept as an alias);
-  // the known-flag set is the base flags plus whatever extras the selected
+  // the known-flag set is the base flags plus whatever options the selected
   // algorithm publishes, so `--algo=pgsk --fraction=2` is rejected.
   const std::string algo = args.get("algo", args.get("generator", "pgpba"));
   const Generator& generator = require_generator(algo);
+  const auto specs = generator.options();
   std::vector<std::string> known = {
       "seed",  "out",        "edges",  "profile", "algo",
       "generator", "nodes",  "cores",  "partitions", "rng",
-      "no-properties", "trace", "graphml", "csv"};
-  for (const auto& key : generator.extra_options()) known.push_back(key);
+      "no-properties", "trace", "graphml", "csv",
+      "out-format", "shards", "store-budget-mb"};
+  for (const auto& spec : specs) known.push_back(spec.name);
   args.require_known("generate", known);
 
+  // --out-format resolves through the format registry up front, so an
+  // unknown name fails before any generation work, listing what exists.
+  const std::string format_name = args.get("out-format", "binary");
+  const GraphFormat& format = require_graph_format(format_name);
+
   const std::string seed_path = args.get("seed", "");
-  const std::string out = args.get("out", "synthetic.bin");
+  const std::string out =
+      args.get("out", format.is_directory_format() ? "synthetic.shards"
+                                                   : "synthetic.bin");
   CSB_CHECK_MSG(!seed_path.empty(), "generate requires --seed=<seed.bin>");
   const PropertyGraph seed_graph = load_binary_file(seed_path);
   // A cached profile skips the Fig. 1 analysis step.
@@ -396,8 +416,20 @@ int cmd_generate(const Args& args) {
   config.partitions = args.get_u64("partitions", 0);
   config.seed = args.get_u64("rng", 1);
   config.with_properties = !args.has("no-properties");
-  for (const auto& key : generator.extra_options()) {
-    if (args.has(key)) config.extra[key] = args.get(key, "");
+  for (const auto& spec : specs) {
+    if (args.has(spec.name)) config.extra[spec.name] = args.get(spec.name, "");
+  }
+  // Malformed values fail here, naming the key, before any work runs.
+  try {
+    validate_extra_options(specs, config);
+  } catch (const CsbError& error) {
+    throw UsageError(error.what());
+  }
+  if (format_name == "shards" && generator.name() == "pgsk-fast" &&
+      !config.has("dedup-spill-dir")) {
+    // Default external-sort spills next to the output shards: same
+    // filesystem, cleaned up with the run.
+    config.extra["dedup-spill-dir"] = out;
   }
 
   ClusterSim cluster(ClusterConfig{
@@ -424,9 +456,8 @@ int cmd_generate(const Args& args) {
     recorder->record_memory("start");
   }
 
-  GenResult result = generator.generate(seed_graph, profile, cluster, config);
-
-  if (recorder) {
+  const auto finish_trace = [&] {
+    if (!recorder) return;
     recorder->record_memory("end");
     recorder->record_metrics_snapshot();
     const std::string trace_path = args.get("trace", "");
@@ -435,9 +466,39 @@ int cmd_generate(const Args& args) {
     TraceRecorder::set_current(nullptr);
     std::cout << "wrote " << trace_path << " (csb.trace.v1, "
               << recorder->spans().size() << " spans)\n";
+  };
+
+  if (format.is_directory_format()) {
+    // Out-of-core path: the generator streams shard-sized chunks into the
+    // store, so the full edge list never materializes in RAM.
+    if (args.has("graphml") || args.has("csv")) {
+      throw UsageError("--graphml/--csv exports need an in-RAM result; "
+                       "not available with --out-format=" + format_name);
+    }
+    ShardStoreOptions store_options;
+    store_options.directory = out;
+    store_options.shard_count = args.get_u64("shards", 8);
+    store_options.memory_budget_bytes =
+        args.get_u64("store-budget-mb", 256) << 20;
+    ShardStore store(store_options);
+    const StoreGenResult result =
+        generator.generate_into(seed_graph, profile, cluster, config, store);
+    finish_trace();
+    std::cout << generator.name() << ": " << result.edges << " edges, "
+              << result.vertices << " vertices ("
+              << store_options.shard_count << " shards, "
+              << result.iterations << " iterations, "
+              << result.metrics.simulated_seconds << " simulated s on "
+              << cluster.config().nodes << "x"
+              << cluster.config().cores_per_node << " virtual cores) -> "
+              << out << "\n";
+    return 0;
   }
 
-  save_binary_file(result.graph, out);
+  GenResult result = generator.generate(seed_graph, profile, cluster, config);
+  finish_trace();
+
+  format.save(result.graph, out);
   std::cout << generator.name() << ": " << result.graph.num_edges()
             << " edges, "
             << result.graph.num_vertices() << " vertices ("
@@ -460,20 +521,34 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
+const char* option_kind_name(OptionKind kind) {
+  switch (kind) {
+    case OptionKind::kU64: return "uint";
+    case OptionKind::kDouble: return "float";
+    case OptionKind::kFlag: return "flag";
+    case OptionKind::kString: return "string";
+  }
+  return "?";
+}
+
 int cmd_generators(const Args& args) {
   args.require_known("generators", {});
   for (const Generator* generator : all_generators()) {
     std::cout << "  " << std::left << std::setw(12) << generator->name()
-              << generator->description();
-    const auto extras = generator->extra_options();
-    if (!extras.empty()) {
-      std::cout << " [";
-      for (std::size_t i = 0; i < extras.size(); ++i) {
-        std::cout << (i ? " " : "") << "--" << extras[i];
+              << generator->description() << "\n";
+    for (const OptionSpec& spec : generator->options()) {
+      std::cout << "      --" << std::left << std::setw(18) << spec.name
+                << std::setw(8) << option_kind_name(spec.kind);
+      if (!spec.default_value.empty()) {
+        std::cout << "[" << spec.default_value << "]  ";
       }
-      std::cout << "]";
+      std::cout << spec.help << "\n";
     }
-    std::cout << "\n";
+  }
+  std::cout << "\noutput formats (generate --out-format=NAME):\n";
+  for (const GraphFormat* format : all_graph_formats()) {
+    std::cout << "  " << std::left << std::setw(12) << format->name()
+              << format->description() << "\n";
   }
   return 0;
 }
@@ -627,9 +702,19 @@ int cmd_veracity(const Args& args) {
   CSB_CHECK_MSG(!seed_path.empty() && !synth_path.empty(),
                 "veracity requires --seed and --synthetic");
   const PropertyGraph seed = load_binary_file(seed_path);
-  const PropertyGraph synth = load_binary_file(synth_path);
   ThreadPool pool(4);
-  const VeracityReport report = evaluate_veracity(seed, synth, pool);
+  VeracityReport report;
+  if (std::filesystem::is_directory(synth_path)) {
+    // Shard-store synthetic side: stream degrees and PageRank off the
+    // mmap'd CSR index — the edge list never materializes in RAM.
+    const ShardStoreReader reader(synth_path);
+    CSB_CHECK_MSG(reader.has_csr(),
+                  "shard store has no CSR index: " << synth_path);
+    report = evaluate_veracity(seed, reader.csr(), pool);
+  } else {
+    const PropertyGraph synth = load_binary_file(synth_path);
+    report = evaluate_veracity(seed, synth, pool);
+  }
   std::cout << "degree veracity score:   " << sci(report.degree_score)
             << "\npagerank veracity score: " << sci(report.pagerank_score)
             << "\n(lower = more faithful to the seed)\n";
@@ -700,9 +785,43 @@ PropertyGraph load_graph(const std::string& path) {
 }
 
 int cmd_info(const Args& args) {
-  args.require_known("info", {"in"});
+  args.require_known("info", {"in", "verify"});
   const std::string in = args.get("in", "");
   CSB_CHECK_MSG(!in.empty(), "info requires --in=<graph.bin|graph.graphml>");
+  if (std::filesystem::is_directory(in)) {
+    // Shard-store directory: stats come off the manifest + mmap'd CSR —
+    // nothing is loaded into RAM. --verify recomputes every checksum.
+    const ShardStoreReader reader(in);
+    const ShardManifest& manifest = reader.manifest();
+    std::cout << in << ":\n  format:      shards ("
+              << manifest.shard_count << " shards, "
+              << with_commas(manifest.edges_per_shard)
+              << " edges/shard)\n  vertices:    "
+              << with_commas(manifest.vertices) << "\n  edges:       "
+              << with_commas(manifest.edges) << "\n  properties:  "
+              << (manifest.with_properties ? "yes" : "no")
+              << "\n  csr index:   " << (reader.has_csr() ? "yes" : "no")
+              << "\n";
+    if (reader.has_csr()) {
+      const CsrIndexView& csr = reader.csr();
+      std::uint64_t max_degree = 0;
+      for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+        max_degree = std::max(max_degree, csr.total_degree(v));
+      }
+      std::cout << "  max degree:  " << with_commas(max_degree)
+                << "\n  mean degree: "
+                << (csr.num_vertices()
+                        ? 2.0 * static_cast<double>(csr.num_edges()) /
+                              static_cast<double>(csr.num_vertices())
+                        : 0.0)
+                << "\n";
+    }
+    if (args.has("verify")) {
+      reader.verify();
+      std::cout << "  checksums:   all verified\n";
+    }
+    return 0;
+  }
   const PropertyGraph graph = load_graph(in);
   const auto degrees = total_degrees(graph);
   std::uint64_t max_degree = 0;
