@@ -6,11 +6,16 @@
 // the default workload sizes for users with more hardware or patience.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "seed/seed.hpp"
 #include "trace/traffic_model.hpp"
+#include "util/error.hpp"
 
 namespace csb::bench {
 
@@ -41,6 +46,42 @@ inline SeedBundle default_seed(std::uint64_t sessions = 20'000) {
   config.seed = 42;
   return build_seed_from_netflow(
       sessions_to_netflow(TrafficModel(config).generate_benign()));
+}
+
+/// Median of a sample set (average of the two middle values for even
+/// sizes). The regression gate compares medians, not minima: the minimum
+/// of N reps still tracks a single lucky rep on a noisy host, while the
+/// median needs half the reps to be outliers before it moves.
+inline double median(std::vector<double> samples) {
+  CSB_CHECK_MSG(!samples.empty(), "median of an empty sample set");
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[mid];
+  return 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+/// Best-case sample: the traditional "best of N" number, kept for display
+/// next to the gated median.
+inline double min_of(const std::vector<double>& samples) {
+  CSB_CHECK_MSG(!samples.empty(), "min of an empty sample set");
+  return *std::min_element(samples.begin(), samples.end());
+}
+
+/// One wall-clock measurement of `body`.
+inline double wall_seconds(const std::function<void()>& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// `reps` wall-clock measurements of `body`, for median()/min_of().
+inline std::vector<double> timed_reps(int reps,
+                                      const std::function<void()>& body) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) samples.push_back(wall_seconds(body));
+  return samples;
 }
 
 }  // namespace csb::bench

@@ -1,7 +1,8 @@
 // Store-throughput gate bench: pgsk-fast streamed into the sharded
-// out-of-core store vs the in-RAM MemoryStore at the same configuration.
+// out-of-core store vs the in-RAM MemoryStore at the same configuration,
+// with the shard path split into its generate / finish / verify phases.
 //
-// Two claims are checked, one here and one by the regression gate:
+// Three claims are checked, one here and two by the regression gate:
 //   * bounded residency — the shard path's peak-RSS growth must stay under
 //     the CSR memory budget plus fixed slack (asserted in-process via
 //     sample_process_memory; the in-RAM graph for the same edge count is
@@ -12,10 +13,18 @@
 //     throughput to a relative floor against BENCH_observability.json, so
 //     an accidental serialization (or fsync-per-chunk-style regression) of
 //     the store fails the gate without rerunning any sweep.
-#include <chrono>
+//   * finish/verify parallelism — the finish (CSR build) and verify
+//     (checksum scan) phases run once serially and once on the pool;
+//     `finish_verify_speedup` is their ratio. The gate floors it against
+//     the committed baseline, so the check is host-relative and still
+//     works on single-core machines where the speedup is ~1.
+//
+// All gated numbers are kRepeats-medians (bench/common.hpp): the gate
+// compares medians, so a single outlier rep cannot move it.
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench_support/report.hpp"
 #include "common.hpp"
@@ -28,27 +37,52 @@
 
 namespace {
 
-double wall_seconds(const std::function<void()>& body) {
-  const auto t0 = std::chrono::steady_clock::now();
-  body();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count();
-}
+using namespace csb;
+
+/// Forwards every sink call to the wrapped store and records how long
+/// finish() takes, so the bench can split generate time from CSR-build
+/// time without changing the generator's call sequence.
+class FinishTimingStore final : public GraphStore {
+ public:
+  explicit FinishTimingStore(GraphStore& inner) : inner_(inner) {}
+  [[nodiscard]] std::string_view name() const override {
+    return inner_.name();
+  }
+  void begin(const StoreHeader& header) override { inner_.begin(header); }
+  void put_edges(std::uint64_t first_edge, std::span<const VertexId> src,
+                 std::span<const VertexId> dst) override {
+    inner_.put_edges(first_edge, src, dst);
+  }
+  void put_properties(std::uint64_t first_edge,
+                      const PropertyRowsView& rows) override {
+    inner_.put_properties(first_edge, rows);
+  }
+  void finish() override {
+    finish_seconds_ = bench::wall_seconds([&] { inner_.finish(); });
+  }
+  [[nodiscard]] double finish_seconds() const { return finish_seconds_; }
+
+ private:
+  GraphStore& inner_;
+  double finish_seconds_ = 0.0;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace csb;
   namespace fs = std::filesystem;
   print_experiment_header(
       "store throughput — sharded out-of-core vs in-RAM sink",
       "pgsk-fast streams shard-sized chunks into each GraphStore backend; "
       "the shard path must hold peak RSS near the CSR budget while staying "
-      "within a constant factor of the in-RAM sink's throughput.");
+      "within a constant factor of the in-RAM sink's throughput. The "
+      "finish (CSR build) and verify phases also run serially for the "
+      "parallel-speedup gate.");
 
   constexpr std::uint64_t kBudgetBytes = 64ULL << 20;
   constexpr std::uint64_t kSlackBytes = 128ULL << 20;
-  constexpr int kRepeats = 2;
+  constexpr int kRepeats = 3;
+  constexpr std::size_t kPoolThreads = 4;
   const SeedBundle seed = bench::default_seed(bench::scaled(15'000));
   const std::uint64_t target = bench::scaled(8'000'000);
 
@@ -60,18 +94,19 @@ int main(int argc, char** argv) {
   options.fit.swaps_per_iteration = 100;
   options.fit.burn_in_swaps = 200;
 
-  ThreadPool pool(4);
+  ThreadPool pool(kPoolThreads);
   const fs::path scratch =
       fs::temp_directory_path() /
       ("csb_store_throughput_" + std::to_string(::getpid()));
   fs::remove_all(scratch);
 
-  // Shard path first, so its peak-RSS delta is measured against a clean
-  // high-water mark (VmHWM only ever rises).
-  const MemorySample before = sample_process_memory();
-  double shards_s = 1e18;
   std::uint64_t edges = 0;
-  for (int r = 0; r < kRepeats; ++r) {
+  // One shard-path rep: generate + finish with the given finish pool, then
+  // verify with the given verify pool; appends one sample per phase.
+  const auto shard_rep = [&](ThreadPool* finish_pool, ThreadPool* verify_pool,
+                             std::vector<double>& total_samples,
+                             std::vector<double>& finish_samples,
+                             std::vector<double>& verify_samples) {
     fs::remove_all(scratch);
     ClusterSim cluster(
         ClusterConfig{
@@ -81,49 +116,88 @@ int main(int argc, char** argv) {
     store_options.directory = scratch.string();
     store_options.shard_count = 8;
     store_options.memory_budget_bytes = kBudgetBytes;
+    store_options.pool = finish_pool;
     ShardStore store(store_options);
-    const double s = wall_seconds([&] {
+    FinishTimingStore timed(store);
+    total_samples.push_back(bench::wall_seconds([&] {
       const StoreGenResult result = pgsk_fast_generate_into(
           seed.graph, seed.profile, cluster, options, FastSinkOptions{},
-          store);
+          timed);
       edges = result.edges;
-    });
-    shards_s = std::min(shards_s, s);
+    }));
+    finish_samples.push_back(timed.finish_seconds());
+    const ShardStoreReader reader(scratch.string());
+    verify_samples.push_back(
+        bench::wall_seconds([&] { reader.verify(verify_pool); }));
+  };
+
+  // Shard paths first, so their peak-RSS delta is measured against a clean
+  // high-water mark (VmHWM only ever rises).
+  const MemorySample before = sample_process_memory();
+  std::vector<double> shards_samples, finish_samples, verify_samples;
+  std::vector<double> finish_serial_samples, verify_serial_samples;
+  for (int r = 0; r < kRepeats; ++r) {
+    shard_rep(&pool, &pool, shards_samples, finish_samples, verify_samples);
+  }
+  {
+    std::vector<double> serial_totals;
+    for (int r = 0; r < kRepeats; ++r) {
+      shard_rep(nullptr, nullptr, serial_totals, finish_serial_samples,
+                verify_serial_samples);
+    }
   }
   const MemorySample after_shards = sample_process_memory();
   const std::uint64_t shards_rss_growth =
       after_shards.hwm_bytes - before.hwm_bytes;
   fs::remove_all(scratch);
 
-  double memory_s = 1e18;
+  std::vector<double> memory_samples;
   for (int r = 0; r < kRepeats; ++r) {
     ClusterSim cluster(
         ClusterConfig{
             .nodes = 8, .cores_per_node = 2, .smooth_task_durations = true},
         pool);
     MemoryStore store;
-    const double s = wall_seconds([&] {
+    memory_samples.push_back(bench::wall_seconds([&] {
       (void)pgsk_fast_generate_into(seed.graph, seed.profile, cluster,
                                     options, FastSinkOptions{}, store);
-    });
-    memory_s = std::min(memory_s, s);
+    }));
   }
 
+  const double memory_s = bench::median(memory_samples);
+  const double shards_s = bench::median(shards_samples);
+  const double finish_s = bench::median(finish_samples);
+  const double verify_s = bench::median(verify_samples);
+  const double finish_serial_s = bench::median(finish_serial_samples);
+  const double verify_serial_s = bench::median(verify_serial_samples);
+  const double generate_s = shards_s - finish_s;
+  const double finish_verify_speedup =
+      (finish_serial_s + verify_serial_s) / (finish_s + verify_s);
   const double shards_eps = static_cast<double>(edges) / shards_s;
   const double memory_eps = static_cast<double>(edges) / memory_s;
 
-  ReportTable table("store sink race (best of " + std::to_string(kRepeats) +
+  ReportTable table("store sink race (median of " + std::to_string(kRepeats) +
                         " repeats, " + with_commas(edges) + " edges)",
-                    {"sink", "wall_s", "edges_per_s", "rss_growth"});
-  table.add_row({"memory", cell_fixed(memory_s, 3),
+                    {"phase", "wall_s", "edges_per_s", "rss_growth"});
+  table.add_row({"memory total", cell_fixed(memory_s, 3),
                  cell_fixed(memory_eps / 1e6, 2) + "M", "-"});
-  table.add_row({"shards", cell_fixed(shards_s, 3),
+  table.add_row({"shards total", cell_fixed(shards_s, 3),
                  cell_fixed(shards_eps / 1e6, 2) + "M",
                  human_bytes(shards_rss_growth)});
+  table.add_row({"  generate", cell_fixed(generate_s, 3), "-", "-"});
+  table.add_row({"  finish (pool " + std::to_string(kPoolThreads) + ")",
+                 cell_fixed(finish_s, 3), "-", "-"});
+  table.add_row({"  verify (pool " + std::to_string(kPoolThreads) + ")",
+                 cell_fixed(verify_s, 3), "-", "-"});
+  table.add_row(
+      {"  finish (serial)", cell_fixed(finish_serial_s, 3), "-", "-"});
+  table.add_row(
+      {"  verify (serial)", cell_fixed(verify_serial_s, 3), "-", "-"});
   table.print();
   std::cout << "\n(shard path: 8 shards, " << human_bytes(kBudgetBytes)
-            << " CSR budget; RSS growth = VmHWM delta over the shard "
-               "runs)\n";
+            << " CSR budget; RSS growth = VmHWM delta over the shard runs; "
+               "finish+verify parallel speedup "
+            << cell_fixed(finish_verify_speedup, 2) << "x)\n";
 
   if (shards_rss_growth > kBudgetBytes + kSlackBytes) {
     std::cerr << "FAIL: shard-path peak RSS growth "
@@ -139,8 +213,16 @@ int main(int argc, char** argv) {
     BenchRecord record;
     record.name = "store_throughput";
     record.fields.emplace_back("edges", JsonValue(edges));
+    record.fields.emplace_back("reps", JsonValue(std::uint64_t{kRepeats}));
     record.fields.emplace_back("memory_s", JsonValue(memory_s));
     record.fields.emplace_back("shards_s", JsonValue(shards_s));
+    record.fields.emplace_back("generate_s", JsonValue(generate_s));
+    record.fields.emplace_back("finish_s", JsonValue(finish_s));
+    record.fields.emplace_back("verify_s", JsonValue(verify_s));
+    record.fields.emplace_back("finish_serial_s", JsonValue(finish_serial_s));
+    record.fields.emplace_back("verify_serial_s", JsonValue(verify_serial_s));
+    record.fields.emplace_back("finish_verify_speedup",
+                               JsonValue(finish_verify_speedup));
     record.fields.emplace_back("memory_edges_per_s", JsonValue(memory_eps));
     record.fields.emplace_back("shards_edges_per_s", JsonValue(shards_eps));
     record.fields.emplace_back("shards_rss_growth_bytes",

@@ -20,13 +20,20 @@
 #     mirroring the tests/veracity_test.cpp bounds: an eroded speedup or a
 #     veracity drift fails here without rerunning the fig09 sweep.
 #   - bench/store_throughput — pgsk-fast streamed into the sharded
-#     out-of-core store vs the in-RAM MemoryStore. The bench itself asserts
-#     the shard path's peak-RSS growth stays near the CSR budget; the gate
-#     adds a relative floor on shard-path edges/second, so an accidental
-#     serialization of the store write path fails here.
+#     out-of-core store vs the in-RAM MemoryStore, with the shard path
+#     split into generate / finish / verify phases. The bench itself
+#     asserts the shard path's peak-RSS growth stays near the CSR budget;
+#     the gate adds a relative floor on shard-path edges/second (an
+#     accidental serialization of the write path), a relative floor on the
+#     finish+verify parallel speedup (a finish/verify stage that quietly
+#     falls back to serial — relative to baseline, so single-core hosts
+#     where speedup ~= 1 still work), and a relative ceiling on the serial
+#     finish time (a regression of the CSR build itself).
 # Thresholds are deliberately generous (shared CI hosts are noisy): the gate
 # exists to catch structural regressions — a serial fraction that doubles, a
-# kernel that gets 3x slower — not single-digit-percent drift. Refresh the
+# kernel that gets 3x slower — not single-digit-percent drift. Gated bench
+# fields are N-rep medians where the bench supports repeats (bench/common.hpp
+# median()), so one outlier rep cannot trip the gate. Refresh the
 # baseline in the same PR as any intentional perf change:
 #   ./build/bench/micro_generators --benchmark_out=... (see docs/observability.md)
 #
@@ -166,7 +173,13 @@ else:
 # Store throughput: the shard path's edges/second gets a relative floor
 # (half the committed baseline — disk and host noise move the absolute
 # number, an accidental serialization or per-chunk fsync moves it far
-# more). Peak-RSS residency is asserted inside the bench itself.
+# more). The finish phase gets two checks of its own: the finish+verify
+# parallel speedup is floored at half the baseline's (catches a pipeline
+# stage falling back to serial; relative, so ~1x single-core baselines
+# gate fine), and the serial finish time gets the standard 3x ceiling
+# (catches a CSR-build slowdown independent of parallelism). All three
+# fields are kRepeats-medians. Peak-RSS residency is asserted inside the
+# bench itself.
 name = "store_throughput"
 if name not in baseline:
     print(f"SKIP store-throughput check: no '{name}' record in baseline")
@@ -182,6 +195,28 @@ else:
     if now_eps < floor:
         failures.append(
             f"{name}: shards_edges_per_s {now_eps:.0f} < floor {floor:.0f}")
+    if "finish_verify_speedup" not in baseline[name]:
+        print(f"SKIP {name} finish-phase checks: baseline predates the "
+              "phase split")
+    else:
+        base_speedup = baseline[name]["finish_verify_speedup"]
+        now_speedup = fresh[name]["finish_verify_speedup"]
+        floor = base_speedup * 0.5
+        status = "OK" if now_speedup >= floor else "FAIL"
+        print(f"{status} {name}: finish_verify_speedup {now_speedup:.2f} "
+              f"(baseline {base_speedup:.2f}, floor {floor:.2f})")
+        if now_speedup < floor:
+            failures.append(f"{name}: finish_verify_speedup "
+                            f"{now_speedup:.2f} < floor {floor:.2f}")
+        base_finish = baseline[name]["finish_serial_s"]
+        now_finish = fresh[name]["finish_serial_s"]
+        limit = base_finish * 3.0
+        status = "OK" if now_finish <= limit else "FAIL"
+        print(f"{status} {name}: serial finish {now_finish:.3f} s "
+              f"(baseline {base_finish:.3f} s, limit {limit:.3f} s)")
+        if now_finish > limit:
+            failures.append(f"{name}: finish_serial_s {now_finish:.3f} s "
+                            f"> limit {limit:.3f} s")
 
 if failures:
     print("FAIL: bench regression vs committed baseline:", file=sys.stderr)

@@ -23,7 +23,7 @@ cd "$(dirname "$0")/.."
 # optional clang-tidy pass. Cheapest gate, so it fails fastest.
 ./scripts/check_lint.sh
 
-FILTER="${1:-ClusterSim|Dataset|ThreadPool|FlatSet|ListSchedule|Operations|Trace|Metrics|Json|MemWatch|GeneratorRegistry|SimplifyParallel|KronFit|ParallelFor}"
+FILTER="${1:-ClusterSim|Dataset|ThreadPool|FlatSet|ListSchedule|Operations|Trace|Metrics|Json|MemWatch|GeneratorRegistry|SimplifyParallel|KronFit|ParallelFor|ShardStore|ExternalDistinct}"
 
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -60,12 +60,15 @@ for suite in util_test stats_test graph_test gen_test; do
   "./build-ubsan/tests/${suite}" --gtest_brief=1
 done
 
-# ThreadSanitizer pass over the parallel seed-ingestion pipeline: pool
+# ThreadSanitizer pass over the parallel seed-ingestion pipeline (pool
 # decode, sharded flow assembly, two-pass graph build, pool-dispatched
-# profile fits, chunked stats sorts. Only the relevant test binaries are
-# built; the uppercase suite filter skips the lowercase *_NOT_BUILT
-# placeholders gtest_discover_tests registers for unbuilt targets.
-TSAN_FILTER="${2:-ThreadPool|ParallelFor|ParallelAssembly|FlowAssembler|SeedPipeline|SeedDeterminism|SeedProfile|GraphFromNetflow|Conditional|Empirical|PcapFile}"
+# profile fits, chunked stats sorts) and the parallel store pipeline
+# (per-shard CSR counting over shared atomics, range-partitioned scatter
+# with write-behind, fanned-out verify, parallel external-sort merges).
+# Only the relevant test binaries are built; the uppercase suite filter
+# skips the lowercase *_NOT_BUILT placeholders gtest_discover_tests
+# registers for unbuilt targets.
+TSAN_FILTER="${2:-ThreadPool|ParallelFor|ParallelAssembly|FlowAssembler|SeedPipeline|SeedDeterminism|SeedProfile|GraphFromNetflow|Conditional|Empirical|PcapFile|ShardStore|ExternalDistinct}"
 
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -73,7 +76,7 @@ cmake -B build-tsan -S . \
   -DCSB_BUILD_BENCHMARKS=OFF \
   -DCSB_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$(nproc)" \
-  --target util_test stats_test pcap_test flow_test seed_test
+  --target util_test stats_test pcap_test flow_test seed_test store_test
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir build-tsan -R "$TSAN_FILTER" --output-on-failure -j "$(nproc)"

@@ -508,7 +508,8 @@ StoreGenResult pgsk_fast_generate_into(const PropertyGraph& seed_graph,
                     "dedup packs endpoints into 64-bit keys (k <= 32)");
       ExternalDistinct distinct(ExternalDistinctOptions{
           .spill_directory = sink.spill_directory,
-          .memory_budget_bytes = sink.dedup_budget_bytes});
+          .memory_budget_bytes = sink.dedup_budget_bytes,
+          .pool = &cluster.pool()});
       {
         std::vector<std::function<void()>> tasks;
         tasks.reserve(chunks.size());

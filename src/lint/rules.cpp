@@ -374,6 +374,18 @@ const std::set<std::string, std::less<>>& families() {
   return set;
 }
 
+const std::set<std::string, std::less<>>& store_subfamilies() {
+  // Second segment of store:* spans — the store pipeline's stages, again
+  // mirroring docs/observability.md. The store family is the only one
+  // with a documented second level: its spans name on-disk pipeline
+  // stages (csr build, range merge, verification) that tooling groups by.
+  static const std::set<std::string, std::less<>> set = {
+      "begin", "count", "csr",   "distinct", "emit",
+      "merge", "props", "replay", "finalize", "verify",
+  };
+  return set;
+}
+
 bool valid_segment(std::string_view seg) {
   if (seg.empty()) return false;
   for (const char c : seg) {
@@ -533,10 +545,15 @@ const std::set<std::string, std::less<>>& span_name_families() {
   return families();
 }
 
+const std::set<std::string, std::less<>>& store_span_subfamilies() {
+  return store_subfamilies();
+}
+
 std::string check_span_name(std::string_view name) {
   if (name.empty()) return "is empty";
   std::size_t start = 0;
-  bool first = true;
+  std::size_t segment = 0;
+  bool is_store = false;
   while (start <= name.size()) {
     const std::size_t colon = name.find(':', start);
     const std::string_view seg =
@@ -546,11 +563,18 @@ std::string check_span_name(std::string_view name) {
       return "has a malformed segment \"" + std::string(seg) +
              "\" (segments are [a-z0-9_-]+ joined by ':')";
     }
-    if (first && families().count(seg) == 0) {
-      return "starts with undocumented stage family \"" + std::string(seg) +
+    if (segment == 0) {
+      if (families().count(seg) == 0) {
+        return "starts with undocumented stage family \"" + std::string(seg) +
+               "\"";
+      }
+      is_store = seg == "store";
+    } else if (segment == 1 && is_store &&
+               store_subfamilies().count(seg) == 0) {
+      return "uses undocumented store sub-family \"" + std::string(seg) +
              "\"";
     }
-    first = false;
+    ++segment;
     if (colon == std::string_view::npos) break;
     start = colon + 1;
   }

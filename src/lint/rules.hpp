@@ -88,6 +88,10 @@ void run_rule(std::string_view rule_name, const SourceFile& file,
 /// stage-name table in docs/observability.md (the source of truth).
 const std::set<std::string, std::less<>>& span_name_families();
 
+/// The documented second segments of store:* spans (the store family is
+/// the only one with a validated second level).
+const std::set<std::string, std::less<>>& store_span_subfamilies();
+
 /// Validates one span name against the grammar. Returns an empty string
 /// when valid, else a human-readable reason.
 std::string check_span_name(std::string_view name);

@@ -8,39 +8,52 @@
 #include <queue>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace csb {
 
 namespace {
 
 constexpr std::size_t kIoChunk = 1 << 16;  ///< keys per IO chunk
+/// Cap on concurrent merge partitions (beyond this the per-range segments
+/// get too small to amortize the heap and the binary searches).
+constexpr std::size_t kMaxMergeRanges = 16;
 
-/// Buffered sequential reader over one sorted run file.
+/// Buffered sequential reader over one record segment of a sorted run.
 class RunReader {
  public:
-  explicit RunReader(const std::string& path) : path_(path), in_(path, std::ios::binary) {
+  RunReader(const std::string& path, std::uint64_t first_record,
+            std::uint64_t records)
+      : path_(path), in_(path, std::ios::binary), remaining_(records) {
     CSB_CHECK_MSG(in_.is_open(), "cannot open spill run: " << path);
+    in_.seekg(static_cast<std::streamoff>(first_record *
+                                          sizeof(std::uint64_t)));
     refill();
   }
 
-  [[nodiscard]] bool done() const { return at_ >= have_ && exhausted_; }
+  [[nodiscard]] bool done() const { return at_ >= have_; }
   [[nodiscard]] std::uint64_t head() const { return buf_[at_]; }
   void pop() {
     ++at_;
-    if (at_ >= have_ && !exhausted_) refill();
+    if (at_ >= have_ && remaining_ > 0) refill();
   }
 
  private:
   void refill() {
+    const std::size_t want =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kIoChunk,
+                                                         remaining_));
     in_.read(reinterpret_cast<char*>(buf_.data()),
-             static_cast<std::streamsize>(buf_.size() * sizeof(std::uint64_t)));
+             static_cast<std::streamsize>(want * sizeof(std::uint64_t)));
     const auto got = static_cast<std::size_t>(in_.gcount());
-    CSB_CHECK_MSG(got % sizeof(std::uint64_t) == 0,
+    CSB_CHECK_MSG(got == want * sizeof(std::uint64_t),
                   "truncated spill run: " << path_);
-    have_ = got / sizeof(std::uint64_t);
+    have_ = want;
     at_ = 0;
-    if (have_ < buf_.size()) exhausted_ = true;  // short read = EOF
+    remaining_ -= want;
   }
 
   std::string path_;
@@ -48,7 +61,7 @@ class RunReader {
   std::vector<std::uint64_t> buf_ = std::vector<std::uint64_t>(kIoChunk);
   std::size_t at_ = 0;
   std::size_t have_ = 0;
-  bool exhausted_ = false;
+  std::uint64_t remaining_ = 0;
 };
 
 void write_all(std::ofstream& out, const std::uint64_t* data, std::size_t count,
@@ -56,6 +69,39 @@ void write_all(std::ofstream& out, const std::uint64_t* data, std::size_t count,
   out.write(reinterpret_cast<const char*>(data),
             static_cast<std::streamsize>(count * sizeof(std::uint64_t)));
   CSB_CHECK_MSG(out.good(), "failed writing spill run: " << path);
+}
+
+/// First record index in the sorted run whose key is >= `key` (the runs
+/// are sorted-unique, so this is a plain binary search with one 8-byte
+/// probe read per step).
+std::uint64_t lower_bound_record(const std::string& path,
+                                 std::uint64_t records, std::uint64_t key) {
+  std::ifstream in(path, std::ios::binary);
+  CSB_CHECK_MSG(in.is_open(), "cannot open spill run: " << path);
+  std::uint64_t lo = 0;
+  std::uint64_t hi = records;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    std::uint64_t probe = 0;
+    in.seekg(static_cast<std::streamoff>(mid * sizeof(std::uint64_t)));
+    in.read(reinterpret_cast<char*>(&probe), sizeof probe);
+    CSB_CHECK_MSG(in.gcount() == sizeof probe,
+                  "truncated spill run: " << path);
+    if (probe < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::uint64_t run_record_count(const std::string& path) {
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(path, ec);
+  CSB_CHECK_MSG(!ec && bytes % sizeof(std::uint64_t) == 0,
+                "truncated spill run: " << path);
+  return bytes / sizeof(std::uint64_t);
 }
 
 }  // namespace
@@ -69,7 +115,7 @@ ExternalDistinct::ExternalDistinct(ExternalDistinctOptions options)
 ExternalDistinct::~ExternalDistinct() {
   std::error_code ec;
   for (const std::string& run : runs_) std::filesystem::remove(run, ec);
-  if (!merged_.empty()) std::filesystem::remove(merged_, ec);
+  for (const std::string& part : parts_) std::filesystem::remove(part, ec);
 }
 
 void ExternalDistinct::add(std::span<const std::uint64_t> keys) {
@@ -118,43 +164,83 @@ std::uint64_t ExternalDistinct::seal() {
   }
   spill_locked();  // flush the tail as a final run
 
-  // K-way merge of the sorted-unique runs; duplicates collapse at the
-  // frontier. One pass, written to a single merged file.
+  // Range-partitioned merge: the key space [0, 2^64) is cut into `ranges`
+  // even spans and every span is k-way-merged independently (duplicates
+  // collapse at each frontier) into its own part file. Each merge
+  // binary-searches its span's segment inside every sorted run, so the
+  // merges read disjoint data and can run concurrently; because the spans
+  // are disjoint and ascending, concatenating the parts reproduces the
+  // serial single-merge stream byte for byte at any range or pool count.
+  PhaseScope merge_scope(TraceRecorder::current(), "store:merge:seal");
   namespace fs = std::filesystem;
-  merged_ = (fs::path(options_.spill_directory) / "merged.bin").string();
-  std::ofstream out(merged_, std::ios::binary | std::ios::trunc);
-  CSB_CHECK_MSG(out.is_open(), "cannot create spill run: " << merged_);
-  std::vector<std::unique_ptr<RunReader>> readers;
-  readers.reserve(runs_.size());
-  for (const std::string& run : runs_) {
-    readers.push_back(std::make_unique<RunReader>(run));
+  ThreadPool* pool = options_.pool;
+  const std::size_t ranges =
+      pool == nullptr ? 1 : std::min<std::size_t>(pool->size(),
+                                                  kMaxMergeRanges);
+  std::vector<std::uint64_t> run_records(runs_.size(), 0);
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    run_records[i] = run_record_count(runs_[i]);
   }
-  using HeapItem = std::pair<std::uint64_t, std::size_t>;  // (key, reader)
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
-  for (std::size_t r = 0; r < readers.size(); ++r) {
-    if (!readers[r]->done()) heap.emplace(readers[r]->head(), r);
+  parts_.resize(ranges);
+  std::vector<std::uint64_t> part_unique(ranges, 0);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(ranges);
+  for (std::size_t r = 0; r < ranges; ++r) {
+    char name[32];
+    std::snprintf(name, sizeof name, "part-%02zu.bin", r);
+    parts_[r] = (fs::path(options_.spill_directory) / name).string();
+    tasks.push_back([this, r, ranges, &run_records, &part_unique] {
+      const auto range_floor = [ranges](std::size_t index) {
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(index) << 64) / ranges);
+      };
+      std::ofstream out(parts_[r], std::ios::binary | std::ios::trunc);
+      CSB_CHECK_MSG(out.is_open(), "cannot create spill run: " << parts_[r]);
+      std::vector<std::unique_ptr<RunReader>> readers;
+      readers.reserve(runs_.size());
+      for (std::size_t i = 0; i < runs_.size(); ++i) {
+        const std::uint64_t first =
+            r == 0 ? 0
+                   : lower_bound_record(runs_[i], run_records[i],
+                                        range_floor(r));
+        const std::uint64_t stop =
+            r + 1 == ranges ? run_records[i]
+                            : lower_bound_record(runs_[i], run_records[i],
+                                                 range_floor(r + 1));
+        readers.push_back(
+            std::make_unique<RunReader>(runs_[i], first, stop - first));
+      }
+      using HeapItem = std::pair<std::uint64_t, std::size_t>;  // (key, reader)
+      std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>
+          heap;
+      for (std::size_t i = 0; i < readers.size(); ++i) {
+        if (!readers[i]->done()) heap.emplace(readers[i]->head(), i);
+      }
+      std::vector<std::uint64_t> chunk;
+      chunk.reserve(kIoChunk);
+      bool any = false;
+      std::uint64_t last = 0;
+      while (!heap.empty()) {
+        const auto [key, i] = heap.top();
+        heap.pop();
+        readers[i]->pop();
+        if (!readers[i]->done()) heap.emplace(readers[i]->head(), i);
+        if (any && key == last) continue;
+        any = true;
+        last = key;
+        ++part_unique[r];
+        chunk.push_back(key);
+        if (chunk.size() == kIoChunk) {
+          write_all(out, chunk.data(), chunk.size(), parts_[r]);
+          chunk.clear();
+        }
+      }
+      if (!chunk.empty()) write_all(out, chunk.data(), chunk.size(),
+                                    parts_[r]);
+    });
   }
-  std::vector<std::uint64_t> chunk;
-  chunk.reserve(kIoChunk);
-  bool any = false;
-  std::uint64_t last = 0;
-  while (!heap.empty()) {
-    const auto [key, r] = heap.top();
-    heap.pop();
-    readers[r]->pop();
-    if (!readers[r]->done()) heap.emplace(readers[r]->head(), r);
-    if (any && key == last) continue;
-    any = true;
-    last = key;
-    ++unique_;
-    chunk.push_back(key);
-    if (chunk.size() == kIoChunk) {
-      write_all(out, chunk.data(), chunk.size(), merged_);
-      chunk.clear();
-    }
-  }
-  if (!chunk.empty()) write_all(out, chunk.data(), chunk.size(), merged_);
-  out.close();
+  parallel_tasks(pool, tasks);
+  for (const std::uint64_t count : part_unique) unique_ += count;
   std::error_code ec;
   for (const std::string& run : runs_) fs::remove(run, ec);
   runs_.clear();
@@ -169,24 +255,27 @@ std::uint64_t ExternalDistinct::unique_count() const {
 void ExternalDistinct::scan(
     const std::function<void(std::span<const std::uint64_t>)>& emit) const {
   CSB_CHECK_MSG(sealed_, "ExternalDistinct::scan before seal");
-  if (merged_.empty()) {
+  if (parts_.empty()) {
     for (std::size_t at = 0; at < buffer_.size(); at += kIoChunk) {
       const std::size_t count = std::min(kIoChunk, buffer_.size() - at);
       emit({buffer_.data() + at, count});
     }
     return;
   }
-  std::ifstream in(merged_, std::ios::binary);
-  CSB_CHECK_MSG(in.is_open(), "cannot open spill run: " << merged_);
   std::vector<std::uint64_t> buf(kIoChunk);
-  while (in) {
-    in.read(reinterpret_cast<char*>(buf.data()),
-            static_cast<std::streamsize>(buf.size() * sizeof(std::uint64_t)));
-    const auto got = static_cast<std::size_t>(in.gcount());
-    CSB_CHECK_MSG(got % sizeof(std::uint64_t) == 0,
-                  "truncated spill run: " << merged_);
-    if (got == 0) break;
-    emit({buf.data(), got / sizeof(std::uint64_t)});
+  for (const std::string& part : parts_) {
+    std::ifstream in(part, std::ios::binary);
+    CSB_CHECK_MSG(in.is_open(), "cannot open spill run: " << part);
+    while (in) {
+      in.read(reinterpret_cast<char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size() *
+                                           sizeof(std::uint64_t)));
+      const auto got = static_cast<std::size_t>(in.gcount());
+      CSB_CHECK_MSG(got % sizeof(std::uint64_t) == 0,
+                    "truncated spill run: " << part);
+      if (got == 0) break;
+      emit({buf.data(), got / sizeof(std::uint64_t)});
+    }
   }
 }
 

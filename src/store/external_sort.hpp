@@ -3,14 +3,21 @@
 // The exact generators' distinct phase and the fast samplers' optional
 // dedup path both reduce to "collect u64 edge keys, keep each once". Under
 // `memory_budget_bytes` this is an in-RAM sort+unique; above it, full
-// buffers are sorted and spilled as run files, and seal() k-way-merges the
-// runs (dropping duplicates at the merge frontier) into one sorted-unique
-// result streamed back by scan().
+// buffers are sorted and spilled as run files, and seal() merges the runs
+// (dropping duplicates at the merge frontier) into sorted-unique part
+// files streamed back by scan().
+//
+// With a ThreadPool, seal() splits the key space [0, 2^64) into R even
+// ranges and runs R independent multi-way merges in parallel, one part
+// file per range. Every run is sorted, so each merge binary-searches its
+// key range's segment in every run and merges only that; ranges are
+// disjoint and emitted in ascending range order, so the concatenated
+// parts equal the serial single-merge stream exactly.
 //
 // Determinism: the final output is the ascending sorted-unique key set —
-// a pure function of the key *multiset*, never of arrival order or of
-// which thread happened to trigger a spill. That is what lets concurrent
-// add() calls keep the byte-identical-parallelism contract.
+// a pure function of the key *multiset*, never of arrival order, spill
+// timing, or pool size. That is what lets concurrent add() calls keep the
+// byte-identical-parallelism contract.
 #pragma once
 
 #include <cstdint>
@@ -22,11 +29,16 @@
 
 namespace csb {
 
+class ThreadPool;
+
 struct ExternalDistinctOptions {
   /// Directory for spill runs; required only when the budget can overflow.
   std::string spill_directory;
   /// In-RAM buffer cap before a sorted run is spilled.
   std::uint64_t memory_budget_bytes = 256ULL << 20;
+  /// Optional pool for seal()'s range-partitioned merge. Null merges
+  /// serially; the scanned key stream is identical either way.
+  ThreadPool* pool = nullptr;
 };
 
 class ExternalDistinct {
@@ -50,6 +62,8 @@ class ExternalDistinct {
   [[nodiscard]] std::uint64_t unique_count() const;
   /// Number of run files ever spilled (0 = the whole set fit in RAM).
   [[nodiscard]] std::size_t spilled_runs() const { return spilled_; }
+  /// Number of merge partitions seal() used (0 = no merge was needed).
+  [[nodiscard]] std::size_t merge_partitions() const { return parts_.size(); }
 
  private:
   void spill_locked();
@@ -58,7 +72,7 @@ class ExternalDistinct {
   std::mutex mutex_;
   std::vector<std::uint64_t> buffer_;
   std::vector<std::string> runs_;   ///< sorted-unique spill files
-  std::string merged_;              ///< final merged file (when spilled)
+  std::vector<std::string> parts_;  ///< merged range parts, ascending
   bool sealed_ = false;
   std::uint64_t unique_ = 0;
   std::size_t spilled_ = 0;

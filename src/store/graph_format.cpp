@@ -7,6 +7,7 @@
 #include "graph/graph_io.hpp"
 #include "store/shard_store.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace csb {
 
@@ -77,6 +78,7 @@ class ShardsFormat final : public GraphFormat {
   void save(const PropertyGraph& graph, const std::string& path) const override {
     ShardStoreOptions options;
     options.directory = path;
+    options.pool = &global_pool();
     ShardStore store(options);
     replay_graph_into(graph, store, /*seed=*/0);
   }

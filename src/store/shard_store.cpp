@@ -12,16 +12,20 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <utility>
 
 #include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace csb {
 
 namespace {
 
-constexpr char kManifestFormat[] = "csb.shards.v1";
+constexpr char kManifestFormat[] = "csb.shards.v2";
 constexpr char kManifestName[] = "manifest.json";
 constexpr char kCsrMagic[4] = {'C', 'S', 'B', 'X'};
 constexpr std::uint32_t kCsrVersion = 1;
@@ -32,8 +36,16 @@ constexpr std::uint64_t kEdgeBytes = 16;
 constexpr std::uint64_t kPropBytes = 34;
 /// Edges per IO chunk when streaming shard files.
 constexpr std::size_t kScanChunk = 1 << 16;
+/// (dst, src) pairs buffered per partition stream before flushing.
+constexpr std::size_t kPartitionBufPairs = 1 << 13;
+/// Cap on concurrent scatter / merge range tasks: beyond this the budget
+/// split makes the per-task sub-buckets too small to amortize rescans.
+constexpr std::size_t kMaxRangeTasks = 16;
+/// Floor on one scatter task's slice budget after the even split.
+constexpr std::uint64_t kMinTaskBudget = 1 << 16;
 
 constexpr std::uint64_t kEdgeSumSalt = 0x5ead'd09e'0000'0001ULL;
+constexpr std::uint64_t kCsrSumSalt = 0xc5a0'11d8'0000'0003ULL;
 
 std::uint64_t mix64(std::uint64_t x) {
   x ^= x >> 30;
@@ -102,22 +114,59 @@ std::uint64_t prop_column_offset(std::size_t c, std::uint64_t shard_edges) {
   return off;
 }
 
-struct Fnv1a {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  void fold(const void* data, std::size_t bytes) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < bytes; ++i) {
-      hash ^= p[i];
-      hash *= 0x100000001b3ULL;
+/// Advises the kernel that `fd` will be read front to back. Purely a
+/// readahead hint — a no-op where the platform lacks posix_fadvise.
+void advise_sequential_read(int fd) {
+#if defined(POSIX_FADV_SEQUENTIAL)
+  (void)::posix_fadvise(fd, 0, 0, POSIX_FADV_SEQUENTIAL);
+#else
+  (void)fd;
+#endif
+}
+
+/// Closes a file descriptor on scope exit (the finish/verify passes open
+/// fds inside pool tasks, where an early throw must not leak them).
+struct ScopedFd {
+  int fd = -1;
+  ScopedFd() = default;
+  explicit ScopedFd(int f) : fd(f) {}
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ScopedFd(ScopedFd&& other) noexcept : fd(other.fd) { other.fd = -1; }
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      if (fd >= 0) ::close(fd);
+      fd = other.fd;
+      other.fd = -1;
     }
+    return *this;
+  }
+  ~ScopedFd() {
+    if (fd >= 0) ::close(fd);
   }
 };
+
+/// Appends to a sequentially-written file (partition streams).
+void write_all(int fd, const void* data, std::size_t bytes,
+               const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::write(fd, p, bytes);
+    CSB_CHECK_MSG(n > 0, "short write to store file: " << path);
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+}
 
 }  // namespace
 
 std::uint64_t edge_checksum_term(std::uint64_t index, VertexId src,
                                  VertexId dst) {
   return mix64(mix64(index ^ kEdgeSumSalt) + 3 * mix64(src) + 7 * mix64(dst));
+}
+
+std::uint64_t csr_checksum_term(std::uint64_t word_index, std::uint64_t word) {
+  return mix64(mix64(word_index ^ kCsrSumSalt) + 5 * mix64(word));
 }
 
 std::uint64_t property_checksum_term(std::uint64_t index,
@@ -306,95 +355,324 @@ void ShardStore::finish() {
   if (options_.build_csr) {
     const std::uint64_t n = header_.vertices;
     const std::uint64_t m = header_.edges;
-    // Counting pass: out-degrees and in-offsets, streaming every shard's
-    // endpoint columns through a bounded chunk buffer.
+    ThreadPool* pool = options_.pool;
+
+    // Counting pass: out-degrees and in-counts, one task per shard, all
+    // incrementing shared atomic arrays with relaxed adds. Integer
+    // addition commutes, so the totals are identical at any pool size —
+    // the same argument that already covers the shard checksums.
     std::vector<std::uint64_t> out_deg(n, 0);
     std::vector<std::uint64_t> offsets(n + 1, 0);
-    std::vector<VertexId> buf(kScanChunk);
-    for (const auto& shard : shards_) {
-      for (std::uint64_t at = 0; at < shard->edges; at += kScanChunk) {
-        const std::uint64_t count =
-            std::min<std::uint64_t>(kScanChunk, shard->edges - at);
-        pread_all(shard->edge_fd, buf.data(), count * sizeof(VertexId),
-                  at * sizeof(VertexId), shard->edge_path);
-        for (std::uint64_t i = 0; i < count; ++i) {
-          CSB_CHECK_MSG(buf[i] < n,
-                        "edge endpoints must be existing vertices");
-          ++out_deg[buf[i]];
-        }
-        pread_all(shard->edge_fd, buf.data(), count * sizeof(VertexId),
-                  shard->edges * sizeof(VertexId) + at * sizeof(VertexId),
-                  shard->edge_path);
-        for (std::uint64_t i = 0; i < count; ++i) {
-          CSB_CHECK_MSG(buf[i] < n,
-                        "edge endpoints must be existing vertices");
-          ++offsets[buf[i] + 1];
-        }
+    {
+      PhaseScope count_scope(TraceRecorder::current(), "store:csr:count");
+      std::vector<std::atomic<std::uint64_t>> out_counts(n);
+      std::vector<std::atomic<std::uint64_t>> in_counts(n);
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(shards_.size());
+      for (const auto& shard_ptr : shards_) {
+        ShardFile* shard = shard_ptr.get();
+        tasks.push_back([shard, n, &out_counts, &in_counts] {
+          advise_sequential_read(shard->edge_fd);
+          std::vector<VertexId> buf(kScanChunk);
+          for (std::uint64_t at = 0; at < shard->edges; at += kScanChunk) {
+            const std::uint64_t count =
+                std::min<std::uint64_t>(kScanChunk, shard->edges - at);
+            pread_all(shard->edge_fd, buf.data(), count * sizeof(VertexId),
+                      at * sizeof(VertexId), shard->edge_path);
+            for (std::uint64_t i = 0; i < count; ++i) {
+              CSB_CHECK_MSG(buf[i] < n,
+                            "edge endpoints must be existing vertices");
+              out_counts[buf[i]].fetch_add(1, std::memory_order_relaxed);
+            }
+            pread_all(shard->edge_fd, buf.data(), count * sizeof(VertexId),
+                      shard->edges * sizeof(VertexId) + at * sizeof(VertexId),
+                      shard->edge_path);
+            for (std::uint64_t i = 0; i < count; ++i) {
+              CSB_CHECK_MSG(buf[i] < n,
+                            "edge endpoints must be existing vertices");
+              in_counts[buf[i]].fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+      }
+      parallel_tasks(pool, tasks);
+      for (std::uint64_t v = 0; v < n; ++v) {
+        out_deg[v] = out_counts[v].load(std::memory_order_relaxed);
+        offsets[v + 1] = in_counts[v].load(std::memory_order_relaxed);
       }
     }
     for (std::uint64_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
 
+    // csr.bin is pre-sized and written with pwrite at computed offsets, so
+    // concurrent range tasks each own a disjoint slice of the file. The
+    // checksum is a commutative word-index-keyed sum (csr_checksum_term),
+    // accumulated with relaxed adds in whatever order slices complete.
     csr_file = "csr.bin";
     const std::string csr_path =
         (fs::path(options_.directory) / csr_file).string();
-    std::ofstream out(csr_path, std::ios::binary | std::ios::trunc);
-    CSB_CHECK_MSG(out.is_open(), "cannot create CSR file: " << csr_path);
-    Fnv1a fnv;
-    const auto put = [&](const void* data, std::size_t bytes) {
-      out.write(static_cast<const char*>(data),
-                static_cast<std::streamsize>(bytes));
-      fnv.fold(data, bytes);
-    };
-    put(kCsrMagic, sizeof kCsrMagic);
-    put(&kCsrVersion, sizeof kCsrVersion);
-    put(&n, sizeof n);
-    put(&m, sizeof m);
-    put(out_deg.data(), out_deg.size() * sizeof(std::uint64_t));
-    put(offsets.data(), offsets.size() * sizeof(std::uint64_t));
+    const std::uint64_t total_words = 3 + n + (n + 1) + m;
+    ScopedFd csr_fd(::open(csr_path.c_str(), O_RDWR | O_CREAT | O_TRUNC,
+                           0644));
+    CSB_CHECK_MSG(csr_fd.fd >= 0, "cannot create CSR file: " << csr_path);
+    CSB_CHECK_MSG(::ftruncate(csr_fd.fd,
+                              static_cast<off_t>(total_words * 8)) == 0,
+                  "cannot size CSR file: " << csr_path);
+    std::uint64_t header_words[3] = {0, n, m};
+    std::memcpy(header_words, kCsrMagic, sizeof kCsrMagic);
+    std::memcpy(reinterpret_cast<char*>(header_words) + 4, &kCsrVersion,
+                sizeof kCsrVersion);
+    pwrite_all(csr_fd.fd, header_words, sizeof header_words, 0, csr_path);
+    pwrite_all(csr_fd.fd, out_deg.data(), n * 8, kCsrHeaderBytes, csr_path);
+    pwrite_all(csr_fd.fd, offsets.data(), (n + 1) * 8,
+               kCsrHeaderBytes + n * 8, csr_path);
 
-    // Scatter pass: vertex-range buckets whose neighbor slices fit the
-    // memory budget; each bucket streams every shard once and appends its
-    // slice sequentially. Resident: O(V) arrays + one bucket + IO chunks.
+    std::atomic<std::uint64_t> csr_sum{0};
+    const auto fold_words = [&csr_sum](std::uint64_t first_word,
+                                       const std::uint64_t* words,
+                                       std::size_t count) {
+      std::uint64_t sum = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        sum += csr_checksum_term(first_word + i, words[i]);
+      }
+      csr_sum.fetch_add(sum, std::memory_order_relaxed);
+    };
+    fold_words(0, header_words, 3);
+    parallel_for_fixed_chunks(
+        pool, 0, n, kScanChunk, [&](const ChunkRange& c) {
+          fold_words(3 + c.begin, out_deg.data() + c.begin, c.end - c.begin);
+        });
+    parallel_for_fixed_chunks(
+        pool, 0, n + 1, kScanChunk, [&](const ChunkRange& c) {
+          fold_words(3 + n + c.begin, offsets.data() + c.begin,
+                     c.end - c.begin);
+        });
+
+    // Scatter pass. The vertex space is cut into `ranges` contiguous
+    // spans balanced by incoming-neighbor bytes; each range task owns the
+    // disjoint csr.bin slice [offsets[range_begin], offsets[range_end])
+    // and an even share of the memory budget. With more than one range, a
+    // partition pre-pass splits every shard's (dst, src) pairs into
+    // per-(shard, range) spill files in shard order, so a range task's
+    // sub-buckets rescan only the 1/ranges-sized pair stream they own —
+    // the rescan volume per task shrinks with the task count instead of
+    // multiplying the whole job per sub-bucket. Slice content is the
+    // global-edge-order subsequence with dst in the range either way, so
+    // the bytes are identical at any range count or pool size.
     const std::uint64_t budget =
         std::max<std::uint64_t>(options_.memory_budget_bytes, 1 << 20);
-    std::vector<VertexId> srcs(kScanChunk);
-    std::vector<VertexId> slice;
-    std::vector<std::uint64_t> next;
-    std::uint64_t v0 = 0;
-    while (v0 < n) {
-      std::uint64_t v1 = v0 + 1;
-      while (v1 < n &&
-             (offsets[v1 + 1] - offsets[v0]) * sizeof(VertexId) <= budget) {
-        ++v1;
+    const std::size_t ranges =
+        pool == nullptr ? 1 : std::min<std::size_t>(pool->size(),
+                                                    kMaxRangeTasks);
+    std::vector<std::uint64_t> range_starts(ranges + 1, n);
+    range_starts[0] = 0;
+    for (std::size_t r = 1; r < ranges; ++r) {
+      const std::uint64_t target = (m / ranges) * r;
+      range_starts[r] = static_cast<std::uint64_t>(
+          std::lower_bound(offsets.begin(), offsets.end(), target) -
+          offsets.begin());
+      if (range_starts[r] > n) range_starts[r] = n;
+    }
+    const auto range_of = [&range_starts](VertexId dst) {
+      return static_cast<std::size_t>(
+                 std::upper_bound(range_starts.begin(), range_starts.end(),
+                                  dst) -
+                 range_starts.begin()) -
+             1;
+    };
+
+    std::vector<std::vector<std::string>> part_paths(
+        shards_.size(), std::vector<std::string>(ranges));
+    std::vector<std::vector<std::uint64_t>> part_pairs(
+        shards_.size(), std::vector<std::uint64_t>(ranges, 0));
+    if (ranges > 1) {
+      PhaseScope part_scope(TraceRecorder::current(), "store:csr:partition");
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(shards_.size());
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        for (std::size_t r = 0; r < ranges; ++r) {
+          char name[64];
+          std::snprintf(name, sizeof name, "csr-part-%04zu-%02zu.tmp", s, r);
+          part_paths[s][r] = (fs::path(options_.directory) / name).string();
+        }
+        tasks.push_back([this, s, ranges, &part_paths, &part_pairs,
+                         &range_of] {
+          ShardFile& shard = *shards_[s];
+          advise_sequential_read(shard.edge_fd);
+          std::vector<ScopedFd> fds;
+          fds.reserve(ranges);
+          for (std::size_t r = 0; r < ranges; ++r) {
+            fds.emplace_back(::open(part_paths[s][r].c_str(),
+                                    O_WRONLY | O_CREAT | O_TRUNC, 0644));
+            CSB_CHECK_MSG(fds.back().fd >= 0, "cannot create CSR partition: "
+                                                  << part_paths[s][r]);
+          }
+          std::vector<std::vector<std::uint64_t>> bufs(ranges);
+          for (auto& b : bufs) b.reserve(2 * kPartitionBufPairs);
+          std::vector<VertexId> srcs(kScanChunk);
+          std::vector<VertexId> dsts(kScanChunk);
+          for (std::uint64_t at = 0; at < shard.edges; at += kScanChunk) {
+            const std::uint64_t count =
+                std::min<std::uint64_t>(kScanChunk, shard.edges - at);
+            pread_all(shard.edge_fd, srcs.data(), count * sizeof(VertexId),
+                      at * sizeof(VertexId), shard.edge_path);
+            pread_all(shard.edge_fd, dsts.data(), count * sizeof(VertexId),
+                      shard.edges * sizeof(VertexId) + at * sizeof(VertexId),
+                      shard.edge_path);
+            for (std::uint64_t i = 0; i < count; ++i) {
+              const std::size_t r = range_of(dsts[i]);
+              auto& b = bufs[r];
+              b.push_back(dsts[i]);
+              b.push_back(srcs[i]);
+              if (b.size() >= 2 * kPartitionBufPairs) {
+                write_all(fds[r].fd, b.data(), b.size() * 8,
+                          part_paths[s][r]);
+                part_pairs[s][r] += b.size() / 2;
+                b.clear();
+              }
+            }
+          }
+          for (std::size_t r = 0; r < ranges; ++r) {
+            if (!bufs[r].empty()) {
+              write_all(fds[r].fd, bufs[r].data(), bufs[r].size() * 8,
+                        part_paths[s][r]);
+              part_pairs[s][r] += bufs[r].size() / 2;
+            }
+          }
+        });
       }
-      const std::uint64_t slice_edges = offsets[v1] - offsets[v0];
-      slice.resize(slice_edges);
-      next.assign(v1 - v0, 0);
-      for (std::uint64_t v = v0; v < v1; ++v) {
-        next[v - v0] = offsets[v] - offsets[v0];
+      parallel_tasks(pool, tasks);
+    }
+
+    {
+      PhaseScope scatter_scope(TraceRecorder::current(), "store:csr:scatter");
+      const std::uint64_t task_budget =
+          std::max<std::uint64_t>(budget / ranges, kMinTaskBudget);
+      const std::uint64_t neighbors_base_word = 3 + n + (n + 1);
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(ranges);
+      for (std::size_t r = 0; r < ranges; ++r) {
+        tasks.push_back([this, r, ranges, task_budget, neighbors_base_word,
+                         &range_starts, &offsets, &part_paths, &part_pairs,
+                         &csr_fd, &csr_path, &csr_sum] {
+          const std::uint64_t r_begin = range_starts[r];
+          const std::uint64_t r_end = range_starts[r + 1];
+          if (r_begin >= r_end) return;
+          std::vector<ScopedFd> parts;
+          if (ranges > 1) {
+            parts.reserve(shards_.size());
+            for (std::size_t s = 0; s < shards_.size(); ++s) {
+              parts.emplace_back(
+                  ::open(part_paths[s][r].c_str(), O_RDONLY));
+              CSB_CHECK_MSG(parts.back().fd >= 0,
+                            "cannot open CSR partition: " << part_paths[s][r]);
+              advise_sequential_read(parts.back().fd);
+            }
+          }
+          // Streams the range's (dst, src) pairs in global edge order:
+          // straight off the shard files when this is the only range,
+          // otherwise off the per-shard partition spills.
+          const auto for_each_pair = [&](const std::function<
+                                         void(VertexId, VertexId)>& fn) {
+            if (ranges == 1) {
+              std::vector<VertexId> srcs(kScanChunk);
+              std::vector<VertexId> dsts(kScanChunk);
+              for (const auto& shard : shards_) {
+                for (std::uint64_t at = 0; at < shard->edges;
+                     at += kScanChunk) {
+                  const std::uint64_t count =
+                      std::min<std::uint64_t>(kScanChunk, shard->edges - at);
+                  pread_all(shard->edge_fd, srcs.data(),
+                            count * sizeof(VertexId), at * sizeof(VertexId),
+                            shard->edge_path);
+                  pread_all(shard->edge_fd, dsts.data(),
+                            count * sizeof(VertexId),
+                            shard->edges * sizeof(VertexId) +
+                                at * sizeof(VertexId),
+                            shard->edge_path);
+                  for (std::uint64_t i = 0; i < count; ++i) {
+                    fn(dsts[i], srcs[i]);
+                  }
+                }
+              }
+              return;
+            }
+            std::vector<std::uint64_t> pair_buf(2 * kPartitionBufPairs);
+            for (std::size_t s = 0; s < parts.size(); ++s) {
+              const std::uint64_t total = part_pairs[s][r];
+              for (std::uint64_t at = 0; at < total;
+                   at += kPartitionBufPairs) {
+                const std::uint64_t count = std::min<std::uint64_t>(
+                    kPartitionBufPairs, total - at);
+                pread_all(parts[s].fd, pair_buf.data(), count * 16, at * 16,
+                          part_paths[s][r]);
+                for (std::uint64_t i = 0; i < count; ++i) {
+                  fn(pair_buf[2 * i], pair_buf[2 * i + 1]);
+                }
+              }
+            }
+          };
+          // Sub-buckets sized to this task's budget share, with a
+          // double-buffered write-behind: while the next bucket scatters,
+          // the previous slice pwrites into its disjoint file span on a
+          // detached thread (std::async, never the pool — pool tasks
+          // waiting on pool futures could deadlock a full pool).
+          std::vector<VertexId> slices[2];
+          std::vector<std::uint64_t> next;
+          std::future<void> pending;
+          int cur = 0;
+          std::uint64_t v0 = r_begin;
+          while (v0 < r_end) {
+            std::uint64_t v1 = v0 + 1;
+            while (v1 < r_end && (offsets[v1 + 1] - offsets[v0]) *
+                                         sizeof(VertexId) <=
+                                     task_budget) {
+              ++v1;
+            }
+            std::vector<VertexId>& slice = slices[cur];
+            slice.resize(offsets[v1] - offsets[v0]);
+            next.assign(v1 - v0, 0);
+            for (std::uint64_t v = v0; v < v1; ++v) {
+              next[v - v0] = offsets[v] - offsets[v0];
+            }
+            for_each_pair([&](VertexId dst, VertexId src) {
+              if (dst < v0 || dst >= v1) return;
+              slice[next[dst - v0]++] = src;
+            });
+            if (pending.valid()) pending.get();
+            const std::uint64_t slice_first = offsets[v0];
+            const VertexId* data = slice.data();
+            const std::size_t words = slice.size();
+            pending = std::async(
+                std::launch::async,
+                [data, words, slice_first, neighbors_base_word, &csr_fd,
+                 &csr_path, &csr_sum] {
+                  pwrite_all(csr_fd.fd, data, words * 8,
+                             (neighbors_base_word + slice_first) * 8,
+                             csr_path);
+                  std::uint64_t sum = 0;
+                  for (std::size_t i = 0; i < words; ++i) {
+                    sum += csr_checksum_term(
+                        neighbors_base_word + slice_first + i, data[i]);
+                  }
+                  csr_sum.fetch_add(sum, std::memory_order_relaxed);
+                });
+            cur ^= 1;
+            v0 = v1;
+          }
+          if (pending.valid()) pending.get();
+        });
       }
-      for (const auto& shard : shards_) {
-        for (std::uint64_t at = 0; at < shard->edges; at += kScanChunk) {
-          const std::uint64_t count =
-              std::min<std::uint64_t>(kScanChunk, shard->edges - at);
-          pread_all(shard->edge_fd, srcs.data(), count * sizeof(VertexId),
-                    at * sizeof(VertexId), shard->edge_path);
-          pread_all(shard->edge_fd, buf.data(), count * sizeof(VertexId),
-                    shard->edges * sizeof(VertexId) + at * sizeof(VertexId),
-                    shard->edge_path);
-          for (std::uint64_t i = 0; i < count; ++i) {
-            const VertexId dst = buf[i];
-            if (dst < v0 || dst >= v1) continue;
-            slice[next[dst - v0]++] = srcs[i];
+      parallel_tasks(pool, tasks);
+      if (ranges > 1) {
+        for (const auto& shard_parts : part_paths) {
+          for (const std::string& path : shard_parts) {
+            std::error_code ec;
+            fs::remove(path, ec);
           }
         }
       }
-      put(slice.data(), slice.size() * sizeof(VertexId));
-      v0 = v1;
     }
-    CSB_CHECK_MSG(out.good(), "failed writing CSR file: " << csr_path);
-    out.close();
-    csr_checksum = fnv.hash;
+    csr_checksum = csr_sum.load(std::memory_order_relaxed);
   }
 
   close_files();
@@ -492,7 +770,7 @@ ShardStoreReader::ShardStoreReader(const std::string& directory)
                     root.at("format").is_string() &&
                     root.at("format").as_string() == kManifestFormat,
                 "corrupt manifest " << manifest_path
-                                    << ": not a csb.shards.v1 manifest");
+                                    << ": not a csb.shards.v2 manifest");
   try {
     manifest_.vertices = root.at("vertices").as_u64();
     manifest_.edges = root.at("edges").as_u64();
@@ -565,6 +843,11 @@ ShardStoreReader::ShardStoreReader(const std::string& directory)
   const std::uint64_t* base = nullptr;
   void* map = ::mmap(nullptr, expected, PROT_READ, MAP_PRIVATE, fd, 0);
   if (map != MAP_FAILED) {
+    // Streamed veracity walks the mapped arrays front to back; tell the
+    // pager so readahead covers the scan (guarded no-op elsewhere).
+#if defined(POSIX_MADV_SEQUENTIAL)
+    (void)::posix_madvise(map, expected, POSIX_MADV_SEQUENTIAL);
+#endif
     csr_map_ = map;
     csr_map_bytes_ = expected;
     base = static_cast<const std::uint64_t*>(map);
@@ -606,41 +889,44 @@ const CsrIndexView& ShardStoreReader::csr() const {
   return csr_;
 }
 
-void ShardStoreReader::scan_edges(
+void ShardStoreReader::scan_shard_edges(
+    std::size_t s,
     const std::function<void(std::uint64_t, std::span<const VertexId>,
                              std::span<const VertexId>)>& emit) const {
   namespace fs = std::filesystem;
+  const ShardInfo& info = manifest_.shards[s];
+  const std::string path = (fs::path(directory_) / info.edge_file).string();
+  ScopedFd fd(::open(path.c_str(), O_RDONLY));
+  CSB_CHECK_MSG(fd.fd >= 0, "cannot open shard file: " << path);
+  advise_sequential_read(fd.fd);
   std::vector<VertexId> src(kScanChunk);
   std::vector<VertexId> dst(kScanChunk);
-  for (const ShardInfo& info : manifest_.shards) {
-    const std::string path = (fs::path(directory_) / info.edge_file).string();
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    CSB_CHECK_MSG(fd >= 0, "cannot open shard file: " << path);
-    std::uint64_t sum = 0;
-    try {
-      for (std::uint64_t at = 0; at < info.edges; at += kScanChunk) {
-        const std::uint64_t count =
-            std::min<std::uint64_t>(kScanChunk, info.edges - at);
-        pread_all(fd, src.data(), count * sizeof(VertexId),
-                  at * sizeof(VertexId), path);
-        pread_all(fd, dst.data(), count * sizeof(VertexId),
-                  info.edges * sizeof(VertexId) + at * sizeof(VertexId), path);
-        const std::uint64_t first = info.first_edge + at;
-        for (std::uint64_t i = 0; i < count; ++i) {
-          sum += edge_checksum_term(first + i, src[i], dst[i]);
-        }
-        if (emit) {
-          emit(first, {src.data(), static_cast<std::size_t>(count)},
-               {dst.data(), static_cast<std::size_t>(count)});
-        }
-      }
-    } catch (...) {
-      ::close(fd);
-      throw;
+  std::uint64_t sum = 0;
+  for (std::uint64_t at = 0; at < info.edges; at += kScanChunk) {
+    const std::uint64_t count =
+        std::min<std::uint64_t>(kScanChunk, info.edges - at);
+    pread_all(fd.fd, src.data(), count * sizeof(VertexId),
+              at * sizeof(VertexId), path);
+    pread_all(fd.fd, dst.data(), count * sizeof(VertexId),
+              info.edges * sizeof(VertexId) + at * sizeof(VertexId), path);
+    const std::uint64_t first = info.first_edge + at;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      sum += edge_checksum_term(first + i, src[i], dst[i]);
     }
-    ::close(fd);
-    CSB_CHECK_MSG(sum == info.edge_checksum,
-                  "checksum mismatch in shard file: " << path);
+    if (emit) {
+      emit(first, {src.data(), static_cast<std::size_t>(count)},
+           {dst.data(), static_cast<std::size_t>(count)});
+    }
+  }
+  CSB_CHECK_MSG(sum == info.edge_checksum,
+                "checksum mismatch in shard file: " << path);
+}
+
+void ShardStoreReader::scan_edges(
+    const std::function<void(std::uint64_t, std::span<const VertexId>,
+                             std::span<const VertexId>)>& emit) const {
+  for (std::size_t s = 0; s < manifest_.shards.size(); ++s) {
+    scan_shard_edges(s, emit);
   }
 }
 
@@ -654,6 +940,7 @@ PropertyRowsBuffer ShardStoreReader::read_shard_properties(
   const std::string path = (fs::path(directory_) / info.prop_file).string();
   const int fd = ::open(path.c_str(), O_RDONLY);
   CSB_CHECK_MSG(fd >= 0, "cannot open shard file: " << path);
+  advise_sequential_read(fd);
   PropertyRowsBuffer rows;
   const std::uint64_t count = info.edges;
   try {
@@ -705,26 +992,51 @@ PropertyRowsBuffer ShardStoreReader::read_shard_properties(
   return rows;
 }
 
-void ShardStoreReader::verify() const {
-  scan_edges(nullptr);
-  if (manifest_.with_properties) {
+void ShardStoreReader::verify(ThreadPool* pool) const {
+  {
+    // One task per shard: edge checksum scan plus the property read when
+    // present. The per-shard checks are independent, and parallel_tasks
+    // rethrows the first failure in shard order, so the named file in the
+    // error is the same at any pool size.
+    PhaseScope shards_scope(TraceRecorder::current(), "store:verify:shards");
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(manifest_.shards.size());
     for (std::size_t s = 0; s < manifest_.shards.size(); ++s) {
-      (void)read_shard_properties(s);
+      tasks.push_back([this, s] {
+        scan_shard_edges(s, nullptr);
+        if (manifest_.with_properties) (void)read_shard_properties(s);
+      });
     }
+    parallel_tasks(pool, tasks);
   }
   if (!manifest_.csr_file.empty()) {
+    // The CSR checksum is a commutative word-index-keyed sum, so chunked
+    // parallel scans accumulate it in completion order without changing
+    // the total.
+    PhaseScope csr_scope(TraceRecorder::current(), "store:verify:csr");
     namespace fs = std::filesystem;
     const std::string path =
         (fs::path(directory_) / manifest_.csr_file).string();
-    std::ifstream in(path, std::ios::binary);
-    CSB_CHECK_MSG(in.is_open(), "cannot open CSR file: " << path);
-    Fnv1a fnv;
-    char buf[1 << 16];
-    while (in) {
-      in.read(buf, sizeof buf);
-      fnv.fold(buf, static_cast<std::size_t>(in.gcount()));
-    }
-    CSB_CHECK_MSG(fnv.hash == manifest_.csr_checksum,
+    ScopedFd fd(::open(path.c_str(), O_RDONLY));
+    CSB_CHECK_MSG(fd.fd >= 0, "cannot open CSR file: " << path);
+    advise_sequential_read(fd.fd);
+    const std::uint64_t n = manifest_.vertices;
+    const std::uint64_t m = manifest_.edges;
+    const std::uint64_t total_words = 3 + n + (n + 1) + m;
+    std::atomic<std::uint64_t> total{0};
+    parallel_for_fixed_chunks(
+        pool, 0, static_cast<std::size_t>(total_words), kScanChunk,
+        [&](const ChunkRange& c) {
+          std::vector<std::uint64_t> buf(c.end - c.begin);
+          pread_all(fd.fd, buf.data(), buf.size() * 8, c.begin * 8, path);
+          std::uint64_t sum = 0;
+          for (std::size_t i = 0; i < buf.size(); ++i) {
+            sum += csr_checksum_term(c.begin + i, buf[i]);
+          }
+          total.fetch_add(sum, std::memory_order_relaxed);
+        });
+    CSB_CHECK_MSG(total.load(std::memory_order_relaxed) ==
+                      manifest_.csr_checksum,
                   "checksum mismatch in CSR file: " << path);
   }
 }

@@ -29,9 +29,15 @@
 // layer models numbers as doubles).
 //
 // finish() builds csr.bin out of core: one counting pass over the shard
-// files for out-degrees and in-offsets, then vertex-range buckets sized to
-// `memory_budget_bytes` are scattered and appended sequentially — resident
-// memory stays O(V + budget) however large E grows.
+// files for out-degrees and in-offsets, then vertex-range slices sized to
+// `memory_budget_bytes` are scattered and pwritten at their disjoint file
+// offsets — resident memory stays O(V + budget) however large E grows.
+// With a ThreadPool both passes run in parallel (per-shard counting tasks,
+// per-vertex-range scatter tasks with the budget split across them) and
+// stay byte-identical to the serial path at any pool size: counting uses
+// commutative relaxed atomic increments, and every scatter task owns a
+// disjoint vertex range whose csr.bin slice position is pure offset
+// arithmetic.
 #pragma once
 
 #include <cstdint>
@@ -44,14 +50,21 @@
 
 namespace csb {
 
+class ThreadPool;
+
 struct ShardStoreOptions {
   std::string directory;
   std::uint32_t shard_count = 8;
-  /// Byte budget for the CSR neighbor-scatter buffer (resident memory of
-  /// the finish() pass beyond the O(V) degree/offset arrays).
+  /// Byte budget for the CSR neighbor-scatter buffers (resident memory of
+  /// the finish() pass beyond the O(V) degree/offset arrays). Under a pool
+  /// the budget is split evenly across concurrent scatter tasks.
   std::uint64_t memory_budget_bytes = 256ULL << 20;
   /// Skip csr.bin (write-only archives that will never run veracity).
   bool build_csr = true;
+  /// Optional pool for the finish() pipeline (CSR counting + scatter).
+  /// Null runs every pass inline on the calling thread; the artifacts are
+  /// byte-identical either way.
+  ThreadPool* pool = nullptr;
 };
 
 /// Per-shard manifest row.
@@ -166,14 +179,24 @@ class ShardStoreReader {
   /// Loads shard s's property columns (verifying the shard checksum).
   [[nodiscard]] PropertyRowsBuffer read_shard_properties(std::size_t s) const;
 
-  /// Recomputes every shard checksum and the csr.bin checksum.
-  void verify() const;
+  /// Recomputes every shard checksum and the csr.bin checksum. A non-null
+  /// pool fans the per-shard scans and the CSR word sum out over it — the
+  /// commutative index-keyed checksums make the result order-free, and
+  /// errors are rethrown in shard order so diagnostics stay deterministic.
+  void verify(ThreadPool* pool = nullptr) const;
 
   /// Materializes the whole store as an in-RAM PropertyGraph (tests, and
   /// the `shards` GraphFormat load path). Verifies checksums on the way.
   [[nodiscard]] PropertyGraph to_property_graph() const;
 
  private:
+  /// Streams one shard's edges in local order, verifying its checksum.
+  /// Thread-safe for distinct shards (verify fans it over a pool).
+  void scan_shard_edges(
+      std::size_t s,
+      const std::function<void(std::uint64_t, std::span<const VertexId>,
+                               std::span<const VertexId>)>& emit) const;
+
   std::string directory_;
   ShardManifest manifest_;
   CsrIndexView csr_;
@@ -189,5 +212,11 @@ class ShardStoreReader {
                                                VertexId src, VertexId dst);
 [[nodiscard]] std::uint64_t property_checksum_term(std::uint64_t index,
                                                    const EdgeProperties& row);
+/// csr.bin checksum term: keyed by the 8-byte word's index within the
+/// file, summed mod 2^64 over every word (header included). Commutative,
+/// so parallel scatter tasks and parallel verify scans accumulate it in
+/// any order; index-keyed, so transposed words still fail.
+[[nodiscard]] std::uint64_t csr_checksum_term(std::uint64_t word_index,
+                                              std::uint64_t word);
 
 }  // namespace csb

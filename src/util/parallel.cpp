@@ -94,4 +94,29 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   });
 }
 
+void parallel_tasks(ThreadPool* pool,
+                    const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (pool == nullptr || tasks.size() == 1) {
+    for (const auto& task : tasks) task();
+    return;
+  }
+  std::vector<std::future<void>> pending;
+  pending.reserve(tasks.size());
+  for (const auto& task : tasks) pending.push_back(pool->submit(task));
+  // Wait for ALL tasks before rethrowing the first error in task-index
+  // order: bailing early would unwind caller state still referenced by
+  // running tasks, and completion-order rethrow would make the reported
+  // error depend on scheduling.
+  std::exception_ptr first_error;
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 }  // namespace csb

@@ -51,4 +51,13 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   std::size_t grain,
                   const std::function<void(std::size_t)>& body);
 
+/// Runs a fixed set of independent tasks. A null `pool` executes them
+/// inline in task-index order; otherwise every task is submitted to the
+/// pool and the caller blocks until ALL of them finish, then rethrows the
+/// first exception in task-index order (not completion order), so error
+/// reporting is deterministic at any pool size. The store's parallel
+/// finish/verify pipeline fans shard scans and range merges through this.
+void parallel_tasks(ThreadPool* pool,
+                    const std::vector<std::function<void()>>& tasks);
+
 }  // namespace csb

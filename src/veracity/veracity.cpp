@@ -6,6 +6,7 @@
 #include "graph/pagerank.hpp"
 #include "stats/distance.hpp"
 #include "stats/histogram.hpp"
+#include "util/parallel.hpp"
 
 namespace csb {
 
@@ -22,12 +23,19 @@ std::vector<double> normalized_pagerank_distribution(
   return normalize_by_sum(result.scores);
 }
 
-std::vector<double> normalized_degree_distribution(const CsrIndexView& csr) {
+std::vector<double> normalized_degree_distribution(const CsrIndexView& csr,
+                                                   ThreadPool* pool) {
   const std::uint64_t n = csr.num_vertices();
   std::vector<double> values(n);
-  for (std::uint64_t v = 0; v < n; ++v) {
-    values[v] = static_cast<double>(csr.total_degree(v));
-  }
+  // Each chunk fills its own disjoint slots; the serial normalize keeps
+  // the float summation order fixed, so the result is pool-invariant.
+  parallel_for_fixed_chunks(
+      pool, 0, static_cast<std::size_t>(n), std::size_t{1} << 16,
+      [&](const ChunkRange& c) {
+        for (std::size_t v = c.begin; v < c.end; ++v) {
+          values[v] = static_cast<double>(csr.total_degree(v));
+        }
+      });
   return normalize_by_sum(values);
 }
 
@@ -81,8 +89,9 @@ VeracityReport evaluate_veracity(const PropertyGraph& seed,
                                  const CsrIndexView& synthetic,
                                  ThreadPool& pool) {
   VeracityReport report;
-  report.degree_score = veracity_score(normalized_degree_distribution(seed),
-                                       normalized_degree_distribution(synthetic));
+  report.degree_score =
+      veracity_score(normalized_degree_distribution(seed),
+                     normalized_degree_distribution(synthetic, &pool));
   report.pagerank_score =
       veracity_score(normalized_pagerank_distribution(seed, pool),
                      normalized_pagerank_distribution(synthetic, pool));
@@ -134,7 +143,7 @@ StructuralKs evaluate_structural_ks(const PropertyGraph& a,
                                     const CsrIndexView& b, ThreadPool& pool) {
   StructuralKs ks;
   ks.degree_ks = ks_distance(normalized_degree_distribution(a),
-                             normalized_degree_distribution(b));
+                             normalized_degree_distribution(b, &pool));
   ks.pagerank_ks = ks_distance(baseline_relative_pagerank(a, pool),
                                baseline_relative_pagerank(b, pool));
   return ks;

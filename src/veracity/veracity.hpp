@@ -40,8 +40,11 @@ std::vector<double> normalized_pagerank_distribution(
 /// Streamed variants over a shard store's mmap'd CSR index: degrees read
 /// straight off the on-disk arrays, PageRank runs pagerank_csr over the
 /// mapped spans — the edge list never materializes in RAM. Same math as
-/// the in-RAM overloads (shared implementation), so scores agree.
-std::vector<double> normalized_degree_distribution(const CsrIndexView& csr);
+/// the in-RAM overloads (shared implementation), so scores agree. The
+/// degree fill takes an optional pool: chunks write disjoint slots, so
+/// the values are identical at any pool size.
+std::vector<double> normalized_degree_distribution(const CsrIndexView& csr,
+                                                   ThreadPool* pool = nullptr);
 std::vector<double> normalized_pagerank_distribution(const CsrIndexView& csr,
                                                      ThreadPool& pool);
 

@@ -260,8 +260,29 @@ TEST(SpanNameTest, GrammarAcceptsDocumentedFamilies) {
   EXPECT_TRUE(span_name_families().contains("store"));
   for (const std::string& family : span_name_families()) {
     EXPECT_TRUE(check_span_name(family).empty()) << family;
-    EXPECT_TRUE(check_span_name(family + ":sub:pass_2").empty()) << family;
+    // store is the only family with a validated second level; every other
+    // family accepts arbitrary well-formed sub-segments.
+    if (family != "store") {
+      EXPECT_TRUE(check_span_name(family + ":sub:pass_2").empty()) << family;
+    }
   }
+}
+
+TEST(SpanNameTest, GrammarValidatesStoreSubFamilies) {
+  EXPECT_EQ(store_span_subfamilies().size(), 10u);
+  for (const std::string& sub : store_span_subfamilies()) {
+    EXPECT_TRUE(check_span_name("store:" + sub).empty()) << sub;
+    EXPECT_TRUE(check_span_name("store:" + sub + ":pass_2").empty()) << sub;
+  }
+  // The parallel finish/verify pipeline's spans are all documented.
+  EXPECT_TRUE(check_span_name("store:csr:count").empty());
+  EXPECT_TRUE(check_span_name("store:csr:partition").empty());
+  EXPECT_TRUE(check_span_name("store:csr:scatter").empty());
+  EXPECT_TRUE(check_span_name("store:merge:seal").empty());
+  EXPECT_TRUE(check_span_name("store:verify:shards").empty());
+  EXPECT_TRUE(check_span_name("store:verify:csr").empty());
+  EXPECT_NE(check_span_name("store:warmup"), "");
+  EXPECT_NE(check_span_name("store:sub:pass_2"), "");
 }
 
 TEST(SpanNameTest, GrammarRejectsMalformedNames) {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <random>
 #include <string>
 #include <vector>
@@ -160,6 +161,7 @@ TEST(ShardStoreTest, RoundTripMatchesMemoryAcrossShardAndPoolCounts) {
       ShardStoreOptions store_options;
       store_options.directory = dir.str();
       store_options.shard_count = shard_count;
+      store_options.pool = &pool;
       ShardStore store(store_options);
       (void)pgsk_fast_generate_into(seed.graph, seed.profile, cluster,
                                     pg_options, FastSinkOptions{}, store);
@@ -184,6 +186,7 @@ TEST(ShardStoreTest, ShardBytesInvariantToPoolSize) {
     ShardStoreOptions store_options;
     store_options.directory = dir.str();
     store_options.shard_count = 4;
+    store_options.pool = &pool;
     ShardStore store(store_options);
     (void)pgpba_fast_generate_into(seed.graph, seed.profile, cluster,
                                    pg_options, store);
@@ -233,6 +236,95 @@ TEST(ShardStoreTest, ConcatenatedEdgeStreamInvariantToShardCount) {
   ASSERT_EQ(streams.size(), 3u);
   EXPECT_EQ(streams[0], streams[1]);
   EXPECT_EQ(streams[0], streams[2]);
+}
+
+TEST(ShardStoreTest, CsrAndManifestByteIdenticalAcrossPoolsShardsBudgets) {
+  // The tentpole contract: the parallel finish pipeline (counting, range
+  // partition, budget-split scatter) must land byte-identical artifacts at
+  // any pool size and any budget. csr.bin describes the whole graph, so it
+  // must also be identical across shard counts; the manifest embeds the
+  // shard layout, so its reference is per shard count.
+  const SeedBundle seed = small_seed(300);
+  const auto pg_options = pgpba_options(seed);
+
+  std::string csr_reference;
+  std::map<std::uint32_t, std::string> manifest_reference;
+  for (const std::uint32_t shard_count : {1u, 4u, 16u}) {
+    // 1 MiB is the budget floor: the scatter splits it across range tasks
+    // and falls back to the per-task minimum, forcing many sub-buckets.
+    for (const std::uint64_t budget : {1ULL << 20, 256ULL << 20}) {
+      for (const std::size_t pool_size : {1u, 2u, 8u}) {
+        const std::string tag = "matrix_s" + std::to_string(shard_count) +
+                                "_b" + std::to_string(budget >> 20) + "_p" +
+                                std::to_string(pool_size);
+        ScratchDir dir(tag);
+        ThreadPool pool(pool_size);
+        ClusterSim cluster(four_cores(), pool);
+        ShardStoreOptions store_options;
+        store_options.directory = dir.str();
+        store_options.shard_count = shard_count;
+        store_options.memory_budget_bytes = budget;
+        store_options.pool = &pool;
+        ShardStore store(store_options);
+        (void)pgpba_fast_generate_into(seed.graph, seed.profile, cluster,
+                                       pg_options, store);
+
+        const std::string csr = read_file_bytes(dir.path() / "csr.bin");
+        const std::string manifest =
+            read_file_bytes(dir.path() / "manifest.json");
+        if (csr_reference.empty()) csr_reference = csr;
+        EXPECT_EQ(csr, csr_reference) << tag;
+        const auto [it, inserted] =
+            manifest_reference.try_emplace(shard_count, manifest);
+        EXPECT_EQ(manifest, it->second) << tag;
+      }
+    }
+  }
+}
+
+TEST(ShardStoreTest, DedupStoreBytesInvariantToPoolSize) {
+  // The dedup path routes every edge through ExternalDistinct, whose seal
+  // now runs range-partitioned parallel merges on the cluster pool — the
+  // stored bytes must not depend on the pool size or the merge partition
+  // count at either budget extreme.
+  const SeedBundle seed = small_seed(300);
+  const auto pg_options = pgsk_options(seed);
+
+  const auto run = [&](std::size_t pool_size, std::uint64_t budget,
+                       const std::string& tag) {
+    ScratchDir spill("dedup_spill_" + tag);
+    ScratchDir dir("dedup_store_" + tag);
+    ThreadPool pool(pool_size);
+    ClusterSim cluster(four_cores(), pool);
+    ShardStoreOptions store_options;
+    store_options.directory = dir.str();
+    store_options.shard_count = 4;
+    store_options.pool = &pool;
+    ShardStore store(store_options);
+    FastSinkOptions sink;
+    sink.dedup = true;
+    sink.dedup_budget_bytes = budget;
+    sink.spill_directory = spill.str();
+    (void)pgsk_fast_generate_into(seed.graph, seed.profile, cluster,
+                                  pg_options, sink, store);
+
+    std::vector<std::string> bytes;
+    for (const auto& entry : fs::directory_iterator(dir.path())) {
+      bytes.push_back(entry.path().filename().string() + ":" +
+                      read_file_bytes(entry.path()));
+    }
+    std::sort(bytes.begin(), bytes.end());
+    std::string all;
+    for (const auto& b : bytes) all += b;
+    return all;
+  };
+
+  for (const std::uint64_t budget : {1ULL << 19, 256ULL << 20}) {
+    const std::string b = std::to_string(budget >> 19);
+    const std::string reference = run(1, budget, "p1_b" + b);
+    EXPECT_EQ(run(2, budget, "p2_b" + b), reference) << budget;
+    EXPECT_EQ(run(8, budget, "p8_b" + b), reference) << budget;
+  }
 }
 
 TEST(ShardStoreTest, CsrIndexMatchesInRamCsrView) {
@@ -411,6 +503,93 @@ TEST(ShardStoreErrorTest, FlippedByteFailsChecksumNamingTheFile) {
   }
 }
 
+TEST(ShardStoreErrorTest, ParallelVerifyFlippedShardByteNamesTheFile) {
+  const SeedBundle seed = small_seed(300);
+  ScratchDir dir("par_flipped_shard");
+  ClusterSim cluster(four_cores());
+  ShardStoreOptions store_options;
+  store_options.directory = dir.str();
+  store_options.shard_count = 4;
+  ShardStore store(store_options);
+  (void)pgpba_fast_generate_into(seed.graph, seed.profile, cluster,
+                                 pgpba_options(seed), store);
+
+  const fs::path victim = dir.path() / "edges-0002.bin";
+  {
+    std::fstream file(victim,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(static_cast<std::streamoff>(fs::file_size(victim) / 2));
+    file.write("\x01", 1);
+  }
+  const ShardStoreReader reader(dir.str());
+  ThreadPool pool(4);
+  try {
+    reader.verify(&pool);
+    FAIL() << "expected CsbError";
+  } catch (const CsbError& error) {
+    // The fan-out rethrows the first failing shard's error, so the message
+    // still names the offending file even under a pool.
+    EXPECT_NE(std::string(error.what()).find("edges-0002.bin"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ShardStoreErrorTest, ParallelVerifyFlippedCsrByteNamesTheFile) {
+  const SeedBundle seed = small_seed(300);
+  ScratchDir dir("par_flipped_csr");
+  ClusterSim cluster(four_cores());
+  ShardStoreOptions store_options;
+  store_options.directory = dir.str();
+  store_options.shard_count = 2;
+  ShardStore store(store_options);
+  (void)pgpba_fast_generate_into(seed.graph, seed.profile, cluster,
+                                 pgpba_options(seed), store);
+
+  // Flip a byte in the neighbor section of csr.bin: the size and the shard
+  // files stay valid, so only the parallel CSR word-sum pass can catch it.
+  const fs::path victim = dir.path() / "csr.bin";
+  {
+    std::fstream file(victim,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    const auto offset =
+        static_cast<std::streamoff>(fs::file_size(victim) - 16);
+    file.seekg(offset);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x20);
+    file.seekp(offset);
+    file.write(&byte, 1);
+  }
+  const ShardStoreReader reader(dir.str());
+  ThreadPool pool(4);
+  try {
+    reader.verify(&pool);
+    FAIL() << "expected CsbError";
+  } catch (const CsbError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("csr.bin"), std::string::npos) << what;
+    EXPECT_NE(what.find("checksum"), std::string::npos) << what;
+  }
+}
+
+TEST(ShardStoreErrorTest, ParallelVerifyMatchesSerialOnIntactStore) {
+  const SeedBundle seed = small_seed(300);
+  ScratchDir dir("par_intact");
+  ClusterSim cluster(four_cores());
+  ShardStoreOptions store_options;
+  store_options.directory = dir.str();
+  store_options.shard_count = 4;
+  ShardStore store(store_options);
+  (void)pgpba_fast_generate_into(seed.graph, seed.profile, cluster,
+                                 pgpba_options(seed), store);
+
+  const ShardStoreReader reader(dir.str());
+  EXPECT_NO_THROW(reader.verify());
+  ThreadPool pool(8);
+  EXPECT_NO_THROW(reader.verify(&pool));
+}
+
 // ------------------------------------------------------- ExternalDistinct
 
 TEST(ExternalDistinctTest, MatchesSortUniqueAcrossBudgetsAndOrders) {
@@ -454,6 +633,48 @@ TEST(ExternalDistinctTest, MatchesSortUniqueAcrossBudgetsAndOrders) {
       });
       EXPECT_EQ(got, expected);
     }
+  }
+}
+
+TEST(ExternalDistinctTest, RangePartitionedMergeMatchesSerialSortUnique) {
+  // Full-width 64-bit keys so the R key-range partitions all carry load,
+  // plus heavy duplication so every partition's merge actually drops keys.
+  std::mt19937_64 rng(123);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(300'000);
+  for (std::size_t i = 0; i < 100'000; ++i) keys.push_back(rng());
+  for (std::size_t i = 0; i < 200'000; ++i) {
+    keys.push_back(keys[rng() % 100'000]);
+  }
+
+  std::vector<std::uint64_t> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+
+  for (const std::size_t pool_size : {1u, 2u, 8u}) {
+    ScratchDir dir("distinct_pool_" + std::to_string(pool_size));
+    ThreadPool pool(pool_size);
+    ExternalDistinctOptions options;
+    options.spill_directory = dir.str();
+    options.memory_budget_bytes = 1ULL << 19;  // minimum: forces ~5 runs
+    options.pool = &pool;
+    ExternalDistinct distinct(options);
+    for (std::size_t i = 0; i < keys.size();) {
+      const std::size_t take = std::min<std::size_t>(777, keys.size() - i);
+      distinct.add(std::span(keys).subspan(i, take));
+      i += take;
+    }
+    EXPECT_EQ(distinct.seal(), expected.size());
+    EXPECT_GT(distinct.spilled_runs(), 0u);
+    // One part file per key range; the range count follows the pool size.
+    EXPECT_EQ(distinct.merge_partitions(), pool_size);
+
+    std::vector<std::uint64_t> got;
+    distinct.scan([&](std::span<const std::uint64_t> chunk) {
+      got.insert(got.end(), chunk.begin(), chunk.end());
+    });
+    EXPECT_EQ(got, expected) << "pool " << pool_size;
   }
 }
 

@@ -210,10 +210,11 @@ commands:
       --baseline when given, else Table-I-style defaults are used.
       --window-s > 0 switches to the streaming detector.
 
-  info --in=graph.bin|shards-dir/ [--verify]
+  info --in=graph.bin|shards-dir/ [--verify] [--threads=4]
       Vertex/edge counts, degree stats, components, memory footprint.
       For a shard-store directory, stats come from the manifest and the
-      mmap'd CSR index; --verify recomputes every shard checksum.
+      mmap'd CSR index; --verify recomputes every shard checksum,
+      fanning the per-shard scans over --threads workers.
 
   analyze --in=graph.bin [--top=10] [--betweenness-samples=256]
       Full structural report: degree power-law fit, clustering, triangles,
@@ -480,6 +481,7 @@ int cmd_generate(const Args& args) {
     store_options.shard_count = args.get_u64("shards", 8);
     store_options.memory_budget_bytes =
         args.get_u64("store-budget-mb", 256) << 20;
+    store_options.pool = &cluster.pool();
     ShardStore store(store_options);
     const StoreGenResult result =
         generator.generate_into(seed_graph, profile, cluster, config, store);
@@ -785,7 +787,7 @@ PropertyGraph load_graph(const std::string& path) {
 }
 
 int cmd_info(const Args& args) {
-  args.require_known("info", {"in", "verify"});
+  args.require_known("info", {"in", "verify", "threads"});
   const std::string in = args.get("in", "");
   CSB_CHECK_MSG(!in.empty(), "info requires --in=<graph.bin|graph.graphml>");
   if (std::filesystem::is_directory(in)) {
@@ -817,7 +819,15 @@ int cmd_info(const Args& args) {
                 << "\n";
     }
     if (args.has("verify")) {
-      reader.verify();
+      // Per-shard scans + the CSR word sum fan out over the pool; the
+      // commutative index-keyed checksums make the totals order-free.
+      const std::uint64_t threads = args.get_u64("threads", 4);
+      if (threads > 1) {
+        ThreadPool pool(static_cast<std::size_t>(threads));
+        reader.verify(&pool);
+      } else {
+        reader.verify();
+      }
       std::cout << "  checksums:   all verified\n";
     }
     return 0;
