@@ -75,7 +75,10 @@ int main(int argc, char** argv) {
         const GenResult result = contender.gen->generate(
             seed.graph, seed.profile, cluster, config);
         double expand = 0.0;
-        for (const std::string_view phase : {"grow", "expand", "generate"}) {
+        // "store" covers the exact generators' streamed pipeline, which
+        // books its expand/re-multiply work under store:* spans.
+        for (const std::string_view phase :
+             {"grow", "expand", "generate", "store"}) {
           expand += phase_booked_seconds(trace.spans(), phase);
         }
         const double core =

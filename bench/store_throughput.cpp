@@ -19,6 +19,12 @@
 //     the committed baseline, so the check is host-relative and still
 //     works on single-core machines where the speedup is ~1.
 //
+// A fourth race covers the exact generator: exact PGSK streamed through its
+// out-of-core store pipeline vs the retired store:replay shape (classic
+// in-RAM generate, then replay into the same store). The streamed path's
+// peak-RSS growth is asserted against its dedup + CSR budgets in-process,
+// and its edges/second is floored by the regression gate.
+//
 // All gated numbers are kRepeats-medians (bench/common.hpp): the gate
 // compares medians, so a single outlier rep cannot move it.
 #include <filesystem>
@@ -29,6 +35,7 @@
 #include "bench_support/report.hpp"
 #include "common.hpp"
 #include "gen/fast_samplers.hpp"
+#include "gen/pgsk.hpp"
 #include "obs/memwatch.hpp"
 #include "store/graph_store.hpp"
 #include "store/shard_store.hpp"
@@ -151,6 +158,70 @@ int main(int argc, char** argv) {
       after_shards.hwm_bytes - before.hwm_bytes;
   fs::remove_all(scratch);
 
+  // Exact PGSK: the streamed store pipeline (expand → external distinct →
+  // re-multiply → emit, all into the shard store) raced against the retired
+  // store:replay shape (classic in-RAM generate, then replay into the same
+  // store). The streamed path runs first, against the current high-water
+  // mark, so its peak-RSS growth can be asserted before the replay path
+  // materializes the full graph in RAM and raises VmHWM for good.
+  const fs::path spill =
+      fs::temp_directory_path() /
+      ("csb_store_throughput_spill_" + std::to_string(::getpid()));
+  PgskOptions exact_options;
+  exact_options.desired_edges = target;
+  exact_options.seed = 11;
+  exact_options.with_properties = false;
+  exact_options.fit = options.fit;
+  exact_options.dedup_budget_bytes = kBudgetBytes;
+  exact_options.spill_directory = spill.string();
+
+  const auto exact_shard_store = [&] {
+    ShardStoreOptions store_options;
+    store_options.directory = scratch.string();
+    store_options.shard_count = 8;
+    store_options.memory_budget_bytes = kBudgetBytes;
+    store_options.pool = &pool;
+    return store_options;
+  };
+
+  std::uint64_t exact_edges = 0;
+  const MemorySample before_exact = sample_process_memory();
+  std::vector<double> exact_streamed_samples;
+  for (int r = 0; r < kRepeats; ++r) {
+    fs::remove_all(scratch);
+    fs::remove_all(spill);
+    ClusterSim cluster(
+        ClusterConfig{
+            .nodes = 8, .cores_per_node = 2, .smooth_task_durations = true},
+        pool);
+    ShardStore store(exact_shard_store());
+    exact_streamed_samples.push_back(bench::wall_seconds([&] {
+      const StoreGenResult result = pgsk_generate_into(
+          seed.graph, seed.profile, cluster, exact_options, store);
+      exact_edges = result.edges;
+    }));
+  }
+  const MemorySample after_exact = sample_process_memory();
+  const std::uint64_t exact_rss_growth =
+      after_exact.hwm_bytes - before_exact.hwm_bytes;
+
+  std::vector<double> exact_replay_samples;
+  for (int r = 0; r < kRepeats; ++r) {
+    fs::remove_all(scratch);
+    ClusterSim cluster(
+        ClusterConfig{
+            .nodes = 8, .cores_per_node = 2, .smooth_task_durations = true},
+        pool);
+    ShardStore store(exact_shard_store());
+    exact_replay_samples.push_back(bench::wall_seconds([&] {
+      const GenResult classic =
+          pgsk_generate(seed.graph, seed.profile, cluster, exact_options);
+      replay_graph_into(classic.graph, store, exact_options.seed);
+    }));
+  }
+  fs::remove_all(scratch);
+  fs::remove_all(spill);
+
   std::vector<double> memory_samples;
   for (int r = 0; r < kRepeats; ++r) {
     ClusterSim cluster(
@@ -175,6 +246,12 @@ int main(int argc, char** argv) {
       (finish_serial_s + verify_serial_s) / (finish_s + verify_s);
   const double shards_eps = static_cast<double>(edges) / shards_s;
   const double memory_eps = static_cast<double>(edges) / memory_s;
+  const double exact_streamed_s = bench::median(exact_streamed_samples);
+  const double exact_replay_s = bench::median(exact_replay_samples);
+  const double exact_streamed_eps =
+      static_cast<double>(exact_edges) / exact_streamed_s;
+  const double exact_replay_eps =
+      static_cast<double>(exact_edges) / exact_replay_s;
 
   ReportTable table("store sink race (median of " + std::to_string(kRepeats) +
                         " repeats, " + with_commas(edges) + " edges)",
@@ -193,6 +270,12 @@ int main(int argc, char** argv) {
       {"  finish (serial)", cell_fixed(finish_serial_s, 3), "-", "-"});
   table.add_row(
       {"  verify (serial)", cell_fixed(verify_serial_s, 3), "-", "-"});
+  table.add_row({"exact streamed (" + with_commas(exact_edges) + " edges)",
+                 cell_fixed(exact_streamed_s, 3),
+                 cell_fixed(exact_streamed_eps / 1e6, 2) + "M",
+                 human_bytes(exact_rss_growth)});
+  table.add_row({"exact replay", cell_fixed(exact_replay_s, 3),
+                 cell_fixed(exact_replay_eps / 1e6, 2) + "M", "-"});
   table.print();
   std::cout << "\n(shard path: 8 shards, " << human_bytes(kBudgetBytes)
             << " CSR budget; RSS growth = VmHWM delta over the shard runs; "
@@ -203,6 +286,20 @@ int main(int argc, char** argv) {
     std::cerr << "FAIL: shard-path peak RSS growth "
               << human_bytes(shards_rss_growth) << " exceeds budget "
               << human_bytes(kBudgetBytes) << " + slack "
+              << human_bytes(kSlackBytes) << "\n";
+    return 1;
+  }
+
+  // The streamed exact path's residency is bounded by its two explicit
+  // budgets (the expand distinct and the store CSR build) plus slack; the
+  // replay shape it replaces holds the whole edge list in RAM and would
+  // blow straight through this.
+  if (exact_rss_growth > exact_options.dedup_budget_bytes + kBudgetBytes +
+                             kSlackBytes) {
+    std::cerr << "FAIL: exact streamed peak RSS growth "
+              << human_bytes(exact_rss_growth) << " exceeds dedup budget "
+              << human_bytes(exact_options.dedup_budget_bytes)
+              << " + CSR budget " << human_bytes(kBudgetBytes) << " + slack "
               << human_bytes(kSlackBytes) << "\n";
     return 1;
   }
@@ -228,6 +325,16 @@ int main(int argc, char** argv) {
     record.fields.emplace_back("shards_rss_growth_bytes",
                                JsonValue(shards_rss_growth));
     record.fields.emplace_back("budget_bytes", JsonValue(kBudgetBytes));
+    record.fields.emplace_back("exact_edges", JsonValue(exact_edges));
+    record.fields.emplace_back("exact_streamed_s",
+                               JsonValue(exact_streamed_s));
+    record.fields.emplace_back("exact_replay_s", JsonValue(exact_replay_s));
+    record.fields.emplace_back("exact_streamed_edges_per_s",
+                               JsonValue(exact_streamed_eps));
+    record.fields.emplace_back("exact_replay_edges_per_s",
+                               JsonValue(exact_replay_eps));
+    record.fields.emplace_back("exact_rss_growth_bytes",
+                               JsonValue(exact_rss_growth));
     writer.write_bench(record);
     std::cout << "wrote " << json << " (csb.trace.v1)\n";
   }

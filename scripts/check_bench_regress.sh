@@ -28,7 +28,9 @@
 #     finish+verify parallel speedup (a finish/verify stage that quietly
 #     falls back to serial — relative to baseline, so single-core hosts
 #     where speedup ~= 1 still work), and a relative ceiling on the serial
-#     finish time (a regression of the CSR build itself).
+#     finish time (a regression of the CSR build itself). The exact-PGSK
+#     streamed path (which retired store:replay) gets its own relative
+#     edges/second floor; its peak-RSS bound is asserted inside the bench.
 # Thresholds are deliberately generous (shared CI hosts are noisy): the gate
 # exists to catch structural regressions — a serial fraction that doubles, a
 # kernel that gets 3x slower — not single-digit-percent drift. Gated bench
@@ -217,6 +219,19 @@ else:
         if now_finish > limit:
             failures.append(f"{name}: finish_serial_s {now_finish:.3f} s "
                             f"> limit {limit:.3f} s")
+    if "exact_streamed_edges_per_s" not in baseline[name]:
+        print(f"SKIP {name} exact-streamed check: baseline predates the "
+              "streamed exact path")
+    else:
+        base_eps = baseline[name]["exact_streamed_edges_per_s"]
+        now_eps = fresh[name]["exact_streamed_edges_per_s"]
+        floor = base_eps * 0.5
+        status = "OK" if now_eps >= floor else "FAIL"
+        print(f"{status} {name}: exact streamed {now_eps / 1e6:.2f}M edges/s "
+              f"(baseline {base_eps / 1e6:.2f}M, floor {floor / 1e6:.2f}M)")
+        if now_eps < floor:
+            failures.append(f"{name}: exact_streamed_edges_per_s "
+                            f"{now_eps:.0f} < floor {floor:.0f}")
 
 if failures:
     print("FAIL: bench regression vs committed baseline:", file=sys.stderr)

@@ -8,6 +8,7 @@
 
 #include "gen/materialize.hpp"
 #include "gen/properties.hpp"
+#include "gen/sink_stages.hpp"
 #include "mr/dataset.hpp"
 #include "store/external_sort.hpp"
 #include "obs/trace.hpp"
@@ -350,59 +351,6 @@ GenResult pgpba_fast_generate(const PropertyGraph& seed_graph,
 }
 
 // ------------------------------------------------------------- sink paths
-
-namespace {
-
-/// Splits an AoS edge chunk into endpoint columns and writes it at its
-/// global offset.
-void emit_edge_chunk(GraphStore& store, std::uint64_t first,
-                     std::span<const Edge> edges) {
-  std::vector<VertexId> src(edges.size());
-  std::vector<VertexId> dst(edges.size());
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    src[i] = edges[i].src;
-    dst[i] = edges[i].dst;
-  }
-  store.put_edges(first, src, dst);
-}
-
-/// Re-multiply copy count of one ball-dropped edge — the exact per-edge
-/// draw pgsk_re_multiply makes, so the streamed expansion is byte-identical
-/// to the classic Dataset::flat_map_into path.
-std::uint64_t re_multiply_copies(const SeedProfile& profile,
-                                 std::uint64_t dup_seed, const Edge& e) {
-  Rng rng(dup_seed ^ edge_key(e));
-  const auto copies =
-      static_cast<std::uint64_t>(profile.out_degree().sample(rng));
-  return std::max<std::uint64_t>(1, copies);
-}
-
-/// The store:props stage both sink paths share: fixed global property
-/// chunks (the same geometry assign_properties uses — 2x the virtual
-/// cores), sampled with per-chunk counter streams and written at their
-/// global offsets.
-void run_property_stage(GraphStore& store, const SeedProfile& profile,
-                        ClusterSim& cluster, std::uint64_t prop_seed,
-                        std::uint64_t total_edges) {
-  if (total_edges == 0) return;
-  const std::size_t partitions =
-      std::max<std::size_t>(1, cluster.config().total_cores() * 2);
-  const auto chunks =
-      make_fixed_chunks(0, static_cast<std::size_t>(total_edges),
-                        property_chunk_size(total_edges, partitions));
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(chunks.size());
-  for (const ChunkRange& chunk : chunks) {
-    tasks.push_back([&store, &profile, prop_seed, chunk] {
-      PropertyRowsBuffer rows;
-      sample_property_chunk(profile, prop_seed, chunk, rows);
-      store.put_properties(chunk.begin, rows.view());
-    });
-  }
-  cluster.run_stage("store:props", std::move(tasks));
-}
-
-}  // namespace
 
 StoreGenResult pgsk_fast_generate_into(const PropertyGraph& seed_graph,
                                        const SeedProfile& profile,

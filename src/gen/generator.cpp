@@ -192,6 +192,22 @@ class PgpbaGenerator final : public Generator {
     }
     return pgpba_generate(seed, profile, cluster, options);
   }
+  [[nodiscard]] StoreGenResult generate_into(const PropertyGraph& seed,
+                                             const SeedProfile& profile,
+                                             ClusterSim& cluster,
+                                             const GenConfig& config,
+                                             GraphStore& store) const override {
+    PgpbaOptions options;
+    options.desired_edges = config.desired_edges;
+    options.fraction = config.get_double("fraction", 0.5);
+    options.partitions = config.partitions;
+    options.seed = config.seed;
+    options.with_properties = config.with_properties;
+    if (config.get_flag("degree-mode")) {
+      options.mode = PgpbaAttachMode::kDegreeSampling;
+    }
+    return pgpba_generate_into(seed, profile, cluster, options, store);
+  }
 };
 
 /// The KronFit budget knobs shared by the exact and fast PGSK generators,
@@ -234,15 +250,16 @@ class PgskGenerator final : public Generator {
          "force the Kronecker order (0 = derive from target size)"},
         {"no-rescale", OptionKind::kFlag, "",
          "skip rescaling the initiator to the target edge count"},
+        {"dedup-budget-mb", OptionKind::kU64, "256",
+         "in-RAM budget for the expand distinct before spilling runs"},
+        {"dedup-spill-dir", OptionKind::kString, "",
+         "directory for spilled distinct runs (needed above the budget)"},
     };
     const auto fit = kronfit_option_specs();
     specs.insert(specs.end(), fit.begin(), fit.end());
     return specs;
   }
-  [[nodiscard]] GenResult generate(const PropertyGraph& seed,
-                                   const SeedProfile& profile,
-                                   ClusterSim& cluster,
-                                   const GenConfig& config) const override {
+  static PgskOptions options_from(const GenConfig& config) {
     PgskOptions options;
     options.desired_edges = config.desired_edges;
     options.force_k =
@@ -252,7 +269,23 @@ class PgskGenerator final : public Generator {
     options.with_properties = config.with_properties;
     options.rescale_to_target = !config.get_flag("no-rescale");
     options.fit = kronfit_options_from(config);
-    return pgsk_generate(seed, profile, cluster, options);
+    options.dedup_budget_bytes = config.get_u64("dedup-budget-mb", 256) << 20;
+    options.spill_directory = config.get("dedup-spill-dir", "");
+    return options;
+  }
+  [[nodiscard]] GenResult generate(const PropertyGraph& seed,
+                                   const SeedProfile& profile,
+                                   ClusterSim& cluster,
+                                   const GenConfig& config) const override {
+    return pgsk_generate(seed, profile, cluster, options_from(config));
+  }
+  [[nodiscard]] StoreGenResult generate_into(const PropertyGraph& seed,
+                                             const SeedProfile& profile,
+                                             ClusterSim& cluster,
+                                             const GenConfig& config,
+                                             GraphStore& store) const override {
+    return pgsk_generate_into(seed, profile, cluster, options_from(config),
+                              store);
   }
 };
 

@@ -7,19 +7,35 @@
 
 #include "gen/materialize.hpp"
 #include "gen/properties.hpp"
+#include "gen/sink_stages.hpp"
 #include "mr/dataset.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace csb {
 
-GenResult pgpba_generate(const PropertyGraph& seed_graph,
-                         const SeedProfile& profile, ClusterSim& cluster,
-                         const PgpbaOptions& options) {
+namespace {
+
+/// Output of the shared growth loop (Fig. 2 lines 1-13): the grown edge
+/// partitions plus the dimensions the two back ends (in-RAM materialize,
+/// GraphStore emit) need.
+struct PgpbaGrowth {
+  Dataset<Edge> edges;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t edge_count = 0;
+  std::uint64_t iterations = 0;
+};
+
+/// The PGPBA growth loop, booked under the "grow" phase. Both pgpba_generate
+/// and pgpba_generate_into run exactly this, so the partition-concatenation
+/// edge order — and with it the output bytes — cannot drift between the
+/// in-RAM and the streamed back end.
+PgpbaGrowth pgpba_grow(const PropertyGraph& seed_graph,
+                       const SeedProfile& profile, ClusterSim& cluster,
+                       const PgpbaOptions& options) {
   CSB_CHECK_MSG(seed_graph.num_edges() > 0, "PGPBA needs a non-empty seed");
   CSB_CHECK_MSG(options.desired_edges > 0, "desired_edges must be positive");
   CSB_CHECK_MSG(options.fraction > 0.0, "fraction must be positive");
-  cluster.reset_metrics();
 
   const std::size_t partitions =
       options.partitions != 0 ? options.partitions
@@ -46,13 +62,13 @@ GenResult pgpba_generate(const PropertyGraph& seed_graph,
 
   std::uint64_t num_vertices = seed_graph.num_vertices();
   std::uint64_t edge_count = edges.count();
-  GenResult result;
+  std::uint64_t iterations = 0;
 
   TraceRecorder* const trace = cluster.trace();
   const std::uint64_t grow_phase =
       trace != nullptr ? trace->begin_phase("grow") : 0;
   while (edge_count < options.desired_edges) {
-    const std::uint64_t iteration = result.iterations++;
+    const std::uint64_t iteration = iterations++;
 
     // Stage 1 of the preferential attachment: uniform edge-list sampling
     // (Fig. 2 line 3). A vertex's appearance count equals its degree.
@@ -128,10 +144,26 @@ GenResult pgpba_generate(const PropertyGraph& seed_graph,
   }
   if (trace != nullptr) trace->end_phase(grow_phase);
 
+  return PgpbaGrowth{std::move(edges), num_vertices, edge_count, iterations};
+}
+
+}  // namespace
+
+GenResult pgpba_generate(const PropertyGraph& seed_graph,
+                         const SeedProfile& profile, ClusterSim& cluster,
+                         const PgpbaOptions& options) {
+  cluster.reset_metrics();
+  TraceRecorder* const trace = cluster.trace();
+  const PgpbaGrowth growth =
+      pgpba_grow(seed_graph, profile, cluster, options);
+
+  GenResult result;
+  result.iterations = growth.iterations;
+
   // Distributed graph materialization (GraphX Graph construction).
   {
     PhaseScope phase(trace, "materialize");
-    result.graph = materialize_graph(edges, num_vertices,
+    result.graph = materialize_graph(growth.edges, growth.num_vertices,
                                      options.with_properties, cluster);
   }
   result.structure_seconds = cluster.metrics().simulated_seconds;
@@ -145,6 +177,51 @@ GenResult pgpba_generate(const PropertyGraph& seed_graph,
         cluster.metrics().simulated_seconds - before;
   }
   result.metrics = cluster.metrics();
+  return result;
+}
+
+StoreGenResult pgpba_generate_into(const PropertyGraph& seed_graph,
+                                   const SeedProfile& profile,
+                                   ClusterSim& cluster,
+                                   const PgpbaOptions& options,
+                                   GraphStore& store) {
+  cluster.reset_metrics();
+  TraceRecorder* const trace = cluster.trace();
+  const PgpbaGrowth growth =
+      pgpba_grow(seed_graph, profile, cluster, options);
+
+  StoreGenResult result;
+  result.iterations = growth.iterations;
+
+  // Stream the grown partitions at their concatenation offsets instead of
+  // assembling a second full-graph copy — the classic materialize pass is
+  // replaced by offset-addressed chunk writes.
+  {
+    PhaseScope phase(trace, "store");
+    cluster.run_serial("store:begin", [&] {
+      store.begin(StoreHeader{.vertices = growth.num_vertices,
+                              .edges = growth.edge_count,
+                              .with_properties = options.with_properties,
+                              .seed = options.seed});
+    });
+    emit_dataset_into(growth.edges, store, cluster);
+  }
+  result.structure_seconds = cluster.metrics().simulated_seconds;
+
+  if (options.with_properties) {
+    const double before = cluster.metrics().simulated_seconds;
+    PhaseScope phase(trace, "properties");
+    run_property_stage(store, profile, cluster, options.seed ^ 0xfacadeULL,
+                       growth.edge_count);
+    result.property_seconds = cluster.metrics().simulated_seconds - before;
+  }
+  {
+    PhaseScope phase(trace, "store");
+    cluster.run_serial("store:finalize", [&] { store.finish(); });
+  }
+  result.metrics = cluster.metrics();
+  result.vertices = growth.num_vertices;
+  result.edges = growth.edge_count;
   return result;
 }
 

@@ -46,4 +46,15 @@ GenResult pgpba_generate(const PropertyGraph& seed_graph,
                          const SeedProfile& profile, ClusterSim& cluster,
                          const PgpbaOptions& options);
 
+/// Sink-based PGPBA: the same growth loop, but materialize/properties
+/// stream into `store` as fixed chunks (store:emit / store:props) instead
+/// of allocating a second full-graph copy — the growth state (edge
+/// partitions) is the only O(|E|) resident structure. For a MemoryStore the
+/// stored graph is byte-identical to pgpba_generate's.
+StoreGenResult pgpba_generate_into(const PropertyGraph& seed_graph,
+                                   const SeedProfile& profile,
+                                   ClusterSim& cluster,
+                                   const PgpbaOptions& options,
+                                   GraphStore& store);
+
 }  // namespace csb

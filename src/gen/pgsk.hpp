@@ -36,11 +36,31 @@ struct PgskOptions {
   /// order matches the target exactly (keeps entry ratios). On by default;
   /// benches switch it off to study the raw fit.
   bool rescale_to_target = true;
+  /// In-RAM budget of the expand phase's distinct set before sorted runs
+  /// spill to disk.
+  std::uint64_t dedup_budget_bytes = 256ULL << 20;
+  /// Directory for spilled distinct runs; required once the budget
+  /// overflows.
+  std::string spill_directory;
 };
 
 GenResult pgsk_generate(const PropertyGraph& seed_graph,
                         const SeedProfile& profile, ClusterSim& cluster,
                         const PgskOptions& options);
+
+/// Sink-based exact PGSK: the expand / distinct / re-multiply phases stream
+/// straight into `store` with bounded resident memory — placements dedup
+/// through ExternalDistinct under options.dedup_budget_bytes, then the
+/// sorted-unique key stream is re-multiplied and emitted count→prefix→emit
+/// on counter-mode chunk streams. Peak RSS is O(V + dedup budget) instead
+/// of O(E); the stored bytes are invariant to pool size, shard count, and
+/// spill count, and pgsk_generate (MemoryStore oracle) is this function's
+/// only in-RAM wrapper.
+StoreGenResult pgsk_generate_into(const PropertyGraph& seed_graph,
+                                  const SeedProfile& profile,
+                                  ClusterSim& cluster,
+                                  const PgskOptions& options,
+                                  GraphStore& store);
 
 /// Step 3-4 sizing rule exposed for tests: the order k and pre-duplication
 /// edge target chosen for a desired size, given the duplication factor

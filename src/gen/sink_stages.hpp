@@ -1,0 +1,49 @@
+// Shared building blocks of the GraphStore sink pipelines.
+//
+// Every generator that streams into a GraphStore — the fast samplers and
+// the exact PGSK/PGPBA paths — needs the same three moves: split an AoS
+// edge chunk into endpoint columns at a global offset, replay the exact
+// re-multiply draw for one edge, and sample property chunks on the fixed
+// counter-mode geometry assign_properties uses. Keeping them here means
+// the streamed and in-RAM pipelines cannot drift apart byte-wise.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/edge.hpp"
+#include "mr/cluster.hpp"
+#include "mr/dataset.hpp"
+#include "seed/seed.hpp"
+#include "store/graph_store.hpp"
+
+namespace csb {
+
+/// Splits an AoS edge chunk into endpoint columns and writes it at its
+/// global offset.
+void emit_edge_chunk(GraphStore& store, std::uint64_t first,
+                     std::span<const Edge> edges);
+
+/// Re-multiply copy count of one placed edge — the exact per-edge draw
+/// pgsk_re_multiply makes, so a streamed expansion is byte-identical to
+/// the classic Dataset::flat_map_into path.
+std::uint64_t re_multiply_copies(const SeedProfile& profile,
+                                 std::uint64_t dup_seed, const Edge& e);
+
+/// The store:props stage every sink path shares: fixed global property
+/// chunks (the same geometry assign_properties uses — 2x the virtual
+/// cores), sampled with per-chunk counter streams and written at their
+/// global offsets.
+void run_property_stage(GraphStore& store, const SeedProfile& profile,
+                        ClusterSim& cluster, std::uint64_t prop_seed,
+                        std::uint64_t total_edges);
+
+/// Emits an edge Dataset into the store at its concatenation offsets as a
+/// store:emit stage — the streaming replacement for materialize_graph when
+/// the destination is a sink instead of in-RAM columns. The write offsets
+/// are prefix sums over the partition sizes, so the stored stream equals
+/// the classic partition-concatenation order at any worker count.
+void emit_dataset_into(const Dataset<Edge>& edges, GraphStore& store,
+                       ClusterSim& cluster);
+
+}  // namespace csb

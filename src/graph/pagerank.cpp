@@ -1,6 +1,5 @@
 #include "graph/pagerank.hpp"
 
-#include <atomic>
 #include <cmath>
 
 #include "graph/algorithms.hpp"
@@ -8,6 +7,30 @@
 #include "util/parallel.hpp"
 
 namespace csb {
+
+namespace {
+
+/// Chunk-order partial-sum reduction: each fixed chunk writes its partial
+/// into its own slot and the slots are summed in chunk order, so the result
+/// is bit-identical at any pool size. An atomic<double> fetch_add here
+/// would commit the partials in scheduling order, and float addition does
+/// not commute in rounding — PageRank scores (and the veracity scores
+/// built on them) would drift with thread count.
+template <typename Body>
+double reduce_fixed_chunks(ThreadPool& pool, std::size_t n, std::size_t grain,
+                           const Body& body) {
+  const auto chunks = make_fixed_chunks(0, n, grain);
+  std::vector<double> partials(chunks.size(), 0.0);
+  parallel_for_fixed_chunks(&pool, 0, n, grain,
+                            [&](const ChunkRange& c) {
+                              partials[c.chunk_index] = body(c);
+                            });
+  double total = 0.0;
+  for (const double partial : partials) total += partial;
+  return total;
+}
+
+}  // namespace
 
 PageRankResult pagerank(const PropertyGraph& graph, ThreadPool& pool,
                         const PageRankOptions& options) {
@@ -37,42 +60,41 @@ PageRankResult pagerank_csr(std::span<const std::uint64_t> in_offsets,
   constexpr std::size_t kGrain = 4096;
   for (std::uint32_t iter = 0; iter < options.max_iterations; ++iter) {
     // Dangling vertices donate their mass to everyone.
-    std::atomic<double> dangling{0.0};
-    parallel_for_chunks(pool, 0, n, kGrain, [&](const ChunkRange& c) {
-      double local_dangling = 0.0;
-      for (std::size_t v = c.begin; v < c.end; ++v) {
-        if (out_deg[v] == 0) {
-          local_dangling += rank[v];
-          contribution[v] = 0.0;
-        } else {
-          contribution[v] = rank[v] / static_cast<double>(out_deg[v]);
-        }
-      }
-      dangling.fetch_add(local_dangling, std::memory_order_relaxed);
-    });
+    const double dangling =
+        reduce_fixed_chunks(pool, n, kGrain, [&](const ChunkRange& c) {
+          double local_dangling = 0.0;
+          for (std::size_t v = c.begin; v < c.end; ++v) {
+            if (out_deg[v] == 0) {
+              local_dangling += rank[v];
+              contribution[v] = 0.0;
+            } else {
+              contribution[v] = rank[v] / static_cast<double>(out_deg[v]);
+            }
+          }
+          return local_dangling;
+        });
 
-    const double base =
-        (1.0 - options.damping) * inv_n +
-        options.damping * dangling.load(std::memory_order_relaxed) * inv_n;
+    const double base = (1.0 - options.damping) * inv_n +
+                        options.damping * dangling * inv_n;
 
-    std::atomic<double> delta{0.0};
-    parallel_for_chunks(pool, 0, n, kGrain, [&](const ChunkRange& c) {
-      double local_delta = 0.0;
-      for (std::size_t v = c.begin; v < c.end; ++v) {
-        double sum = 0.0;
-        for (std::uint64_t i = in_offsets[v]; i < in_offsets[v + 1]; ++i) {
-          sum += contribution[in_neighbors[i]];
-        }
-        const double updated = base + options.damping * sum;
-        local_delta += std::abs(updated - rank[v]);
-        next[v] = updated;
-      }
-      delta.fetch_add(local_delta, std::memory_order_relaxed);
-    });
+    const double delta =
+        reduce_fixed_chunks(pool, n, kGrain, [&](const ChunkRange& c) {
+          double local_delta = 0.0;
+          for (std::size_t v = c.begin; v < c.end; ++v) {
+            double sum = 0.0;
+            for (std::uint64_t i = in_offsets[v]; i < in_offsets[v + 1]; ++i) {
+              sum += contribution[in_neighbors[i]];
+            }
+            const double updated = base + options.damping * sum;
+            local_delta += std::abs(updated - rank[v]);
+            next[v] = updated;
+          }
+          return local_delta;
+        });
 
     rank.swap(next);
     result.iterations = iter + 1;
-    result.final_delta = delta.load(std::memory_order_relaxed);
+    result.final_delta = delta;
     if (result.final_delta < options.tolerance) break;
   }
 
@@ -121,36 +143,35 @@ PageRankResult pagerank_weighted(const PropertyGraph& graph, ThreadPool& pool,
   constexpr std::size_t kGrain = 4096;
 
   for (std::uint32_t iter = 0; iter < options.max_iterations; ++iter) {
-    std::atomic<double> dangling{0.0};
-    parallel_for_chunks(pool, 0, n, kGrain, [&](const ChunkRange& c) {
-      double local = 0.0;
-      for (std::size_t v = c.begin; v < c.end; ++v) {
-        if (out_weight[v] == 0.0) local += rank[v];
-      }
-      dangling.fetch_add(local, std::memory_order_relaxed);
-    });
-    const double base =
-        (1.0 - options.damping) * inv_n +
-        options.damping * dangling.load(std::memory_order_relaxed) * inv_n;
+    const double dangling =
+        reduce_fixed_chunks(pool, n, kGrain, [&](const ChunkRange& c) {
+          double local = 0.0;
+          for (std::size_t v = c.begin; v < c.end; ++v) {
+            if (out_weight[v] == 0.0) local += rank[v];
+          }
+          return local;
+        });
+    const double base = (1.0 - options.damping) * inv_n +
+                        options.damping * dangling * inv_n;
 
-    std::atomic<double> delta{0.0};
-    parallel_for_chunks(pool, 0, n, kGrain, [&](const ChunkRange& c) {
-      double local_delta = 0.0;
-      for (std::size_t v = c.begin; v < c.end; ++v) {
-        double sum = 0.0;
-        for (std::uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
-          sum += rank[in_src[i]] * in_share[i];
-        }
-        const double updated = base + options.damping * sum;
-        local_delta += std::abs(updated - rank[v]);
-        next[v] = updated;
-      }
-      delta.fetch_add(local_delta, std::memory_order_relaxed);
-    });
+    const double delta =
+        reduce_fixed_chunks(pool, n, kGrain, [&](const ChunkRange& c) {
+          double local_delta = 0.0;
+          for (std::size_t v = c.begin; v < c.end; ++v) {
+            double sum = 0.0;
+            for (std::uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+              sum += rank[in_src[i]] * in_share[i];
+            }
+            const double updated = base + options.damping * sum;
+            local_delta += std::abs(updated - rank[v]);
+            next[v] = updated;
+          }
+          return local_delta;
+        });
 
     rank.swap(next);
     result.iterations = iter + 1;
-    result.final_delta = delta.load(std::memory_order_relaxed);
+    result.final_delta = delta;
     if (result.final_delta < options.tolerance) break;
   }
   result.scores = std::move(rank);

@@ -79,6 +79,11 @@ const std::vector<std::string_view> kOrderCriticalDirs = {
 
 const std::vector<RuleInfo>& catalog() {
   static const std::vector<RuleInfo> rules = {
+      {"atomic-float-reduce",
+       "std::atomic<float/double> accumulation (fetch_add/compare_exchange) "
+       "in an order-critical module; merge per-chunk partials in chunk order",
+       Severity::kError,
+       kOrderCriticalDirs},
       {"bad-suppression",
        "suppression comment naming an unknown rule (or naming none)",
        Severity::kError,
@@ -359,6 +364,71 @@ void run_raw_parallel_reduce(const SourceFile& file, const Sink& emit) {
   }
 }
 
+// ------------------------------------------------- atomic-float-reduce
+
+/// Identifiers declared as std::atomic<float> / std::atomic<double> in one
+/// file. Member and global declarations bind alike; atomics over integer
+/// types never bind (integer addition is exact, so commit order is
+/// harmless).
+std::set<std::string> atomic_float_decls(const std::vector<Token>& toks) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], "atomic")) continue;
+    const std::size_t lt = next_code(toks, i + 1);
+    if (lt == kNpos || !is_punct(toks[lt], "<")) continue;
+    const std::size_t arg = next_code(toks, lt + 1);
+    if (arg == kNpos ||
+        !(is_ident(toks[arg], "double") || is_ident(toks[arg], "float"))) {
+      continue;
+    }
+    const std::size_t gt = next_code(toks, arg + 1);
+    if (gt == kNpos || !is_punct(toks[gt], ">")) continue;
+    std::size_t name = next_code(toks, gt + 1);
+    while (name != kNpos &&
+           (is_punct(toks[name], "&") || is_punct(toks[name], "*") ||
+            is_ident(toks[name], "const"))) {
+      name = next_code(toks, name + 1);
+    }
+    if (name == kNpos || toks[name].kind != TokKind::kIdent) continue;
+    names.insert(toks[name].text);
+  }
+  return names;
+}
+
+void run_atomic_float_reduce(const SourceFile& file, const Sink& emit) {
+  const auto& toks = file.tokens;
+  const std::set<std::string> atomics = atomic_float_decls(toks);
+  if (atomics.empty()) return;
+  static constexpr std::array<std::string_view, 4> kAccumulate = {
+      "compare_exchange_strong", "compare_exchange_weak", "fetch_add",
+      "fetch_sub"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        atomics.count(toks[i].text) == 0) {
+      continue;
+    }
+    const std::size_t dot = next_code(toks, i + 1);
+    if (dot == kNpos ||
+        !(is_punct(toks[dot], ".") || is_punct(toks[dot], "->"))) {
+      continue;
+    }
+    const std::size_t member = next_code(toks, dot + 1);
+    if (member == kNpos) continue;
+    for (const std::string_view m : kAccumulate) {
+      if (is_ident(toks[member], m)) {
+        emit(toks[i].line,
+             "atomic floating-point '" + toks[i].text + "' accumulates via " +
+                 std::string(m) +
+                 " — partials commit in scheduling order and float addition "
+                 "does not commute in rounding, so the total drifts with "
+                 "thread count; use parallel_for_fixed_chunks with per-chunk "
+                 "partials merged in chunk-index order");
+        break;
+      }
+    }
+  }
+}
+
 // --------------------------------------------------------- span-naming
 
 const std::set<std::string, std::less<>>& families() {
@@ -585,6 +655,8 @@ void run_rule(std::string_view rule_name, const SourceFile& file,
               const SymbolIndex& symbols, const Sink& emit) {
   if (rule_name == "unordered-iteration") {
     run_unordered_iteration(file, symbols, emit);
+  } else if (rule_name == "atomic-float-reduce") {
+    run_atomic_float_reduce(file, emit);
   } else if (rule_name == "raw-parallel-reduce") {
     run_raw_parallel_reduce(file, emit);
   } else if (rule_name == "span-naming") {

@@ -18,6 +18,9 @@ namespace csb {
 namespace {
 
 constexpr std::size_t kIoChunk = 1 << 16;  ///< keys per IO chunk
+/// Keys per in-RAM scan segment — large enough that a segment amortizes a
+/// task dispatch, small enough that typical sets still split across a pool.
+constexpr std::size_t kScanSegment = kIoChunk * 16;
 /// Cap on concurrent merge partitions (beyond this the per-range segments
 /// get too small to amortize the heap and the binary searches).
 constexpr std::size_t kMaxMergeRanges = 16;
@@ -255,27 +258,46 @@ std::uint64_t ExternalDistinct::unique_count() const {
 void ExternalDistinct::scan(
     const std::function<void(std::span<const std::uint64_t>)>& emit) const {
   CSB_CHECK_MSG(sealed_, "ExternalDistinct::scan before seal");
+  for (std::size_t s = 0; s < scan_segments(); ++s) scan_segment(s, emit);
+}
+
+std::size_t ExternalDistinct::scan_segments() const {
+  CSB_CHECK_MSG(sealed_, "ExternalDistinct::scan_segments before seal");
+  if (!parts_.empty()) return parts_.size();
+  return (buffer_.size() + kScanSegment - 1) / kScanSegment;
+}
+
+void ExternalDistinct::scan_segment(
+    std::size_t segment,
+    const std::function<void(std::span<const std::uint64_t>)>& emit) const {
+  CSB_CHECK_MSG(sealed_, "ExternalDistinct::scan_segment before seal");
   if (parts_.empty()) {
-    for (std::size_t at = 0; at < buffer_.size(); at += kIoChunk) {
-      const std::size_t count = std::min(kIoChunk, buffer_.size() - at);
+    const std::size_t begin = segment * kScanSegment;
+    CSB_CHECK_MSG(begin < buffer_.size(),
+                  "ExternalDistinct scan segment out of range");
+    const std::size_t end =
+        std::min(begin + kScanSegment, buffer_.size());
+    for (std::size_t at = begin; at < end; at += kIoChunk) {
+      const std::size_t count = std::min(kIoChunk, end - at);
       emit({buffer_.data() + at, count});
     }
     return;
   }
+  CSB_CHECK_MSG(segment < parts_.size(),
+                "ExternalDistinct scan segment out of range");
+  const std::string& part = parts_[segment];
+  std::ifstream in(part, std::ios::binary);
+  CSB_CHECK_MSG(in.is_open(), "cannot open spill run: " << part);
   std::vector<std::uint64_t> buf(kIoChunk);
-  for (const std::string& part : parts_) {
-    std::ifstream in(part, std::ios::binary);
-    CSB_CHECK_MSG(in.is_open(), "cannot open spill run: " << part);
-    while (in) {
-      in.read(reinterpret_cast<char*>(buf.data()),
-              static_cast<std::streamsize>(buf.size() *
-                                           sizeof(std::uint64_t)));
-      const auto got = static_cast<std::size_t>(in.gcount());
-      CSB_CHECK_MSG(got % sizeof(std::uint64_t) == 0,
-                    "truncated spill run: " << part);
-      if (got == 0) break;
-      emit({buf.data(), got / sizeof(std::uint64_t)});
-    }
+  while (in) {
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size() *
+                                         sizeof(std::uint64_t)));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    CSB_CHECK_MSG(got % sizeof(std::uint64_t) == 0,
+                  "truncated spill run: " << part);
+    if (got == 0) break;
+    emit({buf.data(), got / sizeof(std::uint64_t)});
   }
 }
 

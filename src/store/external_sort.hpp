@@ -59,6 +59,21 @@ class ExternalDistinct {
   void scan(const std::function<void(std::span<const std::uint64_t>)>& emit)
       const;
 
+  /// Number of independently scannable segments after seal(). Segments
+  /// partition the ascending key stream: concatenating
+  /// scan_segment(0..scan_segments()) reproduces scan() exactly. The
+  /// segment *boundaries* may differ with spill count or pool size — only
+  /// the concatenated stream is invariant — so callers must address their
+  /// output by key position, not by segment index.
+  [[nodiscard]] std::size_t scan_segments() const;
+
+  /// Streams segment `segment` of the ascending key stream as span chunks.
+  /// Thread-safe against concurrent scan_segment calls on other (or the
+  /// same) segments; repeatable.
+  void scan_segment(
+      std::size_t segment,
+      const std::function<void(std::span<const std::uint64_t>)>& emit) const;
+
   [[nodiscard]] std::uint64_t unique_count() const;
   /// Number of run files ever spilled (0 = the whole set fit in RAM).
   [[nodiscard]] std::size_t spilled_runs() const { return spilled_; }

@@ -1,0 +1,51 @@
+// Fixture: atomic-float-reduce. Lines tagged "VIOLATION" must each produce
+// exactly one diagnostic; the suppressed accumulation must be silenced and
+// counted; integer atomics and chunk-order partials stay clean. Never
+// compiled.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+std::atomic<double> shared_sum{0.0};
+std::atomic<float> shared_error{0.0f};
+std::atomic<std::uint64_t> shared_count{0};
+
+void racy_sum(ThreadPool* pool) {
+  parallel_for(pool, 0, 100, [&](std::size_t i) {
+    shared_sum.fetch_add(static_cast<double>(i));  // VIOLATION
+    shared_count.fetch_add(1);  // integer atomic: exact at any commit order
+  });
+}
+
+void racy_cas(float value) {
+  float expected = shared_error.load();
+  while (!shared_error.compare_exchange_weak(  // VIOLATION
+      expected, expected + value)) {
+  }
+}
+
+void racy_drain(std::atomic<double>* totals) {
+  std::atomic<double>& slot = totals[0];
+  slot.fetch_sub(1.0);  // VIOLATION
+}
+
+void blessed_partials(ThreadPool* pool, std::size_t chunks) {
+  std::vector<double> partials(chunks, 0.0);
+  parallel_for_fixed_chunks(pool, 0, 100, 10, [&](const ChunkRange& c) {
+    double local = 0.0;
+    for (std::size_t i = c.begin; i < c.end; ++i) {
+      local += static_cast<double>(i);
+    }
+    partials[c.chunk_index] = local;
+  });
+}
+
+void justified(double value) {
+  // csblint: atomic-float-reduce-ok — fixture case
+  shared_sum.fetch_add(value);
+}
+
+}  // namespace fixture

@@ -97,6 +97,8 @@ TEST_P(LintFixtureTest, DetectsAllSeededViolations) {
 INSTANTIATE_TEST_SUITE_P(
     AllRules, LintFixtureTest,
     ::testing::Values(
+        FixtureCase{"atomic_reduce.cpp", "src/graph/atomic_reduce.cpp",
+                    "atomic-float-reduce"},
         FixtureCase{"nondet.cpp", "src/gen/nondet.cpp",
                     "banned-nondeterminism"},
         FixtureCase{"unordered.cpp", "src/stats/unordered.cpp",
@@ -122,6 +124,10 @@ TEST(LintScopeTest, ScopedRulesIgnoreOtherDirectories) {
   const LintResult unordered =
       lint_one("docs/examples/unordered.cpp", fixture("unordered.cpp"));
   EXPECT_TRUE(unordered.diagnostics.empty());
+
+  const LintResult atomics =
+      lint_one("tools/atomic_reduce.cpp", fixture("atomic_reduce.cpp"));
+  EXPECT_TRUE(atomics.diagnostics.empty());
 }
 
 TEST(LintScopeTest, RuleFilterSelectsSingleRule) {
@@ -239,13 +245,14 @@ TEST(RuleCatalogTest, ListRulesMatchesGolden) {
 
 TEST(RuleCatalogTest, CatalogIsSortedAndComplete) {
   const std::vector<RuleInfo>& rules = rule_catalog();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 7u);
   for (std::size_t i = 1; i < rules.size(); ++i) {
     EXPECT_LT(rules[i - 1].name, rules[i].name);
   }
   for (const char* name :
-       {"bad-suppression", "banned-functions", "banned-nondeterminism",
-        "raw-parallel-reduce", "span-naming", "unordered-iteration"}) {
+       {"atomic-float-reduce", "bad-suppression", "banned-functions",
+        "banned-nondeterminism", "raw-parallel-reduce", "span-naming",
+        "unordered-iteration"}) {
     EXPECT_TRUE(is_known_rule(name)) << name;
   }
   EXPECT_FALSE(is_known_rule("nope"));

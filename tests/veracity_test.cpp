@@ -7,6 +7,7 @@
 #include "gen/fast_samplers.hpp"
 #include "gen/pgpba.hpp"
 #include "gen/pgsk.hpp"
+#include "graph/pagerank.hpp"
 #include "seed/seed.hpp"
 #include "trace/traffic_model.hpp"
 #include "util/error.hpp"
@@ -40,6 +41,35 @@ TEST(NormalizedDistributionTest, PagerankSumsToOne) {
   double sum = 0.0;
   for (const double v : normalized) sum += v;
   EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// PageRank's dangling-mass and convergence-delta reductions merge per-chunk
+// partials in chunk-index order, so every score (and every veracity score
+// built on one) is bit-identical at any pool size — not merely close.
+TEST(NormalizedDistributionTest, PagerankBitIdenticalAcrossPoolSizes) {
+  const SeedBundle seed = make_seed();
+  ThreadPool serial(1);
+  const PageRankResult baseline = pagerank(seed.graph, serial);
+  ASSERT_FALSE(baseline.scores.empty());
+
+  ThreadPool wide(8);
+  const PageRankResult parallel_run = pagerank(seed.graph, wide);
+  ASSERT_EQ(parallel_run.scores.size(), baseline.scores.size());
+  EXPECT_EQ(parallel_run.iterations, baseline.iterations);
+  EXPECT_EQ(parallel_run.final_delta, baseline.final_delta);
+  for (std::size_t v = 0; v < baseline.scores.size(); ++v) {
+    ASSERT_EQ(parallel_run.scores[v], baseline.scores[v]) << "vertex " << v;
+  }
+
+  const PageRankResult weighted_base =
+      pagerank_by_traffic(seed.graph, serial);
+  const PageRankResult weighted_wide = pagerank_by_traffic(seed.graph, wide);
+  ASSERT_EQ(weighted_wide.scores.size(), weighted_base.scores.size());
+  EXPECT_EQ(weighted_wide.final_delta, weighted_base.final_delta);
+  for (std::size_t v = 0; v < weighted_base.scores.size(); ++v) {
+    ASSERT_EQ(weighted_wide.scores[v], weighted_base.scores[v])
+        << "vertex " << v;
+  }
 }
 
 TEST(VeracityScoreTest, IdenticalGraphScoresZero) {

@@ -426,7 +426,8 @@ int cmd_generate(const Args& args) {
   } catch (const CsbError& error) {
     throw UsageError(error.what());
   }
-  if (format_name == "shards" && generator.name() == "pgsk-fast" &&
+  if (format_name == "shards" &&
+      (generator.name() == "pgsk-fast" || generator.name() == "pgsk") &&
       !config.has("dedup-spill-dir")) {
     // Default external-sort spills next to the output shards: same
     // filesystem, cleaned up with the run.
