@@ -6,8 +6,9 @@
 # (check_sanitize.sh) and pre-push hooks without a test run.
 #
 # When clang-tidy is installed, also runs the project .clang-tidy config
-# over src/util/ and src/obs/ (the directories kept tidy-clean); absent
-# clang-tidy is not an error — the container image does not ship it.
+# over src/util/, src/obs/, src/lint/ and src/store/ (the directories kept
+# tidy-clean); absent clang-tidy is not an error — the container image does
+# not ship it.
 #
 # BUILD_DIR overrides the build tree (default: build).
 set -euo pipefail
@@ -18,12 +19,14 @@ cmake -B "$BUILD" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target csblint
 
 echo "== csblint (determinism & concurrency invariants) =="
-"$BUILD/tools/csblint" --root=. src tools bench
+"$BUILD/tools/csblint" --root=. --jobs="$(nproc)" \
+  --baseline=scripts/csblint_baseline.txt src tools bench tests
 
 if command -v clang-tidy >/dev/null 2>&1 &&
    [[ -f "$BUILD/compile_commands.json" ]]; then
-  echo "== clang-tidy (src/util, src/obs) =="
-  mapfile -t TIDY_FILES < <(ls src/util/*.cpp src/obs/*.cpp)
+  echo "== clang-tidy (src/util, src/obs, src/lint, src/store) =="
+  mapfile -t TIDY_FILES < \
+    <(ls src/util/*.cpp src/obs/*.cpp src/lint/*.cpp src/store/*.cpp)
   clang-tidy -p "$BUILD" --quiet "${TIDY_FILES[@]}"
 else
   echo "clang-tidy not installed; skipping the tidy pass"

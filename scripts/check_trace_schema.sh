@@ -19,11 +19,14 @@ BUILD="${BUILD_DIR:-build}"
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target csbgen trace_overhead csblint
 
-# Span-name literals must match the documented stage-name grammar before we
-# bother producing traces: csblint's span-naming rule is the static half of
-# this gate (docs/static-analysis.md), `csbgen report --check` the dynamic.
-echo "== linting span names =="
-"$BUILD/tools/csblint" --root=. --rules=span-naming src tools bench
+# Span-name literals must match the documented stage-name grammar, and
+# every begin_phase must be matched by an end_phase on every control path,
+# before we bother producing traces: csblint's span-naming and span-balance
+# rules are the static half of this gate (docs/static-analysis.md),
+# `csbgen report --check` the dynamic.
+echo "== linting span names and span balance =="
+"$BUILD/tools/csblint" --root=. --rules=span-naming,span-balance \
+  src tools bench
 
 CSBGEN="$BUILD/tools/csbgen"
 TMP="$(mktemp -d)"

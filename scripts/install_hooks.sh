@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Installs the repo's git hooks. Currently one hook:
+#
+#   pre-push — incremental lint gate: builds csblint and runs it over the
+#   files changed relative to HEAD plus untracked files (--changed-only),
+#   against the checked-in baseline, emitting SARIF to
+#   $BUILD/csblint-prepush.sarif so editors/CI annotators can pick the
+#   findings up. A push with no lintable changes is a no-op; any NEW
+#   finding aborts the push. Bypass deliberately with `git push --no-verify`.
+#
+# Idempotent: re-running overwrites the installed hook. BUILD_DIR in the
+# hook's environment overrides the build tree (default: build).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HOOK_DIR="$(git rev-parse --git-path hooks)"
+mkdir -p "$HOOK_DIR"
+
+cat > "$HOOK_DIR/pre-push" <<'EOF'
+#!/usr/bin/env bash
+# Installed by scripts/install_hooks.sh — do not edit in place.
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+BUILD="${BUILD_DIR:-build}"
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target csblint >/dev/null
+
+SARIF="$BUILD/csblint-prepush.sarif"
+echo "pre-push: csblint --changed-only (SARIF -> $SARIF)"
+if ! "$BUILD/tools/csblint" --root=. --changed-only --jobs="$(nproc)" \
+    --format=sarif --baseline=scripts/csblint_baseline.txt \
+    src tools bench tests > "$SARIF"; then
+  echo "pre-push: new csblint findings — see $SARIF" >&2
+  echo "pre-push: fix them (docs/static-analysis.md) or push --no-verify" >&2
+  exit 1
+fi
+EOF
+chmod +x "$HOOK_DIR/pre-push"
+
+echo "installed $HOOK_DIR/pre-push"

@@ -271,8 +271,7 @@ GenResult pgpba_fast_generate(const PropertyGraph& seed_graph,
 
   std::optional<Dataset<Edge>> edges;
   {
-    const std::uint64_t phase_id =
-        trace != nullptr ? trace->begin_phase("grow") : 0;
+    const PhaseScope grow_scope(trace, "grow");
 
     // Re-emit the seed's edge list as the output's head partitions in fixed
     // chunks; the destination table the chains terminate in is the seed
@@ -328,7 +327,6 @@ GenResult pgpba_fast_generate(const PropertyGraph& seed_graph,
     for (auto& part : grown_parts) partitions.push_back(std::move(part));
     edges.emplace(
         Dataset<Edge>(cluster, std::move(partitions)).coalesced(parts));
-    if (trace != nullptr) trace->end_phase(phase_id);
   }
   result.iterations = 1;
 

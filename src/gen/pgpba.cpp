@@ -65,8 +65,9 @@ PgpbaGrowth pgpba_grow(const PropertyGraph& seed_graph,
   std::uint64_t iterations = 0;
 
   TraceRecorder* const trace = cluster.trace();
-  const std::uint64_t grow_phase =
-      trace != nullptr ? trace->begin_phase("grow") : 0;
+  // RAII span: the growth loop's CSB_CHECK below throws on degenerate
+  // inputs, and the "grow" span must close on that path too.
+  const PhaseScope grow_scope(trace, "grow");
   while (edge_count < options.desired_edges) {
     const std::uint64_t iteration = iterations++;
 
@@ -142,8 +143,6 @@ PgpbaGrowth pgpba_grow(const PropertyGraph& seed_graph,
                   "PGPBA made no progress (degenerate degree distributions?)");
     edge_count = new_count;
   }
-  if (trace != nullptr) trace->end_phase(grow_phase);
-
   return PgpbaGrowth{std::move(edges), num_vertices, edge_count, iterations};
 }
 

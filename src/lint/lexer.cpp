@@ -112,26 +112,54 @@ std::vector<Token> tokenize(std::string_view src) {
       continue;
     }
 
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t j = i + 2;
-      while (j < n && src[j] != '(' && src[j] != '"' && src[j] != '\n') ++j;
-      if (j < n && src[j] == '(') {
-        std::string close(")");
-        close.append(src.substr(i + 2, j - (i + 2)));
-        close.push_back('"');
-        const std::size_t end = src.find(close, j + 1);
-        const std::size_t stop = end == std::string_view::npos
-                                     ? n
-                                     : end + close.size();
+    // Raw or encoding-prefixed literal: (u8|u|U|L)?R"delim(...)delim",
+    // u8"...", L'x', and friends. Only a quote directly after the prefix
+    // makes it a literal — identifiers like `Run` or `u8max` fall through.
+    if (c == 'R' || c == 'u' || c == 'U' || c == 'L') {
+      std::size_t p = 0;  // encoding prefix length (before any R)
+      if (c == 'u' && i + 1 < n && src[i + 1] == '8') {
+        p = 2;
+      } else if (c != 'R') {
+        p = 1;
+      }
+      const bool has_r = i + p < n && src[i + p] == 'R';
+      const std::size_t q = i + p + (has_r ? 1 : 0);  // quote position
+      if (has_r && q < n && src[q] == '"') {
+        std::size_t j = q + 1;
+        while (j < n && src[j] != '(' && src[j] != '"' && src[j] != '\n') {
+          ++j;
+        }
+        if (j < n && src[j] == '(') {
+          std::string close(")");
+          close.append(src.substr(q + 1, j - (q + 1)));
+          close.push_back('"');
+          const std::size_t end = src.find(close, j + 1);
+          const std::size_t stop = end == std::string_view::npos
+                                       ? n
+                                       : end + close.size();
+          const int start_line = line;
+          count_newlines(i, stop);
+          push(TokKind::kString, i, stop, start_line);
+          i = stop;
+          continue;
+        }
+        // Malformed delimiter: not a raw string after all; fall through.
+      } else if (!has_r && p > 0 && q < n &&
+                 (src[q] == '"' || src[q] == '\'')) {
+        const char quote = src[q];
+        std::size_t j = q + 1;
+        while (j < n && src[j] != quote && src[j] != '\n') {
+          j += src[j] == '\\' && j + 1 < n ? 2 : 1;
+        }
+        if (j < n && src[j] == quote) ++j;
         const int start_line = line;
-        count_newlines(i, stop);
-        push(TokKind::kString, i, stop, start_line);
-        i = stop;
+        count_newlines(i, j);  // a spliced (\-newline) literal spans lines
+        push(quote == '"' ? TokKind::kString : TokKind::kChar, i, j,
+             start_line);
+        i = j;
         continue;
       }
-      // Not actually a raw string ('R' identifier followed by a plain
-      // string); fall through to identifier handling.
+      // Plain identifier starting with R/u/U/L: identifier handling below.
     }
 
     // String / char literal with escapes.
@@ -141,7 +169,9 @@ std::vector<Token> tokenize(std::string_view src) {
         j += src[j] == '\\' && j + 1 < n ? 2 : 1;
       }
       if (j < n && src[j] == c) ++j;
-      push(c == '"' ? TokKind::kString : TokKind::kChar, i, j, line);
+      const int start_line = line;
+      count_newlines(i, j);  // a spliced (\-newline) literal spans lines
+      push(c == '"' ? TokKind::kString : TokKind::kChar, i, j, start_line);
       i = j;
       continue;
     }
@@ -175,6 +205,18 @@ std::vector<Token> tokenize(std::string_view src) {
       continue;
     }
 
+    // Backslash-newline splice between tokens: whitespace continuing the
+    // logical line (so `line_start` is deliberately left alone).
+    if (c == '\\') {
+      std::size_t j = i + 1;
+      if (j < n && src[j] == '\r') ++j;
+      if (j < n && src[j] == '\n') {
+        ++line;
+        i = j + 1;
+        continue;
+      }
+    }
+
     // Punctuation, longest operator first.
     std::size_t len = 1;
     for (const std::string_view op : kMultiPunct) {
@@ -190,6 +232,13 @@ std::vector<Token> tokenize(std::string_view src) {
 }
 
 std::string string_literal_value(std::string_view text) {
+  // Strip an encoding prefix (u8, u, U, L) if present.
+  if (!text.empty() &&
+      (text.front() == 'u' || text.front() == 'U' || text.front() == 'L')) {
+    text.remove_prefix(text.size() >= 2 && text[0] == 'u' && text[1] == '8'
+                           ? 2
+                           : 1);
+  }
   if (text.size() >= 2 && text.front() == 'R') {
     const std::size_t open = text.find('(');
     const std::size_t close = text.rfind(')');

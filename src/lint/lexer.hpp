@@ -40,6 +40,14 @@ struct Token {
 /// whitespace are dropped) but line numbers are exact.
 std::vector<Token> tokenize(std::string_view source);
 
+/// One file as the analyses see it: the root-relative path (drives rule
+/// scoping), the raw bytes, and the token stream.
+struct SourceFile {
+  std::string path;  ///< root-relative, '/'-separated
+  std::string content;
+  std::vector<Token> tokens;
+};
+
 /// Unquotes a kString token's text ("abc" -> abc, R"(abc)" -> abc).
 /// Escape sequences are NOT interpreted; span names never contain them.
 std::string string_literal_value(std::string_view text);

@@ -13,10 +13,17 @@
 // (`// csblint: span-naming-ok banned-functions-ok — reason`); anything
 // after the rule tokens is a free-form justification. Unknown rule names
 // are themselves diagnosed (rule `bad-suppression`).
+//
+// Baselines: a checked-in `file:line:rule` list of accepted pre-existing
+// findings. apply_baseline() subtracts it from a result, so CI can gate on
+// "no NEW findings" while the backlog is burned down deliberately.
 #pragma once
 
 #include <cstddef>
+#include <set>
 #include <string>
+#include <string_view>
+#include <tuple>
 #include <vector>
 
 #include "lint/rules.hpp"
@@ -27,6 +34,10 @@ struct LintOptions {
   /// Rules to run; empty = every rule in the catalog. Unknown names are
   /// rejected by Linter's constructor via CsbError.
   std::vector<std::string> rules;
+  /// Worker threads for the per-file scan; 0 or 1 = serial. Diagnostics
+  /// are sorted by (file, line, rule) regardless, so output is identical
+  /// at any thread count.
+  std::size_t jobs = 1;
 };
 
 struct LintResult {
@@ -34,6 +45,8 @@ struct LintResult {
   std::vector<Diagnostic> diagnostics;
   /// Findings silenced by a valid suppression comment.
   std::size_t suppressed_count = 0;
+  /// Findings subtracted by apply_baseline().
+  std::size_t baselined_count = 0;
   std::size_t files_linted = 0;
 };
 
@@ -42,15 +55,37 @@ class Linter {
   explicit Linter(LintOptions options = {});
 
   /// `path` should be root-relative with '/' separators — it drives rule
-  /// scoping (rule_applies) and appears verbatim in diagnostics.
+  /// scoping (rule_applies) and appears verbatim in diagnostics. Content
+  /// is stored as-is; tokenization happens inside run(), in parallel when
+  /// options.jobs allows.
   void add_file(std::string path, std::string content);
 
-  [[nodiscard]] LintResult run() const;
+  [[nodiscard]] LintResult run();
 
  private:
   LintOptions options_;
   std::vector<SourceFile> files_;
 };
+
+/// A set of accepted findings, keyed (file, line, rule).
+struct Baseline {
+  std::set<std::tuple<std::string, int, std::string>> entries;
+};
+
+/// Parses baseline text: one `file:line:rule` per line; blank lines and
+/// `#` comments ignored. Throws CsbError on malformed entries.
+Baseline parse_baseline(std::string_view text);
+
+/// Reads and parses a baseline file; throws CsbError when unreadable.
+Baseline load_baseline(const std::string& path);
+
+/// Renders `result`'s diagnostics in baseline format (sorted, with a
+/// header comment) — the payload of `csblint --write-baseline`.
+std::string baseline_text(const LintResult& result);
+
+/// Removes diagnostics listed in `baseline` from `result`, bumping
+/// baselined_count for each.
+void apply_baseline(LintResult& result, const Baseline& baseline);
 
 /// Stable rendering of the rule catalog (`csblint --list-rules`); pinned
 /// byte-for-byte by tests/lint_test.cpp.

@@ -3,66 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <map>
+
+#include "lint/symbols.hpp"
+#include "lint/token_match.hpp"
 
 namespace csb::lint {
 
 namespace {
-
-constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
-
-bool is_punct(const Token& tok, std::string_view text) {
-  return tok.kind == TokKind::kPunct && tok.text == text;
-}
-
-bool is_ident(const Token& tok, std::string_view text) {
-  return tok.kind == TokKind::kIdent && tok.text == text;
-}
-
-/// Index of the next non-comment token at or after `i`; kNpos at end.
-std::size_t next_code(const std::vector<Token>& toks, std::size_t i) {
-  while (i < toks.size() && toks[i].kind == TokKind::kComment) ++i;
-  return i < toks.size() ? i : kNpos;
-}
-
-/// Index of the previous non-comment token before `i`; kNpos at start.
-std::size_t prev_code(const std::vector<Token>& toks, std::size_t i) {
-  while (i > 0) {
-    --i;
-    if (toks[i].kind != TokKind::kComment) return i;
-  }
-  return kNpos;
-}
-
-/// Given `i` at an opening token, returns the index just past the matching
-/// close, or kNpos. Handles (), [], {}.
-std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t i,
-                          std::string_view open, std::string_view close) {
-  int depth = 0;
-  for (; i < toks.size(); ++i) {
-    if (is_punct(toks[i], open)) ++depth;
-    if (is_punct(toks[i], close) && --depth == 0) return i + 1;
-  }
-  return kNpos;
-}
-
-/// Given `i` at a `<` token, returns the index just past the matching `>`,
-/// treating `>>` as two closes (nested template args). Bails (kNpos) on
-/// `;`/`{` — the `<` was a comparison, not a template argument list.
-std::size_t skip_template_args(const std::vector<Token>& toks,
-                               std::size_t i) {
-  int depth = 0;
-  for (; i < toks.size(); ++i) {
-    const Token& tok = toks[i];
-    if (is_punct(tok, "<")) ++depth;
-    if (is_punct(tok, ">") && --depth == 0) return i + 1;
-    if (is_punct(tok, ">>")) {
-      depth -= 2;
-      if (depth <= 0) return i + 1;
-    }
-    if (is_punct(tok, ";") || is_punct(tok, "{")) return kNpos;
-  }
-  return kNpos;
-}
 
 // ------------------------------------------------------------- catalog
 
@@ -76,6 +24,16 @@ const std::vector<std::string_view> kOrderCriticalDirs = {
     "src/gen/",  "src/seed/",     "src/graph/", "src/stats/",
     "src/flow/", "src/mr/",       "src/ids/",   "src/veracity/",
     "src/workload/", "src/trace/", "src/pcap/", "src/obs/"};
+
+// Production code only: span rules stay out of tests, where ad-hoc span
+// literals are the fixtures' whole point.
+const std::vector<std::string_view> kProductionDirs = {"src/", "tools/",
+                                                       "bench/"};
+
+// The on-disk store paths: the modules where an ignored syscall result
+// silently corrupts a persistent artifact.
+const std::vector<std::string_view> kSyscallDirs = {"src/store/",
+                                                    "src/pcap/"};
 
 const std::vector<RuleInfo>& catalog() {
   static const std::vector<RuleInfo> rules = {
@@ -98,16 +56,41 @@ const std::vector<RuleInfo>& catalog() {
        "time()) in deterministic modules; use csb::Rng / steady_clock",
        Severity::kError,
        kDeterministicDirs},
+      {"counter-rng-reuse",
+       "two parallel loops in one function derive chunk RNGs from the same "
+       "counter stream key; salt each loop's key (util/random.hpp)",
+       Severity::kError,
+       kOrderCriticalDirs},
+      {"detached-thread-capture",
+       "std::thread/std::async lambda captures by reference or this, or a "
+       "bare .detach(); captured state can dangle under the new thread",
+       Severity::kError,
+       {}},
+      {"lock-discipline",
+       "raw mutex .lock()/.unlock() instead of std::lock_guard/scoped_lock; "
+       "an early return or throw skips the unlock",
+       Severity::kError,
+       {}},
       {"raw-parallel-reduce",
        "parallel_for lambda accumulates into captured floating-point state; "
        "use parallel_for_fixed_chunks with a chunk-order merge",
        Severity::kError,
        {}},
+      {"span-balance",
+       "begin_phase without a matching end_phase on every control path, or "
+       "run_stage nested inside run_serial; use PhaseScope (RAII)",
+       Severity::kError,
+       kProductionDirs},
       {"span-naming",
        "trace span literal outside the documented stage-name grammar "
        "(docs/observability.md)",
        Severity::kError,
-       {}},
+       kProductionDirs},
+      {"unchecked-syscall",
+       "ignored return of pwrite/pread/mmap/ftruncate/fsync in the on-disk "
+       "store paths; check the result or cast to (void) with a reason",
+       Severity::kError,
+       kSyscallDirs},
       {"unordered-iteration",
        "iteration over unordered_map/unordered_set in a determinism-critical "
        "module; order must not reach output",
@@ -150,51 +133,15 @@ void collect_aliases(const SourceFile& file, SymbolIndex& index) {
 }
 
 /// Collects identifiers declared with a *leading* unordered container type
-/// (variables, members, parameters, and functions returning one). Nested
-/// occurrences (`std::vector<std::unordered_map<...>> x`) deliberately do
-/// not bind: iterating the outer container is ordered.
+/// (variables, members, parameters, and functions returning one) via the
+/// shared leading-type heuristic. Nested occurrences
+/// (`std::vector<std::unordered_map<...>> x`) deliberately do not bind:
+/// iterating the outer container is ordered.
 void collect_vars(const SourceFile& file, SymbolIndex& index) {
-  const auto& toks = file.tokens;
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    if (!names_unordered(index, toks[i])) continue;
-    // Leading-type check: walk back over std/::/const/typename; if that
-    // lands on `<` or `,`, this mention is a nested template argument.
-    std::size_t p = i;
-    while (true) {
-      p = prev_code(toks, p);
-      if (p == kNpos) break;
-      if (is_ident(toks[p], "std") || is_ident(toks[p], "const") ||
-          is_ident(toks[p], "typename") || is_punct(toks[p], "::")) {
-        continue;
-      }
-      break;
-    }
-    if (p != kNpos && (is_punct(toks[p], "<") || is_punct(toks[p], ","))) {
-      continue;
-    }
-    std::size_t k = next_code(toks, i + 1);
-    if (k != kNpos && is_punct(toks[k], "<")) {
-      k = skip_template_args(toks, k);
-    }
-    while (k != kNpos && k < toks.size() &&
-           (is_punct(toks[k], "&") || is_punct(toks[k], "*") ||
-            is_ident(toks[k], "const"))) {
-      k = next_code(toks, k + 1);
-    }
-    if (k == kNpos || k >= toks.size() || toks[k].kind != TokKind::kIdent) {
-      continue;
-    }
-    const std::size_t after = next_code(toks, k + 1);
-    if (after == kNpos) continue;
-    static constexpr std::array<std::string_view, 7> kDeclFollow = {
-        ";", "=", "{", "(", ",", ")", ":"};
-    for (const std::string_view f : kDeclFollow) {
-      if (is_punct(toks[after], f)) {
-        index.unordered_vars.insert(toks[k].text);
-        break;
-      }
-    }
-  }
+  const std::set<std::string> names = leading_type_decls(
+      file,
+      [&index](const Token& tok) { return names_unordered(index, tok); });
+  index.unordered_vars.insert(names.begin(), names.end());
 }
 
 // -------------------------------------------------- unordered-iteration
@@ -576,6 +523,401 @@ void run_banned_functions(const SourceFile& file, const Sink& emit) {
   }
 }
 
+// --------------------------------------------------- unchecked-syscall
+
+void run_unchecked_syscall(const SourceFile& file, const Sink& emit) {
+  static constexpr std::array<std::string_view, 7> kSyscalls = {
+      "fdatasync", "fsync", "ftruncate", "mmap", "msync", "pread", "pwrite"};
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    bool is_syscall = false;
+    for (const std::string_view s : kSyscalls) {
+      if (toks[i].text == s) {
+        is_syscall = true;
+        break;
+      }
+    }
+    if (!is_syscall) continue;
+    const std::size_t open = next_code(toks, i + 1);
+    if (open == kNpos || !is_punct(toks[open], "(")) continue;
+    std::size_t p = prev_code(toks, i);
+    if (p != kNpos &&
+        (is_punct(toks[p], ".") || is_punct(toks[p], "->"))) {
+      continue;  // member call on some wrapper object, not the syscall
+    }
+    if (p != kNpos && is_punct(toks[p], "::")) p = prev_code(toks, p);
+    // Statement position = the result is discarded. Any other context
+    // (assignment, condition, CSB_CHECK argument, (void) cast) consumes
+    // or deliberately discards it.
+    const bool discarded = p == kNpos || is_punct(toks[p], ";") ||
+                           is_punct(toks[p], "{") || is_punct(toks[p], "}");
+    if (!discarded) continue;
+    emit(toks[i].line,
+         "return value of '" + toks[i].text +
+             "' is ignored — a short write, failed map, or failed truncate "
+             "silently corrupts the on-disk artifact; check the result "
+             "(CSB_CHECK_MSG or the pwrite_all/pread_all wrappers) or cast "
+             "to (void) with a comment saying why failure is acceptable");
+  }
+}
+
+// ----------------------------------------------------- lock-discipline
+
+void run_lock_discipline(const SourceFile& file, const FileAnalysis& analysis,
+                         const Sink& emit) {
+  if (analysis.mutex_vars.empty()) return;
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        analysis.mutex_vars.count(toks[i].text) == 0) {
+      continue;
+    }
+    const std::size_t dot = next_code(toks, i + 1);
+    if (dot == kNpos ||
+        !(is_punct(toks[dot], ".") || is_punct(toks[dot], "->"))) {
+      continue;
+    }
+    const std::size_t member = next_code(toks, dot + 1);
+    if (member == kNpos) continue;
+    const std::size_t open = next_code(toks, member + 1);
+    if (open == kNpos || !is_punct(toks[open], "(")) continue;
+
+    if (is_ident(toks[member], "unlock")) {
+      emit(toks[i].line,
+           "raw '" + toks[i].text +
+               ".unlock()' — manual unlock discipline; hold the mutex "
+               "through std::lock_guard/std::scoped_lock (RAII) instead");
+      continue;
+    }
+    if (!is_ident(toks[member], "lock")) continue;
+
+    std::string message =
+        "raw '" + toks[i].text +
+        ".lock()' — use std::lock_guard/std::scoped_lock so every exit "
+        "path unlocks";
+    // Look for the matching unlock on the same variable inside the same
+    // function, and for exits that would skip it.
+    const int fn = analysis.scopes.enclosing_function(i);
+    const std::size_t fn_end =
+        fn >= 0 ? analysis.scopes.scopes[static_cast<std::size_t>(fn)].body_end
+                : toks.size();
+    std::size_t unlock = kNpos;
+    for (std::size_t j = member + 1; j < fn_end && j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::kIdent || toks[j].text != toks[i].text) {
+        continue;
+      }
+      const std::size_t d = next_code(toks, j + 1);
+      if (d == kNpos || !(is_punct(toks[d], ".") || is_punct(toks[d], "->"))) {
+        continue;
+      }
+      const std::size_t m = next_code(toks, d + 1);
+      if (m != kNpos && is_ident(toks[m], "unlock")) {
+        unlock = m;
+        break;
+      }
+    }
+    if (unlock == kNpos) {
+      message += "; no matching '" + toks[i].text +
+                 ".unlock()' in this function";
+    } else {
+      for (std::size_t j = member + 1; j < unlock; ++j) {
+        if (toks[j].kind != TokKind::kIdent) continue;
+        const bool exits = toks[j].text == "return" ||
+                           toks[j].text == "throw" ||
+                           toks[j].text == "CSB_CHECK" ||
+                           toks[j].text == "CSB_CHECK_MSG";
+        if (!exits) continue;
+        // An exit inside a nested lambda doesn't leave *this* function.
+        if (analysis.scopes.enclosing_function(j) != fn) continue;
+        message += "; the unlock at line " +
+                   std::to_string(toks[unlock].line) +
+                   " is skipped when line " + std::to_string(toks[j].line) +
+                   " exits early";
+        break;
+      }
+    }
+    emit(toks[i].line, std::move(message));
+  }
+}
+
+// -------------------------------------------- detached-thread-capture
+
+void run_detached_thread_capture(const SourceFile& file,
+                                 const FileAnalysis& analysis,
+                                 const Sink& emit) {
+  const auto& toks = file.tokens;
+  const auto& scopes = analysis.scopes.scopes;
+
+  // Lambdas directly inside [open, close) — not nested in another lambda
+  // that is itself inside the range (an inner lambda runs on the outer
+  // lambda's thread, so its ref captures are the outer lambda's problem).
+  const auto outermost_lambdas_in = [&](std::size_t open, std::size_t close) {
+    std::vector<const Scope*> result;
+    for (const Scope& scope : scopes) {
+      if (scope.kind != ScopeKind::kLambda) continue;
+      if (scope.header <= open || scope.header >= close) continue;
+      bool nested = false;
+      for (const Scope& other : scopes) {
+        if (&other == &scope || other.kind != ScopeKind::kLambda) continue;
+        if (other.header > open && other.body_begin < scope.header &&
+            scope.header < other.body_end) {
+          nested = true;
+          break;
+        }
+      }
+      if (!nested) result.push_back(&scope);
+    }
+    return result;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+
+    // x.detach() / x->detach(): the thread outlives every reference it
+    // captured, whatever the capture list said.
+    if (toks[i].text == "detach") {
+      const std::size_t p = prev_code(toks, i);
+      const std::size_t open = next_code(toks, i + 1);
+      if (p != kNpos && (is_punct(toks[p], ".") || is_punct(toks[p], "->")) &&
+          open != kNpos && is_punct(toks[open], "(")) {
+        emit(toks[i].line,
+             "'.detach()' — a detached thread outliving its creator turns "
+             "every captured reference into a dangling pointer; join the "
+             "thread or hand ownership to a long-lived owner");
+      }
+      continue;
+    }
+
+    const bool spawns = toks[i].text == "thread" || toks[i].text == "jthread" ||
+                        toks[i].text == "async";
+    if (!spawns) continue;
+    // Only the std:: spellings: plenty of local identifiers are called
+    // `thread`, but `std::thread`/`std::async` are unambiguous.
+    std::size_t p = prev_code(toks, i);
+    if (p == kNpos || !is_punct(toks[p], "::")) continue;
+    p = prev_code(toks, p);
+    if (p == kNpos || !is_ident(toks[p], "std")) continue;
+
+    // std::async(... or std::thread name(... / std::thread{...}.
+    std::size_t open = next_code(toks, i + 1);
+    if (open != kNpos && toks[open].kind == TokKind::kIdent) {
+      open = next_code(toks, open + 1);
+    }
+    if (open == kNpos) continue;
+    std::size_t close = kNpos;
+    if (is_punct(toks[open], "(")) {
+      close = skip_balanced(toks, open, "(", ")");
+    } else if (is_punct(toks[open], "{")) {
+      close = skip_balanced(toks, open, "{", "}");
+    }
+    if (close == kNpos) continue;
+
+    for (const Scope* lambda : outermost_lambdas_in(open, close)) {
+      if (!lambda->captures_ref && !lambda->captures_this) continue;
+      const std::string what =
+          lambda->captures_ref
+              ? (lambda->captures_this ? "by reference and `this`"
+                                       : "by reference")
+              : "`this`";
+      emit(toks[i].line,
+           "lambda handed to std::" + toks[i].text + " captures " + what +
+               " — the new thread can outlive the captured frame; capture "
+               "by value, or suppress with a comment proving the thread is "
+               "joined/awaited before the referents die");
+    }
+  }
+}
+
+// -------------------------------------------------------- span-balance
+
+/// Token index of the first token of the statement containing `i` (just
+/// past the previous `;`/`{`/`}`).
+std::size_t statement_start(const std::vector<Token>& toks, std::size_t i) {
+  std::size_t j = i;
+  while (j > 0) {
+    --j;
+    if (is_punct(toks[j], ";") || is_punct(toks[j], "{") ||
+        is_punct(toks[j], "}")) {
+      return j + 1;
+    }
+  }
+  return 0;
+}
+
+void run_span_balance(const SourceFile& file, const FileAnalysis& analysis,
+                      const Sink& emit) {
+  const auto& toks = file.tokens;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+
+    // (b) run_stage inside run_serial's argument list: the parallel stage
+    // books as driver-serial time, and a pool task scheduling pool tasks
+    // can deadlock a one-thread pool.
+    if (toks[i].text == "run_serial") {
+      const std::size_t open = next_code(toks, i + 1);
+      if (open == kNpos || !is_punct(toks[open], "(")) continue;
+      const std::size_t close = skip_balanced(toks, open, "(", ")");
+      if (close == kNpos) continue;
+      for (std::size_t j = open + 1; j + 1 < close; ++j) {
+        if (!is_ident(toks[j], "run_stage")) continue;
+        const std::size_t o = next_code(toks, j + 1);
+        if (o == kNpos || !is_punct(toks[o], "(")) continue;
+        emit(toks[j].line,
+             "run_stage nested inside run_serial — the parallel stage "
+             "books as serial driver time and a pool task scheduling pool "
+             "tasks can deadlock; hoist the stage out of the serial "
+             "segment");
+      }
+      continue;
+    }
+
+    // (a) begin_phase pairing.
+    if (toks[i].text != "begin_phase") continue;
+    const std::size_t open = next_code(toks, i + 1);
+    if (open == kNpos || !is_punct(toks[open], "(")) continue;
+    {
+      // Skip qualified definitions (TraceRecorder::begin_phase) — the
+      // rule anchors on call sites.
+      const std::size_t p = prev_code(toks, i);
+      if (p != kNpos && is_punct(toks[p], "::") &&
+          [&] {
+            const std::size_t q = prev_code(toks, p);
+            return q != kNpos && toks[q].kind == TokKind::kIdent &&
+                   std::isupper(static_cast<unsigned char>(toks[q].text[0]));
+          }()) {
+        continue;
+      }
+    }
+    const int fn = analysis.scopes.enclosing_function(i);
+    if (fn < 0) continue;  // declaration / PhaseScope's own init list
+    const std::size_t fn_end =
+        analysis.scopes.scopes[static_cast<std::size_t>(fn)].body_end;
+
+    // Which variable holds the phase id? First top-level `=` of the
+    // statement; no `=` means the id is discarded outright.
+    const std::size_t stmt = statement_start(toks, i);
+    std::size_t handle = kNpos;
+    for (std::size_t j = stmt; j < i; ++j) {
+      if (is_punct(toks[j], "=")) {
+        const std::size_t v = prev_code(toks, j);
+        if (v != kNpos && toks[v].kind == TokKind::kIdent) handle = v;
+        break;
+      }
+    }
+    if (handle == kNpos) {
+      emit(toks[i].line,
+           "the id returned by begin_phase is discarded — end_phase can "
+           "never close this span; use PhaseScope (RAII)");
+      continue;
+    }
+    const std::string& var = toks[handle].text;
+
+    // Find end_phase(<var>) later in the same function.
+    std::size_t end_call = kNpos;
+    for (std::size_t j = open; j < fn_end && j < toks.size(); ++j) {
+      if (!is_ident(toks[j], "end_phase")) continue;
+      const std::size_t o = next_code(toks, j + 1);
+      if (o == kNpos || !is_punct(toks[o], "(")) continue;
+      const std::size_t c = skip_balanced(toks, o, "(", ")");
+      if (c == kNpos) continue;
+      for (std::size_t a = o + 1; a + 1 < c; ++a) {
+        if (is_ident(toks[a], var)) {
+          end_call = j;
+          break;
+        }
+      }
+      if (end_call != kNpos) break;
+    }
+    if (end_call == kNpos) {
+      emit(toks[i].line,
+           "begin_phase has no matching end_phase(" + var +
+               ") in this function — the span never closes; use PhaseScope "
+               "(RAII) so every path ends it");
+      continue;
+    }
+    // Every return/throw/throwing-CHECK between begin and end skips the
+    // end_phase. Exits inside nested lambdas leave the lambda, not this
+    // function, so they don't count.
+    for (std::size_t j = i + 1; j < end_call; ++j) {
+      if (toks[j].kind != TokKind::kIdent) continue;
+      const bool exits = toks[j].text == "return" || toks[j].text == "throw" ||
+                         toks[j].text == "CSB_CHECK" ||
+                         toks[j].text == "CSB_CHECK_MSG";
+      if (!exits) continue;
+      if (analysis.scopes.enclosing_function(j) != fn) continue;
+      emit(toks[i].line,
+           "the end_phase at line " + std::to_string(toks[end_call].line) +
+               " is skipped when line " + std::to_string(toks[j].line) +
+               " exits early — the span leaks open; use PhaseScope (RAII)");
+      break;
+    }
+  }
+}
+
+// --------------------------------------------------- counter-rng-reuse
+
+void run_counter_rng_reuse(const SourceFile& file,
+                           const FileAnalysis& analysis, const Sink& emit) {
+  const auto& toks = file.tokens;
+  // Per enclosing function: stream key (first counter_rng argument,
+  // tokens joined) -> line of the first parallel loop consuming it.
+  std::map<int, std::map<std::string, int>> consumed;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], "parallel_for_fixed_chunks")) continue;
+    const std::size_t open = next_code(toks, i + 1);
+    if (open == kNpos || !is_punct(toks[open], "(")) continue;
+    const std::size_t close = skip_balanced(toks, open, "(", ")");
+    if (close == kNpos) continue;
+    const int fn = analysis.scopes.enclosing_function(i);
+    const int loop_line = toks[i].line;
+
+    std::map<std::string, int> this_loop;
+    for (std::size_t j = open + 1; j + 1 < close; ++j) {
+      if (!is_ident(toks[j], "counter_rng")) continue;
+      const std::size_t o = next_code(toks, j + 1);
+      if (o == kNpos || !is_punct(toks[o], "(")) continue;
+      const std::size_t c = skip_balanced(toks, o, "(", ")");
+      if (c == kNpos) continue;
+      // First argument: tokens up to the first depth-1 comma.
+      std::string key;
+      int depth = 1;
+      for (std::size_t a = o + 1; a + 1 < c; ++a) {
+        if (is_punct(toks[a], "(") || is_punct(toks[a], "[") ||
+            is_punct(toks[a], "{")) {
+          ++depth;
+        }
+        if (is_punct(toks[a], ")") || is_punct(toks[a], "]") ||
+            is_punct(toks[a], "}")) {
+          --depth;
+        }
+        if (depth == 1 && is_punct(toks[a], ",")) break;
+        if (toks[a].kind == TokKind::kComment) continue;
+        if (!key.empty()) key += ' ';
+        key += toks[a].text;
+      }
+      if (key.empty()) continue;
+      const auto prior = consumed[fn].find(key);
+      if (prior != consumed[fn].end()) {
+        emit(toks[j].line,
+             "chunk RNG stream key '" + key +
+                 "' is already consumed by the parallel loop at line " +
+                 std::to_string(prior->second) +
+                 " — two loops sharing one counter stream draw correlated "
+                 "values and break the byte-identical contract; salt each "
+                 "loop's key with a distinct constant (util/random.hpp)");
+      } else if (this_loop.find(key) == this_loop.end()) {
+        this_loop.emplace(key, loop_line);
+      }
+    }
+    for (const auto& [key, line] : this_loop) {
+      consumed[fn].emplace(key, line);
+    }
+  }
+}
+
 }  // namespace
 
 // ------------------------------------------------------------- public
@@ -609,6 +951,16 @@ SymbolIndex build_symbol_index(const std::vector<SourceFile>& files) {
   }
   for (const SourceFile& file : files) collect_vars(file, index);
   return index;
+}
+
+FileAnalysis analyze_file(const SourceFile& file) {
+  FileAnalysis analysis;
+  analysis.scopes = build_scope_tree(file);
+  analysis.mutex_vars = leading_type_decls(file, [](const Token& tok) {
+    return tok.kind == TokKind::kIdent &&
+           mutex_type_names().count(tok.text) != 0;
+  });
+  return analysis;
 }
 
 const std::set<std::string, std::less<>>& span_name_families() {
@@ -652,7 +1004,8 @@ std::string check_span_name(std::string_view name) {
 }
 
 void run_rule(std::string_view rule_name, const SourceFile& file,
-              const SymbolIndex& symbols, const Sink& emit) {
+              const SymbolIndex& symbols, const FileAnalysis& analysis,
+              const Sink& emit) {
   if (rule_name == "unordered-iteration") {
     run_unordered_iteration(file, symbols, emit);
   } else if (rule_name == "atomic-float-reduce") {
@@ -661,10 +1014,20 @@ void run_rule(std::string_view rule_name, const SourceFile& file,
     run_raw_parallel_reduce(file, emit);
   } else if (rule_name == "span-naming") {
     run_span_naming(file, emit);
+  } else if (rule_name == "span-balance") {
+    run_span_balance(file, analysis, emit);
   } else if (rule_name == "banned-nondeterminism") {
     run_banned_nondeterminism(file, emit);
   } else if (rule_name == "banned-functions") {
     run_banned_functions(file, emit);
+  } else if (rule_name == "unchecked-syscall") {
+    run_unchecked_syscall(file, emit);
+  } else if (rule_name == "lock-discipline") {
+    run_lock_discipline(file, analysis, emit);
+  } else if (rule_name == "detached-thread-capture") {
+    run_detached_thread_capture(file, analysis, emit);
+  } else if (rule_name == "counter-rng-reuse") {
+    run_counter_rng_reuse(file, analysis, emit);
   }
   // bad-suppression: emitted by the driver, nothing to scan here.
 }

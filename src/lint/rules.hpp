@@ -2,16 +2,27 @@
 //
 // Each rule enforces one project invariant from docs/static-analysis.md:
 //
+//   atomic-float-reduce    no std::atomic<float/double> accumulation in
+//                          order-critical modules (commit-order rounding)
+//   banned-functions       no strcpy/sprintf/atoi-family anywhere
 //   banned-nondeterminism  no wall clocks / OS entropy in deterministic
 //                          modules (src/gen, src/seed, src/graph, src/stats)
-//   unordered-iteration    no iteration over unordered_map/unordered_set in
-//                          determinism-critical modules unless suppressed
+//   counter-rng-reuse      no two parallel loops in one function deriving
+//                          chunk RNGs from the same counter stream key
+//   detached-thread-capture no std::thread/std::async lambda capturing by
+//                          reference or `this`; no bare .detach()
+//   lock-discipline        no raw mutex .lock()/.unlock(); RAII guards only
 //   raw-parallel-reduce    no parallel_for lambda accumulating into captured
 //                          floating-point state (order-sensitive rounding);
 //                          use parallel_for_fixed_chunks + chunk-order merge
+//   span-balance           every begin_phase reaches its end_phase on every
+//                          control path; no run_stage inside run_serial
 //   span-naming            trace/obs span literals must match the documented
 //                          stage-name grammar (docs/observability.md)
-//   banned-functions       no strcpy/sprintf/atoi-family anywhere
+//   unchecked-syscall      no ignored pwrite/pread/mmap/ftruncate/fsync
+//                          returns in the on-disk store paths
+//   unordered-iteration    no iteration over unordered_map/unordered_set in
+//                          determinism-critical modules unless suppressed
 //
 // Plus one pseudo-rule the driver emits itself:
 //
@@ -26,6 +37,7 @@
 #include <vector>
 
 #include "lint/lexer.hpp"
+#include "lint/scopes.hpp"
 
 namespace csb::lint {
 
@@ -41,12 +53,6 @@ struct Diagnostic {
   std::string message;
 };
 
-struct SourceFile {
-  std::string path;  ///< root-relative, '/'-separated (drives rule scoping)
-  std::string content;
-  std::vector<Token> tokens;
-};
-
 /// Cross-file facts gathered before rules run: which type names and which
 /// declared identifiers are bound to unordered containers. Functions
 /// declared to return an unordered container count as "vars" too — ranging
@@ -57,6 +63,16 @@ struct SymbolIndex {
 };
 
 SymbolIndex build_symbol_index(const std::vector<SourceFile>& files);
+
+/// Per-file semantic layer computed once, shared by every rule that needs
+/// structure beyond the flat token stream: the scope tree (functions,
+/// lambdas + captures) and the leading-type declaration sets.
+struct FileAnalysis {
+  ScopeTree scopes;
+  std::set<std::string> mutex_vars;  ///< identifiers declared as std::mutex &c
+};
+
+FileAnalysis analyze_file(const SourceFile& file);
 
 struct RuleInfo {
   std::string_view name;
@@ -82,7 +98,8 @@ using Sink = std::function<void(int line, std::string message)>;
 /// Runs one rule over one file. No-op for the pseudo-rule bad-suppression
 /// (the driver emits those while parsing suppression comments).
 void run_rule(std::string_view rule_name, const SourceFile& file,
-              const SymbolIndex& symbols, const Sink& emit);
+              const SymbolIndex& symbols, const FileAnalysis& analysis,
+              const Sink& emit);
 
 /// The first-segment families of the span-name grammar, sorted; mirrors the
 /// stage-name table in docs/observability.md (the source of truth).

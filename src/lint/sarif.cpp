@@ -1,0 +1,78 @@
+#include "lint/sarif.hpp"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace csb::lint {
+
+namespace {
+
+JsonValue text_object(std::string text) {
+  return JsonValue::object({{"text", JsonValue(std::move(text))}});
+}
+
+}  // namespace
+
+std::string to_sarif(const LintResult& result) {
+  // tool.driver.rules: the full catalog, in catalog (sorted) order, so
+  // ruleIndex is stable across runs regardless of which rules fired.
+  std::vector<JsonValue> rules;
+  std::map<std::string, std::uint64_t> rule_index;
+  for (const RuleInfo& rule : rule_catalog()) {
+    rule_index.emplace(std::string(rule.name), rules.size());
+    rules.push_back(JsonValue::object({
+        {"id", JsonValue(std::string(rule.name))},
+        {"shortDescription", text_object(std::string(rule.summary))},
+        {"defaultConfiguration",
+         JsonValue::object(
+             {{"level",
+               JsonValue(std::string(severity_name(rule.severity)))}})},
+    }));
+  }
+
+  std::vector<JsonValue> results;
+  for (const Diagnostic& diag : result.diagnostics) {
+    const JsonValue location = JsonValue::object({
+        {"physicalLocation",
+         JsonValue::object({
+             {"artifactLocation",
+              JsonValue::object({{"uri", JsonValue(diag.file)}})},
+             {"region",
+              JsonValue::object(
+                  {{"startLine",
+                    JsonValue(static_cast<std::uint64_t>(diag.line))}})},
+         })},
+    });
+    results.push_back(JsonValue::object({
+        {"ruleId", JsonValue(diag.rule)},
+        {"ruleIndex", JsonValue(rule_index.at(diag.rule))},
+        {"level", JsonValue(std::string(severity_name(diag.severity)))},
+        {"message", text_object(diag.message)},
+        {"locations", JsonValue::array({location})},
+    }));
+  }
+
+  const JsonValue driver = JsonValue::object({
+      {"name", JsonValue(std::string("csblint"))},
+      {"informationUri",
+       JsonValue(std::string("docs/static-analysis.md"))},
+      {"rules", JsonValue::array(std::move(rules))},
+  });
+  const JsonValue log = JsonValue::object({
+      {"$schema",
+       JsonValue(std::string("https://json.schemastore.org/sarif-2.1.0.json"))},
+      {"version", JsonValue(std::string("2.1.0"))},
+      {"runs",
+       JsonValue::array({JsonValue::object({
+           {"tool", JsonValue::object({{"driver", driver}})},
+           {"results", JsonValue::array(std::move(results))},
+       })})},
+  });
+  return log.dump() + "\n";
+}
+
+}  // namespace csb::lint

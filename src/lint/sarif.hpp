@@ -1,0 +1,21 @@
+// SARIF 2.1.0 emitter for csblint (src/lint).
+//
+// Renders a LintResult as one SARIF run so editors and CI annotators
+// (GitHub code scanning and friends) can ingest the findings. The emitted
+// subset: tool.driver with the full rule catalog, and one result per
+// diagnostic with ruleId/ruleIndex/level/message/physicalLocation.
+// tests/lint_test.cpp re-parses the output and checks the structural
+// schema requirements.
+#pragma once
+
+#include <string>
+
+#include "lint/lint.hpp"
+
+namespace csb::lint {
+
+/// Serializes `result` as a complete single-run SARIF 2.1.0 log (compact
+/// single-line JSON, trailing newline).
+std::string to_sarif(const LintResult& result);
+
+}  // namespace csb::lint

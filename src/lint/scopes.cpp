@@ -1,0 +1,237 @@
+#include "lint/scopes.hpp"
+
+#include <array>
+
+#include "lint/token_match.hpp"
+
+namespace csb::lint {
+
+namespace {
+
+/// Specifiers that may sit between a function/lambda header and its `{`.
+bool is_tail_specifier(const Token& tok) {
+  static constexpr std::array<std::string_view, 6> kSpecs = {
+      "const", "noexcept", "override", "final", "mutable", "try"};
+  for (const std::string_view s : kSpecs) {
+    if (is_ident(tok, s)) return true;
+  }
+  return false;
+}
+
+bool is_control_keyword(const Token& tok) {
+  static constexpr std::array<std::string_view, 5> kControl = {
+      "if", "for", "while", "switch", "catch"};
+  for (const std::string_view k : kControl) {
+    if (is_ident(tok, k)) return true;
+  }
+  return false;
+}
+
+/// Classifies the `{` at token index `brace`. `lead` is the index of the
+/// first token of the statement the brace terminates (after the previous
+/// top-level `;`/`{`/`}`). Fills name/capture fields on `out`.
+void classify_brace(const std::vector<Token>& toks, std::size_t brace,
+                    std::size_t lead, Scope& out) {
+  out.kind = ScopeKind::kBlock;
+  out.header = brace;
+
+  // Does the statement lead introduce a type-ish body? `namespace N {`,
+  // `class X : public Y {`, `enum class E {` — checked up front because a
+  // class head can also end in `>` or an identifier, which the
+  // function-detection walk below would misread.
+  for (std::size_t j = lead; j < brace && j != kNpos; ++j) {
+    if (is_ident(toks[j], "namespace") || is_ident(toks[j], "class") ||
+        is_ident(toks[j], "struct") || is_ident(toks[j], "union") ||
+        is_ident(toks[j], "enum")) {
+      // `struct X f() {` (function returning a struct) still wants to be a
+      // function: only treat as a type body when no parameter list closes
+      // directly before the brace.
+      std::size_t p = prev_code(toks, brace);
+      while (p != kNpos && is_tail_specifier(toks[p])) p = prev_code(toks, p);
+      if (p == kNpos || !is_punct(toks[p], ")")) {
+        out.kind = ScopeKind::kNamespace;
+        std::size_t name = next_code(toks, j + 1);
+        // `enum class E {` / `enum struct E {`: skip the class-key.
+        if (name != kNpos && name < brace &&
+            (is_ident(toks[name], "class") || is_ident(toks[name], "struct"))) {
+          name = next_code(toks, name + 1);
+        }
+        if (name != kNpos && name < brace &&
+            toks[name].kind == TokKind::kIdent) {
+          out.name = toks[name].text;
+        }
+        return;
+      }
+      break;
+    }
+    if (is_punct(toks[j], "=")) break;  // `auto x = ... {` is never a type
+  }
+
+  // Walk back from the brace over trailing specifiers and (shallowly) a
+  // trailing return type `-> T`, to find what closes the header.
+  std::size_t p = prev_code(toks, brace);
+  while (p != kNpos && is_tail_specifier(toks[p])) p = prev_code(toks, p);
+  if (p != kNpos && (toks[p].kind == TokKind::kIdent ||
+                     is_punct(toks[p], ">") || is_punct(toks[p], "::") ||
+                     is_punct(toks[p], "*") || is_punct(toks[p], "&"))) {
+    // Possible trailing return type: scan back a bounded number of
+    // type-ish tokens looking for `->`; restore if not found.
+    std::size_t q = p;
+    for (int hops = 0; hops < 8 && q != kNpos; ++hops) {
+      if (is_punct(toks[q], "->")) {
+        p = prev_code(toks, q);
+        while (p != kNpos && is_tail_specifier(toks[p])) {
+          p = prev_code(toks, p);
+        }
+        break;
+      }
+      if (!(toks[q].kind == TokKind::kIdent || is_punct(toks[q], "::") ||
+            is_punct(toks[q], "<") || is_punct(toks[q], ">") ||
+            is_punct(toks[q], ">>") || is_punct(toks[q], "*") ||
+            is_punct(toks[q], "&"))) {
+        break;
+      }
+      q = prev_code(toks, q);
+    }
+  }
+  if (p == kNpos) return;
+
+  // Lambda without parameters: `[...] {`.
+  if (is_punct(toks[p], "]")) {
+    const std::size_t open = match_back(toks, p, "[", "]");
+    if (open != kNpos) {
+      const CaptureSummary caps = parse_capture_list(toks, open);
+      out.kind = ScopeKind::kLambda;
+      out.header = open;
+      out.captures_ref = caps.by_ref;
+      out.captures_this = caps.by_this;
+    }
+    return;
+  }
+
+  if (!is_punct(toks[p], ")")) return;  // brace-init, do/else/try, bare block
+  const std::size_t open = match_back(toks, p, "(", ")");
+  if (open == kNpos) return;
+  std::size_t before = prev_code(toks, open);
+  if (before == kNpos) return;
+
+  // `](params) {` — lambda with parameters.
+  if (is_punct(toks[before], "]")) {
+    const std::size_t intro = match_back(toks, before, "[", "]");
+    if (intro != kNpos) {
+      const CaptureSummary caps = parse_capture_list(toks, intro);
+      out.kind = ScopeKind::kLambda;
+      out.header = intro;
+      out.captures_ref = caps.by_ref;
+      out.captures_this = caps.by_this;
+    }
+    return;
+  }
+  // `if (...) {` and friends stay blocks.
+  if (is_control_keyword(toks[before])) return;
+  // `ident(params) {` — a function definition (constructors with
+  // member-initializer lists land here too; the reported name is then the
+  // last initializer's member, which is harmless — the body range is what
+  // the rules consume).
+  if (toks[before].kind == TokKind::kIdent) {
+    out.kind = ScopeKind::kFunction;
+    out.header = before;
+    out.name = toks[before].text;
+    return;
+  }
+  // `>` closes a template-id: `f<T>(...) {`.
+  if (is_punct(toks[before], ">") || is_punct(toks[before], ">>")) {
+    out.kind = ScopeKind::kFunction;
+    out.header = before;
+  }
+}
+
+}  // namespace
+
+CaptureSummary parse_capture_list(const std::vector<Token>& toks,
+                                  std::size_t open_bracket) {
+  CaptureSummary summary;
+  const std::size_t end = skip_balanced(toks, open_bracket, "[", "]");
+  if (end == kNpos) return summary;
+  for (std::size_t j = open_bracket + 1; j + 1 < end; ++j) {
+    if (is_punct(toks[j], "&")) summary.by_ref = true;
+    if (is_ident(toks[j], "this")) {
+      // `[*this]` captures a copy; only a plain `this` aliases the object.
+      const std::size_t p = prev_code(toks, j);
+      if (p == kNpos || p <= open_bracket || !is_punct(toks[p], "*")) {
+        summary.by_this = true;
+      }
+    }
+  }
+  return summary;
+}
+
+ScopeTree build_scope_tree(const SourceFile& file) {
+  const auto& toks = file.tokens;
+  ScopeTree tree;
+  Scope root;
+  root.kind = ScopeKind::kFile;
+  root.body_begin = 0;
+  root.body_end = toks.size();
+  root.line = 1;
+  tree.scopes.push_back(root);
+
+  std::vector<int> stack = {0};
+  // First token of the current statement at the innermost open scope:
+  // updated at every top-level `;` and at scope opens/closes.
+  std::vector<std::size_t> lead = {0};
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind == TokKind::kComment) continue;
+    if (is_punct(tok, "{")) {
+      Scope scope;
+      classify_brace(toks, i, lead.back(), scope);
+      scope.parent = stack.back();
+      scope.body_begin = i;
+      scope.body_end = toks.size();  // patched when the `}` arrives
+      scope.line = tok.line;
+      tree.scopes.push_back(scope);
+      stack.push_back(static_cast<int>(tree.scopes.size()) - 1);
+      lead.push_back(i + 1);
+      continue;
+    }
+    if (is_punct(tok, "}")) {
+      if (stack.size() > 1) {
+        tree.scopes[static_cast<std::size_t>(stack.back())].body_end = i + 1;
+        stack.pop_back();
+        lead.pop_back();
+      }
+      lead.back() = i + 1;
+      continue;
+    }
+    if (is_punct(tok, ";")) lead.back() = i + 1;
+  }
+  return tree;
+}
+
+int ScopeTree::innermost_at(std::size_t tok) const {
+  int best = 0;
+  for (std::size_t s = 1; s < scopes.size(); ++s) {
+    const Scope& scope = scopes[s];
+    if (scope.body_begin < tok && tok < scope.body_end) {
+      best = static_cast<int>(s);  // pre-order: later match = deeper
+    }
+  }
+  return best;
+}
+
+int ScopeTree::enclosing_function(std::size_t tok) const {
+  int best = -1;
+  for (std::size_t s = 1; s < scopes.size(); ++s) {
+    const Scope& scope = scopes[s];
+    if ((scope.kind == ScopeKind::kFunction ||
+         scope.kind == ScopeKind::kLambda) &&
+        scope.body_begin < tok && tok < scope.body_end) {
+      best = static_cast<int>(s);
+    }
+  }
+  return best;
+}
+
+}  // namespace csb::lint

@@ -1,0 +1,68 @@
+// Per-file scope tree for csblint's semantic rules (src/lint).
+//
+// Built from the flat token stream with brace matching plus a small amount
+// of backward inspection at every `{`: enough structure to answer "which
+// function contains this token", "is this brace a lambda body and what does
+// it capture", and "walk the statements of this block" — without a real
+// parser. Classification is heuristic (docs/static-analysis.md lists the
+// accepted blur); every ambiguity resolves toward kBlock, which only ever
+// widens a search range, never invents a function boundary.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace csb::lint {
+
+enum class ScopeKind {
+  kFile,       ///< the whole token stream (always scopes[0])
+  kNamespace,  ///< namespace / class / struct / union / enum body
+  kFunction,   ///< free or member function definition body
+  kLambda,     ///< lambda body (capture list parsed into the flags below)
+  kBlock,      ///< control-flow body, bare block, brace-init — anything else
+};
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kFile;
+  int parent = -1;  ///< index into ScopeTree::scopes; -1 for the file scope
+  /// Token index of the construct's first interesting token: the capture
+  /// `[` for lambdas, the name token for named functions, else the `{`.
+  std::size_t header = 0;
+  std::size_t body_begin = 0;  ///< token index of the `{`
+  std::size_t body_end = 0;    ///< token index just past the matching `}`
+  int line = 0;                ///< line of the `{`
+  std::string name;            ///< function name when recognized, else empty
+  // Lambda capture summary (kLambda only).
+  bool captures_ref = false;   ///< `[&]` or any `&x` capture
+  bool captures_this = false;  ///< `[this]` (not `[*this]`)
+};
+
+/// Pre-order scope list: scopes[0] is the file scope; children always
+/// follow their parent. Indices are stable handles.
+struct ScopeTree {
+  std::vector<Scope> scopes;
+
+  /// Index of the deepest scope whose body contains token `tok` (the file
+  /// scope contains everything, so this is always >= 0).
+  [[nodiscard]] int innermost_at(std::size_t tok) const;
+
+  /// Index of the deepest kFunction/kLambda scope whose body contains
+  /// token `tok`; -1 when the token is at file/namespace level.
+  [[nodiscard]] int enclosing_function(std::size_t tok) const;
+};
+
+ScopeTree build_scope_tree(const SourceFile& file);
+
+/// Parses the capture list starting at `open_bracket` (a `[` token).
+/// Returns (captures_ref, captures_this); malformed lists report nothing.
+struct CaptureSummary {
+  bool by_ref = false;
+  bool by_this = false;
+};
+CaptureSummary parse_capture_list(const std::vector<Token>& toks,
+                                  std::size_t open_bracket);
+
+}  // namespace csb::lint

@@ -1,0 +1,77 @@
+#include "lint/symbols.hpp"
+
+#include <array>
+#include <utility>
+
+#include "lint/token_match.hpp"
+
+namespace csb::lint {
+
+std::set<std::string> leading_type_decls(const SourceFile& file,
+                                         const TypeMatcher& matches) {
+  const auto& toks = file.tokens;
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !matches(toks[i])) continue;
+    // Leading-type check: walk back over std/::/const/typename/mutable/
+    // static; if that lands on `<` or `,`, this mention is a nested
+    // template argument and must not bind.
+    std::size_t p = i;
+    while (true) {
+      p = prev_code(toks, p);
+      if (p == kNpos) break;
+      if (is_ident(toks[p], "std") || is_ident(toks[p], "const") ||
+          is_ident(toks[p], "typename") || is_ident(toks[p], "mutable") ||
+          is_ident(toks[p], "static") || is_punct(toks[p], "::")) {
+        continue;
+      }
+      break;
+    }
+    if (p != kNpos && (is_punct(toks[p], "<") || is_punct(toks[p], ","))) {
+      continue;
+    }
+    std::size_t k = next_code(toks, i + 1);
+    if (k != kNpos && is_punct(toks[k], "<")) {
+      k = skip_template_args(toks, k);
+    }
+    while (k != kNpos && k < toks.size() &&
+           (is_punct(toks[k], "&") || is_punct(toks[k], "*") ||
+            is_ident(toks[k], "const"))) {
+      k = next_code(toks, k + 1);
+    }
+    if (k == kNpos || k >= toks.size() || toks[k].kind != TokKind::kIdent) {
+      continue;
+    }
+    const std::size_t after = next_code(toks, k + 1);
+    if (after == kNpos) continue;
+    static constexpr std::array<std::string_view, 8> kDeclFollow = {
+        ";", "=", "{", "(", ",", ")", ":", "["};
+    for (const std::string_view f : kDeclFollow) {
+      if (is_punct(toks[after], f)) {
+        names.insert(toks[k].text);
+        break;
+      }
+    }
+  }
+  return names;
+}
+
+TypeMatcher match_names(std::vector<std::string> names) {
+  return [names = std::move(names)](const Token& tok) {
+    if (tok.kind != TokKind::kIdent) return false;
+    for (const std::string& name : names) {
+      if (tok.text == name) return true;
+    }
+    return false;
+  };
+}
+
+const std::set<std::string, std::less<>>& mutex_type_names() {
+  static const std::set<std::string, std::less<>> set = {
+      "mutex",        "recursive_mutex",       "timed_mutex",
+      "shared_mutex", "recursive_timed_mutex", "shared_timed_mutex",
+  };
+  return set;
+}
+
+}  // namespace csb::lint

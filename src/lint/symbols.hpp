@@ -1,0 +1,37 @@
+// Per-file symbol table for csblint's semantic rules (src/lint).
+//
+// Declarations are recognized by the *leading-type heuristic*: an
+// identifier is bound when it directly follows a type the caller asked
+// about (plus template arguments, cv-qualifiers and declarator tokens),
+// and the token after it looks like a declarator terminator. The same
+// heuristic the unordered-iteration symbol index has always used, exposed
+// generically so new rules (lock-discipline and friends) can bind their
+// own type families. Nested template occurrences deliberately do not bind.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace csb::lint {
+
+/// Predicate over a token: "does this token name a type we track?"
+using TypeMatcher = std::function<bool(const Token&)>;
+
+/// Identifiers declared in `file` with a leading type matched by
+/// `matches` — variables, members, parameters, and functions declared to
+/// return one. See the heuristic-limits section of docs/static-analysis.md.
+std::set<std::string> leading_type_decls(const SourceFile& file,
+                                         const TypeMatcher& matches);
+
+/// Convenience matcher for a fixed name set (`std::` qualification and
+/// aliases are the caller's concern).
+TypeMatcher match_names(std::vector<std::string> names);
+
+/// The mutex family tracked by lock-discipline.
+const std::set<std::string, std::less<>>& mutex_type_names();
+
+}  // namespace csb::lint

@@ -1,0 +1,83 @@
+// Shared token-stream matching helpers for csblint's lexer-level passes
+// (src/lint). Header-only; used by scopes.cpp, symbols.cpp and rules.cpp.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace csb::lint {
+
+inline constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+inline bool is_punct(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kPunct && tok.text == text;
+}
+
+inline bool is_ident(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kIdent && tok.text == text;
+}
+
+/// Index of the next non-comment token at or after `i`; kNpos at end.
+inline std::size_t next_code(const std::vector<Token>& toks, std::size_t i) {
+  while (i < toks.size() && toks[i].kind == TokKind::kComment) ++i;
+  return i < toks.size() ? i : kNpos;
+}
+
+/// Index of the previous non-comment token before `i`; kNpos at start.
+inline std::size_t prev_code(const std::vector<Token>& toks, std::size_t i) {
+  while (i > 0) {
+    --i;
+    if (toks[i].kind != TokKind::kComment) return i;
+  }
+  return kNpos;
+}
+
+/// Given `i` at an opening token, returns the index just past the matching
+/// close, or kNpos. Handles (), [], {}.
+inline std::size_t skip_balanced(const std::vector<Token>& toks,
+                                 std::size_t i, std::string_view open,
+                                 std::string_view close) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (is_punct(toks[i], open)) ++depth;
+    if (is_punct(toks[i], close) && --depth == 0) return i + 1;
+  }
+  return kNpos;
+}
+
+/// Given `i` at a closing token, returns the index of the matching opener,
+/// or kNpos. Handles (), [], {} scanned backwards.
+inline std::size_t match_back(const std::vector<Token>& toks, std::size_t i,
+                              std::string_view open, std::string_view close) {
+  int depth = 0;
+  for (std::size_t j = i + 1; j > 0;) {
+    --j;
+    if (is_punct(toks[j], close)) ++depth;
+    if (is_punct(toks[j], open) && --depth == 0) return j;
+  }
+  return kNpos;
+}
+
+/// Given `i` at a `<` token, returns the index just past the matching `>`,
+/// treating `>>` as two closes (nested template args). Bails (kNpos) on
+/// `;`/`{` — the `<` was a comparison, not a template argument list.
+inline std::size_t skip_template_args(const std::vector<Token>& toks,
+                                      std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (is_punct(tok, "<")) ++depth;
+    if (is_punct(tok, ">") && --depth == 0) return i + 1;
+    if (is_punct(tok, ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    }
+    if (is_punct(tok, ";") || is_punct(tok, "{")) return kNpos;
+  }
+  return kNpos;
+}
+
+}  // namespace csb::lint

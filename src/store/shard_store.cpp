@@ -642,6 +642,10 @@ void ShardStore::finish() {
             const std::uint64_t slice_first = offsets[v0];
             const VertexId* data = slice.data();
             const std::size_t words = slice.size();
+            // csblint: detached-thread-capture-ok — the future is awaited
+            // (pending.get()) before the slice buffer is reused and before
+            // this task returns, so every captured reference outlives the
+            // thread.
             pending = std::async(
                 std::launch::async,
                 [data, words, slice_first, neighbors_base_word, &csr_fd,

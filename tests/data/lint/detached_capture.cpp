@@ -1,0 +1,49 @@
+// Fixture: detached-thread-capture. Lines tagged "VIOLATION" must each
+// produce exactly one diagnostic; by-value captures, lambdas nested inside
+// the spawned lambda, and the suppressed case stay silent. Never compiled.
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+struct Worker {
+  std::vector<int> data;
+
+  void risky_member() {
+    std::thread t([this] { data.push_back(1); });  // VIOLATION
+    t.join();
+  }
+};
+
+void risky_ref(std::vector<int>& out) {
+  auto task =
+      std::async(std::launch::async, [&out] { out.push_back(1); });  // VIOLATION
+  task.get();
+}
+
+void risky_detach() {
+  std::thread t([](int x) { (void)x; }, 1);
+  t.detach();  // VIOLATION
+}
+
+void safe_by_value(std::vector<int> in) {
+  std::thread t([in] { (void)in.size(); });
+  t.join();
+}
+
+void inner_lambda_runs_on_the_same_thread(std::vector<int> in) {
+  std::thread t([in] {
+    auto each = [&in](int v) { (void)v; };
+    each(1);
+  });
+  t.join();
+}
+
+void justified(std::vector<int>& out) {
+  // csblint: detached-thread-capture-ok — fixture case
+  auto task = std::async(std::launch::async, [&out] { out.clear(); });
+  task.get();
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: lock-discipline. Lines tagged "VIOLATION" must each produce
+// exactly one diagnostic; RAII guards and the suppressed case stay silent.
+// Never compiled.
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+
+namespace fixture {
+
+std::mutex queue_mutex;
+std::shared_mutex table_mutex;
+
+void leaky(bool fail) {
+  queue_mutex.lock();  // VIOLATION
+  if (fail) throw std::runtime_error("skips the unlock");
+  queue_mutex.unlock();  // VIOLATION
+}
+
+void manual_pair() {
+  table_mutex.lock();  // VIOLATION
+  table_mutex.unlock();  // VIOLATION
+}
+
+void blessed() {
+  std::lock_guard<std::mutex> guard(queue_mutex);
+}
+
+void blessed_scoped() {
+  std::scoped_lock guard(queue_mutex, table_mutex);
+}
+
+void justified_handoff() {
+  // csblint: lock-discipline-ok — fixture case
+  queue_mutex.lock();
+}
+
+}  // namespace fixture

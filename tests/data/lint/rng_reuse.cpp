@@ -1,0 +1,58 @@
+// Fixture: counter-rng-reuse. Lines tagged "VIOLATION" must each produce
+// exactly one diagnostic; distinct salts per loop and the suppressed
+// replay stay silent. Never compiled.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+inline constexpr std::uint64_t kNoiseSalt = 0x5eed;
+
+void reused_stream(ThreadPool* pool, std::uint64_t seed, std::size_t n) {
+  std::vector<std::uint64_t> first(n);
+  parallel_for_fixed_chunks(pool, 0, n, 1024, [&](const ChunkRange& c) {
+    for (std::size_t i = c.begin; i < c.end; ++i) {
+      first[i] = counter_rng(seed, i).next();
+    }
+  });
+  std::vector<std::uint64_t> second(n);
+  parallel_for_fixed_chunks(pool, 0, n, 1024, [&](const ChunkRange& c) {
+    for (std::size_t i = c.begin; i < c.end; ++i) {
+      second[i] = counter_rng(seed, i).next();  // VIOLATION
+    }
+  });
+}
+
+void salted_streams(ThreadPool* pool, std::uint64_t seed, std::size_t n) {
+  std::vector<std::uint64_t> first(n);
+  parallel_for_fixed_chunks(pool, 0, n, 1024, [&](const ChunkRange& c) {
+    for (std::size_t i = c.begin; i < c.end; ++i) {
+      first[i] = counter_rng(seed ^ kNoiseSalt, i).next();
+    }
+  });
+  std::vector<std::uint64_t> second(n);
+  parallel_for_fixed_chunks(pool, 0, n, 1024, [&](const ChunkRange& c) {
+    for (std::size_t i = c.begin; i < c.end; ++i) {
+      second[i] = counter_rng(seed, i).next();
+    }
+  });
+}
+
+void justified_replay(ThreadPool* pool, std::uint64_t seed, std::size_t n) {
+  std::vector<std::uint64_t> first(n);
+  parallel_for_fixed_chunks(pool, 0, n, 1024, [&](const ChunkRange& c) {
+    for (std::size_t i = c.begin; i < c.end; ++i) {
+      first[i] = counter_rng(seed, i).next();
+    }
+  });
+  std::vector<std::uint64_t> replay(n);
+  parallel_for_fixed_chunks(pool, 0, n, 1024, [&](const ChunkRange& c) {
+    for (std::size_t i = c.begin; i < c.end; ++i) {
+      // csblint: counter-rng-reuse-ok — fixture case
+      replay[i] = counter_rng(seed, i).next();
+    }
+  });
+}
+
+}  // namespace fixture

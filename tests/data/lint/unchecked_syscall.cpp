@@ -1,0 +1,43 @@
+// Fixture: unchecked-syscall. Lines tagged "VIOLATION" must each produce
+// exactly one diagnostic; checked calls, (void) casts, and the suppressed
+// case stay silent. Never compiled.
+#include <cstddef>
+#include <cstdint>
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace fixture {
+
+void sloppy_flush(int fd, long size, const void* buf, std::size_t len) {
+  ftruncate(fd, size);  // VIOLATION
+  pwrite(fd, buf, len, 0);  // VIOLATION
+  fsync(fd);  // VIOLATION
+}
+
+void sloppy_map(std::size_t len) {
+  mmap(nullptr, len, 0, 0, -1, 0);  // VIOLATION
+}
+
+void sloppy_qualified(int fd) {
+  ::fdatasync(fd);  // VIOLATION
+}
+
+bool checked(int fd, long size, void* buf, std::size_t len) {
+  if (ftruncate(fd, size) != 0) return false;
+  const auto got = pread(fd, buf, len, 0);
+  return got == static_cast<long>(len);
+}
+
+void deliberately_discarded(int fd) {
+  (void)fdatasync(fd);  // advisory flush: failure is acceptable here
+}
+
+void member_call_is_not_the_syscall(Wrapper& file, long size) {
+  file.ftruncate(size);
+}
+
+void justified(int fd) {
+  fsync(fd);  // csblint: unchecked-syscall-ok — fixture case
+}
+
+}  // namespace fixture

@@ -16,8 +16,12 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "lint/lexer.hpp"
 #include "lint/lint.hpp"
 #include "lint/rules.hpp"
+#include "lint/sarif.hpp"
+#include "lint/scopes.hpp"
+#include "obs/json.hpp"
 #include "util/error.hpp"
 
 namespace csb::lint {
@@ -106,7 +110,17 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"reduce.cpp", "src/mr/reduce.cpp", "raw-parallel-reduce"},
         FixtureCase{"spans.cpp", "src/obs/spans.cpp", "span-naming"},
         FixtureCase{"banned_fn.cpp", "tools/banned_fn.cpp",
-                    "banned-functions"}),
+                    "banned-functions"},
+        FixtureCase{"unchecked_syscall.cpp", "src/store/unchecked_syscall.cpp",
+                    "unchecked-syscall"},
+        FixtureCase{"lock_discipline.cpp", "src/mr/lock_discipline.cpp",
+                    "lock-discipline"},
+        FixtureCase{"detached_capture.cpp", "src/util/detached_capture.cpp",
+                    "detached-thread-capture"},
+        FixtureCase{"span_balance.cpp", "src/gen/span_balance.cpp",
+                    "span-balance"},
+        FixtureCase{"rng_reuse.cpp", "src/gen/rng_reuse.cpp",
+                    "counter-rng-reuse"}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name = info.param.rule;
       std::replace(name.begin(), name.end(), '-', '_');
@@ -128,6 +142,24 @@ TEST(LintScopeTest, ScopedRulesIgnoreOtherDirectories) {
   const LintResult atomics =
       lint_one("tools/atomic_reduce.cpp", fixture("atomic_reduce.cpp"));
   EXPECT_TRUE(atomics.diagnostics.empty());
+}
+
+// The v2 scoped rules are equally quiet outside their directories:
+// unchecked-syscall only polices the I/O modules, span-balance only the
+// production tree (test files open ad-hoc spans on purpose), and
+// counter-rng-reuse only the order-critical modules.
+TEST(LintScopeTest, SemanticRulesIgnoreOtherDirectories) {
+  const LintResult syscalls = lint_one("src/util/unchecked_syscall.cpp",
+                                       fixture("unchecked_syscall.cpp"));
+  EXPECT_TRUE(syscalls.diagnostics.empty());
+
+  const LintResult spans =
+      lint_one("tests/span_balance.cpp", fixture("span_balance.cpp"));
+  EXPECT_TRUE(spans.diagnostics.empty());
+
+  const LintResult rng =
+      lint_one("docs/examples/rng_reuse.cpp", fixture("rng_reuse.cpp"));
+  EXPECT_TRUE(rng.diagnostics.empty());
 }
 
 TEST(LintScopeTest, RuleFilterSelectsSingleRule) {
@@ -223,6 +255,62 @@ TEST(SuppressionTest, UnknownRuleIsDiagnosed) {
   EXPECT_EQ(result.suppressed_count, 0u);
 }
 
+// Two rules fire on the same line; suppressing one of them leaves the
+// other reported — a suppression names rules, not lines.
+TEST(SuppressionTest, SuppressingOneRuleLeavesTheOtherOnSameLine) {
+  const std::string content =
+      "void f(char* d, const char* s) {\n"
+      "  // csblint: banned-functions-ok — test\n"
+      "  strcpy(d, s); long t = time(nullptr);\n"
+      "}\n";
+  const LintResult result = lint_one("src/gen/pair.cpp", content);
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, "banned-nondeterminism");
+  EXPECT_EQ(result.diagnostics[0].line, 3);
+  EXPECT_EQ(result.suppressed_count, 1u);
+}
+
+// A v2 semantic-rule suppression composes with a second semantic rule in
+// the same function: the fsync stays silenced while lock-discipline still
+// reports the hand-rolled lock/unlock pair around it.
+TEST(SuppressionTest, SemanticRuleSuppressionLeavesOtherSemanticRules) {
+  const std::string content =
+      "std::mutex flush_mutex;\n"
+      "void flush(int fd) {\n"
+      "  flush_mutex.lock();\n"
+      "  fsync(fd);  // csblint: unchecked-syscall-ok — best-effort flush\n"
+      "  flush_mutex.unlock();\n"
+      "}\n";
+  const LintResult result = lint_one("src/store/flush.cpp", content);
+  ASSERT_EQ(result.diagnostics.size(), 2u);
+  EXPECT_EQ(result.diagnostics[0].rule, "lock-discipline");
+  EXPECT_EQ(result.diagnostics[0].line, 3);
+  EXPECT_EQ(result.diagnostics[1].rule, "lock-discipline");
+  EXPECT_EQ(result.diagnostics[1].line, 5);
+  EXPECT_EQ(result.suppressed_count, 1u);
+}
+
+// Suppression and baseline subtract independently: the suppressed finding
+// never reaches the result, the baselined one is subtracted afterwards,
+// and only the genuinely new finding survives.
+TEST(SuppressionTest, BaselineAndSuppressionCombine) {
+  const std::string content =
+      "void f(char* d, const char* s) {\n"
+      "  strcpy(d, s);  // csblint: banned-functions-ok — test\n"
+      "  strcpy(d, s);\n"
+      "  long t = time(nullptr);\n"
+      "}\n";
+  LintResult result = lint_one("src/gen/combo.cpp", content);
+  ASSERT_EQ(result.diagnostics.size(), 2u);
+  apply_baseline(result,
+                 parse_baseline("src/gen/combo.cpp:3:banned-functions\n"));
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, "banned-nondeterminism");
+  EXPECT_EQ(result.diagnostics[0].line, 4);
+  EXPECT_EQ(result.suppressed_count, 1u);
+  EXPECT_EQ(result.baselined_count, 1u);
+}
+
 TEST(SuppressionTest, TagWithoutRuleTokensIsDiagnosed) {
   const std::string content = "// csblint: please ignore this file\n";
   const LintResult result = lint_one("tools/empty.cpp", content);
@@ -245,13 +333,15 @@ TEST(RuleCatalogTest, ListRulesMatchesGolden) {
 
 TEST(RuleCatalogTest, CatalogIsSortedAndComplete) {
   const std::vector<RuleInfo>& rules = rule_catalog();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), 12u);
   for (std::size_t i = 1; i < rules.size(); ++i) {
     EXPECT_LT(rules[i - 1].name, rules[i].name);
   }
   for (const char* name :
        {"atomic-float-reduce", "bad-suppression", "banned-functions",
-        "banned-nondeterminism", "raw-parallel-reduce", "span-naming",
+        "banned-nondeterminism", "counter-rng-reuse",
+        "detached-thread-capture", "lock-discipline", "raw-parallel-reduce",
+        "span-balance", "span-naming", "unchecked-syscall",
         "unordered-iteration"}) {
     EXPECT_TRUE(is_known_rule(name)) << name;
   }
@@ -385,6 +475,287 @@ TEST(LintDeterminismTest, AliasResolvesAcrossFiles) {
   EXPECT_EQ(result.diagnostics[0].file, "src/ids/table.cpp");
   EXPECT_EQ(result.diagnostics[0].line, 4);
   EXPECT_EQ(result.diagnostics[0].rule, "unordered-iteration");
+}
+
+// The parallel scan (--jobs) is a pure throughput knob: diagnostics,
+// counters, and messages are byte-identical to the serial scan.
+TEST(LintDeterminismTest, ParallelScanMatchesSerial) {
+  const auto run_with_jobs = [](std::size_t jobs) {
+    LintOptions options;
+    options.jobs = jobs;
+    Linter linter(std::move(options));
+    linter.add_file("src/gen/nondet.cpp", fixture("nondet.cpp"));
+    linter.add_file("tools/banned_fn.cpp", fixture("banned_fn.cpp"));
+    linter.add_file("src/store/unchecked_syscall.cpp",
+                    fixture("unchecked_syscall.cpp"));
+    linter.add_file("src/gen/span_balance.cpp", fixture("span_balance.cpp"));
+    linter.add_file("src/mr/lock_discipline.cpp",
+                    fixture("lock_discipline.cpp"));
+    return linter.run();
+  };
+  const LintResult serial = run_with_jobs(1);
+  const LintResult parallel = run_with_jobs(4);
+  ASSERT_EQ(serial.diagnostics.size(), parallel.diagnostics.size());
+  for (std::size_t i = 0; i < serial.diagnostics.size(); ++i) {
+    EXPECT_EQ(serial.diagnostics[i].file, parallel.diagnostics[i].file);
+    EXPECT_EQ(serial.diagnostics[i].line, parallel.diagnostics[i].line);
+    EXPECT_EQ(serial.diagnostics[i].rule, parallel.diagnostics[i].rule);
+    EXPECT_EQ(serial.diagnostics[i].message, parallel.diagnostics[i].message);
+  }
+  EXPECT_EQ(serial.suppressed_count, parallel.suppressed_count);
+  EXPECT_EQ(serial.files_linted, parallel.files_linted);
+}
+
+// ---------------------------------------------------------------- lexer
+
+// Raw strings are opaque single tokens: banned identifiers inside them
+// are data, not calls.
+TEST(LexerTest, RawStringContentIsOpaque) {
+  const LintResult result = lint_one(
+      "src/gen/raw.cpp",
+      "const char* doc = R\"(long t = time(nullptr); rand();)\";\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(LexerTest, RawAndPrefixedStringsAreSingleTokens) {
+  const std::vector<Token> tokens = tokenize(
+      "auto a = R\"(no \" end)\";\n"
+      "auto b = u8\"bytes\";\n"
+      "auto c = LR\"x(nested )\" close)x\";\n");
+  std::vector<std::string> strings;
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kString) strings.push_back(t.text);
+  }
+  ASSERT_EQ(strings.size(), 3u);
+  EXPECT_EQ(string_literal_value(strings[0]), "no \" end");
+  EXPECT_EQ(string_literal_value(strings[1]), "bytes");
+  EXPECT_EQ(string_literal_value(strings[2]), "nested )\" close");
+}
+
+// A literal spanning lines reports its first line, and the tokens after
+// it land on the correct physical line.
+TEST(LexerTest, MultiLineStringsKeepLineNumbersExact) {
+  const std::vector<Token> tokens =
+      tokenize("auto s = R\"(a\nb\nc)\";\nint tail = 1;\n");
+  int string_line = 0;
+  int tail_line = 0;
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kString) string_line = t.line;
+    if (t.kind == TokKind::kIdent && t.text == "tail") tail_line = t.line;
+  }
+  EXPECT_EQ(string_line, 1);
+  EXPECT_EQ(tail_line, 4);
+}
+
+// A backslash-newline splice is whitespace, not a token break: the
+// continuation's tokens report their physical line (and lead it —
+// suppression placement works on physical lines), and the `#` directive
+// detector is NOT re-armed mid-logical-line.
+TEST(LexerTest, BackslashNewlineSpliceContinuesTheLine) {
+  const std::vector<Token> tokens = tokenize("int a \\\n= 2;\nint b = 3;\n");
+  ASSERT_GE(tokens.size(), 8u);
+  const auto find = [&](const std::string& text) -> const Token& {
+    for (const Token& t : tokens) {
+      if (t.text == text) return t;
+    }
+    static const Token missing{};
+    ADD_FAILURE() << "token not found: " << text;
+    return missing;
+  };
+  EXPECT_EQ(find("a").line, 1);
+  EXPECT_EQ(find("=").line, 2);
+  EXPECT_TRUE(find("=").first_on_line);
+  EXPECT_EQ(find("b").line, 3);
+
+  // `#` after a splice continues the logical line: it is lexed as a punct
+  // token, not swallowed as a preprocessor directive.
+  const std::vector<Token> spliced_hash = tokenize("int x \\\n# 1;\n");
+  bool saw_hash = false;
+  for (const Token& t : spliced_hash) {
+    if (t.kind == TokKind::kPunct && t.text == "#") saw_hash = true;
+  }
+  EXPECT_TRUE(saw_hash);
+}
+
+// ----------------------------------------------------------- scope tree
+
+std::size_t token_index(const std::vector<Token>& tokens,
+                        std::string_view text) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].text == text) return i;
+  }
+  ADD_FAILURE() << "token not found: " << text;
+  return 0;
+}
+
+TEST(ScopeTreeTest, ClassifiesNamespaceFunctionLambdaBlock) {
+  SourceFile file;
+  file.path = "src/gen/demo.cpp";
+  file.content =
+      "namespace demo {\n"
+      "struct Box { int v; };\n"
+      "int grow(int n) {\n"
+      "  if (n > 0) {\n"
+      "    auto bump = [&](int d) { return n + d; };\n"
+      "    return bump(1);\n"
+      "  }\n"
+      "  return n;\n"
+      "}\n"
+      "}  // namespace demo\n";
+  file.tokens = tokenize(file.content);
+  const ScopeTree tree = build_scope_tree(file);
+
+  ASSERT_FALSE(tree.scopes.empty());
+  EXPECT_EQ(tree.scopes[0].kind, ScopeKind::kFile);
+  std::size_t namespaces = 0;
+  std::size_t functions = 0;
+  std::size_t lambdas = 0;
+  std::size_t blocks = 0;
+  for (const Scope& s : tree.scopes) {
+    if (s.kind == ScopeKind::kNamespace) ++namespaces;
+    if (s.kind == ScopeKind::kFunction) ++functions;
+    if (s.kind == ScopeKind::kLambda) ++lambdas;
+    if (s.kind == ScopeKind::kBlock) ++blocks;
+  }
+  EXPECT_EQ(namespaces, 2u);  // namespace demo + struct Box
+  EXPECT_EQ(functions, 1u);
+  EXPECT_EQ(lambdas, 1u);
+  EXPECT_EQ(blocks, 1u);  // the if body
+
+  // The lambda body belongs to the lambda; the statement declaring it
+  // belongs to grow(); the struct member has no enclosing function.
+  const int lam = tree.enclosing_function(token_index(file.tokens, "+"));
+  ASSERT_GE(lam, 0);
+  EXPECT_EQ(tree.scopes[lam].kind, ScopeKind::kLambda);
+  EXPECT_TRUE(tree.scopes[lam].captures_ref);
+  const int fn = tree.enclosing_function(token_index(file.tokens, "bump"));
+  ASSERT_GE(fn, 0);
+  EXPECT_EQ(tree.scopes[fn].kind, ScopeKind::kFunction);
+  EXPECT_EQ(tree.scopes[fn].name, "grow");
+  EXPECT_EQ(tree.enclosing_function(token_index(file.tokens, "v")), -1);
+}
+
+TEST(ScopeTreeTest, ParsesCaptureLists) {
+  const auto check = [](const std::string& src, bool want_ref,
+                        bool want_this) {
+    const std::vector<Token> tokens = tokenize(src);
+    const CaptureSummary s = parse_capture_list(tokens, 0);
+    EXPECT_EQ(s.by_ref, want_ref) << src;
+    EXPECT_EQ(s.by_this, want_this) << src;
+  };
+  check("[&] {}", true, false);
+  check("[=] {}", false, false);
+  check("[this] {}", false, true);
+  check("[*this] {}", false, false);  // *this copies; it cannot dangle
+  check("[=, &acc] {}", true, false);
+  check("[value] {}", false, false);
+}
+
+// -------------------------------------------------------------- baseline
+
+TEST(BaselineTest, ParsesCommentsBlanksAndEntries) {
+  const Baseline b = parse_baseline(
+      "# accepted findings\n"
+      "\n"
+      "src/a.cpp:12:span-naming\n"
+      "tools/b.cpp:3:banned-functions\n");
+  EXPECT_EQ(b.entries.size(), 2u);
+  EXPECT_TRUE(b.entries.contains({"src/a.cpp", 12, "span-naming"}));
+  EXPECT_TRUE(b.entries.contains({"tools/b.cpp", 3, "banned-functions"}));
+}
+
+TEST(BaselineTest, MalformedEntriesThrow) {
+  EXPECT_THROW(parse_baseline("nonsense\n"), CsbError);
+  EXPECT_THROW(parse_baseline("a.cpp:notanumber:rule\n"), CsbError);
+  EXPECT_THROW(parse_baseline(":3:rule\n"), CsbError);
+}
+
+// --write-baseline output round-trips: applying it to the same scan
+// subtracts every finding.
+TEST(BaselineTest, WriteThenApplyRoundTripsToClean) {
+  LintResult result = lint_one("tools/banned_fn.cpp", fixture("banned_fn.cpp"));
+  const std::size_t found = result.diagnostics.size();
+  ASSERT_GT(found, 0u);
+  const Baseline base = parse_baseline(baseline_text(result));
+  EXPECT_EQ(base.entries.size(), found);
+  apply_baseline(result, base);
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.baselined_count, found);
+}
+
+TEST(BaselineTest, PartialBaselineKeepsNewFindings) {
+  LintResult result = lint_one("tools/banned_fn.cpp", fixture("banned_fn.cpp"));
+  ASSERT_GT(result.diagnostics.size(), 1u);
+  const Diagnostic first = result.diagnostics[0];
+  const std::size_t before = result.diagnostics.size();
+  Baseline base;
+  base.entries.insert({first.file, first.line, first.rule});
+  apply_baseline(result, base);
+  EXPECT_EQ(result.diagnostics.size(), before - 1);
+  EXPECT_EQ(result.baselined_count, 1u);
+  for (const Diagnostic& d : result.diagnostics) {
+    EXPECT_FALSE(d.file == first.file && d.line == first.line &&
+                 d.rule == first.rule);
+  }
+}
+
+// ----------------------------------------------------------------- SARIF
+
+// The emitted log re-parses and satisfies the structural requirements of
+// SARIF 2.1.0: versioned log, one run, full rule catalog on the driver,
+// and each result pointing at a catalog rule and a physical location.
+TEST(SarifTest, EmitsStructurallyValidLog) {
+  const LintResult result =
+      lint_one("tools/banned_fn.cpp", fixture("banned_fn.cpp"));
+  ASSERT_FALSE(result.diagnostics.empty());
+  const JsonValue log = parse_json(to_sarif(result));
+
+  EXPECT_EQ(log.at("version").as_string(), "2.1.0");
+  EXPECT_NE(log.at("$schema").as_string().find("sarif-2.1.0"),
+            std::string::npos);
+  const auto& runs = log.at("runs").items();
+  ASSERT_EQ(runs.size(), 1u);
+
+  const JsonValue& driver = runs[0].at("tool").at("driver");
+  EXPECT_EQ(driver.at("name").as_string(), "csblint");
+  const auto& rules = driver.at("rules").items();
+  ASSERT_EQ(rules.size(), rule_catalog().size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].at("id").as_string(), rule_catalog()[i].name);
+    EXPECT_FALSE(
+        rules[i].at("shortDescription").at("text").as_string().empty());
+  }
+
+  const auto& results = runs[0].at("results").items();
+  ASSERT_EQ(results.size(), result.diagnostics.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    const JsonValue& r = results[i];
+    EXPECT_EQ(r.at("ruleId").as_string(), d.rule);
+    const auto rule_index =
+        static_cast<std::size_t>(r.at("ruleIndex").as_number());
+    ASSERT_LT(rule_index, rules.size());
+    EXPECT_EQ(rules[rule_index].at("id").as_string(), d.rule);
+    EXPECT_EQ(r.at("level").as_string(), "error");
+    EXPECT_EQ(r.at("message").at("text").as_string(), d.message);
+    const auto& locations = r.at("locations").items();
+    ASSERT_EQ(locations.size(), 1u);
+    const JsonValue& physical = locations[0].at("physicalLocation");
+    EXPECT_EQ(physical.at("artifactLocation").at("uri").as_string(), d.file);
+    EXPECT_EQ(static_cast<int>(physical.at("region").at("startLine")
+                                   .as_number()),
+              d.line);
+  }
+}
+
+TEST(SarifTest, CleanResultEmitsEmptyResultsArray) {
+  const JsonValue log = parse_json(to_sarif(LintResult{}));
+  const auto& runs = log.at("runs").items();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_TRUE(runs[0].at("results").items().empty());
+  // The driver still advertises the full catalog on a clean run.
+  EXPECT_EQ(runs[0].at("tool").at("driver").at("rules").items().size(),
+            rule_catalog().size());
 }
 
 }  // namespace

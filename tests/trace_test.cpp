@@ -290,7 +290,7 @@ TEST(SynFloodTest, ShapeMatchesSignature) {
   Rng rng(1);
   const auto sessions = inject_syn_flood(config, rng);
   ASSERT_EQ(sessions.size(), 500u);
-  std::unordered_set<std::uint32_t> sources;
+  std::unordered_set<std::uint32_t> distinct_clients;
   for (const auto& s : sessions) {
     EXPECT_EQ(s.server_ip, config.victim_ip);
     EXPECT_EQ(s.server_port, config.victim_port);
@@ -298,9 +298,9 @@ TEST(SynFloodTest, ShapeMatchesSignature) {
     EXPECT_EQ(s.in_pkts, 0u);
     EXPECT_LE(s.out_pkts, 4u);
     EXPECT_EQ(s.label, TrafficLabel::kSynFlood);
-    sources.insert(s.client_ip);
+    distinct_clients.insert(s.client_ip);
   }
-  EXPECT_GT(sources.size(), 200u);  // many spoofed sources
+  EXPECT_GT(distinct_clients.size(), 200u);  // many spoofed sources
 }
 
 TEST(HostScanTest, CoversAllPortsOfOneHost) {
